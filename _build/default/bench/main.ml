@@ -1,0 +1,119 @@
+(* Benchmark harness.
+
+   Default: regenerate every table and figure of the paper's evaluation
+   (one experiment module per artefact; see DESIGN.md's index).
+
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- quick     # skip the multi-minute sweeps
+     dune exec bench/main.exe -- fig5 tab2 # selected experiments
+     dune exec bench/main.exe -- list      # available experiment ids
+     dune exec bench/main.exe -- micro     # Bechamel component benches
+
+   The micro mode measures the simulation substrate itself (cache ops,
+   persist-buffer ops, executor steps, compilation) with one
+   Bechamel Test.make per component. *)
+
+module Experiments = Sweep_exp.Experiments
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the substrate.                         *)
+
+let micro_tests () =
+  let open Bechamel in
+  let cache_ops =
+    Test.make ~name:"cache:hit-path"
+      (Staged.stage (fun () ->
+           let cache = Sweep_mem.Cache.create ~size_bytes:4096 ~assoc:2 in
+           let data = Array.make 16 0 in
+           for addr = 0 to 63 do
+             ignore (Sweep_mem.Cache.install cache (addr * 64) data)
+           done;
+           for addr = 0 to 63 do
+             match Sweep_mem.Cache.find cache (addr * 64) with
+             | Some line -> ignore (Sweep_mem.Cache.read_word line (addr * 64))
+             | None -> assert false
+           done))
+  in
+  let buffer_ops =
+    Test.make ~name:"persist-buffer:push/search/drain"
+      (Staged.stage (fun () ->
+           let pb = Sweepcache_core.Persist_buffer.create ~capacity:64 in
+           let data = Array.make 16 7 in
+           for k = 0 to 63 do
+             Sweepcache_core.Persist_buffer.push pb ~base:(k * 64) ~data
+           done;
+           ignore (Sweepcache_core.Persist_buffer.search pb 1984);
+           ignore (Sweepcache_core.Persist_buffer.entries_oldest_first pb);
+           Sweepcache_core.Persist_buffer.clear pb))
+  in
+  let compile_quickstart =
+    let ast =
+      Sweep_workloads.Workload.program ~scale:0.05
+        (Sweep_workloads.Registry.find "sha")
+    in
+    Test.make ~name:"compiler:sha@0.05"
+      (Staged.stage (fun () ->
+           ignore (Sweep_sim.Harness.compile Sweep_sim.Harness.Sweep ast)))
+  in
+  let sim_step =
+    let ast =
+      Sweep_workloads.Workload.program ~scale:0.05
+        (Sweep_workloads.Registry.find "sha")
+    in
+    Test.make ~name:"simulator:sweep sha@0.05"
+      (Staged.stage (fun () ->
+           ignore
+             (Sweep_sim.Harness.run Sweep_sim.Harness.Sweep
+                ~power:Sweep_sim.Driver.Unlimited ast)))
+  in
+  [ cache_ops; buffer_ops; compile_quickstart; sim_step ]
+
+let run_micro () =
+  let open Bechamel in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"substrate" (micro_tests ()))
+  in
+  List.iter
+    (fun instance ->
+      let results = Analyze.all ols instance raw in
+      Hashtbl.iter
+        (fun name est ->
+          match Analyze.OLS.estimates est with
+          | Some [ t ] -> Printf.printf "%-50s %14.1f ns/run\n" name t
+          | _ -> Printf.printf "%-50s (no estimate)\n" name)
+        results)
+    instances
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+    Printf.printf "SweepCache reproduction — regenerating all tables/figures\n\n";
+    Experiments.run_all ()
+  | [ "quick" ] ->
+    Printf.printf "SweepCache reproduction — quick set (heavy sweeps skipped)\n\n";
+    Experiments.run_all ~include_heavy:false ()
+  | [ "list" ] ->
+    List.iter
+      (fun e ->
+        Printf.printf "%-10s %s%s\n" e.Experiments.name e.Experiments.title
+          (if e.Experiments.heavy then " [heavy]" else ""))
+      Experiments.all
+  | [ "micro" ] -> run_micro ()
+  | names ->
+    List.iter
+      (fun name ->
+        match Experiments.find name with
+        | Some e -> e.Experiments.run ()
+        | None ->
+          Printf.eprintf "unknown experiment %S (try: list)\n" name;
+          exit 2)
+      names

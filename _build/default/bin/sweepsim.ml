@@ -1,0 +1,160 @@
+(* sweepsim: run a benchmark on an architecture model, with or without
+   harvested power, and report the run statistics.
+
+     dune exec bin/sweepsim.exe -- sha
+     dune exec bin/sweepsim.exe -- dijkstra -d nvp -t rfhome --cap 100e-9
+     dune exec bin/sweepsim.exe -- fft --all-designs --verify
+*)
+
+open Cmdliner
+module H = Sweep_sim.Harness
+module Driver = Sweep_sim.Driver
+module Trace = Sweep_energy.Power_trace
+module Config = Sweep_machine.Config
+module Mstats = Sweep_machine.Mstats
+module Table = Sweep_util.Table
+
+let design_assoc =
+  [
+    ("nvp", H.Nvp); ("wt", H.Wt); ("nvsram", H.Nvsram);
+    ("nvsram-e", H.Nvsram_e); ("replay", H.Replay); ("nvmr", H.Nvmr);
+    ("sweep", H.Sweep);
+  ]
+
+let trace_assoc =
+  [
+    ("rfoffice", Some Trace.Rf_office); ("rfhome", Some Trace.Rf_home);
+    ("solar", Some Trace.Solar); ("thermal", Some Trace.Thermal);
+    ("none", None);
+  ]
+
+let run_one bench design power config scale verify =
+  let w = Sweep_workloads.Registry.find bench in
+  let ast = Sweep_workloads.Workload.program ~scale w in
+  let r = H.run ~config design ~power ast in
+  let o = r.H.outcome in
+  let st = H.mstats r in
+  let verified =
+    if not verify then ""
+    else
+      match H.check_against_interp r ast with
+      | Ok () -> "consistent"
+      | Error e -> "INCONSISTENT: " ^ e
+  in
+  [
+    H.design_name design;
+    string_of_int o.Driver.instructions;
+    Table.float_cell (o.Driver.on_ns /. 1e6);
+    Table.float_cell (o.Driver.off_ns /. 1e6);
+    string_of_int o.Driver.outages;
+    string_of_int o.Driver.backups;
+    Table.float_cell (Driver.total_joules o *. 1e6);
+    Table.float_cell (100.0 *. H.cache_miss_rate r);
+    string_of_int st.Mstats.regions;
+    Table.float_cell (Mstats.parallelism_efficiency st);
+    verified;
+  ]
+
+let main bench designs trace cap scale cache_size nvm_search verify =
+  (match Sweep_workloads.Registry.find bench with
+  | exception Not_found ->
+    Printf.eprintf "unknown workload %S; available:\n  %s\n" bench
+      (String.concat ", " (Sweep_workloads.Registry.names ()));
+    exit 2
+  | _ -> ());
+  let power =
+    match trace with
+    | None -> Driver.Unlimited
+    | Some kind -> Driver.harvested ~trace:(Trace.make kind) ~farads:cap ()
+  in
+  let config =
+    let c = Config.with_cache Config.default ~size:cache_size in
+    if nvm_search then Config.with_search c Config.Nvm_search else c
+  in
+  let t =
+    Table.create
+      [
+        "design"; "instrs"; "on ms"; "off ms"; "outages"; "backups";
+        "energy uJ"; "miss %"; "regions"; "eff %"; "check";
+      ]
+  in
+  List.iter
+    (fun d -> Table.add_row t (run_one bench d power config scale verify))
+    designs;
+  Table.print t;
+  0
+
+let bench_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD"
+         ~doc:"Benchmark name (see --list in sweepcc, e.g. sha, dijkstra).")
+
+let designs_arg =
+  let parse s =
+    match List.assoc_opt (String.lowercase_ascii s) design_assoc with
+    | Some d -> Ok [ d ]
+    | None -> Error (`Msg ("unknown design " ^ s))
+  in
+  let design_conv =
+    Arg.conv (parse, fun fmt ds ->
+        Format.pp_print_string fmt
+          (String.concat "," (List.map H.design_name ds)))
+  in
+  Arg.(value & opt design_conv [ H.Sweep ]
+       & info [ "d"; "design" ] ~docv:"DESIGN"
+           ~doc:"Architecture: nvp, wt, nvsram, nvsram-e, replay, nvmr, sweep.")
+
+let all_designs_arg =
+  Arg.(value & flag
+       & info [ "all-designs" ] ~doc:"Run every architecture model.")
+
+let trace_arg =
+  let trace_conv =
+    Arg.conv
+      ( (fun s ->
+          match List.assoc_opt (String.lowercase_ascii s) trace_assoc with
+          | Some t -> Ok t
+          | None -> Error (`Msg ("unknown trace " ^ s))),
+        fun fmt t ->
+          Format.pp_print_string fmt
+            (match t with Some k -> Trace.kind_name k | None -> "none") )
+  in
+  Arg.(value & opt trace_conv (Some Trace.Rf_office)
+       & info [ "t"; "trace" ] ~docv:"TRACE"
+           ~doc:"Power trace: rfoffice, rfhome, solar, thermal, or none \
+                 (continuous power).")
+
+let cap_arg =
+  Arg.(value & opt float 470e-9
+       & info [ "cap" ] ~docv:"FARADS" ~doc:"Capacitor size (farads).")
+
+let scale_arg =
+  Arg.(value & opt float 1.0
+       & info [ "scale" ] ~docv:"S" ~doc:"Workload input scale factor.")
+
+let cache_arg =
+  Arg.(value & opt int 4096
+       & info [ "cache-size" ] ~docv:"BYTES" ~doc:"Data-cache size in bytes.")
+
+let nvm_search_arg =
+  Arg.(value & flag
+       & info [ "nvm-search" ]
+           ~doc:"Disable the empty-bit: always search the persist buffers.")
+
+let verify_arg =
+  Arg.(value & flag
+       & info [ "verify" ]
+           ~doc:"Check the final NVM image against the reference interpreter.")
+
+let cmd =
+  let doc = "simulate a workload on an intermittent-computing architecture" in
+  let term =
+    Term.(
+      const (fun bench design all trace cap scale cache nvm_search verify ->
+          let designs = if all then H.all_designs else design in
+          main bench designs trace cap scale cache nvm_search verify)
+      $ bench_arg $ designs_arg $ all_designs_arg $ trace_arg $ cap_arg
+      $ scale_arg $ cache_arg $ nvm_search_arg $ verify_arg)
+  in
+  Cmd.v (Cmd.info "sweepsim" ~doc) term
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/design_space.ml: Array List Printf Sweep_compiler Sweep_energy Sweep_machine Sweep_sim Sweep_util Sweep_workloads Sys

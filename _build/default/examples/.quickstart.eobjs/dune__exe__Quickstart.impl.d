@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Printf Stdlib Sweep_energy Sweep_lang Sweep_sim

@@ -1,0 +1,1 @@
+examples/sensor_logging.ml: Array List Printf Stdlib Sweep_energy Sweep_lang Sweep_sim Sweep_util

@@ -1,0 +1,86 @@
+(* Design-space exploration through the public API: how do persist-buffer
+   capacity (= the compiler's store threshold), cache size and the buffer
+   search policy trade off for one workload?  The §4.5 discussion ("the
+   size of the persist buffer is a trade-off") as a runnable script.
+
+     dune exec examples/design_space.exe [workload]
+*)
+
+module H = Sweep_sim.Harness
+module Driver = Sweep_sim.Driver
+module Config = Sweep_machine.Config
+module Pipeline = Sweep_compiler.Pipeline
+module Mstats = Sweep_machine.Mstats
+module Table = Sweep_util.Table
+
+let () =
+  let bench = if Array.length Sys.argv > 1 then Sys.argv.(1) else "fft" in
+  let ast =
+    Sweep_workloads.Workload.program ~scale:0.5
+      (Sweep_workloads.Registry.find bench)
+  in
+  let trace = Sweep_energy.Power_trace.make Sweep_energy.Power_trace.Rf_office in
+  let power = Driver.harvested ~trace ~farads:470e-9 () in
+  let nvp = Driver.total_ns (H.run H.Nvp ~power ast).H.outcome in
+
+  Printf.printf "Design space for %s (RFOffice, 470 nF; speedups over NVP)\n\n"
+    bench;
+
+  Printf.printf "1. Persist-buffer capacity (= compiler store threshold)\n";
+  let t =
+    Table.create [ "entries"; "speedup"; "regions"; "avg stores/region"; "eff %" ]
+  in
+  List.iter
+    (fun entries ->
+      let config = { Config.default with buffer_entries = entries } in
+      let options = Pipeline.options ~store_threshold:entries () in
+      let r = H.run ~config ~options H.Sweep ~power ast in
+      let st = H.mstats r in
+      let avg hist =
+        let n = ref 0 and s = ref 0 in
+        Array.iteri
+          (fun v c ->
+            n := !n + c;
+            s := !s + (v * c))
+          hist;
+        if !n = 0 then 0.0 else float_of_int !s /. float_of_int !n
+      in
+      Table.add_row t
+        [
+          string_of_int entries;
+          Table.float_cell (nvp /. Driver.total_ns r.H.outcome);
+          string_of_int st.Mstats.regions;
+          Table.float_cell (avg st.Mstats.region_store_hist);
+          Table.float_cell (Mstats.parallelism_efficiency st);
+        ])
+    [ 24; 32; 64; 128; 256 ];
+  Table.print t;
+
+  Printf.printf "\n2. Cache size\n";
+  let t = Table.create [ "cache"; "speedup"; "miss %" ] in
+  List.iter
+    (fun size ->
+      let config = Config.with_cache Config.default ~size in
+      let r = H.run ~config H.Sweep ~power ast in
+      Table.add_row t
+        [
+          Printf.sprintf "%dB" size;
+          Table.float_cell (nvp /. Driver.total_ns r.H.outcome);
+          Table.float_cell (100.0 *. H.cache_miss_rate r);
+        ])
+    [ 512; 1024; 2048; 4096; 8192 ];
+  Table.print t;
+
+  Printf.printf "\n3. Buffer search policy and buffer count\n";
+  let t = Table.create [ "variant"; "speedup" ] in
+  List.iter
+    (fun (label, config) ->
+      let r = H.run ~config H.Sweep ~power ast in
+      Table.add_row t
+        [ label; Table.float_cell (nvp /. Driver.total_ns r.H.outcome) ])
+    [
+      ("empty-bit, dual buffer", Config.default);
+      ("sequential search", Config.with_search Config.default Config.Nvm_search);
+      ("single buffer", { Config.default with buffer_count = 1 });
+    ];
+  Table.print t

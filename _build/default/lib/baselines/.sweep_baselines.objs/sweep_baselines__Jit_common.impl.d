@@ -1,0 +1,1 @@
+lib/baselines/jit_common.ml: Sweep_energy Sweep_isa Sweep_machine

@@ -1,0 +1,1 @@
+lib/baselines/jit_common.mli: Sweep_energy Sweep_machine

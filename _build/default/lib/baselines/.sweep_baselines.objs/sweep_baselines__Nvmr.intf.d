@@ -1,0 +1,1 @@
+lib/baselines/nvmr.mli: Sweep_isa Sweep_machine

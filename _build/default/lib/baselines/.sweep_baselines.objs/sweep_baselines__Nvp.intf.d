@@ -1,0 +1,1 @@
+lib/baselines/nvp.mli: Sweep_isa Sweep_machine

@@ -1,0 +1,1 @@
+lib/baselines/nvsram.ml: Array Jit_common List Sweep_energy Sweep_isa Sweep_machine Sweep_mem

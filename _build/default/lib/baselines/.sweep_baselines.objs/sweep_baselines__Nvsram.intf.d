@@ -1,0 +1,1 @@
+lib/baselines/nvsram.mli: Sweep_isa Sweep_machine

@@ -1,0 +1,1 @@
+lib/baselines/replaycache.mli: Sweep_isa Sweep_machine

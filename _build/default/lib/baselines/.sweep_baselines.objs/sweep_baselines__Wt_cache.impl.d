@@ -1,0 +1,1 @@
+lib/baselines/wt_cache.ml: Jit_common Sweep_energy Sweep_isa Sweep_machine Sweep_mem

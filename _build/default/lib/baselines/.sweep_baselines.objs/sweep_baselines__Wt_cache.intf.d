@@ -1,0 +1,1 @@
+lib/baselines/wt_cache.mli: Sweep_isa Sweep_machine

@@ -1,0 +1,20 @@
+module E = Sweep_energy.Energy_config
+module Cost = Sweep_machine.Cost
+
+let reg_count = float_of_int (Sweep_isa.Reg.count + 1)
+
+let reg_backup (e : E.t) =
+  Cost.make ~ns:(reg_count *. e.backup_reg_ns) ~joules:(reg_count *. e.e_reg_backup)
+
+let reg_restore (e : E.t) =
+  Cost.make ~ns:(reg_count *. e.backup_reg_ns) ~joules:(reg_count *. e.e_reg_restore)
+
+let lines_backup (e : E.t) ~parallel n =
+  let n = float_of_int n in
+  let par = float_of_int (max 1 parallel) in
+  Cost.make ~ns:(n /. par *. e.backup_line_ns) ~joules:(n *. e.e_line_backup)
+
+let lines_restore (e : E.t) ~parallel n =
+  let n = float_of_int n in
+  let par = float_of_int (max 1 parallel) in
+  Cost.make ~ns:(n /. par *. e.backup_line_ns) ~joules:(n *. e.e_line_restore)

@@ -1,0 +1,14 @@
+(** Costs shared by the JIT-checkpointing designs. *)
+
+val reg_backup : Sweep_energy.Energy_config.t -> Sweep_machine.Cost.t
+(** Checkpoint all registers plus the PC into NVFFs. *)
+
+val reg_restore : Sweep_energy.Energy_config.t -> Sweep_machine.Cost.t
+
+val lines_backup :
+  Sweep_energy.Energy_config.t -> parallel:int -> int -> Sweep_machine.Cost.t
+(** [lines_backup e ~parallel n]: back up [n] cachelines with the given
+    transfer parallelism (NVSRAM's parallel data movement, §2.2). *)
+
+val lines_restore :
+  Sweep_energy.Energy_config.t -> parallel:int -> int -> Sweep_machine.Cost.t

@@ -1,0 +1,281 @@
+module Cfg = Sweep_machine.Config
+module Cost = Sweep_machine.Cost
+module Cpu = Sweep_machine.Cpu
+module Exec = Sweep_machine.Exec
+module Mstats = Sweep_machine.Mstats
+module Nvm = Sweep_mem.Nvm
+module Cache = Sweep_mem.Cache
+module E = Sweep_energy.Energy_config
+module Layout = Sweep_isa.Layout
+module Pb = Sweepcache_core.Persist_buffer
+
+let name = "NvMR"
+
+type saved_line = { base : int; data : int array; dirty : bool }
+
+type shadow = {
+  regs : int array;
+  pc : int;
+  lines : saved_line list;
+}
+
+type t = {
+  cfg : Cfg.t;
+  prog : Sweep_isa.Program.t;
+  cpu : Cpu.t;
+  nvm : Nvm.t;
+  cache : Cache.t;
+  stats : Mstats.t;
+  detector : Sweep_energy.Detector.t;
+  rename : Pb.t;  (** persistent renamed locations of the open epoch *)
+  mutable shadow : shadow option;
+}
+
+let create cfg prog =
+  let nvm = Nvm.create () in
+  Sweep_machine.Loader.load nvm prog;
+  let detector =
+    match cfg.Cfg.detector_override with
+    | Some d -> d
+    | None ->
+      (* Backing up dirty cachelines needs an NVSRAM-class reserve; the
+         design then keeps executing below the threshold (its defining
+         advantage), gambling that a forced commit lands before death. *)
+      Sweep_energy.Detector.jit ~v_backup:3.2 ~v_restore:3.4
+  in
+  {
+    cfg;
+    prog;
+    cpu = Cpu.create ~entry:prog.entry;
+    nvm;
+    cache =
+      Cache.create ~size_bytes:cfg.Cfg.cache_size_bytes ~assoc:cfg.Cfg.cache_assoc;
+    stats = Mstats.create ();
+    detector;
+    rename = Pb.create ~capacity:(max 1 cfg.Cfg.rename_entries);
+    shadow = None;
+  }
+
+let cpu t = t.cpu
+let nvm t = t.nvm
+let cache t = Some t.cache
+let mstats t = t.stats
+let detector t = t.detector
+let halted t = t.cpu.Cpu.halted
+let e t = t.cfg.Cfg.energy
+
+let hit_cost t =
+  Cost.make
+    ~ns:(float_of_int (e t).E.cache_hit_cycles *. E.cycle_ns (e t))
+    ~joules:(e t).E.e_cache_access
+
+(* Every store consults the renaming structures to detect a WAR
+   dependence on the open epoch (NvMR's defining mechanism); this sits on
+   the store path. *)
+let rename_check_ns = 2.0
+
+let store_cost t =
+  Cost.(
+    hit_cost t
+    ++ make ~ns:rename_check_ns ~joules:(e t).E.e_buffer_search)
+
+let dirty_saved_lines t =
+  let acc = ref [] in
+  Cache.iter_lines t.cache (fun line ->
+      if line.Cache.valid && line.Cache.dirty then
+        acc :=
+          { base = line.Cache.base; data = Array.copy line.Cache.data;
+            dirty = true }
+          :: !acc);
+  !acc
+
+(* Commit the open epoch: drain renamed writes to their home locations
+   and snapshot registers + dirty lines. *)
+let epoch_commit_cost t =
+  let entries = Pb.count t.rename in
+  let dirty = List.length (dirty_saved_lines t) in
+  Cost.(
+    Jit_common.reg_backup (e t)
+    ++ Jit_common.lines_backup (e t) ~parallel:t.cfg.Cfg.nvsram_parallel dirty
+    ++ make
+         ~ns:(float_of_int entries *. ((e t).E.nvm_read_ns +. (e t).E.nvm_write_ns))
+         ~joules:
+           (float_of_int entries
+           *. ((e t).E.e_nvm_read +. (e t).E.e_nvm_line_write)))
+
+let epoch_commit t =
+  List.iter
+    (fun (base, data) -> Nvm.write_line t.nvm base data)
+    (Pb.entries_oldest_first t.rename);
+  Pb.clear t.rename;
+  let regs, pc = Cpu.snapshot t.cpu in
+  let lines = dirty_saved_lines t in
+  (* Checkpointed lines land in NVM: count the write traffic. *)
+  Nvm.add_external_writes t.nvm ~events:(List.length lines)
+    ~bytes:(List.length lines * Layout.line_bytes);
+  t.shadow <- Some { regs; pc; lines }
+
+(* Fetch a line: the rename buffer may hold a newer version than NVM.
+   NvMR's rename table is an indexed hardware map, so the lookup is a
+   constant two-probe cost, unlike SweepCache's deliberately cheap
+   sequential buffer scan. *)
+let rename_lookup_cost t =
+  Cost.make
+    ~ns:(2.0 *. (e t).E.buffer_search_ns)
+    ~joules:(2.0 *. (e t).E.e_buffer_search)
+
+let fetch_line t base =
+  match Pb.search t.rename base with
+  | Some (data, _) -> (Array.copy data, rename_lookup_cost t)
+  | None ->
+    ( Nvm.read_line t.nvm base,
+      Cost.(
+        rename_lookup_cost t
+        ++ make ~ns:(e t).E.nvm_read_ns ~joules:(e t).E.e_nvm_read) )
+
+let fill t addr =
+  let victim = Cache.victim t.cache addr in
+  let evict_cost =
+    if victim.Cache.valid && victim.Cache.dirty then begin
+      (* Renamed write: quarantined for rollback.  A full rename buffer
+         forces an epoch commit first (structural hazard → backup). *)
+      let forced =
+        if Pb.count t.rename >= Pb.capacity t.rename then begin
+          let c = epoch_commit_cost t in
+          epoch_commit t;
+          t.stats.Mstats.backup_events <- t.stats.Mstats.backup_events + 1;
+          t.stats.Mstats.backup_joules <-
+            t.stats.Mstats.backup_joules +. c.Cost.joules;
+          c
+        end
+        else Cost.zero
+      in
+      Pb.push t.rename ~base:victim.Cache.base ~data:victim.Cache.data;
+      Cost.(
+        forced
+        ++ make ~ns:(e t).E.nvm_write_ns ~joules:(e t).E.e_nvm_line_write)
+    end
+    else Cost.zero
+  in
+  let base = Layout.line_base addr in
+  let data, fetch_cost = fetch_line t base in
+  let line = Cache.install t.cache addr data in
+  (line, Cost.(evict_cost ++ fetch_cost ++ hit_cost t))
+
+let load t addr =
+  match Cache.find t.cache addr with
+  | Some line ->
+    Cache.record_hit t.cache;
+    Cache.touch t.cache line;
+    (Cache.read_word line addr, hit_cost t)
+  | None ->
+    Cache.record_miss t.cache;
+    let line, cost = fill t addr in
+    (Cache.read_word line addr, cost)
+
+let store t addr value =
+  match Cache.find t.cache addr with
+  | Some line ->
+    Cache.record_hit t.cache;
+    Cache.touch t.cache line;
+    Cache.write_word line addr value;
+    line.Cache.dirty <- true;
+    store_cost t
+  | None ->
+    Cache.record_miss t.cache;
+    let line, cost = fill t addr in
+    Cache.write_word line addr value;
+    line.Cache.dirty <- true;
+    Cost.(cost ++ make ~ns:rename_check_ns ~joules:(e t).E.e_buffer_search)
+
+let mem_ops t =
+  Exec.nop_region_ops
+    {
+      Exec.load = (fun addr _ -> load t addr);
+      store = (fun addr value _ -> store t addr value);
+      clwb = (fun _ _ -> Cost.zero);
+      fence = (fun _ -> Cost.zero);
+      region_end = (fun _ -> Cost.zero);
+    }
+
+let step t ~now_ns = Exec.step t.cfg t.cpu t.prog t.stats (mem_ops t) ~now_ns
+
+let jit_backup_cost t = Some (epoch_commit_cost t)
+let commit_jit_backup t ~now_ns:_ = epoch_commit t
+let continues_after_backup = true
+
+let on_power_failure t ~now_ns:_ =
+  Cache.invalidate_all t.cache;
+  (* Roll back the open epoch: discard the rename mapping. *)
+  Pb.clear t.rename;
+  Cpu.reset t.cpu ~entry:t.prog.entry;
+  Mstats.reset_region_counters t.stats
+
+let on_reboot t ~now_ns:_ =
+  let cost =
+    match t.shadow with
+    | Some { regs; pc; lines } ->
+      Cpu.restore t.cpu (regs, pc);
+      List.iter
+        (fun saved ->
+          let line = Cache.install t.cache saved.base saved.data in
+          line.Cache.dirty <- saved.dirty)
+        lines;
+      Cost.(
+        Jit_common.reg_restore (e t)
+        ++ Jit_common.lines_restore (e t) ~parallel:t.cfg.Cfg.nvsram_parallel
+             (List.length lines))
+    | None ->
+      Cpu.reset t.cpu ~entry:t.prog.entry;
+      Jit_common.reg_restore (e t)
+  in
+  t.stats.Mstats.restore_events <- t.stats.Mstats.restore_events + 1;
+  t.stats.Mstats.restore_joules <- t.stats.Mstats.restore_joules +. cost.Cost.joules;
+  cost
+
+(* End of program: commit the open epoch and flush remaining dirty
+   lines. *)
+let drain t ~now_ns:_ =
+  let c = epoch_commit_cost t in
+  List.iter
+    (fun (base, data) -> Nvm.write_line t.nvm base data)
+    (Pb.entries_oldest_first t.rename);
+  Pb.clear t.rename;
+  let dirty = Cache.dirty_lines t.cache in
+  List.iter
+    (fun line ->
+      Nvm.write_line t.nvm line.Cache.base line.Cache.data;
+      line.Cache.dirty <- false)
+    dirty;
+  let n = float_of_int (List.length dirty) in
+  Cost.(
+    c
+    ++ make ~ns:(n *. (e t).E.nvm_write_ns)
+         ~joules:(n *. (e t).E.e_nvm_line_write))
+
+type t_alias = t
+
+let packed cfg prog =
+  let m =
+    (module struct
+      type t = t_alias
+
+      let name = name
+      let create = create
+      let cpu = cpu
+      let nvm = nvm
+      let cache = cache
+      let mstats = mstats
+      let detector = detector
+      let step = step
+      let halted = halted
+      let jit_backup_cost = jit_backup_cost
+      let commit_jit_backup = commit_jit_backup
+      let continues_after_backup = continues_after_backup
+      let on_power_failure = on_power_failure
+      let on_reboot = on_reboot
+      let drain = drain
+    end : Sweep_machine.Machine_intf.S
+      with type t = t_alias)
+  in
+  Sweep_machine.Machine_intf.Packed (m, create cfg prog)

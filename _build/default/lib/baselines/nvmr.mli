@@ -1,0 +1,20 @@
+(** NvMR-style memory renaming baseline (paper §6.7).
+
+    Modelled as epochs delimited by JIT backups: between backups, dirty
+    write-backs are quarantined in a persistent rename buffer (renamed
+    NVM locations) so the epoch can be rolled back; cache misses consult
+    the rename buffer before NVM.  A backup commits the epoch (drains the
+    rename buffer to the home locations) and snapshots registers plus
+    dirty cachelines.  Unlike the other JIT designs, NvMR keeps executing
+    after a backup instead of waiting for the restore voltage — its
+    defining advantage — and rolls back to the last backup if power dies
+    first.  A full rename buffer forces an early backup.
+
+    See DESIGN.md for what this keeps and drops relative to the real
+    NvMR microarchitecture. *)
+
+include Sweep_machine.Machine_intf.S
+
+val packed :
+  Sweep_machine.Config.t -> Sweep_isa.Program.t ->
+  Sweep_machine.Machine_intf.packed

@@ -1,0 +1,13 @@
+(** The cache-free nonvolatile processor (paper §2.1, Fig. 1(a)) — the
+    speedup baseline of every figure.
+
+    Every load/store goes straight to NVM; a voltage monitor triggers a
+    JIT checkpoint of the register file into NVFFs at the backup
+    threshold, and the system restores and resumes at the restore
+    threshold. *)
+
+include Sweep_machine.Machine_intf.S
+
+val packed :
+  Sweep_machine.Config.t -> Sweep_isa.Program.t ->
+  Sweep_machine.Machine_intf.packed

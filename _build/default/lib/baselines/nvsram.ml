@@ -1,0 +1,243 @@
+module Cfg = Sweep_machine.Config
+module Cost = Sweep_machine.Cost
+module Cpu = Sweep_machine.Cpu
+module Exec = Sweep_machine.Exec
+module Mstats = Sweep_machine.Mstats
+module Nvm = Sweep_mem.Nvm
+module Cache = Sweep_mem.Cache
+module E = Sweep_energy.Energy_config
+module Layout = Sweep_isa.Layout
+
+type saved_line = { base : int; data : int array; dirty : bool }
+
+type shadow = {
+  regs : int array;
+  pc : int;
+  lines : saved_line list;
+}
+
+type state = {
+  cfg : Cfg.t;
+  prog : Sweep_isa.Program.t;
+  cpu : Cpu.t;
+  nvm : Nvm.t;
+  cache : Cache.t;
+  stats : Mstats.t;
+  detector : Sweep_energy.Detector.t;
+  mutable shadow : shadow option;
+}
+
+module Make (P : sig
+  val name : string
+  val entire : bool
+end) =
+struct
+  let name = P.name
+
+  type t = state
+
+  (* The backup threshold must reserve enough energy for the worst-case
+     backup (§2.2): dirty-only backup reserves for a mostly-dirty cache
+     at 3.2 V; entire-cache backup needs a deeper reserve, hence
+     NVSRAM-E's higher thresholds. *)
+  let v_backup, v_restore = if P.entire then (3.35, 3.45) else (3.2, 3.4)
+
+  let create cfg prog =
+    let nvm = Nvm.create () in
+    Sweep_machine.Loader.load nvm prog;
+    let detector =
+      match cfg.Cfg.detector_override with
+      | Some d -> d
+      | None -> Sweep_energy.Detector.jit ~v_backup ~v_restore
+    in
+    {
+      cfg;
+      prog;
+      cpu = Cpu.create ~entry:prog.entry;
+      nvm;
+      cache =
+        Cache.create ~size_bytes:cfg.Cfg.cache_size_bytes
+          ~assoc:cfg.Cfg.cache_assoc;
+      stats = Mstats.create ();
+      detector;
+      shadow = None;
+    }
+
+  let cpu t = t.cpu
+  let nvm t = t.nvm
+  let cache t = Some t.cache
+  let mstats t = t.stats
+  let detector t = t.detector
+  let halted t = t.cpu.Cpu.halted
+  let e t = t.cfg.Cfg.energy
+
+  let hit_cost t =
+    Cost.make
+      ~ns:(float_of_int (e t).E.cache_hit_cycles *. E.cycle_ns (e t))
+      ~joules:(e t).E.e_cache_access
+
+  (* Standard write-back miss handling: dirty victims go straight to
+     their NVM home (no redo buffer here — crash consistency comes from
+     the JIT backup of the whole cache). *)
+  let fill t addr =
+    let victim = Cache.victim t.cache addr in
+    let evict_cost =
+      if victim.Cache.valid && victim.Cache.dirty then begin
+        Nvm.write_line t.nvm victim.Cache.base victim.Cache.data;
+        Cost.make ~ns:(e t).E.nvm_write_ns ~joules:(e t).E.e_nvm_line_write
+      end
+      else Cost.zero
+    in
+    let base = Layout.line_base addr in
+    let data = Nvm.read_line t.nvm base in
+    let line = Cache.install t.cache addr data in
+    ( line,
+      Cost.(
+        evict_cost
+        ++ make ~ns:(e t).E.nvm_read_ns ~joules:(e t).E.e_nvm_read
+        ++ hit_cost t) )
+
+  let load t addr =
+    match Cache.find t.cache addr with
+    | Some line ->
+      Cache.record_hit t.cache;
+      Cache.touch t.cache line;
+      (Cache.read_word line addr, hit_cost t)
+    | None ->
+      Cache.record_miss t.cache;
+      let line, cost = fill t addr in
+      (Cache.read_word line addr, cost)
+
+  let store t addr value =
+    match Cache.find t.cache addr with
+    | Some line ->
+      Cache.record_hit t.cache;
+      Cache.touch t.cache line;
+      Cache.write_word line addr value;
+      line.Cache.dirty <- true;
+      hit_cost t
+    | None ->
+      Cache.record_miss t.cache;
+      let line, cost = fill t addr in
+      Cache.write_word line addr value;
+      line.Cache.dirty <- true;
+      cost
+
+  let mem_ops t =
+    Exec.nop_region_ops
+      {
+        Exec.load = (fun addr _ -> load t addr);
+        store = (fun addr value _ -> store t addr value);
+        clwb = (fun _ _ -> Cost.zero);
+        fence = (fun _ -> Cost.zero);
+        region_end = (fun _ -> Cost.zero);
+      }
+
+  let step t ~now_ns = Exec.step t.cfg t.cpu t.prog t.stats (mem_ops t) ~now_ns
+
+  let lines_to_save t =
+    let acc = ref [] in
+    Cache.iter_lines t.cache (fun line ->
+        if line.Cache.valid && (P.entire || line.Cache.dirty) then
+          acc :=
+            {
+              base = line.Cache.base;
+              data = Array.copy line.Cache.data;
+              dirty = line.Cache.dirty;
+            }
+            :: !acc);
+    !acc
+
+  let jit_backup_cost t =
+    let n = List.length (lines_to_save t) in
+    Some
+      Cost.(
+        Jit_common.reg_backup (e t)
+        ++ Jit_common.lines_backup (e t) ~parallel:t.cfg.Cfg.nvsram_parallel n)
+
+  let commit_jit_backup t ~now_ns:_ =
+    let regs, pc = Cpu.snapshot t.cpu in
+    let lines = lines_to_save t in
+    (* The nonvolatile counterpart is NVM: its backup writes count. *)
+    Nvm.add_external_writes t.nvm ~events:(List.length lines)
+      ~bytes:(List.length lines * Layout.line_bytes);
+    t.shadow <- Some { regs; pc; lines }
+
+  let continues_after_backup = false
+
+  let on_power_failure t ~now_ns:_ =
+    Cache.invalidate_all t.cache;
+    Cpu.reset t.cpu ~entry:t.prog.entry;
+    Mstats.reset_region_counters t.stats
+
+  let on_reboot t ~now_ns:_ =
+    let cost =
+      match t.shadow with
+      | Some { regs; pc; lines } ->
+        Cpu.restore t.cpu (regs, pc);
+        List.iter
+          (fun saved ->
+            let line = Cache.install t.cache saved.base saved.data in
+            line.Cache.dirty <- saved.dirty)
+          lines;
+        Cost.(
+          Jit_common.reg_restore (e t)
+          ++ Jit_common.lines_restore (e t) ~parallel:t.cfg.Cfg.nvsram_parallel
+               (List.length lines))
+      | None ->
+        Cpu.reset t.cpu ~entry:t.prog.entry;
+        Jit_common.reg_restore (e t)
+    in
+    t.stats.Mstats.restore_events <- t.stats.Mstats.restore_events + 1;
+    t.stats.Mstats.restore_joules <-
+      t.stats.Mstats.restore_joules +. cost.Cost.joules;
+    cost
+
+  (* End of program: write back what is still dirty so the final NVM
+     image is complete. *)
+  let drain t ~now_ns:_ =
+    let dirty = Cache.dirty_lines t.cache in
+    List.iter
+      (fun line ->
+        Nvm.write_line t.nvm line.Cache.base line.Cache.data;
+        line.Cache.dirty <- false)
+      dirty;
+    let n = float_of_int (List.length dirty) in
+    Cost.make ~ns:(n *. (e t).E.nvm_write_ns)
+      ~joules:(n *. (e t).E.e_nvm_line_write)
+
+  let packed cfg prog =
+    let m =
+      (module struct
+        type nonrec t = t
+
+        let name = name
+        let create = create
+        let cpu = cpu
+        let nvm = nvm
+        let cache = cache
+        let mstats = mstats
+        let detector = detector
+        let step = step
+        let halted = halted
+        let jit_backup_cost = jit_backup_cost
+        let commit_jit_backup = commit_jit_backup
+        let continues_after_backup = continues_after_backup
+        let on_power_failure = on_power_failure
+        let on_reboot = on_reboot
+        let drain = drain
+      end : Sweep_machine.Machine_intf.S
+        with type t = t)
+    in
+    Sweep_machine.Machine_intf.Packed (m, create cfg prog)
+end
+
+module Dirty = Make (struct
+  let name = "NVSRAM"
+  let entire = false
+end)
+
+module Entire = Make (struct
+  let name = "NVSRAM-E"
+  let entire = true
+end)

@@ -1,0 +1,28 @@
+(** NVSRAM: a write-back volatile cache with a nonvolatile counterpart
+    used as JIT-checkpoint storage (paper Fig. 1(c), §2.2).
+
+    At the (raised) backup threshold, the design copies the register file
+    and cachelines into the NVM counterpart with parallel transfers; on
+    restore it reinstalls them (dirty lines come back dirty — their data
+    exists only in the backup until eventually written back).
+
+    {!Dirty} backs up only dirty cachelines (the paper's default NVSRAM,
+    after Liu et al.); {!Entire} backs up the whole cache (NVSRAM-E in
+    Figs. 15/16).  Both must reserve energy for the worst case, which is
+    why their thresholds sit higher than NVP's (Table 1: 3.2/3.4). *)
+
+module Dirty : sig
+  include Sweep_machine.Machine_intf.S
+
+  val packed :
+    Sweep_machine.Config.t -> Sweep_isa.Program.t ->
+    Sweep_machine.Machine_intf.packed
+end
+
+module Entire : sig
+  include Sweep_machine.Machine_intf.S
+
+  val packed :
+    Sweep_machine.Config.t -> Sweep_isa.Program.t ->
+    Sweep_machine.Machine_intf.packed
+end

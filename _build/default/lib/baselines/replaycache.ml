@@ -1,0 +1,270 @@
+module Cfg = Sweep_machine.Config
+module Cost = Sweep_machine.Cost
+module Cpu = Sweep_machine.Cpu
+module Exec = Sweep_machine.Exec
+module Mstats = Sweep_machine.Mstats
+module Nvm = Sweep_mem.Nvm
+module Cache = Sweep_mem.Cache
+module E = Sweep_energy.Energy_config
+module Layout = Sweep_isa.Layout
+
+let name = "ReplayCache"
+
+type t = {
+  cfg : Cfg.t;
+  prog : Sweep_isa.Program.t;
+  cpu : Cpu.t;
+  nvm : Nvm.t;
+  cache : Cache.t;
+  stats : Mstats.t;
+  detector : Sweep_energy.Detector.t;
+  mutable pending : float list;
+      (** completion times of in-flight clwbs, oldest first; data reaches
+          NVM eagerly, timing carried here *)
+  mutable queue_tail : float;  (** completion time of the newest clwb *)
+  mutable shadow : shadow option;
+}
+
+and shadow = {
+  s_regs : int array;
+  s_pc : int;
+  s_replay : (int * int array) list;
+      (** Dirty lines whose clwb had not yet executed at backup time:
+          store integrity lets recovery replay those stores, which we
+          model by reapplying the line images (costed as replay). *)
+}
+
+let create cfg prog =
+  let nvm = Nvm.create () in
+  Sweep_machine.Loader.load nvm prog;
+  let detector =
+    match cfg.Cfg.detector_override with
+    | Some d -> d
+    | None -> Sweep_energy.Detector.jit ~v_backup:2.9 ~v_restore:3.2
+  in
+  {
+    cfg;
+    prog;
+    cpu = Cpu.create ~entry:prog.entry;
+    nvm;
+    cache =
+      Cache.create ~size_bytes:cfg.Cfg.cache_size_bytes ~assoc:cfg.Cfg.cache_assoc;
+    stats = Mstats.create ();
+    detector;
+    pending = [];
+    queue_tail = 0.0;
+    shadow = None;
+  }
+
+let cpu t = t.cpu
+let nvm t = t.nvm
+let cache t = Some t.cache
+let mstats t = t.stats
+let detector t = t.detector
+let halted t = t.cpu.Cpu.halted
+let e t = t.cfg.Cfg.energy
+
+let hit_cost t =
+  Cost.make
+    ~ns:(float_of_int (e t).E.cache_hit_cycles *. E.cycle_ns (e t))
+    ~joules:(e t).E.e_cache_access
+
+let sync t now = t.pending <- List.filter (fun done_at -> done_at > now) t.pending
+
+(* Stall-time power is charged uniformly by the executor. *)
+let stall_cost _ ns = Cost.make ~ns ~joules:0.0
+
+let fill t addr =
+  let victim = Cache.victim t.cache addr in
+  let evict_cost =
+    (* clwb cleans lines right after each store, so dirty victims are
+       rare (a store whose clwb was the very last instruction before the
+       miss); write them back synchronously. *)
+    if victim.Cache.valid && victim.Cache.dirty then begin
+      Nvm.write_line t.nvm victim.Cache.base victim.Cache.data;
+      Cost.make ~ns:(e t).E.nvm_write_ns ~joules:(e t).E.e_nvm_line_write
+    end
+    else Cost.zero
+  in
+  let base = Layout.line_base addr in
+  let data = Nvm.read_line t.nvm base in
+  let line = Cache.install t.cache addr data in
+  ( line,
+    Cost.(
+      evict_cost
+      ++ make ~ns:(e t).E.nvm_read_ns ~joules:(e t).E.e_nvm_read
+      ++ hit_cost t) )
+
+let load t addr now =
+  sync t now;
+  match Cache.find t.cache addr with
+  | Some line ->
+    Cache.record_hit t.cache;
+    Cache.touch t.cache line;
+    (Cache.read_word line addr, hit_cost t)
+  | None ->
+    Cache.record_miss t.cache;
+    let line, cost = fill t addr in
+    (Cache.read_word line addr, cost)
+
+let store t addr value now =
+  sync t now;
+  match Cache.find t.cache addr with
+  | Some line ->
+    Cache.record_hit t.cache;
+    Cache.touch t.cache line;
+    Cache.write_word line addr value;
+    line.Cache.dirty <- true;
+    hit_cost t
+  | None ->
+    Cache.record_miss t.cache;
+    let line, cost = fill t addr in
+    Cache.write_word line addr value;
+    line.Cache.dirty <- true;
+    cost
+
+(* Enqueue an asynchronous line write-back.  NVM contents update eagerly
+   (values are identical either way); the completion time models the
+   write bandwidth, and a full queue stalls the pipeline. *)
+let clwb t addr now =
+  sync t now;
+  let base = Layout.line_base addr in
+  let stall =
+    if List.length t.pending >= t.cfg.Cfg.replay_queue then begin
+      match t.pending with
+      | oldest :: rest ->
+        t.pending <- rest;
+        max 0.0 (oldest -. now)
+      | [] -> 0.0
+    end
+    else 0.0
+  in
+  let now = now +. stall in
+  (match Cache.find t.cache base with
+  | Some line ->
+    Nvm.write_line t.nvm base line.Cache.data;
+    line.Cache.dirty <- false
+  | None ->
+    (* The line was evicted between the store and its clwb — cannot
+       happen with adjacent instructions, but stay total. *)
+    ());
+  let done_at = max now t.queue_tail +. (e t).E.clwb_drain_ns in
+  t.queue_tail <- done_at;
+  t.pending <- t.pending @ [ done_at ];
+  Cost.(stall_cost t stall ++ make ~ns:0.0 ~joules:(e t).E.e_nvm_line_write)
+
+let fence t now =
+  sync t now;
+  let target = List.fold_left max now t.pending in
+  let stall = target -. now in
+  t.pending <- [];
+  t.stats.Mstats.persistence_ns <- t.stats.Mstats.persistence_ns +. stall;
+  t.stats.Mstats.wait_ns <- t.stats.Mstats.wait_ns +. stall;
+  stall_cost t stall
+
+let mem_ops t =
+  {
+    Exec.load = (fun addr now -> load t addr now);
+    store = (fun addr value now -> store t addr value now);
+    clwb = (fun addr now -> clwb t addr now);
+    fence = (fun now -> fence t now);
+    region_end = (fun _ -> Cost.zero);
+  }
+
+let step t ~now_ns = Exec.step t.cfg t.cpu t.prog t.stats (mem_ops t) ~now_ns
+
+let jit_backup_cost t = Some (Jit_common.reg_backup (e t))
+
+let commit_jit_backup t ~now_ns =
+  (* Stores whose clwb is still in flight at backup time will be
+     "replayed" at recovery: count them now.  Dirty lines are stores
+     whose clwb instruction had not even executed yet — store integrity
+     covers them, so they join the replay set. *)
+  sync t now_ns;
+  t.stats.Mstats.replayed_stores <-
+    t.stats.Mstats.replayed_stores + List.length t.pending;
+  let s_replay =
+    List.map
+      (fun line -> (line.Cache.base, Array.copy line.Cache.data))
+      (Cache.dirty_lines t.cache)
+  in
+  let s_regs, s_pc = Cpu.snapshot t.cpu in
+  t.shadow <- Some { s_regs; s_pc; s_replay }
+
+let continues_after_backup = false
+
+let on_power_failure t ~now_ns =
+  sync t now_ns;
+  Cache.invalidate_all t.cache;
+  Cpu.reset t.cpu ~entry:t.prog.entry;
+  Mstats.reset_region_counters t.stats
+
+let on_reboot t ~now_ns:_ =
+  let replayed = ref (List.length t.pending) in
+  t.pending <- [];
+  t.queue_tail <- 0.0;
+  (match t.shadow with
+  | Some { s_regs; s_pc; s_replay } ->
+    Cpu.restore t.cpu (s_regs, s_pc);
+    List.iter
+      (fun (base, data) ->
+        Nvm.write_line t.nvm base data;
+        incr replayed)
+      s_replay
+  | None -> Cpu.reset t.cpu ~entry:t.prog.entry);
+  (* Replay runs the recovery block: one NVM read (operands) and one NVM
+     write per unpersisted store, sequentially (§2.2: slow recovery). *)
+  let n = float_of_int !replayed in
+  let cost =
+    Cost.(
+      Jit_common.reg_restore (e t)
+      ++ make
+           ~ns:(n *. ((e t).E.nvm_read_ns +. (e t).E.nvm_write_ns))
+           ~joules:(n *. ((e t).E.e_nvm_read +. (e t).E.e_nvm_line_write)))
+  in
+  t.stats.Mstats.restore_events <- t.stats.Mstats.restore_events + 1;
+  t.stats.Mstats.restore_joules <- t.stats.Mstats.restore_joules +. cost.Cost.joules;
+  cost
+
+let drain t ~now_ns =
+  let target = List.fold_left max now_ns t.pending in
+  t.pending <- [];
+  (* Any still-dirty lines (stores without a reached clwb cannot exist in
+     Replay-mode programs, but examples may run Plain code here). *)
+  let dirty = Cache.dirty_lines t.cache in
+  List.iter
+    (fun line ->
+      Nvm.write_line t.nvm line.Cache.base line.Cache.data;
+      line.Cache.dirty <- false)
+    dirty;
+  let n = float_of_int (List.length dirty) in
+  Cost.make
+    ~ns:(target -. now_ns +. (n *. (e t).E.nvm_write_ns))
+    ~joules:(n *. (e t).E.e_nvm_line_write)
+
+type t_alias = t
+
+let packed cfg prog =
+  let m =
+    (module struct
+      type t = t_alias
+
+      let name = name
+      let create = create
+      let cpu = cpu
+      let nvm = nvm
+      let cache = cache
+      let mstats = mstats
+      let detector = detector
+      let step = step
+      let halted = halted
+      let jit_backup_cost = jit_backup_cost
+      let commit_jit_backup = commit_jit_backup
+      let continues_after_backup = continues_after_backup
+      let on_power_failure = on_power_failure
+      let on_reboot = on_reboot
+      let drain = drain
+    end : Sweep_machine.Machine_intf.S
+      with type t = t_alias)
+  in
+  Sweep_machine.Machine_intf.Packed (m, create cfg prog)

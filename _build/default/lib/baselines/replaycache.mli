@@ -1,0 +1,20 @@
+(** ReplayCache (paper Fig. 1(d), §2.2) — the state-of-the-art baseline.
+
+    A write-back volatile cache where the compiler follows every store
+    with a [clwb] of its cacheline and fences at each region end, so a
+    region's stores are persistent before the next region may reuse its
+    registers.  JIT checkpointing covers the register file only; on
+    recovery, the stores still pending at the failure are replayed
+    sequentially (we charge the replay cost and re-apply the pending
+    queue — see DESIGN.md on the store-integrity shortcut).
+
+    Pending clwbs drain through a small background write queue; a full
+    queue stalls the next clwb, and a fence stalls until the queue is
+    empty — this is where ReplayCache loses persist coalescing (one
+    64-byte NVM write per store, Fig. 16). *)
+
+include Sweep_machine.Machine_intf.S
+
+val packed :
+  Sweep_machine.Config.t -> Sweep_isa.Program.t ->
+  Sweep_machine.Machine_intf.packed

@@ -1,0 +1,142 @@
+module Cfg = Sweep_machine.Config
+module Cost = Sweep_machine.Cost
+module Cpu = Sweep_machine.Cpu
+module Exec = Sweep_machine.Exec
+module Mstats = Sweep_machine.Mstats
+module Nvm = Sweep_mem.Nvm
+module Cache = Sweep_mem.Cache
+module E = Sweep_energy.Energy_config
+module Layout = Sweep_isa.Layout
+
+let name = "WT-VCache"
+
+type t = {
+  cfg : Cfg.t;
+  prog : Sweep_isa.Program.t;
+  cpu : Cpu.t;
+  nvm : Nvm.t;
+  cache : Cache.t;
+  stats : Mstats.t;
+  detector : Sweep_energy.Detector.t;
+  mutable shadow : (int array * int) option;
+}
+
+let create cfg prog =
+  let nvm = Nvm.create () in
+  Sweep_machine.Loader.load nvm prog;
+  let detector =
+    match cfg.Cfg.detector_override with
+    | Some d -> d
+    | None -> Sweep_energy.Detector.jit ~v_backup:2.9 ~v_restore:3.2
+  in
+  {
+    cfg;
+    prog;
+    cpu = Cpu.create ~entry:prog.entry;
+    nvm;
+    cache =
+      Cache.create ~size_bytes:cfg.Cfg.cache_size_bytes ~assoc:cfg.Cfg.cache_assoc;
+    stats = Mstats.create ();
+    detector;
+    shadow = None;
+  }
+
+let cpu t = t.cpu
+let nvm t = t.nvm
+let cache t = Some t.cache
+let mstats t = t.stats
+let detector t = t.detector
+let halted t = t.cpu.Cpu.halted
+let e t = t.cfg.Cfg.energy
+
+let hit_cost t =
+  Cost.make
+    ~ns:(float_of_int (e t).E.cache_hit_cycles *. E.cycle_ns (e t))
+    ~joules:(e t).E.e_cache_access
+
+let load t addr =
+  match Cache.find t.cache addr with
+  | Some line ->
+    Cache.record_hit t.cache;
+    Cache.touch t.cache line;
+    (Cache.read_word line addr, hit_cost t)
+  | None ->
+    Cache.record_miss t.cache;
+    (* Write-through lines are never dirty, so eviction is silent. *)
+    let base = Layout.line_base addr in
+    let data = Nvm.read_line t.nvm base in
+    let line = Cache.install t.cache addr data in
+    ( Cache.read_word line addr,
+      Cost.(
+        make ~ns:(e t).E.nvm_read_ns ~joules:(e t).E.e_nvm_read ++ hit_cost t) )
+
+let store t addr value =
+  (* Write-through, no-write-allocate: update the line if present, and
+     always write NVM synchronously. *)
+  (match Cache.find t.cache addr with
+  | Some line ->
+    Cache.record_hit t.cache;
+    Cache.touch t.cache line;
+    Cache.write_word line addr value
+  | None -> Cache.record_miss t.cache);
+  Nvm.write_word t.nvm addr value;
+  Cost.make ~ns:(e t).E.nvm_write_ns ~joules:(e t).E.e_nvm_write
+
+let mem_ops t =
+  Exec.nop_region_ops
+    {
+      Exec.load = (fun addr _ -> load t addr);
+      store = (fun addr value _ -> store t addr value);
+      clwb = (fun _ _ -> Cost.zero);
+      fence = (fun _ -> Cost.zero);
+      region_end = (fun _ -> Cost.zero);
+    }
+
+let step t ~now_ns = Exec.step t.cfg t.cpu t.prog t.stats (mem_ops t) ~now_ns
+
+let jit_backup_cost t = Some (Jit_common.reg_backup (e t))
+let commit_jit_backup t ~now_ns:_ = t.shadow <- Some (Cpu.snapshot t.cpu)
+let continues_after_backup = false
+
+let on_power_failure t ~now_ns:_ =
+  Cache.invalidate_all t.cache;
+  Cpu.reset t.cpu ~entry:t.prog.entry;
+  Mstats.reset_region_counters t.stats
+
+let on_reboot t ~now_ns:_ =
+  (match t.shadow with
+  | Some snap -> Cpu.restore t.cpu snap
+  | None -> Cpu.reset t.cpu ~entry:t.prog.entry);
+  let cost = Jit_common.reg_restore (e t) in
+  t.stats.Mstats.restore_events <- t.stats.Mstats.restore_events + 1;
+  t.stats.Mstats.restore_joules <- t.stats.Mstats.restore_joules +. cost.Cost.joules;
+  cost
+
+let drain _ ~now_ns:_ = Cost.zero
+
+type t_alias = t
+
+let packed cfg prog =
+  let m =
+    (module struct
+      type t = t_alias
+
+      let name = name
+      let create = create
+      let cpu = cpu
+      let nvm = nvm
+      let cache = cache
+      let mstats = mstats
+      let detector = detector
+      let step = step
+      let halted = halted
+      let jit_backup_cost = jit_backup_cost
+      let commit_jit_backup = commit_jit_backup
+      let continues_after_backup = continues_after_backup
+      let on_power_failure = on_power_failure
+      let on_reboot = on_reboot
+      let drain = drain
+    end : Sweep_machine.Machine_intf.S
+      with type t = t_alias)
+  in
+  Sweep_machine.Machine_intf.Packed (m, create cfg prog)

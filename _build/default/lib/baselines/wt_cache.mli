@@ -1,0 +1,13 @@
+(** NVP with a write-through volatile cache (paper Fig. 1(b)).
+
+    Loads hit the SRAM cache; every committed store pays the full NVM
+    write latency (no write coalescing, no out-of-order pipeline to hide
+    it — §2.2's "straightforward but naive" design).  JIT checkpointing
+    covers only the register file; the cache needs no backup because NVM
+    always holds every committed value. *)
+
+include Sweep_machine.Machine_intf.S
+
+val packed :
+  Sweep_machine.Config.t -> Sweep_isa.Program.t ->
+  Sweep_machine.Machine_intf.packed

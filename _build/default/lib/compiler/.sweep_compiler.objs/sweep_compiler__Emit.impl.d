@@ -1,0 +1,1 @@
+lib/compiler/emit.ml: Array Frame List Mcfg Sweep_isa

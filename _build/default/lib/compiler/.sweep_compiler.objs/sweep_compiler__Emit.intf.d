@@ -1,0 +1,1 @@
+lib/compiler/emit.mli: Frame Mcfg Sweep_isa

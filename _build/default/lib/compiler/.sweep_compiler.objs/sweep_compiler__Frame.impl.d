@@ -1,0 +1,1 @@
+lib/compiler/frame.ml: Array Hashtbl Layout List Sweep_isa Sweep_lang

@@ -1,0 +1,1 @@
+lib/compiler/inline.ml: Hashtbl List Option Printf Sweep_lang

@@ -1,0 +1,1 @@
+lib/compiler/inline.mli: Sweep_lang

@@ -1,0 +1,1 @@
+lib/compiler/lower.ml: Array Frame Hashtbl List Option Sweep_isa Sweep_lang Tac

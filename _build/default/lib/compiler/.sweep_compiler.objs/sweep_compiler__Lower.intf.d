@@ -1,0 +1,1 @@
+lib/compiler/lower.mli: Frame Sweep_lang Tac

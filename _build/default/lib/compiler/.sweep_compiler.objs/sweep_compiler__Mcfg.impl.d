@@ -1,0 +1,1 @@
+lib/compiler/mcfg.ml: Array List Printf Sweep_isa

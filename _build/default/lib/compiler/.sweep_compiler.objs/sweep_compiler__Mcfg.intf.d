@@ -1,0 +1,1 @@
+lib/compiler/mcfg.mli: Sweep_isa

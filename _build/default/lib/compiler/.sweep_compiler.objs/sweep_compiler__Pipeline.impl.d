@@ -1,0 +1,1 @@
+lib/compiler/pipeline.ml: Emit Frame Inline List Lower Regalloc Regions Sweep_energy Sweep_isa Unroll

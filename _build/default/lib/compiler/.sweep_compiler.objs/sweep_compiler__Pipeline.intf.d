@@ -1,0 +1,1 @@
+lib/compiler/pipeline.mli: Sweep_isa Sweep_lang

@@ -1,0 +1,1 @@
+lib/compiler/regalloc.ml: Array Frame Fun Hashtbl Int List Mcfg Set Sweep_isa Tac

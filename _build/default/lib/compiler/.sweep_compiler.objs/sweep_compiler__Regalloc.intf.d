@@ -1,0 +1,1 @@
+lib/compiler/regalloc.mli: Frame Mcfg Tac

@@ -1,0 +1,1 @@
+lib/compiler/regions.ml: Array Int List Mcfg Printf Set Sweep_isa

@@ -1,0 +1,1 @@
+lib/compiler/regions.mli: Mcfg Sweep_isa

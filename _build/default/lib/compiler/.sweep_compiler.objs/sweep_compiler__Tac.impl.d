@@ -1,0 +1,1 @@
+lib/compiler/tac.ml: Array Format List Sweep_isa

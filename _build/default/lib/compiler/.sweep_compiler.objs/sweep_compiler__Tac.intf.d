@@ -1,0 +1,1 @@
+lib/compiler/tac.mli: Format Sweep_isa

@@ -1,0 +1,1 @@
+lib/compiler/unroll.ml: List Printf Sweep_lang

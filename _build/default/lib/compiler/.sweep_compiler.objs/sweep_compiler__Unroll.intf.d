@@ -1,0 +1,1 @@
+lib/compiler/unroll.mli: Sweep_lang

@@ -1,0 +1,48 @@
+module I = Sweep_isa.Instr
+module Reg = Sweep_isa.Reg
+module Program = Sweep_isa.Program
+
+let emit_func (f : Mcfg.func) =
+  let items = ref [] in
+  let out it = items := it :: !items in
+  let n = Array.length f.blocks in
+  Array.iteri
+    (fun idx (b : Mcfg.block) ->
+      out (Program.Label (Mcfg.block_label f b.id));
+      List.iter
+        (fun item ->
+          match item with
+          | Mcfg.I ins -> out (Program.Ins ins)
+          | Mcfg.L lbl -> out (Program.Label lbl))
+        b.items;
+      let label id = Mcfg.block_label f id in
+      let falls_to id = idx + 1 < n && id = idx + 1 in
+      match b.term with
+      | Mcfg.Tjmp t -> if not (falls_to t) then out (Program.Ins (I.Jmp (label t)))
+      | Mcfg.Tbr (c, a, rb, taken, fall) ->
+        out (Program.Ins (I.Br (c, a, rb, label taken)));
+        if not (falls_to fall) then out (Program.Ins (I.Jmp (label fall)))
+      | Mcfg.Tret_leaf -> out (Program.Ins (I.Jmp_reg Reg.link))
+      | Mcfg.Tret_nonleaf slot ->
+        out (Program.Ins (I.Load_abs (Reg.scratch0, slot)));
+        out (Program.Ins (I.Jmp_reg Reg.scratch0))
+      | Mcfg.Thalt -> out (Program.Ins I.Halt))
+    f.blocks;
+  List.rev !items
+
+let program frame ~main funcs =
+  let ordered =
+    (* Main first so the program entry is instruction-dense at the top;
+       the entry label still drives execution, so order is cosmetic. *)
+    let mains, rest = List.partition (fun f -> f.Mcfg.name = main) funcs in
+    mains @ rest
+  in
+  let items = List.concat_map emit_func ordered in
+  let layout = Sweep_isa.Layout.make ~data_limit:(Frame.data_limit frame) in
+  let meta =
+    {
+      Program.functions = List.map (fun f -> (f.Mcfg.name, f.Mcfg.name)) ordered;
+      initial_data = Frame.initial_data frame;
+    }
+  in
+  Program.assemble ~meta ~layout ~entry:main items

@@ -1,0 +1,8 @@
+(** Linearisation of machine CFGs into an assembled {!Sweep_isa.Program.t}.
+
+    Functions are emitted in declaration order; within a function, blocks
+    in id order with fall-through jump elision.  A function's entry block
+    is labelled with the function name so calls resolve directly. *)
+
+val program :
+  Frame.t -> main:string -> Mcfg.func list -> Sweep_isa.Program.t

@@ -1,0 +1,146 @@
+open Sweep_lang.Ast
+
+let counter = ref 0
+let site_counter = ref 0
+
+let rec size_of_stmts stmts = List.fold_left (fun a s -> a + size_of_stmt s) 0 stmts
+
+and size_of_stmt = function
+  | Assign _ | Set_global _ | Store _ | Call_stmt _ | Return _ -> 1
+  | If (_, t, e) -> 1 + size_of_stmts t + size_of_stmts e
+  | While (_, b) | For (_, _, _, b) -> 2 + size_of_stmts b
+
+(* Returns appearing anywhere except as the final top-level statement
+   make a callee uninlinable (they would need control-flow surgery). *)
+let rec has_inner_return stmts =
+  match stmts with
+  | [] -> false
+  | [ Return _ ] -> false
+  | s :: rest -> stmt_contains_return s || has_inner_return rest
+
+and stmt_contains_return = function
+  | Return _ -> true
+  | If (_, t, e) -> has_inner_return' t || has_inner_return' e
+  | While (_, b) | For (_, _, _, b) -> has_inner_return' b
+  | Assign _ | Set_global _ | Store _ | Call_stmt _ -> false
+
+and has_inner_return' stmts = List.exists stmt_contains_return stmts
+
+let inlinable ~max_size (f : func) =
+  f.fname <> "main"
+  && size_of_stmts f.body <= max_size
+  && not (has_inner_return f.body)
+
+(* Rename the callee's locals (params included) apart from the caller's. *)
+let rec rename_stmt table = function
+  | Assign (v, e) -> Assign (rename_var table v, rename_expr table e)
+  | Set_global (g, e) -> Set_global (g, rename_expr table e)
+  | Store (a, idx, v) -> Store (a, rename_expr table idx, rename_expr table v)
+  | If (c, t, e) ->
+    If (rename_expr table c, List.map (rename_stmt table) t,
+        List.map (rename_stmt table) e)
+  | While (c, b) -> While (rename_expr table c, List.map (rename_stmt table) b)
+  | For (v, lo, hi, b) ->
+    For (rename_var table v, rename_expr table lo, rename_expr table hi,
+         List.map (rename_stmt table) b)
+  | Call_stmt (f, args) -> Call_stmt (f, List.map (rename_expr table) args)
+  | Return e -> Return (Option.map (rename_expr table) e)
+
+and rename_expr table = function
+  | Int n -> Int n
+  | Var v -> Var (rename_var table v)
+  | Global g -> Global g
+  | Load (a, idx) -> Load (a, rename_expr table idx)
+  | Binop (op, a, b) -> Binop (op, rename_expr table a, rename_expr table b)
+  | Call (f, args) -> Call (f, List.map (rename_expr table) args)
+
+and rename_var table v =
+  match Hashtbl.find_opt table v with
+  | Some v' -> v'
+  | None ->
+    let v' = Printf.sprintf "__i%d_%s" !site_counter v in
+    Hashtbl.replace table v v';
+    v'
+
+(* Expand one call: bind arguments to renamed parameters, splice the
+   renamed body, and turn a trailing [Return e] into an assignment to
+   [result] (when requested). *)
+let expand (callee : func) args ~result =
+  incr counter;
+  incr site_counter;
+  let table = Hashtbl.create 8 in
+  let binds =
+    List.map2 (fun p arg -> Assign (rename_var table p, arg)) callee.params args
+  in
+  let body = List.map (rename_stmt table) callee.body in
+  let rec rewrite_tail acc = function
+    | [ Return e ] ->
+      let tail =
+        match (result, e) with
+        | Some x, Some e -> [ Assign (x, e) ]
+        | Some x, None -> [ Assign (x, Int 0) ]
+        | None, _ -> []
+      in
+      List.rev_append acc tail
+    | [] -> (
+      match result with
+      | Some x -> List.rev (Assign (x, Int 0) :: acc)
+      | None -> List.rev acc)
+    | s :: rest -> rewrite_tail (s :: acc) rest
+  in
+  binds @ rewrite_tail [] body
+
+let rec transform_stmts env stmts = List.concat_map (transform_stmt env) stmts
+
+and transform_stmt env stmt =
+  match stmt with
+  | Assign (x, Call (f, args))
+    when Hashtbl.mem env f
+         && List.for_all (fun a -> not (expr_has_call a)) args ->
+    expand (Hashtbl.find env f) args ~result:(Some x)
+  | Call_stmt (f, args)
+    when Hashtbl.mem env f
+         && List.for_all (fun a -> not (expr_has_call a)) args ->
+    expand (Hashtbl.find env f) args ~result:None
+  | Set_global (g, Call (f, args))
+    when Hashtbl.mem env f
+         && List.for_all (fun a -> not (expr_has_call a)) args ->
+    let tmp = Printf.sprintf "__ir%d" (!site_counter + 1) in
+    expand (Hashtbl.find env f) args ~result:(Some tmp)
+    @ [ Set_global (g, Var tmp) ]
+  | If (c, t, e) -> [ If (c, transform_stmts env t, transform_stmts env e) ]
+  | While (c, b) -> [ While (c, transform_stmts env b) ]
+  | For (v, lo, hi, b) -> [ For (v, lo, hi, transform_stmts env b) ]
+  | Assign _ | Set_global _ | Store _ | Call_stmt _ | Return _ -> [ stmt ]
+
+and expr_has_call = function
+  | Int _ | Var _ | Global _ -> false
+  | Load (_, e) -> expr_has_call e
+  | Binop (_, a, b) -> expr_has_call a || expr_has_call b
+  | Call _ -> true
+
+let one_round ~max_size (prog : program) =
+  let env = Hashtbl.create 8 in
+  List.iter
+    (fun f -> if inlinable ~max_size f then Hashtbl.replace env f.fname f)
+    prog.funcs;
+  let funcs =
+    List.map (fun f -> { f with body = transform_stmts env f.body }) prog.funcs
+  in
+  { prog with funcs }
+
+let program ?(max_size = 16) ?(rounds = 3) prog =
+  counter := 0;
+  let rec go n prog =
+    if n = 0 then prog
+    else begin
+      let before = !counter in
+      let prog' = one_round ~max_size prog in
+      if !counter = before then prog' else go (n - 1) prog'
+    end
+  in
+  let result = go rounds prog in
+  validate result;
+  result
+
+let inlined_calls () = !counter

@@ -1,0 +1,23 @@
+(** Small-function inlining (paper §5).
+
+    The paper leaves "small function inlining" as future work for
+    enlarging regions: every call costs a function-entry and a
+    function-exit boundary, so benchmarks with hot helpers (pegwit's
+    field arithmetic, rijndael's round helpers) fragment into many tiny
+    regions.  This pass inlines small, single-exit callees at
+    [Assign]-from-call and [Call_stmt] sites, with locals renamed apart.
+
+    A function is inlinable when its body is at most [max_size]
+    statements, contains no [Return] except optionally as the last
+    top-level statement, and (transitively) no recursion — guaranteed by
+    {!Sweep_lang.Ast.validate}. *)
+
+val program :
+  ?max_size:int -> ?rounds:int -> Sweep_lang.Ast.program -> Sweep_lang.Ast.program
+(** [program p] returns a semantically identical program with eligible
+    call sites expanded.  [max_size] defaults to 16 statements; [rounds]
+    (default 3) bounds call-chain inlining depth.  Uninlinable calls are
+    left untouched. *)
+
+val inlined_calls : unit -> int
+(** Number of call sites expanded by the most recent call. *)

@@ -1,0 +1,259 @@
+open Sweep_lang.Ast
+module I = Sweep_isa.Instr
+
+type builder = {
+  frame : Frame.t;
+  fname : string;
+  mutable vregs : int;
+  mutable blocks : Tac.block list; (* reversed *)
+  mutable nblocks : int;
+  mutable cur : Tac.block;
+  env : (string, Tac.vreg) Hashtbl.t;
+}
+
+let fresh b =
+  let v = b.vregs in
+  b.vregs <- v + 1;
+  v
+
+let new_block ?(loop_header = false) b =
+  let blk =
+    { Tac.id = b.nblocks; instrs = []; term = Tac.Ret; is_loop_header = loop_header }
+  in
+  b.nblocks <- b.nblocks + 1;
+  b.blocks <- blk :: b.blocks;
+  blk
+
+let emit b i = b.cur.instrs <- i :: b.cur.instrs
+
+let set_term b t = b.cur.term <- t
+
+let switch_to b blk = b.cur <- blk
+
+let var_reg b name =
+  match Hashtbl.find_opt b.env name with
+  | Some v -> v
+  | None ->
+    let v = fresh b in
+    Hashtbl.replace b.env name v;
+    v
+
+let word = Sweep_isa.Layout.word_bytes
+
+(* Evaluate [e] into [target] if given, else into a fresh or existing
+   vreg; returns the vreg holding the value. *)
+let rec eval ?target b e =
+  let into d = Option.value target ~default:d in
+  match e with
+  | Int n ->
+    let d = into (fresh b) in
+    emit b (Tac.Movi (d, n));
+    d
+  | Var x ->
+    let v = var_reg b x in
+    (match target with
+    | None -> v
+    | Some d ->
+      if d <> v then emit b (Tac.Mov (d, v));
+      d)
+  | Global g ->
+    let d = into (fresh b) in
+    emit b (Tac.Load_abs (d, Frame.global_addr b.frame g));
+    d
+  | Load (arr, idx) ->
+    let base = Frame.global_addr b.frame arr in
+    let d = into (fresh b) in
+    (match idx with
+    | Int n -> emit b (Tac.Load_abs (d, base + (n * word)))
+    | _ ->
+      let vi = eval b idx in
+      let t = fresh b in
+      emit b (Tac.Bini (I.Shl, t, vi, 2));
+      emit b (Tac.Load (d, t, base)));
+    d
+  | Binop (op, x, y) -> (
+    match (Sweep_lang.Ast.binop_of_arith op, Sweep_lang.Ast.cond_of_cmp op) with
+    | Some iop, _ -> (
+      match (x, y) with
+      | _, Int n when n >= 0 ->
+        let va = eval b x in
+        let d = into (fresh b) in
+        emit b (Tac.Bini (iop, d, va, n));
+        d
+      | _ ->
+        let va = eval b x in
+        let vb = eval b y in
+        let d = into (fresh b) in
+        emit b (Tac.Bin (iop, d, va, vb));
+        d)
+    | None, Some cond ->
+      let va = eval b x in
+      let vb = eval b y in
+      let d = into (fresh b) in
+      emit b (Tac.Set (cond, d, va, vb));
+      d
+    | None, None -> assert false)
+  | Call (f, args) ->
+    lower_call b f args;
+    let d = into (fresh b) in
+    emit b (Tac.Load_abs (d, Frame.result_slot b.frame f));
+    d
+
+and lower_call b f args =
+  List.iteri
+    (fun i a ->
+      let v = eval b a in
+      emit b (Tac.Store_abs (v, Frame.param_slot b.frame f i)))
+    args;
+  emit b (Tac.Call f)
+
+(* Lower a conditional jump on expression [c]: branch to [then_id] when
+   true, [else_id] when false.  Top-level comparisons map straight onto
+   branch conditions. *)
+let lower_branch b c then_id else_id =
+  match c with
+  | Binop (op, x, y) when Sweep_lang.Ast.cond_of_cmp op <> None ->
+    let cond = Option.get (Sweep_lang.Ast.cond_of_cmp op) in
+    let va = eval b x in
+    let vb = eval b y in
+    set_term b (Tac.Br (cond, va, vb, then_id, else_id))
+  | _ ->
+    let v = eval b c in
+    let z = fresh b in
+    emit b (Tac.Movi (z, 0));
+    set_term b (Tac.Br (I.Ne, v, z, then_id, else_id))
+
+let rec lower_stmts b stmts = List.iter (lower_stmt b) stmts
+
+and lower_stmt b stmt =
+  match stmt with
+  | Assign (x, e) ->
+    let vx = var_reg b x in
+    ignore (eval ~target:vx b e)
+  | Set_global (g, e) ->
+    let v = eval b e in
+    emit b (Tac.Store_abs (v, Frame.global_addr b.frame g))
+  | Store (arr, idx, value) ->
+    let base = Frame.global_addr b.frame arr in
+    (match idx with
+    | Int n ->
+      let vv = eval b value in
+      emit b (Tac.Store_abs (vv, base + (n * word)))
+    | _ ->
+      let vi = eval b idx in
+      let t = fresh b in
+      emit b (Tac.Bini (I.Shl, t, vi, 2));
+      let vv = eval b value in
+      emit b (Tac.Store (vv, t, base)))
+  | If (c, then_s, else_s) ->
+    let then_blk = new_block b in
+    let else_blk = new_block b in
+    let join_blk = new_block b in
+    lower_branch b c then_blk.id else_blk.id;
+    switch_to b then_blk;
+    lower_stmts b then_s;
+    set_term b (Tac.Jmp join_blk.id);
+    switch_to b else_blk;
+    lower_stmts b else_s;
+    set_term b (Tac.Jmp join_blk.id);
+    switch_to b join_blk
+  | While (c, body) ->
+    let header = new_block ~loop_header:true b in
+    let body_blk = new_block b in
+    let exit_blk = new_block b in
+    set_term b (Tac.Jmp header.id);
+    switch_to b header;
+    lower_branch b c body_blk.id exit_blk.id;
+    switch_to b body_blk;
+    lower_stmts b body;
+    set_term b (Tac.Jmp header.id);
+    switch_to b exit_blk
+  | For (x, lo, hi, body) ->
+    let vx = var_reg b x in
+    ignore (eval ~target:vx b lo);
+    let vhi = fresh b in
+    ignore (eval ~target:vhi b hi);
+    let header = new_block ~loop_header:true b in
+    let body_blk = new_block b in
+    let exit_blk = new_block b in
+    set_term b (Tac.Jmp header.id);
+    switch_to b header;
+    set_term b (Tac.Br (I.Lt, vx, vhi, body_blk.id, exit_blk.id));
+    switch_to b body_blk;
+    lower_stmts b body;
+    emit b (Tac.Bini (I.Add, vx, vx, 1));
+    set_term b (Tac.Jmp header.id);
+    switch_to b exit_blk
+  | Call_stmt (f, args) -> lower_call b f args
+  | Return e ->
+    (match e with
+    | Some e ->
+      let v = eval b e in
+      emit b (Tac.Store_abs (v, Frame.result_slot b.frame b.fname))
+    | None -> ());
+    set_term b Tac.Ret;
+    (* Anything after a return in the same statement list is dead; park
+       it in an unreachable block. *)
+    let dead = new_block b in
+    switch_to b dead
+
+let rec has_call_stmts stmts = List.exists has_call_stmt stmts
+
+and has_call_stmt = function
+  | Assign (_, e) | Set_global (_, e) -> has_call_expr e
+  | Store (_, i, v) -> has_call_expr i || has_call_expr v
+  | If (c, t, e) -> has_call_expr c || has_call_stmts t || has_call_stmts e
+  | While (c, body) -> has_call_expr c || has_call_stmts body
+  | For (_, lo, hi, body) ->
+    has_call_expr lo || has_call_expr hi || has_call_stmts body
+  | Call_stmt _ -> true
+  | Return (Some e) -> has_call_expr e
+  | Return None -> false
+
+and has_call_expr = function
+  | Int _ | Var _ | Global _ -> false
+  | Load (_, e) -> has_call_expr e
+  | Binop (_, a, b) -> has_call_expr a || has_call_expr b
+  | Call _ -> true
+
+let lower_func frame (f : func) : Tac.func =
+  let b =
+    {
+      frame;
+      fname = f.fname;
+      vregs = 0;
+      blocks = [];
+      nblocks = 0;
+      cur = { Tac.id = -1; instrs = []; term = Tac.Ret; is_loop_header = false };
+      env = Hashtbl.create 16;
+    }
+  in
+  let entry = new_block b in
+  switch_to b entry;
+  (* Parameter prologue: load each argument from its frame slot. *)
+  List.iteri
+    (fun i p ->
+      let v = var_reg b p in
+      emit b (Tac.Load_abs (v, Frame.param_slot frame f.fname i)))
+    f.params;
+  lower_stmts b f.body;
+  (* Fall-through return keeps the default [Ret] terminator. *)
+  let blocks = Array.of_list (List.rev b.blocks) in
+  Array.iter (fun blk -> blk.Tac.instrs <- List.rev blk.Tac.instrs) blocks;
+  Array.iteri (fun i blk -> assert (blk.Tac.id = i)) blocks;
+  {
+    Tac.fname = f.fname;
+    entry = entry.id;
+    blocks;
+    vreg_count = b.vregs;
+    is_leaf = not (has_call_stmts f.body);
+  }
+
+let program frame (prog : program) =
+  Sweep_lang.Ast.validate prog;
+  Frame.add_globals frame prog.globals;
+  List.iter
+    (fun (f : func) ->
+      Frame.declare_func frame f.fname ~arity:(List.length f.params))
+    prog.funcs;
+  List.map (lower_func frame) prog.funcs

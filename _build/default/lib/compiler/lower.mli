@@ -1,0 +1,13 @@
+(** Lowering: mini-language AST → per-function TAC control-flow graphs.
+
+    Calling convention (no recursion, static frames):
+    - arguments are stored into the callee's parameter slots before the
+      call; the callee's entry block loads them into virtual registers;
+    - results travel through the callee's result slot;
+    - loop headers are marked as such while the blocks are created, so no
+      loop analysis is required downstream. *)
+
+val program : Frame.t -> Sweep_lang.Ast.program -> Tac.func list
+(** Validates the program, allocates globals and frames in [Frame.t], and
+    lowers every function.  The result list preserves declaration order
+    (with main first if declared first). *)

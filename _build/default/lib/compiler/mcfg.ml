@@ -1,0 +1,96 @@
+module I = Sweep_isa.Instr
+module Reg = Sweep_isa.Reg
+
+type item =
+  | I of string I.t
+  | L of string
+
+type term =
+  | Tjmp of int
+  | Tbr of I.cond * Reg.t * Reg.t * int * int
+  | Tret_leaf
+  | Tret_nonleaf of int
+  | Thalt
+
+type block = {
+  id : int;
+  mutable items : item list;
+  mutable term : term;
+  is_loop_header : bool;
+}
+
+type func = {
+  name : string;
+  entry : int;
+  blocks : block array;
+  is_leaf : bool;
+  link_slot : int;
+}
+
+let succs = function
+  | Tjmp t -> [ t ]
+  | Tbr (_, _, _, t, f) -> [ t; f ]
+  | Tret_leaf | Tret_nonleaf _ | Thalt -> []
+
+let all_regs_mask = (1 lsl Reg.count) - 1
+let mask_of r = 1 lsl r
+let mask_mem m r = m land (1 lsl r) <> 0
+
+let regs_of_mask m =
+  let rec go r acc =
+    if r < 0 then acc
+    else go (r - 1) (if mask_mem m r then r :: acc else acc)
+  in
+  go (Reg.count - 1) []
+
+let mask_of_list rs = List.fold_left (fun acc r -> acc lor mask_of r) 0 rs
+
+let item_defs_mask = function
+  | L _ -> 0
+  | I (I.Call _) -> all_regs_mask
+  | I ins -> mask_of_list (I.defs ins)
+
+let item_uses_mask = function
+  | L _ -> 0
+  | I (I.Call _) -> 0
+  | I ins -> mask_of_list (I.uses ins)
+
+let term_uses_mask = function
+  | Tbr (_, a, b, _, _) -> mask_of a lor mask_of b
+  | Tret_leaf -> mask_of Reg.link
+  | Tjmp _ | Tret_nonleaf _ | Thalt -> 0
+
+(* Backward dataflow: live_out(b) = U live_in(s); live_in from a reverse
+   scan of the block's items and terminator. *)
+let live_in_of_block blk live_out =
+  let after_items = live_out lor term_uses_mask blk.term in
+  List.fold_left
+    (fun live item ->
+      live land lnot (item_defs_mask item) lor item_uses_mask item)
+    after_items
+    (List.rev blk.items)
+
+let liveness f =
+  let n = Array.length f.blocks in
+  let live_out = Array.make n 0 in
+  let live_in = Array.make n 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let blk = f.blocks.(i) in
+      let out =
+        List.fold_left (fun acc s -> acc lor live_in.(s)) 0 (succs blk.term)
+      in
+      let inn = live_in_of_block blk out in
+      if out <> live_out.(i) || inn <> live_in.(i) then begin
+        live_out.(i) <- out;
+        live_in.(i) <- inn;
+        changed := true
+      end
+    done
+  done;
+  live_out
+
+let block_label f id =
+  if id = f.entry then f.name else Printf.sprintf "%s__b%d" f.name id

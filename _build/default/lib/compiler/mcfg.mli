@@ -1,0 +1,60 @@
+(** Machine-level control-flow graph.
+
+    After register allocation, code is expressed in real ISA instructions
+    (with symbolic labels) but still organised as a CFG so that the region
+    pass can traverse it, count stores along paths, and insert boundaries
+    and checkpoint stores.  Emission then linearises it.
+
+    Register liveness here is over the 16 physical registers, represented
+    as an [int] bitmask.  A [Call] is modelled as defining *all* registers:
+    the calling convention keeps nothing alive in registers across a call
+    (the allocator spills every interval that crosses one), and this makes
+    region live-out sets — hence checkpoint stores — minimal and sound. *)
+
+type item =
+  | I of string Sweep_isa.Instr.t  (** a real instruction *)
+  | L of string                    (** a label attached to this point *)
+
+type term =
+  | Tjmp of int
+  | Tbr of Sweep_isa.Instr.cond * Sweep_isa.Reg.t * Sweep_isa.Reg.t * int * int
+      (** taken block, fallthrough block *)
+  | Tret_leaf                      (** jmp_reg link *)
+  | Tret_nonleaf of int            (** reload link from the slot, then jump *)
+  | Thalt
+
+type block = {
+  id : int;
+  mutable items : item list;       (** execution order *)
+  mutable term : term;
+  is_loop_header : bool;
+}
+
+type func = {
+  name : string;
+  entry : int;                     (** always block 0 *)
+  blocks : block array;
+  is_leaf : bool;
+  link_slot : int;                 (** meaningful for non-leaf functions *)
+}
+
+val succs : term -> int list
+
+val all_regs_mask : int
+val mask_of : Sweep_isa.Reg.t -> int
+val mask_mem : int -> Sweep_isa.Reg.t -> bool
+val regs_of_mask : int -> Sweep_isa.Reg.t list
+
+val item_defs_mask : item -> int
+(** Registers defined; [Call] returns {!all_regs_mask}. *)
+
+val item_uses_mask : item -> int
+
+val term_uses_mask : term -> int
+
+val liveness : func -> int array
+(** [liveness f] returns per-block live-out masks (fixpoint). *)
+
+val block_label : func -> int -> string
+(** Emission label of a block ("name" for the entry block,
+    "name__bN" otherwise). *)

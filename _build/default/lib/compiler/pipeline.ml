@@ -1,0 +1,94 @@
+type mode = Plain | Sweep | Replay
+
+type options = {
+  mode : mode;
+  store_threshold : int;
+  instr_cap : int;
+  unroll : bool;
+  max_unroll : int;
+  inline : bool;
+}
+
+(* The forward-progress cap comes from the EH model: a region (plus its
+   recovery re-execution) must fit one capacitor charge. *)
+let default_instr_cap =
+  Sweep_energy.Eh_model.region_instr_cap ~store_threshold:64 ()
+
+let default_options =
+  { mode = Sweep; store_threshold = 64; instr_cap = default_instr_cap;
+    unroll = true; max_unroll = 4; inline = false }
+
+let options ?(mode = Sweep) ?(store_threshold = 64)
+    ?(instr_cap = default_instr_cap) ?(unroll = true) ?(max_unroll = 4)
+    ?(inline = false) () =
+  { mode; store_threshold; instr_cap; unroll; max_unroll; inline }
+
+type compile_stats = {
+  boundaries : int;
+  ckpt_stores : int;
+  clwbs : int;
+  spills : int;
+  unrolled_loops : int;
+  inlined_calls : int;
+  static_instrs : int;
+  static_stores : int;
+  max_region_stores : int;
+}
+
+type compiled = {
+  program : Sweep_isa.Program.t;
+  stats : compile_stats;
+  globals : (string * int * int) list;
+}
+
+let compile ?(options = default_options) ast =
+  let ast = if options.inline then Inline.program ast else ast in
+  let inlined = if options.inline then Inline.inlined_calls () else 0 in
+  let ast =
+    if options.unroll then
+      Unroll.program ~threshold:options.store_threshold
+        ~max_factor:options.max_unroll ast
+    else ast
+  in
+  let unrolled = if options.unroll then Unroll.unrolled_loops () else 0 in
+  let frame = Frame.create () in
+  let tac_funcs = Lower.program frame ast in
+  let main = "main" in
+  let results = List.map (Regalloc.run frame ~main) tac_funcs in
+  let mfuncs = List.map (fun r -> r.Regalloc.mfunc) results in
+  let spills = List.fold_left (fun a r -> a + r.Regalloc.spills) 0 results in
+  (* The final layout is only known after spill slots are allocated, but
+     checkpoint-slot addresses are fixed constants, so the region pass can
+     use a provisional layout. *)
+  let layout = Sweep_isa.Layout.make ~data_limit:(Frame.data_limit frame) in
+  let region_stats =
+    match options.mode with
+    | Plain -> []
+    | Sweep ->
+      List.map
+        (Regions.run ~layout ~threshold:options.store_threshold
+           ~instr_cap:options.instr_cap ~mode:`Sweep)
+        mfuncs
+    | Replay ->
+      List.map
+        (Regions.run ~layout ~threshold:options.store_threshold
+           ~instr_cap:options.instr_cap ~mode:`Replay)
+        mfuncs
+  in
+  let program = Emit.program frame ~main mfuncs in
+  let sum f = List.fold_left (fun a s -> a + f s) 0 region_stats in
+  let maxi f = List.fold_left (fun a s -> max a (f s)) 0 region_stats in
+  let stats =
+    {
+      boundaries = sum (fun s -> s.Regions.boundaries);
+      ckpt_stores = sum (fun s -> s.Regions.ckpt_stores);
+      clwbs = sum (fun s -> s.Regions.clwbs);
+      spills;
+      unrolled_loops = unrolled;
+      inlined_calls = inlined;
+      static_instrs = Sweep_isa.Program.static_instruction_count program;
+      static_stores = Sweep_isa.Program.static_store_count program;
+      max_region_stores = maxi (fun s -> s.Regions.max_region_stores);
+    }
+  in
+  { program; stats; globals = Frame.global_names frame }

@@ -1,0 +1,53 @@
+(** End-to-end compilation driver.
+
+    Modes:
+    - [Plain]   — no region machinery; what NVP / WT / NVSRAM / NvMR run
+                  (their crash consistency is hardware JIT checkpointing).
+    - [Sweep]   — region boundaries + live-out/PC checkpoint stores
+                  (SweepCache, §3.1/§4.1).
+    - [Replay]  — the same region partition, instrumented with a clwb per
+                  store and a fence per boundary (ReplayCache, §2.2). *)
+
+type mode = Plain | Sweep | Replay
+
+type options = {
+  mode : mode;
+  store_threshold : int;  (** persist-buffer size; paper default 64 *)
+  instr_cap : int;
+      (** EH-model region-length cap; defaults to
+          {!Sweep_energy.Eh_model.region_instr_cap} for the paper's
+          470 nF configuration *)
+  unroll : bool;          (** loop unrolling for region enlargement *)
+  max_unroll : int;       (** unroll-factor cap; default 4 *)
+  inline : bool;
+      (** small-function inlining (paper §5 future work); off by default
+          to match the evaluated system, on for the ablation *)
+}
+
+val default_options : options
+(** [Sweep] mode with the paper's defaults. *)
+
+val options : ?mode:mode -> ?store_threshold:int -> ?instr_cap:int ->
+  ?unroll:bool -> ?max_unroll:int -> ?inline:bool -> unit -> options
+
+type compile_stats = {
+  boundaries : int;
+  ckpt_stores : int;
+  clwbs : int;
+  spills : int;
+  unrolled_loops : int;
+  inlined_calls : int;
+  static_instrs : int;
+  static_stores : int;
+  max_region_stores : int;
+}
+
+type compiled = {
+  program : Sweep_isa.Program.t;
+  stats : compile_stats;
+  globals : (string * int * int) list;
+      (** (name, base byte address, words) of every source global, for
+          checking final memory against the reference interpreter. *)
+}
+
+val compile : ?options:options -> Sweep_lang.Ast.program -> compiled

@@ -1,0 +1,294 @@
+module I = Sweep_isa.Instr
+module Reg = Sweep_isa.Reg
+module ISet = Set.Make (Int)
+
+type result = {
+  mfunc : Mcfg.func;
+  spills : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Dead-code elimination on TAC: drop pure instructions whose result is
+   never read.  Iterates because removing a use can kill its producer.  *)
+
+let dce (f : Tac.func) =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let used = Hashtbl.create 64 in
+    let note v = Hashtbl.replace used v () in
+    Array.iter
+      (fun (b : Tac.block) ->
+        List.iter (fun ins -> List.iter note (Tac.uses ins)) b.instrs;
+        List.iter note (Tac.term_uses b.term))
+      f.blocks;
+    let pure ins =
+      match (ins : Tac.instr) with
+      | Movi _ | Mov _ | Bin _ | Bini _ | Set _ | Load _ | Load_abs _ -> true
+      | Store _ | Store_abs _ | Call _ -> false
+    in
+    Array.iter
+      (fun (b : Tac.block) ->
+        let keep ins =
+          if pure ins then
+            match Tac.defs ins with
+            | [ d ] when not (Hashtbl.mem used d) ->
+              changed := true;
+              false
+            | _ -> true
+          else true
+        in
+        b.instrs <- List.filter keep b.instrs)
+      f.blocks
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Liveness over virtual registers (block granularity).                *)
+
+let vliveness (f : Tac.func) =
+  let n = Array.length f.blocks in
+  let live_in = Array.make n ISet.empty in
+  let live_out = Array.make n ISet.empty in
+  let block_live_in blk out =
+    let after = ISet.union out (ISet.of_list (Tac.term_uses blk.Tac.term)) in
+    List.fold_left
+      (fun live ins ->
+        let live = List.fold_left (fun s d -> ISet.remove d s) live (Tac.defs ins) in
+        List.fold_left (fun s u -> ISet.add u s) live (Tac.uses ins))
+      after
+      (List.rev blk.Tac.instrs)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let blk = f.blocks.(i) in
+      let out =
+        List.fold_left
+          (fun acc s -> ISet.union acc live_in.(s))
+          ISet.empty (Tac.succs blk.term)
+      in
+      let inn = block_live_in blk out in
+      if not (ISet.equal out live_out.(i)) || not (ISet.equal inn live_in.(i))
+      then begin
+        live_out.(i) <- out;
+        live_in.(i) <- inn;
+        changed := true
+      end
+    done
+  done;
+  (live_in, live_out)
+
+(* ------------------------------------------------------------------ *)
+(* Intervals.                                                          *)
+
+type location = In_reg of Reg.t | In_slot of int
+
+let build_intervals (f : Tac.func) =
+  let starts = Array.make f.vreg_count max_int in
+  let ends = Array.make f.vreg_count min_int in
+  let occurrences = Array.make f.vreg_count 0 in
+  let extend v p =
+    if p < starts.(v) then starts.(v) <- p;
+    if p > ends.(v) then ends.(v) <- p
+  in
+  let occur v p =
+    extend v p;
+    occurrences.(v) <- occurrences.(v) + 1
+  in
+  let live_in, live_out = vliveness f in
+  let calls = ref [] in
+  let pos = ref 0 in
+  Array.iteri
+    (fun bi (blk : Tac.block) ->
+      let block_start = !pos in
+      List.iter
+        (fun ins ->
+          let p = !pos in
+          List.iter (fun v -> occur v p) (Tac.uses ins);
+          List.iter (fun v -> occur v p) (Tac.defs ins);
+          (match ins with Tac.Call _ -> calls := p :: !calls | _ -> ());
+          incr pos)
+        blk.instrs;
+      let term_pos = !pos in
+      List.iter (fun v -> occur v term_pos) (Tac.term_uses blk.term);
+      incr pos;
+      ISet.iter (fun v -> extend v block_start) live_in.(bi);
+      ISet.iter (fun v -> extend v term_pos) live_out.(bi))
+    f.blocks;
+  (starts, ends, occurrences, List.rev !calls)
+
+let allocate frame (f : Tac.func) =
+  let starts, ends, occurrences, calls = build_intervals f in
+  let crosses_call s e = List.exists (fun p -> s < p && e >= p) calls in
+  let loc = Array.make (max f.vreg_count 1) (In_slot (-1)) in
+  let spills = ref 0 in
+  let spill v =
+    loc.(v) <- In_slot (Frame.alloc_spill frame f.fname);
+    incr spills
+  in
+  let intervals =
+    List.filter (fun v -> starts.(v) <= ends.(v)) (List.init f.vreg_count Fun.id)
+  in
+  let intervals = List.sort (fun a b -> compare starts.(a) starts.(b)) intervals in
+  let to_allocate =
+    List.filter
+      (fun v ->
+        if crosses_call starts.(v) ends.(v) then begin
+          spill v;
+          false
+        end
+        else true)
+      intervals
+  in
+  let free = ref Reg.allocatable in
+  let active = ref [] in (* (endpos, vreg, reg), sorted by endpos asc *)
+  let expire s =
+    let expired, still = List.partition (fun (e, _, _) -> e < s) !active in
+    List.iter (fun (_, _, r) -> free := r :: !free) expired;
+    active := still
+  in
+  let add_active entry =
+    active := List.sort (fun (a, _, _) (b, _, _) -> compare a b) (entry :: !active)
+  in
+  List.iter
+    (fun v ->
+      expire starts.(v);
+      match !free with
+      | r :: rest ->
+        free := rest;
+        loc.(v) <- In_reg r;
+        add_active (ends.(v), v, r)
+      | [] -> (
+        (* Choose the victim with the fewest static occurrences (spill
+           stores at defs inside loops would force region boundaries
+           there; a rarely-touched value — typically a loop bound — costs
+           only occasional reloads), breaking ties toward the furthest
+           end. *)
+        let weight w = (occurrences.(w), -ends.(w)) in
+        let victim =
+          List.fold_left
+            (fun best (_, w, _) -> if weight w < weight best then w else best)
+            v !active
+        in
+        if victim = v then spill v
+        else begin
+          let r =
+            match List.find (fun (_, w, _) -> w = victim) !active with
+            | _, _, r -> r
+          in
+          spill victim;
+          loc.(v) <- In_reg r;
+          active := List.filter (fun (_, w, _) -> w <> victim) !active;
+          add_active (ends.(v), v, r)
+        end))
+    to_allocate;
+  (loc, !spills)
+
+(* ------------------------------------------------------------------ *)
+(* Rewrite TAC into machine instructions.                              *)
+
+let rewrite frame ~main (f : Tac.func) loc =
+  let scr0 = Reg.scratch0 and scr1 = Reg.scratch1 in
+  let link_slot = Frame.link_slot frame f.fname in
+  let items = ref [] in
+  let out i = items := Mcfg.I i :: !items in
+  (* Bring the value of [v] into a register, using [scr] when spilled. *)
+  let use scr v =
+    match loc.(v) with
+    | In_reg r -> r
+    | In_slot s ->
+      out (I.Load_abs (scr, s));
+      scr
+  in
+  (* Target register for a definition; [finish] stores it if spilled. *)
+  let def_target v = match loc.(v) with In_reg r -> r | In_slot _ -> scr0 in
+  let def_finish v =
+    match loc.(v) with
+    | In_reg _ -> ()
+    | In_slot s -> out (I.Store_abs (scr0, s))
+  in
+  let rewrite_instr (ins : Tac.instr) =
+    match ins with
+    | Movi (d, n) ->
+      out (I.Movi (def_target d, n));
+      def_finish d
+    | Mov (d, s) -> (
+      match (loc.(d), loc.(s)) with
+      | In_reg rd, In_reg rs -> if rd <> rs then out (I.Mov (rd, rs))
+      | In_reg rd, In_slot sl -> out (I.Load_abs (rd, sl))
+      | In_slot dl, _ ->
+        let rs = use scr0 s in
+        out (I.Store_abs (rs, dl)))
+    | Bin (op, d, a, b) ->
+      let ra = use scr0 a in
+      let rb = use scr1 b in
+      out (I.Bin (op, def_target d, ra, rb));
+      def_finish d
+    | Bini (op, d, a, n) ->
+      let ra = use scr0 a in
+      out (I.Bini (op, def_target d, ra, n));
+      def_finish d
+    | Set (c, d, a, b) ->
+      let ra = use scr0 a in
+      let rb = use scr1 b in
+      out (I.Set (c, def_target d, ra, rb));
+      def_finish d
+    | Load (d, s, off) ->
+      let rs = use scr0 s in
+      out (I.Load (def_target d, rs, off));
+      def_finish d
+    | Load_abs (d, a) ->
+      out (I.Load_abs (def_target d, a));
+      def_finish d
+    | Store (v, s, off) ->
+      let rv = use scr0 v in
+      let rs = use scr1 s in
+      out (I.Store (rv, rs, off))
+    | Store_abs (v, a) ->
+      let rv = use scr0 v in
+      out (I.Store_abs (rv, a))
+    | Call callee -> out (I.Call callee)
+  in
+  let rewrite_term (t : Tac.term) =
+    match t with
+    | Jmp b -> Mcfg.Tjmp b
+    | Br (c, a, b, taken, fall) ->
+      let ra = use scr0 a in
+      let rb = use scr1 b in
+      Mcfg.Tbr (c, ra, rb, taken, fall)
+    | Ret ->
+      if f.fname = main then Mcfg.Thalt
+      else if f.is_leaf then Mcfg.Tret_leaf
+      else Mcfg.Tret_nonleaf link_slot
+  in
+  let blocks =
+    Array.map
+      (fun (blk : Tac.block) ->
+        items := [];
+        (* Non-leaf prologue: save the link register into the frame. *)
+        if blk.id = f.entry && not f.is_leaf then
+          out (I.Store_abs (Reg.link, link_slot));
+        List.iter rewrite_instr blk.instrs;
+        let term = rewrite_term blk.term in
+        {
+          Mcfg.id = blk.id;
+          items = List.rev !items;
+          term;
+          is_loop_header = blk.is_loop_header;
+        })
+      f.blocks
+  in
+  {
+    Mcfg.name = f.fname;
+    entry = f.entry;
+    blocks;
+    is_leaf = f.is_leaf;
+    link_slot;
+  }
+
+let run frame ~main (f : Tac.func) =
+  dce f;
+  let loc, spills = allocate frame f in
+  let mfunc = rewrite frame ~main f loc in
+  { mfunc; spills }

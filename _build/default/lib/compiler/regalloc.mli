@@ -1,0 +1,22 @@
+(** Linear-scan register allocation, TAC → machine CFG.
+
+    Virtual registers get single live intervals over a linearisation of
+    the CFG (conservatively extended to block boundaries where the vreg is
+    live).  Allocation uses the 12 allocatable registers; intervals that
+    cross a call site are force-spilled because the convention has no
+    callee-saved registers.  Spilled values live in per-function frame
+    slots; each use/def is rewritten through the reserved scratch
+    registers r12/r13.
+
+    Also performs a small dead-code elimination on the TAC first (drops
+    side-effect-free instructions whose destination is never read), which
+    keeps the interval count honest. *)
+
+type result = {
+  mfunc : Mcfg.func;
+  spills : int;  (** number of vregs that ended up in memory *)
+}
+
+val run : Frame.t -> main:string -> Tac.func -> result
+(** Allocate and rewrite one function.  [main] names the program entry
+    function, whose returns become [Thalt]. *)

@@ -1,0 +1,364 @@
+module I = Sweep_isa.Instr
+module Reg = Sweep_isa.Reg
+module Layout = Sweep_isa.Layout
+module ISet = Set.Make (Int)
+
+type mode = [ `Sweep | `Replay ]
+
+type stats = {
+  boundaries : int;
+  ckpt_stores : int;
+  clwbs : int;
+  max_region_stores : int;
+}
+
+(* Room reserved for the checkpoint stores of a region's ending boundary:
+   at most all 16 registers plus the PC save. *)
+let ckpt_reserve = Reg.count + 2
+
+let preds_of (f : Mcfg.func) =
+  let n = Array.length f.blocks in
+  let preds = Array.make n [] in
+  Array.iter
+    (fun (b : Mcfg.block) ->
+      List.iter (fun s -> preds.(s) <- b.id :: preds.(s)) (Mcfg.succs b.term))
+    f.blocks;
+  preds
+
+(* Natural loop body of a header: header plus everything reachable
+   backward from back-edge sources without passing through the header.
+   Lowering numbers body blocks after their header, so a back edge is an
+   edge b -> h with b.id > h.id. *)
+let loop_body f preds header =
+  let sources =
+    Array.to_list f.Mcfg.blocks
+    |> List.filter_map (fun (b : Mcfg.block) ->
+           if b.id > header && List.mem header (Mcfg.succs b.term) then
+             Some b.id
+           else None)
+  in
+  let rec grow body = function
+    | [] -> body
+    | b :: rest ->
+      if ISet.mem b body || b = header then grow body rest
+      else grow (ISet.add b body) (preds.(b) @ rest)
+  in
+  grow (ISet.singleton header) sources
+
+let body_has_store_or_call f body =
+  ISet.exists
+    (fun id ->
+      List.exists
+        (fun item ->
+          match item with
+          | Mcfg.I ins -> I.is_store ins || (match ins with I.Call _ -> true | _ -> false)
+          | Mcfg.L _ -> false)
+        f.Mcfg.blocks.(id).items)
+    body
+
+let boundary = Mcfg.I I.Region_end
+
+(* ------------------------------------------------------------------ *)
+(* Step 1: mandatory boundaries.                                       *)
+
+let insert_mandatory (f : Mcfg.func) =
+  let preds = preds_of f in
+  let header_needs_boundary =
+    Array.map
+      (fun (b : Mcfg.block) ->
+        b.is_loop_header
+        && body_has_store_or_call f (loop_body f preds b.id))
+      f.blocks
+  in
+  Array.iter
+    (fun (b : Mcfg.block) ->
+      (* Call sites need no boundaries of their own: the callee's entry
+         and exit boundaries delimit them, and the path scan flows the
+         caller's running counts conservatively through the call. *)
+      let with_header =
+        if b.id = f.entry || header_needs_boundary.(b.id) then
+          boundary :: b.items
+        else b.items
+      in
+      let with_return =
+        match b.term with
+        | Tret_leaf | Tret_nonleaf _ | Thalt -> with_header @ [ boundary ]
+        | Tjmp _ | Tbr _ -> with_header
+      in
+      b.items <- with_return)
+    f.blocks
+
+(* ------------------------------------------------------------------ *)
+(* Step 2: path-sensitive store / instruction counting.                *)
+
+(* Scan a block given entry counts; insert a boundary before any item
+   that would push a path over the limits.  Returns (items, exits,
+   inserted, max_seen). *)
+let scan_block ~store_limit ~instr_cap entry_s entry_n items =
+  let rev = ref [] in
+  let s = ref entry_s and n = ref entry_n in
+  let inserted = ref false in
+  let max_seen = ref entry_s in
+  List.iter
+    (fun item ->
+      (match item with
+      | Mcfg.L _ -> ()
+      | Mcfg.I I.Region_end ->
+        s := 0;
+        n := 0
+      | Mcfg.I ins ->
+        let ds = if I.is_store ins then 1 else 0 in
+        if !s + ds > store_limit || !n + 1 > instr_cap then begin
+          rev := boundary :: !rev;
+          inserted := true;
+          s := 0;
+          n := 0
+        end;
+        s := !s + ds;
+        n := !n + 1;
+        if !s > !max_seen then max_seen := !s);
+      rev := item :: !rev)
+    items;
+  (List.rev !rev, (!s, !n + 2), !inserted, !max_seen)
+
+let threshold_scan ~store_limit ~instr_cap (f : Mcfg.func) =
+  let n = Array.length f.blocks in
+  let preds = preds_of f in
+  let exit_s = Array.make n 0 in
+  let exit_n = Array.make n 0 in
+  let overall_max = ref 0 in
+  let rec iterate guard =
+    if guard > 1_000 then failwith "Regions: threshold scan did not converge";
+    let changed = ref false in
+    Array.iter
+      (fun (b : Mcfg.block) ->
+        let entry_s, entry_n =
+          List.fold_left
+            (fun (s, m) p -> (max s exit_s.(p), max m exit_n.(p)))
+            (0, 0) preds.(b.id)
+        in
+        let items, (es, en), inserted, max_seen =
+          scan_block ~store_limit ~instr_cap entry_s entry_n b.items
+        in
+        if max_seen > !overall_max then overall_max := max_seen;
+        if inserted then begin
+          b.items <- items;
+          changed := true
+        end;
+        if es <> exit_s.(b.id) || en <> exit_n.(b.id) then begin
+          exit_s.(b.id) <- es;
+          exit_n.(b.id) <- en;
+          changed := true
+        end)
+      f.blocks;
+    if !changed then iterate (guard + 1)
+  in
+  iterate 0;
+  !overall_max
+
+(* ------------------------------------------------------------------ *)
+(* Step 3a (Sweep): checkpoint-store insertion at each boundary.
+
+   A register needs a checkpoint store at a boundary only if it is
+   live-out there AND may have been redefined since the previous
+   boundary: registers untouched since their last checkpoint still have
+   a current NVM slot (the paper places checkpoint stores "right after
+   the last update point of the variables in each region" — an update
+   point must exist).  The "possibly redefined" set comes from a forward
+   dataflow that resets to empty at each boundary and unions defs. *)
+
+(* Per-block mask of registers possibly redefined since the last
+   boundary, at block entry (fixpoint over the CFG). *)
+let dirty_defs_in (f : Mcfg.func) =
+  let n = Array.length f.blocks in
+  let entry_dirty = Array.make n 0 in
+  (* Interprocedural conservatism: at function entry, everything may have
+     been redefined since the caller's last boundary — in particular the
+     link register, which the call itself just wrote. *)
+  entry_dirty.(f.entry) <- Mcfg.all_regs_mask;
+  let flow_block blk entry =
+    List.fold_left
+      (fun d item ->
+        match item with
+        | Mcfg.I I.Region_end -> 0
+        | _ -> d lor Mcfg.item_defs_mask item)
+      entry blk.Mcfg.items
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (b : Mcfg.block) ->
+        let exit_mask = flow_block b entry_dirty.(b.id) in
+        List.iter
+          (fun s ->
+            let updated = entry_dirty.(s) lor exit_mask in
+            if updated <> entry_dirty.(s) then begin
+              entry_dirty.(s) <- updated;
+              changed := true
+            end)
+          (Mcfg.succs b.term))
+      f.blocks
+  done;
+  entry_dirty
+
+(* live-after mask for every item position, in item order. *)
+let live_after_per_item (blk : Mcfg.block) live_out =
+  let after_items = live_out lor Mcfg.term_uses_mask blk.term in
+  let rec go acc live = function
+    | [] -> acc (* acc is in forward item order *)
+    | item :: rest ->
+      let live' =
+        live land lnot (Mcfg.item_defs_mask item) lor Mcfg.item_uses_mask item
+      in
+      go ((item, live) :: acc) live' rest
+  in
+  go [] after_items (List.rev blk.items)
+
+let insert_checkpoints ~(layout : Layout.t) (f : Mcfg.func) =
+  let live_out = Mcfg.liveness f in
+  let entry_dirty = dirty_defs_in f in
+  let label_counter = ref 0 in
+  let ckpt_count = ref 0 in
+  Array.iter
+    (fun (b : Mcfg.block) ->
+      let annotated = live_after_per_item b live_out.(b.id) in
+      let dirty = ref entry_dirty.(b.id) in
+      let rebuilt =
+        List.concat_map
+          (fun (item, live_after) ->
+            let dirty_here = !dirty in
+            (match item with
+            | Mcfg.I I.Region_end -> dirty := 0
+            | _ -> dirty := !dirty lor Mcfg.item_defs_mask item);
+            match item with
+            | Mcfg.I I.Region_end ->
+              let lbl =
+                incr label_counter;
+                Printf.sprintf "%s__r%d" f.name !label_counter
+              in
+              let saves =
+                List.map
+                  (fun r ->
+                    incr ckpt_count;
+                    Mcfg.I (I.Store_abs (r, Layout.reg_slot layout r)))
+                  (Mcfg.regs_of_mask (live_after land dirty_here))
+              in
+              incr ckpt_count;
+              saves
+              @ [
+                  Mcfg.I (I.Movl (Reg.scratch2, lbl));
+                  Mcfg.I (I.Store_abs (Reg.scratch2, layout.ckpt_pc));
+                  item;
+                  Mcfg.L lbl;
+                ]
+            | _ -> [ item ])
+          annotated
+      in
+      b.items <- rebuilt)
+    f.blocks;
+  !ckpt_count
+
+(* ------------------------------------------------------------------ *)
+(* Step 3b (Replay): clwb after every store, fence at every boundary.  *)
+
+let insert_replay (f : Mcfg.func) =
+  let clwbs = ref 0 in
+  Array.iter
+    (fun (b : Mcfg.block) ->
+      b.items <-
+        List.concat_map
+          (fun item ->
+            match item with
+            | Mcfg.I (I.Store (_, rs, off)) ->
+              incr clwbs;
+              [ item; Mcfg.I (I.Clwb (rs, off)) ]
+            | Mcfg.I (I.Store_abs (_, addr)) ->
+              incr clwbs;
+              [ item; Mcfg.I (I.Clwb_abs addr) ]
+            | Mcfg.I I.Region_end -> [ Mcfg.I I.Fence; item ]
+            | _ -> [ item ])
+          b.items)
+    f.blocks;
+  !clwbs
+
+(* ------------------------------------------------------------------ *)
+
+let count_boundaries (f : Mcfg.func) =
+  Array.fold_left
+    (fun acc (b : Mcfg.block) ->
+      List.fold_left
+        (fun acc item ->
+          match item with Mcfg.I I.Region_end -> acc + 1 | _ -> acc)
+        acc b.items)
+    0 f.blocks
+
+(* Verification: recount with checkpoint stores included and no reserve;
+   no insertion may be needed. *)
+let verify ~threshold ~instr_cap (f : Mcfg.func) =
+  let n = Array.length f.blocks in
+  let preds = preds_of f in
+  let exit_s = Array.make n 0 in
+  let exit_n = Array.make n 0 in
+  let overall_max = ref 0 in
+  let rec iterate guard changed_prev =
+    if guard > 1_000 then failwith "Regions: verification did not converge";
+    let changed = ref false in
+    Array.iter
+      (fun (b : Mcfg.block) ->
+        let entry_s, entry_n =
+          List.fold_left
+            (fun (s, m) p -> (max s exit_s.(p), max m exit_n.(p)))
+            (0, 0) preds.(b.id)
+        in
+        let s = ref entry_s and ni = ref entry_n in
+        List.iter
+          (fun item ->
+            match item with
+            | Mcfg.L _ -> ()
+            | Mcfg.I I.Region_end ->
+              s := 0;
+              ni := 0
+            | Mcfg.I ins ->
+              if I.is_store ins then incr s;
+              incr ni;
+              if !s > !overall_max then overall_max := !s;
+              if !s > threshold then
+                failwith
+                  (Printf.sprintf
+                     "Regions: %s has a path with %d stores (threshold %d)"
+                     f.name !s threshold);
+              (* The instruction cap is advisory headroom: checkpoints may
+                 push a region slightly past it, which is fine as long as
+                 the EH budget keeps a margin (it reserves 2x). *)
+              ignore instr_cap)
+          b.items;
+        if !s <> exit_s.(b.id) || !ni + 2 <> exit_n.(b.id) then begin
+          exit_s.(b.id) <- !s;
+          exit_n.(b.id) <- !ni + 2;
+          changed := true
+        end)
+      f.blocks;
+    if !changed then iterate (guard + 1) !changed else ignore changed_prev
+  in
+  iterate 0 false;
+  !overall_max
+
+let run ~layout ~threshold ~instr_cap ~mode (f : Mcfg.func) =
+  if threshold <= ckpt_reserve then
+    invalid_arg "Regions.run: threshold must exceed the checkpoint reserve";
+  insert_mandatory f;
+  let store_limit = threshold - ckpt_reserve in
+  ignore (threshold_scan ~store_limit ~instr_cap f);
+  let ckpt_stores, clwbs =
+    match mode with
+    | `Sweep -> (insert_checkpoints ~layout f, 0)
+    | `Replay -> (0, insert_replay f)
+  in
+  let max_region_stores = verify ~threshold ~instr_cap f in
+  {
+    boundaries = count_boundaries f;
+    ckpt_stores;
+    clwbs;
+    max_region_stores;
+  }

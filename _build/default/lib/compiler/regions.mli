@@ -1,0 +1,42 @@
+(** Region formation and register checkpointing (paper §3.1, §4.1).
+
+    Boundaries ([Region_end] instructions) are placed:
+    - at every function entry and before every return (entry/exit points);
+    - immediately before and after every call site;
+    - at the header of every loop whose body contains a store or a call
+      (store-free loops are exempt, paper footnote 6);
+    - wherever the running store count along any CFG path would exceed the
+      store threshold, or the running instruction count would exceed the
+      EH-model cap (forward progress, §4.1 "Forward Progress").
+
+    The store threshold handed to the path scan reserves room for the
+    checkpoint stores of the ending boundary (≤ 16 registers + 1 PC
+    save), which resolves the paper's circular dependence between
+    partitioning and checkpointing in one pass; a verification pass
+    re-counts with checkpoints included and asserts the persist-buffer
+    invariant.
+
+    In [`Sweep] mode every boundary gets live-out checkpoint stores into
+    the register-slot array plus a PC save targeting the label just after
+    the boundary.  In [`Replay] mode, boundaries instead get a [Fence],
+    and every store is followed by a [Clwb] of its line (ReplayCache,
+    §2.2). *)
+
+type mode = [ `Sweep | `Replay ]
+
+type stats = {
+  boundaries : int;       (** number of [Region_end] sites *)
+  ckpt_stores : int;      (** checkpoint stores inserted (incl. PC saves) *)
+  clwbs : int;            (** clwb instructions inserted (Replay mode) *)
+  max_region_stores : int;(** largest path store count incl. checkpoints *)
+}
+
+val run :
+  layout:Sweep_isa.Layout.t ->
+  threshold:int ->
+  instr_cap:int ->
+  mode:mode ->
+  Mcfg.func ->
+  stats
+(** Mutates the function in place.  Raises [Failure] if the final
+    verification finds a path exceeding the threshold. *)

@@ -1,0 +1,90 @@
+type vreg = int
+
+type instr =
+  | Movi of vreg * int
+  | Mov of vreg * vreg
+  | Bin of Sweep_isa.Instr.binop * vreg * vreg * vreg
+  | Bini of Sweep_isa.Instr.binop * vreg * vreg * int
+  | Set of Sweep_isa.Instr.cond * vreg * vreg * vreg
+  | Load of vreg * vreg * int
+  | Load_abs of vreg * int
+  | Store of vreg * vreg * int
+  | Store_abs of vreg * int
+  | Call of string
+
+type term =
+  | Jmp of int
+  | Br of Sweep_isa.Instr.cond * vreg * vreg * int * int
+  | Ret
+
+type block = {
+  id : int;
+  mutable instrs : instr list;
+  mutable term : term;
+  mutable is_loop_header : bool;
+}
+
+type func = {
+  fname : string;
+  entry : int;
+  mutable blocks : block array;
+  mutable vreg_count : int;
+  is_leaf : bool;
+}
+
+let defs = function
+  | Movi (d, _) | Mov (d, _) | Bin (_, d, _, _) | Bini (_, d, _, _)
+  | Set (_, d, _, _) | Load (d, _, _) | Load_abs (d, _) -> [ d ]
+  | Call _ | Store _ | Store_abs _ -> []
+
+let uses = function
+  | Mov (_, s) -> [ s ]
+  | Bin (_, _, a, b) | Set (_, _, a, b) -> [ a; b ]
+  | Bini (_, _, a, _) -> [ a ]
+  | Load (_, s, _) -> [ s ]
+  | Store (v, s, _) -> [ v; s ]
+  | Store_abs (v, _) -> [ v ]
+  | Movi _ | Load_abs _ | Call _ -> []
+
+let term_uses = function
+  | Br (_, a, b, _, _) -> [ a; b ]
+  | Jmp _ | Ret -> []
+
+let succs = function
+  | Jmp t -> [ t ]
+  | Br (_, _, _, t, f) -> [ t; f ]
+  | Ret -> []
+
+let binop_name : Sweep_isa.Instr.binop -> string = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+  | And -> "and" | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Shr -> "shr"
+
+let pp_instr fmt i =
+  let v n = "v" ^ string_of_int n in
+  match i with
+  | Movi (d, n) -> Format.fprintf fmt "%s <- %d" (v d) n
+  | Mov (d, s) -> Format.fprintf fmt "%s <- %s" (v d) (v s)
+  | Bin (op, d, a, b) ->
+    Format.fprintf fmt "%s <- %s %s %s" (v d) (binop_name op) (v a) (v b)
+  | Bini (op, d, a, n) ->
+    Format.fprintf fmt "%s <- %s %s %d" (v d) (binop_name op) (v a) n
+  | Set (_, d, a, b) -> Format.fprintf fmt "%s <- set(%s, %s)" (v d) (v a) (v b)
+  | Load (d, s, off) -> Format.fprintf fmt "%s <- M[%s+%d]" (v d) (v s) off
+  | Load_abs (d, a) -> Format.fprintf fmt "%s <- M[%d]" (v d) a
+  | Store (x, s, off) -> Format.fprintf fmt "M[%s+%d] <- %s" (v s) off (v x)
+  | Store_abs (x, a) -> Format.fprintf fmt "M[%d] <- %s" a (v x)
+  | Call f -> Format.fprintf fmt "call %s" f
+
+let pp_func fmt f =
+  Format.fprintf fmt "func %s (entry b%d)@." f.fname f.entry;
+  Array.iter
+    (fun b ->
+      Format.fprintf fmt "b%d%s:@." b.id
+        (if b.is_loop_header then " [loop]" else "");
+      List.iter (fun i -> Format.fprintf fmt "  %a@." pp_instr i) b.instrs;
+      (match b.term with
+      | Jmp t -> Format.fprintf fmt "  jmp b%d@." t
+      | Br (_, a, bb, t, ff) ->
+        Format.fprintf fmt "  br v%d,v%d -> b%d | b%d@." a bb t ff
+      | Ret -> Format.fprintf fmt "  ret@."))
+    f.blocks

@@ -1,0 +1,56 @@
+(** Three-address code over virtual registers.
+
+    The lowering pass produces, per function, a control-flow graph of
+    {!block}s whose instructions use an unbounded supply of virtual
+    registers; {!Regalloc} later maps them onto the 12 allocatable
+    physical registers.  Loop headers are marked during lowering (the
+    lowerer creates them), so no loop-reconstruction analysis is
+    needed. *)
+
+type vreg = int
+
+type instr =
+  | Movi of vreg * int
+  | Mov of vreg * vreg
+  | Bin of Sweep_isa.Instr.binop * vreg * vreg * vreg
+  | Bini of Sweep_isa.Instr.binop * vreg * vreg * int
+  | Set of Sweep_isa.Instr.cond * vreg * vreg * vreg
+  | Load of vreg * vreg * int        (** rd <- M\[rs + off\] *)
+  | Load_abs of vreg * int
+  | Store of vreg * vreg * int       (** M\[rs + off\] <- rv *)
+  | Store_abs of vreg * int
+  | Call of string
+      (** Arguments were already stored into the callee's parameter slots
+          by preceding [Store_abs]s; a result, if used, is read back from
+          the callee's result slot by a following [Load_abs]. *)
+
+type term =
+  | Jmp of int                                     (** block id *)
+  | Br of Sweep_isa.Instr.cond * vreg * vreg * int * int
+      (** taken target, fallthrough target *)
+  | Ret
+      (** Return; a result, if any, was stored to the function's result
+          slot by a preceding instruction. *)
+
+type block = {
+  id : int;
+  mutable instrs : instr list;  (** in execution order *)
+  mutable term : term;
+  mutable is_loop_header : bool;
+}
+
+type func = {
+  fname : string;
+  entry : int;
+  mutable blocks : block array;  (** index = block id *)
+  mutable vreg_count : int;
+  is_leaf : bool;                (** no calls in the body *)
+}
+
+val defs : instr -> vreg list
+val uses : instr -> vreg list
+val term_uses : term -> vreg list
+val succs : term -> int list
+
+val pp_instr : Format.formatter -> instr -> unit
+val pp_func : Format.formatter -> func -> unit

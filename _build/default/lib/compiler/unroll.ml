@@ -1,0 +1,103 @@
+open Sweep_lang.Ast
+
+let counter = ref 0
+let fresh_counter = ref 0
+
+let rec stores_in_stmts stmts = List.fold_left (fun a s -> a + stores_in_stmt s) 0 stmts
+
+and stores_in_stmt = function
+  | Store _ | Set_global _ -> 1
+  | Assign _ | Call_stmt _ | Return _ -> 0
+  | If (_, t, e) -> max (stores_in_stmts t) (stores_in_stmts e)
+  | While (_, b) | For (_, _, _, b) -> stores_in_stmts b
+
+let rec size_of_stmts stmts = List.fold_left (fun a s -> a + size_of_stmt s) 0 stmts
+
+and size_of_stmt = function
+  | Assign _ | Set_global _ | Store _ | Call_stmt _ | Return _ -> 1
+  | If (_, t, e) -> 1 + size_of_stmts t + size_of_stmts e
+  | While (_, b) | For (_, _, _, b) -> 2 + size_of_stmts b
+
+let rec assigns_var v stmts = List.exists (assigns_var_stmt v) stmts
+
+and assigns_var_stmt v = function
+  | Assign (x, _) -> x = v
+  | For (x, _, _, b) -> x = v || assigns_var v b
+  | If (_, t, e) -> assigns_var v t || assigns_var v e
+  | While (_, b) -> assigns_var v b
+  | Set_global _ | Store _ | Call_stmt _ | Return _ -> false
+
+let rec has_return stmts = List.exists has_return_stmt stmts
+
+and has_return_stmt = function
+  | Return _ -> true
+  | If (_, t, e) -> has_return t || has_return e
+  | While (_, b) | For (_, _, _, b) -> has_return b
+  | Assign _ | Set_global _ | Store _ | Call_stmt _ -> false
+
+let pick_factor ~threshold ~max_factor body =
+  let stores = stores_in_stmts body in
+  let size = size_of_stmts body in
+  if size > 20 || has_return body then 1
+  else if stores = 0 then
+    (* Store-free loops get no header boundary, but a long-running one
+       still receives a forward-progress split (EH cap) that then fires
+       every iteration; unrolling hard dilutes that boundary. *)
+    if size <= 10 then 2 * max_factor else max_factor
+  else begin
+    let budget = max 1 (threshold / 2) in
+    let by_stores = budget / max 1 stores in
+    min max_factor (max 1 by_stores)
+  end
+
+let rec transform ~threshold ~max_factor stmts =
+  List.map (transform_stmt ~threshold ~max_factor) stmts
+
+and transform_stmt ~threshold ~max_factor stmt =
+  let recurse = transform ~threshold ~max_factor in
+  match stmt with
+  | For (v, lo, hi, body) ->
+    let body = recurse body in
+    let u = pick_factor ~threshold ~max_factor body in
+    if u < 2 || assigns_var v body then For (v, lo, hi, body)
+    else begin
+      incr counter;
+      incr fresh_counter;
+      let hi_name = Printf.sprintf "__uh%d" !fresh_counter in
+      let lo_name = Printf.sprintf "__ul%d" !fresh_counter in
+      let step = body @ [ Assign (v, Binop (Add, Var v, Int 1)) ] in
+      let unrolled_body = List.concat (List.init u (fun _ -> step)) in
+      let main_loop =
+        While
+          ( Binop (Le, Binop (Add, Var v, Int (u - 1)), Binop (Sub, Var hi_name, Int 1)),
+            unrolled_body )
+      in
+      let remainder = While (Binop (Lt, Var v, Var hi_name), step) in
+      (* Wrap in an If so the sequence is a single statement.  [lo] and
+         [hi] are evaluated in the same order as the original For, before
+         the loop variable changes. *)
+      If
+        ( Int 1,
+          [
+            Assign (lo_name, lo);
+            Assign (hi_name, hi);
+            Assign (v, Var lo_name);
+            main_loop;
+            remainder;
+          ],
+          [] )
+    end
+  | While (c, body) -> While (c, recurse body)
+  | If (c, t, e) -> If (c, recurse t, recurse e)
+  | Assign _ | Set_global _ | Store _ | Call_stmt _ | Return _ -> stmt
+
+let program ~threshold ~max_factor (prog : program) =
+  counter := 0;
+  let funcs =
+    List.map
+      (fun f -> { f with body = transform ~threshold ~max_factor f.body })
+      prog.funcs
+  in
+  { prog with funcs }
+
+let unrolled_loops () = !counter

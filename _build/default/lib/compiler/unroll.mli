@@ -1,0 +1,18 @@
+(** AST-level loop unrolling (paper §4.1, Fig. 4).
+
+    Small [For] loops produce tiny regions when a boundary sits at the
+    loop header; unrolling the body enlarges the region.  A loop is
+    unrolled by factor [u] when its body does not reassign the loop
+    variable, is small, and [u × body-stores] stays within half the store
+    threshold — mirroring the paper's example of doubling a 5-store body
+    under a threshold of 10. *)
+
+val program :
+  threshold:int -> max_factor:int -> Sweep_lang.Ast.program -> Sweep_lang.Ast.program
+(** Returns a semantically identical program with eligible loops
+    unrolled.  [max_factor] caps the unroll factor (paper uses small
+    factors; default pipeline passes 4). *)
+
+val unrolled_loops : unit -> int
+(** Number of loops unrolled by the most recent call (for compile
+    statistics). *)

@@ -1,0 +1,1 @@
+lib/core/sweepcache.ml: Array List Persist_buffer Sweep_energy Sweep_isa Sweep_machine Sweep_mem Wbi_table

@@ -1,0 +1,1 @@
+lib/core/sweepcache.mli: Sweep_isa Sweep_machine

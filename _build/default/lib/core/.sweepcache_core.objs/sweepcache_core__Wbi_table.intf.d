@@ -1,0 +1,1 @@
+lib/core/wbi_table.mli:

@@ -1,0 +1,38 @@
+type t = {
+  capacity : int;
+  mutable newest_first : (int * int array) list;
+  mutable count : int;
+  mutable peak : int;
+}
+
+exception Overflow
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Persist_buffer.create";
+  { capacity; newest_first = []; count = 0; peak = 0 }
+
+let capacity t = t.capacity
+let count t = t.count
+let is_empty t = t.count = 0
+
+let push t ~base ~data =
+  if t.count >= t.capacity then raise Overflow;
+  t.newest_first <- (base, Array.copy data) :: t.newest_first;
+  t.count <- t.count + 1;
+  if t.count > t.peak then t.peak <- t.count
+
+let search t base =
+  let rec scan n = function
+    | [] -> None
+    | (b, data) :: rest ->
+      if b = base then Some (data, n + 1) else scan (n + 1) rest
+  in
+  scan 0 t.newest_first
+
+let entries_oldest_first t = List.rev t.newest_first
+
+let clear t =
+  t.newest_first <- [];
+  t.count <- 0
+
+let peak t = t.peak

@@ -1,0 +1,37 @@
+(** NVM-resident persist buffer (paper §3.2, §4.5).
+
+    A FIFO of cacheline-sized redo entries.  It may hold multiple entries
+    for the same line (multiple evictions); searches return the youngest
+    match (footnote 7) and the drain to NVM applies entries oldest-first
+    so the younger overwrites the older (footnote 4).
+
+    The buffer is nonvolatile: its contents survive power failure.  The
+    empty-bit of §4.4 is exactly {!is_empty}. *)
+
+type t
+
+exception Overflow
+(** Raised when a push exceeds capacity — the compiler's store-threshold
+    invariant guarantees this never happens; tests rely on the
+    exception. *)
+
+val create : capacity:int -> t
+
+val capacity : t -> int
+val count : t -> int
+val is_empty : t -> bool
+
+val push : t -> base:int -> data:int array -> unit
+(** Append a line image (data is copied). *)
+
+val search : t -> int -> (int array * int) option
+(** [search t base] returns the *youngest* entry for the line, together
+    with the number of entries scanned to find it (sequential-search cost
+    model).  [None] scans everything. *)
+
+val entries_oldest_first : t -> (int * int array) list
+
+val clear : t -> unit
+
+val peak : t -> int
+(** High-water mark of occupancy since creation. *)

@@ -1,0 +1,476 @@
+module Cfg = Sweep_machine.Config
+module Cost = Sweep_machine.Cost
+module Cpu = Sweep_machine.Cpu
+module Exec = Sweep_machine.Exec
+module Mstats = Sweep_machine.Mstats
+module Nvm = Sweep_mem.Nvm
+module Cache = Sweep_mem.Cache
+module E = Sweep_energy.Energy_config
+module Layout = Sweep_isa.Layout
+
+let name = "SweepCache"
+
+type buf_state =
+  | Idle        (* free for the next region *)
+  | Filling     (* owned by the executing region; taking write-backs *)
+  | Phase1      (* region ended; dirty-line flush (s-phase1) in flight *)
+  | Phase2      (* buffer sealed; drain to NVM (s-phase2) in flight *)
+
+type buf = {
+  pb : Persist_buffer.t;
+  mutable state : buf_state;
+  mutable seq : int;              (* region sequence number; -1 when idle *)
+  mutable p1_end : float;
+  mutable p2_end : float;
+  mutable pending_clean : int list;  (* line bases to mark clean at p1_end *)
+}
+
+type t = {
+  cfg : Cfg.t;
+  prog : Sweep_isa.Program.t;
+  cpu : Cpu.t;
+  nvm : Nvm.t;
+  cache : Cache.t;
+  stats : Mstats.t;
+  detector : Sweep_energy.Detector.t;
+  bufs : buf array;
+  mutable active : int;
+  mutable region_seq : int;
+  mutable dma_free : float;       (* single DMA channel availability *)
+  wbi : Wbi_table.t;              (* current region's dirty lines *)
+  mutable miss_fill_sum : int;    (* Σ buffer occupancy at load misses *)
+  mutable miss_fill_n : int;
+}
+
+let create cfg prog =
+  let nvm = Nvm.create () in
+  Sweep_machine.Loader.load nvm prog;
+  let bufs =
+    Array.init (max 1 cfg.Cfg.buffer_count) (fun _ ->
+        {
+          pb = Persist_buffer.create ~capacity:cfg.Cfg.buffer_entries;
+          state = Idle;
+          seq = -1;
+          p1_end = 0.0;
+          p2_end = 0.0;
+          pending_clean = [];
+        })
+  in
+  bufs.(0).state <- Filling;
+  bufs.(0).seq <- 1;
+  let detector =
+    match cfg.Cfg.detector_override with
+    | Some d -> d
+    | None -> Sweep_energy.Detector.sweep ~v_restore:3.3
+  in
+  {
+    cfg;
+    prog;
+    cpu = Cpu.create ~entry:prog.entry;
+    nvm;
+    cache = Cache.create ~size_bytes:cfg.Cfg.cache_size_bytes ~assoc:cfg.Cfg.cache_assoc;
+    stats = Mstats.create ();
+    detector;
+    bufs;
+    active = 0;
+    region_seq = 1;
+    dma_free = 0.0;
+    wbi = Wbi_table.create ();
+    miss_fill_sum = 0;
+    miss_fill_n = 0;
+  }
+
+let cpu t = t.cpu
+let nvm t = t.nvm
+let cache t = Some t.cache
+let mstats t = t.stats
+let detector t = t.detector
+let halted t = t.cpu.Cpu.halted
+
+let e t = t.cfg.Cfg.energy
+
+(* Apply a sealed buffer's entries to their NVM home locations,
+   oldest-first so younger duplicates win (footnote 4). *)
+let apply_entries t buf =
+  List.iter
+    (fun (base, data) -> Nvm.write_line t.nvm base data)
+    (Persist_buffer.entries_oldest_first buf.pb);
+  Persist_buffer.clear buf.pb
+
+(* Mark a finished flush's lines clean; they stay resident (§4.2: the
+   flushed data remain in the cache with dirty bits reset). *)
+let clean_flushed t buf =
+  List.iter
+    (fun base ->
+      match Cache.find t.cache base with
+      | Some line when line.Cache.dirty && line.Cache.dirty_region = buf.seq ->
+        line.Cache.dirty <- false;
+        line.Cache.dirty_region <- -1
+      | Some _ | None -> ())
+    buf.pending_clean;
+  buf.pending_clean <- []
+
+(* Advance the background DMA engine to [now]: complete any phases whose
+   deadline has passed. *)
+let sync t now =
+  Array.iter
+    (fun buf ->
+      if buf.state = Phase1 && buf.p1_end <= now then begin
+        clean_flushed t buf;
+        buf.state <- Phase2
+      end;
+      if buf.state = Phase2 && buf.p2_end <= now then begin
+        apply_entries t buf;
+        buf.state <- Idle;
+        buf.seq <- -1
+      end)
+    t.bufs
+
+let active_buf t = t.bufs.(t.active)
+
+(* The buffer (if any) that still owns a given prior region. *)
+let buf_of_seq t seq =
+  let found = ref None in
+  Array.iter (fun b -> if b.seq = seq then found := Some b) t.bufs;
+  !found
+
+(* Stall until a prior region's s-phase1 completes (WAW, §4.3, and dirty
+   evictions of prior-region lines).  Returns stall cost. *)
+let stall_until_phase1 t buf now =
+  let target = max now buf.p1_end in
+  let stall_ns = target -. now in
+  sync t target;
+  (* Stall-time power is charged uniformly by the executor. *)
+  Cost.make ~ns:stall_ns ~joules:0.0
+
+(* Fetch a line image for a miss: consult the persist buffers before NVM
+   (§4.4), honouring the empty-bit policy.  Returns data and cost. *)
+let fetch_line t base now =
+  ignore now;
+  let cfg = t.cfg in
+  let searchable buf =
+    match cfg.Cfg.search with
+    | Cfg.Nvm_search -> true
+    | Cfg.Empty_bit -> not (Persist_buffer.is_empty buf.pb)
+  in
+  (* Newest data first: the active (filling) buffer, then the other(s) in
+     decreasing seq order. *)
+  let order =
+    let others =
+      Array.to_list t.bufs
+      |> List.filter (fun b -> b != active_buf t)
+      |> List.sort (fun a b -> compare b.seq a.seq)
+    in
+    active_buf t :: others
+  in
+  let fill_now =
+    Array.fold_left (fun acc b -> acc + Persist_buffer.count b.pb) 0 t.bufs
+  in
+  t.miss_fill_sum <- t.miss_fill_sum + fill_now;
+  t.miss_fill_n <- t.miss_fill_n + 1;
+  let search_cost scanned =
+    Cost.make
+      ~ns:(float_of_int scanned *. (e t).E.buffer_search_ns)
+      ~joules:(float_of_int scanned *. (e t).E.e_buffer_search)
+  in
+  let rec consult searched_any cost = function
+    | [] ->
+      if searched_any then t.stats.Mstats.buffer_searches <- t.stats.Mstats.buffer_searches + 1
+      else t.stats.Mstats.buffer_bypasses <- t.stats.Mstats.buffer_bypasses + 1;
+      let data = Nvm.read_line t.nvm base in
+      let nvm_cost =
+        Cost.make ~ns:(e t).E.nvm_read_ns ~joules:(e t).E.e_nvm_read
+      in
+      (data, Cost.(cost ++ nvm_cost))
+    | buf :: rest ->
+      if not (searchable buf) then consult searched_any cost rest
+      else begin
+        (* Even an unsuccessful sequential probe of an empty buffer costs
+           one slot check in Nvm_search mode. *)
+        match Persist_buffer.search buf.pb base with
+        | Some (data, scanned) ->
+          t.stats.Mstats.buffer_searches <- t.stats.Mstats.buffer_searches + 1;
+          t.stats.Mstats.buffer_hits <- t.stats.Mstats.buffer_hits + 1;
+          (Array.copy data, Cost.(cost ++ search_cost scanned))
+        | None ->
+          let scanned = max 1 (Persist_buffer.count buf.pb) in
+          consult true Cost.(cost ++ search_cost scanned) rest
+      end
+  in
+  consult false Cost.zero order
+
+(* Make room for a fill: handle the victim line.  Prior-region dirty
+   victims wait for their flush (then leave cleanly); current-region
+   dirty victims are written back into the active persist buffer
+   (t-phase1). *)
+let evict_for t addr now =
+  let victim = Cache.victim t.cache addr in
+  if victim.Cache.valid && victim.Cache.dirty then begin
+    if victim.Cache.dirty_region <> (active_buf t).seq then begin
+      match buf_of_seq t victim.Cache.dirty_region with
+      | Some prior when prior.state = Phase1 || prior.state = Filling ->
+        (* Filling cannot happen for a prior seq; Phase1 means the flush
+           is still in flight. *)
+        let c = stall_until_phase1 t prior now in
+        (c, now +. c.Cost.ns)
+      | Some _ | None ->
+        (* Flush already completed; sync must have cleaned it. *)
+        sync t now;
+        (Cost.zero, now)
+    end
+    else begin
+      Persist_buffer.push (active_buf t).pb ~base:victim.Cache.base
+        ~data:victim.Cache.data;
+      (* The buffer is NVM-resident: this write-back is an NVM write. *)
+      Nvm.add_external_writes t.nvm ~events:1 ~bytes:Layout.line_bytes;
+      let peak = Persist_buffer.peak (active_buf t).pb in
+      if peak > t.stats.Mstats.buffer_peak then
+        t.stats.Mstats.buffer_peak <- peak;
+      ( Cost.make ~ns:(e t).E.nvm_write_ns ~joules:(e t).E.e_nvm_line_write,
+        now )
+    end
+  end
+  else (Cost.zero, now)
+
+let cache_hit_cost t =
+  Cost.make
+    ~ns:(float_of_int (e t).E.cache_hit_cycles *. E.cycle_ns (e t))
+    ~joules:(e t).E.e_cache_access
+
+let load t addr now =
+  sync t now;
+  match Cache.find t.cache addr with
+  | Some line ->
+    Cache.record_hit t.cache;
+    Cache.touch t.cache line;
+    (Cache.read_word line addr, cache_hit_cost t)
+  | None ->
+    Cache.record_miss t.cache;
+    let evict_cost, now = evict_for t addr now in
+    let base = Layout.line_base addr in
+    let data, fetch_cost = fetch_line t base now in
+    let line = Cache.install t.cache addr data in
+    (Cache.read_word line addr, Cost.(evict_cost ++ fetch_cost ++ cache_hit_cost t))
+
+let mark_dirty t line =
+  let buf = active_buf t in
+  (* A dirty line here must belong to the current region: stores to a
+     prior region's dirty lines stall until the flush cleans them. *)
+  assert ((not line.Cache.dirty) || line.Cache.dirty_region = buf.seq);
+  if not line.Cache.dirty then begin
+    line.Cache.dirty <- true;
+    line.Cache.dirty_region <- buf.seq;
+    Wbi_table.mark t.wbi line.Cache.base
+  end
+
+let store t addr value now =
+  sync t now;
+  match Cache.find t.cache addr with
+  | Some line ->
+    Cache.record_hit t.cache;
+    let waw_cost =
+      if line.Cache.dirty && line.Cache.dirty_region <> (active_buf t).seq
+      then begin
+        (* §4.3: the line belongs to a prior region still in s-phase1. *)
+        match buf_of_seq t line.Cache.dirty_region with
+        | Some prior when prior.state = Phase1 ->
+          let c = stall_until_phase1 t prior now in
+          t.stats.Mstats.waw_stall_ns <- t.stats.Mstats.waw_stall_ns +. c.Cost.ns;
+          c
+        | Some _ | None ->
+          sync t now;
+          Cost.zero
+      end
+      else Cost.zero
+    in
+    Cache.touch t.cache line;
+    Cache.write_word line addr value;
+    mark_dirty t line;
+    Cost.(waw_cost ++ cache_hit_cost t)
+  | None ->
+    Cache.record_miss t.cache;
+    let evict_cost, now = evict_for t addr now in
+    let base = Layout.line_base addr in
+    let data, fetch_cost = fetch_line t base now in
+    let line = Cache.install t.cache addr data in
+    Cache.write_word line addr value;
+    mark_dirty t line;
+    Cost.(evict_cost ++ fetch_cost ++ cache_hit_cost t)
+
+(* Region boundary (§3.2): seal the active buffer — flush the region's
+   dirty lines into it and schedule both persistence phases on the DMA
+   engine — then hand execution to the other buffer, stalling only if it
+   has not finished its own s-phase2 (structural hazard, §3.3). *)
+let region_end t now =
+  sync t now;
+  let cur = active_buf t in
+  let flush_bases = Wbi_table.bases t.wbi in
+  Wbi_table.clear t.wbi;
+  let flushed =
+    List.filter_map
+      (fun base ->
+        match Cache.find t.cache base with
+        | Some line when line.Cache.dirty && line.Cache.dirty_region = cur.seq ->
+          Persist_buffer.push cur.pb ~base ~data:line.Cache.data;
+          Some base
+        | Some _ | None -> None)
+      flush_bases
+  in
+  let peak = Persist_buffer.peak cur.pb in
+  if peak > t.stats.Mstats.buffer_peak then t.stats.Mstats.buffer_peak <- peak;
+  let flush_n = List.length flushed in
+  Nvm.add_external_writes t.nvm ~events:flush_n
+    ~bytes:(flush_n * Layout.line_bytes);
+  let total = Persist_buffer.count cur.pb in
+  let dma_start = max now t.dma_free in
+  let p1_end = dma_start +. (float_of_int flush_n *. (e t).E.dma_line_ns) in
+  let p2_end = p1_end +. (float_of_int total *. (e t).E.dma_line_ns) in
+  cur.state <- Phase1;
+  cur.p1_end <- p1_end;
+  cur.p2_end <- p2_end;
+  cur.pending_clean <- flushed;
+  t.dma_free <- p2_end;
+  t.stats.Mstats.persistence_ns <- t.stats.Mstats.persistence_ns +. (p2_end -. now);
+  (* Background-persistence energy is charged now; its time is carried by
+     the completion timestamps. *)
+  let background_joules =
+    float_of_int (flush_n + total) *. (e t).E.e_dma_line
+  in
+  (* Hand over to the next buffer. *)
+  let next_idx = (t.active + 1) mod Array.length t.bufs in
+  let next = t.bufs.(next_idx) in
+  let stall_ns =
+    if next.state = Idle then 0.0
+    else begin
+      let target = max now next.p2_end in
+      let s = target -. now in
+      sync t target;
+      s
+    end
+  in
+  t.stats.Mstats.wait_ns <- t.stats.Mstats.wait_ns +. stall_ns;
+  assert (next.state = Idle);
+  t.region_seq <- t.region_seq + 1;
+  next.state <- Filling;
+  next.seq <- t.region_seq;
+  t.active <- next_idx;
+  Cost.make ~ns:stall_ns ~joules:background_joules
+
+let mem_ops t =
+  {
+    Exec.load = (fun addr now -> load t addr now);
+    store = (fun addr value now -> store t addr value now);
+    clwb = (fun _ _ -> Cost.zero);
+    fence = (fun _ -> Cost.zero);
+    region_end = (fun now -> region_end t now);
+  }
+
+let step t ~now_ns =
+  Exec.step t.cfg t.cpu t.prog t.stats (mem_ops t) ~now_ns
+
+let jit_backup_cost _ = None
+let commit_jit_backup _ ~now_ns:_ = ()
+let continues_after_backup = false
+
+let on_power_failure t ~now_ns =
+  sync t now_ns;
+  Cache.invalidate_all t.cache;
+  Wbi_table.clear t.wbi;
+  Cpu.reset t.cpu ~entry:t.prog.entry;
+  Mstats.reset_region_counters t.stats
+
+(* Recovery protocol (§4.2): examine buffers in region order.
+   - s-phase1 incomplete (state Filling/Phase1): (0,0) — discard.
+   - s-phase1 complete, s-phase2 not (state Phase2): (1,0) — re-drive
+     s-phase2 (idempotent redo).
+   - both complete: nothing left in the buffer.
+   Then reload the checkpointed registers and PC from NVM. *)
+let on_reboot t ~now_ns =
+  let ordered =
+    Array.to_list t.bufs
+    |> List.filter (fun b -> b.state <> Idle)
+    |> List.sort (fun a b -> compare a.seq b.seq)
+  in
+  let discarding = ref false in
+  let redo_cost = ref Cost.zero in
+  List.iter
+    (fun buf ->
+      (match buf.state with
+      | Phase2 when not !discarding ->
+        let n = Persist_buffer.count buf.pb in
+        apply_entries t buf;
+        redo_cost :=
+          Cost.(
+            !redo_cost
+            ++ make
+                 ~ns:(float_of_int n *. (e t).E.dma_line_ns)
+                 ~joules:(float_of_int n *. (e t).E.e_dma_line))
+      | Phase2 | Phase1 | Filling | Idle ->
+        discarding := true;
+        Persist_buffer.clear buf.pb);
+      buf.state <- Idle;
+      buf.seq <- -1;
+      buf.pending_clean <- [])
+    ordered;
+  t.dma_free <- now_ns;
+  (* Restore the architectural state from the checkpoint array. *)
+  let layout = t.prog.layout in
+  for r = 0 to Sweep_isa.Reg.count - 1 do
+    t.cpu.Cpu.regs.(r) <- Nvm.read_word t.nvm (Layout.reg_slot layout r)
+  done;
+  t.cpu.Cpu.pc <- Nvm.read_word t.nvm layout.ckpt_pc;
+  t.cpu.Cpu.halted <- false;
+  let reads = float_of_int (Sweep_isa.Reg.count + 1) in
+  let restore_cost =
+    Cost.make ~ns:(reads *. (e t).E.nvm_read_ns)
+      ~joules:(reads *. (e t).E.e_nvm_read)
+  in
+  let total = Cost.(!redo_cost ++ restore_cost) in
+  t.stats.Mstats.restore_events <- t.stats.Mstats.restore_events + 1;
+  t.stats.Mstats.restore_joules <- t.stats.Mstats.restore_joules +. total.Cost.joules;
+  (* Execution resumes in a fresh region on buffer 0. *)
+  t.region_seq <- t.region_seq + 1;
+  t.bufs.(0).state <- Filling;
+  t.bufs.(0).seq <- t.region_seq;
+  t.active <- 0;
+  total
+
+let drain t ~now_ns =
+  let finish = max now_ns t.dma_free in
+  sync t finish;
+  Cost.make ~ns:(finish -. now_ns) ~joules:0.0
+
+let buffer_peak t = t.stats.Mstats.buffer_peak
+
+let avg_buffer_fill_at_miss t =
+  if t.miss_fill_n = 0 then 0.0
+  else float_of_int t.miss_fill_sum /. float_of_int t.miss_fill_n
+
+type t_alias = t
+
+let pack instance =
+  let m =
+    (module struct
+      type t = t_alias
+
+      let name = name
+      let create = create
+      let cpu = cpu
+      let nvm = nvm
+      let cache = cache
+      let mstats = mstats
+      let detector = detector
+      let step = step
+      let halted = halted
+      let jit_backup_cost = jit_backup_cost
+      let commit_jit_backup = commit_jit_backup
+      let continues_after_backup = continues_after_backup
+      let on_power_failure = on_power_failure
+      let on_reboot = on_reboot
+      let drain = drain
+    end : Sweep_machine.Machine_intf.S
+      with type t = t_alias)
+  in
+  Sweep_machine.Machine_intf.Packed (m, instance)
+
+let packed cfg prog = pack (create cfg prog)

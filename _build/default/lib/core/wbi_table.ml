@@ -1,0 +1,19 @@
+type t = {
+  seen : (int, unit) Hashtbl.t;
+  mutable order : int list; (* reversed marking order *)
+}
+
+let create () = { seen = Hashtbl.create 64; order = [] }
+
+let mark t base =
+  if not (Hashtbl.mem t.seen base) then begin
+    Hashtbl.replace t.seen base ();
+    t.order <- base :: t.order
+  end
+
+let bases t = List.rev t.order
+let count t = Hashtbl.length t.seen
+
+let clear t =
+  Hashtbl.reset t.seen;
+  t.order <- []

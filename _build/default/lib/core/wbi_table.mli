@@ -1,0 +1,23 @@
+(** Write-back-instructive table (paper §4.6).
+
+    A small volatile SRAM bit table — one bit per cacheline — recording
+    which lines the *current region* dirtied, so the region-end flush
+    reads the table instead of scanning the whole cache (and cannot
+    accidentally flush the next region's freshly dirtied lines).
+    SweepCache keeps one table per persist buffer; the machine swaps
+    tables at each boundary.
+
+    Being SRAM, the table is lost on power failure — harmless, because
+    the interrupted region rolls back anyway. *)
+
+type t
+
+val create : unit -> t
+val mark : t -> int -> unit
+(** Record a dirtied line by its base address. *)
+
+val bases : t -> int list
+(** Dirty line bases, in marking order. *)
+
+val count : t -> int
+val clear : t -> unit

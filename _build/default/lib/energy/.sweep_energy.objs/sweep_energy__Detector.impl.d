@@ -1,0 +1,1 @@
+lib/energy/detector.ml:

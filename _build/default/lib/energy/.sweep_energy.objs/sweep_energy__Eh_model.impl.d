@@ -1,0 +1,1 @@
+lib/energy/eh_model.ml: Energy_config Float

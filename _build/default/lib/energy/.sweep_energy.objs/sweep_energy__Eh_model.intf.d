@@ -1,0 +1,1 @@
+lib/energy/eh_model.mli: Energy_config

@@ -1,0 +1,1 @@
+lib/energy/power_trace.ml: Array Float Fun Hashtbl List Printf String Sweep_util

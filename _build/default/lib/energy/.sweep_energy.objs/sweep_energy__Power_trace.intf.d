@@ -1,0 +1,1 @@
+lib/energy/power_trace.mli:

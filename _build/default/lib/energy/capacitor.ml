@@ -1,0 +1,34 @@
+type t = {
+  farads : float;
+  v_max : float;
+  v_min : float;
+  e_max : float;
+  mutable energy : float;
+}
+
+let energy_of farads v = 0.5 *. farads *. v *. v
+
+let create ~farads ~v_max ~v_min =
+  if farads <= 0.0 || v_max <= v_min || v_min < 0.0 then
+    invalid_arg "Capacitor.create";
+  let e_max = energy_of farads v_max in
+  { farads; v_max; v_min; e_max; energy = e_max }
+
+let farads t = t.farads
+let v_max t = t.v_max
+let v_min t = t.v_min
+let energy t = t.energy
+let voltage t = sqrt (2.0 *. t.energy /. t.farads)
+let energy_at t v = energy_of t.farads v
+
+let set_voltage t v =
+  t.energy <- Float.min t.e_max (energy_of t.farads v)
+
+let consume t joules = t.energy <- Float.max 0.0 (t.energy -. joules)
+
+let harvest t ~power_w ~dt_s =
+  t.energy <- Float.min t.e_max (t.energy +. (power_w *. dt_s))
+
+let above t v = t.energy >= energy_of t.farads v -. 1e-18
+
+let usable_above t v = Float.max 0.0 (t.energy -. energy_of t.farads v)

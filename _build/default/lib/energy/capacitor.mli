@@ -1,0 +1,34 @@
+(** Energy-storage capacitor, E = ½CV².
+
+    The simulator integrates harvested power into the capacitor and
+    subtracts every consumption event; voltage-threshold crossings drive
+    backup/death/reboot decisions in the machines. *)
+
+type t
+
+val create : farads:float -> v_max:float -> v_min:float -> t
+(** Starts fully charged at [v_max]. *)
+
+val farads : t -> float
+val v_max : t -> float
+val v_min : t -> float
+
+val voltage : t -> float
+val energy : t -> float
+
+val energy_at : t -> float -> float
+(** [energy_at t v] is ½CV² — the stored energy when the voltage is [v]. *)
+
+val set_voltage : t -> float -> unit
+
+val consume : t -> float -> unit
+(** Remove joules (floored at zero energy). *)
+
+val harvest : t -> power_w:float -> dt_s:float -> unit
+(** Add [power_w *. dt_s] joules, saturating at the [v_max] energy. *)
+
+val above : t -> float -> bool
+(** [above t v] — is the voltage at least [v]? *)
+
+val usable_above : t -> float -> float
+(** Joules available before the voltage would drop below the threshold. *)

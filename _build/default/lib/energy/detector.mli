@@ -1,0 +1,34 @@
+(** Voltage-detector / comparator model (§2.2, Table 1).
+
+    JIT-checkpoint designs need a two-threshold detector (backup +
+    restore) with long propagation delays and a 20 µA supply; SweepCache
+    only needs a single-threshold comparator (restore) with 12 µA and a
+    1.1 µs delay.  The quiescent draw is charged continuously — including
+    while the system is off and charging — which is one source of
+    SweepCache's energy advantage. *)
+
+type t = {
+  v_backup : float option;
+      (** Backup threshold; [None] for SweepCache (no JIT backup). *)
+  v_restore : float;  (** Reboot/restore threshold. *)
+  t_phl_ns : float;   (** Backup-detection propagation delay. *)
+  t_plh_ns : float;   (** Restore-detection propagation delay. *)
+  i_quiescent_a : float;  (** Detector supply current. *)
+  v_supply : float;       (** Nominal rail for quiescent power. *)
+}
+
+val jit : v_backup:float -> v_restore:float -> t
+(** Two-threshold detector with the paper's 1.5 µs / 10.3 µs delays and
+    20 µA draw. *)
+
+val sweep : v_restore:float -> t
+(** Single-threshold comparator: no backup threshold, 1.1 µs restore
+    delay, 12 µA draw. *)
+
+val quiescent_power_w : t -> float
+
+val with_delays : t -> t_phl_ns:float -> t_plh_ns:float -> t
+(** Override propagation delays (the Fig. 11 sensitivity study). *)
+
+val with_thresholds : t -> ?v_backup:float -> v_restore:float -> unit -> t
+(** Override thresholds (capacitor-degradation experiment). *)

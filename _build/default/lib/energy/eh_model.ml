@@ -1,0 +1,19 @@
+module E = Energy_config
+
+let worst_case_store_joules (e : E.t) =
+  let stall_ns = e.nvm_write_ns +. e.nvm_read_ns +. E.cycle_ns e in
+  (stall_ns /. E.cycle_ns e *. e.e_stall_cycle)
+  +. e.e_nvm_line_write +. e.e_nvm_read +. e.e_cache_access
+
+let hit_instruction_joules (e : E.t) = e.e_cycle +. e.e_cache_access
+
+let region_instr_cap ?(farads = 470e-9) ?(v_operating = 3.3) ?(v_min = 2.8)
+    ?(energy = E.default) ~store_threshold () =
+  let usable = 0.5 *. farads *. ((v_operating ** 2.0) -. (v_min ** 2.0)) in
+  (* Half for execution, half for the recovery re-execution. *)
+  let budget = usable /. 2.0 in
+  let store_reserve =
+    float_of_int store_threshold *. worst_case_store_joules energy
+  in
+  let rest = Float.max 0.0 (budget -. store_reserve) in
+  max 64 (int_of_float (rest /. hit_instruction_joules energy))

@@ -1,0 +1,30 @@
+(** EH-model forward-progress budget (paper §4.1 "Forward Progress and
+    I/O Functions", after San Miguel et al.'s EH model).
+
+    A region must be executable — including its recovery re-execution —
+    within one capacitor charge, or the program livelocks re-executing
+    it forever.  The compiler therefore caps region length.  The budget
+    splits the usable charge in half (execution + one recovery
+    re-execution), reserves the worst case for the region's stores
+    (every store an evicting miss), and spends the rest on hit-path
+    instructions. *)
+
+val region_instr_cap :
+  ?farads:float ->
+  ?v_operating:float ->
+  ?v_min:float ->
+  ?energy:Energy_config.t ->
+  store_threshold:int ->
+  unit ->
+  int
+(** Defaults: 470 nF, SweepCache's 3.3 V restore threshold, 2.8 V Vmin,
+    {!Energy_config.default}.  The result is clamped to at least 64
+    instructions (a region must be able to hold its own checkpoint
+    stores). *)
+
+val worst_case_store_joules : Energy_config.t -> float
+(** Energy of the worst single store: an evicting miss — line write-back,
+    line fetch, and the stall power for their latency. *)
+
+val hit_instruction_joules : Energy_config.t -> float
+(** Energy of a cache-hit instruction (cycle + cache access). *)

@@ -1,0 +1,55 @@
+(** Time and energy constants of the simulated platform.
+
+    These stand in for the NVPsim power model the paper uses.  Absolute
+    values are calibrated so that the *relative* behaviour matches the
+    paper's setting: NVM accesses dominate both latency and energy; a JIT
+    voltage detector draws noticeably more quiescent current than
+    SweepCache's single-threshold comparator; and a 470 nF capacitor
+    yields bursts of a few thousand cache-free instructions. *)
+
+type t = {
+  clock_hz : float;        (** Core clock (1 GHz, gem5-like in-order). *)
+  nvm_read_ns : float;     (** Table 1: 20 ns. *)
+  nvm_write_ns : float;    (** Table 1: 120 ns. *)
+  cache_hit_cycles : int;  (** 1 cycle. *)
+  e_cycle : float;         (** J per active core cycle. *)
+  e_stall_cycle : float;   (** J per stall cycle (waiting on memory). *)
+  e_cache_access : float;  (** J per SRAM cache access. *)
+  e_nvm_read : float;      (** J per NVM read transaction. *)
+  e_nvm_write : float;     (** J per NVM word write (NVP/WT stores). *)
+  e_nvm_line_write : float;
+      (** J per scattered single-line NVM write (clwb, synchronous
+          eviction write-backs) — the write-amplification cost
+          ReplayCache pays per store (§2.2, Fig. 16). *)
+  e_dma_line : float;
+      (** J per line inside a batched DMA transfer (SweepCache's
+          persistence phases): bank scheduling makes a batch cheaper per
+          line than scattered writes. *)
+  e_line_backup : float;   (** NVSRAM: J to back one line into the NVM counterpart. *)
+  e_line_restore : float;  (** NVSRAM: J to restore one line. *)
+  e_reg_backup : float;    (** JIT: J per register checkpointed to NVFF. *)
+  e_reg_restore : float;   (** J per register restored. *)
+  backup_line_ns : float;  (** Time to back up / restore one line (parallel NVSRAM transfer). *)
+  backup_reg_ns : float;   (** Time per register JIT backup/restore. *)
+  buffer_search_ns : float;(** Sequential persist-buffer search, per entry (§4.4). *)
+  e_buffer_search : float; (** J per searched buffer entry. *)
+  dma_line_ns : float;
+      (** Per-line time of SweepCache's batched DMA transfers (buffer
+          flush and buffer→NVM move).  Lower than the raw write latency:
+          the DMA streams a whole region's lines as one scheduled batch
+          across NVM banks — the persist-coalescing advantage the paper
+          credits SweepCache with. *)
+  clwb_drain_ns : float;
+      (** Per-line drain time of ReplayCache's clwb queue.  Scattered,
+          one-at-a-time line writes cannot be batch-scheduled, so this
+          sits between [dma_line_ns] and the raw write latency —
+          ReplayCache "loses persist coalescing" (§2.2). *)
+}
+
+val default : t
+
+val cycle_ns : t -> float
+(** Nanoseconds per core cycle. *)
+
+val nvm_read_cycles : t -> int
+val nvm_write_cycles : t -> int

@@ -1,0 +1,141 @@
+type kind = Rf_home | Rf_office | Solar | Thermal
+
+let kind_name = function
+  | Rf_home -> "RFHome"
+  | Rf_office -> "RFOffice"
+  | Solar -> "solar"
+  | Thermal -> "thermal"
+
+let all_kinds = [ Rf_home; Rf_office; Solar; Thermal ]
+
+type t = {
+  kind : kind;
+  dt_s : float;
+  samples : float array; (* watts *)
+}
+
+let dt_s = 1.0e-4 (* 100 us *)
+let duration_s = 60.0
+let sample_count = int_of_float (duration_s /. dt_s)
+
+(* Two-state (on/off) semi-Markov RF source: exponential dwell times, and
+   log-normal-ish power during on-periods.  Home and office differ in
+   duty cycle and burst length, office being slightly choppier. *)
+let gen_rf rng ~p_on_w ~mean_on_s ~mean_off_s samples =
+  let i = ref 0 in
+  let on = ref true in
+  while !i < Array.length samples do
+    let dwell =
+      Sweep_util.Rng.exponential rng (if !on then mean_on_s else mean_off_s)
+    in
+    let steps = max 1 (int_of_float (dwell /. dt_s)) in
+    let level =
+      if !on then p_on_w *. (0.6 +. (0.8 *. Sweep_util.Rng.float rng 1.0))
+      else 0.0
+    in
+    let stop = min (Array.length samples) (!i + steps) in
+    for j = !i to stop - 1 do
+      samples.(j) <- level
+    done;
+    i := stop;
+    on := not !on
+  done
+
+let gen_solar rng samples =
+  (* Slow irradiance drift (clouds) on a stable base. *)
+  let base = 300.0e-6 in
+  let drift = ref 1.0 in
+  Array.iteri
+    (fun j _ ->
+      if j mod 2000 = 0 then begin
+        let step = 0.15 *. Sweep_util.Rng.gaussian rng in
+        drift := Sweep_util.Stats.clamp ~lo:0.5 ~hi:1.4 (!drift +. step)
+      end;
+      samples.(j) <- base *. !drift)
+    samples
+
+let gen_thermal rng samples =
+  let base = 280.0e-6 in
+  Array.iteri
+    (fun j _ ->
+      let noise = 1.0 +. (0.03 *. Sweep_util.Rng.gaussian rng) in
+      samples.(j) <- Float.max 0.0 (base *. noise))
+    samples
+
+let make ?(seed = 42) kind =
+  let rng = Sweep_util.Rng.create (seed + Hashtbl.hash (kind_name kind)) in
+  let samples = Array.make sample_count 0.0 in
+  (match kind with
+  | Rf_home ->
+    gen_rf rng ~p_on_w:700.0e-6 ~mean_on_s:0.0020 ~mean_off_s:0.0026 samples
+  | Rf_office ->
+    gen_rf rng ~p_on_w:650.0e-6 ~mean_on_s:0.0015 ~mean_off_s:0.0020 samples
+  | Solar -> gen_solar rng samples
+  | Thermal -> gen_thermal rng samples);
+  { kind; dt_s; samples }
+
+let kind t = t.kind
+
+let power t time_s =
+  let idx = int_of_float (time_s /. t.dt_s) in
+  let n = Array.length t.samples in
+  t.samples.(((idx mod n) + n) mod n)
+
+let mean_power t =
+  Array.fold_left ( +. ) 0.0 t.samples /. float_of_int (Array.length t.samples)
+
+let duty_cycle t =
+  let live =
+    Array.fold_left (fun acc p -> if p > 1.0e-6 then acc + 1 else acc) 0 t.samples
+  in
+  float_of_int live /. float_of_int (Array.length t.samples)
+
+let save_csv t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "time_s,power_w\n";
+      Array.iteri
+        (fun idx p ->
+          Printf.fprintf oc "%.6f,%.9f\n" (float_of_int idx *. t.dt_s) p)
+        t.samples)
+
+let load_csv ?(kind = Rf_office) path =
+  let ic = open_in path in
+  let rows = ref [] in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if line <> "" then
+             match String.split_on_char ',' line with
+             | [ a; b ] -> (
+               match (float_of_string_opt a, float_of_string_opt b) with
+               | Some time_s, Some p -> rows := (time_s, p) :: !rows
+               | None, _ when !rows = [] -> () (* header *)
+               | _ -> failwith ("Power_trace.load_csv: bad row " ^ line))
+             | _ -> failwith ("Power_trace.load_csv: bad row " ^ line)
+         done
+       with End_of_file -> ()));
+  let rows = List.rev !rows in
+  if rows = [] then failwith "Power_trace.load_csv: empty trace";
+  let duration = List.fold_left (fun acc (ts, _) -> Float.max acc ts) 0.0 rows in
+  let n = max 1 (int_of_float (duration /. dt_s) + 1) in
+  let samples = Array.make n 0.0 in
+  (* Zero-order hold: each row's power applies from its timestamp on. *)
+  let rec fill rows idx current =
+    if idx >= n then ()
+    else begin
+      let time = float_of_int idx *. dt_s in
+      match rows with
+      | (ts, p) :: rest when ts <= time -> fill rest idx p
+      | _ ->
+        samples.(idx) <- current;
+        fill rows (idx + 1) current
+    end
+  in
+  fill rows 0 (snd (List.hd rows));
+  { kind; dt_s; samples }

@@ -1,0 +1,41 @@
+(** Synthetic ambient-power traces.
+
+    The paper evaluates with two real RF traces (RFHome, RFOffice) plus
+    solar and thermal sources.  Real traces are unavailable, so we
+    generate seeded synthetic ones whose *statistics* match the roles the
+    paper gives them: RF sources are bursty on/off processes; solar varies
+    slowly; thermal is nearly constant.  All four share a similar mean
+    power so that differences in results come from stability, not budget
+    (see DESIGN.md, substitutions). *)
+
+type kind = Rf_home | Rf_office | Solar | Thermal
+
+val kind_name : kind -> string
+val all_kinds : kind list
+
+type t
+
+val make : ?seed:int -> kind -> t
+(** Deterministic for a given seed (default 42).  Traces cover ~60 s at
+    100 µs resolution and wrap around beyond that. *)
+
+val kind : t -> kind
+
+val power : t -> float -> float
+(** [power t time_s] in watts. *)
+
+val mean_power : t -> float
+
+val duty_cycle : t -> float
+(** Fraction of samples with non-negligible power — a burstiness
+    indicator (RF ≈ 0.4–0.5, solar/thermal ≈ 1.0). *)
+
+val save_csv : t -> string -> unit
+(** Write the trace as "time_s,power_w" rows — for plotting, or for
+    feeding a measured trace back in through {!load_csv}. *)
+
+val load_csv : ?kind:kind -> string -> t
+(** Read a "time_s,power_w" CSV (header line optional).  Samples are
+    resampled onto the trace's native 100 µs grid by zero-order hold;
+    [kind] labels the result (default [Rf_office]).  Raises [Failure] on
+    a malformed file or an empty trace. *)

@@ -1,0 +1,1 @@
+lib/exp/exp_ablation.ml: Exp_common Exp_regions List Printf Sweep_compiler Sweep_energy Sweep_machine Sweep_sim Sweep_util

@@ -1,0 +1,1 @@
+lib/exp/exp_cache_size.ml: Exp_common List Printf Sweep_machine Sweep_sim Sweep_util

@@ -1,0 +1,1 @@
+lib/exp/exp_capacitor.ml: Exp_common List Printf Sweep_sim Sweep_util

@@ -1,0 +1,1 @@
+lib/exp/exp_common.ml: Hashtbl List Option Printf Sweep_compiler Sweep_energy Sweep_machine Sweep_sim Sweep_util Sweep_workloads

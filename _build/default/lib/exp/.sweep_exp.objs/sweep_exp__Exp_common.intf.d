@@ -1,0 +1,1 @@
+lib/exp/exp_common.mli: Sweep_compiler Sweep_energy Sweep_machine Sweep_sim

@@ -1,0 +1,1 @@
+lib/exp/exp_fig5.ml: Exp_common List Printf Sweep_sim Sweep_util Sweep_workloads

@@ -1,0 +1,1 @@
+lib/exp/exp_hwcost.ml: Printf Sweep_isa Sweep_machine Sweep_util

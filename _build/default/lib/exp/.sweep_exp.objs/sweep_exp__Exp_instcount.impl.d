@@ -1,0 +1,1 @@
+lib/exp/exp_instcount.ml: Exp_common List Printf Sweep_compiler Sweep_sim Sweep_util Sweep_workloads

@@ -1,0 +1,1 @@
+lib/exp/exp_nvmr.ml: Exp_capacitor Exp_common List Printf Sweep_sim Sweep_util

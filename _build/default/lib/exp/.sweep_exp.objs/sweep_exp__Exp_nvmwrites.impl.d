@@ -1,0 +1,1 @@
+lib/exp/exp_nvmwrites.ml: Exp_common List Printf Sweep_energy Sweep_sim Sweep_util

@@ -1,0 +1,1 @@
+lib/exp/exp_outage.ml: Exp_common Exp_fig5 Printf Sweep_energy

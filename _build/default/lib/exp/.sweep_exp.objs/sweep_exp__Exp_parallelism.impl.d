@@ -1,0 +1,1 @@
+lib/exp/exp_parallelism.ml: Exp_common List Printf Sweep_compiler Sweep_machine Sweep_sim Sweep_util Sweep_workloads Sweepcache_core

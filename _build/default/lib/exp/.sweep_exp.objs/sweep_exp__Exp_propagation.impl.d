@@ -1,0 +1,1 @@
+lib/exp/exp_propagation.ml: Exp_capacitor Exp_common List Printf Sweep_energy Sweep_machine Sweep_sim Sweep_util

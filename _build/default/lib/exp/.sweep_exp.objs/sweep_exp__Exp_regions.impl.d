@@ -1,0 +1,1 @@
+lib/exp/exp_regions.ml: Array Exp_common List Printf Sweep_compiler Sweep_machine Sweep_sim Sweep_util

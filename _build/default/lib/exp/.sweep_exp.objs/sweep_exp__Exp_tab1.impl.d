@@ -1,0 +1,1 @@
+lib/exp/exp_tab1.ml: Printf Sweep_energy Sweep_util

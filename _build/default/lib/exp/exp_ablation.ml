@@ -1,0 +1,185 @@
+(* Ablations beyond the paper's headline results (DESIGN.md §7):
+   - dual buffering vs a single persist buffer (§3.3's claim);
+   - empty-bit vs always-search (already in Figs. 5–7; summarised here);
+   - SweepCache with Vmin lowered to 1.8 V (paper footnote 1);
+   - capacitor degradation: JIT thresholds raised 20% / 40% of the
+     headroom (paper §2.2: 1.4x / 2.5x slowdowns);
+   - loop unrolling disabled (region-enlargement contribution, §4.1);
+   - small-function inlining enabled (the paper's §5 future work). *)
+module H = Sweep_sim.Harness
+module C = Exp_common
+module Config = Sweep_machine.Config
+module Detector = Sweep_energy.Detector
+module Pipeline = Sweep_compiler.Pipeline
+module Driver = Sweep_sim.Driver
+module Table = Sweep_util.Table
+
+let geo_speed ?(power = Sweep_sim.Driver.Unlimited) s =
+  C.geomean (List.map (C.speedup s ~power) C.subset_names)
+
+let run_buffers () =
+  Printf.printf "== Ablation — dual buffering (§3.3) ==\n";
+  let t =
+    Table.create [ "buffers"; "geomean speedup (no outage)"; "eff %" ]
+  in
+  List.iter
+    (fun count ->
+      let s =
+        C.setting
+          ~label:(Printf.sprintf "sweep/%db" count)
+          ~config:{ Config.default with buffer_count = count }
+          H.Sweep
+      in
+      let effs =
+        List.map
+          (fun b ->
+            Sweep_machine.Mstats.parallelism_efficiency
+              (C.run s ~power:Sweep_sim.Driver.Unlimited b).C.mstats)
+          C.subset_names
+      in
+      Table.add_float_row t (string_of_int count)
+        [ geo_speed s; Sweep_util.Stats.mean effs ])
+    [ 1; 2 ];
+  Table.print t;
+  print_newline ()
+
+let run_vmin () =
+  Printf.printf "== Ablation — SweepCache with Vmin = 1.8 V (footnote 1) ==\n";
+  let t = Table.create [ "setting"; "geomean speedup (RFOffice)" ] in
+  let trace = C.rf_office () in
+  let std = C.sweep_empty_bit in
+  let deep = C.setting ~label:"sweep/vmin1.8" H.Sweep in
+  Table.add_float_row t "Vmin 2.8"
+    [
+      C.geomean
+        (List.map (C.speedup std ~power:(C.power trace)) C.subset_names);
+    ];
+  let deep_power = Driver.harvested ~v_min:1.8 ~trace ~farads:470e-9 () in
+  let nvp_power = C.power trace in
+  Table.add_float_row t "Vmin 1.8"
+    [
+      C.geomean
+        (List.map
+           (fun b ->
+             C.nvp_time ~power:nvp_power b
+             /. Driver.total_ns (C.run deep ~power:deep_power b).C.outcome)
+           C.subset_names);
+    ];
+  Table.print t;
+  print_newline ()
+
+let run_degradation () =
+  Printf.printf
+    "== Ablation — capacitor degradation: JIT thresholds raised (§2.2) ==\n";
+  let trace = C.rf_office () in
+  let power = C.power trace in
+  let t =
+    Table.create
+      [ "threshold margin"; "NVSRAM slowdown vs nominal"; "avg outages" ]
+  in
+  let nominal =
+    Sweep_util.Stats.mean
+      (List.map
+         (fun b ->
+           Driver.total_ns (C.run (C.setting H.Nvsram) ~power b).C.outcome)
+         C.subset_names)
+  in
+  let nominal_outages =
+    Sweep_util.Stats.mean
+      (List.map
+         (fun b ->
+           float_of_int (C.run (C.setting H.Nvsram) ~power b).C.outcome.Driver.outages)
+         C.subset_names)
+  in
+  Table.add_float_row t "nominal" [ 1.0; nominal_outages ];
+  List.iter
+    (fun (label, bump) ->
+      let det =
+        Detector.jit ~v_backup:(3.2 +. bump) ~v_restore:(3.4 +. bump)
+      in
+      let s =
+        C.setting
+          ~label:(Printf.sprintf "nvsram+%s" label)
+          ~config:(Config.with_detector Config.default det)
+          H.Nvsram
+      in
+      let slowed =
+        Sweep_util.Stats.mean
+          (List.map
+             (fun b -> Driver.total_ns (C.run s ~power b).C.outcome)
+             C.subset_names)
+      in
+      let outages =
+        Sweep_util.Stats.mean
+          (List.map
+             (fun b ->
+               float_of_int (C.run s ~power b).C.outcome.Driver.outages)
+             C.subset_names)
+      in
+      Table.add_float_row t label [ slowed /. nominal; outages ])
+    (* Bumps keep the restore threshold under Vmax = 3.5. *)
+    [ ("+20%", 0.04); ("+40%", 0.08) ];
+  Table.print t;
+  print_newline ()
+
+let run_unroll () =
+  Printf.printf "== Ablation — loop unrolling off (§4.1 region enlargement) ==\n";
+  let t =
+    Table.create [ "setting"; "geomean speedup (no outage)"; "avg region size" ]
+  in
+  List.iter
+    (fun (label, unroll) ->
+      let options = Pipeline.options ~unroll () in
+      let s = C.setting ~label ~options H.Sweep in
+      let sizes =
+        List.map
+          (fun b ->
+            Exp_regions.avg
+              (C.run s ~power:Sweep_sim.Driver.Unlimited b).C.mstats
+                .Sweep_machine.Mstats.region_size_hist)
+          C.subset_names
+      in
+      Table.add_float_row t label
+        [ geo_speed s; Sweep_util.Stats.mean sizes ])
+    [ ("unroll on", true); ("unroll off", false) ];
+  Table.print t;
+  print_newline ()
+
+let run_inline () =
+  Printf.printf
+    "== Extension — small-function inlining on (§5 future work) ==\n";
+  let t =
+    Table.create
+      [ "setting"; "geomean speedup (no outage)"; "dynamic regions" ]
+  in
+  (* Call-heavy benchmarks gain the most: every call costs entry/exit
+     boundaries. *)
+  let benches = [ "pegwitenc"; "rijndaelenc"; "basicmath"; "jpegenc"; "sha" ] in
+  List.iter
+    (fun (label, inline) ->
+      let options = Pipeline.options ~inline () in
+      let s = C.setting ~label ~options H.Sweep in
+      let regions =
+        List.map
+          (fun b ->
+            float_of_int
+              (C.run s ~power:Sweep_sim.Driver.Unlimited b).C.mstats
+                .Sweep_machine.Mstats.regions)
+          benches
+      in
+      Table.add_float_row t label
+        [
+          C.geomean
+            (List.map (C.speedup s ~power:Sweep_sim.Driver.Unlimited) benches);
+          Sweep_util.Stats.mean regions;
+        ])
+    [ ("inline off", false); ("inline on", true) ];
+  Table.print t;
+  print_newline ()
+
+let run () =
+  run_buffers ();
+  run_vmin ();
+  run_degradation ();
+  run_unroll ();
+  run_inline ()

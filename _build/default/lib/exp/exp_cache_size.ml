@@ -1,0 +1,33 @@
+(* Fig. 8: speedups over NVP across cache sizes (512 B – 16 kB), RFOffice
+   trace, 470 nF. *)
+module H = Sweep_sim.Harness
+module C = Exp_common
+module Config = Sweep_machine.Config
+module Table = Sweep_util.Table
+
+let sizes = [ 512; 1024; 2048; 4096; 8192; 16384 ]
+
+let run () =
+  Printf.printf
+    "== Fig. 8 — speedups over NVP across cache sizes (RFOffice, subset) ==\n";
+  let power = C.power (C.rf_office ()) in
+  let t = Table.create [ "cache"; "ReplayCache"; "NVSRAM"; "SweepCache" ] in
+  List.iter
+    (fun size ->
+      let mk design label =
+        C.setting ~label:(Printf.sprintf "%s@%d" label size)
+          ~config:(Config.with_cache Config.default ~size)
+          design
+      in
+      let speed s = C.geomean (List.map (C.speedup s ~power) C.subset_names) in
+      Table.add_float_row t
+        (if size >= 1024 then Printf.sprintf "%dkB" (size / 1024)
+         else Printf.sprintf "%dB" size)
+        [
+          speed (mk H.Replay "replay");
+          speed (mk H.Nvsram "nvsram");
+          speed (mk H.Sweep "sweep");
+        ])
+    sizes;
+  Table.print t;
+  print_newline ()

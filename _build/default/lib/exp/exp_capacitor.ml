@@ -1,0 +1,80 @@
+(* Table 2 (average power outages per capacitor size) and Fig. 9
+   (speedups across capacitor sizes, relative to same-capacitor NVP and
+   to a fixed-100nF NVP).  RFOffice trace, the 10-benchmark subset. *)
+module H = Sweep_sim.Harness
+module C = Exp_common
+module Table = Sweep_util.Table
+module Driver = Sweep_sim.Driver
+
+let caps = [ 100e-9; 470e-9; 1e-6; 10e-6; 100e-6; 1e-3 ]
+
+let cap_label f =
+  if f >= 1e-3 then Printf.sprintf "%gmF" (f /. 1e-3)
+  else if f >= 1e-6 then Printf.sprintf "%guF" (f /. 1e-6)
+  else Printf.sprintf "%gnF" (f /. 1e-9)
+
+let settings =
+  [
+    C.setting H.Nvp;
+    C.setting H.Replay;
+    C.setting H.Nvsram;
+    C.sweep_empty_bit;
+  ]
+
+let avg_outages s farads =
+  let power = C.power ~farads (C.rf_office ()) in
+  let outs =
+    List.map
+      (fun b ->
+        float_of_int (C.run s ~power b).C.outcome.Driver.outages)
+      C.subset_names
+  in
+  Sweep_util.Stats.mean outs
+
+let run_table2 () =
+  Printf.printf
+    "== Table 2 — average power outages vs capacitor (RFOffice, %d-benchmark subset) ==\n"
+    (List.length C.subset_names);
+  let t = Table.create ("capacitor" :: List.map (fun s -> s.C.label) settings) in
+  List.iter
+    (fun farads ->
+      Table.add_float_row t (cap_label farads)
+        (List.map (fun s -> avg_outages s farads) settings))
+    caps;
+  Table.print t;
+  print_newline ()
+
+let run_fig9 () =
+  Printf.printf
+    "== Fig. 9 — speedups over NVP across capacitor sizes (RFOffice, subset) ==\n";
+  let non_nvp = List.tl settings in
+  let t =
+    Table.create
+      ("capacitor"
+      :: (List.map (fun s -> s.C.label) non_nvp
+         @ [ "Sweep vs NVP@100nF (abs)" ]))
+  in
+  let nvp_total farads bench =
+    C.nvp_time ~power:(C.power ~farads (C.rf_office ())) bench
+  in
+  List.iter
+    (fun farads ->
+      let power = C.power ~farads (C.rf_office ()) in
+      let speedups =
+        List.map
+          (fun s -> C.geomean (List.map (C.speedup s ~power) C.subset_names))
+          non_nvp
+      in
+      (* The line series: everything relative to the 100 nF NVP. *)
+      let abs_sweep =
+        C.geomean
+          (List.map
+             (fun b ->
+               nvp_total 100e-9 b
+               /. Driver.total_ns (C.run C.sweep_empty_bit ~power b).C.outcome)
+             C.subset_names)
+      in
+      Table.add_float_row t (cap_label farads) (speedups @ [ abs_sweep ]))
+    caps;
+  Table.print t;
+  print_newline ()

@@ -1,0 +1,100 @@
+module H = Sweep_sim.Harness
+module Driver = Sweep_sim.Driver
+module Trace = Sweep_energy.Power_trace
+module Config = Sweep_machine.Config
+module Pipeline = Sweep_compiler.Pipeline
+
+type setting = {
+  design : H.design;
+  label : string;
+  config : Config.t;
+  options : Pipeline.options;
+}
+
+let setting ?label ?(config = Config.default)
+    ?(options = Pipeline.default_options) design =
+  let label = Option.value label ~default:(H.design_name design) in
+  { design; label; config; options }
+
+let sweep_nvm_search =
+  setting ~label:"Sweep/NVMsearch"
+    ~config:(Config.with_search Config.default Config.Nvm_search)
+    H.Sweep
+
+let sweep_empty_bit = setting ~label:"Sweep/EmptyBit" H.Sweep
+
+let fig5_settings =
+  [ setting H.Replay; setting H.Nvsram; sweep_nvm_search; sweep_empty_bit ]
+
+let trace_cache : (Trace.kind, Trace.t) Hashtbl.t = Hashtbl.create 4
+
+let trace_of kind =
+  match Hashtbl.find_opt trace_cache kind with
+  | Some t -> t
+  | None ->
+    let t = Trace.make kind in
+    Hashtbl.replace trace_cache kind t;
+    t
+
+let rf_office () = trace_of Trace.Rf_office
+let rf_home () = trace_of Trace.Rf_home
+
+let power ?(farads = 470e-9) trace = Driver.harvested ~trace ~farads ()
+
+let all_names =
+  List.map (fun w -> w.Sweep_workloads.Workload.name) Sweep_workloads.Registry.all
+
+let subset_names =
+  [
+    "adpcmdec"; "gsmdec"; "jpegenc"; "sha"; "susans"; "dijkstra"; "fft";
+    "typeset"; "blowfishenc"; "rijndaelenc";
+  ]
+
+let power_key = function
+  | Driver.Unlimited -> "unlimited"
+  | Driver.Harvested { trace; capacitor_farads; v_max; v_min } ->
+    Printf.sprintf "%s/%g/%g/%g"
+      (Trace.kind_name (Trace.kind trace))
+      capacitor_farads v_max v_min
+
+type summary = {
+  outcome : Driver.outcome;
+  mstats : Sweep_machine.Mstats.t;
+  miss_rate : float;
+  nvm_writes : int;
+}
+
+let cache : (string, summary) Hashtbl.t = Hashtbl.create 256
+
+let run ?(scale = 1.0) s ~power bench =
+  let key =
+    Printf.sprintf "%s|%s|%s|%s|%g" s.label (H.design_name s.design)
+      (power_key power) bench scale
+  in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+    let w = Sweep_workloads.Registry.find bench in
+    let ast = Sweep_workloads.Workload.program ~scale w in
+    let r =
+      H.run ~config:s.config ~options:s.options s.design ~power ast
+    in
+    let summary =
+      {
+        outcome = r.H.outcome;
+        mstats = H.mstats r;
+        miss_rate = H.cache_miss_rate r;
+        nvm_writes = H.nvm_writes r;
+      }
+    in
+    Hashtbl.replace cache key summary;
+    summary
+
+let total r = Driver.total_ns r.outcome
+
+let nvp_time ?scale ~power bench = total (run ?scale (setting H.Nvp) ~power bench)
+
+let speedup ?scale s ~power bench =
+  nvp_time ?scale ~power bench /. total (run ?scale s ~power bench)
+
+let geomean = Sweep_util.Stats.geomean

@@ -1,0 +1,75 @@
+(** Shared machinery for the paper-reproduction experiments.
+
+    Each experiment module regenerates one table or figure of the paper's
+    evaluation (see DESIGN.md's per-experiment index) by running workload
+    × design × environment matrices through {!Sweep_sim.Harness} and
+    printing rows with {!Sweep_util.Table}. *)
+
+type setting = {
+  design : Sweep_sim.Harness.design;
+  label : string;                      (** column label *)
+  config : Sweep_machine.Config.t;
+  options : Sweep_compiler.Pipeline.options;
+}
+
+val setting :
+  ?label:string ->
+  ?config:Sweep_machine.Config.t ->
+  ?options:Sweep_compiler.Pipeline.options ->
+  Sweep_sim.Harness.design ->
+  setting
+
+val sweep_nvm_search : setting
+(** SweepCache with always-sequential buffer search (§4.4). *)
+
+val sweep_empty_bit : setting
+(** SweepCache with the empty-bit bypass — the paper's default. *)
+
+val fig5_settings : setting list
+(** ReplayCache, NVSRAM, SweepCache/NVM-search, SweepCache/empty-bit —
+    the Fig. 5–7 comparison set (NVP is the implicit baseline). *)
+
+val rf_office : unit -> Sweep_energy.Power_trace.t
+val rf_home : unit -> Sweep_energy.Power_trace.t
+val trace_of : Sweep_energy.Power_trace.kind -> Sweep_energy.Power_trace.t
+(** Traces are memoised — every experiment sees identical power. *)
+
+val power : ?farads:float -> Sweep_energy.Power_trace.t -> Sweep_sim.Driver.power
+(** Harvested power with the paper's default 470 nF capacitor. *)
+
+val all_names : string list
+(** The 26 benchmark names, paper order. *)
+
+val subset_names : string list
+(** A 10-benchmark subset spanning the suite's behaviours, used by the
+    multi-dimensional sweeps (capacitor/cache-size/propagation) to keep
+    the harness runtime sane; printed in each affected table's header. *)
+
+type summary = {
+  outcome : Sweep_sim.Driver.outcome;
+  mstats : Sweep_machine.Mstats.t;
+  miss_rate : float;
+  nvm_writes : int;
+}
+(** What the experiments keep from a run.  The full machine (with its
+    16 MB NVM image) is dropped immediately — hundreds of cached runs
+    would otherwise exhaust memory. *)
+
+val run :
+  ?scale:float ->
+  setting ->
+  power:Sweep_sim.Driver.power ->
+  string ->
+  summary
+(** Run one benchmark under one setting; summaries are memoised on
+    (setting label, design, power identity, benchmark, scale) so that
+    e.g. Fig. 6 and Table 2 share NVP runs. *)
+
+val nvp_time : ?scale:float -> power:Sweep_sim.Driver.power -> string -> float
+(** Total (on+off) ns of the NVP baseline for the benchmark. *)
+
+val speedup :
+  ?scale:float -> setting -> power:Sweep_sim.Driver.power -> string -> float
+(** NVP total time / setting total time. *)
+
+val geomean : float list -> float

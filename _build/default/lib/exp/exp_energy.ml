@@ -1,0 +1,50 @@
+(* §6.6 / Fig. 13: total energy consumption normalised to NVP, and the
+   backup/restore energy breakdown normalised to NVP's total.  RFOffice,
+   470 nF, full benchmark set via the subset runs. *)
+module H = Sweep_sim.Harness
+module C = Exp_common
+module Driver = Sweep_sim.Driver
+module Table = Sweep_util.Table
+
+let settings =
+  [
+    C.setting H.Replay;
+    C.setting H.Nvsram;
+    C.setting H.Nvmr;
+    C.sweep_empty_bit;
+  ]
+
+let run () =
+  Printf.printf
+    "== §6.6 / Fig. 13 — energy, normalised to NVP (RFOffice, 470 nF, subset) ==\n";
+  let power = C.power (C.rf_office ()) in
+  let t =
+    Table.create
+      [ "design"; "total %"; "backup %"; "restore %"; "backup+restore %" ]
+  in
+  let nvp_total =
+    Sweep_util.Stats.mean
+      (List.map
+         (fun b ->
+           Driver.total_joules (C.run (C.setting H.Nvp) ~power b).C.outcome)
+         C.subset_names)
+  in
+  List.iter
+    (fun s ->
+      let mean f =
+        Sweep_util.Stats.mean
+          (List.map (fun b -> f (C.run s ~power b).C.outcome) C.subset_names)
+      in
+      let total = mean Driver.total_joules in
+      let backup = mean (fun o -> o.Driver.backup_joules) in
+      let restore = mean (fun o -> o.Driver.restore_joules) in
+      Table.add_float_row t s.C.label
+        [
+          100.0 *. total /. nvp_total;
+          100.0 *. backup /. nvp_total;
+          100.0 *. restore /. nvp_total;
+          100.0 *. (backup +. restore) /. nvp_total;
+        ])
+    settings;
+  Table.print t;
+  print_newline ()

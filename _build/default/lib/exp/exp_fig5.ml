@@ -1,0 +1,45 @@
+(* Fig. 5: speedups over NVP without power failure, per benchmark, for
+   ReplayCache, NVSRAM and the two SweepCache search variants, with
+   per-suite and overall geometric means. *)
+module H = Sweep_sim.Harness
+module C = Exp_common
+module Table = Sweep_util.Table
+
+let suite_of name =
+  (Sweep_workloads.Registry.find name).Sweep_workloads.Workload.suite
+
+let print_speedup_table ~title ~power ?(names = C.all_names) settings =
+  Printf.printf "== %s ==\n" title;
+  let t =
+    Table.create ("benchmark" :: List.map (fun s -> s.C.label) settings)
+  in
+  let rows =
+    List.map
+      (fun bench -> (bench, List.map (fun s -> C.speedup s ~power bench) settings))
+      names
+  in
+  List.iter (fun (bench, sus) -> Table.add_float_row t bench sus) rows;
+  let geo pred label =
+    let filtered = List.filter (fun (b, _) -> pred b) rows in
+    if filtered <> [] then begin
+      let per_setting idx =
+        C.geomean (List.map (fun (_, sus) -> List.nth sus idx) filtered)
+      in
+      Table.add_float_row t label
+        (List.mapi (fun idx _ -> per_setting idx) settings)
+    end
+  in
+  if names == C.all_names then begin
+    geo (fun b -> suite_of b = Sweep_workloads.Workload.Mediabench)
+      "geomean(Mediabench)";
+    geo (fun b -> suite_of b = Sweep_workloads.Workload.Mibench)
+      "geomean(Mibench)"
+  end;
+  geo (fun _ -> true) "geomean(all)";
+  Table.print t;
+  print_newline ()
+
+let run () =
+  print_speedup_table
+    ~title:"Fig. 5 — speedups over NVP, no power failure"
+    ~power:Sweep_sim.Driver.Unlimited C.fig5_settings

@@ -1,0 +1,43 @@
+(* §6.9: hardware cost accounting — SweepCache needs two persist buffers
+   plus 134 bits of control state for a 4 kB cache. *)
+module Table = Sweep_util.Table
+module Layout = Sweep_isa.Layout
+
+let run () =
+  Printf.printf "== §6.9 — SweepCache hardware costs (4 kB cache) ==\n";
+  let cfg = Sweep_machine.Config.default in
+  let lines = cfg.Sweep_machine.Config.cache_size_bytes / Layout.line_bytes in
+  let t = Table.create [ "structure"; "bits"; "note" ] in
+  let buffer_bits =
+    cfg.buffer_count * cfg.buffer_entries * ((Layout.line_bytes * 8) + 32)
+  in
+  Table.add_row t
+    [
+      "persist buffers";
+      string_of_int buffer_bits;
+      Printf.sprintf "%d x %d entries x (512b data + 32b addr), NVM-resident"
+        cfg.buffer_count cfg.buffer_entries;
+    ];
+  Table.add_row t
+    [ "empty-bits"; string_of_int cfg.buffer_count; "one per buffer" ];
+  Table.add_row t
+    [
+      "phaseComplete bits";
+      string_of_int (2 * cfg.buffer_count);
+      "phase1/phase2 per buffer, persistent register";
+    ];
+  Table.add_row t
+    [
+      "WBI tables";
+      string_of_int (2 * lines);
+      Printf.sprintf "2 x %d-bit SRAM (one bit per cacheline)" lines;
+    ];
+  let total = cfg.buffer_count + (2 * cfg.buffer_count) + (2 * lines) in
+  Table.add_row t
+    [
+      "control total";
+      string_of_int total;
+      "excl. buffers; the paper counts 134 bits for this configuration";
+    ];
+  Table.print t;
+  print_newline ()

@@ -1,0 +1,55 @@
+(* §6.5: instruction counts.  ReplayCache's clwb+fence instrumentation
+   vs SweepCache's checkpoint stores vs the plain (JIT-design) binary —
+   static and dynamic. *)
+module H = Sweep_sim.Harness
+module C = Exp_common
+module Pipeline = Sweep_compiler.Pipeline
+module Table = Sweep_util.Table
+
+let run () =
+  Printf.printf "== §6.5 — instruction counts ==\n";
+  let t =
+    Table.create
+      [
+        "benchmark"; "plain"; "sweep"; "replay"; "sweep/plain"; "replay/sweep";
+        "dyn sweep/plain"; "dyn replay/sweep";
+      ]
+  in
+  let r_sp = ref [] and r_rs = ref [] and d_sp = ref [] and d_rs = ref [] in
+  List.iter
+    (fun bench ->
+      let w = Sweep_workloads.Registry.find bench in
+      let ast = Sweep_workloads.Workload.program w in
+      let static d = (H.compile d ast).Pipeline.stats.Pipeline.static_instrs in
+      let dynamic d =
+        (C.run (C.setting d) ~power:Sweep_sim.Driver.Unlimited bench)
+          .C.outcome.Sweep_sim.Driver.instructions
+      in
+      let p = static H.Nvp and s = static H.Sweep and r = static H.Replay in
+      let dp = dynamic H.Nvp
+      and ds = dynamic H.Sweep
+      and dr = dynamic H.Replay in
+      let ratio a b = float_of_int a /. float_of_int b in
+      r_sp := ratio s p :: !r_sp;
+      r_rs := ratio r s :: !r_rs;
+      d_sp := ratio ds dp :: !d_sp;
+      d_rs := ratio dr ds :: !d_rs;
+      Table.add_row t
+        [
+          bench; string_of_int p; string_of_int s; string_of_int r;
+          Table.float_cell (ratio s p);
+          Table.float_cell (ratio r s);
+          Table.float_cell (ratio ds dp);
+          Table.float_cell (ratio dr ds);
+        ])
+    C.all_names;
+  Table.add_row t
+    [
+      "geomean"; ""; ""; "";
+      Table.float_cell (C.geomean !r_sp);
+      Table.float_cell (C.geomean !r_rs);
+      Table.float_cell (C.geomean !d_sp);
+      Table.float_cell (C.geomean !d_rs);
+    ];
+  Table.print t;
+  print_newline ()

@@ -1,0 +1,33 @@
+(* Fig. 15: cache miss rate per power trace for ReplayCache, NVSRAM,
+   NVSRAM-E and SweepCache (470 nF). *)
+module H = Sweep_sim.Harness
+module C = Exp_common
+module Trace = Sweep_energy.Power_trace
+module Table = Sweep_util.Table
+
+let settings =
+  [
+    C.setting H.Replay;
+    C.setting H.Nvsram;
+    C.setting H.Nvsram_e;
+    C.sweep_empty_bit;
+  ]
+
+let run () =
+  Printf.printf
+    "== Fig. 15 — cache miss rate (%%) across power traces (470 nF, subset) ==\n";
+  let t = Table.create ("trace" :: List.map (fun s -> s.C.label) settings) in
+  List.iter
+    (fun kind ->
+      let power = C.power (C.trace_of kind) in
+      Table.add_float_row t (Trace.kind_name kind)
+        (List.map
+           (fun s ->
+             Sweep_util.Stats.mean
+               (List.map
+                  (fun b -> 100.0 *. (C.run s ~power b).C.miss_rate)
+                  C.subset_names))
+           settings))
+    [ Trace.Rf_office; Trace.Rf_home; Trace.Solar; Trace.Thermal ];
+  Table.print t;
+  print_newline ()

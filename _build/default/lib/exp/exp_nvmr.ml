@@ -1,0 +1,38 @@
+(* Fig. 14: SweepCache vs NvMR across capacitor sizes — speedups over NVP
+   (bars) and SweepCache's energy saving over NvMR (curve). *)
+module H = Sweep_sim.Harness
+module C = Exp_common
+module Driver = Sweep_sim.Driver
+module Table = Sweep_util.Table
+
+let caps = [ 470e-9; 1e-6; 2e-6; 5e-6; 10e-6; 100e-6; 1e-3 ]
+
+let run () =
+  Printf.printf
+    "== Fig. 14 — SweepCache vs NvMR across capacitors (RFOffice, subset) ==\n";
+  let t =
+    Table.create
+      [ "capacitor"; "NvMR speedup"; "Sweep speedup"; "energy saving %" ]
+  in
+  List.iter
+    (fun farads ->
+      let power = C.power ~farads (C.rf_office ()) in
+      let speed s = C.geomean (List.map (C.speedup s ~power) C.subset_names) in
+      let total s =
+        Sweep_util.Stats.mean
+          (List.map
+             (fun b -> Driver.total_joules (C.run s ~power b).C.outcome)
+             C.subset_names)
+      in
+      let nvmr = C.setting H.Nvmr in
+      let e_nvmr = total nvmr in
+      let e_sweep = total C.sweep_empty_bit in
+      Table.add_float_row t (Exp_capacitor.cap_label farads)
+        [
+          speed nvmr;
+          speed C.sweep_empty_bit;
+          100.0 *. (e_nvmr -. e_sweep) /. e_nvmr;
+        ])
+    caps;
+  Table.print t;
+  print_newline ()

@@ -1,0 +1,34 @@
+(* Fig. 16: NVM write transactions normalised to NVSRAM's, across power
+   traces (470 nF). *)
+module H = Sweep_sim.Harness
+module C = Exp_common
+module Trace = Sweep_energy.Power_trace
+module Table = Sweep_util.Table
+
+let settings =
+  [
+    C.setting H.Replay;
+    C.setting H.Nvsram;
+    C.setting H.Nvsram_e;
+    C.sweep_empty_bit;
+  ]
+
+let run () =
+  Printf.printf
+    "== Fig. 16 — NVM writes normalised to NVSRAM, across traces (470 nF, subset) ==\n";
+  let t = Table.create ("trace" :: List.map (fun s -> s.C.label) settings) in
+  List.iter
+    (fun kind ->
+      let power = C.power (C.trace_of kind) in
+      let writes s =
+        Sweep_util.Stats.mean
+          (List.map
+             (fun b -> float_of_int (C.run s ~power b).C.nvm_writes)
+             C.subset_names)
+      in
+      let base = writes (C.setting H.Nvsram) in
+      Table.add_float_row t (Trace.kind_name kind)
+        (List.map (fun s -> writes s /. base) settings))
+    [ Trace.Rf_office; Trace.Rf_home; Trace.Solar; Trace.Thermal ];
+  Table.print t;
+  print_newline ()

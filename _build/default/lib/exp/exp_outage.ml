@@ -1,0 +1,15 @@
+(* Figs. 6 & 7: speedups over NVP under the RFHome / RFOffice traces with
+   the 470 nF capacitor. *)
+module C = Exp_common
+module Trace = Sweep_energy.Power_trace
+
+let run_kind kind fig =
+  let trace = C.trace_of kind in
+  Exp_fig5.print_speedup_table
+    ~title:
+      (Printf.sprintf "Fig. %d — speedups over NVP, %s trace (470 nF)" fig
+         (Trace.kind_name kind))
+    ~power:(C.power trace) C.fig5_settings
+
+let run_rfhome () = run_kind Trace.Rf_home 6
+let run_rfoffice () = run_kind Trace.Rf_office 7

@@ -1,0 +1,88 @@
+(* Fig. 12: CDFs of dynamic region size (instructions) and stores per
+   region, plus the §6.4 store-threshold study (average store counts and
+   speedup across thresholds 32/64/128/256). *)
+module H = Sweep_sim.Harness
+module C = Exp_common
+module Mstats = Sweep_machine.Mstats
+module Pipeline = Sweep_compiler.Pipeline
+module Table = Sweep_util.Table
+
+let merged_histograms () =
+  let size_acc = Array.make 513 0 in
+  let store_acc = Array.make 129 0 in
+  List.iter
+    (fun bench ->
+      let r = C.run C.sweep_empty_bit ~power:Sweep_sim.Driver.Unlimited bench in
+      let st = r.C.mstats in
+      Array.iteri (fun idx c -> size_acc.(idx) <- size_acc.(idx) + c)
+        st.Mstats.region_size_hist;
+      Array.iteri (fun idx c -> store_acc.(idx) <- store_acc.(idx) + c)
+        st.Mstats.region_store_hist)
+    C.all_names;
+  (size_acc, store_acc)
+
+let avg hist =
+  let n = ref 0 and s = ref 0 in
+  Array.iteri
+    (fun value count ->
+      n := !n + count;
+      s := !s + (value * count))
+    hist;
+  if !n = 0 then 0.0 else float_of_int !s /. float_of_int !n
+
+let print_cdf title hist =
+  Printf.printf "%s (avg %.2f)\n" title (avg hist);
+  let t = Table.create [ "value"; "cum.%" ] in
+  let points = Mstats.hist_cdf hist in
+  (* Subsample to ~16 rows. *)
+  let n = List.length points in
+  let keep = max 1 (n / 16) in
+  List.iteri
+    (fun idx (value, pct) ->
+      if idx mod keep = 0 || idx = n - 1 then
+        Table.add_row t [ string_of_int value; Table.float_cell pct ])
+    points;
+  Table.print t;
+  print_newline ()
+
+let run_fig12 () =
+  Printf.printf "== Fig. 12 — dynamic region statistics (all benchmarks, threshold 64) ==\n";
+  let size_hist, store_hist = merged_histograms () in
+  print_cdf "(a) region size CDF, #instructions" size_hist;
+  print_cdf "(b) stores per region CDF" store_hist
+
+let run_threshold () =
+  Printf.printf
+    "== §6.4 — store-threshold sensitivity (subset, no outages) ==\n";
+  let t =
+    Table.create
+      [ "threshold"; "avg stores/region"; "avg region size"; "geomean speedup" ]
+  in
+  List.iter
+    (fun threshold ->
+      let options = Pipeline.options ~store_threshold:threshold () in
+      let config =
+        { Sweep_machine.Config.default with buffer_entries = threshold }
+      in
+      let s =
+        C.setting ~label:(Printf.sprintf "sweep@%d" threshold) ~config ~options
+          H.Sweep
+      in
+      let stores = ref [] and sizes = ref [] and speeds = ref [] in
+      List.iter
+        (fun bench ->
+          let r = C.run s ~power:Sweep_sim.Driver.Unlimited bench in
+          let st = r.C.mstats in
+          stores := avg st.Mstats.region_store_hist :: !stores;
+          sizes := avg st.Mstats.region_size_hist :: !sizes;
+          speeds := C.speedup s ~power:Sweep_sim.Driver.Unlimited bench :: !speeds)
+        C.subset_names;
+      Table.add_float_row t (string_of_int threshold)
+        [
+          Sweep_util.Stats.mean !stores;
+          Sweep_util.Stats.mean !sizes;
+          C.geomean !speeds;
+        ])
+    [ 32; 64; 128; 256 ];
+  Table.print t;
+  print_newline ()

@@ -1,0 +1,22 @@
+(* Fig. 10: speedups over NVP across the four power traces, 470 nF. *)
+module H = Sweep_sim.Harness
+module C = Exp_common
+module Trace = Sweep_energy.Power_trace
+module Table = Sweep_util.Table
+
+let settings = [ C.setting H.Replay; C.setting H.Nvsram; C.sweep_empty_bit ]
+
+let run () =
+  Printf.printf
+    "== Fig. 10 — speedups over NVP across power traces (470 nF, subset) ==\n";
+  let t = Table.create ("trace" :: List.map (fun s -> s.C.label) settings) in
+  List.iter
+    (fun kind ->
+      let power = C.power (C.trace_of kind) in
+      Table.add_float_row t (Trace.kind_name kind)
+        (List.map
+           (fun s -> C.geomean (List.map (C.speedup s ~power) C.subset_names))
+           settings))
+    [ Trace.Rf_office; Trace.Rf_home; Trace.Solar; Trace.Thermal ];
+  Table.print t;
+  print_newline ()

@@ -1,0 +1,15 @@
+(** Registry of all paper-reproduction experiments. *)
+
+type t = {
+  name : string;        (** CLI id, e.g. "fig5" *)
+  title : string;       (** what it regenerates *)
+  heavy : bool;         (** multi-minute sweeps (excluded from "quick") *)
+  run : unit -> unit;   (** prints the table(s) to stdout *)
+}
+
+val all : t list
+
+val find : string -> t option
+
+val run_all : ?include_heavy:bool -> unit -> unit
+(** Run every experiment in DESIGN.md order. *)

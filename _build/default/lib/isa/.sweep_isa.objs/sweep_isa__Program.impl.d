@@ -1,0 +1,1 @@
+lib/isa/program.ml: Array Buffer Hashtbl Instr Layout List Printf

@@ -1,0 +1,139 @@
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr
+
+type cond = Eq | Ne | Lt | Le | Gt | Ge
+
+type 'l t =
+  | Movi of Reg.t * int
+  | Movl of Reg.t * 'l
+  | Mov of Reg.t * Reg.t
+  | Bin of binop * Reg.t * Reg.t * Reg.t
+  | Bini of binop * Reg.t * Reg.t * int
+  | Set of cond * Reg.t * Reg.t * Reg.t
+  | Load of Reg.t * Reg.t * int
+  | Store of Reg.t * Reg.t * int
+  | Load_abs of Reg.t * int
+  | Store_abs of Reg.t * int
+  | Br of cond * Reg.t * Reg.t * 'l
+  | Jmp of 'l
+  | Jmp_reg of Reg.t
+  | Call of 'l
+  | Clwb of Reg.t * int
+  | Clwb_abs of int
+  | Fence
+  | Region_end
+  | Nop
+  | Halt
+
+let map_label f = function
+  | Movl (rd, l) -> Movl (rd, f l)
+  | Br (c, a, b, l) -> Br (c, a, b, f l)
+  | Jmp l -> Jmp (f l)
+  | Call l -> Call (f l)
+  | Movi (rd, i) -> Movi (rd, i)
+  | Mov (rd, rs) -> Mov (rd, rs)
+  | Bin (op, rd, a, b) -> Bin (op, rd, a, b)
+  | Bini (op, rd, a, i) -> Bini (op, rd, a, i)
+  | Set (c, rd, a, b) -> Set (c, rd, a, b)
+  | Load (rd, rs, i) -> Load (rd, rs, i)
+  | Store (rv, rs, i) -> Store (rv, rs, i)
+  | Load_abs (rd, i) -> Load_abs (rd, i)
+  | Store_abs (rv, i) -> Store_abs (rv, i)
+  | Jmp_reg r -> Jmp_reg r
+  | Clwb (rs, i) -> Clwb (rs, i)
+  | Clwb_abs i -> Clwb_abs i
+  | Fence -> Fence
+  | Region_end -> Region_end
+  | Nop -> Nop
+  | Halt -> Halt
+
+let eval_binop op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then 0 else a / b
+  | Rem -> if b = 0 then 0 else a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl -> a lsl (b land 63)
+  | Shr -> a lsr (b land 63)
+
+let eval_cond c a b =
+  match c with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+
+let defs = function
+  | Movi (rd, _) | Movl (rd, _) | Mov (rd, _)
+  | Bin (_, rd, _, _) | Bini (_, rd, _, _) | Set (_, rd, _, _)
+  | Load (rd, _, _) | Load_abs (rd, _) -> [ rd ]
+  | Call _ -> [ Reg.link ]
+  | Store _ | Store_abs _ | Br _ | Jmp _ | Jmp_reg _
+  | Clwb _ | Clwb_abs _ | Fence | Region_end | Nop | Halt -> []
+
+let uses = function
+  | Mov (_, rs) -> [ rs ]
+  | Bin (_, _, a, b) -> [ a; b ]
+  | Bini (_, _, a, _) -> [ a ]
+  | Set (_, _, a, b) -> [ a; b ]
+  | Load (_, rs, _) -> [ rs ]
+  | Store (rv, rs, _) -> [ rv; rs ]
+  | Load_abs _ -> []
+  | Store_abs (rv, _) -> [ rv ]
+  | Br (_, a, b, _) -> [ a; b ]
+  | Jmp_reg r -> [ r ]
+  | Clwb (rs, _) -> [ rs ]
+  | Movi _ | Movl _ | Jmp _ | Call _ | Clwb_abs _
+  | Fence | Region_end | Nop | Halt -> []
+
+let is_store = function Store _ | Store_abs _ -> true | _ -> false
+
+let is_memory = function
+  | Load _ | Store _ | Load_abs _ | Store_abs _ -> true
+  | _ -> false
+
+let binop_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+  | And -> "and" | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Shr -> "shr"
+
+let cond_name = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+let pp pp_label fmt i =
+  let r = Reg.name in
+  match i with
+  | Movi (rd, v) -> Format.fprintf fmt "movi %s, %d" (r rd) v
+  | Movl (rd, l) -> Format.fprintf fmt "movl %s, %a" (r rd) pp_label l
+  | Mov (rd, rs) -> Format.fprintf fmt "mov %s, %s" (r rd) (r rs)
+  | Bin (op, rd, a, b) ->
+    Format.fprintf fmt "%s %s, %s, %s" (binop_name op) (r rd) (r a) (r b)
+  | Bini (op, rd, a, v) ->
+    Format.fprintf fmt "%si %s, %s, %d" (binop_name op) (r rd) (r a) v
+  | Set (c, rd, a, b) ->
+    Format.fprintf fmt "set%s %s, %s, %s" (cond_name c) (r rd) (r a) (r b)
+  | Load (rd, rs, off) -> Format.fprintf fmt "ld %s, [%s+%d]" (r rd) (r rs) off
+  | Store (rv, rs, off) -> Format.fprintf fmt "st %s, [%s+%d]" (r rv) (r rs) off
+  | Load_abs (rd, a) -> Format.fprintf fmt "ld %s, [%d]" (r rd) a
+  | Store_abs (rv, a) -> Format.fprintf fmt "st %s, [%d]" (r rv) a
+  | Br (c, a, b, l) ->
+    Format.fprintf fmt "b%s %s, %s, %a" (cond_name c) (r a) (r b) pp_label l
+  | Jmp l -> Format.fprintf fmt "jmp %a" pp_label l
+  | Jmp_reg rs -> Format.fprintf fmt "jmpr %s" (r rs)
+  | Call l -> Format.fprintf fmt "call %a" pp_label l
+  | Clwb (rs, off) -> Format.fprintf fmt "clwb [%s+%d]" (r rs) off
+  | Clwb_abs a -> Format.fprintf fmt "clwb [%d]" a
+  | Fence -> Format.pp_print_string fmt "fence"
+  | Region_end -> Format.pp_print_string fmt "region_end"
+  | Nop -> Format.pp_print_string fmt "nop"
+  | Halt -> Format.pp_print_string fmt "halt"
+
+let to_string label_to_string i =
+  let pp_label fmt l = Format.pp_print_string fmt (label_to_string l) in
+  Format.asprintf "%a" (pp pp_label) i

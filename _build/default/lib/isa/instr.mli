@@ -1,0 +1,73 @@
+(** The simulated instruction set.
+
+    A small load/store RISC ISA, polymorphic in the branch-target type:
+    ['l = string] while the compiler manipulates symbolic labels, and
+    ['l = int] (instruction index) once {!Program.assemble} has resolved
+    them.
+
+    Two instructions exist purely for the intermittent-computing designs:
+
+    - [Region_end] marks a region boundary (§3.1).  On SweepCache and
+      ReplayCache machines it triggers region-level persistence; other
+      designs treat it as a free marker.
+    - [Clwb] is ReplayCache's per-store cacheline write-back (§2.2); it is
+      a no-op elsewhere.
+
+    Checkpoint stores (§4.1) are ordinary absolute stores ([Store_abs])
+    into the register-slot array, so they flow through the cache and the
+    persist buffer exactly as the paper requires. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr
+
+type cond = Eq | Ne | Lt | Le | Gt | Ge
+
+type 'l t =
+  | Movi of Reg.t * int                  (** rd <- imm *)
+  | Movl of Reg.t * 'l                   (** rd <- address of label (code index) *)
+  | Mov of Reg.t * Reg.t                 (** rd <- rs *)
+  | Bin of binop * Reg.t * Reg.t * Reg.t (** rd <- rs1 op rs2 *)
+  | Bini of binop * Reg.t * Reg.t * int  (** rd <- rs op imm *)
+  | Set of cond * Reg.t * Reg.t * Reg.t  (** rd <- (rs1 cond rs2) ? 1 : 0 *)
+  | Load of Reg.t * Reg.t * int          (** rd <- M\[rs + imm\] *)
+  | Store of Reg.t * Reg.t * int         (** M\[rs + imm\] <- rv *)
+  | Load_abs of Reg.t * int              (** rd <- M\[imm\] *)
+  | Store_abs of Reg.t * int             (** M\[imm\] <- rv *)
+  | Br of cond * Reg.t * Reg.t * 'l      (** if rs1 cond rs2 then goto l *)
+  | Jmp of 'l
+  | Jmp_reg of Reg.t                     (** goto rs (function return) *)
+  | Call of 'l                           (** link <- pc+1; goto l *)
+  | Clwb of Reg.t * int                  (** write back line of M\[rs + imm\] *)
+  | Clwb_abs of int                      (** write back line of M\[imm\] *)
+  | Fence                                (** drain pending persists *)
+  | Region_end                           (** region boundary marker *)
+  | Nop
+  | Halt
+
+val map_label : ('a -> 'b) -> 'a t -> 'b t
+(** Rewrite branch targets; used by the assembler. *)
+
+val eval_binop : binop -> int -> int -> int
+(** Integer semantics of [binop]; division/remainder by zero yield 0, as
+    the simulated core traps nothing. *)
+
+val eval_cond : cond -> int -> int -> bool
+
+val defs : 'l t -> Reg.t list
+(** Registers written by the instruction ([Call] defines the link
+    register). *)
+
+val uses : 'l t -> Reg.t list
+(** Registers read by the instruction. *)
+
+val is_store : 'l t -> bool
+(** True for [Store]/[Store_abs] — the events counted against the persist
+    buffer threshold during region formation. *)
+
+val is_memory : 'l t -> bool
+(** True for any data-memory access. *)
+
+val pp : (Format.formatter -> 'l -> unit) -> Format.formatter -> 'l t -> unit
+
+val to_string : ('l -> string) -> 'l t -> string

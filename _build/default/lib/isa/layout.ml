@@ -1,0 +1,33 @@
+let word_bytes = 4
+let line_bytes = 64
+let words_per_line = line_bytes / word_bytes
+let nvm_bytes = 16 * 1024 * 1024
+
+type t = {
+  data_base : int;
+  data_limit : int;
+  ckpt_base : int;
+  ckpt_pc : int;
+}
+
+let default_data_base = 0x1000
+let default_ckpt_base = 0xF00000
+
+let make ~data_limit =
+  if data_limit > default_ckpt_base then
+    invalid_arg "Layout.make: data region collides with checkpoint array";
+  (* The PC checkpoint reuses the slot of the compiler-reserved scratch
+     register that performs the PC save (it is never live at a region
+     boundary, so its slot is otherwise dead).  This packs the whole
+     checkpoint array into a single cacheline, halving per-region
+     checkpoint write-back traffic. *)
+  {
+    data_base = default_data_base;
+    data_limit;
+    ckpt_base = default_ckpt_base;
+    ckpt_pc = default_ckpt_base + (word_bytes * Reg.scratch2);
+  }
+
+let line_base addr = addr land lnot (line_bytes - 1)
+
+let reg_slot t r = t.ckpt_base + (word_bytes * r)

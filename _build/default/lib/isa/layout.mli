@@ -1,0 +1,44 @@
+(** NVM address-space layout shared by the compiler and the machines.
+
+    The main memory is byte-addressed NVM; all accesses are word (4-byte)
+    aligned and a cacheline covers 16 words (64 B), matching the paper's
+    configuration (Table 1: 16 MB ReRAM, 64 B blocks). *)
+
+val word_bytes : int
+(** 4. *)
+
+val line_bytes : int
+(** 64. *)
+
+val words_per_line : int
+(** 16. *)
+
+val nvm_bytes : int
+(** 16 MB. *)
+
+type t = {
+  data_base : int;  (** First byte of globals/frames placed by the compiler. *)
+  data_limit : int; (** One past the last allocated data byte. *)
+  ckpt_base : int;  (** Register-checkpoint slot array: slot r at
+                        [ckpt_base + word_bytes * r] (§4.1). *)
+  ckpt_pc : int;    (** Slot holding the recovery PC (a code index).
+                        Shares the slot of {!Reg.scratch2}, which is never
+                        live across a boundary, so the whole checkpoint
+                        array fits one cacheline. *)
+}
+
+val default_data_base : int
+(** Where compilers start allocating globals (0x1000). *)
+
+val default_ckpt_base : int
+(** Fixed checkpoint array location (high in NVM). *)
+
+val make : data_limit:int -> t
+(** Standard layout with the given data extent.  Raises [Invalid_argument]
+    if the data region would collide with the checkpoint array. *)
+
+val line_base : int -> int
+(** Address of the first byte of the cacheline containing the address. *)
+
+val reg_slot : t -> Reg.t -> int
+(** Address of register [r]'s checkpoint slot. *)

@@ -1,0 +1,12 @@
+type t = int
+
+let count = 16
+let arg_regs = [ 0; 1; 2; 3 ]
+let ret = 0
+let allocatable = [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11 ]
+let scratch0 = 12
+let scratch1 = 13
+let scratch2 = 14
+let link = 15
+let name r = "r" ^ string_of_int r
+let pp fmt r = Format.pp_print_string fmt (name r)

@@ -1,0 +1,37 @@
+(** Architectural registers and the calling convention.
+
+    The simulated core has 16 general-purpose registers, mirroring the
+    paper's fixed-size architectural register file that SweepCache's
+    compiler checkpoints into a fixed NVM slot array (§4.1). *)
+
+type t = int
+(** Register number, [0 <= r < count]. *)
+
+val count : int
+(** Number of architectural registers (16). *)
+
+val arg_regs : t list
+(** Registers carrying the first function arguments (r0–r3). *)
+
+val ret : t
+(** Return-value register (r0). *)
+
+val allocatable : t list
+(** Registers available to the register allocator (r0–r11). *)
+
+val scratch0 : t
+(** Compiler-reserved scratch (r12): spill/checkpoint address moves. *)
+
+val scratch1 : t
+(** Second compiler-reserved scratch (r13). *)
+
+val scratch2 : t
+(** Third compiler-reserved scratch (r14). *)
+
+val link : t
+(** Link register (r15), written by [Call]. *)
+
+val name : t -> string
+(** "r0" … "r15". *)
+
+val pp : Format.formatter -> t -> unit

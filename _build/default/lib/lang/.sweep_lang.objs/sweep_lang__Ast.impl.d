@@ -1,0 +1,1 @@
+lib/lang/ast.ml: Array Hashtbl List Option Printf Set String Sweep_isa

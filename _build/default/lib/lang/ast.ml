@@ -1,0 +1,179 @@
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+
+type expr =
+  | Int of int
+  | Var of string
+  | Global of string
+  | Load of string * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list
+
+type stmt =
+  | Assign of string * expr
+  | Set_global of string * expr
+  | Store of string * expr * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of string * expr * expr * stmt list
+  | Call_stmt of string * expr list
+  | Return of expr option
+
+type global =
+  | Scalar of string * int
+  | Array of string * int * int array
+
+type func = {
+  fname : string;
+  params : string list;
+  body : stmt list;
+}
+
+type program = {
+  globals : global list;
+  funcs : func list;
+}
+
+exception Invalid of string
+
+let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+module Sset = Set.Make (String)
+
+let global_name = function Scalar (n, _) -> n | Array (n, _, _) -> n
+
+(* Locals assigned anywhere in a statement list (plus loop variables). *)
+let rec assigned_in_stmts acc stmts = List.fold_left assigned_in_stmt acc stmts
+
+and assigned_in_stmt acc = function
+  | Assign (v, _) -> Sset.add v acc
+  | For (v, _, _, body) -> assigned_in_stmts (Sset.add v acc) body
+  | If (_, t, f) -> assigned_in_stmts (assigned_in_stmts acc t) f
+  | While (_, body) -> assigned_in_stmts acc body
+  | Set_global _ | Store _ | Call_stmt _ | Return _ -> acc
+
+let validate prog =
+  let scalars, arrays =
+    List.fold_left
+      (fun (s, a) g ->
+        match g with
+        | Scalar (n, _) -> (Sset.add n s, a)
+        | Array (n, len, init) ->
+          if len <= 0 then invalid "array %s has non-positive length" n;
+          if Array.length init > len then
+            invalid "array %s: initialiser longer than the array" n;
+          (s, Sset.add n a))
+      (Sset.empty, Sset.empty) prog.globals
+  in
+  let names = List.map global_name prog.globals in
+  let dup l =
+    let sorted = List.sort compare l in
+    let rec find = function
+      | a :: (b :: _ as rest) -> if a = b then Some a else find rest
+      | _ -> None
+    in
+    find sorted
+  in
+  (match dup names with
+  | Some n -> invalid "duplicate global %s" n
+  | None -> ());
+  (match dup (List.map (fun f -> f.fname) prog.funcs) with
+  | Some n -> invalid "duplicate function %s" n
+  | None -> ());
+  let arity =
+    List.fold_left
+      (fun m f -> (f.fname, List.length f.params) :: m)
+      [] prog.funcs
+  in
+  (match List.assoc_opt "main" arity with
+  | None -> invalid "no main function"
+  | Some 0 -> ()
+  | Some _ -> invalid "main must take no parameters");
+  (* Call graph for the recursion check. *)
+  let calls = Hashtbl.create 16 in
+  let note_call caller callee =
+    let old = Option.value ~default:[] (Hashtbl.find_opt calls caller) in
+    Hashtbl.replace calls caller (callee :: old)
+  in
+  let check_func f =
+    let defined = assigned_in_stmts (Sset.of_list f.params) f.body in
+    let check_call name args =
+      match List.assoc_opt name arity with
+      | None -> invalid "%s: call to undefined function %s" f.fname name
+      | Some n ->
+        if n <> List.length args then
+          invalid "%s: %s expects %d arguments, got %d" f.fname name n
+            (List.length args);
+        if List.length args > List.length Sweep_isa.Reg.arg_regs then
+          invalid "%s: %s has too many arguments (max %d)" f.fname name
+            (List.length Sweep_isa.Reg.arg_regs);
+        note_call f.fname name
+    in
+    let rec check_expr = function
+      | Int _ -> ()
+      | Var v ->
+        if not (Sset.mem v defined) then
+          invalid "%s: local %s is never assigned" f.fname v
+      | Global g ->
+        if not (Sset.mem g scalars) then
+          invalid "%s: unknown global scalar %s" f.fname g
+      | Load (arr, idx) ->
+        if not (Sset.mem arr arrays) then
+          invalid "%s: unknown array %s" f.fname arr;
+        check_expr idx
+      | Binop (_, a, b) -> check_expr a; check_expr b
+      | Call (name, args) -> check_call name args; List.iter check_expr args
+    in
+    let rec check_stmt = function
+      | Assign (_, e) -> check_expr e
+      | Set_global (g, e) ->
+        if not (Sset.mem g scalars) then
+          invalid "%s: unknown global scalar %s" f.fname g;
+        check_expr e
+      | Store (arr, idx, v) ->
+        if not (Sset.mem arr arrays) then
+          invalid "%s: unknown array %s" f.fname arr;
+        check_expr idx; check_expr v
+      | If (c, t, e) -> check_expr c; List.iter check_stmt t; List.iter check_stmt e
+      | While (c, body) -> check_expr c; List.iter check_stmt body
+      | For (_, lo, hi, body) ->
+        check_expr lo; check_expr hi; List.iter check_stmt body
+      | Call_stmt (name, args) -> check_call name args; List.iter check_expr args
+      | Return (Some e) -> check_expr e
+      | Return None -> ()
+    in
+    List.iter check_stmt f.body
+  in
+  List.iter check_func prog.funcs;
+  (* Recursion check: DFS for a cycle in the call graph. *)
+  let rec reachable seen name =
+    if List.mem name seen then
+      invalid "recursion detected through %s (static frames forbid it)" name;
+    let callees = Option.value ~default:[] (Hashtbl.find_opt calls name) in
+    List.iter (reachable (name :: seen)) (List.sort_uniq compare callees)
+  in
+  List.iter (fun f -> reachable [] f.fname) prog.funcs
+
+let binop_of_arith = function
+  | Add -> Some Sweep_isa.Instr.Add
+  | Sub -> Some Sweep_isa.Instr.Sub
+  | Mul -> Some Sweep_isa.Instr.Mul
+  | Div -> Some Sweep_isa.Instr.Div
+  | Rem -> Some Sweep_isa.Instr.Rem
+  | And -> Some Sweep_isa.Instr.And
+  | Or -> Some Sweep_isa.Instr.Or
+  | Xor -> Some Sweep_isa.Instr.Xor
+  | Shl -> Some Sweep_isa.Instr.Shl
+  | Shr -> Some Sweep_isa.Instr.Shr
+  | Lt | Le | Gt | Ge | Eq | Ne -> None
+
+let cond_of_cmp = function
+  | Lt -> Some Sweep_isa.Instr.Lt
+  | Le -> Some Sweep_isa.Instr.Le
+  | Gt -> Some Sweep_isa.Instr.Gt
+  | Ge -> Some Sweep_isa.Instr.Ge
+  | Eq -> Some Sweep_isa.Instr.Eq
+  | Ne -> Some Sweep_isa.Instr.Ne
+  | Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr -> None

@@ -1,0 +1,72 @@
+(** Abstract syntax of the mini workload language.
+
+    This replaces the paper's C benchmarks (MiBench/MediaBench compiled
+    with LLVM): a first-order imperative language with integer scalars,
+    global integer arrays, structured control flow and non-recursive
+    function calls.  It is small on purpose — the interesting machinery
+    (region formation, liveness, checkpoint insertion) lives in the
+    compiler, exactly as in the paper.
+
+    Semantics: all values are OCaml [int]s; comparisons yield 0/1;
+    division and remainder by zero yield 0 (matching
+    {!Sweep_isa.Instr.eval_binop}, so the reference interpreter and the
+    simulated machine agree bit-for-bit). *)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+
+type expr =
+  | Int of int
+  | Var of string                   (** function-local scalar or parameter *)
+  | Global of string                (** global scalar (memory-resident) *)
+  | Load of string * expr           (** [arr.(idx)] for a global array *)
+  | Binop of binop * expr * expr
+  | Call of string * expr list      (** call returning a value *)
+
+type stmt =
+  | Assign of string * expr         (** local scalar: defines on first use *)
+  | Set_global of string * expr
+  | Store of string * expr * expr   (** [arr.(idx) <- v] *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of string * expr * expr * stmt list
+      (** [For (v, lo, hi, body)] iterates v = lo, lo+1, …, hi-1.  [hi] is
+          evaluated once before the loop. *)
+  | Call_stmt of string * expr list (** call for effect, result dropped *)
+  | Return of expr option
+
+type global =
+  | Scalar of string * int                (** name, initial value *)
+  | Array of string * int * int array
+      (** name, length in words, initial prefix (rest zero-filled) *)
+
+type func = {
+  fname : string;
+  params : string list;
+  body : stmt list;
+}
+
+type program = {
+  globals : global list;
+  funcs : func list;  (** must include ["main"] with no parameters *)
+}
+
+exception Invalid of string
+(** Raised by {!validate} with a description of the first problem. *)
+
+val validate : program -> unit
+(** Checks: [main] exists and takes no parameters; all referenced
+    globals/arrays/functions exist with consistent kinds and arities;
+    locals are assigned somewhere in their function (params count);
+    no recursion (the compiler allocates static frames).  Raises
+    {!Invalid} otherwise. *)
+
+val binop_of_arith : binop -> Sweep_isa.Instr.binop option
+(** Arithmetic operators map directly onto ISA binops; comparison
+    operators return [None] (they lower to branches or set-like
+    sequences). *)
+
+val cond_of_cmp : binop -> Sweep_isa.Instr.cond option
+(** The comparison subset, as ISA branch conditions. *)

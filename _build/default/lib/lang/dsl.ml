@@ -1,0 +1,44 @@
+open Ast
+
+let i n = Int n
+let v name = Var name
+let g name = Global name
+let ld arr idx = Load (arr, idx)
+let call name args = Call (name, args)
+
+let ( + ) a b = Binop (Add, a, b)
+let ( - ) a b = Binop (Sub, a, b)
+let ( * ) a b = Binop (Mul, a, b)
+let ( / ) a b = Binop (Div, a, b)
+let ( % ) a b = Binop (Rem, a, b)
+let ( land ) a b = Binop (And, a, b)
+let ( lor ) a b = Binop (Or, a, b)
+let ( lxor ) a b = Binop (Xor, a, b)
+let ( lsl ) a b = Binop (Shl, a, b)
+let ( lsr ) a b = Binop (Shr, a, b)
+let ( < ) a b = Binop (Lt, a, b)
+let ( <= ) a b = Binop (Le, a, b)
+let ( > ) a b = Binop (Gt, a, b)
+let ( >= ) a b = Binop (Ge, a, b)
+let ( = ) a b = Binop (Eq, a, b)
+let ( <> ) a b = Binop (Ne, a, b)
+
+let set name e = Assign (name, e)
+let setg name e = Set_global (name, e)
+let st arr idx value = Store (arr, idx, value)
+let if_ c t e = If (c, t, e)
+let while_ c body = While (c, body)
+let for_ var lo hi body = For (var, lo, hi, body)
+let callp name args = Call_stmt (name, args)
+let ret e = Return (Some e)
+let ret_unit = Return None
+
+let func fname params body = { fname; params; body }
+let scalar name init = Scalar (name, init)
+let array name len = Array (name, len, [||])
+let array_init name data = Array (name, Array.length data, data)
+
+let program globals funcs =
+  let prog = { globals; funcs } in
+  validate prog;
+  prog

@@ -1,0 +1,65 @@
+(** Embedded-DSL combinators for writing workloads.
+
+    Workload files [open Sweep_lang.Dsl]; the arithmetic operators shadow
+    the integer ones over {!Ast.expr} (use [Stdlib.( + )] for host-side
+    arithmetic inside a workload definition). *)
+
+open Ast
+
+val i : int -> expr
+(** Integer literal. *)
+
+val v : string -> expr
+(** Local scalar / parameter. *)
+
+val g : string -> expr
+(** Global scalar. *)
+
+val ld : string -> expr -> expr
+(** [ld arr idx] reads [arr.(idx)]. *)
+
+val call : string -> expr list -> expr
+
+val ( + ) : expr -> expr -> expr
+val ( - ) : expr -> expr -> expr
+val ( * ) : expr -> expr -> expr
+val ( / ) : expr -> expr -> expr
+val ( % ) : expr -> expr -> expr
+val ( land ) : expr -> expr -> expr
+val ( lor ) : expr -> expr -> expr
+val ( lxor ) : expr -> expr -> expr
+val ( lsl ) : expr -> expr -> expr
+val ( lsr ) : expr -> expr -> expr
+val ( < ) : expr -> expr -> expr
+val ( <= ) : expr -> expr -> expr
+val ( > ) : expr -> expr -> expr
+val ( >= ) : expr -> expr -> expr
+val ( = ) : expr -> expr -> expr
+val ( <> ) : expr -> expr -> expr
+
+val set : string -> expr -> stmt
+(** Assign a local (defines it on first use). *)
+
+val setg : string -> expr -> stmt
+(** Assign a global scalar. *)
+
+val st : string -> expr -> expr -> stmt
+(** [st arr idx value] stores into a global array. *)
+
+val if_ : expr -> stmt list -> stmt list -> stmt
+val while_ : expr -> stmt list -> stmt
+val for_ : string -> expr -> expr -> stmt list -> stmt
+val callp : string -> expr list -> stmt
+val ret : expr -> stmt
+val ret_unit : stmt
+
+val func : string -> string list -> stmt list -> func
+val scalar : string -> int -> global
+val array : string -> int -> global
+(** Zero-initialised array. *)
+
+val array_init : string -> int array -> global
+(** Array whose length and contents come from the given data. *)
+
+val program : global list -> func list -> program
+(** Builds and {!Ast.validate}s the program. *)

@@ -1,0 +1,148 @@
+open Ast
+
+type cell =
+  | Cell_scalar of int ref
+  | Cell_array of int array
+
+type state = {
+  cells : (string, cell) Hashtbl.t;
+  order : string list;
+  mutable steps : int;
+}
+
+exception Out_of_fuel
+
+exception Returned of int
+(* Internal: unwinds a function body on [Return]. *)
+
+let eval_binop op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then 0 else a / b
+  | Rem -> if b = 0 then 0 else a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl -> a lsl (b land 63)
+  | Shr -> a lsr (b land 63)
+  | Lt -> if a < b then 1 else 0
+  | Le -> if a <= b then 1 else 0
+  | Gt -> if a > b then 1 else 0
+  | Ge -> if a >= b then 1 else 0
+  | Eq -> if a = b then 1 else 0
+  | Ne -> if a <> b then 1 else 0
+
+let run ?(fuel = 50_000_000) prog =
+  validate prog;
+  let cells = Hashtbl.create 32 in
+  let order =
+    List.map
+      (fun gl ->
+        match gl with
+        | Scalar (n, init) ->
+          Hashtbl.replace cells n (Cell_scalar (ref init));
+          n
+        | Array (n, len, init) ->
+          let a = Array.make len 0 in
+          Array.blit init 0 a 0 (Array.length init);
+          Hashtbl.replace cells n (Cell_array a);
+          n)
+      prog.globals
+  in
+  let state = { cells; order; steps = 0 } in
+  let funcs = List.map (fun f -> (f.fname, f)) prog.funcs in
+  let scalar_ref name =
+    match Hashtbl.find_opt cells name with
+    | Some (Cell_scalar r) -> r
+    | _ -> raise Not_found
+  in
+  let array_cells name =
+    match Hashtbl.find_opt cells name with
+    | Some (Cell_array a) -> a
+    | _ -> raise Not_found
+  in
+  let tick () =
+    state.steps <- state.steps + 1;
+    if state.steps > fuel then raise Out_of_fuel
+  in
+  let rec eval env = function
+    | Int n -> n
+    | Var v -> (
+      match Hashtbl.find_opt env v with
+      | Some x -> x
+      | None -> 0 (* validated: assigned somewhere; read-before-write is 0 *))
+    | Global gname -> !(scalar_ref gname)
+    | Load (arr, idx) ->
+      let a = array_cells arr in
+      let k = eval env idx in
+      if k < 0 || k >= Array.length a then
+        invalid_arg (Printf.sprintf "interp: %s[%d] out of bounds" arr k);
+      a.(k)
+    | Binop (op, x, y) ->
+      let a = eval env x in
+      let b = eval env y in
+      eval_binop op a b
+    | Call (name, args) -> call name (List.map (eval env) args)
+  and call name argvals =
+    let f = List.assoc name funcs in
+    let env = Hashtbl.create 8 in
+    List.iter2 (fun p a -> Hashtbl.replace env p a) f.params argvals;
+    match exec_list env f.body with
+    | () -> 0
+    | exception Returned r -> r
+  and exec_list env stmts = List.iter (exec env) stmts
+  and exec env stmt =
+    tick ();
+    match stmt with
+    | Assign (v, e) -> Hashtbl.replace env v (eval env e)
+    | Set_global (gname, e) -> scalar_ref gname := eval env e
+    | Store (arr, idx, value) ->
+      let a = array_cells arr in
+      let k = eval env idx in
+      if k < 0 || k >= Array.length a then
+        invalid_arg (Printf.sprintf "interp: %s[%d] out of bounds" arr k);
+      a.(k) <- eval env value
+    | If (c, t, e) -> if eval env c <> 0 then exec_list env t else exec_list env e
+    | While (c, body) ->
+      while eval env c <> 0 do
+        exec_list env body
+      done
+    | For (var, lo, hi, body) ->
+      let lo = eval env lo in
+      let hi = eval env hi in
+      let k = ref lo in
+      while !k < hi do
+        Hashtbl.replace env var !k;
+        exec_list env body;
+        (* Body may reassign the loop variable; the next iteration
+           continues from that value, matching the lowered code. *)
+        k := Hashtbl.find env var + 1
+      done
+    | Call_stmt (name, args) -> ignore (call name (List.map (eval env) args))
+    | Return (Some e) -> raise (Returned (eval env e))
+    | Return None -> raise (Returned 0)
+  in
+  ignore (call "main" []);
+  state
+
+let scalar state name =
+  match Hashtbl.find_opt state.cells name with
+  | Some (Cell_scalar r) -> !r
+  | _ -> raise Not_found
+
+let array state name =
+  match Hashtbl.find_opt state.cells name with
+  | Some (Cell_array a) -> Array.copy a
+  | _ -> raise Not_found
+
+let globals_image state =
+  List.map
+    (fun name ->
+      match Hashtbl.find state.cells name with
+      | Cell_scalar r -> (name, [| !r |])
+      | Cell_array a -> (name, Array.copy a))
+    state.order
+
+let steps state = state.steps

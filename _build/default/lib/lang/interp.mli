@@ -1,0 +1,32 @@
+(** Reference interpreter for the mini language.
+
+    Executes the AST directly, with the same integer semantics as the
+    simulated ISA.  Tests use it as the golden model: the final global
+    state after interpretation must equal the final NVM image after
+    compiling and simulating the same program — with or without injected
+    power failures.  A step budget guards against accidental divergence in
+    randomly generated programs. *)
+
+type state
+(** Final global state. *)
+
+exception Out_of_fuel
+(** The program exceeded the step budget. *)
+
+val run : ?fuel:int -> Ast.program -> state
+(** [run prog] interprets from [main].  [fuel] bounds the number of
+    statements executed (default 50 million). *)
+
+val scalar : state -> string -> int
+(** Final value of a global scalar.  Raises [Not_found]. *)
+
+val array : state -> string -> int array
+(** Final contents of a global array (copy).  Raises [Not_found]. *)
+
+val globals_image : state -> (string * int array) list
+(** Every global as a name/value-array pair (scalars as 1-element
+    arrays), in declaration order — convenient for whole-state
+    comparison. *)
+
+val steps : state -> int
+(** Number of statements executed, a rough dynamic-size metric. *)

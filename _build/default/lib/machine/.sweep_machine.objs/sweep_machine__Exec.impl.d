@@ -1,0 +1,1 @@
+lib/machine/exec.ml: Array Config Cost Cpu Mstats Sweep_energy Sweep_isa

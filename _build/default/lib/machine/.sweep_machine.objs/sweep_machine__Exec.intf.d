@@ -1,0 +1,1 @@
+lib/machine/exec.mli: Config Cost Cpu Mstats Sweep_isa

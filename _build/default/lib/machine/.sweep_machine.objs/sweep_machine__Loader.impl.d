@@ -1,0 +1,1 @@
+lib/machine/loader.ml: List Sweep_isa Sweep_mem

@@ -1,0 +1,1 @@
+lib/machine/loader.mli: Sweep_isa Sweep_mem

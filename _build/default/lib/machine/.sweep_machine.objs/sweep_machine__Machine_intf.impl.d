@@ -1,0 +1,1 @@
+lib/machine/machine_intf.ml: Config Cost Cpu Mstats Sweep_energy Sweep_isa Sweep_mem

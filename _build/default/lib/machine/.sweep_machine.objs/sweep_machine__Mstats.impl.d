@@ -1,0 +1,1 @@
+lib/machine/mstats.ml: Array List

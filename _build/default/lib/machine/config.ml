@@ -1,0 +1,32 @@
+type buffer_search = Empty_bit | Nvm_search
+
+type t = {
+  energy : Sweep_energy.Energy_config.t;
+  cache_size_bytes : int;
+  cache_assoc : int;
+  buffer_entries : int;
+  buffer_count : int;
+  search : buffer_search;
+  detector_override : Sweep_energy.Detector.t option;
+  nvsram_parallel : int;
+  replay_queue : int;
+  rename_entries : int;
+}
+
+let default =
+  {
+    energy = Sweep_energy.Energy_config.default;
+    cache_size_bytes = 4096;
+    cache_assoc = 2;
+    buffer_entries = 64;
+    buffer_count = 2;
+    search = Empty_bit;
+    detector_override = None;
+    nvsram_parallel = 8;
+    replay_queue = 8;
+    rename_entries = 64;
+  }
+
+let with_cache t ~size = { t with cache_size_bytes = size }
+let with_search t search = { t with search }
+let with_detector t d = { t with detector_override = Some d }

@@ -1,0 +1,31 @@
+(** Per-machine configuration knobs (Table 1 plus model parameters). *)
+
+type buffer_search = Empty_bit | Nvm_search
+(** §4.4: with [Empty_bit], a load miss skips the persist-buffer search
+    when the buffer's empty-bit says it holds nothing; with [Nvm_search]
+    every miss pays the sequential search. *)
+
+type t = {
+  energy : Sweep_energy.Energy_config.t;
+  cache_size_bytes : int;   (** default 4 kB *)
+  cache_assoc : int;        (** default 2 *)
+  buffer_entries : int;     (** persist-buffer capacity; default 64 *)
+  buffer_count : int;       (** 2 (dual buffering); 1 for the ablation *)
+  search : buffer_search;
+  detector_override : Sweep_energy.Detector.t option;
+      (** Replace a design's default detector (propagation-delay and
+          threshold studies). *)
+  nvsram_parallel : int;
+      (** NVSRAM backs lines up with this much parallelism (§2.2's
+          parallel transfer); default 8. *)
+  replay_queue : int;
+      (** ReplayCache pending-clwb queue depth; default 8. *)
+  rename_entries : int;
+      (** NvMR rename-buffer capacity; default 64. *)
+}
+
+val default : t
+
+val with_cache : t -> size:int -> t
+val with_search : t -> buffer_search -> t
+val with_detector : t -> Sweep_energy.Detector.t -> t

@@ -1,0 +1,7 @@
+type t = { ns : float; joules : float }
+
+let zero = { ns = 0.0; joules = 0.0 }
+let make ~ns ~joules = { ns; joules }
+let ( ++ ) a b = { ns = a.ns +. b.ns; joules = a.joules +. b.joules }
+let sum = List.fold_left ( ++ ) zero
+let scale k c = { ns = k *. c.ns; joules = k *. c.joules }

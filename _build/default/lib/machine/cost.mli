@@ -1,0 +1,9 @@
+(** Time/energy cost of a simulated action. *)
+
+type t = { ns : float; joules : float }
+
+val zero : t
+val make : ns:float -> joules:float -> t
+val ( ++ ) : t -> t -> t
+val sum : t list -> t
+val scale : float -> t -> t

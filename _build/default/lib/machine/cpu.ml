@@ -1,0 +1,20 @@
+type t = {
+  regs : int array;
+  mutable pc : int;
+  mutable halted : bool;
+}
+
+let create ~entry =
+  { regs = Array.make Sweep_isa.Reg.count 0; pc = entry; halted = false }
+
+let reset t ~entry =
+  Array.fill t.regs 0 (Array.length t.regs) 0;
+  t.pc <- entry;
+  t.halted <- false
+
+let snapshot t = (Array.copy t.regs, t.pc)
+
+let restore t (regs, pc) =
+  Array.blit regs 0 t.regs 0 (Array.length regs);
+  t.pc <- pc;
+  t.halted <- false

@@ -1,0 +1,22 @@
+(** Architectural core state: 16 registers and a program counter.
+
+    Volatile — wiped by power failure; each design's recovery protocol is
+    responsible for rebuilding it. *)
+
+type t = {
+  regs : int array;
+  mutable pc : int;
+  mutable halted : bool;
+}
+
+val create : entry:int -> t
+
+val reset : t -> entry:int -> unit
+(** Power failure: registers zeroed, pc at [entry], not halted.  (The
+    entry value is irrelevant — recovery overwrites it — but a defined
+    value keeps the simulator total.) *)
+
+val snapshot : t -> int array * int
+(** (registers copy, pc) — what JIT checkpointing saves. *)
+
+val restore : t -> int array * int -> unit

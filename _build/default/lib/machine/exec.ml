@@ -1,0 +1,122 @@
+module I = Sweep_isa.Instr
+module E = Sweep_energy.Energy_config
+
+type mem_ops = {
+  load : int -> float -> int * Cost.t;
+  store : int -> int -> float -> Cost.t;
+  clwb : int -> float -> Cost.t;
+  fence : float -> Cost.t;
+  region_end : float -> Cost.t;
+}
+
+let nop_region_ops ops =
+  {
+    ops with
+    clwb = (fun _ _ -> Cost.zero);
+    fence = (fun _ -> Cost.zero);
+    region_end = (fun _ -> Cost.zero);
+  }
+
+let step config (cpu : Cpu.t) (prog : Sweep_isa.Program.t) stats ops ~now_ns =
+  if cpu.halted then Cost.zero
+  else begin
+    let e = config.Config.energy in
+    let base = Cost.make ~ns:(E.cycle_ns e) ~joules:e.E.e_cycle in
+    (* Constant-active-power model: every nanosecond the core spends on
+       an instruction — including memory stalls — burns stall power on
+       top of the per-event energies the memory ops report. *)
+    let time_power extra_ns =
+      extra_ns /. E.cycle_ns e *. e.E.e_stall_cycle
+    in
+    let regs = cpu.regs in
+    let ins = prog.code.(cpu.pc) in
+    Mstats.note_instr stats;
+    let next = cpu.pc + 1 in
+    let extra =
+      match ins with
+      | I.Movi (rd, n) ->
+        regs.(rd) <- n;
+        cpu.pc <- next;
+        Cost.zero
+      | I.Movl (rd, idx) ->
+        regs.(rd) <- idx;
+        cpu.pc <- next;
+        Cost.zero
+      | I.Mov (rd, rs) ->
+        regs.(rd) <- regs.(rs);
+        cpu.pc <- next;
+        Cost.zero
+      | I.Bin (op, rd, a, b) ->
+        regs.(rd) <- I.eval_binop op regs.(a) regs.(b);
+        cpu.pc <- next;
+        Cost.zero
+      | I.Bini (op, rd, a, n) ->
+        regs.(rd) <- I.eval_binop op regs.(a) n;
+        cpu.pc <- next;
+        Cost.zero
+      | I.Set (c, rd, a, b) ->
+        regs.(rd) <- (if I.eval_cond c regs.(a) regs.(b) then 1 else 0);
+        cpu.pc <- next;
+        Cost.zero
+      | I.Load (rd, rs, off) ->
+        Mstats.note_load stats;
+        let v, c = ops.load (regs.(rs) + off) now_ns in
+        regs.(rd) <- v;
+        cpu.pc <- next;
+        c
+      | I.Load_abs (rd, addr) ->
+        Mstats.note_load stats;
+        let v, c = ops.load addr now_ns in
+        regs.(rd) <- v;
+        cpu.pc <- next;
+        c
+      | I.Store (rv, rs, off) ->
+        Mstats.note_store stats;
+        let c = ops.store (regs.(rs) + off) regs.(rv) now_ns in
+        cpu.pc <- next;
+        c
+      | I.Store_abs (rv, addr) ->
+        Mstats.note_store stats;
+        let c = ops.store addr regs.(rv) now_ns in
+        cpu.pc <- next;
+        c
+      | I.Br (c, a, b, target) ->
+        cpu.pc <- (if I.eval_cond c regs.(a) regs.(b) then target else next);
+        Cost.zero
+      | I.Jmp target ->
+        cpu.pc <- target;
+        Cost.zero
+      | I.Jmp_reg r ->
+        cpu.pc <- regs.(r);
+        Cost.zero
+      | I.Call target ->
+        regs.(Sweep_isa.Reg.link) <- next;
+        cpu.pc <- target;
+        Cost.zero
+      | I.Clwb (rs, off) ->
+        let c = ops.clwb (regs.(rs) + off) now_ns in
+        cpu.pc <- next;
+        c
+      | I.Clwb_abs addr ->
+        let c = ops.clwb addr now_ns in
+        cpu.pc <- next;
+        c
+      | I.Fence ->
+        let c = ops.fence now_ns in
+        cpu.pc <- next;
+        c
+      | I.Region_end ->
+        let c = ops.region_end now_ns in
+        Mstats.note_region_end stats;
+        cpu.pc <- next;
+        c
+      | I.Nop ->
+        cpu.pc <- next;
+        Cost.zero
+      | I.Halt ->
+        cpu.halted <- true;
+        Cost.zero
+    in
+    Cost.( ++ ) base
+      { extra with Cost.joules = extra.Cost.joules +. time_power extra.Cost.ns }
+  end

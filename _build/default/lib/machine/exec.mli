@@ -1,0 +1,34 @@
+(** Shared in-order instruction executor.
+
+    Each design supplies its memory path as a {!mem_ops} record; the
+    executor handles the ISA semantics, PC updates and base (1-cycle)
+    timing, which are identical across designs.  Instruction fetch is a
+    constant 1 cycle everywhere: the paper keeps the L1I as an NVM cache
+    in every configuration, so fetch cost is common mode. *)
+
+type mem_ops = {
+  load : int -> float -> int * Cost.t;
+      (** [load addr now_ns] *)
+  store : int -> int -> float -> Cost.t;
+      (** [store addr value now_ns] *)
+  clwb : int -> float -> Cost.t;
+      (** [clwb addr now_ns] — ReplayCache line write-back. *)
+  fence : float -> Cost.t;
+  region_end : float -> Cost.t;
+}
+
+val nop_region_ops : mem_ops -> mem_ops
+(** Same memory path with free [clwb]/[fence]/[region_end] — for designs
+    that run Plain-mode programs (the markers never appear, but totality
+    is nice for tests that run instrumented code on them). *)
+
+val step :
+  Config.t ->
+  Cpu.t ->
+  Sweep_isa.Program.t ->
+  Mstats.t ->
+  mem_ops ->
+  now_ns:float ->
+  Cost.t
+(** Execute the instruction at [cpu.pc].  Updates CPU state and counters;
+    returns the time/energy consumed.  Does nothing when halted. *)

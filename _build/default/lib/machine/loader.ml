@@ -1,0 +1,11 @@
+module Layout = Sweep_isa.Layout
+
+let load nvm (prog : Sweep_isa.Program.t) =
+  List.iter
+    (fun (addr, v) -> Sweep_mem.Nvm.poke_word nvm addr v)
+    prog.meta.initial_data;
+  let layout = prog.layout in
+  for r = 0 to Sweep_isa.Reg.count - 1 do
+    Sweep_mem.Nvm.poke_word nvm (Layout.reg_slot layout r) 0
+  done;
+  Sweep_mem.Nvm.poke_word nvm layout.ckpt_pc prog.entry

@@ -1,0 +1,8 @@
+(** Program loading: writes the initial data image and checkpoint-slot
+    defaults into NVM without touching access counters. *)
+
+val load : Sweep_mem.Nvm.t -> Sweep_isa.Program.t -> unit
+(** Pokes every [initial_data] word, zeroes the register-checkpoint
+    slots, and sets the checkpoint-PC slot to the program entry so a
+    power failure before the first region boundary recovers to a clean
+    start. *)

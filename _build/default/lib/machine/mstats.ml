@@ -1,0 +1,93 @@
+type t = {
+  mutable instructions : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable regions : int;
+  mutable buffer_searches : int;
+  mutable buffer_bypasses : int;
+  mutable buffer_hits : int;
+  mutable persistence_ns : float;
+  mutable wait_ns : float;
+  mutable waw_stall_ns : float;
+  mutable backup_events : int;
+  mutable backup_joules : float;
+  mutable restore_events : int;
+  mutable restore_joules : float;
+  mutable replayed_stores : int;
+  mutable buffer_peak : int;
+  region_size_hist : int array;
+  region_store_hist : int array;
+  mutable cur_region_instrs : int;
+  mutable cur_region_stores : int;
+}
+
+let size_cap = 512
+let store_cap = 128
+
+let create () =
+  {
+    instructions = 0;
+    loads = 0;
+    stores = 0;
+    regions = 0;
+    buffer_searches = 0;
+    buffer_bypasses = 0;
+    buffer_hits = 0;
+    persistence_ns = 0.0;
+    wait_ns = 0.0;
+    waw_stall_ns = 0.0;
+    backup_events = 0;
+    backup_joules = 0.0;
+    restore_events = 0;
+    restore_joules = 0.0;
+    replayed_stores = 0;
+    buffer_peak = 0;
+    region_size_hist = Array.make (size_cap + 1) 0;
+    region_store_hist = Array.make (store_cap + 1) 0;
+    cur_region_instrs = 0;
+    cur_region_stores = 0;
+  }
+
+let note_instr t =
+  t.instructions <- t.instructions + 1;
+  t.cur_region_instrs <- t.cur_region_instrs + 1
+
+let note_load t = t.loads <- t.loads + 1
+
+let note_store t =
+  t.stores <- t.stores + 1;
+  t.cur_region_stores <- t.cur_region_stores + 1
+
+let note_region_end t =
+  t.regions <- t.regions + 1;
+  let size = min t.cur_region_instrs size_cap in
+  let stores = min t.cur_region_stores store_cap in
+  t.region_size_hist.(size) <- t.region_size_hist.(size) + 1;
+  t.region_store_hist.(stores) <- t.region_store_hist.(stores) + 1;
+  t.cur_region_instrs <- 0;
+  t.cur_region_stores <- 0
+
+let reset_region_counters t =
+  t.cur_region_instrs <- 0;
+  t.cur_region_stores <- 0
+
+let parallelism_efficiency t =
+  if t.persistence_ns <= 0.0 then 100.0
+  else (t.persistence_ns -. t.wait_ns) /. t.persistence_ns *. 100.0
+
+let hist_cdf hist =
+  let total = Array.fold_left ( + ) 0 hist in
+  if total = 0 then []
+  else begin
+    let acc = ref 0 in
+    let points = ref [] in
+    Array.iteri
+      (fun value count ->
+        if count > 0 then begin
+          acc := !acc + count;
+          points :=
+            (value, float_of_int !acc /. float_of_int total *. 100.0) :: !points
+        end)
+      hist;
+    List.rev !points
+  end

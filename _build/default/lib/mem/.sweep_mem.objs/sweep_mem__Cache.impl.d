@@ -1,0 +1,1 @@
+lib/mem/cache.ml: Array Layout List Sweep_isa

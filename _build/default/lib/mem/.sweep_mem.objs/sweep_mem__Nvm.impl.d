@@ -1,0 +1,1 @@
+lib/mem/nvm.ml: Array Layout Printf Sweep_isa

@@ -1,0 +1,135 @@
+open Sweep_isa
+
+type line = {
+  mutable valid : bool;
+  mutable dirty : bool;
+  mutable dirty_region : int;
+  mutable base : int;
+  mutable lru : int;
+  data : int array;
+}
+
+type t = {
+  sets : line array array; (* sets.(set_index).(way) *)
+  set_count : int;
+  assoc : int;
+  mutable clock : int; (* LRU timestamp source *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~size_bytes ~assoc =
+  if size_bytes <= 0 || assoc <= 0 then invalid_arg "Cache.create: sizes";
+  if size_bytes mod (assoc * Layout.line_bytes) <> 0 then
+    invalid_arg "Cache.create: size not a multiple of assoc * line";
+  let set_count = size_bytes / (assoc * Layout.line_bytes) in
+  let fresh_line () =
+    { valid = false;
+      dirty = false;
+      dirty_region = -1;
+      base = 0;
+      lru = 0;
+      data = Array.make Layout.words_per_line 0 }
+  in
+  let sets =
+    Array.init set_count (fun _ -> Array.init assoc (fun _ -> fresh_line ()))
+  in
+  { sets; set_count; assoc; clock = 0; hits = 0; misses = 0 }
+
+let size_bytes t = t.set_count * t.assoc * Layout.line_bytes
+let assoc t = t.assoc
+let line_count t = t.set_count * t.assoc
+
+let set_of t addr = t.sets.((Layout.line_base addr / Layout.line_bytes) mod t.set_count)
+
+let find t addr =
+  let base = Layout.line_base addr in
+  let set = set_of t addr in
+  let rec scan i =
+    if i >= t.assoc then None
+    else begin
+      let line = set.(i) in
+      if line.valid && line.base = base then Some line else scan (i + 1)
+    end
+  in
+  scan 0
+
+let touch t line =
+  t.clock <- t.clock + 1;
+  line.lru <- t.clock
+
+let victim t addr =
+  let set = set_of t addr in
+  let first_invalid =
+    Array.fold_left
+      (fun acc line ->
+        match acc with
+        | Some _ -> acc
+        | None -> if line.valid then None else Some line)
+      None set
+  in
+  match first_invalid with
+  | Some line -> line
+  | None ->
+    Array.fold_left (fun best line -> if line.lru < best.lru then line else best)
+      set.(0) set
+
+let install t addr data =
+  assert (Array.length data = Layout.words_per_line);
+  (* Reinstalling a resident line must not create a duplicate in another
+     way: reuse the existing line. *)
+  let line =
+    match find t addr with Some line -> line | None -> victim t addr
+  in
+  line.valid <- true;
+  line.dirty <- false;
+  line.dirty_region <- -1;
+  line.base <- Layout.line_base addr;
+  Array.blit data 0 line.data 0 Layout.words_per_line;
+  touch t line;
+  line
+
+let word_index line addr =
+  let off = addr - line.base in
+  assert (off >= 0 && off < Layout.line_bytes);
+  assert (addr land (Layout.word_bytes - 1) = 0);
+  off / Layout.word_bytes
+
+let read_word line addr = line.data.(word_index line addr)
+
+let write_word line addr v = line.data.(word_index line addr) <- v
+
+let dirty_lines t =
+  let acc = ref [] in
+  Array.iter
+    (fun set ->
+      Array.iter (fun line -> if line.valid && line.dirty then acc := line :: !acc) set)
+    t.sets;
+  List.rev !acc
+
+let iter_lines t f = Array.iter (fun set -> Array.iter f set) t.sets
+
+let invalidate_all t =
+  iter_lines t (fun line ->
+      line.valid <- false;
+      line.dirty <- false;
+      line.dirty_region <- -1)
+
+let clean_all t =
+  iter_lines t (fun line ->
+      line.dirty <- false;
+      line.dirty_region <- -1)
+
+let record_hit t = t.hits <- t.hits + 1
+let record_miss t = t.misses <- t.misses + 1
+let hits t = t.hits
+let misses t = t.misses
+let accesses t = t.hits + t.misses
+
+let miss_rate t =
+  let total = accesses t in
+  if total = 0 then 0.0 else float_of_int t.misses /. float_of_int total
+
+let reset_counters t =
+  t.hits <- 0;
+  t.misses <- 0

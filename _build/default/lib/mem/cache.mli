@@ -1,0 +1,72 @@
+(** Set-associative volatile SRAM data cache with real data.
+
+    The cache is a passive structure: machines orchestrate miss handling,
+    write-backs and flushes themselves, because each design (WT, NVSRAM,
+    ReplayCache, SweepCache) treats those events differently.  Lines carry
+    a [dirty_region] tag — the id of the region whose store dirtied the
+    line — which SweepCache's write-after-write rule needs (§4.3).
+
+    Power failure wipes the cache ({!invalidate_all}); NVSRAM restores it
+    from its nonvolatile counterpart by re-installing saved lines. *)
+
+type line = {
+  mutable valid : bool;
+  mutable dirty : bool;
+  mutable dirty_region : int;  (** region id of the dirtying store; -1 if clean *)
+  mutable base : int;          (** line-aligned byte address *)
+  mutable lru : int;           (** bigger = more recently used *)
+  data : int array;            (** 16 words *)
+}
+
+type t
+
+val create : size_bytes:int -> assoc:int -> t
+(** [create ~size_bytes ~assoc]; [size_bytes] must be a multiple of
+    [assoc * 64].  The paper default is 4 kB, 2-way. *)
+
+val size_bytes : t -> int
+val assoc : t -> int
+val line_count : t -> int
+
+val find : t -> int -> line option
+(** [find t addr] returns the line containing [addr] if present (does not
+    touch LRU or hit counters — use {!record_hit}/{!record_miss}). *)
+
+val touch : t -> line -> unit
+(** Mark a line most-recently-used. *)
+
+val victim : t -> int -> line
+(** The line to (re)use for a fill of [addr]'s set: an invalid way if one
+    exists, else the LRU way.  The caller must write back the victim's
+    data first if it is valid and dirty. *)
+
+val install : t -> int -> int array -> line
+(** [install t addr data] fills the victim way of [addr]'s set with the
+    given line data (clean).  Returns the installed line.  The caller is
+    responsible for having handled the previous occupant. *)
+
+val read_word : line -> int -> int
+(** [read_word line addr] for an address inside the line. *)
+
+val write_word : line -> int -> int -> unit
+(** Writes data only; dirtiness is the caller's concern. *)
+
+val dirty_lines : t -> line list
+(** All valid dirty lines, in set order. *)
+
+val iter_lines : t -> (line -> unit) -> unit
+
+val invalidate_all : t -> unit
+(** Power failure: every line is lost. *)
+
+val clean_all : t -> unit
+(** Reset every dirty bit without touching data (SweepCache's post-flush
+    state: "flushed data still remain in the cache", §4.2). *)
+
+val record_hit : t -> unit
+val record_miss : t -> unit
+val hits : t -> int
+val misses : t -> int
+val accesses : t -> int
+val miss_rate : t -> float
+val reset_counters : t -> unit

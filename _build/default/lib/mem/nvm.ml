@@ -1,0 +1,77 @@
+open Sweep_isa
+
+type t = {
+  words : int array;
+  mutable read_events : int;
+  mutable write_events : int;
+  mutable bytes_written : int;
+}
+
+let word_count = Layout.nvm_bytes / Layout.word_bytes
+
+let create () =
+  { words = Array.make word_count 0;
+    read_events = 0;
+    write_events = 0;
+    bytes_written = 0 }
+
+let check_word_addr addr =
+  if addr land (Layout.word_bytes - 1) <> 0 then
+    invalid_arg (Printf.sprintf "Nvm: unaligned word address %#x" addr);
+  if addr < 0 || addr >= Layout.nvm_bytes then
+    invalid_arg (Printf.sprintf "Nvm: address %#x out of range" addr)
+
+let read_word t addr =
+  check_word_addr addr;
+  t.read_events <- t.read_events + 1;
+  t.words.(addr / Layout.word_bytes)
+
+let write_word t addr v =
+  check_word_addr addr;
+  t.write_events <- t.write_events + 1;
+  t.bytes_written <- t.bytes_written + Layout.word_bytes;
+  t.words.(addr / Layout.word_bytes) <- v
+
+let check_line_addr base =
+  if base land (Layout.line_bytes - 1) <> 0 then
+    invalid_arg (Printf.sprintf "Nvm: unaligned line address %#x" base);
+  if base < 0 || base + Layout.line_bytes > Layout.nvm_bytes then
+    invalid_arg (Printf.sprintf "Nvm: line %#x out of range" base)
+
+let read_line t base =
+  check_line_addr base;
+  t.read_events <- t.read_events + 1;
+  Array.sub t.words (base / Layout.word_bytes) Layout.words_per_line
+
+let write_line t base data =
+  check_line_addr base;
+  assert (Array.length data = Layout.words_per_line);
+  t.write_events <- t.write_events + 1;
+  t.bytes_written <- t.bytes_written + Layout.line_bytes;
+  Array.blit data 0 t.words (base / Layout.word_bytes) Layout.words_per_line
+
+let peek_word t addr =
+  check_word_addr addr;
+  t.words.(addr / Layout.word_bytes)
+
+let poke_word t addr v =
+  check_word_addr addr;
+  t.words.(addr / Layout.word_bytes) <- v
+
+let read_events t = t.read_events
+let write_events t = t.write_events
+let bytes_written t = t.bytes_written
+
+let add_external_writes t ~events ~bytes =
+  t.write_events <- t.write_events + events;
+  t.bytes_written <- t.bytes_written + bytes
+
+let reset_counters t =
+  t.read_events <- 0;
+  t.write_events <- 0;
+  t.bytes_written <- 0
+
+let image t ~lo ~hi =
+  check_word_addr lo;
+  check_word_addr hi;
+  Array.sub t.words (lo / Layout.word_bytes) ((hi - lo) / Layout.word_bytes)

@@ -1,0 +1,50 @@
+(** Byte-addressed non-volatile main memory (ReRAM model).
+
+    Holds real data — recovery correctness tests compare final NVM images
+    against a golden run — and counts access events for the Fig. 16
+    experiment.  Timing and energy are charged by the machines, not here;
+    this module is purely functional state plus accounting.
+
+    A "write event" is one NVM write transaction regardless of width: a
+    word store from a cache-free NVP and a 64-byte line write-back both
+    count as one event, as in the paper's NVM-write comparison. *)
+
+type t
+
+val create : unit -> t
+(** Fresh zeroed NVM of {!Sweep_isa.Layout.nvm_bytes}. *)
+
+val read_word : t -> int -> int
+(** [read_word t addr] with [addr] word-aligned.  Counts one read event. *)
+
+val write_word : t -> int -> int -> unit
+(** [write_word t addr v].  Counts one write event. *)
+
+val read_line : t -> int -> int array
+(** [read_line t base] reads the 16-word line at [base] (line-aligned).
+    Counts one read event. *)
+
+val write_line : t -> int -> int array -> unit
+(** [write_line t base data] writes a full line.  Counts one write
+    event. *)
+
+val peek_word : t -> int -> int
+(** Read without accounting (for tests and state comparison). *)
+
+val poke_word : t -> int -> int -> unit
+(** Write without accounting (program loading). *)
+
+val read_events : t -> int
+val write_events : t -> int
+val bytes_written : t -> int
+
+val add_external_writes : t -> events:int -> bytes:int -> unit
+(** Account NVM write traffic that does not go through the address map —
+    NVSRAM's backup transfers into its nonvolatile counterpart, NvMR's
+    checkpoint writes.  Fig. 16 counts these. *)
+
+val reset_counters : t -> unit
+
+val image : t -> lo:int -> hi:int -> int array
+(** Copy of the word contents of [\[lo, hi)] (byte bounds, aligned), for
+    golden-state comparison. *)

@@ -1,0 +1,1 @@
+lib/sim/driver.ml: Printf Sweep_energy Sweep_machine

@@ -1,0 +1,1 @@
+lib/sim/driver.mli: Sweep_energy Sweep_machine

@@ -1,0 +1,1 @@
+lib/sim/harness.ml: Array Driver List Printf Sweep_baselines Sweep_compiler Sweep_isa Sweep_lang Sweep_machine Sweep_mem Sweepcache_core

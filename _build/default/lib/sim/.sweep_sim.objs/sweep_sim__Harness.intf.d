@@ -1,0 +1,1 @@
+lib/sim/harness.mli: Driver Result Sweep_compiler Sweep_isa Sweep_lang Sweep_machine

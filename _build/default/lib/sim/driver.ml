@@ -1,0 +1,279 @@
+module M = Sweep_machine.Machine_intf
+module Cost = Sweep_machine.Cost
+module Mstats = Sweep_machine.Mstats
+module Capacitor = Sweep_energy.Capacitor
+module Detector = Sweep_energy.Detector
+module Trace = Sweep_energy.Power_trace
+
+type power =
+  | Unlimited
+  | Harvested of {
+      trace : Trace.t;
+      capacitor_farads : float;
+      v_max : float;
+      v_min : float;
+    }
+
+let harvested ?(v_max = 3.5) ?(v_min = 2.8) ~trace ~farads () =
+  Harvested { trace; capacitor_farads = farads; v_max; v_min }
+
+type outcome = {
+  completed : bool;
+  on_ns : float;
+  off_ns : float;
+  outages : int;
+  deaths : int;
+  backups : int;
+  failed_backups : int;
+  compute_joules : float;
+  backup_joules : float;
+  restore_joules : float;
+  quiescent_joules : float;
+  instructions : int;
+}
+
+let total_ns o = o.on_ns +. o.off_ns
+
+let total_joules o =
+  o.compute_joules +. o.backup_joules +. o.restore_joules +. o.quiescent_joules
+
+exception Stagnation of string
+
+let ns_to_s ns = ns *. 1.0e-9
+
+(* ------------------------------------------------------------------ *)
+
+let run_unlimited ?(max_instructions = 500_000_000) m =
+  let now = ref 0.0 in
+  let joules = ref 0.0 in
+  let instructions = ref 0 in
+  while (not (M.halted m)) && !instructions < max_instructions do
+    let c = M.step m ~now_ns:!now in
+    now := !now +. c.Cost.ns;
+    joules := !joules +. c.Cost.joules;
+    incr instructions
+  done;
+  if not (M.halted m) then
+    raise (Stagnation "instruction guard exceeded without Halt");
+  let d = M.drain m ~now_ns:!now in
+  now := !now +. d.Cost.ns;
+  joules := !joules +. d.Cost.joules;
+  {
+    completed = true;
+    on_ns = !now;
+    off_ns = 0.0;
+    outages = 0;
+    deaths = 0;
+    backups = 0;
+    failed_backups = 0;
+    compute_joules = !joules;
+    backup_joules = 0.0;
+    restore_joules = 0.0;
+    quiescent_joules = 0.0;
+    instructions = !instructions;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+type harv_state = {
+  m : M.packed;
+  trace : Trace.t;
+  cap : Capacitor.t;
+  det : Detector.t;
+  p_quiescent : float;
+  mutable now : float; (* ns *)
+  mutable on_ns : float;
+  mutable off_ns : float;
+  mutable outages : int;
+  mutable deaths : int;
+  mutable backups : int;
+  mutable failed_backups : int;
+  mutable compute_joules : float;
+  mutable backup_joules : float;
+  mutable restore_joules : float;
+  mutable quiescent_joules : float;
+  mutable instructions : int;
+  mutable backup_armed : bool;
+}
+
+(* Advance wall time by [ns] while powered on: harvest plus quiescent
+   detector draw. *)
+let pass_time_on s ns =
+  if ns > 0.0 then begin
+    let dt = ns_to_s ns in
+    let pq = s.p_quiescent *. dt in
+    Capacitor.consume s.cap pq;
+    s.quiescent_joules <- s.quiescent_joules +. pq;
+    Capacitor.harvest s.cap ~power_w:(Trace.power s.trace (ns_to_s s.now)) ~dt_s:dt;
+    s.now <- s.now +. ns;
+    s.on_ns <- s.on_ns +. ns
+  end
+
+(* Dead/charging: integrate the trace at its own resolution until the
+   voltage reaches [target]. *)
+let charge_until s target ~max_off_s =
+  let dt = 1.0e-4 in
+  let waited = ref 0.0 in
+  while (not (Capacitor.above s.cap target)) && !waited < max_off_s do
+    (* Apply the net power over the step: harvesting and the detector
+       draw are simultaneous, so clamping at Vmax must see the
+       difference, not harvest-then-consume (which would cap a small
+       capacitor's steady state a whole quiescent-step below Vmax). *)
+    let p = Trace.power s.trace (ns_to_s s.now) in
+    let net = p -. s.p_quiescent in
+    if net >= 0.0 then Capacitor.harvest s.cap ~power_w:net ~dt_s:dt
+    else Capacitor.consume s.cap (-.net *. dt);
+    s.quiescent_joules <- s.quiescent_joules +. (s.p_quiescent *. dt);
+    s.now <- s.now +. (dt *. 1.0e9);
+    s.off_ns <- s.off_ns +. (dt *. 1.0e9);
+    waited := !waited +. dt
+  done;
+  if not (Capacitor.above s.cap target) then
+    raise
+      (Stagnation
+         (Printf.sprintf
+            "charging stalled: harvest cannot reach %.2f V (detector draw %.0f uW)"
+            target (s.p_quiescent *. 1.0e6)))
+
+(* Propagation delay: time passes with quiescent draw only. *)
+let propagation_delay s ns state =
+  let dt = ns_to_s ns in
+  let pq = s.p_quiescent *. dt in
+  Capacitor.consume s.cap pq;
+  s.quiescent_joules <- s.quiescent_joules +. pq;
+  Capacitor.harvest s.cap ~power_w:(Trace.power s.trace (ns_to_s s.now)) ~dt_s:dt;
+  s.now <- s.now +. ns;
+  match state with
+  | `On -> s.on_ns <- s.on_ns +. ns
+  | `Off -> s.off_ns <- s.off_ns +. ns
+
+(* Power-down / charge / reboot sequence shared by JIT stops and hard
+   deaths. *)
+let power_cycle s ~max_off_s =
+  s.outages <- s.outages + 1;
+  M.on_power_failure s.m ~now_ns:s.now;
+  charge_until s s.det.Detector.v_restore ~max_off_s;
+  propagation_delay s s.det.Detector.t_plh_ns `Off;
+  let c = M.on_reboot s.m ~now_ns:s.now in
+  Capacitor.consume s.cap c.Cost.joules;
+  s.restore_joules <- s.restore_joules +. c.Cost.joules;
+  pass_time_on s c.Cost.ns;
+  s.backup_armed <- true
+
+let try_backup s v_min =
+  (* Detection propagation delay passes first (§2.2). *)
+  propagation_delay s s.det.Detector.t_phl_ns `On;
+  match M.jit_backup_cost s.m with
+  | None -> assert false
+  | Some cost ->
+    let available = Capacitor.usable_above s.cap v_min in
+    if cost.Cost.joules <= available then begin
+      M.commit_jit_backup s.m ~now_ns:s.now;
+      Capacitor.consume s.cap cost.Cost.joules;
+      s.backup_joules <- s.backup_joules +. cost.Cost.joules;
+      (M.mstats s.m).Mstats.backup_events <-
+        (M.mstats s.m).Mstats.backup_events + 1;
+      (M.mstats s.m).Mstats.backup_joules <-
+        (M.mstats s.m).Mstats.backup_joules +. cost.Cost.joules;
+      pass_time_on s cost.Cost.ns;
+      s.backups <- s.backups + 1;
+      true
+    end
+    else begin
+      s.failed_backups <- s.failed_backups + 1;
+      false
+    end
+
+let run_harvested ?(max_instructions = 500_000_000) ?(max_sim_s = 600.0) m
+    ~trace ~farads ~v_max ~v_min =
+  let det = M.detector m in
+  let s =
+    {
+      m;
+      trace;
+      cap = Capacitor.create ~farads ~v_max ~v_min;
+      det;
+      p_quiescent = Detector.quiescent_power_w det;
+      now = 0.0;
+      on_ns = 0.0;
+      off_ns = 0.0;
+      outages = 0;
+      deaths = 0;
+      backups = 0;
+      failed_backups = 0;
+      compute_joules = 0.0;
+      backup_joules = 0.0;
+      restore_joules = 0.0;
+      quiescent_joules = 0.0;
+      instructions = 0;
+      backup_armed = true;
+    }
+  in
+  let max_off_s = 120.0 in
+  let guards () =
+    if s.instructions > max_instructions then
+      raise (Stagnation "instruction guard exceeded");
+    if ns_to_s s.now > max_sim_s then
+      raise (Stagnation "simulated-time guard exceeded")
+  in
+  let has_jit = M.jit_backup_cost m <> None in
+  while not (M.halted m) do
+    guards ();
+    (* Re-arm the backup trigger once the voltage has recovered. *)
+    if (not s.backup_armed) && Capacitor.above s.cap det.Detector.v_restore then
+      s.backup_armed <- true;
+    let backup_wanted =
+      has_jit && s.backup_armed
+      &&
+      match det.Detector.v_backup with
+      | Some vb -> not (Capacitor.above s.cap vb)
+      | None -> false
+    in
+    if backup_wanted then begin
+      s.backup_armed <- false;
+      let ok = try_backup s v_min in
+      if M.continues_after_backup m && ok then
+        (* NvMR: keep running on the remaining charge. *)
+        ()
+      else
+        (* Backup (or its failure) is followed by power-down. *)
+        power_cycle s ~max_off_s
+    end
+    else if not (Capacitor.above s.cap v_min) then begin
+      (* Hard death: volatile state is lost. *)
+      s.deaths <- s.deaths + 1;
+      power_cycle s ~max_off_s
+    end
+    else begin
+      let c = M.step m ~now_ns:s.now in
+      Capacitor.consume s.cap c.Cost.joules;
+      s.compute_joules <- s.compute_joules +. c.Cost.joules;
+      pass_time_on s c.Cost.ns;
+      s.instructions <- s.instructions + 1
+    end
+  done;
+  let d = M.drain m ~now_ns:s.now in
+  Capacitor.consume s.cap d.Cost.joules;
+  s.compute_joules <- s.compute_joules +. d.Cost.joules;
+  pass_time_on s d.Cost.ns;
+  {
+    completed = true;
+    on_ns = s.on_ns;
+    off_ns = s.off_ns;
+    outages = s.outages;
+    deaths = s.deaths;
+    backups = s.backups;
+    failed_backups = s.failed_backups;
+    compute_joules = s.compute_joules;
+    backup_joules = s.backup_joules;
+    restore_joules = s.restore_joules;
+    quiescent_joules = s.quiescent_joules;
+    instructions = s.instructions;
+  }
+
+let run ?max_instructions ?max_sim_s m ~power =
+  match power with
+  | Unlimited -> run_unlimited ?max_instructions m
+  | Harvested { trace; capacitor_farads; v_max; v_min } ->
+    run_harvested ?max_instructions ?max_sim_s m ~trace ~farads:capacitor_farads
+      ~v_max ~v_min

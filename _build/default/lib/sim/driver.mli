@@ -1,0 +1,61 @@
+(** Intermittent-execution driver.
+
+    Runs a machine either with unlimited power (the Fig. 5 setting) or
+    against a capacitor charged by a power trace.  The driver owns the
+    voltage state machine:
+
+    - JIT designs back up when the voltage crosses their backup threshold
+      (after the detector's propagation delay), then power down; a backup
+      only commits if the energy left above Vmin covers its cost.
+    - Every design dies at Vmin (volatile state lost) and reboots at its
+      restore threshold after the restore propagation delay, paying its
+      recovery cost.
+    - NvMR ([continues_after_backup]) keeps executing after a backup
+      until actual death, re-arming its backup trigger after recharge.
+    - The detector's quiescent draw is charged continuously, on and off —
+      a deliberate part of the energy story (§2.2). *)
+
+type power =
+  | Unlimited
+  | Harvested of {
+      trace : Sweep_energy.Power_trace.t;
+      capacitor_farads : float;
+      v_max : float;  (** Table 1: 3.5 *)
+      v_min : float;  (** Table 1: 2.8 *)
+    }
+
+val harvested :
+  ?v_max:float -> ?v_min:float -> trace:Sweep_energy.Power_trace.t ->
+  farads:float -> unit -> power
+
+type outcome = {
+  completed : bool;       (** reached [Halt] within the guards *)
+  on_ns : float;          (** time spent executing (incl. stalls) *)
+  off_ns : float;         (** time spent dead/charging *)
+  outages : int;          (** power-down events (backup stops + deaths) *)
+  deaths : int;           (** hard deaths at Vmin only *)
+  backups : int;
+  failed_backups : int;   (** backups that did not fit in the energy left *)
+  compute_joules : float; (** instruction + memory energy *)
+  backup_joules : float;
+  restore_joules : float;
+  quiescent_joules : float;
+  instructions : int;
+}
+
+val total_ns : outcome -> float
+val total_joules : outcome -> float
+
+exception Stagnation of string
+(** Raised when the run exceeds its guards (no forward progress — e.g. a
+    region too long for the capacitor, or harvest below the detector
+    draw). *)
+
+val run :
+  ?max_instructions:int ->
+  ?max_sim_s:float ->
+  Sweep_machine.Machine_intf.packed ->
+  power:power ->
+  outcome
+(** Executes until [Halt] (plus {!Sweep_machine.Machine_intf.drain}).
+    Guards default to 500 M instructions and 600 simulated seconds. *)

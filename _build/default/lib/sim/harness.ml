@@ -1,0 +1,98 @@
+module Pipeline = Sweep_compiler.Pipeline
+module Config = Sweep_machine.Config
+module M = Sweep_machine.Machine_intf
+module Nvm = Sweep_mem.Nvm
+module Layout = Sweep_isa.Layout
+
+type design =
+  | Nvp
+  | Wt
+  | Nvsram
+  | Nvsram_e
+  | Replay
+  | Nvmr
+  | Sweep
+
+let all_designs = [ Nvp; Wt; Nvsram; Nvsram_e; Replay; Nvmr; Sweep ]
+
+let design_name = function
+  | Nvp -> "NVP"
+  | Wt -> "WT-VCache"
+  | Nvsram -> "NVSRAM"
+  | Nvsram_e -> "NVSRAM-E"
+  | Replay -> "ReplayCache"
+  | Nvmr -> "NvMR"
+  | Sweep -> "SweepCache"
+
+let compile_mode = function
+  | Nvp | Wt | Nvsram | Nvsram_e | Nvmr -> Pipeline.Plain
+  | Replay -> Pipeline.Replay
+  | Sweep -> Pipeline.Sweep
+
+let compile ?(options = Pipeline.default_options) design ast =
+  Pipeline.compile ~options:{ options with Pipeline.mode = compile_mode design } ast
+
+let machine ?(config = Config.default) design prog =
+  match design with
+  | Nvp -> Sweep_baselines.Nvp.packed config prog
+  | Wt -> Sweep_baselines.Wt_cache.packed config prog
+  | Nvsram -> Sweep_baselines.Nvsram.Dirty.packed config prog
+  | Nvsram_e -> Sweep_baselines.Nvsram.Entire.packed config prog
+  | Replay -> Sweep_baselines.Replaycache.packed config prog
+  | Nvmr -> Sweep_baselines.Nvmr.packed config prog
+  | Sweep -> Sweepcache_core.Sweepcache.packed config prog
+
+type result = {
+  design : design;
+  outcome : Driver.outcome;
+  machine : M.packed;
+  compiled : Pipeline.compiled;
+}
+
+let run ?config ?options ?max_instructions ?max_sim_s design ~power ast =
+  let compiled = compile ?options design ast in
+  let m = machine ?config design compiled.Pipeline.program in
+  let outcome = Driver.run ?max_instructions ?max_sim_s m ~power in
+  { design; outcome; machine = m; compiled }
+
+let mstats r = M.mstats r.machine
+
+let cache_miss_rate r =
+  match M.cache r.machine with
+  | Some cache -> Sweep_mem.Cache.miss_rate cache
+  | None -> 0.0
+
+let nvm_writes r = Nvm.write_events (M.nvm r.machine)
+
+let final_globals r =
+  let nvm = M.nvm r.machine in
+  List.map
+    (fun (name, base, words) ->
+      (name, Array.init words (fun i -> Nvm.peek_word nvm (base + (i * Layout.word_bytes)))))
+    r.compiled.Pipeline.globals
+
+let check_against_interp r ast =
+  let expected = Sweep_lang.Interp.globals_image (Sweep_lang.Interp.run ast) in
+  let actual = final_globals r in
+  let rec compare_lists = function
+    | [], [] -> Ok ()
+    | (ename, edata) :: erest, (aname, adata) :: arest ->
+      if ename <> aname then
+        Error (Printf.sprintf "global order mismatch: %s vs %s" ename aname)
+      else begin
+        let n = Array.length edata in
+        let rec scan i =
+          if i >= n then compare_lists (erest, arest)
+          else if edata.(i) <> adata.(i) then
+            Error
+              (Printf.sprintf "%s: %s[%d] = %d, expected %d"
+                 (design_name r.design) ename i adata.(i) edata.(i))
+          else scan (i + 1)
+        in
+        if Array.length adata <> n then
+          Error (Printf.sprintf "%s: length mismatch" ename)
+        else scan 0
+      end
+    | _ -> Error "global count mismatch"
+  in
+  compare_lists (expected, actual)

@@ -1,0 +1,69 @@
+(** One-stop harness: compile a mini-language program for a design, run
+    it under a power environment, and (optionally) check the final NVM
+    image against the reference interpreter.
+
+    This is the workhorse of both the test suite (crash-consistency
+    properties) and the experiment harness (speedups, miss rates, energy
+    breakdowns). *)
+
+type design =
+  | Nvp
+  | Wt
+  | Nvsram
+  | Nvsram_e
+  | Replay
+  | Nvmr
+  | Sweep
+
+val all_designs : design list
+(** In the paper's usual presentation order. *)
+
+val design_name : design -> string
+
+val compile_mode : design -> Sweep_compiler.Pipeline.mode
+(** Plain for the JIT designs, Replay for ReplayCache, Sweep for
+    SweepCache. *)
+
+val compile :
+  ?options:Sweep_compiler.Pipeline.options ->
+  design ->
+  Sweep_lang.Ast.program ->
+  Sweep_compiler.Pipeline.compiled
+(** Compiles with the design's mode (overriding [options.mode]). *)
+
+val machine :
+  ?config:Sweep_machine.Config.t ->
+  design ->
+  Sweep_isa.Program.t ->
+  Sweep_machine.Machine_intf.packed
+
+type result = {
+  design : design;
+  outcome : Driver.outcome;
+  machine : Sweep_machine.Machine_intf.packed;
+  compiled : Sweep_compiler.Pipeline.compiled;
+}
+
+val run :
+  ?config:Sweep_machine.Config.t ->
+  ?options:Sweep_compiler.Pipeline.options ->
+  ?max_instructions:int ->
+  ?max_sim_s:float ->
+  design ->
+  power:Driver.power ->
+  Sweep_lang.Ast.program ->
+  result
+
+val mstats : result -> Sweep_machine.Mstats.t
+val cache_miss_rate : result -> float
+val nvm_writes : result -> int
+
+val final_globals :
+  result -> (string * int array) list
+(** The program's globals as read back from the machine's final NVM
+    image. *)
+
+val check_against_interp :
+  result -> Sweep_lang.Ast.program -> (unit, string) Result.t
+(** Compares {!final_globals} with the reference interpreter; the error
+    describes the first mismatching global/index. *)

@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic components of the simulator (power traces, workload
+    inputs, property tests) draw from an explicit [Rng.t] so that every
+    experiment is reproducible from a seed.  The generator is SplitMix64,
+    which is small, fast and has well-understood statistical quality. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator.  Equal seeds give equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the state so two streams can diverge. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t]. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Box–Muller). *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] draws from Exp with the given mean. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,44 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+    let sum_logs = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+    exp (sum_logs /. float_of_int (List.length xs))
+
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+    sqrt var
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  assert (n > 0);
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let cdf_points samples n =
+  match samples with
+  | [] -> []
+  | _ ->
+    let sorted = Array.of_list samples in
+    Array.sort compare sorted;
+    let point i =
+      let p = float_of_int i /. float_of_int (n - 1) *. 100.0 in
+      (percentile sorted p, p)
+    in
+    List.init n point
+
+let ratio a b = if b = 0.0 then (if a = 0.0 then nan else infinity) else a /. b
+
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x

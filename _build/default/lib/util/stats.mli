@@ -1,0 +1,29 @@
+(** Small statistics toolkit used by the experiment harness.
+
+    The paper reports geometric-mean speedups, cumulative distributions
+    (Fig. 12) and averages; these helpers centralise those computations. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 for the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean; 0 for the empty list.  All inputs must be positive. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 for fewer than two samples. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted p] with [p] in [\[0,100\]]; linear interpolation.
+    [sorted] must be sorted ascending and non-empty. *)
+
+val cdf_points : float list -> int -> (float * float) list
+(** [cdf_points samples n] returns [n] evenly spaced
+    [(value, cumulative_percent)] points of the empirical CDF — the form
+    used to replot Fig. 12. *)
+
+val ratio : float -> float -> float
+(** [ratio a b] is [a /. b], tolerating [b = 0] by returning [infinity]
+    (or [nan] when both are 0). *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** Clamp into a closed interval. *)

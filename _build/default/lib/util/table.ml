@@ -1,0 +1,36 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let float_cell x =
+  if Float.is_nan x then "nan"
+  else if Float.is_integer x && Float.abs x < 1e15 && Float.abs x >= 1000.0 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.2f" x
+
+let add_float_row t label xs = add_row t (label :: List.map float_cell xs)
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols =
+    List.fold_left (fun acc r -> max acc (List.length r)) (List.length t.headers) rows
+  in
+  let pad row = row @ List.init (ncols - List.length row) (fun _ -> "") in
+  let all = pad t.headers :: List.map pad rows in
+  let width i =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 all
+  in
+  let widths = List.init ncols width in
+  let render_row row =
+    let cells = List.map2 (fun cell w -> Printf.sprintf "%-*s" w cell) row widths in
+    String.concat "  " cells
+  in
+  let rule = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  match all with
+  | header :: body ->
+    String.concat "\n" (render_row header :: rule :: List.map render_row body)
+  | [] -> ""
+
+let print t = print_endline (render t)

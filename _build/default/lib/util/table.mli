@@ -1,0 +1,26 @@
+(** Plain-text table rendering for experiment output.
+
+    Every figure/table reproduction prints through this module so the
+    bench harness output has one consistent format. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; short rows are padded with empty cells. *)
+
+val add_float_row : t -> string -> float list -> unit
+(** [add_float_row t label xs] appends a row with a textual first cell
+    followed by numbers formatted with two decimals. *)
+
+val render : t -> string
+(** Render with aligned columns and a header rule. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val float_cell : float -> string
+(** Canonical numeric formatting used by [add_float_row] ("12.34";
+    "inf"/"nan" spelled out). *)

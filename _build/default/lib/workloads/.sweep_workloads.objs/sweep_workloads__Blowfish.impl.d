@@ -1,0 +1,1 @@
+lib/workloads/blowfish.ml: Array Data_gen Stdlib Sweep_lang Workload

@@ -1,0 +1,1 @@
+lib/workloads/dijkstra.ml: Data_gen Sweep_lang Workload

@@ -1,0 +1,1 @@
+lib/workloads/fft.ml: Array Data_gen Float Stdlib Sweep_lang Workload

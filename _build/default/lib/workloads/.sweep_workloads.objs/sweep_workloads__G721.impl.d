@@ -1,0 +1,1 @@
+lib/workloads/g721.ml: Data_gen Stdlib Sweep_lang Workload

@@ -1,0 +1,1 @@
+lib/workloads/gsm.ml: Data_gen Stdlib Sweep_lang Workload

@@ -1,0 +1,1 @@
+lib/workloads/mpeg2.ml: Array Data_gen Stdlib Sweep_lang Workload

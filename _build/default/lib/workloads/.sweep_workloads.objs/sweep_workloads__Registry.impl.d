@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Adpcm Basicmath Blowfish Dijkstra Fft G721 Gsm Jpeg List Mpeg2 Patricia Pegwit Rijndael Sha Susan Typeset Workload

@@ -1,0 +1,1 @@
+lib/workloads/rijndael.ml: Array Data_gen Stdlib Sweep_lang Workload

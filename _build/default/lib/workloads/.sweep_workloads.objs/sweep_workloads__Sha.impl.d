@@ -1,0 +1,1 @@
+lib/workloads/sha.ml: Data_gen Stdlib Sweep_lang Workload

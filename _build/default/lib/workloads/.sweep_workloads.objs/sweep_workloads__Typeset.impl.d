@@ -1,0 +1,1 @@
+lib/workloads/typeset.ml: Array Data_gen Stdlib Sweep_lang Workload

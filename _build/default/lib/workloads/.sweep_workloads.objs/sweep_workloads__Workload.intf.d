@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Sweep_lang

@@ -1,0 +1,130 @@
+(* IMA ADPCM coder/decoder: a predictor with step-size/index tables and
+   4-bit codes — MediaBench's adpcm (rawcaudio/rawdaudio).  Table lookups
+   plus a tight scalar predictor loop. *)
+open Sweep_lang.Dsl
+
+let step_table =
+  [|
+    7; 8; 9; 10; 11; 12; 13; 14; 16; 17; 19; 21; 23; 25; 28; 31; 34; 37; 41;
+    45; 50; 55; 60; 66; 73; 80; 88; 97; 107; 118; 130; 143; 157; 173; 190;
+    209; 230; 253; 279; 307; 337; 371; 408; 449; 494; 544; 598; 658; 724;
+    796; 876; 963; 1060; 1166; 1282; 1411; 1552; 1707; 1878; 2066; 2272;
+    2499; 2749; 3024; 3327; 3660; 4026; 4428; 4871; 5358; 5894; 6484; 7132;
+    7845; 8630; 9493; 10442; 11487; 12635; 13899; 15289; 16818; 18500;
+    20350; 22385; 24623; 27086; 29794; 32767;
+  |]
+
+let index_table = [| -1; -1; -1; -1; 2; 4; 6; 8; -1; -1; -1; -1; 2; 4; 6; 8 |]
+
+let clamp_stmt var lo hi =
+  [
+    if_ (v var < i lo) [ set var (i lo) ] [];
+    if_ (v var > i hi) [ set var (i hi) ] [];
+  ]
+
+(* One encode step: quantise (sample - predicted) into a 4-bit code and
+   update predictor state. *)
+let encode_func =
+  func "enc_step" [ "sample" ]
+    ([
+       set "step" (ld "steps" (g "index"));
+       set "diff" (v "sample" - g "predicted");
+       set "code" (i 0);
+       if_ (v "diff" < i 0) [ set "code" (i 8); set "diff" (i 0 - v "diff") ] [];
+       if_ (v "diff" >= v "step")
+         [ set "code" (v "code" lor i 4); set "diff" (v "diff" - v "step") ]
+         [];
+       set "half" (v "step" lsr i 1);
+       if_ (v "diff" >= v "half")
+         [ set "code" (v "code" lor i 2); set "diff" (v "diff" - v "half") ]
+         [];
+       set "quarter" (v "step" lsr i 2);
+       if_ (v "diff" >= v "quarter") [ set "code" (v "code" lor i 1) ] [];
+       (* Reconstruct like the decoder so the predictor tracks. *)
+       set "delta" (v "step" lsr i 3);
+       if_ (v "code" land i 4 <> i 0) [ set "delta" (v "delta" + v "step") ] [];
+       if_ (v "code" land i 2 <> i 0)
+         [ set "delta" (v "delta" + (v "step" lsr i 1)) ]
+         [];
+       if_ (v "code" land i 1 <> i 0)
+         [ set "delta" (v "delta" + (v "step" lsr i 2)) ]
+         [];
+       if_ (v "code" land i 8 <> i 0)
+         [ setg "predicted" (g "predicted" - v "delta") ]
+         [ setg "predicted" (g "predicted" + v "delta") ];
+       set "p" (g "predicted");
+     ]
+    @ clamp_stmt "p" (-32768) 32767
+    @ [
+        setg "predicted" (v "p");
+        set "idx" (g "index" + ld "idxtab" (v "code"));
+      ]
+    @ clamp_stmt "idx" 0 88
+    @ [ setg "index" (v "idx"); ret (v "code") ])
+
+let decode_func =
+  func "dec_step" [ "code" ]
+    ([
+       set "step" (ld "steps" (g "index"));
+       set "delta" (v "step" lsr i 3);
+       if_ (v "code" land i 4 <> i 0) [ set "delta" (v "delta" + v "step") ] [];
+       if_ (v "code" land i 2 <> i 0)
+         [ set "delta" (v "delta" + (v "step" lsr i 1)) ]
+         [];
+       if_ (v "code" land i 1 <> i 0)
+         [ set "delta" (v "delta" + (v "step" lsr i 2)) ]
+         [];
+       if_ (v "code" land i 8 <> i 0)
+         [ setg "predicted" (g "predicted" - v "delta") ]
+         [ setg "predicted" (g "predicted" + v "delta") ];
+       set "p" (g "predicted");
+     ]
+    @ clamp_stmt "p" (-32768) 32767
+    @ [
+        setg "predicted" (v "p");
+        set "idx" (g "index" + ld "idxtab" (v "code"));
+      ]
+    @ clamp_stmt "idx" 0 88
+    @ [ setg "index" (v "idx"); ret (v "p") ])
+
+let globals n pcm =
+  [
+    array_init "steps" step_table;
+    array_init "idxtab" index_table;
+    array_init "pcm" pcm;
+    array "out" n;
+    scalar "predicted" 0;
+    scalar "index" 0;
+  ]
+
+let build_enc scale =
+  let n = Workload.scaled scale 9000 in
+  let pcm = Data_gen.samples ~seed:0xADE1 n in
+  program (globals n pcm)
+    [
+      encode_func;
+      func "main" []
+        [
+          for_ "k" (i 0) (i n)
+            [ st "out" (v "k") (call "enc_step" [ ld "pcm" (v "k") ]) ];
+          ret_unit;
+        ];
+    ]
+
+let build_dec scale =
+  let n = Workload.scaled scale 11000 in
+  let codes = Data_gen.bytes ~seed:0xADE2 n in
+  let codes = Array.map (fun c -> Stdlib.(c land 15)) codes in
+  program (globals n codes)
+    [
+      decode_func;
+      func "main" []
+        [
+          for_ "k" (i 0) (i n)
+            [ st "out" (v "k") (call "dec_step" [ ld "pcm" (v "k") ]) ];
+          ret_unit;
+        ];
+    ]
+
+let enc = Workload.make "adpcmenc" Workload.Mediabench build_enc
+let dec = Workload.make "adpcmdec" Workload.Mediabench build_dec

@@ -1,0 +1,91 @@
+(* MiBench basicmath: integer square roots, cube roots (Newton) and
+   fixed-point degree/radian conversions over an input vector — ALU-bound
+   with short data-dependent iteration counts. *)
+open Sweep_lang.Dsl
+
+let fx = 4096 (* Q12 fixed point *)
+let pi_fx = 12868 (* pi in Q12 *)
+
+let build scale =
+  let n = Workload.scaled scale 1000 in
+  let values = Data_gen.words ~seed:0xBA51 n in
+  let values = Array.map (fun x -> Stdlib.(x land 0xFFFFF)) values in
+  program
+    [
+      array_init "vals" values;
+      array "roots" n;
+      array "cubes" n;
+      array "angles" n;
+      scalar "checksum" 0;
+    ]
+    [
+      func "isqrt" [ "x" ]
+        [
+          if_ (v "x" <= i 0) [ ret (i 0) ] [];
+          (* Newton iteration; r decreases strictly while r*r > x, so the
+             loop terminates at floor(sqrt x). *)
+          set "r" (v "x");
+          while_ (v "r" * v "r" > v "x")
+            [ set "r" ((v "r" + (v "x" / v "r")) / i 2) ];
+          ret (v "r");
+        ];
+      func "icbrt" [ "x" ]
+        [
+          if_ (v "x" <= i 0) [ ret (i 0) ] [];
+          set "r" (i 1 + (v "x" lsr i 10));
+          for_ "it" (i 0) (i 18)
+            [
+              set "r2" (v "r" * v "r");
+              if_ (v "r2" > i 0)
+                [ set "r" (((i 2 * v "r") + (v "x" / v "r2")) / i 3) ]
+                [];
+            ];
+          ret (v "r");
+        ];
+      func "gcd" [ "a"; "b" ]
+        [
+          set "x" (v "a");
+          set "y" (v "b");
+          while_ (v "y" <> i 0)
+            [
+              set "t" (v "x" % v "y");
+              set "x" (v "y");
+              set "y" (v "t");
+            ];
+          ret (v "x");
+        ];
+      func "ilog2" [ "x" ]
+        [
+          set "r" (i 0);
+          set "y" (v "x");
+          while_ (v "y" > i 1)
+            [ set "y" (v "y" lsr i 1); set "r" (v "r" + i 1) ];
+          ret (v "r");
+        ];
+      func "deg_to_rad" [ "deg" ]
+        [ ret (v "deg" * i pi_fx / i 180) ];
+      func "rad_to_deg" [ "rad" ]
+        [ ret (v "rad" * i 180 / i pi_fx) ];
+      func "main" []
+        [
+          for_ "k" (i 0) (i n)
+            [
+              set "x" (ld "vals" (v "k"));
+              set "s" (call "isqrt" [ v "x" ]);
+              st "roots" (v "k") (v "s");
+              set "c" (call "icbrt" [ v "x" ]);
+              st "cubes" (v "k") (v "c");
+              set "a" (call "deg_to_rad" [ v "x" % i 360 * i fx ]);
+              set "b" (call "rad_to_deg" [ v "a" ]);
+              st "angles" (v "k") (v "b" / i fx);
+              set "gg" (call "gcd" [ v "x" + i 1; v "s" + i 1 ]);
+              set "lg" (call "ilog2" [ v "x" + i 1 ]);
+              setg "checksum"
+                ((g "checksum" + v "s" + v "c" + v "b" + v "gg" + v "lg")
+                land i 0xFFFFFFFF);
+            ];
+          ret_unit;
+        ];
+    ]
+
+let workload = Workload.make "basicmath" Workload.Mibench build

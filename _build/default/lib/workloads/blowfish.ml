@@ -1,0 +1,91 @@
+(* Blowfish-style Feistel cipher: 16 rounds over 64-bit blocks with four
+   256-entry S-boxes and an 18-entry P-array — MiBench's blowfish.
+   S-box lookups dominate: scattered loads over 4 KB of tables. *)
+open Sweep_lang.Dsl
+
+let rounds = 16
+let mask32 = 0xFFFFFFFF
+
+let sbox seed =
+  Data_gen.words ~seed 256 |> Array.map (fun x -> Stdlib.(x land mask32))
+
+let p_array seed =
+  Data_gen.words ~seed (Stdlib.( + ) rounds 2)
+  |> Array.map (fun x -> Stdlib.(x land mask32))
+
+(* Feistel F: combine the four S-box lookups of x's bytes. *)
+let f_func =
+  func "feistel" [ "x" ]
+    [
+      set "a" ((v "x" lsr i 24) land i 255);
+      set "b" ((v "x" lsr i 16) land i 255);
+      set "c" ((v "x" lsr i 8) land i 255);
+      set "d" (v "x" land i 255);
+      ret
+        ((((ld "s0" (v "a") + ld "s1" (v "b")) land i mask32
+          lxor ld "s2" (v "c"))
+          + ld "s3" (v "d"))
+        land i mask32);
+    ]
+
+let encrypt_block =
+  func "crypt_block" [ "idx"; "dir" ]
+    [
+      set "l" (ld "data" (v "idx" * i 2));
+      set "r" (ld "data" ((v "idx" * i 2) + i 1));
+      for_ "rd" (i 0) (i rounds)
+        [
+          set "pi" (v "rd");
+          if_ (v "dir" < i 0) [ set "pi" (i Stdlib.(rounds - 1) - v "rd") ] [];
+          set "l" ((v "l" lxor ld "p" (v "pi")) land i mask32);
+          set "r" ((v "r" lxor call "feistel" [ v "l" ]) land i mask32);
+          set "tmp" (v "l");
+          set "l" (v "r");
+          set "r" (v "tmp");
+        ];
+      set "tmp" (v "l");
+      set "l" (v "r");
+      set "r" (v "tmp");
+      if_ (v "dir" > i 0)
+        [
+          set "r" ((v "r" lxor ld "p" (i rounds)) land i mask32);
+          set "l" ((v "l" lxor ld "p" (i Stdlib.(rounds + 1))) land i mask32);
+        ]
+        [
+          set "r" ((v "r" lxor ld "p" (i Stdlib.(rounds + 1))) land i mask32);
+          set "l" ((v "l" lxor ld "p" (i rounds)) land i mask32);
+        ];
+      st "data" (v "idx" * i 2) (v "l");
+      st "data" ((v "idx" * i 2) + i 1) (v "r");
+      ret_unit;
+    ]
+
+let build dir name scale =
+  ignore name;
+  let blocks = Workload.scaled scale 420 in
+  let data =
+    Data_gen.words ~seed:0xBF01 (Stdlib.( * ) blocks 2)
+    |> Array.map (fun x -> Stdlib.(x land mask32))
+  in
+  program
+    [
+      array_init "data" data;
+      array_init "s0" (sbox 0xB0);
+      array_init "s1" (sbox 0xB1);
+      array_init "s2" (sbox 0xB2);
+      array_init "s3" (sbox 0xB3);
+      array_init "p" (p_array 0xB4);
+    ]
+    [
+      f_func;
+      encrypt_block;
+      func "main" []
+        [
+          for_ "blk" (i 0) (i blocks)
+            [ callp "crypt_block" [ v "blk"; i dir ] ];
+          ret_unit;
+        ];
+    ]
+
+let enc = Workload.make "blowfishenc" Workload.Mibench (build 1 "enc")
+let dec = Workload.make "blowfishdec" Workload.Mibench (build (-1) "dec")

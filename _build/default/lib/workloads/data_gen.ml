@@ -1,0 +1,29 @@
+module Rng = Sweep_util.Rng
+
+let words ~seed n =
+  let rng = Rng.create seed in
+  Array.init n (fun _ -> Rng.int rng 0x3FFFFFFF)
+
+let bytes ~seed n =
+  let rng = Rng.create seed in
+  Array.init n (fun _ -> Rng.int rng 256)
+
+let samples ~seed n =
+  let rng = Rng.create seed in
+  let x = ref 0 in
+  Array.init n (fun _ ->
+      x := !x + Rng.int rng 601 - 300;
+      if !x > 32000 then x := 32000;
+      if !x < -32000 then x := -32000;
+      !x)
+
+let graph_matrix ~seed ~nodes ~degree =
+  let rng = Rng.create seed in
+  let m = Array.make (nodes * nodes) 0 in
+  for src = 0 to nodes - 1 do
+    for _ = 1 to degree do
+      let dst = Rng.int rng nodes in
+      if dst <> src then m.((src * nodes) + dst) <- 1 + Rng.int rng 99
+    done
+  done;
+  m

@@ -1,0 +1,15 @@
+(** Deterministic input-data generators shared by the workloads. *)
+
+val words : seed:int -> int -> int array
+(** [words ~seed n] — pseudo-random non-negative words. *)
+
+val bytes : seed:int -> int -> int array
+(** Values in [0, 255] — image pixels, message bytes. *)
+
+val samples : seed:int -> int -> int array
+(** Smooth-ish signed 16-bit audio-like samples (random walk), for the
+    codec workloads. *)
+
+val graph_matrix : seed:int -> nodes:int -> degree:int -> int array
+(** Row-major adjacency matrix with ~[degree] random positive edge
+    weights per node and 0 for "no edge". *)

@@ -1,0 +1,86 @@
+(* Dijkstra single-source shortest paths over an adjacency matrix with
+   linear-scan minimum extraction — MiBench's dijkstra.  Pointer-free but
+   intensely load-heavy with poor locality on the matrix rows. *)
+open Sweep_lang.Dsl
+
+let infinity_w = 0x3FFFFFFF
+
+let build scale =
+  let nodes = Workload.scaled scale 56 in
+  let sources = 4 in
+  let matrix = Data_gen.graph_matrix ~seed:0xD1_57 ~nodes ~degree:6 in
+  program
+    [
+      array_init "adj" matrix;
+      array "dist" nodes;
+      array "visited" nodes;
+      scalar "total" 0;
+    ]
+    [
+      func "relax_from" [ "u" ]
+        [
+          set "du" (ld "dist" (v "u"));
+          for_ "w" (i 0) (i nodes)
+            [
+              set "e" (ld "adj" ((v "u" * i nodes) + v "w"));
+              if_
+                ((v "e" > i 0) land (v "du" + v "e" < ld "dist" (v "w")))
+                [ st "dist" (v "w") (v "du" + v "e") ]
+                [];
+            ];
+          ret_unit;
+        ];
+      func "extract_min" []
+        [
+          set "best" (i infinity_w);
+          set "bestn" (i (-1));
+          for_ "w" (i 0) (i nodes)
+            [
+              if_
+                ((ld "visited" (v "w") = i 0)
+                land (ld "dist" (v "w") < v "best"))
+                [ set "best" (ld "dist" (v "w")); set "bestn" (v "w") ]
+                [];
+            ];
+          ret (v "bestn");
+        ];
+      func "dijkstra" [ "src" ]
+        [
+          for_ "w" (i 0) (i nodes)
+            [
+              st "dist" (v "w") (i infinity_w);
+              st "visited" (v "w") (i 0);
+            ];
+          st "dist" (v "src") (i 0);
+          for_ "round" (i 0) (i nodes)
+            [
+              set "u" (call "extract_min" []);
+              if_ (v "u" >= i 0)
+                [
+                  st "visited" (v "u") (i 1);
+                  callp "relax_from" [ v "u" ];
+                ]
+                [];
+            ];
+          (* Checksum of reachable distances. *)
+          set "acc" (i 0);
+          for_ "w" (i 0) (i nodes)
+            [
+              if_ (ld "dist" (v "w") < i infinity_w)
+                [ set "acc" (v "acc" + ld "dist" (v "w")) ]
+                [];
+            ];
+          ret (v "acc");
+        ];
+      func "main" []
+        [
+          for_ "s" (i 0) (i sources)
+            [
+              setg "total"
+                (g "total" + call "dijkstra" [ v "s" * i 7 % i nodes ]);
+            ];
+          ret_unit;
+        ];
+    ]
+
+let workload = Workload.make "dijkstra" Workload.Mibench build

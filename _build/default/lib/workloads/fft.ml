@@ -1,0 +1,150 @@
+(* Fixed-point radix-2 decimation-in-time FFT and inverse FFT with a
+   quarter-wave sine table — MiBench's fft/ifft.  Bit-reversal
+   permutation plus butterfly passes with strided access. *)
+open Sweep_lang.Dsl
+
+let size = 256 (* power of two *)
+let log2_size = 8
+let fx = 16384 (* Q14 twiddle scale *)
+
+(* Quarter-wave table: sin_q14[k] = round(fx * sin(pi/2 * k / (size/4))). *)
+let sine_table =
+  Array.init
+    (Stdlib.( + ) (Stdlib.( / ) size 4) 1)
+    (fun k ->
+      let theta =
+        Float.pi /. 2.0 *. float_of_int k /. float_of_int (Stdlib.( / ) size 4)
+      in
+      int_of_float (Float.round (float_of_int fx *. sin theta)))
+
+(* sin(2*pi*k/size) for k in [0, size/2) via the quarter-wave table. *)
+let sin_func =
+  func "sin_fx" [ "k" ]
+    [
+      set "q" (v "k" % i size);
+      if_ (v "q" < i Stdlib.(size / 4)) [ ret (ld "sines" (v "q")) ] [];
+      if_ (v "q" < i Stdlib.(size / 2))
+        [ ret (ld "sines" (i Stdlib.(size / 2) - v "q")) ]
+        [];
+      if_
+        (v "q" < i Stdlib.(3 * size / 4))
+        [ ret (i 0 - ld "sines" (v "q" - i Stdlib.(size / 2))) ]
+        [];
+      ret (i 0 - ld "sines" (i size - v "q"));
+    ]
+
+let cos_func =
+  func "cos_fx" [ "k" ] [ ret (call "sin_fx" [ v "k" + i Stdlib.(size / 4) ]) ]
+
+let bit_reverse =
+  func "bit_reverse" []
+    [
+      for_ "k" (i 0) (i size)
+        [
+          set "x" (v "k");
+          set "r" (i 0);
+          for_ "b" (i 0) (i log2_size)
+            [
+              set "r" ((v "r" lsl i 1) lor (v "x" land i 1));
+              set "x" (v "x" lsr i 1);
+            ];
+          if_ (v "r" > v "k")
+            [
+              set "tr" (ld "re" (v "k"));
+              st "re" (v "k") (ld "re" (v "r"));
+              st "re" (v "r") (v "tr");
+              set "ti" (ld "im" (v "k"));
+              st "im" (v "k") (ld "im" (v "r"));
+              st "im" (v "r") (v "ti");
+            ]
+            [];
+        ];
+      ret_unit;
+    ]
+
+(* One full FFT: [dir] = 1 forward, -1 inverse (twiddle conjugation). *)
+let fft_func =
+  func "fft" [ "dir" ]
+    [
+      callp "bit_reverse" [];
+      set "span" (i 1);
+      while_ (v "span" < i size)
+        [
+          set "step" (i size / (v "span" * i 2));
+          for_ "j" (i 0) (v "span")
+            [
+              set "wr" (call "cos_fx" [ v "j" * v "step" ]);
+              set "wi" (i 0 - (v "dir" * call "sin_fx" [ v "j" * v "step" ]));
+              set "k" (v "j");
+              while_ (v "k" < i size)
+                [
+                  set "l" (v "k" + v "span");
+                  set "tr"
+                    (((v "wr" * ld "re" (v "l")) - (v "wi" * ld "im" (v "l")))
+                    / i fx);
+                  set "ti"
+                    (((v "wr" * ld "im" (v "l")) + (v "wi" * ld "re" (v "l")))
+                    / i fx);
+                  st "re" (v "l") (ld "re" (v "k") - v "tr");
+                  st "im" (v "l") (ld "im" (v "k") - v "ti");
+                  st "re" (v "k") (ld "re" (v "k") + v "tr");
+                  st "im" (v "k") (ld "im" (v "k") + v "ti");
+                  set "k" (v "k" + (v "span" * i 2));
+                ];
+            ];
+          set "span" (v "span" * i 2);
+        ];
+      ret_unit;
+    ]
+
+let globals signal =
+  [
+    array_init "re" signal;
+    array "im" size;
+    array_init "sines" sine_table;
+    scalar "energy" 0;
+  ]
+
+let signal seed =
+  let noise = Data_gen.samples ~seed size in
+  Array.map (fun s -> Stdlib.(s / 4)) noise
+
+let sum_energy =
+  [
+    set "acc" (i 0);
+    for_ "k" (i 0) (i size)
+      [
+        set "acc"
+          (v "acc"
+          + (((ld "re" (v "k") * ld "re" (v "k"))
+             + (ld "im" (v "k") * ld "im" (v "k")))
+            / i fx));
+      ];
+    setg "energy" (v "acc");
+    ret_unit;
+  ]
+
+let build_fft scale =
+  let rounds = Workload.scaled scale 4 in
+  program
+    (globals (signal 0xFF7A))
+    [
+      sin_func; cos_func; bit_reverse; fft_func;
+      func "main" []
+        (for_ "r" (i 0) (i rounds) [ callp "fft" [ i 1 ] ] :: sum_energy);
+    ]
+
+let build_ifft scale =
+  let rounds = Workload.scaled scale 2 in
+  program
+    (globals (signal 0xFF7B))
+    [
+      sin_func; cos_func; bit_reverse; fft_func;
+      func "main" []
+        (for_ "r" (i 0) (i rounds)
+           [ callp "fft" [ i 1 ]; callp "fft" [ i (-1) ] ]
+        :: sum_energy);
+    ]
+
+let fft = Workload.make "fft" Workload.Mibench build_fft
+let ifft = Workload.make "ifft" Workload.Mibench build_ifft

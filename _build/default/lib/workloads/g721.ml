@@ -1,0 +1,101 @@
+(* G.721-style ADPCM with an adaptive two-pole/six-zero-ish predictor,
+   reduced to integer arithmetic: adaptive quantiser scale plus a small
+   FIR history updated per sample — MediaBench's g721. *)
+open Sweep_lang.Dsl
+
+let taps = 6
+
+let common_globals n data =
+  [
+    array_init "input" data;
+    array "out" n;
+    array "hist" taps;       (* reconstructed-difference history *)
+    array "weights" taps;    (* adaptive FIR weights (Q8) *)
+    scalar "scale" 32;       (* adaptive quantiser step *)
+    scalar "sez" 0;
+  ]
+
+(* Signal estimate: FIR over the reconstruction history (Q8 weights). *)
+let predict_func =
+  func "predict" []
+    [
+      set "acc" (i 0);
+      for_ "t" (i 0) (i taps)
+        [ set "acc" (v "acc" + (ld "weights" (v "t") * ld "hist" (v "t"))) ];
+      ret (v "acc" / i 256);
+    ]
+
+(* Update history and leaky adaptive weights from the new difference. *)
+let update_func =
+  func "update" [ "diff" ]
+    [
+      for_ "t" (i 0) (i Stdlib.(taps - 1))
+        [
+          set "j" (i Stdlib.(taps - 1) - v "t");
+          st "hist" (v "j") (ld "hist" (v "j" - i 1));
+          set "w" (ld "weights" (v "j"));
+          set "w" (v "w" - (v "w" / i 128));
+          if_
+            (ld "hist" (v "j" - i 1) * v "diff" >= i 0)
+            [ set "w" (v "w" + i 2) ]
+            [ set "w" (v "w" - i 2) ];
+          st "weights" (v "j") (v "w");
+        ];
+      st "hist" (i 0) (v "diff");
+      (* Adapt the quantiser scale toward the difference magnitude. *)
+      set "mag" (v "diff");
+      if_ (v "mag" < i 0) [ set "mag" (i 0 - v "mag") ] [];
+      if_
+        (v "mag" > g "scale" * i 3)
+        [ setg "scale" (g "scale" + (g "scale" / i 8) + i 1) ]
+        [ setg "scale" (g "scale" - (g "scale" / i 16)) ];
+      if_ (g "scale" < i 4) [ setg "scale" (i 4) ] [];
+      if_ (g "scale" > i 8192) [ setg "scale" (i 8192) ] [];
+      ret_unit;
+    ]
+
+let enc_main n =
+  func "main" []
+    [
+      for_ "k" (i 0) (i n)
+        [
+          set "est" (call "predict" []);
+          set "d" (ld "input" (v "k") - v "est");
+          (* 4-bit magnitude code relative to the adaptive scale. *)
+          set "q" (v "d" * i 4 / g "scale");
+          if_ (v "q" > i 7) [ set "q" (i 7) ] [];
+          if_ (v "q" < i (-8)) [ set "q" (i (-8)) ] [];
+          st "out" (v "k") (v "q" land i 15);
+          set "rec" (v "q" * g "scale" / i 4);
+          callp "update" [ v "rec" ];
+        ];
+      ret_unit;
+    ]
+
+let dec_main n =
+  func "main" []
+    [
+      for_ "k" (i 0) (i n)
+        [
+          set "q" (ld "input" (v "k") land i 15);
+          if_ (v "q" > i 7) [ set "q" (v "q" - i 16) ] [];
+          set "rec" (v "q" * g "scale" / i 4);
+          set "est" (call "predict" []);
+          st "out" (v "k") (v "est" + v "rec");
+          callp "update" [ v "rec" ];
+        ];
+      ret_unit;
+    ]
+
+let build_enc scale =
+  let n = Workload.scaled scale 4200 in
+  let data = Data_gen.samples ~seed:0x721A n in
+  program (common_globals n data) [ predict_func; update_func; enc_main n ]
+
+let build_dec scale =
+  let n = Workload.scaled scale 4600 in
+  let data = Data_gen.bytes ~seed:0x721B n in
+  program (common_globals n data) [ predict_func; update_func; dec_main n ]
+
+let enc = Workload.make "g721enc" Workload.Mediabench build_enc
+let dec = Workload.make "g721dec" Workload.Mediabench build_dec

@@ -1,0 +1,191 @@
+(* GSM 06.10-style frame coder: per 160-sample frame, short-term
+   autocorrelation + reflection coefficients (encoder) and long-term
+   prediction with a lag search; the decoder runs the synthesis filter.
+   Dominated by windowed multiply-accumulate scans, like MediaBench's
+   gsm. *)
+open Sweep_lang.Dsl
+
+let frame = 160
+let lags = 8
+
+let globals n data =
+  [
+    array_init "speech" data;
+    array "out" n;
+    array "acf" (Stdlib.( + ) lags 1);
+    array "refl" lags;
+    array "ltp_hist" 128;
+    array "grids" (Stdlib.( + ) (Stdlib.( / ) n 40) 4);
+    scalar "ltp_lag" 40;
+    scalar "ltp_gain" 64;
+  ]
+
+(* Autocorrelation of one frame for lags 0..8. *)
+let autocorr =
+  func "autocorr" [ "base" ]
+    [
+      for_ "lag" (i 0) (i Stdlib.(lags + 1))
+        [
+          set "acc" (i 0);
+          for_ "t" (v "lag") (i frame)
+            [
+              set "acc"
+                (v "acc"
+                + (ld "speech" (v "base" + v "t")
+                   * ld "speech" (v "base" + v "t" - v "lag")
+                  / i 1024));
+            ];
+          st "acf" (v "lag") (v "acc");
+        ];
+      ret_unit;
+    ]
+
+(* Schur-like recursion reduced to a fixed-point ratio per lag. *)
+let reflection =
+  func "reflection" []
+    [
+      set "energy" (ld "acf" (i 0) + i 1);
+      for_ "k" (i 0) (i lags)
+        [
+          set "r" (ld "acf" (v "k" + i 1) * i 256 / v "energy");
+          if_ (v "r" > i 255) [ set "r" (i 255) ] [];
+          if_ (v "r" < i (-255)) [ set "r" (i (-255)) ] [];
+          st "refl" (v "k") (v "r");
+          set "energy" (v "energy" - (v "r" * v "r" * v "energy" / i 65536) + i 1);
+        ];
+      ret_unit;
+    ]
+
+(* Long-term-prediction lag search over the history buffer. *)
+let ltp_search =
+  func "ltp_search" [ "base" ]
+    [
+      set "best" (i 0);
+      set "best_lag" (i 40);
+      for_ "lag" (i 40) (i 120)
+        [
+          set "corr" (i 0);
+          for_ "t" (i 0) (i 32)
+            [
+              set "corr"
+                (v "corr"
+                + (ld "speech" (v "base" + v "t")
+                   * ld "ltp_hist" ((v "t" + v "lag") % i 128)
+                  / i 4096));
+            ];
+          if_ (v "corr" > v "best")
+            [ set "best" (v "corr"); set "best_lag" (v "lag") ]
+            [];
+        ];
+      setg "ltp_lag" (v "best_lag");
+      ret (v "best_lag");
+    ]
+
+(* RPE grid selection: of the four 3:1 decimation grids of a 40-sample
+   subframe, pick the one with maximum energy (GSM 06.10 §4.2.14). *)
+let rpe_grid =
+  func "rpe_grid" [ "base" ]
+    [
+      set "best" (i (-1));
+      set "best_g" (i 0);
+      for_ "grid" (i 0) (i 4)
+        [
+          set "energy" (i 0);
+          for_ "t" (i 0) (i 13)
+            [
+              set "x" (ld "speech" (v "base" + v "grid" + (v "t" * i 3)));
+              set "energy" (v "energy" + (v "x" * v "x" / i 256));
+            ];
+          if_ (v "energy" > v "best")
+            [ set "best" (v "energy"); set "best_g" (v "grid") ]
+            [];
+        ];
+      ret (v "best_g");
+    ]
+
+let encode_frame =
+  func "encode_frame" [ "base" ]
+    [
+      callp "autocorr" [ v "base" ];
+      callp "reflection" [];
+      set "lag" (call "ltp_search" [ v "base" ]);
+      (* Grid decision per 40-sample subframe. *)
+      for_ "sub" (i 0) (i 4)
+        [
+          set "grid" (call "rpe_grid" [ v "base" + (v "sub" * i 40) ]);
+          st "grids" ((v "base" / i 40) + v "sub") (v "grid");
+        ];
+      (* Residual coding: subtract the LTP estimate, emit quantised
+         residual, refresh the history ring. *)
+      for_ "t" (i 0) (i frame)
+        [
+          set "s" (ld "speech" (v "base" + v "t"));
+          set "est"
+            (g "ltp_gain" * ld "ltp_hist" ((v "t" + v "lag") % i 128) / i 256);
+          set "res" ((v "s" - v "est") / i 8);
+          st "out" (v "base" + v "t") (v "res");
+          st "ltp_hist" (v "t" % i 128) (v "s");
+        ];
+      ret_unit;
+    ]
+
+let decode_frame =
+  func "decode_frame" [ "base" ]
+    [
+      for_ "t" (i 0) (i frame)
+        [
+          set "res" (ld "speech" (v "base" + v "t") * i 8);
+          set "est"
+            (g "ltp_gain" * ld "ltp_hist" ((v "t" + g "ltp_lag") % i 128)
+            / i 256);
+          set "s" (v "res" + v "est");
+          st "out" (v "base" + v "t") (v "s");
+          st "ltp_hist" (v "t" % i 128) (v "s");
+        ];
+      (* Slowly adapt gain and lag from the reconstructed energy. *)
+      set "energy" (i 0);
+      for_ "t" (i 0) (i 32)
+        [
+          set "x" (ld "out" (v "base" + v "t"));
+          set "energy" (v "energy" + (v "x" * v "x" / i 1024));
+        ];
+      if_ (v "energy" > i 4096)
+        [ setg "ltp_gain" (g "ltp_gain" - i 1) ]
+        [ setg "ltp_gain" (g "ltp_gain" + i 1) ];
+      if_ (g "ltp_gain" < i 16) [ setg "ltp_gain" (i 16) ] [];
+      if_ (g "ltp_gain" > i 128) [ setg "ltp_gain" (i 128) ] [];
+      setg "ltp_lag" ((g "ltp_lag" + i 7) % i 80 + i 40);
+      ret_unit;
+    ]
+
+let main_loop frames =
+  func "main" []
+    [
+      for_ "f" (i 0) (i frames)
+        [ callp "work_frame" [ v "f" * i frame ] ];
+      ret_unit;
+    ]
+
+let build_enc scale =
+  let frames = Workload.scaled scale 10 in
+  let n = Stdlib.( * ) frames frame in
+  let data = Data_gen.samples ~seed:0x65A1 n in
+  program (globals n data)
+    [
+      autocorr;
+      reflection;
+      ltp_search;
+      rpe_grid;
+      { encode_frame with fname = "work_frame" };
+      main_loop frames;
+    ]
+
+let build_dec scale =
+  let frames = Workload.scaled scale 28 in
+  let n = Stdlib.( * ) frames frame in
+  let data = Data_gen.samples ~seed:0x65A2 n in
+  program (globals n data)
+    [ { decode_frame with fname = "work_frame" }; main_loop frames ]
+
+let enc = Workload.make "gsmenc" Workload.Mediabench build_enc
+let dec = Workload.make "gsmdec" Workload.Mediabench build_dec

@@ -1,0 +1,243 @@
+(* JPEG-style block codec: 8x8 integer DCT (encoder) / IDCT (decoder)
+   with quantisation and zigzag reordering — MediaBench's jpeg.  Block
+   scans with strided access and a table-driven inner loop. *)
+open Sweep_lang.Dsl
+
+let quant_table =
+  [|
+    16; 11; 10; 16; 24; 40; 51; 61; 12; 12; 14; 19; 26; 58; 60; 55; 14; 13;
+    16; 24; 40; 57; 69; 56; 14; 17; 22; 29; 51; 87; 80; 62; 18; 22; 37; 56;
+    68; 109; 103; 77; 24; 35; 55; 64; 81; 104; 113; 92; 49; 64; 78; 87; 103;
+    121; 120; 101; 72; 92; 95; 98; 112; 100; 103; 99;
+  |]
+
+let zigzag =
+  [|
+    0; 1; 8; 16; 9; 2; 3; 10; 17; 24; 32; 25; 18; 11; 4; 5; 12; 19; 26; 33;
+    40; 48; 41; 34; 27; 20; 13; 6; 7; 14; 21; 28; 35; 42; 49; 56; 57; 50;
+    43; 36; 29; 22; 15; 23; 30; 37; 44; 51; 58; 59; 52; 45; 38; 31; 39; 46;
+    53; 60; 61; 54; 47; 55; 62; 63;
+  |]
+
+(* 8-point integer cosine basis in Q8 (rounded 256*cos((2x+1)u*pi/16)/2). *)
+let cos_q8 =
+  [|
+    91; 91; 91; 91; 91; 91; 91; 91;
+    126; 106; 71; 25; -25; -71; -106; -126;
+    118; 49; -49; -118; -118; -49; 49; 118;
+    106; -25; -126; -71; 71; 126; 25; -106;
+    91; -91; -91; 91; 91; -91; -91; 91;
+    71; -126; 25; 106; -106; -25; 126; -71;
+    49; -118; 118; -49; -49; 118; -118; 49;
+    25; -71; 106; -126; 126; -106; 71; -25;
+  |]
+
+(* Forward 2-D DCT of the 8x8 block at [base] into tmp, then coef. *)
+let fdct =
+  func "fdct" [ "base" ]
+    [
+      (* Rows. *)
+      for_ "y" (i 0) (i 8)
+        [
+          for_ "u" (i 0) (i 8)
+            [
+              set "acc" (i 0);
+              for_ "x" (i 0) (i 8)
+                [
+                  set "acc"
+                    (v "acc"
+                    + (ld "pixels" (v "base" + (v "y" * i 8) + v "x")
+                      * ld "cosq" ((v "u" * i 8) + v "x")));
+                ];
+              st "tmp" ((v "y" * i 8) + v "u") (v "acc" / i 256);
+            ];
+        ];
+      (* Columns. *)
+      for_ "u" (i 0) (i 8)
+        [
+          for_ "vv" (i 0) (i 8)
+            [
+              set "acc" (i 0);
+              for_ "y" (i 0) (i 8)
+                [
+                  set "acc"
+                    (v "acc"
+                    + (ld "tmp" ((v "y" * i 8) + v "u")
+                      * ld "cosq" ((v "vv" * i 8) + v "y")));
+                ];
+              st "coef" ((v "vv" * i 8) + v "u") (v "acc" / i 256);
+            ];
+        ];
+      ret_unit;
+    ]
+
+let idct =
+  func "idct" [ "base" ]
+    [
+      for_ "y" (i 0) (i 8)
+        [
+          for_ "x" (i 0) (i 8)
+            [
+              set "acc" (i 0);
+              for_ "u" (i 0) (i 8)
+                [
+                  set "acc"
+                    (v "acc"
+                    + (ld "coef" ((v "y" * i 8) + v "u")
+                      * ld "cosq" ((v "u" * i 8) + v "x")));
+                ];
+              st "tmp" ((v "y" * i 8) + v "x") (v "acc" / i 256);
+            ];
+        ];
+      for_ "y" (i 0) (i 8)
+        [
+          for_ "x" (i 0) (i 8)
+            [
+              set "acc" (i 0);
+              for_ "u" (i 0) (i 8)
+                [
+                  set "acc"
+                    (v "acc"
+                    + (ld "tmp" ((v "u" * i 8) + v "x")
+                      * ld "cosq" ((v "u" * i 8) + v "y")));
+                ];
+              st "pixels" (v "base" + (v "y" * i 8) + v "x") (v "acc" / i 256);
+            ];
+        ];
+      ret_unit;
+    ]
+
+let quant_zigzag =
+  func "quant_zigzag" [ "base" ]
+    [
+      for_ "k" (i 0) (i 64)
+        [
+          set "src" (ld "zig" (v "k"));
+          set "q" (ld "coef" (v "src") / ld "quant" (v "src"));
+          st "stream" (v "base" + v "k") (v "q");
+        ];
+      ret_unit;
+    ]
+
+let dequant_unzigzag =
+  func "dequant_unzigzag" [ "base" ]
+    [
+      for_ "k" (i 0) (i 64)
+        [
+          set "dst" (ld "zig" (v "k"));
+          st "coef" (v "dst") (ld "stream" (v "base" + v "k") * ld "quant" (v "dst"));
+        ];
+      ret_unit;
+    ]
+
+(* Zero-run-length pack of one zigzagged block: (run, value) pairs with
+   a 0xFF terminator — the entropy-coding stage's memory behaviour
+   (sequential scan, data-dependent short writes). *)
+let rle_pack =
+  func "rle_pack" [ "src"; "dst" ]
+    [
+      set "w" (i 0);
+      set "run" (i 0);
+      for_ "k" (i 0) (i 64)
+        [
+          set "x" (ld "stream" (v "src" + v "k"));
+          if_ (v "x" = i 0)
+            [ set "run" (v "run" + i 1) ]
+            [
+              st "packed" (v "dst" + v "w") (v "run");
+              st "packed" (v "dst" + v "w" + i 1) (v "x");
+              set "w" (v "w" + i 2);
+              set "run" (i 0);
+            ];
+        ];
+      st "packed" (v "dst" + v "w") (i 0xFF);
+      ret (v "w" + i 1);
+    ]
+
+let rle_unpack =
+  func "rle_unpack" [ "src"; "dst" ]
+    [
+      for_ "k" (i 0) (i 64) [ st "stream" (v "dst" + v "k") (i 0) ];
+      set "r" (i 0);
+      set "k" (i 0);
+      while_ ((ld "packed" (v "src" + v "r") <> i 0xFF) land (v "k" < i 64))
+        [
+          set "k" (v "k" + ld "packed" (v "src" + v "r"));
+          if_ (v "k" < i 64)
+            [
+              st "stream" (v "dst" + v "k")
+                (ld "packed" (v "src" + v "r" + i 1));
+              set "k" (v "k" + i 1);
+            ]
+            [];
+          set "r" (v "r" + i 2);
+        ];
+      ret_unit;
+    ]
+
+let globals ~pixels ~stream ~packed_len =
+  [
+    array_init "pixels" pixels;
+    array "coef" 64;
+    array "tmp" 64;
+    array_init "stream" stream;
+    array "packed" packed_len;
+    array_init "quant" quant_table;
+    array_init "zig" zigzag;
+    array_init "cosq" cos_q8;
+  ]
+
+let build_enc scale =
+  let blocks = Workload.scaled scale 28 in
+  let n = Stdlib.( * ) blocks 64 in
+  let data = Data_gen.bytes ~seed:0x17E6 n in
+  program
+    (globals ~pixels:data ~stream:(Array.make n 0)
+       ~packed_len:(Stdlib.( * ) blocks 130))
+    [
+      fdct;
+      quant_zigzag;
+      rle_pack;
+      func "main" []
+        [
+          for_ "b" (i 0) (i blocks)
+            [
+              callp "fdct" [ v "b" * i 64 ];
+              callp "quant_zigzag" [ v "b" * i 64 ];
+              set "len" (call "rle_pack" [ v "b" * i 64; v "b" * i 130 ]);
+            ];
+          ret_unit;
+        ];
+    ]
+
+let build_dec scale =
+  let blocks = Workload.scaled scale 28 in
+  let n = Stdlib.( * ) blocks 64 in
+  let stream =
+    Array.map (fun x -> Stdlib.((x mod 64) - 32)) (Data_gen.bytes ~seed:0x2DEC n)
+  in
+  program
+    (globals ~pixels:(Array.make n 0) ~stream
+       ~packed_len:(Stdlib.( * ) blocks 130))
+    [
+      idct;
+      dequant_unzigzag;
+      rle_pack;
+      rle_unpack;
+      func "main" []
+        [
+          for_ "b" (i 0) (i blocks)
+            [
+              (* Entropy round-trip before reconstruction, as a decoder
+                 parsing its input stream. *)
+              set "len" (call "rle_pack" [ v "b" * i 64; v "b" * i 130 ]);
+              callp "rle_unpack" [ v "b" * i 130; v "b" * i 64 ];
+              callp "dequant_unzigzag" [ v "b" * i 64 ];
+              callp "idct" [ v "b" * i 64 ];
+            ];
+          ret_unit;
+        ];
+    ]
+
+let enc = Workload.make "jpegenc" Workload.Mediabench build_enc
+let dec = Workload.make "jpegdec" Workload.Mediabench build_dec

@@ -1,0 +1,161 @@
+(* MPEG-2-style motion codec: the encoder runs full-search SAD motion
+   estimation over a +-4 window per macroblock; the decoder does motion
+   compensation plus a residual add — MediaBench's mpeg2.  2-D strided
+   scans with an accumulation-heavy kernel. *)
+open Sweep_lang.Dsl
+
+let width = 48
+let mb = 8 (* macroblock side *)
+
+let sad_func =
+  func "sad" [ "cur"; "refb" ]
+    [
+      set "acc" (i 0);
+      for_ "y" (i 0) (i mb)
+        [
+          for_ "x" (i 0) (i mb)
+            [
+              set "d"
+                (ld "cur_frame" (v "cur" + (v "y" * i width) + v "x")
+                - ld "ref_frame" (v "refb" + (v "y" * i width) + v "x"));
+              if_ (v "d" < i 0) [ set "d" (i 0 - v "d") ] [];
+              set "acc" (v "acc" + v "d");
+            ];
+        ];
+      ret (v "acc");
+    ]
+
+(* Full search in a +-4 window around the co-located block. *)
+let motion_search =
+  func "motion_search" [ "bx"; "by" ]
+    [
+      set "best" (i 0x3FFFFFFF);
+      set "bestmv" (i 0);
+      set "cur" ((v "by" * i width * i mb) + (v "bx" * i mb));
+      for_ "dy" (i 0) (i 7)
+        [
+          for_ "dx" (i 0) (i 7)
+            [
+              set "ry" ((v "by" * i mb) + v "dy" - i 3);
+              set "rx" ((v "bx" * i mb) + v "dx" - i 3);
+              if_
+                ((v "ry" >= i 0)
+                land (v "rx" >= i 0)
+                land (v "ry" <= i Stdlib.(width - mb))
+                land (v "rx" <= i Stdlib.(width - mb)))
+                [
+                  set "s" (call "sad" [ v "cur"; (v "ry" * i width) + v "rx" ]);
+                  if_ (v "s" < v "best")
+                    [
+                      set "best" (v "s");
+                      (* Window coordinates 0..8 pack positionally. *)
+                      set "bestmv" ((v "dy" * i 16) + v "dx");
+                    ]
+                    [];
+                ]
+                [];
+            ];
+        ];
+      st "mvs" ((v "by" * i Stdlib.(width / mb)) + v "bx") (v "bestmv");
+      ret (v "best");
+    ]
+
+let compensate =
+  func "compensate" [ "bx"; "by" ]
+    [
+      set "mv" (ld "mvs" ((v "by" * i Stdlib.(width / mb)) + v "bx"));
+      set "dy" ((v "mv" / i 16) - i 3);
+      set "dx" ((v "mv" % i 16) - i 3);
+      set "ry" ((v "by" * i mb) + v "dy");
+      set "rx" ((v "bx" * i mb) + v "dx");
+      if_ (v "ry" < i 0) [ set "ry" (i 0) ] [];
+      if_ (v "rx" < i 0) [ set "rx" (i 0) ] [];
+      if_ (v "ry" > i Stdlib.(width - mb)) [ set "ry" (i Stdlib.(width - mb)) ] [];
+      if_ (v "rx" > i Stdlib.(width - mb)) [ set "rx" (i Stdlib.(width - mb)) ] [];
+      for_ "y" (i 0) (i mb)
+        [
+          for_ "x" (i 0) (i mb)
+            [
+              set "p"
+                (ld "ref_frame" (((v "ry" + v "y") * i width) + v "rx" + v "x")
+                + ld "resid" ((((v "by" * i mb) + v "y") * i width)
+                              + (v "bx" * i mb) + v "x"));
+              st "cur_frame"
+                ((((v "by" * i mb) + v "y") * i width) + (v "bx" * i mb) + v "x")
+                (v "p");
+            ];
+        ];
+      ret_unit;
+    ]
+
+let blocks_per_side = Stdlib.(width / mb)
+
+let build_enc scale =
+  let frames = Workload.scaled scale 2 in
+  let pixels = Stdlib.( * ) width width in
+  let cur = Data_gen.bytes ~seed:0x3E91 pixels in
+  let refd = Data_gen.bytes ~seed:0x3E92 pixels in
+  program
+    [
+      array_init "cur_frame" cur;
+      array_init "ref_frame" refd;
+      array "mvs" (Stdlib.( * ) blocks_per_side blocks_per_side);
+      scalar "total_sad" 0;
+    ]
+    [
+      sad_func;
+      motion_search;
+      func "main" []
+        [
+          for_ "f" (i 0) (i frames)
+            [
+              for_ "by" (i 0) (i blocks_per_side)
+                [
+                  for_ "bx" (i 0) (i blocks_per_side)
+                    [
+                      set "s" (call "motion_search" [ v "bx"; v "by" ]);
+                      setg "total_sad" (g "total_sad" + v "s");
+                    ];
+                ];
+            ];
+          ret_unit;
+        ];
+    ]
+
+let build_dec scale =
+  let frames = Workload.scaled scale 30 in
+  let pixels = Stdlib.( * ) width width in
+  let refd = Data_gen.bytes ~seed:0x3E93 pixels in
+  let resid =
+    Array.map (fun x -> Stdlib.((x mod 16) - 8)) (Data_gen.bytes ~seed:0x3E94 pixels)
+  in
+  let mvs =
+    Array.map
+      (fun x -> Stdlib.(((x mod 7) * 16) + (x / 7 mod 7)))
+      (Data_gen.bytes ~seed:0x3E95 (Stdlib.( * ) blocks_per_side blocks_per_side))
+  in
+  program
+    [
+      array "cur_frame" pixels;
+      array_init "ref_frame" refd;
+      array_init "resid" resid;
+      array_init "mvs" mvs;
+    ]
+    [
+      compensate;
+      func "main" []
+        [
+          for_ "f" (i 0) (i frames)
+            [
+              for_ "by" (i 0) (i blocks_per_side)
+                [
+                  for_ "bx" (i 0) (i blocks_per_side)
+                    [ callp "compensate" [ v "bx"; v "by" ] ];
+                ];
+            ];
+          ret_unit;
+        ];
+    ]
+
+let enc = Workload.make "mpeg2enc" Workload.Mediabench build_enc
+let dec = Workload.make "mpeg2dec" Workload.Mediabench build_dec

@@ -1,0 +1,101 @@
+(* Patricia-style binary trie (MiBench's patricia): insert/lookup of
+   32-bit keys in a bit-indexed trie stored in parallel arrays —
+   pointer-chasing with data-dependent branches, the classic
+   cache-unfriendly workload.  We keep 8-bit stride-1 levels (a plain
+   binary trie over the top 16 bits, then a key list per leaf) so the
+   structure is simple to verify while preserving the access pattern. *)
+open Sweep_lang.Dsl
+
+let depth = 16 (* bits walked per key *)
+
+let build scale =
+  let inserts = Workload.scaled scale 700 in
+  let lookups = Workload.scaled scale 2200 in
+  let capacity = Stdlib.( + ) (Stdlib.( * ) inserts (Stdlib.( + ) depth 1)) 4 in
+  let keys =
+    Data_gen.words ~seed:0xA70 inserts
+    |> Array.map (fun k -> Stdlib.(k land 0xFFFFFFFF))
+  in
+  let probes =
+    Data_gen.words ~seed:0xA71 lookups
+    |> Array.mapi (fun idx p ->
+           (* Half the probes hit inserted keys, half are random. *)
+           Stdlib.(
+             if idx mod 2 = 0 then keys.(idx mod inserts)
+             else p land 0xFFFFFFFF))
+  in
+  program
+    [
+      array_init "keys" keys;
+      array_init "probes" probes;
+      array "left" capacity;   (* 0 = absent; node 1 is the root *)
+      array "right" capacity;
+      array "leaf_key" capacity;
+      scalar "node_count" 2;
+      scalar "hits" 0;
+      scalar "misses" 0;
+      scalar "inserted" 0;
+    ]
+    [
+      (* Walk the top [depth] bits; allocate missing children. *)
+      func "insert" [ "key" ]
+        [
+          set "node" (i 1);
+          for_ "b" (i 0) (i depth)
+            [
+              set "bit" ((v "key" lsr (i 31 - v "b")) land i 1);
+              if_ (v "bit" <> i 0)
+                [ set "child" (ld "right" (v "node")) ]
+                [ set "child" (ld "left" (v "node")) ];
+              if_ (v "child" = i 0)
+                [
+                  set "child" (g "node_count");
+                  setg "node_count" (g "node_count" + i 1);
+                  if_ (v "bit" <> i 0)
+                    [ st "right" (v "node") (v "child") ]
+                    [ st "left" (v "node") (v "child") ];
+                ]
+                [];
+              set "node" (v "child");
+            ];
+          if_ (ld "leaf_key" (v "node") = i 0)
+            [
+              st "leaf_key" (v "node") (v "key" lor i 1);
+              setg "inserted" (g "inserted" + i 1);
+            ]
+            [];
+          ret_unit;
+        ];
+      func "lookup" [ "key" ]
+        [
+          set "node" (i 1);
+          set "b" (i 0);
+          while_ (v "b" < i depth)
+            [
+              set "bit" ((v "key" lsr (i 31 - v "b")) land i 1);
+              if_ (v "bit" <> i 0)
+                [ set "node" (ld "right" (v "node")) ]
+                [ set "node" (ld "left" (v "node")) ];
+              if_ (v "node" = i 0) [ ret (i 0) ] [];
+              set "b" (v "b" + i 1);
+            ];
+          if_ (ld "leaf_key" (v "node") = (v "key" lor i 1))
+            [ ret (i 1) ]
+            [ ret (i 0) ];
+        ];
+      func "main" []
+        [
+          for_ "k" (i 0) (i inserts)
+            [ callp "insert" [ ld "keys" (v "k") ] ];
+          for_ "q" (i 0) (i lookups)
+            [
+              if_
+                (call "lookup" [ ld "probes" (v "q") ] <> i 0)
+                [ setg "hits" (g "hits" + i 1) ]
+                [ setg "misses" (g "misses" + i 1) ];
+            ];
+          ret_unit;
+        ];
+    ]
+
+let workload = Workload.make "patricia" Workload.Mibench build

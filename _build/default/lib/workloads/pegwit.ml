@@ -1,0 +1,116 @@
+(* Pegwit-style public-key operations reduced to their computational
+   core: GF(2^31) polynomial multiplication (shift/xor ladder) and a
+   square-and-multiply exponentiation keyed per message block, plus a
+   keystream mix over the message — bit-twiddling heavy like
+   MediaBench's pegwit. *)
+open Sweep_lang.Dsl
+
+let poly = 0x8000_0141 (* reduction polynomial (degree 31) *)
+let mask31 = 0x7FFF_FFFF
+
+(* Carry-less multiply modulo the field polynomial. *)
+let gf_mul =
+  func "gf_mul" [ "a"; "b" ]
+    [
+      set "acc" (i 0);
+      set "x" (v "a");
+      set "y" (v "b");
+      for_ "bit" (i 0) (i 31)
+        [
+          if_ (v "y" land i 1 <> i 0) [ set "acc" (v "acc" lxor v "x") ] [];
+          set "y" (v "y" lsr i 1);
+          set "x" (v "x" lsl i 1);
+          if_ (v "x" land i 0x8000_0000 <> i 0)
+            [ set "x" (v "x" lxor i poly) ]
+            [];
+          set "x" (v "x" land i mask31);
+        ];
+      ret (v "acc" land i mask31);
+    ]
+
+(* Square-and-multiply: g^e in the multiplicative structure. *)
+let gf_pow =
+  func "gf_pow" [ "base"; "exp" ]
+    [
+      set "result" (i 1);
+      set "b" (v "base");
+      set "e" (v "exp");
+      while_ (v "e" > i 0)
+        [
+          if_ (v "e" land i 1 <> i 0)
+            [ set "result" (call "gf_mul" [ v "result"; v "b" ]) ]
+            [];
+          set "b" (call "gf_mul" [ v "b"; v "b" ]);
+          set "e" (v "e" lsr i 1);
+        ];
+      ret (v "result");
+    ]
+
+(* Bitwise CRC-32 over a word, continuing a running remainder — the
+   integrity tag pegwit computes over its output. *)
+let crc_step =
+  func "crc_step" [ "crc"; "word" ]
+    [
+      set "c" (v "crc" lxor v "word");
+      for_ "bit" (i 0) (i 32)
+        [
+          if_ (v "c" land i 1 <> i 0)
+            [ set "c" ((v "c" lsr i 1) lxor i 0xEDB88320) ]
+            [ set "c" (v "c" lsr i 1) ];
+        ];
+      ret (v "c");
+    ]
+
+let build_common ~seed ~blocks ~exp_bits name =
+  let n = Stdlib.( * ) blocks 4 in
+  let msg = Data_gen.words ~seed n in
+  ignore name;
+  program
+    [
+      array_init "msg" msg;
+      array "out" n;
+      scalar "key" 0x2A6D_39E1;
+      scalar "stream" 1;
+      scalar "crc" 0xFFFFFFFF;
+    ]
+    [
+      gf_mul;
+      gf_pow;
+      crc_step;
+      func "main" []
+        [
+          for_ "blk" (i 0) (i blocks)
+            [
+              (* Fresh keystream element per block. *)
+              set "e" ((g "key" lxor (v "blk" * i 2654435761)) land i exp_bits);
+              setg "stream" (call "gf_pow" [ g "stream" lor i 2; v "e" lor i 1 ]);
+              for_ "t" (i 0) (i 4)
+                [
+                  set "idx" ((v "blk" * i 4) + v "t");
+                  set "c" (ld "msg" (v "idx") lxor g "stream");
+                  st "out" (v "idx") (v "c");
+                  setg "key"
+                    ((g "key" lxor (v "c" * i 40503)) land i mask31);
+                ];
+              (* Integrity tag over the block just produced. *)
+              for_ "t" (i 0) (i 4)
+                [
+                  setg "crc"
+                    (call "crc_step"
+                       [ g "crc"; ld "out" ((v "blk" * i 4) + v "t") ]);
+                ];
+            ];
+          ret_unit;
+        ];
+    ]
+
+let build_enc scale =
+  build_common ~seed:0x9E61 ~blocks:(Workload.scaled scale 16) ~exp_bits:0xFF
+    "enc"
+
+let build_dec scale =
+  build_common ~seed:0x9E62 ~blocks:(Workload.scaled scale 18) ~exp_bits:0x7F
+    "dec"
+
+let enc = Workload.make "pegwitenc" Workload.Mediabench build_enc
+let dec = Workload.make "pegwitdec" Workload.Mediabench build_dec

@@ -1,0 +1,34 @@
+(* Paper presentation order: Mediabench then MiBench (Fig. 5's x-axis). *)
+let all =
+  [
+    Adpcm.dec;
+    Adpcm.enc;
+    G721.dec;
+    G721.enc;
+    Gsm.dec;
+    Gsm.enc;
+    Jpeg.dec;
+    Jpeg.enc;
+    Mpeg2.dec;
+    Mpeg2.enc;
+    Pegwit.dec;
+    Pegwit.enc;
+    Sha.workload;
+    Susan.smoothing;
+    Susan.edges;
+    Susan.corners;
+    Dijkstra.workload;
+    Basicmath.workload;
+    Fft.fft;
+    Fft.ifft;
+    Typeset.workload;
+    Blowfish.dec;
+    Blowfish.enc;
+    Patricia.workload;
+    Rijndael.dec;
+    Rijndael.enc;
+  ]
+
+let find name = List.find (fun w -> w.Workload.name = name) all
+
+let names () = List.map (fun w -> w.Workload.name) all

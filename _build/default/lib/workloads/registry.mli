@@ -1,0 +1,9 @@
+(** All workloads, in the paper's presentation order (Mediabench then
+    MiBench — Fig. 5's x-axis). *)
+
+val all : Workload.t list
+
+val find : string -> Workload.t
+(** Raises [Not_found]. *)
+
+val names : unit -> string list

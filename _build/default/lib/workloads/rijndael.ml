@@ -1,0 +1,150 @@
+(* Rijndael/AES-style rounds: SubBytes (S-box), ShiftRows, MixColumns
+   (GF(2^8) xtime), AddRoundKey over 16-byte states — MiBench's rijndael.
+   A small program with many short call-bounded regions: the paper notes
+   SweepCache generates ~2x more regions than ReplayCache here, making it
+   one of the two benchmarks where SweepCache does not win. *)
+open Sweep_lang.Dsl
+
+let rounds = 10
+
+(* A bijective byte S-box: affine-ish scramble (not the real AES box,
+   same access pattern). *)
+let sbox_table =
+  Array.init 256 (fun x ->
+      Stdlib.(
+        let y = (x * 7) land 255 in
+        (y lxor (y lsr 4) lxor 0x63) land 255))
+
+let sub_bytes =
+  func "sub_bytes" []
+    [
+      for_ "t" (i 0) (i 16)
+        [ st "state" (v "t") (ld "sbox" (ld "state" (v "t") land i 255)) ];
+      ret_unit;
+    ]
+
+let shift_rows =
+  func "shift_rows" []
+    [
+      (* Row r rotates left by r positions (column-major 4x4 state). *)
+      for_ "r" (i 1) (i 4)
+        [
+          for_ "s" (i 0) (v "r")
+            [
+              set "tmp" (ld "state" (v "r"));
+              for_ "c" (i 0) (i 3)
+                [
+                  st "state" ((v "c" * i 4) + v "r")
+                    (ld "state" (((v "c" + i 1) * i 4) + v "r"));
+                ];
+              st "state" (i 12 + v "r") (v "tmp");
+            ];
+        ];
+      ret_unit;
+    ]
+
+let xtime =
+  func "xtime" [ "x" ]
+    [
+      set "y" (v "x" lsl i 1);
+      if_ (v "y" land i 0x100 <> i 0) [ set "y" (v "y" lxor i 0x11B) ] [];
+      ret (v "y" land i 255);
+    ]
+
+let mix_columns =
+  func "mix_columns" []
+    [
+      for_ "c" (i 0) (i 4)
+        [
+          set "a0" (ld "state" (v "c" * i 4));
+          set "a1" (ld "state" ((v "c" * i 4) + i 1));
+          set "a2" (ld "state" ((v "c" * i 4) + i 2));
+          set "a3" (ld "state" ((v "c" * i 4) + i 3));
+          set "x0" (call "xtime" [ v "a0" ]);
+          set "x1" (call "xtime" [ v "a1" ]);
+          set "x2" (call "xtime" [ v "a2" ]);
+          set "x3" (call "xtime" [ v "a3" ]);
+          st "state" (v "c" * i 4)
+            (v "x0" lxor (v "a1" lxor v "x1") lxor v "a2" lxor v "a3");
+          st "state" ((v "c" * i 4) + i 1)
+            (v "a0" lxor v "x1" lxor (v "a2" lxor v "x2") lxor v "a3");
+          st "state" ((v "c" * i 4) + i 2)
+            (v "a0" lxor v "a1" lxor v "x2" lxor (v "a3" lxor v "x3"));
+          st "state" ((v "c" * i 4) + i 3)
+            ((v "a0" lxor v "x0") lxor v "a1" lxor v "a2" lxor v "x3");
+        ];
+      ret_unit;
+    ]
+
+let add_round_key =
+  func "add_round_key" [ "round" ]
+    [
+      for_ "t" (i 0) (i 16)
+        [
+          st "state" (v "t")
+            (ld "state" (v "t") lxor ld "rkeys" ((v "round" * i 16) + v "t"));
+        ];
+      ret_unit;
+    ]
+
+let crypt_block ~inverse =
+  func "crypt_block" [ "base" ]
+    ([
+       for_ "t" (i 0) (i 16)
+         [ st "state" (v "t") (ld "data" (v "base" + v "t") land i 255) ];
+       callp "add_round_key" [ i 0 ];
+     ]
+    @ [
+        for_ "r" (i 1) (i (Stdlib.( + ) rounds 1))
+          (if inverse then
+             [
+               callp "add_round_key" [ v "r" ];
+               callp "mix_columns" [];
+               callp "shift_rows" [];
+               callp "sub_bytes" [];
+             ]
+           else
+             [
+               callp "sub_bytes" [];
+               callp "shift_rows" [];
+               callp "mix_columns" [];
+               callp "add_round_key" [ v "r" ];
+             ]);
+      ]
+    @ [
+        for_ "t" (i 0) (i 16)
+          [ st "data" (v "base" + v "t") (ld "state" (v "t")) ];
+        setg "blocks_done" (g "blocks_done" + i 1);
+        ret_unit;
+      ])
+
+let build ~inverse name scale =
+  ignore name;
+  let blocks = Workload.scaled scale 42 in
+  let data = Data_gen.bytes ~seed:0xAE5 (Stdlib.( * ) blocks 16) in
+  let round_keys = Data_gen.bytes ~seed:0xAE6 (Stdlib.( * ) (Stdlib.( + ) rounds 1) 16) in
+  program
+    [
+      array_init "data" data;
+      array "state" 16;
+      array_init "sbox" sbox_table;
+      array_init "rkeys" round_keys;
+      scalar "blocks_done" 0;
+    ]
+    [
+      sub_bytes;
+      shift_rows;
+      xtime;
+      mix_columns;
+      add_round_key;
+      crypt_block ~inverse;
+      func "main" []
+        [
+          for_ "blk" (i 0) (i blocks)
+            [ callp "crypt_block" [ v "blk" * i 16 ] ];
+          ret_unit;
+        ];
+    ]
+
+let enc = Workload.make "rijndaelenc" Workload.Mibench (build ~inverse:false "enc")
+let dec = Workload.make "rijndaeldec" Workload.Mibench (build ~inverse:true "dec")

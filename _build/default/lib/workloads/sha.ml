@@ -1,0 +1,102 @@
+(* SHA-1-style digest: 16-word blocks, 80-word message schedule, five
+   chaining variables.  Register-pressure-heavy with a hot store loop
+   (the schedule), like MiBench's sha. *)
+open Sweep_lang.Dsl
+
+let mask = 0xFFFFFFFF
+
+let rotl x n =
+  ((x lsl i n) lor (x lsr i (Stdlib.( - ) 32 n))) land i mask
+
+let build scale =
+  let blocks = Workload.scaled scale 42 in
+  let msg = Data_gen.words ~seed:0x5AA1 (Stdlib.( * ) blocks 16) in
+  program
+    [
+      array_init "msg" msg;
+      array "w" 80;
+      scalar "h0" 0x67452301;
+      scalar "h1" 0xEFCDAB89;
+      scalar "h2" 0x98BADCFE;
+      scalar "h3" 0x10325476;
+      scalar "h4" 0xC3D2E1F0;
+    ]
+    [
+      func "schedule" [ "base" ]
+        [
+          for_ "t" (i 0) (i 16)
+            [ st "w" (v "t") (ld "msg" (v "base" + v "t")) ];
+          for_ "t" (i 16) (i 80)
+            [
+              set "x"
+                (ld "w" (v "t" - i 3)
+                lxor ld "w" (v "t" - i 8)
+                lxor ld "w" (v "t" - i 14)
+                lxor ld "w" (v "t" - i 16));
+              st "w" (v "t") (rotl (v "x") 1);
+            ];
+          ret_unit;
+        ];
+      func "digest_block" []
+        [
+          set "a" (g "h0");
+          set "b" (g "h1");
+          set "c" (g "h2");
+          set "d" (g "h3");
+          set "e" (g "h4");
+          for_ "t" (i 0) (i 80)
+            [
+              if_ (v "t" < i 20)
+                [
+                  set "f" ((v "b" land v "c") lor (i mask lxor v "b" land v "d"));
+                  set "k" (i 0x5A827999);
+                ]
+                [
+                  if_ (v "t" < i 40)
+                    [
+                      set "f" (v "b" lxor v "c" lxor v "d");
+                      set "k" (i 0x6ED9EBA1);
+                    ]
+                    [
+                      if_ (v "t" < i 60)
+                        [
+                          set "f"
+                            ((v "b" land v "c")
+                            lor (v "b" land v "d")
+                            lor (v "c" land v "d"));
+                          set "k" (i 0x8F1BBCDC);
+                        ]
+                        [
+                          set "f" (v "b" lxor v "c" lxor v "d");
+                          set "k" (i 0xCA62C1D6);
+                        ];
+                    ];
+                ];
+              set "tmp"
+                ((rotl (v "a") 5 + v "f" + v "e" + v "k" + ld "w" (v "t"))
+                land i mask);
+              set "e" (v "d");
+              set "d" (v "c");
+              set "c" (rotl (v "b") 30);
+              set "b" (v "a");
+              set "a" (v "tmp");
+            ];
+          setg "h0" ((g "h0" + v "a") land i mask);
+          setg "h1" ((g "h1" + v "b") land i mask);
+          setg "h2" ((g "h2" + v "c") land i mask);
+          setg "h3" ((g "h3" + v "d") land i mask);
+          setg "h4" ((g "h4" + v "e") land i mask);
+          ret_unit;
+        ];
+      func "main" []
+        [
+          for_ "blk" (i 0) (i blocks)
+            [
+              callp "schedule" [ v "blk" * i 16 ];
+              callp "digest_block" [];
+            ];
+          ret_unit;
+        ];
+    ]
+
+let workload = Workload.make "sha" Workload.Mediabench build

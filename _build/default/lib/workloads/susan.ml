@@ -1,0 +1,166 @@
+(* SUSAN image kernels (MiBench): smoothing (susans), edge response
+   (susane) and corner response (susanc) over a greyscale image using
+   USAN-style brightness-similarity windows. *)
+open Sweep_lang.Dsl
+
+let width = 96
+let height = 28
+
+let globals img =
+  [
+    array_init "img" img;
+    array "out" (Stdlib.( * ) width height);
+    scalar "threshold" 20;
+    scalar "found" 0;
+  ]
+
+(* Brightness similarity (hard threshold, like SUSAN's LUT). *)
+let similar =
+  func "similar" [ "a"; "b" ]
+    [
+      set "d" (v "a" - v "b");
+      if_ (v "d" < i 0) [ set "d" (i 0 - v "d") ] [];
+      if_ (v "d" <= g "threshold") [ ret (i 1) ] [ ret (i 0) ];
+    ]
+
+(* 3x3-weighted smoothing restricted to USAN-similar pixels. *)
+let smooth_main =
+  func "main" []
+    [
+      for_ "y" (i 1) (i Stdlib.(height - 1))
+        [
+          for_ "x" (i 1) (i Stdlib.(width - 1))
+            [
+              set "c" (ld "img" ((v "y" * i width) + v "x"));
+              set "sum" (i 0);
+              set "cnt" (i 0);
+              for_ "dy" (i 0) (i 3)
+                [
+                  for_ "dx" (i 0) (i 3)
+                    [
+                      set "p"
+                        (ld "img"
+                           (((v "y" + v "dy" - i 1) * i width)
+                           + v "x" + v "dx" - i 1));
+                      if_ (call "similar" [ v "c"; v "p" ] <> i 0)
+                        [ set "sum" (v "sum" + v "p"); set "cnt" (v "cnt" + i 1) ]
+                        [];
+                    ];
+                ];
+              st "out" ((v "y" * i width) + v "x") (v "sum" / v "cnt");
+            ];
+        ];
+      ret_unit;
+    ]
+
+(* USAN area in a 5x5 window; edge response = area deficit. *)
+let usan_area =
+  func "usan_area" [ "x"; "y" ]
+    [
+      set "c" (ld "img" ((v "y" * i width) + v "x"));
+      set "area" (i 0);
+      for_ "dy" (i 0) (i 5)
+        [
+          for_ "dx" (i 0) (i 5)
+            [
+              set "p"
+                (ld "img"
+                   (((v "y" + v "dy" - i 2) * i width) + v "x" + v "dx" - i 2));
+              set "area" (v "area" + call "similar" [ v "c"; v "p" ]);
+            ];
+        ];
+      ret (v "area");
+    ]
+
+let edge_main =
+  func "main" []
+    [
+      for_ "y" (i 2) (i Stdlib.(height - 2))
+        [
+          for_ "x" (i 2) (i Stdlib.(width - 2))
+            [
+              set "area" (call "usan_area" [ v "x"; v "y" ]);
+              (* Geometric threshold 3/4 of the window. *)
+              set "resp" (i 18 - v "area");
+              if_ (v "resp" < i 0) [ set "resp" (i 0) ] [];
+              st "out" ((v "y" * i width) + v "x") (v "resp");
+              if_ (v "resp" > i 0) [ setg "found" (g "found" + i 1) ] [];
+            ];
+        ];
+      ret_unit;
+    ]
+
+let corner_main =
+  func "main" []
+    [
+      for_ "y" (i 2) (i Stdlib.(height - 2))
+        [
+          for_ "x" (i 2) (i Stdlib.(width - 2))
+            [
+              set "area" (call "usan_area" [ v "x"; v "y" ]);
+              (* Corners demand a much smaller USAN. *)
+              set "resp" (i 12 - v "area");
+              if_ (v "resp" < i 0) [ set "resp" (i 0) ] [];
+              if_ (v "resp" > i 0)
+                [
+                  (* Centroid test: reject responses centred on the nucleus. *)
+                  set "cx" (i 0);
+                  set "cy" (i 0);
+                  set "c" (ld "img" ((v "y" * i width) + v "x"));
+                  for_ "dy" (i 0) (i 5)
+                    [
+                      for_ "dx" (i 0) (i 5)
+                        [
+                          set "p"
+                            (ld "img"
+                               (((v "y" + v "dy" - i 2) * i width)
+                               + v "x" + v "dx" - i 2));
+                          if_ (call "similar" [ v "c"; v "p" ] <> i 0)
+                            [
+                              set "cx" (v "cx" + v "dx" - i 2);
+                              set "cy" (v "cy" + v "dy" - i 2);
+                            ]
+                            [];
+                        ];
+                    ];
+                  if_ ((v "cx" * v "cx") + (v "cy" * v "cy") > i 4)
+                    [
+                      st "out" ((v "y" * i width) + v "x") (v "resp");
+                      setg "found" (g "found" + i 1);
+                    ]
+                    [];
+                ]
+                [];
+            ];
+        ];
+      ret_unit;
+    ]
+
+(* A synthetic image with smooth gradients plus blocky structure, so the
+   USAN statistics resemble a natural scene rather than white noise. *)
+let make_image seed =
+  let noise = Data_gen.bytes ~seed (Stdlib.( * ) width height) in
+  Array.init
+    (Stdlib.( * ) width height)
+    (fun idx ->
+      Stdlib.(
+        let x = idx mod width and y = idx / width in
+        let block = if ((x / 12) + (y / 8)) mod 2 = 0 then 60 else 140 in
+        let grad = (x * 2 / 3) + y in
+        (block + grad + (noise.(idx) mod 16)) land 255))
+
+let build_smooth scale =
+  ignore scale;
+  program (globals (make_image 0x5A51)) [ similar; smooth_main ]
+
+let build_edge scale =
+  ignore scale;
+  program (globals (make_image 0x5A52)) [ similar; usan_area; edge_main ]
+
+let build_corner scale =
+  ignore scale;
+  program (globals (make_image 0x5A53)) [ similar; usan_area; corner_main ]
+
+let smoothing = Workload.make "susans" Workload.Mediabench build_smooth
+let edges = Workload.make "susane" Workload.Mediabench build_edge
+let corners = Workload.make "susanc" Workload.Mediabench build_corner

@@ -1,0 +1,87 @@
+(* Typeset (MiBench consumer): greedy paragraph line breaking with
+   justification badness, hyphenation scanning and a kerning table —
+   branchy, table-driven text processing. *)
+open Sweep_lang.Dsl
+
+let line_width = 480
+
+let build scale =
+  let words_n = Workload.scaled scale 2600 in
+  (* Word widths 40..200 units, synthetic "letters" for kerning. *)
+  let raw = Data_gen.bytes ~seed:0x7E5E words_n in
+  let widths = Array.map (fun b -> Stdlib.(40 + (b mod 161))) raw in
+  let letters = Data_gen.bytes ~seed:0x7E5F words_n in
+  let kern = Array.init 64 (fun k -> Stdlib.((k mod 7) - 3)) in
+  program
+    [
+      array_init "widths" widths;
+      array_init "letters" letters;
+      array_init "kern" kern;
+      array "line_of" words_n;
+      array "badness" words_n;
+      scalar "lines" 0;
+      scalar "total_badness" 0;
+    ]
+    [
+      (* Kerning between adjacent words from their boundary letters. *)
+      func "kerning" [ "a"; "b" ]
+        [ ret (ld "kern" (((v "a" lxor v "b") land i 63))) ];
+      (* Badness of slack space left on a line (quadratic, capped). *)
+      func "slack_badness" [ "slack" ]
+        [
+          set "s" (v "slack");
+          if_ (v "s" < i 0) [ set "s" (i 0 - v "s") ] [];
+          set "b" (v "s" * v "s" / i 64);
+          if_ (v "b" > i 10000) [ set "b" (i 10000) ] [];
+          ret (v "b");
+        ];
+      (* Try to split an overflowing word: scan for a feasible hyphen
+         point (synthetic: any position where the letter code is even). *)
+      func "hyphen_fit" [ "w"; "room" ]
+        [
+          set "width" (ld "widths" (v "w"));
+          set "letter" (ld "letters" (v "w"));
+          set "best" (i 0);
+          for_ "cut" (i 1) (i 8)
+            [
+              set "part" (v "width" * v "cut" / i 8);
+              if_
+                ((v "part" <= v "room")
+                land ((v "letter" lsr v "cut") land i 1 = i 0))
+                [ set "best" (v "part") ]
+                [];
+            ];
+          ret (v "best");
+        ];
+      func "main" []
+        [
+          set "cursor" (i 0);
+          set "line" (i 0);
+          set "prev_letter" (i 0);
+          for_ "w" (i 0) (i words_n)
+            [
+              set "need"
+                (ld "widths" (v "w")
+                + call "kerning" [ v "prev_letter"; ld "letters" (v "w") ]);
+              if_ (v "cursor" + v "need" > i line_width)
+                [
+                  (* Close the line: try hyphenation first. *)
+                  set "room" (i line_width - v "cursor");
+                  set "fit" (call "hyphen_fit" [ v "w"; v "room" ]);
+                  set "slack" (v "room" - v "fit");
+                  set "bad" (call "slack_badness" [ v "slack" ]);
+                  st "badness" (v "line") (v "bad");
+                  setg "total_badness" (g "total_badness" + v "bad");
+                  set "line" (v "line" + i 1);
+                  set "cursor" (ld "widths" (v "w") - v "fit");
+                ]
+                [ set "cursor" (v "cursor" + v "need") ];
+              st "line_of" (v "w") (v "line");
+              set "prev_letter" (ld "letters" (v "w"));
+            ];
+          setg "lines" (v "line" + i 1);
+          ret_unit;
+        ];
+    ]
+
+let workload = Workload.make "typeset" Workload.Mibench build

@@ -1,0 +1,15 @@
+type suite = Mediabench | Mibench
+
+type t = {
+  name : string;
+  suite : suite;
+  build : float -> Sweep_lang.Ast.program;
+}
+
+let make name suite build = { name; suite; build }
+
+let program ?(scale = 1.0) t = t.build scale
+
+let suite_name = function Mediabench -> "Mediabench" | Mibench -> "Mibench"
+
+let scaled scale n = max 1 (int_of_float (scale *. float_of_int n))

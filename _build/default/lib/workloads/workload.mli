@@ -1,0 +1,27 @@
+(** Workload descriptors.
+
+    Each entry names a paper benchmark (MiBench / MediaBench) and builds
+    the mini-language program standing in for it; construction is lazy so
+    registries are cheap.  [scale] controls the input size: 1.0 is the
+    default used by the experiment harness (hundreds of thousands of
+    cache-free dynamic instructions); tests use smaller scales. *)
+
+type suite = Mediabench | Mibench
+
+type t = {
+  name : string;    (** paper benchmark name, e.g. "adpcmdec" *)
+  suite : suite;
+  build : float -> Sweep_lang.Ast.program;
+      (** [build scale]; deterministic for a given scale. *)
+}
+
+val make : string -> suite -> (float -> Sweep_lang.Ast.program) -> t
+
+val program : ?scale:float -> t -> Sweep_lang.Ast.program
+(** [program w] is [w.build scale] (default 1.0). *)
+
+val suite_name : suite -> string
+
+val scaled : float -> int -> int
+(** [scaled scale n] = [max 1 (int of scale×n)] — input-size helper used
+    by the workload builders. *)

@@ -1,0 +1,1 @@
+test/gen.ml: Array List Printf QCheck2 Sweep_lang

@@ -1,0 +1,1 @@
+test/t_baselines.ml: Alcotest Array List Option Sweep_compiler Sweep_energy Sweep_lang Sweep_machine Sweep_mem Sweep_sim Thelpers

@@ -1,0 +1,1 @@
+test/t_compiler.ml: Alcotest Array Gen List Printf QCheck2 QCheck_alcotest Sweep_compiler Sweep_isa Sweep_lang Sweep_machine Sweep_sim Sweep_workloads Thelpers

@@ -1,0 +1,1 @@
+test/t_core.ml: Alcotest Array Lazy List Printf Sweep_compiler Sweep_isa Sweep_machine Sweep_mem Sweep_sim Sweepcache_core Thelpers

@@ -1,0 +1,1 @@
+test/t_energy.ml: Alcotest Filename Fun List Sweep_energy Sys

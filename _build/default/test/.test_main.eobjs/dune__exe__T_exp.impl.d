@@ -1,0 +1,1 @@
+test/t_exp.ml: Alcotest Fun List Sweep_exp Sweep_sim Unix

@@ -1,0 +1,1 @@
+test/t_isa.ml: Alcotest Array List String Sweep_isa Thelpers

@@ -1,0 +1,1 @@
+test/t_lang.ml: Alcotest Gen List QCheck2 QCheck_alcotest Sweep_lang Thelpers

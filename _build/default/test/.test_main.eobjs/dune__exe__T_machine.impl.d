@@ -1,0 +1,1 @@
+test/t_machine.ml: Alcotest Array Hashtbl List Option Sweep_compiler Sweep_energy Sweep_isa Sweep_lang Sweep_machine Sweep_mem Sweep_sim

@@ -1,0 +1,1 @@
+test/t_mem.ml: Alcotest Array Hashtbl List Option QCheck2 QCheck_alcotest Sweep_isa Sweep_mem

@@ -1,0 +1,1 @@
+test/t_regalloc.ml: Alcotest Array Fun Gen List Printf QCheck2 QCheck_alcotest Stdlib String Sweep_compiler Sweep_isa Sweep_lang Sweep_sim Thelpers

@@ -1,0 +1,1 @@
+test/t_regions.ml: Alcotest Array List Sweep_compiler Sweep_isa

@@ -1,0 +1,1 @@
+test/t_sim.ml: Alcotest Gen List Printf QCheck2 QCheck_alcotest Sweep_energy Sweep_lang Sweep_sim Sweep_workloads Thelpers

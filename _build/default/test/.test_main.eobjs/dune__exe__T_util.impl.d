@@ -1,0 +1,1 @@
+test/t_util.ml: Alcotest Array Float Fun List QCheck2 QCheck_alcotest String Sweep_util Thelpers

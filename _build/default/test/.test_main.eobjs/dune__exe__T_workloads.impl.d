@@ -1,0 +1,1 @@
+test/t_workloads.ml: Alcotest List Sweep_lang Sweep_sim Sweep_workloads Thelpers

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest T_baselines T_compiler T_core T_energy T_exp T_isa T_lang T_machine T_mem T_regalloc T_regions T_sim T_util T_workloads

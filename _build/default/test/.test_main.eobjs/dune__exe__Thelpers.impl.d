@@ -1,0 +1,1 @@
+test/thelpers.ml: Alcotest Lazy List Option String Sweep_energy Sweep_lang Sweep_sim

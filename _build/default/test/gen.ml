@@ -1,0 +1,154 @@
+(* QCheck generators for random mini-language programs.
+
+   The generated programs are total by construction: loop bounds are
+   small constants, array indices are wrapped into bounds, locals are
+   read only after being assigned, and there is no recursion.  They
+   exercise the whole compiler (expressions, control flow, calls,
+   register pressure) and feed the differential tests: interpreter vs
+   simulated machine, with and without injected power failures. *)
+
+open Sweep_lang.Ast
+module Gen = QCheck2.Gen
+
+let array_names = [ ("ga", 24); ("gb", 48) ]
+let scalar_names = [ "gs"; "gt" ]
+
+let small_int = Gen.int_range (-100) 100
+
+(* Wrap an arbitrary expression into a valid index for [len]. *)
+let bounded_index len e =
+  Binop (Rem, Binop (And, e, Int 0x3FFFFFFF), Int len)
+
+let gen_expr ~vars ~depth : expr Gen.t =
+  let open Gen in
+  let rec go depth =
+    let leaves =
+      [ (3, map (fun n -> Int n) small_int);
+        (2, map (fun s -> Global s) (oneofl scalar_names)) ]
+      @ (if vars = [] then [] else [ (4, map (fun v -> Var v) (oneofl vars)) ])
+    in
+    if depth <= 0 then frequency leaves
+    else
+      frequency
+        (leaves
+        @ [
+            ( 4,
+              let* op =
+                oneofl
+                  [ Add; Sub; Mul; Div; Rem; And; Or; Xor; Shl; Shr;
+                    Lt; Le; Gt; Ge; Eq; Ne ]
+              in
+              let* a = go (depth - 1) in
+              let+ b = go (depth - 1) in
+              (* Shifts wider than the word make values explode; clamp. *)
+              match op with
+              | Shl | Shr -> Binop (op, a, Binop (And, b, Int 7))
+              | _ -> Binop (op, a, b) );
+            ( 2,
+              let* name, len = oneofl array_names in
+              let+ idx = go (depth - 1) in
+              Load (name, bounded_index len idx) );
+          ])
+  in
+  go depth
+
+(* [readable] includes loop variables; [assignable] excludes them so a
+   generated body can never move an enclosing loop counter (which would
+   make the loop non-terminating). *)
+let gen_stmts ~vars ~budget : stmt list Gen.t =
+  let open Gen in
+  let fresh_var readable = Printf.sprintf "x%d" (List.length readable) in
+  let rec go ~readable ~assignable budget =
+    if budget <= 0 then return []
+    else
+      let stmt_gen =
+        frequency
+          [
+            ( 4,
+              let* target =
+                if assignable = [] then return (fresh_var readable)
+                else oneof [ oneofl assignable; return (fresh_var readable) ]
+              in
+              let+ e = gen_expr ~vars:readable ~depth:3 in
+              ( [ Assign (target, e) ],
+                (if List.mem target readable then readable
+                 else target :: readable),
+                if List.mem target assignable then assignable
+                else target :: assignable ) );
+            ( 2,
+              let* name, len = oneofl array_names in
+              let* idx = gen_expr ~vars:readable ~depth:2 in
+              let+ value = gen_expr ~vars:readable ~depth:3 in
+              ( [ Store (name, bounded_index len idx, value) ],
+                readable, assignable ) );
+            ( 1,
+              let* s = oneofl scalar_names in
+              let+ e = gen_expr ~vars:readable ~depth:3 in
+              ([ Set_global (s, e) ], readable, assignable) );
+            ( 2,
+              let* c = gen_expr ~vars:readable ~depth:2 in
+              let* t = go ~readable ~assignable (budget / 3) in
+              let+ e = go ~readable ~assignable (budget / 3) in
+              ([ If (c, t, e) ], readable, assignable) );
+            ( 2,
+              let loop_var = fresh_var readable in
+              let* n = int_range 1 9 in
+              let+ body =
+                go ~readable:(loop_var :: readable) ~assignable (budget / 3)
+              in
+              ([ For (loop_var, Int 0, Int n, body) ], readable, assignable) );
+            ( 1,
+              let* a = gen_expr ~vars:readable ~depth:2 in
+              let+ b = gen_expr ~vars:readable ~depth:2 in
+              ([ Call_stmt ("helper", [ a; b ]) ], readable, assignable) );
+          ]
+      in
+      let* stmts, readable', assignable' = stmt_gen in
+      let+ rest = go ~readable:readable' ~assignable:assignable' (budget - 1) in
+      stmts @ rest
+  in
+  go ~readable:vars ~assignable:vars budget
+
+(* A helper function exercising params, a loop and a return value. *)
+let helper_fun =
+  {
+    fname = "helper";
+    params = [ "p"; "q" ];
+    body =
+      [
+        Assign ("acc", Var "p");
+        For
+          ( "k",
+            Int 0,
+            Binop (And, Var "q", Int 7),
+            [
+              Assign ("acc", Binop (Add, Var "acc", Load ("ga", Binop (Rem, Binop (And, Var "k", Int 0x3FFFFFFF), Int 24))));
+              Store ("gb", Binop (Rem, Binop (And, Var "acc", Int 0x3FFFFFFF), Int 48), Var "k");
+            ] );
+        Set_global ("gs", Binop (Xor, Global "gs", Var "acc"));
+        Return (Some (Var "acc"));
+      ];
+  }
+
+let gen_program : program Gen.t =
+  let open Gen in
+  let* seed = int_range 0 1000 in
+  let+ body = gen_stmts ~vars:[] ~budget:8 in
+  let init name len =
+    Array (name, len, Array.init len (fun k -> ((k * 37) + seed) land 0xFFFF))
+  in
+  let main_body =
+    body
+    @ [
+        Assign ("r", Call ("helper", [ Global "gs"; Int 5 ]));
+        Set_global ("gt", Binop (Add, Global "gt", Var "r"));
+        Return None;
+      ]
+  in
+  {
+    globals =
+      [ init "ga" 24; init "gb" 48; Scalar ("gs", seed); Scalar ("gt", 1) ];
+    funcs = [ helper_fun; { fname = "main"; params = []; body = main_body } ];
+  }
+
+let print_program (_ : program) = "<program>"

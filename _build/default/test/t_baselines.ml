@@ -1,0 +1,192 @@
+(* Per-baseline tests: functional equivalence plus each design's
+   distinctive crash mechanics. *)
+module H = Sweep_sim.Harness
+module M = Sweep_machine.Machine_intf
+module Config = Sweep_machine.Config
+module Cpu = Sweep_machine.Cpu
+module Pipeline = Sweep_compiler.Pipeline
+
+let check = Alcotest.check
+
+let all_consistent prog =
+  List.iter (fun d -> ignore (Thelpers.assert_consistent d prog)) H.all_designs
+
+let test_all_designs_tiny () = all_consistent (Thelpers.tiny_program ())
+
+let test_all_designs_store_heavy () =
+  let open Sweep_lang.Dsl in
+  (* Streaming stores force evictions, write-backs, rename pushes and
+     persist-buffer traffic in every design. *)
+  all_consistent
+    (program
+       [ array "big" 4096; scalar "sum" 0 ]
+       [
+         func "main" []
+           [
+             for_ "k" (i 0) (i 4096) [ st "big" (v "k") (v "k" lxor i 0x5A5A) ];
+             set "acc" (i 0);
+             for_ "k" (i 0) (i 4096)
+               [ set "acc" (v "acc" + ld "big" (v "k")) ];
+             setg "sum" (v "acc");
+           ];
+       ])
+
+let machine_of design =
+  let compiled = H.compile design (Thelpers.tiny_program ()) in
+  (compiled, H.machine design compiled.Pipeline.program)
+
+let run_some m n =
+  let now = ref 0.0 in
+  for _ = 1 to n do
+    if not (M.halted m) then
+      now := !now +. (M.step m ~now_ns:!now).Sweep_machine.Cost.ns
+  done;
+  !now
+
+let finish m now0 =
+  let now = ref now0 in
+  let guard = ref 0 in
+  while (not (M.halted m)) && !guard < 5_000_000 do
+    now := !now +. (M.step m ~now_ns:!now).Sweep_machine.Cost.ns;
+    incr guard
+  done;
+  ignore (M.drain m ~now_ns:!now);
+  Alcotest.(check bool) "ran to completion" true (M.halted m)
+
+let image compiled m =
+  let nvm = M.nvm m in
+  List.map
+    (fun (name, base, words) ->
+      (name, Array.init words (fun k -> Sweep_mem.Nvm.peek_word nvm (base + (4 * k)))))
+    compiled.Pipeline.globals
+
+(* JIT designs: backup then crash then reboot resumes exactly at the
+   interruption point and completes correctly. *)
+let test_jit_backup_resume design =
+  let compiled, m = machine_of design in
+  let now = run_some m 137 in
+  (match M.jit_backup_cost m with
+  | Some _ -> M.commit_jit_backup m ~now_ns:now
+  | None -> Alcotest.fail "expected a JIT design");
+  let pc_before = (M.cpu m).Cpu.pc in
+  M.on_power_failure m ~now_ns:now;
+  ignore (M.on_reboot m ~now_ns:(now +. 100.0));
+  check Alcotest.int "resumes at backup point" pc_before (M.cpu m).Cpu.pc;
+  finish m (now +. 200.0);
+  Alcotest.(check bool) "final state correct" true
+    (Thelpers.image_equal
+       (Thelpers.interp_image (Thelpers.tiny_program ()))
+       (image compiled m))
+
+let test_nvp_backup_resume () = test_jit_backup_resume H.Nvp
+let test_wt_backup_resume () = test_jit_backup_resume H.Wt
+let test_nvsram_backup_resume () = test_jit_backup_resume H.Nvsram
+let test_nvsram_e_backup_resume () = test_jit_backup_resume H.Nvsram_e
+let test_replay_backup_resume () = test_jit_backup_resume H.Replay
+let test_nvmr_backup_resume () = test_jit_backup_resume H.Nvmr
+
+(* Crash without any backup: JIT designs restart from scratch and still
+   produce the right answer (their stores are idempotent from a cold
+   start only because nothing was persisted mid-run for NVP/WT designs
+   via caches; ReplayCache replays cover the rest). *)
+let test_crash_before_first_backup design =
+  let compiled, m = machine_of design in
+  let now = run_some m 9 in
+  M.on_power_failure m ~now_ns:now;
+  ignore (M.on_reboot m ~now_ns:(now +. 50.0));
+  finish m (now +. 60.0);
+  Alcotest.(check bool)
+    (H.design_name design ^ " cold restart correct")
+    true
+    (Thelpers.image_equal
+       (Thelpers.interp_image (Thelpers.tiny_program ()))
+       (image compiled m))
+
+let test_cold_restart_nvp () = test_crash_before_first_backup H.Nvp
+let test_cold_restart_sweep () = test_crash_before_first_backup H.Sweep
+
+let test_nvsram_restores_dirty_lines () =
+  let _, m = machine_of H.Nvsram in
+  let now = run_some m 200 in
+  let cache = Option.get (M.cache m) in
+  let dirty_before = List.length (Sweep_mem.Cache.dirty_lines cache) in
+  M.commit_jit_backup m ~now_ns:now;
+  M.on_power_failure m ~now_ns:now;
+  check Alcotest.int "cache wiped" 0
+    (List.length (Sweep_mem.Cache.dirty_lines cache));
+  ignore (M.on_reboot m ~now_ns:(now +. 10.0));
+  check Alcotest.int "dirty lines restored" dirty_before
+    (List.length (Sweep_mem.Cache.dirty_lines cache))
+
+let test_backup_cost_scales_with_dirty () =
+  let _, m = machine_of H.Nvsram in
+  let c0 = Option.get (M.jit_backup_cost m) in
+  ignore (run_some m 300);
+  let c1 = Option.get (M.jit_backup_cost m) in
+  Alcotest.(check bool) "more dirty lines cost more" true
+    (c1.Sweep_machine.Cost.joules > c0.Sweep_machine.Cost.joules)
+
+let test_nvsram_e_backs_whole_cache () =
+  let _, md = machine_of H.Nvsram in
+  let _, me = machine_of H.Nvsram_e in
+  ignore (run_some md 300);
+  ignore (run_some me 300);
+  let cd = Option.get (M.jit_backup_cost md) in
+  let ce = Option.get (M.jit_backup_cost me) in
+  Alcotest.(check bool) "entire-cache backup costs more" true
+    (ce.Sweep_machine.Cost.joules >= cd.Sweep_machine.Cost.joules)
+
+let test_sweep_has_no_jit () =
+  let _, m = machine_of H.Sweep in
+  Alcotest.(check bool) "no backup stage" true (M.jit_backup_cost m = None);
+  Alcotest.(check bool) "does not continue after backup" true
+    (not (M.continues_after_backup m))
+
+let test_nvmr_continues () =
+  let _, m = machine_of H.Nvmr in
+  Alcotest.(check bool) "continues after backup" true
+    (M.continues_after_backup m)
+
+let test_detector_table1 () =
+  let d design = M.detector (snd (machine_of design)) in
+  let open Sweep_energy.Detector in
+  Alcotest.(check bool) "NVP thresholds" true
+    ((d H.Nvp).v_backup = Some 2.9 && (d H.Nvp).v_restore = 3.2);
+  Alcotest.(check bool) "NVSRAM thresholds" true
+    ((d H.Nvsram).v_backup = Some 3.2 && (d H.Nvsram).v_restore = 3.4);
+  Alcotest.(check bool) "Sweep single threshold" true
+    ((d H.Sweep).v_backup = None && (d H.Sweep).v_restore = 3.3)
+
+let test_wt_memory_always_consistent () =
+  (* Write-through: even an unbacked crash mid-run leaves NVM holding all
+     committed stores; restart from scratch re-stores the same values. *)
+  let compiled, m = machine_of H.Wt in
+  ignore (run_some m 57);
+  let nvm_then = image compiled m in
+  M.on_power_failure m ~now_ns:1e6;
+  let nvm_after = image compiled m in
+  Alcotest.(check bool) "crash does not change NVM" true
+    (Thelpers.image_equal nvm_then nvm_after)
+
+let suite =
+  [
+    Alcotest.test_case "all designs: tiny" `Quick test_all_designs_tiny;
+    Alcotest.test_case "all designs: store heavy" `Quick
+      test_all_designs_store_heavy;
+    Alcotest.test_case "nvp backup/resume" `Quick test_nvp_backup_resume;
+    Alcotest.test_case "wt backup/resume" `Quick test_wt_backup_resume;
+    Alcotest.test_case "nvsram backup/resume" `Quick test_nvsram_backup_resume;
+    Alcotest.test_case "nvsram-e backup/resume" `Quick test_nvsram_e_backup_resume;
+    Alcotest.test_case "replay backup/resume" `Quick test_replay_backup_resume;
+    Alcotest.test_case "nvmr backup/resume" `Quick test_nvmr_backup_resume;
+    Alcotest.test_case "nvp cold restart" `Quick test_cold_restart_nvp;
+    Alcotest.test_case "sweep cold restart" `Quick test_cold_restart_sweep;
+    Alcotest.test_case "nvsram dirty restore" `Quick test_nvsram_restores_dirty_lines;
+    Alcotest.test_case "backup cost scales" `Quick test_backup_cost_scales_with_dirty;
+    Alcotest.test_case "nvsram-e whole cache" `Quick test_nvsram_e_backs_whole_cache;
+    Alcotest.test_case "sweep is JIT-free" `Quick test_sweep_has_no_jit;
+    Alcotest.test_case "nvmr continues" `Quick test_nvmr_continues;
+    Alcotest.test_case "detector thresholds" `Quick test_detector_table1;
+    Alcotest.test_case "wt crash-consistent NVM" `Quick
+      test_wt_memory_always_consistent;
+  ]

@@ -1,0 +1,186 @@
+(* Tests for the capacitor, power traces and detector models. *)
+module Capacitor = Sweep_energy.Capacitor
+module Trace = Sweep_energy.Power_trace
+module Detector = Sweep_energy.Detector
+module E = Sweep_energy.Energy_config
+
+let check = Alcotest.check
+
+let cap () = Capacitor.create ~farads:470e-9 ~v_max:3.5 ~v_min:2.8
+
+let test_cap_initial () =
+  let c = cap () in
+  check (Alcotest.float 1e-6) "starts at vmax" 3.5 (Capacitor.voltage c);
+  check (Alcotest.float 1e-12) "energy is half CV^2"
+    (0.5 *. 470e-9 *. 3.5 *. 3.5)
+    (Capacitor.energy c)
+
+let test_cap_consume_harvest () =
+  let c = cap () in
+  let e0 = Capacitor.energy c in
+  Capacitor.consume c 1e-7;
+  check (Alcotest.float 1e-15) "consumed" (e0 -. 1e-7) (Capacitor.energy c);
+  Capacitor.harvest c ~power_w:1e-3 ~dt_s:1e-4;
+  check (Alcotest.float 1e-12) "harvest clamps at vmax" e0 (Capacitor.energy c)
+
+let test_cap_floor () =
+  let c = cap () in
+  Capacitor.consume c 1.0;
+  check (Alcotest.float 0.0) "floored at zero" 0.0 (Capacitor.energy c)
+
+let test_cap_thresholds () =
+  let c = cap () in
+  Alcotest.(check bool) "above 3.4 initially" true (Capacitor.above c 3.4);
+  Capacitor.set_voltage c 3.0;
+  Alcotest.(check bool) "not above 3.2" false (Capacitor.above c 3.2);
+  Alcotest.(check bool) "above 2.9" true (Capacitor.above c 2.9);
+  check (Alcotest.float 1e-12) "usable above 2.8"
+    (Capacitor.energy_at c 3.0 -. Capacitor.energy_at c 2.8)
+    (Capacitor.usable_above c 2.8);
+  check (Alcotest.float 0.0) "usable above current" 0.0
+    (Capacitor.usable_above c 3.2)
+
+let test_cap_voltage_roundtrip () =
+  let c = cap () in
+  Capacitor.set_voltage c 3.123;
+  check (Alcotest.float 1e-9) "roundtrip" 3.123 (Capacitor.voltage c)
+
+let test_cap_invalid () =
+  Alcotest.(check bool) "bad args raise" true
+    (match Capacitor.create ~farads:0.0 ~v_max:3.5 ~v_min:2.8 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_trace_deterministic () =
+  let a = Trace.make ~seed:9 Trace.Rf_home in
+  let b = Trace.make ~seed:9 Trace.Rf_home in
+  Alcotest.(check bool) "same seed same trace" true
+    (List.for_all
+       (fun t -> Trace.power a t = Trace.power b t)
+       [ 0.0; 0.001; 0.5; 1.7; 42.0 ])
+
+let test_trace_mean_power () =
+  List.iter
+    (fun kind ->
+      let t = Trace.make kind in
+      let mean = Trace.mean_power t in
+      Alcotest.(check bool)
+        (Trace.kind_name kind ^ " mean in ambient range")
+        true
+        (mean > 50e-6 && mean < 800e-6))
+    Trace.all_kinds
+
+let test_trace_burstiness_ordering () =
+  let duty k = Trace.duty_cycle (Trace.make k) in
+  Alcotest.(check bool) "RF bursty" true (duty Trace.Rf_office < 0.8);
+  Alcotest.(check bool) "solar steady" true (duty Trace.Solar > 0.95);
+  Alcotest.(check bool) "thermal steady" true (duty Trace.Thermal > 0.95)
+
+let test_trace_wraps () =
+  let t = Trace.make Trace.Thermal in
+  check (Alcotest.float 1e-12) "wraps around" (Trace.power t 0.0)
+    (Trace.power t 60.0)
+
+let test_detector_kinds () =
+  let jit = Detector.jit ~v_backup:2.9 ~v_restore:3.2 in
+  let sweep = Detector.sweep ~v_restore:3.3 in
+  Alcotest.(check bool) "jit has backup threshold" true
+    (jit.Detector.v_backup = Some 2.9);
+  Alcotest.(check bool) "sweep has none" true (sweep.Detector.v_backup = None);
+  Alcotest.(check bool) "sweep draws less" true
+    (Detector.quiescent_power_w sweep < Detector.quiescent_power_w jit);
+  Alcotest.(check bool) "sweep restores faster" true
+    (sweep.Detector.t_plh_ns < jit.Detector.t_plh_ns)
+
+let test_detector_overrides () =
+  let d = Detector.jit ~v_backup:2.9 ~v_restore:3.2 in
+  let d' = Detector.with_delays d ~t_phl_ns:1.0 ~t_plh_ns:2.0 in
+  check (Alcotest.float 0.0) "t_phl" 1.0 d'.Detector.t_phl_ns;
+  let d'' = Detector.with_thresholds d ~v_backup:3.0 ~v_restore:3.3 () in
+  Alcotest.(check bool) "backup bumped" true (d''.Detector.v_backup = Some 3.0);
+  let d3 = Detector.with_thresholds d ~v_restore:3.25 () in
+  Alcotest.(check bool) "backup kept" true (d3.Detector.v_backup = Some 2.9)
+
+let test_energy_config_cycles () =
+  let e = E.default in
+  check (Alcotest.float 1e-12) "1ns cycle at 1GHz" 1.0 (E.cycle_ns e);
+  check Alcotest.int "nvm read cycles" 20 (E.nvm_read_cycles e);
+  check Alcotest.int "nvm write cycles" 120 (E.nvm_write_cycles e)
+
+let test_energy_config_orderings () =
+  let e = E.default in
+  Alcotest.(check bool) "dma < clwb < line write latency story" true
+    (e.E.dma_line_ns < e.E.clwb_drain_ns
+    && e.E.clwb_drain_ns < e.E.nvm_write_ns);
+  Alcotest.(check bool) "cache cheaper than NVM" true
+    (e.E.e_cache_access < e.E.e_nvm_read)
+
+let suite =
+  [
+    Alcotest.test_case "capacitor initial" `Quick test_cap_initial;
+    Alcotest.test_case "capacitor consume/harvest" `Quick test_cap_consume_harvest;
+    Alcotest.test_case "capacitor floor" `Quick test_cap_floor;
+    Alcotest.test_case "capacitor thresholds" `Quick test_cap_thresholds;
+    Alcotest.test_case "capacitor roundtrip" `Quick test_cap_voltage_roundtrip;
+    Alcotest.test_case "capacitor invalid" `Quick test_cap_invalid;
+    Alcotest.test_case "trace deterministic" `Quick test_trace_deterministic;
+    Alcotest.test_case "trace mean power" `Quick test_trace_mean_power;
+    Alcotest.test_case "trace burstiness" `Quick test_trace_burstiness_ordering;
+    Alcotest.test_case "trace wraps" `Quick test_trace_wraps;
+    Alcotest.test_case "detector kinds" `Quick test_detector_kinds;
+    Alcotest.test_case "detector overrides" `Quick test_detector_overrides;
+    Alcotest.test_case "energy cycles" `Quick test_energy_config_cycles;
+    Alcotest.test_case "energy orderings" `Quick test_energy_config_orderings;
+  ]
+
+let test_eh_model () =
+  let module Eh = Sweep_energy.Eh_model in
+  let cap64 = Eh.region_instr_cap ~store_threshold:64 () in
+  Alcotest.(check bool) "cap in a sane band" true (cap64 >= 500 && cap64 <= 20000);
+  let cap128 = Eh.region_instr_cap ~store_threshold:128 () in
+  Alcotest.(check bool) "bigger store reserve, smaller cap" true (cap128 < cap64);
+  let tiny = Eh.region_instr_cap ~farads:10e-9 ~store_threshold:64 () in
+  check Alcotest.int "floor at 64" 64 tiny;
+  let big = Eh.region_instr_cap ~farads:10e-6 ~store_threshold:64 () in
+  Alcotest.(check bool) "bigger capacitor, bigger cap" true (big > cap64);
+  Alcotest.(check bool) "worst store dwarfs a hit" true
+    (Eh.worst_case_store_joules E.default
+    > 10.0 *. Eh.hit_instruction_joules E.default)
+
+let suite = suite @ [ Alcotest.test_case "eh model" `Quick test_eh_model ]
+
+let test_trace_csv_roundtrip () =
+  let t = Trace.make ~seed:5 Trace.Rf_home in
+  let path = Filename.temp_file "trace" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save_csv t path;
+      let t' = Trace.load_csv ~kind:Trace.Rf_home path in
+      check (Alcotest.float 1e-6) "mean preserved" (Trace.mean_power t)
+        (Trace.mean_power t');
+      List.iter
+        (fun time ->
+          check (Alcotest.float 1e-9) "samples preserved" (Trace.power t time)
+            (Trace.power t' time))
+        [ 0.0; 0.0123; 1.5; 12.25 ])
+
+let test_trace_csv_rejects_garbage () =
+  let path = Filename.temp_file "trace" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "not,a,trace\n";
+      close_out oc;
+      Alcotest.(check bool) "malformed raises" true
+        (match Trace.load_csv path with
+        | _ -> false
+        | exception Failure _ -> true))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "trace csv roundtrip" `Quick test_trace_csv_roundtrip;
+      Alcotest.test_case "trace csv garbage" `Quick test_trace_csv_rejects_garbage;
+    ]

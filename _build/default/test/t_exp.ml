@@ -1,0 +1,68 @@
+(* Experiment-harness tests: registry integrity, caching, and that the
+   cheap experiments print without raising. *)
+module C = Sweep_exp.Exp_common
+module Experiments = Sweep_exp.Experiments
+module H = Sweep_sim.Harness
+
+let check = Alcotest.check
+
+let test_registry_unique_names () =
+  let names = List.map (fun e -> e.Experiments.name) Experiments.all in
+  check Alcotest.int "unique" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_registry_find () =
+  Alcotest.(check bool) "fig5 exists" true (Experiments.find "fig5" <> None);
+  Alcotest.(check bool) "unknown is none" true (Experiments.find "zzz" = None)
+
+let test_subset_is_subset () =
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " in all") true (List.mem n C.all_names))
+    C.subset_names
+
+let test_run_is_cached () =
+  let s = C.setting H.Nvp in
+  let a = C.run ~scale:0.1 s ~power:Sweep_sim.Driver.Unlimited "sha" in
+  let b = C.run ~scale:0.1 s ~power:Sweep_sim.Driver.Unlimited "sha" in
+  Alcotest.(check bool) "same result object" true (a == b)
+
+let test_speedup_positive () =
+  let s = C.sweep_empty_bit in
+  Alcotest.(check bool) "speedup > 1" true
+    (C.speedup ~scale:0.1 s ~power:Sweep_sim.Driver.Unlimited "sha" > 1.0)
+
+let test_settings_labels_distinct () =
+  let labels = List.map (fun s -> s.C.label) C.fig5_settings in
+  check Alcotest.int "distinct labels" (List.length labels)
+    (List.length (List.sort_uniq compare labels))
+
+let with_null_stdout f =
+  (* The experiment printers write to stdout; keep test output clean. *)
+  let saved = Unix.dup Unix.stdout in
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  flush stdout;
+  Unix.dup2 null Unix.stdout;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved;
+      Unix.close null)
+    f
+
+let test_cheap_experiments_print () =
+  with_null_stdout (fun () ->
+      Sweep_exp.Exp_tab1.run ();
+      Sweep_exp.Exp_hwcost.run ())
+
+let suite =
+  [
+    Alcotest.test_case "experiment names unique" `Quick test_registry_unique_names;
+    Alcotest.test_case "experiment find" `Quick test_registry_find;
+    Alcotest.test_case "subset valid" `Quick test_subset_is_subset;
+    Alcotest.test_case "run cached" `Quick test_run_is_cached;
+    Alcotest.test_case "speedup positive" `Quick test_speedup_positive;
+    Alcotest.test_case "setting labels" `Quick test_settings_labels_distinct;
+    Alcotest.test_case "tab1/hwcost print" `Quick test_cheap_experiments_print;
+  ]

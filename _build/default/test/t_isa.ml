@@ -1,0 +1,152 @@
+(* Tests for Sweep_isa: instruction semantics, layout, assembler. *)
+module I = Sweep_isa.Instr
+module Reg = Sweep_isa.Reg
+module Layout = Sweep_isa.Layout
+module Program = Sweep_isa.Program
+
+let check = Alcotest.check
+
+let test_binop_semantics () =
+  check Alcotest.int "add" 7 (I.eval_binop I.Add 3 4);
+  check Alcotest.int "sub" (-1) (I.eval_binop I.Sub 3 4);
+  check Alcotest.int "mul" 12 (I.eval_binop I.Mul 3 4);
+  check Alcotest.int "div" 2 (I.eval_binop I.Div 9 4);
+  check Alcotest.int "div by zero" 0 (I.eval_binop I.Div 9 0);
+  check Alcotest.int "rem" 1 (I.eval_binop I.Rem 9 4);
+  check Alcotest.int "rem by zero" 0 (I.eval_binop I.Rem 9 0);
+  check Alcotest.int "and" 0b100 (I.eval_binop I.And 0b110 0b101);
+  check Alcotest.int "or" 0b111 (I.eval_binop I.Or 0b110 0b101);
+  check Alcotest.int "xor" 0b011 (I.eval_binop I.Xor 0b110 0b101);
+  check Alcotest.int "shl" 12 (I.eval_binop I.Shl 3 2);
+  check Alcotest.int "shr" 3 (I.eval_binop I.Shr 12 2)
+
+let test_cond_semantics () =
+  Alcotest.(check bool) "lt" true (I.eval_cond I.Lt 1 2);
+  Alcotest.(check bool) "le eq" true (I.eval_cond I.Le 2 2);
+  Alcotest.(check bool) "gt" false (I.eval_cond I.Gt 1 2);
+  Alcotest.(check bool) "ge" true (I.eval_cond I.Ge 2 2);
+  Alcotest.(check bool) "eq" false (I.eval_cond I.Eq 1 2);
+  Alcotest.(check bool) "ne" true (I.eval_cond I.Ne 1 2)
+
+let test_defs_uses () =
+  check (Alcotest.list Alcotest.int) "load defs" [ 3 ] (I.defs (I.Load (3, 4, 0)));
+  check (Alcotest.list Alcotest.int) "load uses" [ 4 ] (I.uses (I.Load (3, 4, 0)));
+  check (Alcotest.list Alcotest.int) "store defs" [] (I.defs (I.Store (3, 4, 0)));
+  check (Alcotest.list Alcotest.int) "store uses" [ 3; 4 ]
+    (I.uses (I.Store (3, 4, 0)));
+  check (Alcotest.list Alcotest.int) "call defines link" [ Reg.link ]
+    (I.defs (I.Call "f"));
+  check (Alcotest.list Alcotest.int) "set defs" [ 1 ]
+    (I.defs (I.Set (I.Lt, 1, 2, 3)));
+  check (Alcotest.list Alcotest.int) "set uses" [ 2; 3 ]
+    (I.uses (I.Set (I.Lt, 1, 2, 3)))
+
+let test_is_store () =
+  Alcotest.(check bool) "store" true (I.is_store (I.Store (0, 1, 0)));
+  Alcotest.(check bool) "store_abs" true (I.is_store (I.Store_abs (0, 4)));
+  Alcotest.(check bool) "clwb is not a store" false (I.is_store (I.Clwb (0, 0)));
+  Alcotest.(check bool) "load is not" false (I.is_store (I.Load (0, 1, 0)))
+
+let test_map_label () =
+  let ins = I.Br (I.Eq, 0, 1, "target") in
+  match I.map_label String.length ins with
+  | I.Br (I.Eq, 0, 1, 6) -> ()
+  | _ -> Alcotest.fail "map_label rewrote wrong"
+
+let test_layout_basics () =
+  check Alcotest.int "line base" 0x1240 (Layout.line_base 0x127F);
+  check Alcotest.int "aligned stays" 0x1240 (Layout.line_base 0x1240);
+  let layout = Layout.make ~data_limit:0x2000 in
+  check Alcotest.int "slot 0" layout.Layout.ckpt_base (Layout.reg_slot layout 0);
+  check Alcotest.int "slot 3"
+    (layout.Layout.ckpt_base + 12)
+    (Layout.reg_slot layout 3);
+  (* The PC checkpoint shares the dead scratch register's slot so the
+     whole array fits one cacheline. *)
+  check Alcotest.int "pc slot in reg line"
+    (Layout.line_base layout.Layout.ckpt_base)
+    (Layout.line_base layout.Layout.ckpt_pc)
+
+let test_layout_overflow () =
+  Alcotest.check_raises "data collides with checkpoints"
+    (Invalid_argument "Layout.make: data region collides with checkpoint array")
+    (fun () -> ignore (Layout.make ~data_limit:(Layout.default_ckpt_base + 4)))
+
+let test_reg_conventions () =
+  check Alcotest.int "16 registers" 16 Reg.count;
+  Alcotest.(check bool) "scratches not allocatable" true
+    (not (List.mem Reg.scratch0 Reg.allocatable)
+    && (not (List.mem Reg.scratch1 Reg.allocatable))
+    && (not (List.mem Reg.scratch2 Reg.allocatable))
+    && not (List.mem Reg.link Reg.allocatable));
+  check Alcotest.string "name" "r15" (Reg.name Reg.link)
+
+let assemble items =
+  Program.assemble ~layout:(Layout.make ~data_limit:0x2000) ~entry:"main" items
+
+let test_assemble_resolves () =
+  let prog =
+    assemble
+      [
+        Program.Label "main";
+        Program.Ins (I.Movi (0, 5));
+        Program.Ins (I.Jmp "end");
+        Program.Label "mid";
+        Program.Ins I.Nop;
+        Program.Label "end";
+        Program.Ins I.Halt;
+      ]
+  in
+  check Alcotest.int "entry" 0 prog.Program.entry;
+  (match prog.Program.code.(1) with
+  | I.Jmp 3 -> ()
+  | _ -> Alcotest.fail "jmp must resolve to index 3");
+  check Alcotest.int "label_index mid" 2 (Program.label_index prog "mid")
+
+let test_assemble_undefined () =
+  Alcotest.check_raises "undefined label" (Program.Undefined_label "nope")
+    (fun () -> ignore (assemble [ Program.Label "main"; Program.Ins (I.Jmp "nope") ]))
+
+let test_assemble_duplicate () =
+  Alcotest.check_raises "duplicate label" (Program.Duplicate_label "main")
+    (fun () ->
+      ignore
+        (assemble [ Program.Label "main"; Program.Label "main"; Program.Ins I.Halt ]))
+
+let test_static_counts () =
+  let prog =
+    assemble
+      [
+        Program.Label "main";
+        Program.Ins (I.Store_abs (0, 4));
+        Program.Ins I.Nop;
+        Program.Ins I.Region_end;
+        Program.Ins I.Halt;
+      ]
+  in
+  check Alcotest.int "instr count excludes nop" 3
+    (Program.static_instruction_count prog);
+  check Alcotest.int "store count" 1 (Program.static_store_count prog);
+  check Alcotest.int "region ends" 1 (Program.region_end_count prog)
+
+let test_dump_contains_labels () =
+  let prog = assemble [ Program.Label "main"; Program.Ins I.Halt ] in
+  Alcotest.(check bool) "dump mentions main" true
+    (Thelpers.contains (Program.dump prog) "main:")
+
+let suite =
+  [
+    Alcotest.test_case "binop semantics" `Quick test_binop_semantics;
+    Alcotest.test_case "cond semantics" `Quick test_cond_semantics;
+    Alcotest.test_case "defs/uses" `Quick test_defs_uses;
+    Alcotest.test_case "is_store" `Quick test_is_store;
+    Alcotest.test_case "map_label" `Quick test_map_label;
+    Alcotest.test_case "layout basics" `Quick test_layout_basics;
+    Alcotest.test_case "layout overflow" `Quick test_layout_overflow;
+    Alcotest.test_case "register conventions" `Quick test_reg_conventions;
+    Alcotest.test_case "assemble resolves" `Quick test_assemble_resolves;
+    Alcotest.test_case "assemble undefined" `Quick test_assemble_undefined;
+    Alcotest.test_case "assemble duplicate" `Quick test_assemble_duplicate;
+    Alcotest.test_case "static counts" `Quick test_static_counts;
+    Alcotest.test_case "dump labels" `Quick test_dump_contains_labels;
+  ]

@@ -1,0 +1,279 @@
+(* Tests for the mini language: validator and reference interpreter. *)
+open Sweep_lang.Ast
+module Interp = Sweep_lang.Interp
+
+let check = Alcotest.check
+
+let wrap_main body = { globals = []; funcs = [ { fname = "main"; params = []; body } ] }
+
+let expect_invalid name prog =
+  match validate prog with
+  | () -> Alcotest.failf "%s: expected Invalid" name
+  | exception Invalid _ -> ()
+
+let test_validate_missing_main () =
+  expect_invalid "no main" { globals = []; funcs = [] }
+
+let test_validate_main_params () =
+  expect_invalid "main with params"
+    { globals = []; funcs = [ { fname = "main"; params = [ "x" ]; body = [] } ] }
+
+let test_validate_unknown_global () =
+  expect_invalid "unknown scalar" (wrap_main [ Set_global ("nope", Int 1) ]);
+  expect_invalid "unknown array" (wrap_main [ Store ("nope", Int 0, Int 1) ])
+
+let test_validate_scalar_vs_array () =
+  expect_invalid "array used as scalar"
+    {
+      globals = [ Array ("a", 4, [||]) ];
+      funcs = [ { fname = "main"; params = []; body = [ Set_global ("a", Int 1) ] } ];
+    }
+
+let test_validate_unassigned_local () =
+  expect_invalid "read of never-assigned local"
+    (wrap_main [ Set_global ("g", Var "ghost") ])
+
+let test_validate_arity () =
+  expect_invalid "wrong arity"
+    {
+      globals = [];
+      funcs =
+        [
+          { fname = "f"; params = [ "a" ]; body = [ Return None ] };
+          { fname = "main"; params = []; body = [ Call_stmt ("f", []) ] };
+        ];
+    }
+
+let test_validate_recursion () =
+  expect_invalid "direct recursion"
+    {
+      globals = [];
+      funcs =
+        [
+          { fname = "f"; params = []; body = [ Call_stmt ("f", []) ] };
+          { fname = "main"; params = []; body = [] };
+        ];
+    };
+  expect_invalid "mutual recursion"
+    {
+      globals = [];
+      funcs =
+        [
+          { fname = "f"; params = []; body = [ Call_stmt ("g", []) ] };
+          { fname = "g"; params = []; body = [ Call_stmt ("f", []) ] };
+          { fname = "main"; params = []; body = [] };
+        ];
+    }
+
+let test_validate_duplicates () =
+  expect_invalid "dup global"
+    {
+      globals = [ Scalar ("x", 0); Scalar ("x", 1) ];
+      funcs = [ { fname = "main"; params = []; body = [] } ];
+    };
+  expect_invalid "dup function"
+    {
+      globals = [];
+      funcs =
+        [
+          { fname = "main"; params = []; body = [] };
+          { fname = "main"; params = []; body = [] };
+        ];
+    }
+
+let test_validate_bad_array_init () =
+  expect_invalid "init longer than array"
+    {
+      globals = [ Array ("a", 2, [| 1; 2; 3 |]) ];
+      funcs = [ { fname = "main"; params = []; body = [] } ];
+    }
+
+let run_scalar body expected =
+  let prog =
+    {
+      globals = [ Scalar ("out", 0) ];
+      funcs = [ { fname = "main"; params = []; body } ];
+    }
+  in
+  let st = Interp.run prog in
+  check Alcotest.int "out" expected (Interp.scalar st "out")
+
+let test_interp_arith () =
+  run_scalar [ Set_global ("out", Binop (Add, Int 2, Binop (Mul, Int 3, Int 4))) ] 14;
+  run_scalar [ Set_global ("out", Binop (Div, Int 7, Int 0)) ] 0;
+  run_scalar [ Set_global ("out", Binop (Lt, Int 1, Int 2)) ] 1;
+  run_scalar [ Set_global ("out", Binop (Eq, Int 5, Int 6)) ] 0;
+  run_scalar [ Set_global ("out", Binop (Shl, Int 1, Int 10)) ] 1024
+
+let test_interp_control () =
+  run_scalar
+    [
+      Assign ("x", Int 0);
+      For ("k", Int 0, Int 10, [ Assign ("x", Binop (Add, Var "x", Var "k")) ]);
+      Set_global ("out", Var "x");
+    ]
+    45;
+  run_scalar
+    [
+      Assign ("x", Int 10);
+      Assign ("acc", Int 0);
+      While
+        ( Binop (Gt, Var "x", Int 0),
+          [
+            Assign ("acc", Binop (Add, Var "acc", Var "x"));
+            Assign ("x", Binop (Sub, Var "x", Int 1));
+          ] );
+      Set_global ("out", Var "acc");
+    ]
+    55;
+  run_scalar
+    [ If (Int 0, [ Set_global ("out", Int 1) ], [ Set_global ("out", Int 2) ]) ]
+    2
+
+let test_interp_for_reassign () =
+  (* The loop body may move the loop variable; iteration resumes from the
+     assigned value + 1 — matching the compiled code. *)
+  run_scalar
+    [
+      Assign ("n", Int 0);
+      For
+        ( "k", Int 0, Int 10,
+          [
+            Assign ("n", Binop (Add, Var "n", Int 1));
+            Assign ("k", Binop (Add, Var "k", Int 1));
+          ] );
+      Set_global ("out", Var "n");
+    ]
+    5
+
+let test_interp_functions () =
+  let prog =
+    {
+      globals = [ Scalar ("out", 0) ];
+      funcs =
+        [
+          {
+            fname = "square";
+            params = [ "x" ];
+            body = [ Return (Some (Binop (Mul, Var "x", Var "x"))) ];
+          };
+          {
+            fname = "main";
+            params = [];
+            body = [ Set_global ("out", Call ("square", [ Int 9 ])) ];
+          };
+        ];
+    }
+  in
+  check Alcotest.int "square 9" 81 (Interp.scalar (Interp.run prog) "out")
+
+let test_interp_missing_return_yields_zero () =
+  let prog =
+    {
+      globals = [ Scalar ("out", 7) ];
+      funcs =
+        [
+          { fname = "noop"; params = []; body = [] };
+          {
+            fname = "main";
+            params = [];
+            body = [ Set_global ("out", Call ("noop", [])) ];
+          };
+        ];
+    }
+  in
+  check Alcotest.int "fallthrough returns 0" 0
+    (Interp.scalar (Interp.run prog) "out")
+
+let test_interp_arrays () =
+  let prog =
+    {
+      globals = [ Array ("a", 4, [| 10; 20 |]); Scalar ("out", 0) ];
+      funcs =
+        [
+          {
+            fname = "main";
+            params = [];
+            body =
+              [
+                Store ("a", Int 2, Int 30);
+                Set_global
+                  ( "out",
+                    Binop
+                      ( Add,
+                        Load ("a", Int 0),
+                        Binop (Add, Load ("a", Int 2), Load ("a", Int 3)) ) );
+              ];
+          };
+        ];
+    }
+  in
+  check Alcotest.int "zero-filled tail + store" 40
+    (Interp.scalar (Interp.run prog) "out")
+
+let test_interp_oob () =
+  let prog =
+    {
+      globals = [ Array ("a", 4, [||]) ];
+      funcs =
+        [ { fname = "main"; params = []; body = [ Store ("a", Int 9, Int 1) ] } ];
+    }
+  in
+  match Interp.run prog with
+  | _ -> Alcotest.fail "expected out-of-bounds failure"
+  | exception Invalid_argument _ -> ()
+
+let test_interp_fuel () =
+  let prog =
+    wrap_main [ Assign ("x", Int 1); While (Var "x", [ Assign ("x", Int 1) ]) ]
+  in
+  match Interp.run ~fuel:1000 prog with
+  | _ -> Alcotest.fail "expected Out_of_fuel"
+  | exception Interp.Out_of_fuel -> ()
+
+let test_globals_image_order () =
+  let prog =
+    {
+      globals = [ Scalar ("z", 1); Array ("a", 2, [| 5 |]); Scalar ("b", 3) ];
+      funcs = [ { fname = "main"; params = []; body = [] } ];
+    }
+  in
+  let image = Interp.globals_image (Interp.run prog) in
+  check
+    (Alcotest.list Alcotest.string)
+    "declaration order" [ "z"; "a"; "b" ]
+    (List.map fst image)
+
+let test_dsl_builds_valid () =
+  (* The DSL's [program] validates on construction. *)
+  ignore (Thelpers.tiny_program ())
+
+let prop_interp_deterministic =
+  QCheck2.Test.make ~name:"interp deterministic" ~count:40
+    ~print:Gen.print_program Gen.gen_program (fun prog ->
+      Thelpers.image_equal (Thelpers.interp_image prog) (Thelpers.interp_image prog))
+
+let suite =
+  [
+    Alcotest.test_case "validate: missing main" `Quick test_validate_missing_main;
+    Alcotest.test_case "validate: main params" `Quick test_validate_main_params;
+    Alcotest.test_case "validate: unknown global" `Quick test_validate_unknown_global;
+    Alcotest.test_case "validate: kind mismatch" `Quick test_validate_scalar_vs_array;
+    Alcotest.test_case "validate: unassigned local" `Quick test_validate_unassigned_local;
+    Alcotest.test_case "validate: arity" `Quick test_validate_arity;
+    Alcotest.test_case "validate: recursion" `Quick test_validate_recursion;
+    Alcotest.test_case "validate: duplicates" `Quick test_validate_duplicates;
+    Alcotest.test_case "validate: array init" `Quick test_validate_bad_array_init;
+    Alcotest.test_case "interp: arithmetic" `Quick test_interp_arith;
+    Alcotest.test_case "interp: control flow" `Quick test_interp_control;
+    Alcotest.test_case "interp: for reassign" `Quick test_interp_for_reassign;
+    Alcotest.test_case "interp: functions" `Quick test_interp_functions;
+    Alcotest.test_case "interp: implicit return" `Quick
+      test_interp_missing_return_yields_zero;
+    Alcotest.test_case "interp: arrays" `Quick test_interp_arrays;
+    Alcotest.test_case "interp: out of bounds" `Quick test_interp_oob;
+    Alcotest.test_case "interp: fuel" `Quick test_interp_fuel;
+    Alcotest.test_case "interp: image order" `Quick test_globals_image_order;
+    Alcotest.test_case "dsl validates" `Quick test_dsl_builds_valid;
+  ]
+  @ [ QCheck_alcotest.to_alcotest prop_interp_deterministic ]

@@ -1,0 +1,187 @@
+(* Tests for the NVM and cache models. *)
+module Nvm = Sweep_mem.Nvm
+module Cache = Sweep_mem.Cache
+module Layout = Sweep_isa.Layout
+
+let check = Alcotest.check
+
+let test_nvm_rw () =
+  let nvm = Nvm.create () in
+  Nvm.write_word nvm 0x100 42;
+  check Alcotest.int "read back" 42 (Nvm.read_word nvm 0x100);
+  check Alcotest.int "unwritten is zero" 0 (Nvm.read_word nvm 0x104)
+
+let test_nvm_counters () =
+  let nvm = Nvm.create () in
+  Nvm.write_word nvm 0x40 1;
+  Nvm.write_line nvm 0x80 (Array.make 16 9);
+  ignore (Nvm.read_word nvm 0x40);
+  ignore (Nvm.read_line nvm 0x80);
+  check Alcotest.int "write events" 2 (Nvm.write_events nvm);
+  check Alcotest.int "read events" 2 (Nvm.read_events nvm);
+  check Alcotest.int "bytes" (4 + 64) (Nvm.bytes_written nvm);
+  Nvm.reset_counters nvm;
+  check Alcotest.int "reset" 0 (Nvm.write_events nvm)
+
+let test_nvm_peek_poke_uncounted () =
+  let nvm = Nvm.create () in
+  Nvm.poke_word nvm 0x10 5;
+  check Alcotest.int "poke visible" 5 (Nvm.peek_word nvm 0x10);
+  check Alcotest.int "no events" 0 (Nvm.read_events nvm + Nvm.write_events nvm)
+
+let test_nvm_alignment () =
+  let nvm = Nvm.create () in
+  Alcotest.(check bool) "unaligned word raises" true
+    (match Nvm.read_word nvm 0x3 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "unaligned line raises" true
+    (match Nvm.read_line nvm 0x20 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "out of range raises" true
+    (match Nvm.read_word nvm Layout.nvm_bytes with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_nvm_line_word_agree () =
+  let nvm = Nvm.create () in
+  let data = Array.init 16 (fun k -> k * 11) in
+  Nvm.write_line nvm 0x1000 data;
+  check Alcotest.int "word 5 of line" 55 (Nvm.read_word nvm (0x1000 + 20))
+
+let test_nvm_image () =
+  let nvm = Nvm.create () in
+  Nvm.poke_word nvm 0x100 1;
+  Nvm.poke_word nvm 0x104 2;
+  check (Alcotest.array Alcotest.int) "image" [| 1; 2 |]
+    (Nvm.image nvm ~lo:0x100 ~hi:0x108)
+
+let make_cache () = Cache.create ~size_bytes:1024 ~assoc:2
+
+let test_cache_geometry () =
+  let c = make_cache () in
+  check Alcotest.int "line count" 16 (Cache.line_count c);
+  check Alcotest.int "size" 1024 (Cache.size_bytes c);
+  check Alcotest.int "assoc" 2 (Cache.assoc c);
+  Alcotest.(check bool) "bad size raises" true
+    (match Cache.create ~size_bytes:1000 ~assoc:2 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_cache_install_find () =
+  let c = make_cache () in
+  let data = Array.init 16 (fun k -> k + 100) in
+  let line = Cache.install c 0x2000 data in
+  check Alcotest.int "read word" 103 (Cache.read_word line 0x200C);
+  (match Cache.find c 0x2004 with
+  | Some l -> check Alcotest.int "find same line" l.Cache.base line.Cache.base
+  | None -> Alcotest.fail "expected hit");
+  Alcotest.(check bool) "other line misses" true (Cache.find c 0x4000 = None)
+
+let test_cache_write_word () =
+  let c = make_cache () in
+  let line = Cache.install c 0 (Array.make 16 0) in
+  Cache.write_word line 8 77;
+  check Alcotest.int "written" 77 (Cache.read_word line 8)
+
+let test_cache_lru_eviction () =
+  let c = make_cache () in
+  (* 8 sets: addresses 0, 0x2000 and 0x4000 all map to set 0. *)
+  let l0 = Cache.install c 0x0 (Array.make 16 1) in
+  let l1 = Cache.install c 0x2000 (Array.make 16 2) in
+  Cache.touch c l0;
+  (* l1 is now LRU; the next fill of set 0 must evict it. *)
+  let victim = Cache.victim c 0x4000 in
+  check Alcotest.int "victim is LRU" l1.Cache.base victim.Cache.base;
+  ignore (Cache.install c 0x4000 (Array.make 16 3));
+  Alcotest.(check bool) "evicted line gone" true (Cache.find c 0x2000 = None);
+  Alcotest.(check bool) "touched line survives" true (Cache.find c 0x0 <> None)
+
+let test_cache_victim_prefers_invalid () =
+  let c = make_cache () in
+  ignore (Cache.install c 0x0 (Array.make 16 1));
+  let victim = Cache.victim c 0x2000 in
+  Alcotest.(check bool) "invalid way preferred" true (not victim.Cache.valid)
+
+let test_cache_dirty_tracking () =
+  let c = make_cache () in
+  let l0 = Cache.install c 0x0 (Array.make 16 0) in
+  let _l1 = Cache.install c 0x40 (Array.make 16 0) in
+  l0.Cache.dirty <- true;
+  l0.Cache.dirty_region <- 7;
+  check Alcotest.int "one dirty line" 1 (List.length (Cache.dirty_lines c));
+  Cache.clean_all c;
+  check Alcotest.int "clean_all clears" 0 (List.length (Cache.dirty_lines c));
+  Alcotest.(check bool) "data survives clean" true (Cache.find c 0x0 <> None);
+  Cache.invalidate_all c;
+  Alcotest.(check bool) "invalidate drops" true (Cache.find c 0x0 = None)
+
+let test_cache_counters () =
+  let c = make_cache () in
+  Cache.record_hit c;
+  Cache.record_hit c;
+  Cache.record_miss c;
+  check Alcotest.int "hits" 2 (Cache.hits c);
+  check Alcotest.int "misses" 1 (Cache.misses c);
+  check (Alcotest.float 1e-9) "miss rate" (1.0 /. 3.0) (Cache.miss_rate c);
+  Cache.reset_counters c;
+  check (Alcotest.float 1e-9) "empty rate" 0.0 (Cache.miss_rate c)
+
+let prop_cache_set_discipline =
+  QCheck2.Test.make ~name:"cache: at most assoc lines per set" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 80) (int_range 0 255))
+    (fun line_ids ->
+      let c = make_cache () in
+      List.iter
+        (fun id -> ignore (Cache.install c (id * 64) (Array.make 16 id)))
+        line_ids;
+      (* Count lines per set. *)
+      let sets = Hashtbl.create 16 in
+      Cache.iter_lines c (fun line ->
+          if line.Cache.valid then begin
+            let set = line.Cache.base / 64 mod 8 in
+            Hashtbl.replace sets set
+              (1 + Option.value ~default:0 (Hashtbl.find_opt sets set))
+          end);
+      Hashtbl.fold (fun _ n ok -> ok && n <= 2) sets true)
+
+let prop_cache_find_returns_installed =
+  QCheck2.Test.make ~name:"cache: find returns latest install" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 40) (int_range 0 31))
+    (fun ids ->
+      let c = make_cache () in
+      let last = Hashtbl.create 8 in
+      List.iteri
+        (fun i id ->
+          ignore (Cache.install c (id * 64) (Array.make 16 i));
+          Hashtbl.replace last id i)
+        ids;
+      Hashtbl.fold
+        (fun id stamp ok ->
+          ok
+          &&
+          match Cache.find c (id * 64) with
+          | Some line -> Cache.read_word line (id * 64) = stamp
+          | None -> true (* may have been evicted *))
+        last true)
+
+let suite =
+  [
+    Alcotest.test_case "nvm read/write" `Quick test_nvm_rw;
+    Alcotest.test_case "nvm counters" `Quick test_nvm_counters;
+    Alcotest.test_case "nvm peek/poke" `Quick test_nvm_peek_poke_uncounted;
+    Alcotest.test_case "nvm alignment" `Quick test_nvm_alignment;
+    Alcotest.test_case "nvm line/word agree" `Quick test_nvm_line_word_agree;
+    Alcotest.test_case "nvm image" `Quick test_nvm_image;
+    Alcotest.test_case "cache geometry" `Quick test_cache_geometry;
+    Alcotest.test_case "cache install/find" `Quick test_cache_install_find;
+    Alcotest.test_case "cache write word" `Quick test_cache_write_word;
+    Alcotest.test_case "cache LRU" `Quick test_cache_lru_eviction;
+    Alcotest.test_case "cache invalid preferred" `Quick
+      test_cache_victim_prefers_invalid;
+    Alcotest.test_case "cache dirty tracking" `Quick test_cache_dirty_tracking;
+    Alcotest.test_case "cache counters" `Quick test_cache_counters;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_cache_set_discipline; prop_cache_find_returns_installed ]

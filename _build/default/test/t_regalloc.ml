@@ -1,0 +1,163 @@
+(* White-box tests of the register allocator via the code it emits:
+   pressure spilling, call-crossing spills, and scratch discipline. *)
+module H = Sweep_sim.Harness
+module Pipeline = Sweep_compiler.Pipeline
+module I = Sweep_isa.Instr
+module Reg = Sweep_isa.Reg
+open Sweep_lang.Dsl
+
+let compile_plain prog = (H.compile H.Nvp prog).Pipeline.program
+
+(* A program with more simultaneously-live scalars than allocatable
+   registers: the allocator must spill, and the result must still be
+   correct. *)
+let pressure_program () =
+  let names = List.init 20 (fun k -> Printf.sprintf "v%d" k) in
+  let defs =
+    List.mapi (fun k n -> set n (i Stdlib.((k * 17) + 3))) names
+  in
+  let total =
+    List.fold_left (fun acc n -> acc + v n) (i 0) names
+  in
+  program
+    [ scalar "out" 0 ]
+    [ func "main" [] (defs @ [ setg "out" total ]) ]
+
+let test_pressure_spills_and_runs () =
+  let prog = pressure_program () in
+  let compiled = H.compile H.Nvp prog in
+  Alcotest.(check bool) "spills happened" true
+    Stdlib.(compiled.Pipeline.stats.spills > 0);
+  ignore (Thelpers.assert_consistent H.Nvp prog)
+
+let test_no_reserved_registers_allocated () =
+  (* Compiled code may only write r12–r14 through compiler-generated
+     spill/PC sequences; plain mode must never define r14 at all, and
+     the allocator must never hand out r15. *)
+  let prog = compile_plain (pressure_program ()) in
+  Array.iter
+    (fun ins ->
+      match (ins : int I.t) with
+      | I.Call _ -> ()
+      | _ ->
+        List.iter
+          (fun r ->
+            if Stdlib.( = ) r Reg.scratch2 then
+              Alcotest.fail "plain code defined the PC scratch";
+            if Stdlib.( = ) r Reg.link then
+              Alcotest.fail "allocator handed out link")
+          (I.defs ins))
+    prog.Sweep_isa.Program.code
+
+let call_heavy_program () =
+  program
+    [ scalar "out" 0 ]
+    [
+      func "inc" [ "x" ] [ ret (v "x" + i 1) ];
+      func "main" []
+        [
+          (* a and b live across many calls: must be memory-resident. *)
+          set "a" (i 100);
+          set "b" (i 200);
+          set "c" (call "inc" [ v "a" ]);
+          set "d" (call "inc" [ v "b" ]);
+          set "e" (call "inc" [ v "c" + v "d" ]);
+          setg "out" (v "a" + v "b" + v "e");
+        ];
+    ]
+
+let test_call_crossing_values_survive () =
+  (* Functional check that caller values survive callee clobbering. *)
+  let r = Thelpers.assert_consistent H.Nvp (call_heavy_program ()) in
+  match H.final_globals r with
+  | [ ("out", out) ] -> Alcotest.(check int) "sum" 603 out.(0)
+  | _ -> Alcotest.fail "unexpected globals"
+
+let test_dce_drops_dead_loads () =
+  let with_dead =
+    program
+      [ array "a" 8; scalar "out" 0 ]
+      [
+        func "main" []
+          [
+            set "dead" (ld "a" (i 3)); (* never used *)
+            setg "out" (i 42);
+          ];
+      ]
+  in
+  let without =
+    program
+      [ array "a" 8; scalar "out" 0 ]
+      [ func "main" [] [ setg "out" (i 42) ] ]
+  in
+  Alcotest.(check int) "dead load eliminated"
+    (Sweep_isa.Program.static_instruction_count (compile_plain without))
+    (Sweep_isa.Program.static_instruction_count (compile_plain with_dead))
+
+let test_leaf_vs_nonleaf_returns () =
+  let prog =
+    program
+      [ scalar "out" 0 ]
+      [
+        func "leaf" [ "x" ] [ ret (v "x" * i 2) ];
+        func "outer" [ "x" ] [ ret (call "leaf" [ v "x" ]) ];
+        func "main" [] [ setg "out" (call "outer" [ i 21 ]) ];
+      ]
+  in
+  let compiled = compile_plain prog in
+  (* Leaf functions return through the link register directly. *)
+  let has_jmpr_link =
+    Array.exists
+      (fun ins -> Stdlib.( = ) ins (I.Jmp_reg Reg.link))
+      compiled.Sweep_isa.Program.code
+  in
+  Alcotest.(check bool) "leaf returns via r15" true has_jmpr_link;
+  let r = Thelpers.assert_consistent H.Nvp prog in
+  match H.final_globals r with
+  | [ ("out", out) ] -> Alcotest.(check int) "value" 42 out.(0)
+  | _ -> Alcotest.fail "unexpected globals"
+
+let prop_pressure_random =
+  (* Random programs with an extra blob of live scalars still agree with
+     the interpreter (stress for the spill paths). *)
+  QCheck2.Test.make ~name:"regalloc under pressure" ~count:40
+    ~print:Gen.print_program Gen.gen_program (fun prog ->
+      let open Sweep_lang.Ast in
+      let pressure_prefix =
+        List.init 14 (fun k ->
+            Assign (Printf.sprintf "__p%d" k, Int Stdlib.((k * 31) + 1)))
+      in
+      let pressure_suffix =
+        [
+          Set_global
+            ( "gt",
+              List.fold_left
+                (fun acc k ->
+                  Binop (Add, acc, Var (Printf.sprintf "__p%d" k)))
+                (Global "gt")
+                (List.init 14 Fun.id) );
+        ]
+      in
+      let funcs =
+        List.map
+          (fun f ->
+            if String.equal f.fname "main" then
+              { f with body = pressure_prefix @ f.body @ pressure_suffix }
+            else f)
+          prog.funcs
+      in
+      let prog = { prog with funcs } in
+      let r = Thelpers.run_design H.Sweep prog in
+      match H.check_against_interp r prog with Ok () -> true | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "pressure spills" `Quick test_pressure_spills_and_runs;
+    Alcotest.test_case "reserved registers" `Quick
+      test_no_reserved_registers_allocated;
+    Alcotest.test_case "call-crossing values" `Quick
+      test_call_crossing_values_survive;
+    Alcotest.test_case "dce drops dead loads" `Quick test_dce_drops_dead_loads;
+    Alcotest.test_case "leaf/nonleaf returns" `Quick test_leaf_vs_nonleaf_returns;
+  ]
+  @ [ QCheck_alcotest.to_alcotest prop_pressure_random ]

@@ -1,0 +1,215 @@
+(* White-box tests of the region-formation pass over hand-built machine
+   CFGs: boundary placement, threshold splitting, and checkpoint-store
+   selection (live-out ∩ redefined). *)
+module Mcfg = Sweep_compiler.Mcfg
+module Regions = Sweep_compiler.Regions
+module I = Sweep_isa.Instr
+module Reg = Sweep_isa.Reg
+module Layout = Sweep_isa.Layout
+
+let check = Alcotest.check
+let layout = Layout.make ~data_limit:0x2000
+
+let block ?(header = false) id items term =
+  { Mcfg.id; items = List.map (fun i -> Mcfg.I i) items; term;
+    is_loop_header = header }
+
+let func name blocks =
+  { Mcfg.name; entry = 0; blocks = Array.of_list blocks; is_leaf = true;
+    link_slot = 0x1000 }
+
+let run_regions ?(threshold = 64) f =
+  Regions.run ~layout ~threshold ~instr_cap:2000 ~mode:`Sweep f
+
+let count_region_ends (f : Mcfg.func) =
+  Array.fold_left
+    (fun acc (b : Mcfg.block) ->
+      List.fold_left
+        (fun acc item ->
+          match item with Mcfg.I I.Region_end -> acc + 1 | _ -> acc)
+        acc b.items)
+    0 f.blocks
+
+let items_of (f : Mcfg.func) id = f.Mcfg.blocks.(id).Mcfg.items
+
+let ckpt_slots_in items =
+  List.filter_map
+    (fun item ->
+      match item with
+      | Mcfg.I (I.Store_abs (r, addr))
+        when addr >= layout.Layout.ckpt_base
+             && addr < layout.Layout.ckpt_base + 64
+             && r <> Reg.scratch2 ->
+        Some r
+      | _ -> None)
+    items
+
+let test_straightline_gets_entry_and_exit () =
+  let f =
+    func "f" [ block 0 [ I.Movi (0, 1); I.Store_abs (0, 0x1100) ] Mcfg.Tret_leaf ]
+  in
+  let stats = run_regions f in
+  (* Entry boundary + return boundary. *)
+  check Alcotest.int "two boundaries" 2 stats.Regions.boundaries;
+  check Alcotest.int "matches code" 2 (count_region_ends f)
+
+let test_liveness_simple () =
+  (* r0 defined in block 0, used by block 1's terminator: live across. *)
+  let f =
+    func "f"
+      [
+        block 0 [ I.Movi (0, 1); I.Movi (1, 2) ] (Mcfg.Tjmp 1);
+        block 1 [] (Mcfg.Tbr (I.Eq, 0, 0, 1, 1));
+      ]
+  in
+  let live_out = Mcfg.liveness f in
+  Alcotest.(check bool) "r0 live out of b0" true (Mcfg.mask_mem live_out.(0) 0);
+  Alcotest.(check bool) "r1 dead out of b0" false (Mcfg.mask_mem live_out.(0) 1)
+
+let test_store_loop_header_boundary () =
+  (* Loop whose body stores: the header gets a boundary. *)
+  let f =
+    func "f"
+      [
+        block 0 [ I.Movi (0, 0); I.Movi (1, 8) ] (Mcfg.Tjmp 1);
+        block ~header:true 1 [] (Mcfg.Tbr (I.Lt, 0, 1, 2, 3));
+        block 2 [ I.Store_abs (0, 0x1100); I.Bini (I.Add, 0, 0, 1) ] (Mcfg.Tjmp 1);
+        block 3 [] Mcfg.Tret_leaf;
+      ]
+  in
+  ignore (run_regions f);
+  (* Checkpoint stores for the boundary precede the Region_end itself. *)
+  let header_has_boundary =
+    List.exists
+      (fun item -> match item with Mcfg.I I.Region_end -> true | _ -> false)
+      (items_of f 1)
+  in
+  Alcotest.(check bool) "boundary at store-loop header" true header_has_boundary
+
+let test_storefree_loop_header_exempt () =
+  let f =
+    func "f"
+      [
+        block 0 [ I.Movi (0, 0); I.Movi (1, 8) ] (Mcfg.Tjmp 1);
+        block ~header:true 1 [] (Mcfg.Tbr (I.Lt, 0, 1, 2, 3));
+        block 2 [ I.Bini (I.Add, 0, 0, 1) ] (Mcfg.Tjmp 1);
+        block 3 [ I.Store_abs (0, 0x1100) ] Mcfg.Tret_leaf;
+      ]
+  in
+  ignore (run_regions f);
+  let header_has_boundary =
+    List.exists
+      (fun item -> match item with Mcfg.I I.Region_end -> true | _ -> false)
+      (items_of f 1)
+  in
+  Alcotest.(check bool) "no boundary at store-free header (footnote 6)" false
+    header_has_boundary
+
+let test_threshold_splits_store_run () =
+  (* 30 consecutive stores with threshold 24: the path scan must split. *)
+  let stores = List.init 30 (fun k -> I.Store_abs (0, 0x1100 + (4 * k))) in
+  let f = func "f" [ block 0 (I.Movi (0, 7) :: stores) Mcfg.Tret_leaf ] in
+  let stats = run_regions ~threshold:24 f in
+  Alcotest.(check bool) "extra boundary inserted" true
+    (stats.Regions.boundaries > 2);
+  Alcotest.(check bool) "invariant holds" true
+    (stats.Regions.max_region_stores <= 24)
+
+let test_ckpt_only_live_and_dirty () =
+  (* r0 live across the middle boundary but defined before the first one;
+     r1 defined in the region ending at the boundary and live after.
+     Only r1 (plus nothing else) needs a checkpoint there. *)
+  let f =
+    func "f"
+      [
+        block 0
+          [
+            I.Movi (0, 1);          (* r0 defined here *)
+            I.Store_abs (0, 0x1100);
+            I.Region_end;           (* manual boundary #1 *)
+            I.Movi (1, 2);          (* r1 defined here *)
+            I.Store_abs (1, 0x1104);
+            I.Region_end;           (* manual boundary #2 *)
+            I.Bin (I.Add, 2, 0, 1); (* r0 and r1 both used after *)
+            I.Store_abs (2, 0x1108);
+          ]
+          Mcfg.Tret_leaf;
+      ]
+  in
+  ignore (run_regions f);
+  (* Collect checkpoint stores before the second manual boundary: walk
+     items, take ckpts between the 2nd and 3rd Region_end (entry boundary
+     is inserted at position 0 by the pass, making ours #2 and #3). *)
+  let items = items_of f 0 in
+  let segments =
+    List.fold_left
+      (fun (cur, segs) item ->
+        match item with
+        | Mcfg.I I.Region_end -> ([], List.rev cur :: segs)
+        | _ -> (item :: cur, segs))
+      ([], []) items
+    |> fun (cur, segs) -> List.rev (List.rev cur :: segs)
+  in
+  (* segment before boundary #3 (index 2) ends with r1's region. *)
+  let seg = List.nth segments 2 in
+  let slots = ckpt_slots_in seg in
+  Alcotest.(check bool) "r1 checkpointed" true (List.mem 1 slots);
+  Alcotest.(check bool) "r0 not re-checkpointed" false (List.mem 0 slots)
+
+let test_entry_region_checkpoints_link () =
+  (* A leaf returning via r15: the entry boundary's region must
+     checkpoint the link register (defined by the caller's Call). *)
+  let f = func "f" [ block 0 [ I.Movi (0, 1) ] Mcfg.Tret_leaf ] in
+  ignore (run_regions f);
+  let items = items_of f 0 in
+  let before_first_boundary =
+    let rec take acc = function
+      | Mcfg.I I.Region_end :: _ -> List.rev acc
+      | item :: rest -> take (item :: acc) rest
+      | [] -> List.rev acc
+    in
+    take [] items
+  in
+  Alcotest.(check bool) "link checkpointed at entry" true
+    (List.mem Reg.link (ckpt_slots_in before_first_boundary))
+
+let test_replay_mode_instrumentation () =
+  let f =
+    func "f" [ block 0 [ I.Movi (0, 1); I.Store_abs (0, 0x1100) ] Mcfg.Tret_leaf ]
+  in
+  let stats =
+    Regions.run ~layout ~threshold:64 ~instr_cap:2000 ~mode:`Replay f
+  in
+  check Alcotest.int "one clwb" 1 stats.Regions.clwbs;
+  check Alcotest.int "no ckpts" 0 stats.Regions.ckpt_stores;
+  let has_fence =
+    List.exists
+      (fun item -> match item with Mcfg.I I.Fence -> true | _ -> false)
+      (items_of f 0)
+  in
+  Alcotest.(check bool) "fence inserted" true has_fence
+
+let test_tiny_threshold_rejected () =
+  let f = func "f" [ block 0 [] Mcfg.Tret_leaf ] in
+  Alcotest.(check bool) "reserve guard" true
+    (match run_regions ~threshold:8 f with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "entry+exit boundaries" `Quick
+      test_straightline_gets_entry_and_exit;
+    Alcotest.test_case "liveness simple" `Quick test_liveness_simple;
+    Alcotest.test_case "store-loop header boundary" `Quick
+      test_store_loop_header_boundary;
+    Alcotest.test_case "store-free header exempt" `Quick
+      test_storefree_loop_header_exempt;
+    Alcotest.test_case "threshold splits" `Quick test_threshold_splits_store_run;
+    Alcotest.test_case "ckpt = live ∩ dirty" `Quick test_ckpt_only_live_and_dirty;
+    Alcotest.test_case "entry checkpoints link" `Quick
+      test_entry_region_checkpoints_link;
+    Alcotest.test_case "replay instrumentation" `Quick
+      test_replay_mode_instrumentation;
+    Alcotest.test_case "tiny threshold rejected" `Quick test_tiny_threshold_rejected;
+  ]

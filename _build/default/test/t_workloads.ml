@@ -1,0 +1,101 @@
+(* Workload-registry tests: the 26 benchmarks build, validate,
+   interpret deterministically, and scale. *)
+module W = Sweep_workloads.Workload
+module Registry = Sweep_workloads.Registry
+module Interp = Sweep_lang.Interp
+
+let check = Alcotest.check
+
+let test_registry_shape () =
+  check Alcotest.int "26 benchmarks" 26 (List.length Registry.all);
+  let media, mibench =
+    List.partition (fun w -> w.W.suite = W.Mediabench) Registry.all
+  in
+  check Alcotest.int "16 Mediabench" 16 (List.length media);
+  check Alcotest.int "10 MiBench" 10 (List.length mibench);
+  check Alcotest.int "unique names" 26
+    (List.length (List.sort_uniq compare (Registry.names ())))
+
+let test_find () =
+  check Alcotest.string "find sha" "sha" (Registry.find "sha").W.name;
+  Alcotest.(check bool) "missing raises" true
+    (match Registry.find "nonesuch" with
+    | _ -> false
+    | exception Not_found -> true)
+
+let test_all_build_and_validate () =
+  (* Workload.program validates through the DSL; small scale keeps data
+     generation cheap. *)
+  List.iter (fun w -> ignore (W.program ~scale:0.05 w)) Registry.all
+
+let test_all_interpret () =
+  List.iter
+    (fun w ->
+      let prog = W.program ~scale:0.05 w in
+      let st = Interp.run prog in
+      Alcotest.(check bool) (w.W.name ^ " does work") true (Interp.steps st > 50))
+    Registry.all
+
+let test_deterministic_build () =
+  List.iter
+    (fun w ->
+      let a = Thelpers.interp_image (W.program ~scale:0.05 w) in
+      let b = Thelpers.interp_image (W.program ~scale:0.05 w) in
+      Alcotest.(check bool) (w.W.name ^ " deterministic") true
+        (Thelpers.image_equal a b))
+    Registry.all
+
+let test_scale_changes_work () =
+  let steps scale =
+    Interp.steps (Interp.run (W.program ~scale (Registry.find "sha")))
+  in
+  Alcotest.(check bool) "bigger scale, more work" true (steps 0.3 > steps 0.1)
+
+let test_scaled_helper () =
+  check Alcotest.int "identity" 10 (W.scaled 1.0 10);
+  check Alcotest.int "halved" 5 (W.scaled 0.5 10);
+  check Alcotest.int "floor at 1" 1 (W.scaled 0.001 10)
+
+let test_workloads_run_on_sweep () =
+  (* End-to-end spot check at tiny scale for a representative subset. *)
+  List.iter
+    (fun name ->
+      let prog = W.program ~scale:0.05 (Registry.find name) in
+      ignore (Thelpers.assert_consistent Sweep_sim.Harness.Sweep prog))
+    [ "adpcmenc"; "g721dec"; "gsmdec"; "jpegdec"; "pegwitenc"; "basicmath";
+      "typeset"; "blowfishdec"; "rijndaelenc"; "mpeg2dec"; "susanc" ]
+
+(* Every benchmark, compiled and crash-injected, must match the
+   interpreter — the full-registry version of the sim suite's spot
+   checks, at small scale. *)
+let test_full_registry_crash_consistency () =
+  List.iter
+    (fun w ->
+      let prog = W.program ~scale:0.08 w in
+      List.iter
+        (fun design ->
+          let power = Thelpers.harvested ~farads:330e-9 () in
+          let r = Sweep_sim.Harness.run design ~power prog in
+          match Sweep_sim.Harness.check_against_interp r prog with
+          | Ok () -> ()
+          | Error e ->
+            Alcotest.failf "%s on %s: %s" w.W.name
+              (Sweep_sim.Harness.design_name design)
+              e)
+        [ Sweep_sim.Harness.Sweep; Sweep_sim.Harness.Replay;
+          Sweep_sim.Harness.Nvsram ])
+    Registry.all
+
+let suite =
+  [
+    Alcotest.test_case "full registry crash consistency" `Slow
+      test_full_registry_crash_consistency;
+    Alcotest.test_case "registry shape" `Quick test_registry_shape;
+    Alcotest.test_case "find" `Quick test_find;
+    Alcotest.test_case "all build" `Quick test_all_build_and_validate;
+    Alcotest.test_case "all interpret" `Quick test_all_interpret;
+    Alcotest.test_case "deterministic builds" `Quick test_deterministic_build;
+    Alcotest.test_case "scaling works" `Quick test_scale_changes_work;
+    Alcotest.test_case "scaled helper" `Quick test_scaled_helper;
+    Alcotest.test_case "subset runs on sweep" `Slow test_workloads_run_on_sweep;
+  ]

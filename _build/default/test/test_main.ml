@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "sweepcache"
+    [
+      ("util", T_util.suite);
+      ("isa", T_isa.suite);
+      ("lang", T_lang.suite);
+      ("compiler", T_compiler.suite);
+      ("regions", T_regions.suite);
+      ("regalloc", T_regalloc.suite);
+      ("mem", T_mem.suite);
+      ("energy", T_energy.suite);
+      ("machine", T_machine.suite);
+      ("core", T_core.suite);
+      ("baselines", T_baselines.suite);
+      ("sim", T_sim.suite);
+      ("workloads", T_workloads.suite);
+      ("exp", T_exp.suite);
+    ]
