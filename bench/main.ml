@@ -1,19 +1,25 @@
 (* Benchmark harness.
 
    Default: regenerate every table and figure of the paper's evaluation
-   (one experiment module per artefact; see DESIGN.md's index).
+   (one experiment module per artefact; see DESIGN.md's index) through
+   the declarative job/executor layer — jobs are planned, deduplicated
+   and batch-executed on a domain pool before any table renders.
 
-     dune exec bench/main.exe              # everything
-     dune exec bench/main.exe -- quick     # skip the multi-minute sweeps
-     dune exec bench/main.exe -- fig5 tab2 # selected experiments
-     dune exec bench/main.exe -- list      # available experiment ids
-     dune exec bench/main.exe -- micro     # Bechamel component benches
+     dune exec bench/main.exe                  # everything
+     dune exec bench/main.exe -- quick         # skip the multi-minute sweeps
+     dune exec bench/main.exe -- fig5 tab2     # selected experiments
+     dune exec bench/main.exe -- -j 8 fig5     # 8 worker domains
+     dune exec bench/main.exe -- --results-dir results fig5  # + JSONL
+     dune exec bench/main.exe -- list          # available experiment ids
+     dune exec bench/main.exe -- micro         # Bechamel component benches
 
    The micro mode measures the simulation substrate itself (cache ops,
    persist-buffer ops, executor steps, compilation) with one
    Bechamel Test.make per component. *)
 
 module Experiments = Sweep_exp.Experiments
+module Executor = Sweep_exp.Executor
+module Results = Sweep_exp.Results
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the substrate.                         *)
@@ -92,8 +98,24 @@ let run_micro () =
 
 (* ------------------------------------------------------------------ *)
 
+(* -j N / --results-dir DIR can appear anywhere; the rest are modes or
+   experiment ids. *)
+let rec parse_flags = function
+  | "-j" :: n :: rest ->
+    (match int_of_string_opt n with
+     | Some n -> Executor.set_workers n
+     | None ->
+       Printf.eprintf "-j expects an integer, got %S\n" n;
+       exit 2);
+    parse_flags rest
+  | "--results-dir" :: dir :: rest ->
+    Results.set_dir (Some dir);
+    parse_flags rest
+  | x :: rest -> x :: parse_flags rest
+  | [] -> []
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let args = parse_flags (List.tl (Array.to_list Sys.argv)) in
   match args with
   | [] ->
     Printf.printf "SweepCache reproduction — regenerating all tables/figures\n\n";
@@ -109,11 +131,16 @@ let () =
       Experiments.all
   | [ "micro" ] -> run_micro ()
   | names ->
-    List.iter
-      (fun name ->
-        match Experiments.find name with
-        | Some e -> e.Experiments.run ()
-        | None ->
-          Printf.eprintf "unknown experiment %S (try: list)\n" name;
-          exit 2)
-      names
+    let experiments =
+      List.map
+        (fun name ->
+          match Experiments.find name with
+          | Some e -> e
+          | None ->
+            Printf.eprintf "unknown experiment %S (try: list)\n" name;
+            exit 2)
+        names
+    in
+    (* One batched execute across the selection shares e.g. the NVP
+       baselines between Fig 6 and Table 2. *)
+    Experiments.run_many experiments

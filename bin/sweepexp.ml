@@ -1,0 +1,98 @@
+(* sweepexp: regenerate the paper's tables and figures through the
+   declarative job/executor layer.
+
+     dune exec bin/sweepexp.exe                      # everything
+     dune exec bin/sweepexp.exe -- quick             # skip heavy sweeps
+     dune exec bin/sweepexp.exe -- fig5 tab2 -j 8    # selected, 8 workers
+     dune exec bin/sweepexp.exe -- list              # available ids
+
+   Experiments are planned first: the union of the selected experiments'
+   job matrices is deduplicated and batch-executed on a domain pool
+   (-j N, default the machine's recommended domain count), then each
+   table renders from the shared results store — so output is
+   byte-identical at any -j.  Every executed job also appends one JSON
+   line to <results-dir>/<experiment>.jsonl. *)
+
+open Cmdliner
+module Experiments = Sweep_exp.Experiments
+module Executor = Sweep_exp.Executor
+module Results = Sweep_exp.Results
+
+let list_experiments () =
+  List.iter
+    (fun e ->
+      Printf.printf "%-10s %s%s\n" e.Experiments.name e.Experiments.title
+        (if e.Experiments.heavy then " [heavy]" else ""))
+    Experiments.all
+
+let main names j results_dir no_jsonl =
+  Executor.set_workers j;
+  Results.set_dir (if no_jsonl then None else Some results_dir);
+  match names with
+  | [ "list" ] ->
+    list_experiments ();
+    0
+  | names -> (
+    let selection =
+      match names with
+      | [] ->
+        Printf.printf
+          "SweepCache reproduction — regenerating all tables/figures (-j %d)\n\n"
+          (Executor.workers ());
+        Ok (Experiments.all)
+      | [ "quick" ] ->
+        Printf.printf
+          "SweepCache reproduction — quick set (heavy sweeps skipped, -j %d)\n\n"
+          (Executor.workers ());
+        Ok (List.filter (fun e -> not e.Experiments.heavy) Experiments.all)
+      | names ->
+        let unknown =
+          List.filter (fun n -> Experiments.find n = None) names
+        in
+        if unknown <> [] then Error unknown
+        else
+          Ok
+            (List.map
+               (fun n -> Option.get (Experiments.find n))
+               names)
+    in
+    match selection with
+    | Error unknown ->
+      List.iter
+        (fun n -> Printf.eprintf "unknown experiment %S (try: list)\n" n)
+        unknown;
+      2
+    | Ok experiments ->
+      Experiments.run_many experiments;
+      0)
+
+let names_arg =
+  Arg.(value & pos_all string []
+       & info [] ~docv:"EXPERIMENT"
+           ~doc:"Experiment ids (see $(b,list)); $(b,quick) for the \
+                 non-heavy set; empty for everything.")
+
+let jobs_arg =
+  Arg.(value & opt int (Domain.recommended_domain_count ())
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for the batch-execute phase (default: \
+                 the machine's recommended domain count; 1 = sequential).")
+
+let results_dir_arg =
+  Arg.(value & opt string "results"
+       & info [ "results-dir" ] ~docv:"DIR"
+           ~doc:"Directory receiving one <experiment>.jsonl per \
+                 experiment (one JSON line per executed job).")
+
+let no_jsonl_arg =
+  Arg.(value & flag
+       & info [ "no-jsonl" ] ~doc:"Disable the JSONL results sink.")
+
+let cmd =
+  let doc = "regenerate the SweepCache paper's tables and figures" in
+  let term =
+    Term.(const main $ names_arg $ jobs_arg $ results_dir_arg $ no_jsonl_arg)
+  in
+  Cmd.v (Cmd.info "sweepexp" ~doc) term
+
+let () = exit (Cmd.eval' cmd)

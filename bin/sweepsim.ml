@@ -13,6 +13,8 @@ module Trace = Sweep_energy.Power_trace
 module Config = Sweep_machine.Config
 module Mstats = Sweep_machine.Mstats
 module Table = Sweep_util.Table
+module C = Sweep_exp.Exp_common
+module Results = Sweep_exp.Results
 
 let design_assoc =
   [
@@ -28,40 +30,85 @@ let trace_assoc =
     ("none", None);
   ]
 
+(* Parallel map across the selected designs; cell order is preserved so
+   the printed table is identical at any -j. *)
+let pmap ~j f xs =
+  let n = List.length xs in
+  if j <= 1 || n <= 1 then List.map f xs
+  else begin
+    let arr = Array.of_list xs in
+    let out = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          out.(i) <- Some (f arr.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = List.init (min j n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.to_list (Array.map Option.get out)
+  end
+
 let run_one bench design power config scale verify =
   let w = Sweep_workloads.Registry.find bench in
   let ast = Sweep_workloads.Workload.program ~scale w in
+  let t0 = Unix.gettimeofday () in
   let r = H.run ~config design ~power ast in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
   let o = r.H.outcome in
   let st = H.mstats r in
-  let verified =
-    if not verify then ""
+  let design_name = H.design_name design in
+  let summary =
+    {
+      C.outcome = o;
+      mstats = st;
+      miss_rate = H.cache_miss_rate r;
+      nvm_writes = H.nvm_writes r;
+    }
+  in
+  Results.emit ~exp:"sweepsim"
+    ~key:
+      (C.key_of ~label:design_name ~design:design_name
+         ~power:(C.power_key power) ~bench ~scale)
+    ~design:design_name ~label:design_name ~power:(C.power_key power) ~bench
+    ~scale ~elapsed_s summary;
+  let ok, verified =
+    if not verify then (true, "")
     else
       match H.check_against_interp r ast with
-      | Ok () -> "consistent"
-      | Error e -> "INCONSISTENT: " ^ e
+      | Ok () -> (true, "consistent")
+      | Error e -> (false, "INCONSISTENT: " ^ e)
   in
-  [
-    H.design_name design;
-    string_of_int o.Driver.instructions;
-    Table.float_cell (o.Driver.on_ns /. 1e6);
-    Table.float_cell (o.Driver.off_ns /. 1e6);
-    string_of_int o.Driver.outages;
-    string_of_int o.Driver.backups;
-    Table.float_cell (Driver.total_joules o *. 1e6);
-    Table.float_cell (100.0 *. H.cache_miss_rate r);
-    string_of_int st.Mstats.regions;
-    Table.float_cell (Mstats.parallelism_efficiency st);
-    verified;
-  ]
+  ( ok,
+    [
+      design_name;
+      string_of_int o.Driver.instructions;
+      Table.float_cell (o.Driver.on_ns /. 1e6);
+      Table.float_cell (o.Driver.off_ns /. 1e6);
+      string_of_int o.Driver.outages;
+      string_of_int o.Driver.backups;
+      Table.float_cell (Driver.total_joules o *. 1e6);
+      Table.float_cell (100.0 *. H.cache_miss_rate r);
+      string_of_int st.Mstats.regions;
+      Table.float_cell (Mstats.parallelism_efficiency st);
+      verified;
+    ] )
 
-let main bench designs trace cap scale cache_size nvm_search verify =
+let main bench designs trace cap scale cache_size nvm_search verify j
+    results_dir =
   (match Sweep_workloads.Registry.find bench with
   | exception Not_found ->
     Printf.eprintf "unknown workload %S; available:\n  %s\n" bench
       (String.concat ", " (Sweep_workloads.Registry.names ()));
     exit 2
   | _ -> ());
+  Results.set_dir results_dir;
   let power =
     match trace with
     | None -> Driver.Unlimited
@@ -78,11 +125,13 @@ let main bench designs trace cap scale cache_size nvm_search verify =
         "energy uJ"; "miss %"; "regions"; "eff %"; "check";
       ]
   in
-  List.iter
-    (fun d -> Table.add_row t (run_one bench d power config scale verify))
-    designs;
+  let rows =
+    pmap ~j (fun d -> run_one bench d power config scale verify) designs
+  in
+  List.iter (fun (_, row) -> Table.add_row t row) rows;
   Table.print t;
-  0
+  (* --verify regressions must fail the process so CI can catch them. *)
+  if List.for_all fst rows then 0 else 1
 
 let bench_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD"
@@ -143,17 +192,31 @@ let nvm_search_arg =
 let verify_arg =
   Arg.(value & flag
        & info [ "verify" ]
-           ~doc:"Check the final NVM image against the reference interpreter.")
+           ~doc:"Check the final NVM image against the reference \
+                 interpreter.  Exits 1 if any design is INCONSISTENT.")
+
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Run the selected designs on N worker domains.")
+
+let results_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "results-dir" ] ~docv:"DIR"
+           ~doc:"Append one JSON line per design run to DIR/sweepsim.jsonl.")
 
 let cmd =
   let doc = "simulate a workload on an intermittent-computing architecture" in
   let term =
     Term.(
-      const (fun bench design all trace cap scale cache nvm_search verify ->
+      const (fun bench design all trace cap scale cache nvm_search verify j
+                 results_dir ->
           let designs = if all then H.all_designs else design in
-          main bench designs trace cap scale cache nvm_search verify)
+          main bench designs trace cap scale cache nvm_search verify j
+            results_dir)
       $ bench_arg $ designs_arg $ all_designs_arg $ trace_arg $ cap_arg
-      $ scale_arg $ cache_arg $ nvm_search_arg $ verify_arg)
+      $ scale_arg $ cache_arg $ nvm_search_arg $ verify_arg $ jobs_arg
+      $ results_dir_arg)
   in
   Cmd.v (Cmd.info "sweepsim" ~doc) term
 

@@ -1,7 +1,14 @@
 open Sweep_lang.Ast
 
-let counter = ref 0
-let site_counter = ref 0
+(* All inlining state is local to one [program] invocation so concurrent
+   compilations (the parallel experiment executor runs one per domain)
+   cannot interleave counter bumps — a shared counter would let two call
+   sites in different domains mint colliding rename prefixes. *)
+type ctx = {
+  env : (string, func) Hashtbl.t;
+  counter : int ref;       (* call sites expanded, for compile stats *)
+  site_counter : int ref;  (* per-site rename prefix *)
+}
 
 let rec size_of_stmts stmts = List.fold_left (fun a s -> a + size_of_stmt s) 0 stmts
 
@@ -32,47 +39,51 @@ let inlinable ~max_size (f : func) =
   && not (has_inner_return f.body)
 
 (* Rename the callee's locals (params included) apart from the caller's. *)
-let rec rename_stmt table = function
-  | Assign (v, e) -> Assign (rename_var table v, rename_expr table e)
-  | Set_global (g, e) -> Set_global (g, rename_expr table e)
-  | Store (a, idx, v) -> Store (a, rename_expr table idx, rename_expr table v)
+let rec rename_stmt ctx table = function
+  | Assign (v, e) -> Assign (rename_var ctx table v, rename_expr ctx table e)
+  | Set_global (g, e) -> Set_global (g, rename_expr ctx table e)
+  | Store (a, idx, v) ->
+    Store (a, rename_expr ctx table idx, rename_expr ctx table v)
   | If (c, t, e) ->
-    If (rename_expr table c, List.map (rename_stmt table) t,
-        List.map (rename_stmt table) e)
-  | While (c, b) -> While (rename_expr table c, List.map (rename_stmt table) b)
+    If (rename_expr ctx table c, List.map (rename_stmt ctx table) t,
+        List.map (rename_stmt ctx table) e)
+  | While (c, b) ->
+    While (rename_expr ctx table c, List.map (rename_stmt ctx table) b)
   | For (v, lo, hi, b) ->
-    For (rename_var table v, rename_expr table lo, rename_expr table hi,
-         List.map (rename_stmt table) b)
-  | Call_stmt (f, args) -> Call_stmt (f, List.map (rename_expr table) args)
-  | Return e -> Return (Option.map (rename_expr table) e)
+    For (rename_var ctx table v, rename_expr ctx table lo,
+         rename_expr ctx table hi, List.map (rename_stmt ctx table) b)
+  | Call_stmt (f, args) -> Call_stmt (f, List.map (rename_expr ctx table) args)
+  | Return e -> Return (Option.map (rename_expr ctx table) e)
 
-and rename_expr table = function
+and rename_expr ctx table = function
   | Int n -> Int n
-  | Var v -> Var (rename_var table v)
+  | Var v -> Var (rename_var ctx table v)
   | Global g -> Global g
-  | Load (a, idx) -> Load (a, rename_expr table idx)
-  | Binop (op, a, b) -> Binop (op, rename_expr table a, rename_expr table b)
-  | Call (f, args) -> Call (f, List.map (rename_expr table) args)
+  | Load (a, idx) -> Load (a, rename_expr ctx table idx)
+  | Binop (op, a, b) -> Binop (op, rename_expr ctx table a, rename_expr ctx table b)
+  | Call (f, args) -> Call (f, List.map (rename_expr ctx table) args)
 
-and rename_var table v =
+and rename_var ctx table v =
   match Hashtbl.find_opt table v with
   | Some v' -> v'
   | None ->
-    let v' = Printf.sprintf "__i%d_%s" !site_counter v in
+    let v' = Printf.sprintf "__i%d_%s" !(ctx.site_counter) v in
     Hashtbl.replace table v v';
     v'
 
 (* Expand one call: bind arguments to renamed parameters, splice the
    renamed body, and turn a trailing [Return e] into an assignment to
    [result] (when requested). *)
-let expand (callee : func) args ~result =
-  incr counter;
-  incr site_counter;
+let expand ctx (callee : func) args ~result =
+  incr ctx.counter;
+  incr ctx.site_counter;
   let table = Hashtbl.create 8 in
   let binds =
-    List.map2 (fun p arg -> Assign (rename_var table p, arg)) callee.params args
+    List.map2
+      (fun p arg -> Assign (rename_var ctx table p, arg))
+      callee.params args
   in
-  let body = List.map (rename_stmt table) callee.body in
+  let body = List.map (rename_stmt ctx table) callee.body in
   let rec rewrite_tail acc = function
     | [ Return e ] ->
       let tail =
@@ -90,27 +101,27 @@ let expand (callee : func) args ~result =
   in
   binds @ rewrite_tail [] body
 
-let rec transform_stmts env stmts = List.concat_map (transform_stmt env) stmts
+let rec transform_stmts ctx stmts = List.concat_map (transform_stmt ctx) stmts
 
-and transform_stmt env stmt =
+and transform_stmt ctx stmt =
   match stmt with
   | Assign (x, Call (f, args))
-    when Hashtbl.mem env f
+    when Hashtbl.mem ctx.env f
          && List.for_all (fun a -> not (expr_has_call a)) args ->
-    expand (Hashtbl.find env f) args ~result:(Some x)
+    expand ctx (Hashtbl.find ctx.env f) args ~result:(Some x)
   | Call_stmt (f, args)
-    when Hashtbl.mem env f
+    when Hashtbl.mem ctx.env f
          && List.for_all (fun a -> not (expr_has_call a)) args ->
-    expand (Hashtbl.find env f) args ~result:None
+    expand ctx (Hashtbl.find ctx.env f) args ~result:None
   | Set_global (g, Call (f, args))
-    when Hashtbl.mem env f
+    when Hashtbl.mem ctx.env f
          && List.for_all (fun a -> not (expr_has_call a)) args ->
-    let tmp = Printf.sprintf "__ir%d" (!site_counter + 1) in
-    expand (Hashtbl.find env f) args ~result:(Some tmp)
+    let tmp = Printf.sprintf "__ir%d" (!(ctx.site_counter) + 1) in
+    expand ctx (Hashtbl.find ctx.env f) args ~result:(Some tmp)
     @ [ Set_global (g, Var tmp) ]
-  | If (c, t, e) -> [ If (c, transform_stmts env t, transform_stmts env e) ]
-  | While (c, b) -> [ While (c, transform_stmts env b) ]
-  | For (v, lo, hi, b) -> [ For (v, lo, hi, transform_stmts env b) ]
+  | If (c, t, e) -> [ If (c, transform_stmts ctx t, transform_stmts ctx e) ]
+  | While (c, b) -> [ While (c, transform_stmts ctx b) ]
+  | For (v, lo, hi, b) -> [ For (v, lo, hi, transform_stmts ctx b) ]
   | Assign _ | Set_global _ | Store _ | Call_stmt _ | Return _ -> [ stmt ]
 
 and expr_has_call = function
@@ -119,28 +130,29 @@ and expr_has_call = function
   | Binop (_, a, b) -> expr_has_call a || expr_has_call b
   | Call _ -> true
 
-let one_round ~max_size (prog : program) =
-  let env = Hashtbl.create 8 in
+let one_round ctx ~max_size (prog : program) =
+  Hashtbl.reset ctx.env;
   List.iter
-    (fun f -> if inlinable ~max_size f then Hashtbl.replace env f.fname f)
+    (fun f -> if inlinable ~max_size f then Hashtbl.replace ctx.env f.fname f)
     prog.funcs;
   let funcs =
-    List.map (fun f -> { f with body = transform_stmts env f.body }) prog.funcs
+    List.map (fun f -> { f with body = transform_stmts ctx f.body }) prog.funcs
   in
   { prog with funcs }
 
-let program ?(max_size = 16) ?(rounds = 3) prog =
-  counter := 0;
+let program_counted ?(max_size = 16) ?(rounds = 3) prog =
+  let ctx = { env = Hashtbl.create 8; counter = ref 0; site_counter = ref 0 } in
   let rec go n prog =
     if n = 0 then prog
     else begin
-      let before = !counter in
-      let prog' = one_round ~max_size prog in
-      if !counter = before then prog' else go (n - 1) prog'
+      let before = !(ctx.counter) in
+      let prog' = one_round ctx ~max_size prog in
+      if !(ctx.counter) = before then prog' else go (n - 1) prog'
     end
   in
   let result = go rounds prog in
   validate result;
-  result
+  (result, !(ctx.counter))
 
-let inlined_calls () = !counter
+let program ?max_size ?rounds prog =
+  fst (program_counted ?max_size ?rounds prog)

@@ -19,5 +19,11 @@ val program :
     (default 3) bounds call-chain inlining depth.  Uninlinable calls are
     left untouched. *)
 
-val inlined_calls : unit -> int
-(** Number of call sites expanded by the most recent call. *)
+val program_counted :
+  ?max_size:int ->
+  ?rounds:int ->
+  Sweep_lang.Ast.program ->
+  Sweep_lang.Ast.program * int
+(** Like {!program}, also returning the number of call sites expanded.
+    All state is local to the invocation, so concurrent compilations in
+    different domains are independent and deterministic. *)

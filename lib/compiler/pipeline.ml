@@ -42,15 +42,15 @@ type compiled = {
 }
 
 let compile ?(options = default_options) ast =
-  let ast = if options.inline then Inline.program ast else ast in
-  let inlined = if options.inline then Inline.inlined_calls () else 0 in
-  let ast =
-    if options.unroll then
-      Unroll.program ~threshold:options.store_threshold
-        ~max_factor:options.max_unroll ast
-    else ast
+  let ast, inlined =
+    if options.inline then Inline.program_counted ast else (ast, 0)
   in
-  let unrolled = if options.unroll then Unroll.unrolled_loops () else 0 in
+  let ast, unrolled =
+    if options.unroll then
+      Unroll.program_counted ~threshold:options.store_threshold
+        ~max_factor:options.max_unroll ast
+    else (ast, 0)
+  in
   let frame = Frame.create () in
   let tac_funcs = Lower.program frame ast in
   let main = "main" in

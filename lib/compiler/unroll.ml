@@ -1,7 +1,10 @@
 open Sweep_lang.Ast
 
-let counter = ref 0
-let fresh_counter = ref 0
+(* Counters are threaded per-invocation (no module-level state) so
+   concurrent compilations in different domains stay independent and
+   every compilation mints the same fresh names regardless of what ran
+   before it. *)
+type ctx = { counter : int ref; fresh_counter : int ref }
 
 let rec stores_in_stmts stmts = List.fold_left (fun a s -> a + stores_in_stmt s) 0 stmts
 
@@ -50,21 +53,21 @@ let pick_factor ~threshold ~max_factor body =
     min max_factor (max 1 by_stores)
   end
 
-let rec transform ~threshold ~max_factor stmts =
-  List.map (transform_stmt ~threshold ~max_factor) stmts
+let rec transform ctx ~threshold ~max_factor stmts =
+  List.map (transform_stmt ctx ~threshold ~max_factor) stmts
 
-and transform_stmt ~threshold ~max_factor stmt =
-  let recurse = transform ~threshold ~max_factor in
+and transform_stmt ctx ~threshold ~max_factor stmt =
+  let recurse = transform ctx ~threshold ~max_factor in
   match stmt with
   | For (v, lo, hi, body) ->
     let body = recurse body in
     let u = pick_factor ~threshold ~max_factor body in
     if u < 2 || assigns_var v body then For (v, lo, hi, body)
     else begin
-      incr counter;
-      incr fresh_counter;
-      let hi_name = Printf.sprintf "__uh%d" !fresh_counter in
-      let lo_name = Printf.sprintf "__ul%d" !fresh_counter in
+      incr ctx.counter;
+      incr ctx.fresh_counter;
+      let hi_name = Printf.sprintf "__uh%d" !(ctx.fresh_counter) in
+      let lo_name = Printf.sprintf "__ul%d" !(ctx.fresh_counter) in
       let step = body @ [ Assign (v, Binop (Add, Var v, Int 1)) ] in
       let unrolled_body = List.concat (List.init u (fun _ -> step)) in
       let main_loop =
@@ -91,13 +94,14 @@ and transform_stmt ~threshold ~max_factor stmt =
   | If (c, t, e) -> If (c, recurse t, recurse e)
   | Assign _ | Set_global _ | Store _ | Call_stmt _ | Return _ -> stmt
 
-let program ~threshold ~max_factor (prog : program) =
-  counter := 0;
+let program_counted ~threshold ~max_factor (prog : program) =
+  let ctx = { counter = ref 0; fresh_counter = ref 0 } in
   let funcs =
     List.map
-      (fun f -> { f with body = transform ~threshold ~max_factor f.body })
+      (fun f -> { f with body = transform ctx ~threshold ~max_factor f.body })
       prog.funcs
   in
-  { prog with funcs }
+  ({ prog with funcs }, !(ctx.counter))
 
-let unrolled_loops () = !counter
+let program ~threshold ~max_factor prog =
+  fst (program_counted ~threshold ~max_factor prog)

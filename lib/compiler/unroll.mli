@@ -13,6 +13,12 @@ val program :
     unrolled.  [max_factor] caps the unroll factor (paper uses small
     factors; default pipeline passes 4). *)
 
-val unrolled_loops : unit -> int
-(** Number of loops unrolled by the most recent call (for compile
-    statistics). *)
+val program_counted :
+  threshold:int ->
+  max_factor:int ->
+  Sweep_lang.Ast.program ->
+  Sweep_lang.Ast.program * int
+(** Like {!program}, also returning the number of loops unrolled (for
+    compile statistics).  All state is local to the invocation, so
+    concurrent compilations in different domains are independent and
+    deterministic. *)

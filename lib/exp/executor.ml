@@ -1,0 +1,71 @@
+module H = Sweep_sim.Harness
+
+(* Worker count is process-global configuration (the -j flag), read at
+   execute time.  1 means fully sequential: no domain is spawned, which
+   keeps e.g. `dune runtest` and byte-for-byte reference runs on the
+   plain code path. *)
+let default_workers = ref (Domain.recommended_domain_count ())
+let set_workers n = default_workers := max 1 n
+let workers () = !default_workers
+
+let run_job j =
+  let key = Jobs.key j in
+  if not (Results.mem key) then begin
+    let power = Jobs.to_power j.Jobs.power in
+    let t0 = Unix.gettimeofday () in
+    let summary =
+      Exp_common.compute ~scale:j.Jobs.scale j.Jobs.setting ~power
+        j.Jobs.bench
+    in
+    let elapsed_s = Unix.gettimeofday () -. t0 in
+    let stored = Results.add ~key summary in
+    if stored == summary then
+      Results.emit ~exp:j.Jobs.exp ~key
+        ~design:(H.design_name j.Jobs.setting.Exp_common.design)
+        ~label:j.Jobs.setting.Exp_common.label
+        ~power:(Jobs.power_id j.Jobs.power)
+        ~bench:j.Jobs.bench ~scale:j.Jobs.scale ~elapsed_s summary
+  end
+
+let execute ?workers:w jobs =
+  let w = match w with Some w -> max 1 w | None -> !default_workers in
+  let pending =
+    List.filter (fun j -> not (Results.mem (Jobs.key j))) (Jobs.dedup jobs)
+  in
+  match pending with
+  | [] -> ()
+  | pending when w = 1 || List.length pending = 1 ->
+    List.iter run_job pending
+  | pending ->
+    (* Materialise every trace in the parent domain so workers share
+       read-only instances instead of racing to build them. *)
+    List.iter (fun j -> ignore (Jobs.to_power j.Jobs.power)) pending;
+    let arr = Array.of_list pending in
+    let n = Array.length arr in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          run_job arr.(i);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned =
+      List.init (min w n - 1) (fun _ -> Domain.spawn worker)
+    in
+    (* The calling domain is the last worker. *)
+    let parent_error = try worker (); None with e -> Some e in
+    let worker_error =
+      List.fold_left
+        (fun acc d ->
+          match (try Domain.join d; None with e -> Some e) with
+          | Some _ as e when acc = None -> e
+          | _ -> acc)
+        None spawned
+    in
+    (match (parent_error, worker_error) with
+     | Some e, _ | None, Some e -> raise e
+     | None, None -> ())

@@ -1,0 +1,26 @@
+(** Parallel job execution on an OCaml 5 domain pool.
+
+    [execute jobs] deduplicates the job list by canonical key, drops
+    jobs whose summaries are already in {!Results}, and evaluates the
+    rest with [min workers n] domains pulling from a shared atomic
+    cursor.  Each worker runs {!Exp_common.compute} — a pure function of
+    the job — and publishes into the mutex-guarded store, so the store
+    contents are independent of worker count and schedule; the
+    determinism tests assert [-j 1] and [-j 4] snapshots are equal.
+
+    Domain-safety of the substrate this relies on (audited in
+    DESIGN.md): traces are pre-materialised in the parent domain and
+    immutable afterwards; compiler gensym counters are per-invocation;
+    machines, stats and RNGs are per-job instances. *)
+
+val set_workers : int -> unit
+(** Process-wide default worker count (the -j flag); clamped to >= 1. *)
+
+val workers : unit -> int
+(** Current default (initially [Domain.recommended_domain_count ()]). *)
+
+val execute : ?workers:int -> Jobs.t list -> unit
+(** Populate {!Results} with every job's summary.  [workers] overrides
+    the process default.  With 1 worker no domain is spawned.  If a
+    worker raises (e.g. {!Sweep_sim.Driver.Stagnation}), the remaining
+    jobs still finish and the first exception is re-raised. *)

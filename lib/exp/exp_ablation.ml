@@ -12,10 +12,64 @@ module Config = Sweep_machine.Config
 module Detector = Sweep_energy.Detector
 module Pipeline = Sweep_compiler.Pipeline
 module Driver = Sweep_sim.Driver
+module Trace = Sweep_energy.Power_trace
 module Table = Sweep_util.Table
 
 let geo_speed ?(power = Sweep_sim.Driver.Unlimited) s =
   C.geomean (List.map (C.speedup s ~power) C.subset_names)
+
+let buffer_setting count =
+  C.setting
+    ~label:(Printf.sprintf "sweep/%db" count)
+    ~config:{ Config.default with buffer_count = count }
+    H.Sweep
+
+let vmin_deep = C.setting ~label:"sweep/vmin1.8" H.Sweep
+
+let degradation_setting (label, bump) =
+  let det = Detector.jit ~v_backup:(3.2 +. bump) ~v_restore:(3.4 +. bump) in
+  C.setting
+    ~label:(Printf.sprintf "nvsram+%s" label)
+    ~config:(Config.with_detector Config.default det)
+    H.Nvsram
+
+(* Bumps keep the restore threshold under Vmax = 3.5. *)
+let degradation_bumps = [ ("+20%", 0.04); ("+40%", 0.08) ]
+
+let unroll_setting (label, unroll) =
+  C.setting ~label ~options:(Pipeline.options ~unroll ()) H.Sweep
+
+let unroll_variants = [ ("unroll on", true); ("unroll off", false) ]
+
+let inline_setting (label, inline) =
+  C.setting ~label ~options:(Pipeline.options ~inline ()) H.Sweep
+
+let inline_variants = [ ("inline off", false); ("inline on", true) ]
+
+(* Call-heavy benchmarks gain the most from inlining: every call costs
+   entry/exit boundaries. *)
+let inline_benches = [ "pegwitenc"; "rijndaelenc"; "basicmath"; "jpegenc"; "sha" ]
+
+let jobs () =
+  let rf = Jobs.harvested Trace.Rf_office in
+  (* buffers + unroll studies: unlimited power over the subset *)
+  Jobs.matrix ~exp:"ablation"
+    (C.setting H.Nvp
+     :: (List.map buffer_setting [ 1; 2 ]
+        @ List.map unroll_setting unroll_variants))
+    C.subset_names
+  (* vmin + degradation studies: RFOffice at 470 nF *)
+  @ Jobs.matrix ~exp:"ablation" ~powers:[ rf ]
+      (C.setting H.Nvp :: C.sweep_empty_bit :: C.setting H.Nvsram
+       :: List.map degradation_setting degradation_bumps)
+      C.subset_names
+  @ Jobs.matrix ~exp:"ablation"
+      ~powers:[ Jobs.harvested ~v_min:1.8 Trace.Rf_office ]
+      [ vmin_deep ] C.subset_names
+  (* inlining study: its own benchmark set *)
+  @ Jobs.matrix ~exp:"ablation"
+      (C.setting H.Nvp :: List.map inline_setting inline_variants)
+      inline_benches
 
 let run_buffers () =
   Printf.printf "== Ablation — dual buffering (§3.3) ==\n";
@@ -24,12 +78,7 @@ let run_buffers () =
   in
   List.iter
     (fun count ->
-      let s =
-        C.setting
-          ~label:(Printf.sprintf "sweep/%db" count)
-          ~config:{ Config.default with buffer_count = count }
-          H.Sweep
-      in
+      let s = buffer_setting count in
       let effs =
         List.map
           (fun b ->
@@ -48,7 +97,7 @@ let run_vmin () =
   let t = Table.create [ "setting"; "geomean speedup (RFOffice)" ] in
   let trace = C.rf_office () in
   let std = C.sweep_empty_bit in
-  let deep = C.setting ~label:"sweep/vmin1.8" H.Sweep in
+  let deep = vmin_deep in
   Table.add_float_row t "Vmin 2.8"
     [
       C.geomean
@@ -93,16 +142,8 @@ let run_degradation () =
   in
   Table.add_float_row t "nominal" [ 1.0; nominal_outages ];
   List.iter
-    (fun (label, bump) ->
-      let det =
-        Detector.jit ~v_backup:(3.2 +. bump) ~v_restore:(3.4 +. bump)
-      in
-      let s =
-        C.setting
-          ~label:(Printf.sprintf "nvsram+%s" label)
-          ~config:(Config.with_detector Config.default det)
-          H.Nvsram
-      in
+    (fun ((label, _) as bump) ->
+      let s = degradation_setting bump in
       let slowed =
         Sweep_util.Stats.mean
           (List.map
@@ -117,8 +158,7 @@ let run_degradation () =
              C.subset_names)
       in
       Table.add_float_row t label [ slowed /. nominal; outages ])
-    (* Bumps keep the restore threshold under Vmax = 3.5. *)
-    [ ("+20%", 0.04); ("+40%", 0.08) ];
+    degradation_bumps;
   Table.print t;
   print_newline ()
 
@@ -128,9 +168,8 @@ let run_unroll () =
     Table.create [ "setting"; "geomean speedup (no outage)"; "avg region size" ]
   in
   List.iter
-    (fun (label, unroll) ->
-      let options = Pipeline.options ~unroll () in
-      let s = C.setting ~label ~options H.Sweep in
+    (fun ((label, _) as variant) ->
+      let s = unroll_setting variant in
       let sizes =
         List.map
           (fun b ->
@@ -141,7 +180,7 @@ let run_unroll () =
       in
       Table.add_float_row t label
         [ geo_speed s; Sweep_util.Stats.mean sizes ])
-    [ ("unroll on", true); ("unroll off", false) ];
+    unroll_variants;
   Table.print t;
   print_newline ()
 
@@ -152,13 +191,10 @@ let run_inline () =
     Table.create
       [ "setting"; "geomean speedup (no outage)"; "dynamic regions" ]
   in
-  (* Call-heavy benchmarks gain the most: every call costs entry/exit
-     boundaries. *)
-  let benches = [ "pegwitenc"; "rijndaelenc"; "basicmath"; "jpegenc"; "sha" ] in
+  let benches = inline_benches in
   List.iter
-    (fun (label, inline) ->
-      let options = Pipeline.options ~inline () in
-      let s = C.setting ~label ~options H.Sweep in
+    (fun ((label, _) as variant) ->
+      let s = inline_setting variant in
       let regions =
         List.map
           (fun b ->
@@ -173,7 +209,7 @@ let run_inline () =
             (List.map (C.speedup s ~power:Sweep_sim.Driver.Unlimited) benches);
           Sweep_util.Stats.mean regions;
         ])
-    [ ("inline off", false); ("inline on", true) ];
+    inline_variants;
   Table.print t;
   print_newline ()
 

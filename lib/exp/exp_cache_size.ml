@@ -3,9 +3,24 @@
 module H = Sweep_sim.Harness
 module C = Exp_common
 module Config = Sweep_machine.Config
+module Trace = Sweep_energy.Power_trace
 module Table = Sweep_util.Table
 
 let sizes = [ 512; 1024; 2048; 4096; 8192; 16384 ]
+
+let mk size design label =
+  C.setting ~label:(Printf.sprintf "%s@%d" label size)
+    ~config:(Config.with_cache Config.default ~size)
+    design
+
+let settings_for size =
+  [ mk size H.Replay "replay"; mk size H.Nvsram "nvsram"; mk size H.Sweep "sweep" ]
+
+let jobs () =
+  Jobs.matrix ~exp:"fig8"
+    ~powers:[ Jobs.harvested Trace.Rf_office ]
+    (C.setting H.Nvp :: List.concat_map settings_for sizes)
+    C.subset_names
 
 let run () =
   Printf.printf
@@ -14,20 +29,11 @@ let run () =
   let t = Table.create [ "cache"; "ReplayCache"; "NVSRAM"; "SweepCache" ] in
   List.iter
     (fun size ->
-      let mk design label =
-        C.setting ~label:(Printf.sprintf "%s@%d" label size)
-          ~config:(Config.with_cache Config.default ~size)
-          design
-      in
       let speed s = C.geomean (List.map (C.speedup s ~power) C.subset_names) in
       Table.add_float_row t
         (if size >= 1024 then Printf.sprintf "%dkB" (size / 1024)
          else Printf.sprintf "%dB" size)
-        [
-          speed (mk H.Replay "replay");
-          speed (mk H.Nvsram "nvsram");
-          speed (mk H.Sweep "sweep");
-        ])
+        (List.map speed (settings_for size)))
     sizes;
   Table.print t;
   print_newline ()

@@ -5,6 +5,7 @@ module H = Sweep_sim.Harness
 module C = Exp_common
 module Table = Sweep_util.Table
 module Driver = Sweep_sim.Driver
+module Trace = Sweep_energy.Power_trace
 
 let caps = [ 100e-9; 470e-9; 1e-6; 10e-6; 100e-6; 1e-3 ]
 
@@ -20,6 +21,17 @@ let settings =
     C.setting H.Nvsram;
     C.sweep_empty_bit;
   ]
+
+(* Both tables sweep the same settings × capacitors × subset matrix on
+   the RFOffice trace (NVP rows double as Fig. 9's speedup baseline). *)
+let rf_office_powers =
+  List.map (fun farads -> Jobs.harvested ~farads Trace.Rf_office) caps
+
+let jobs_for exp =
+  Jobs.matrix ~exp ~powers:rf_office_powers settings C.subset_names
+
+let jobs_table2 () = jobs_for "tab2"
+let jobs_fig9 () = jobs_for "fig9"
 
 let avg_outages s farads =
   let power = C.power ~farads (C.rf_office ()) in

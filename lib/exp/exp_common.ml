@@ -26,15 +26,25 @@ let sweep_empty_bit = setting ~label:"Sweep/EmptyBit" H.Sweep
 let fig5_settings =
   [ setting H.Replay; setting H.Nvsram; sweep_nvm_search; sweep_empty_bit ]
 
+(* Traces are memoised behind a mutex: [Trace.t] is immutable once
+   built, so sharing one instance across domains is safe; the lock only
+   guards the table itself.  The executor pre-materialises every trace a
+   job list needs before spawning workers, so workers normally hit the
+   table read-only. *)
+let trace_lock = Mutex.create ()
 let trace_cache : (Trace.kind, Trace.t) Hashtbl.t = Hashtbl.create 4
 
 let trace_of kind =
-  match Hashtbl.find_opt trace_cache kind with
-  | Some t -> t
-  | None ->
-    let t = Trace.make kind in
-    Hashtbl.replace trace_cache kind t;
-    t
+  Mutex.lock trace_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock trace_lock)
+    (fun () ->
+      match Hashtbl.find_opt trace_cache kind with
+      | Some t -> t
+      | None ->
+        let t = Trace.make kind in
+        Hashtbl.replace trace_cache kind t;
+        t)
 
 let rf_office () = trace_of Trace.Rf_office
 let rf_home () = trace_of Trace.Rf_home
@@ -57,38 +67,48 @@ let power_key = function
       (Trace.kind_name (Trace.kind trace))
       capacitor_farads v_max v_min
 
-type summary = {
+let key_of ~label ~design ~power ~bench ~scale =
+  Printf.sprintf "%s|%s|%s|%s|%g" label design power bench scale
+
+let run_key ?(scale = 1.0) s ~power bench =
+  key_of ~label:s.label ~design:(H.design_name s.design)
+    ~power:(power_key power) ~bench ~scale
+
+type summary = Results.summary = {
   outcome : Driver.outcome;
   mstats : Sweep_machine.Mstats.t;
   miss_rate : float;
   nvm_writes : int;
 }
 
-let cache : (string, summary) Hashtbl.t = Hashtbl.create 256
+let compute ?(scale = 1.0) s ~power bench =
+  let w = Sweep_workloads.Registry.find bench in
+  let ast = Sweep_workloads.Workload.program ~scale w in
+  let r = H.run ~config:s.config ~options:s.options s.design ~power ast in
+  {
+    outcome = r.H.outcome;
+    mstats = H.mstats r;
+    miss_rate = H.cache_miss_rate r;
+    nvm_writes = H.nvm_writes r;
+  }
 
 let run ?(scale = 1.0) s ~power bench =
-  let key =
-    Printf.sprintf "%s|%s|%s|%s|%g" s.label (H.design_name s.design)
-      (power_key power) bench scale
-  in
-  match Hashtbl.find_opt cache key with
+  let key = run_key ~scale s ~power bench in
+  match Results.find key with
   | Some r -> r
   | None ->
-    let w = Sweep_workloads.Registry.find bench in
-    let ast = Sweep_workloads.Workload.program ~scale w in
-    let r =
-      H.run ~config:s.config ~options:s.options s.design ~power ast
-    in
-    let summary =
-      {
-        outcome = r.H.outcome;
-        mstats = H.mstats r;
-        miss_rate = H.cache_miss_rate r;
-        nvm_writes = H.nvm_writes r;
-      }
-    in
-    Hashtbl.replace cache key summary;
-    summary
+    let t0 = Unix.gettimeofday () in
+    let summary = compute ~scale s ~power bench in
+    let elapsed_s = Unix.gettimeofday () -. t0 in
+    let stored = Results.add ~key summary in
+    if stored == summary then
+      Results.emit
+        ~exp:(Results.current_experiment ())
+        ~key
+        ~design:(H.design_name s.design)
+        ~label:s.label ~power:(power_key power) ~bench ~scale ~elapsed_s
+        summary;
+    stored
 
 let total r = Driver.total_ns r.outcome
 

@@ -32,7 +32,8 @@ val fig5_settings : setting list
 val rf_office : unit -> Sweep_energy.Power_trace.t
 val rf_home : unit -> Sweep_energy.Power_trace.t
 val trace_of : Sweep_energy.Power_trace.kind -> Sweep_energy.Power_trace.t
-(** Traces are memoised — every experiment sees identical power. *)
+(** Traces are memoised (behind a mutex — safe to call from worker
+    domains) — every experiment sees identical power. *)
 
 val power : ?farads:float -> Sweep_energy.Power_trace.t -> Sweep_sim.Driver.power
 (** Harvested power with the paper's default 470 nF capacitor. *)
@@ -45,15 +46,40 @@ val subset_names : string list
     multi-dimensional sweeps (capacitor/cache-size/propagation) to keep
     the harness runtime sane; printed in each affected table's header. *)
 
-type summary = {
+val power_key : Sweep_sim.Driver.power -> string
+(** Canonical identity of a power environment (trace kind, capacitor,
+    thresholds) — the power component of {!run_key}. *)
+
+val key_of :
+  label:string ->
+  design:string ->
+  power:string ->
+  bench:string ->
+  scale:float ->
+  string
+(** The canonical job key: ["label|design|power|bench|scale"].  {!Jobs}
+    builds the same string from a declarative job description, so
+    pre-executed jobs are found by the render-time {!run} calls. *)
+
+val run_key :
+  ?scale:float -> setting -> power:Sweep_sim.Driver.power -> string -> string
+
+type summary = Results.summary = {
   outcome : Sweep_sim.Driver.outcome;
   mstats : Sweep_machine.Mstats.t;
   miss_rate : float;
   nvm_writes : int;
 }
-(** What the experiments keep from a run.  The full machine (with its
-    16 MB NVM image) is dropped immediately — hundreds of cached runs
-    would otherwise exhaust memory. *)
+(** What the experiments keep from a run (see {!Results.summary}). *)
+
+val compute :
+  ?scale:float ->
+  setting ->
+  power:Sweep_sim.Driver.power ->
+  string ->
+  summary
+(** Run one benchmark under one setting, bypassing the results store —
+    the pure function the executor's worker domains evaluate. *)
 
 val run :
   ?scale:float ->
@@ -61,9 +87,9 @@ val run :
   power:Sweep_sim.Driver.power ->
   string ->
   summary
-(** Run one benchmark under one setting; summaries are memoised on
-    (setting label, design, power identity, benchmark, scale) so that
-    e.g. Fig. 6 and Table 2 share NVP runs. *)
+(** Like {!compute} but memoised through {!Results} on {!run_key}, so
+    that e.g. Fig. 6 and Table 2 share NVP runs, and so that tables
+    render from summaries the parallel executor already computed. *)
 
 val nvp_time : ?scale:float -> power:Sweep_sim.Driver.power -> string -> float
 (** Total (on+off) ns of the NVP baseline for the benchmark. *)

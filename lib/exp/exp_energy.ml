@@ -4,6 +4,7 @@
 module H = Sweep_sim.Harness
 module C = Exp_common
 module Driver = Sweep_sim.Driver
+module Trace = Sweep_energy.Power_trace
 module Table = Sweep_util.Table
 
 let settings =
@@ -13,6 +14,12 @@ let settings =
     C.setting H.Nvmr;
     C.sweep_empty_bit;
   ]
+
+let jobs () =
+  Jobs.matrix ~exp:"fig13"
+    ~powers:[ Jobs.harvested Trace.Rf_office ]
+    (C.setting H.Nvp :: settings)
+    C.subset_names
 
 let run () =
   Printf.printf

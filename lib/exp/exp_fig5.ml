@@ -8,6 +8,12 @@ module Table = Sweep_util.Table
 let suite_of name =
   (Sweep_workloads.Registry.find name).Sweep_workloads.Workload.suite
 
+(* The NVP baseline is implicit in every speedup column, so the job
+   matrix carries it explicitly. *)
+let settings_with_baseline = C.setting H.Nvp :: C.fig5_settings
+
+let jobs () = Jobs.matrix ~exp:"fig5" settings_with_baseline C.all_names
+
 let print_speedup_table ~title ~power ?(names = C.all_names) settings =
   Printf.printf "== %s ==\n" title;
   let t =

@@ -3,6 +3,9 @@
 module Table = Sweep_util.Table
 module Layout = Sweep_isa.Layout
 
+(* Pure configuration arithmetic — no simulations to schedule. *)
+let jobs () : Jobs.t list = []
+
 let run () =
   Printf.printf "== §6.9 — SweepCache hardware costs (4 kB cache) ==\n";
   let cfg = Sweep_machine.Config.default in

@@ -6,6 +6,13 @@ module C = Exp_common
 module Pipeline = Sweep_compiler.Pipeline
 module Table = Sweep_util.Table
 
+(* Static counts are recompiled at render time (cheap); the dynamic
+   counts come from the results store. *)
+let jobs () =
+  Jobs.matrix ~exp:"icount"
+    [ C.setting H.Nvp; C.setting H.Sweep; C.setting H.Replay ]
+    C.all_names
+
 let run () =
   Printf.printf "== §6.5 — instruction counts ==\n";
   let t =

@@ -13,6 +13,13 @@ let settings =
     C.sweep_empty_bit;
   ]
 
+let trace_kinds = [ Trace.Rf_office; Trace.Rf_home; Trace.Solar; Trace.Thermal ]
+
+let jobs () =
+  Jobs.matrix ~exp:"fig15"
+    ~powers:(List.map Jobs.harvested trace_kinds)
+    settings C.subset_names
+
 let run () =
   Printf.printf
     "== Fig. 15 — cache miss rate (%%) across power traces (470 nF, subset) ==\n";
@@ -28,6 +35,6 @@ let run () =
                   (fun b -> 100.0 *. (C.run s ~power b).C.miss_rate)
                   C.subset_names))
            settings))
-    [ Trace.Rf_office; Trace.Rf_home; Trace.Solar; Trace.Thermal ];
+    trace_kinds;
   Table.print t;
   print_newline ()

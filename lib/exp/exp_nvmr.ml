@@ -3,9 +3,16 @@
 module H = Sweep_sim.Harness
 module C = Exp_common
 module Driver = Sweep_sim.Driver
+module Trace = Sweep_energy.Power_trace
 module Table = Sweep_util.Table
 
 let caps = [ 470e-9; 1e-6; 2e-6; 5e-6; 10e-6; 100e-6; 1e-3 ]
+
+let jobs () =
+  Jobs.matrix ~exp:"fig14"
+    ~powers:(List.map (fun farads -> Jobs.harvested ~farads Trace.Rf_office) caps)
+    [ C.setting H.Nvp; C.setting H.Nvmr; C.sweep_empty_bit ]
+    C.subset_names
 
 let run () =
   Printf.printf

@@ -13,6 +13,13 @@ let settings =
     C.sweep_empty_bit;
   ]
 
+let trace_kinds = [ Trace.Rf_office; Trace.Rf_home; Trace.Solar; Trace.Thermal ]
+
+let jobs () =
+  Jobs.matrix ~exp:"fig16"
+    ~powers:(List.map Jobs.harvested trace_kinds)
+    settings C.subset_names
+
 let run () =
   Printf.printf
     "== Fig. 16 — NVM writes normalised to NVSRAM, across traces (470 nF, subset) ==\n";
@@ -29,6 +36,6 @@ let run () =
       let base = writes (C.setting H.Nvsram) in
       Table.add_float_row t (Trace.kind_name kind)
         (List.map (fun s -> writes s /. base) settings))
-    [ Trace.Rf_office; Trace.Rf_home; Trace.Solar; Trace.Thermal ];
+    trace_kinds;
   Table.print t;
   print_newline ()

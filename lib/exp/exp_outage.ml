@@ -3,6 +3,14 @@
 module C = Exp_common
 module Trace = Sweep_energy.Power_trace
 
+let jobs_kind exp kind =
+  Jobs.matrix ~exp
+    ~powers:[ Jobs.harvested kind ]
+    Exp_fig5.settings_with_baseline C.all_names
+
+let jobs_rfhome () = jobs_kind "fig6" Trace.Rf_home
+let jobs_rfoffice () = jobs_kind "fig7" Trace.Rf_office
+
 let run_kind kind fig =
   let trace = C.trace_of kind in
   Exp_fig5.print_speedup_table

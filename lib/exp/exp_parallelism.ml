@@ -4,7 +4,15 @@ module H = Sweep_sim.Harness
 module C = Exp_common
 module Mstats = Sweep_machine.Mstats
 module Sweepcache = Sweepcache_core.Sweepcache
+module Trace = Sweep_energy.Power_trace
 module Table = Sweep_util.Table
+
+(* The §4.4 avg-fill column drives a concrete SweepCache instance and is
+   computed at render time; everything else reads the results store. *)
+let jobs () =
+  Jobs.matrix ~exp:"par"
+    ~powers:[ Jobs.unlimited; Jobs.harvested Trace.Rf_office ]
+    [ C.sweep_empty_bit ] C.all_names
 
 let efficiency bench ~power =
   Mstats.parallelism_efficiency (C.run C.sweep_empty_bit ~power bench).C.mstats

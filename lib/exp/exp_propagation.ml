@@ -6,6 +6,7 @@ module H = Sweep_sim.Harness
 module C = Exp_common
 module Config = Sweep_machine.Config
 module Detector = Sweep_energy.Detector
+module Trace = Sweep_energy.Power_trace
 module Table = Sweep_util.Table
 
 let caps = [ 100e-9; 470e-9; 1e-6; 10e-6; 100e-6; 1e-3 ]
@@ -14,6 +15,45 @@ let bench_subset = [ "adpcmdec"; "sha"; "susans"; "fft"; "blowfishenc" ]
 
 let jit_with_delays ~v_backup ~v_restore ~t_phl_ns ~t_plh_ns =
   Detector.with_delays (Detector.jit ~v_backup ~v_restore) ~t_phl_ns ~t_plh_ns
+
+(* (a) SweepCache slowed to the JIT propagation delays. *)
+let settings_a =
+  let slow_sweep_det =
+    Detector.with_delays (Detector.sweep ~v_restore:3.3) ~t_phl_ns:1_500.0
+      ~t_plh_ns:10_300.0
+  in
+  [
+    C.setting H.Replay;
+    C.setting H.Nvsram;
+    C.setting ~label:"Sweep(slow det.)"
+      ~config:(Config.with_detector Config.default slow_sweep_det)
+      H.Sweep;
+    C.sweep_empty_bit;
+  ]
+
+(* (b) JIT designs sped up to the fastest published delays. *)
+let settings_b =
+  let fast_replay = jit_with_delays ~v_backup:2.9 ~v_restore:3.2
+      ~t_phl_ns:500.0 ~t_plh_ns:3_000.0
+  in
+  let fast_nvsram = jit_with_delays ~v_backup:3.2 ~v_restore:3.4
+      ~t_phl_ns:500.0 ~t_plh_ns:3_000.0
+  in
+  [
+    C.setting ~label:"Replay(fast det.)"
+      ~config:(Config.with_detector Config.default fast_replay)
+      H.Replay;
+    C.setting ~label:"NVSRAM(fast det.)"
+      ~config:(Config.with_detector Config.default fast_nvsram)
+      H.Nvsram;
+    C.sweep_empty_bit;
+  ]
+
+let jobs () =
+  Jobs.matrix ~exp:"fig11"
+    ~powers:(List.map (fun farads -> Jobs.harvested ~farads Trace.Rf_office) caps)
+    (C.setting H.Nvp :: (settings_a @ settings_b))
+    bench_subset
 
 let speed_at s farads =
   let power = C.power ~farads (C.rf_office ()) in
@@ -31,36 +71,9 @@ let print_setting_table title settings =
   print_newline ()
 
 let run () =
-  (* (a) SweepCache slowed to the JIT propagation delays. *)
-  let slow_sweep_det =
-    Detector.with_delays (Detector.sweep ~v_restore:3.3) ~t_phl_ns:1_500.0
-      ~t_plh_ns:10_300.0
-  in
   print_setting_table
     "== Fig. 11(a) — SweepCache's propagation delay set to the JIT designs' =="
-    [
-      C.setting H.Replay;
-      C.setting H.Nvsram;
-      C.setting ~label:"Sweep(slow det.)"
-        ~config:(Config.with_detector Config.default slow_sweep_det)
-        H.Sweep;
-      C.sweep_empty_bit;
-    ];
-  (* (b) JIT designs sped up to the fastest published delays. *)
-  let fast_replay = jit_with_delays ~v_backup:2.9 ~v_restore:3.2
-      ~t_phl_ns:500.0 ~t_plh_ns:3_000.0
-  in
-  let fast_nvsram = jit_with_delays ~v_backup:3.2 ~v_restore:3.4
-      ~t_phl_ns:500.0 ~t_plh_ns:3_000.0
-  in
+    settings_a;
   print_setting_table
     "== Fig. 11(b) — JIT designs' propagation delay reduced to 0.5/3.0 us =="
-    [
-      C.setting ~label:"Replay(fast det.)"
-        ~config:(Config.with_detector Config.default fast_replay)
-        H.Replay;
-      C.setting ~label:"NVSRAM(fast det.)"
-        ~config:(Config.with_detector Config.default fast_nvsram)
-        H.Nvsram;
-      C.sweep_empty_bit;
-    ]
+    settings_b

@@ -7,6 +7,24 @@ module Mstats = Sweep_machine.Mstats
 module Pipeline = Sweep_compiler.Pipeline
 module Table = Sweep_util.Table
 
+let thresholds = [ 32; 64; 128; 256 ]
+
+let threshold_setting threshold =
+  let options = Pipeline.options ~store_threshold:threshold () in
+  let config =
+    { Sweep_machine.Config.default with buffer_entries = threshold }
+  in
+  C.setting ~label:(Printf.sprintf "sweep@%d" threshold) ~config ~options
+    H.Sweep
+
+let jobs_fig12 () =
+  Jobs.matrix ~exp:"fig12" [ C.sweep_empty_bit ] C.all_names
+
+let jobs_threshold () =
+  Jobs.matrix ~exp:"threshold"
+    (C.setting H.Nvp :: List.map threshold_setting thresholds)
+    C.subset_names
+
 let merged_histograms () =
   let size_acc = Array.make 513 0 in
   let store_acc = Array.make 129 0 in
@@ -60,14 +78,7 @@ let run_threshold () =
   in
   List.iter
     (fun threshold ->
-      let options = Pipeline.options ~store_threshold:threshold () in
-      let config =
-        { Sweep_machine.Config.default with buffer_entries = threshold }
-      in
-      let s =
-        C.setting ~label:(Printf.sprintf "sweep@%d" threshold) ~config ~options
-          H.Sweep
-      in
+      let s = threshold_setting threshold in
       let stores = ref [] and sizes = ref [] and speeds = ref [] in
       List.iter
         (fun bench ->
@@ -83,6 +94,6 @@ let run_threshold () =
           Sweep_util.Stats.mean !sizes;
           C.geomean !speeds;
         ])
-    [ 32; 64; 128; 256 ];
+    thresholds;
   Table.print t;
   print_newline ()

@@ -2,6 +2,9 @@
 module Table = Sweep_util.Table
 module E = Sweep_energy.Energy_config
 
+(* Pure configuration printout — no simulations to schedule. *)
+let jobs () : Jobs.t list = []
+
 let run () =
   Printf.printf "== Table 1 — simulation configuration ==\n";
   let e = E.default in

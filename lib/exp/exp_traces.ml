@@ -6,6 +6,14 @@ module Table = Sweep_util.Table
 
 let settings = [ C.setting H.Replay; C.setting H.Nvsram; C.sweep_empty_bit ]
 
+let trace_kinds = [ Trace.Rf_office; Trace.Rf_home; Trace.Solar; Trace.Thermal ]
+
+let jobs () =
+  Jobs.matrix ~exp:"fig10"
+    ~powers:(List.map Jobs.harvested trace_kinds)
+    (C.setting H.Nvp :: settings)
+    C.subset_names
+
 let run () =
   Printf.printf
     "== Fig. 10 — speedups over NVP across power traces (470 nF, subset) ==\n";
@@ -17,6 +25,6 @@ let run () =
         (List.map
            (fun s -> C.geomean (List.map (C.speedup s ~power) C.subset_names))
            settings))
-    [ Trace.Rf_office; Trace.Rf_home; Trace.Solar; Trace.Thermal ];
+    trace_kinds;
   Table.print t;
   print_newline ()

@@ -1,0 +1,66 @@
+module H = Sweep_sim.Harness
+module Driver = Sweep_sim.Driver
+module Trace = Sweep_energy.Power_trace
+
+type power_spec =
+  | Unlimited
+  | Harvested of {
+      kind : Trace.kind;
+      farads : float;
+      v_max : float;
+      v_min : float;
+    }
+
+let unlimited = Unlimited
+
+(* Defaults mirror Driver.harvested / Exp_common.power so a spec and the
+   Driver.power a render function builds by hand produce the same key. *)
+let harvested ?(farads = 470e-9) ?(v_max = 3.5) ?(v_min = 2.8) kind =
+  Harvested { kind; farads; v_max; v_min }
+
+let power_id = function
+  | Unlimited -> "unlimited"
+  | Harvested { kind; farads; v_max; v_min } ->
+    Printf.sprintf "%s/%g/%g/%g" (Trace.kind_name kind) farads v_max v_min
+
+let to_power = function
+  | Unlimited -> Driver.Unlimited
+  | Harvested { kind; farads; v_max; v_min } ->
+    Driver.harvested ~v_max ~v_min ~trace:(Exp_common.trace_of kind) ~farads ()
+
+type t = {
+  exp : string;
+  setting : Exp_common.setting;
+  power : power_spec;
+  bench : string;
+  scale : float;
+}
+
+let job ~exp ?(scale = 1.0) setting ~power bench =
+  { exp; setting; power; bench; scale }
+
+let key j =
+  Exp_common.key_of ~label:j.setting.Exp_common.label
+    ~design:(H.design_name j.setting.Exp_common.design)
+    ~power:(power_id j.power) ~bench:j.bench ~scale:j.scale
+
+let matrix ~exp ?scale ?(powers = [ Unlimited ]) settings benches =
+  List.concat_map
+    (fun power ->
+      List.concat_map
+        (fun setting ->
+          List.map (fun bench -> job ~exp ?scale setting ~power bench) benches)
+        settings)
+    powers
+
+let dedup jobs =
+  let seen = Hashtbl.create (List.length jobs) in
+  List.filter
+    (fun j ->
+      let k = key j in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.replace seen k ();
+        true
+      end)
+    jobs

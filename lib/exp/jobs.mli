@@ -1,0 +1,70 @@
+(** Declarative job descriptions for the experiment stack.
+
+    A job is a pure description of one simulation — (setting, power
+    spec, benchmark, scale) plus the experiment that declared it — with
+    a canonical key matching {!Exp_common.run_key}.  Experiment modules
+    declare their workload × design × environment matrices as job lists;
+    {!Executor} deduplicates and evaluates them on a domain pool, and
+    the render phase then reads every summary from {!Results} without
+    launching a single simulation. *)
+
+type power_spec =
+  | Unlimited
+  | Harvested of {
+      kind : Sweep_energy.Power_trace.kind;
+      farads : float;
+      v_max : float;
+      v_min : float;
+    }
+(** Power environment by value rather than by trace instance, so a job
+    list can be built, keyed and deduplicated without materialising any
+    60-second trace. *)
+
+val unlimited : power_spec
+
+val harvested :
+  ?farads:float ->
+  ?v_max:float ->
+  ?v_min:float ->
+  Sweep_energy.Power_trace.kind ->
+  power_spec
+(** Defaults (470 nF, 3.5 V / 2.8 V) match {!Exp_common.power} and
+    {!Sweep_sim.Driver.harvested}, so declarative jobs and render-time
+    power values share keys. *)
+
+val power_id : power_spec -> string
+(** Equals {!Exp_common.power_key} of {!to_power} of the spec. *)
+
+val to_power : power_spec -> Sweep_sim.Driver.power
+(** Materialises the trace through {!Exp_common.trace_of} (memoised,
+    mutex-guarded). *)
+
+type t = {
+  exp : string;    (** experiment id owning the JSONL line, e.g. "fig5" *)
+  setting : Exp_common.setting;
+  power : power_spec;
+  bench : string;
+  scale : float;
+}
+
+val job :
+  exp:string -> ?scale:float -> Exp_common.setting -> power:power_spec ->
+  string -> t
+
+val key : t -> string
+(** Canonical key — identical to the {!Exp_common.run_key} the render
+    phase computes for the same (setting, power, bench, scale). *)
+
+val matrix :
+  exp:string ->
+  ?scale:float ->
+  ?powers:power_spec list ->
+  Exp_common.setting list ->
+  string list ->
+  t list
+(** Cross product powers × settings × benches (powers default to
+    [[Unlimited]]). *)
+
+val dedup : t list -> t list
+(** Drop jobs whose key already appeared earlier in the list (first
+    occurrence wins — its [exp] tag owns the JSONL line). *)

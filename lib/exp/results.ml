@@ -1,0 +1,130 @@
+module Driver = Sweep_sim.Driver
+module Mstats = Sweep_machine.Mstats
+
+type summary = {
+  outcome : Driver.outcome;
+  mstats : Mstats.t;
+  miss_rate : float;
+  nvm_writes : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The store.  One global keyed table shared by the sequential render
+   path (Exp_common.run) and the parallel executor; every access takes
+   [lock].  Insertion keeps the first value so callers can rely on
+   physical equality of repeated lookups. *)
+
+let lock = Mutex.create ()
+let table : (string, summary) Hashtbl.t = Hashtbl.create 256
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let find key = with_lock (fun () -> Hashtbl.find_opt table key)
+
+let add ~key summary =
+  with_lock (fun () ->
+      match Hashtbl.find_opt table key with
+      | Some existing -> existing
+      | None ->
+        Hashtbl.replace table key summary;
+        summary)
+
+let mem key = with_lock (fun () -> Hashtbl.mem table key)
+let size () = with_lock (fun () -> Hashtbl.length table)
+let clear () = with_lock (fun () -> Hashtbl.reset table)
+
+let snapshot () =
+  with_lock (fun () ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+      |> List.sort (fun (a, _) (b, _) -> compare a b))
+
+(* ------------------------------------------------------------------ *)
+(* JSONL sink.  Disabled until a directory is configured; each executed
+   job then appends one line to <dir>/<experiment>.jsonl.  Appends are
+   serialised by [io_lock] and use open/write/close per line so
+   concurrent domains never interleave partial lines. *)
+
+let io_lock = Mutex.create ()
+let sink_dir = ref None
+let current_exp = ref "adhoc"
+
+let set_dir dir = Mutex.lock io_lock; sink_dir := dir; Mutex.unlock io_lock
+let dir () = !sink_dir
+
+let set_current_experiment name =
+  Mutex.lock io_lock;
+  current_exp := name;
+  Mutex.unlock io_lock
+
+let current_experiment () = !current_exp
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_line ~exp ~key ~design ~label ~power ~bench ~scale ~elapsed_s s =
+  let o = s.outcome in
+  let st = s.mstats in
+  Printf.sprintf
+    "{\"experiment\":\"%s\",\"key\":\"%s\",\"design\":\"%s\",\"label\":\"%s\",\
+     \"power\":\"%s\",\"bench\":\"%s\",\"scale\":%g,\
+     \"completed\":%b,\"on_ns\":%.17g,\"off_ns\":%.17g,\
+     \"outages\":%d,\"deaths\":%d,\"backups\":%d,\"failed_backups\":%d,\
+     \"compute_joules\":%.17g,\"backup_joules\":%.17g,\
+     \"restore_joules\":%.17g,\"quiescent_joules\":%.17g,\
+     \"instructions\":%d,\"loads\":%d,\"stores\":%d,\"regions\":%d,\
+     \"buffer_searches\":%d,\"buffer_bypasses\":%d,\"buffer_hits\":%d,\
+     \"parallelism_eff\":%.17g,\
+     \"miss_rate\":%.17g,\"nvm_writes\":%d,\"elapsed_s\":%.6f}"
+    (json_escape exp) (json_escape key) (json_escape design)
+    (json_escape label) (json_escape power) (json_escape bench) scale
+    o.Driver.completed o.Driver.on_ns o.Driver.off_ns o.Driver.outages
+    o.Driver.deaths o.Driver.backups o.Driver.failed_backups
+    o.Driver.compute_joules o.Driver.backup_joules o.Driver.restore_joules
+    o.Driver.quiescent_joules o.Driver.instructions st.Mstats.loads
+    st.Mstats.stores st.Mstats.regions st.Mstats.buffer_searches
+    st.Mstats.buffer_bypasses st.Mstats.buffer_hits
+    (Mstats.parallelism_efficiency st)
+    s.miss_rate s.nvm_writes elapsed_s
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
+  then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let emit ~exp ~key ~design ~label ~power ~bench ~scale ~elapsed_s summary =
+  match !sink_dir with
+  | None -> ()
+  | Some dir ->
+    let line =
+      json_line ~exp ~key ~design ~label ~power ~bench ~scale ~elapsed_s
+        summary
+    in
+    Mutex.lock io_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock io_lock)
+      (fun () ->
+        mkdir_p dir;
+        let path = Filename.concat dir (exp ^ ".jsonl") in
+        let oc =
+          open_out_gen [ Open_append; Open_creat ] 0o644 path
+        in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc line;
+            output_char oc '\n'))

@@ -1,0 +1,67 @@
+(** Structured results store for the experiment stack.
+
+    Every simulation the harness executes — whether through the parallel
+    {!Executor} or the sequential render-time path in
+    {!Exp_common.run} — lands here, keyed by the job's canonical key
+    (see {!Jobs.key}).  The store is a mutex-guarded hashtable, safe to
+    populate from multiple domains; insertion keeps the first value so
+    repeated lookups return the same physical summary.
+
+    Alongside the in-memory store, an optional JSONL sink appends one
+    machine-readable line per executed job to
+    [<dir>/<experiment>.jsonl], giving the repo a perf trajectory that
+    scripts can consume without scraping ASCII tables. *)
+
+type summary = {
+  outcome : Sweep_sim.Driver.outcome;
+  mstats : Sweep_machine.Mstats.t;
+  miss_rate : float;
+  nvm_writes : int;
+}
+(** What the experiments keep from a run.  The full machine (with its
+    16 MB NVM image) is dropped immediately — hundreds of cached runs
+    would otherwise exhaust memory. *)
+
+val find : string -> summary option
+
+val add : key:string -> summary -> summary
+(** [add ~key s] inserts [s] unless the key is already present and
+    returns the stored summary (the existing one on a duplicate). *)
+
+val mem : string -> bool
+val size : unit -> int
+
+val clear : unit -> unit
+(** Empty the store (tests; long-lived sessions re-sweeping). *)
+
+val snapshot : unit -> (string * summary) list
+(** All entries, sorted by key — the determinism tests compare the
+    snapshots of a [-j 1] and a [-j 4] execution. *)
+
+(** {2 JSONL sink} *)
+
+val set_dir : string option -> unit
+(** [set_dir (Some dir)] enables the sink; [None] (the default)
+    disables it. *)
+
+val dir : unit -> string option
+
+val set_current_experiment : string -> unit
+(** Names the experiment whose render phase is running, so summaries
+    computed lazily at render time are attributed to the right file. *)
+
+val current_experiment : unit -> string
+
+val emit :
+  exp:string ->
+  key:string ->
+  design:string ->
+  label:string ->
+  power:string ->
+  bench:string ->
+  scale:float ->
+  elapsed_s:float ->
+  summary ->
+  unit
+(** Append one JSON line for an executed job (no-op when the sink is
+    disabled).  Lines are whole-line atomic across domains. *)

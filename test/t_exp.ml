@@ -1,8 +1,14 @@
-(* Experiment-harness tests: registry integrity, caching, and that the
-   cheap experiments print without raising. *)
+(* Experiment-harness tests: registry integrity, caching, the job
+   layer's key/dedup semantics, executor determinism across worker
+   counts, the JSONL sink, and that the cheap experiments print without
+   raising. *)
 module C = Sweep_exp.Exp_common
 module Experiments = Sweep_exp.Experiments
+module Jobs = Sweep_exp.Jobs
+module Executor = Sweep_exp.Executor
+module Results = Sweep_exp.Results
 module H = Sweep_sim.Harness
+module Trace = Sweep_energy.Power_trace
 
 let check = Alcotest.check
 
@@ -56,6 +62,115 @@ let test_cheap_experiments_print () =
       Sweep_exp.Exp_tab1.run ();
       Sweep_exp.Exp_hwcost.run ())
 
+(* ---- job layer ---- *)
+
+let test_job_key_matches_run_key () =
+  (* A declaratively-built job and the render-time lookup must agree on
+     the key, or the render phase re-simulates everything. *)
+  let s = C.setting H.Sweep in
+  List.iter
+    (fun spec ->
+      let j = Jobs.job ~exp:"t" ~scale:0.25 s ~power:spec "sha" in
+      check Alcotest.string "key bridge" (Jobs.key j)
+        (C.run_key ~scale:0.25 s ~power:(Jobs.to_power spec) "sha"))
+    [ Jobs.unlimited; Jobs.harvested Trace.Rf_office;
+      Jobs.harvested ~farads:100e-9 ~v_min:1.8 Trace.Solar ]
+
+let test_power_id_matches_power_key () =
+  List.iter
+    (fun spec ->
+      check Alcotest.string "power bridge" (Jobs.power_id spec)
+        (C.power_key (Jobs.to_power spec)))
+    [ Jobs.unlimited; Jobs.harvested Trace.Rf_home;
+      Jobs.harvested ~farads:4.7e-6 Trace.Thermal ]
+
+let test_matrix_shape () =
+  let settings = [ C.setting H.Nvp; C.sweep_empty_bit ] in
+  let powers = [ Jobs.unlimited; Jobs.harvested Trace.Rf_office ] in
+  let m = Jobs.matrix ~exp:"t" ~powers settings [ "sha"; "dijkstra" ] in
+  check Alcotest.int "cross product" (2 * 2 * 2) (List.length m)
+
+let test_dedup_drops_duplicates () =
+  let s = C.setting H.Nvp in
+  let a = Jobs.job ~exp:"first" s ~power:Jobs.unlimited "sha" in
+  let b = Jobs.job ~exp:"second" s ~power:Jobs.unlimited "sha" in
+  let c = Jobs.job ~exp:"first" s ~power:Jobs.unlimited "dijkstra" in
+  let d = Jobs.dedup [ a; b; c; b ] in
+  check Alcotest.int "two unique keys" 2 (List.length d);
+  (* first occurrence wins, so its exp tag owns the JSONL line *)
+  check Alcotest.string "first exp kept" "first" (List.hd d).Jobs.exp;
+  check Alcotest.string "order kept" (Jobs.key c) (Jobs.key (List.nth d 1))
+
+let small_matrix () =
+  Jobs.matrix ~exp:"t" ~scale:0.05
+    [ C.setting H.Nvp; C.setting H.Wt; C.sweep_empty_bit ]
+    [ "sha"; "dijkstra" ]
+
+let test_executor_determinism () =
+  (* The store contents must be independent of worker count: run the
+     same matrix at -j 1 and -j 4 and compare full snapshots. *)
+  let snap workers =
+    Results.clear ();
+    Executor.execute ~workers (small_matrix ());
+    Results.snapshot ()
+  in
+  let seq = snap 1 and par = snap 4 in
+  check Alcotest.int "store size" (List.length seq) (List.length par);
+  List.iter2
+    (fun (k1, s1) (k2, s2) ->
+      check Alcotest.string "same keys" k1 k2;
+      Alcotest.(check bool) ("equal summary for " ^ k1) true (s1 = s2))
+    seq par
+
+let test_executor_skips_cached () =
+  Results.clear ();
+  Executor.execute ~workers:2 (small_matrix ());
+  let before = Results.snapshot () in
+  Executor.execute ~workers:2 (small_matrix ());
+  let after = Results.snapshot () in
+  check Alcotest.int "no growth" (List.length before) (List.length after);
+  (* keep-first: the stored summaries are the same physical objects *)
+  List.iter2
+    (fun (_, s1) (_, s2) ->
+      Alcotest.(check bool) "physically cached" true (s1 == s2))
+    before after
+
+let test_jsonl_sink () =
+  let dir = Filename.temp_file "sweepexp" ".d" in
+  Sys.remove dir;
+  Results.set_dir (Some dir);
+  Results.clear ();
+  let jobs = small_matrix () in
+  Fun.protect
+    ~finally:(fun () -> Results.set_dir None)
+    (fun () -> Executor.execute ~workers:2 jobs);
+  let file = Filename.concat dir "t.jsonl" in
+  Alcotest.(check bool) "file exists" true (Sys.file_exists file);
+  let ic = open_in file in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  check Alcotest.int "one line per job" (List.length jobs)
+    (List.length !lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "looks like a JSON object" true
+        (String.length l > 2 && l.[0] = '{' && l.[String.length l - 1] = '}');
+      Alcotest.(check bool) "has key field" true
+        (let re = {|"key":|} in
+         let rec find i =
+           i + String.length re <= String.length l
+           && (String.sub l i (String.length re) = re || find (i + 1))
+         in
+         find 0))
+    !lines;
+  List.iter (fun l -> Sys.remove (Filename.concat dir l))
+    (Array.to_list (Sys.readdir dir));
+  Unix.rmdir dir
+
 let suite =
   [
     Alcotest.test_case "experiment names unique" `Quick test_registry_unique_names;
@@ -65,4 +180,15 @@ let suite =
     Alcotest.test_case "speedup positive" `Quick test_speedup_positive;
     Alcotest.test_case "setting labels" `Quick test_settings_labels_distinct;
     Alcotest.test_case "tab1/hwcost print" `Quick test_cheap_experiments_print;
+    Alcotest.test_case "job key matches run key" `Quick
+      test_job_key_matches_run_key;
+    Alcotest.test_case "power id matches power key" `Quick
+      test_power_id_matches_power_key;
+    Alcotest.test_case "matrix shape" `Quick test_matrix_shape;
+    Alcotest.test_case "dedup" `Quick test_dedup_drops_duplicates;
+    Alcotest.test_case "executor determinism j1=j4" `Slow
+      test_executor_determinism;
+    Alcotest.test_case "executor skips cached" `Slow
+      test_executor_skips_cached;
+    Alcotest.test_case "jsonl sink" `Slow test_jsonl_sink;
   ]
