@@ -72,7 +72,18 @@ let micro_tests () =
              (Sweep_sim.Harness.run Sweep_sim.Harness.Sweep
                 ~power:Sweep_sim.Driver.Unlimited ast)))
   in
-  [ cache_ops; buffer_ops; compile_quickstart; sim_step ]
+  let obs_disabled =
+    (* The cost of an instrumentation site when no sink is installed:
+       must stay a single branch (the zero-overhead claim in DESIGN.md). *)
+    Test.make ~name:"obs:emit-disabled"
+      (Staged.stage (fun () ->
+           for i = 0 to 999 do
+             if Sweep_obs.Sink.on () then
+               Sweep_obs.Sink.emit ~ns:(float_of_int i)
+                 (Sweep_obs.Event.Cache_miss { addr = i; write = false })
+           done))
+  in
+  [ cache_ops; buffer_ops; compile_quickstart; sim_step; obs_disabled ]
 
 let run_micro () =
   let open Bechamel in

@@ -25,8 +25,10 @@ let list_experiments () =
         (if e.Experiments.heavy then " [heavy]" else ""))
     Experiments.all
 
-let main names j results_dir no_jsonl =
+let main names j results_dir no_jsonl metrics progress =
   Executor.set_workers j;
+  Executor.set_progress progress;
+  if metrics then Sweep_obs.Metrics.set_enabled true;
   Results.set_dir (if no_jsonl then None else Some results_dir);
   match names with
   | [ "list" ] ->
@@ -64,6 +66,11 @@ let main names j results_dir no_jsonl =
       2
     | Ok experiments ->
       Experiments.run_many experiments;
+      if metrics then begin
+        print_newline ();
+        print_string
+          (Sweep_obs.Metrics.render (Sweep_obs.Metrics.snapshot ()))
+      end;
       0)
 
 let names_arg =
@@ -88,10 +95,22 @@ let no_jsonl_arg =
   Arg.(value & flag
        & info [ "no-jsonl" ] ~doc:"Disable the JSONL results sink.")
 
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Enable the metrics registry (sim.*, driver.*, exp.* \
+                 series) and dump it after the run.")
+
+let progress_arg =
+  Arg.(value & flag
+       & info [ "progress" ]
+           ~doc:"Print a [k/n] line to stderr as each job finishes.")
+
 let cmd =
   let doc = "regenerate the SweepCache paper's tables and figures" in
   let term =
-    Term.(const main $ names_arg $ jobs_arg $ results_dir_arg $ no_jsonl_arg)
+    Term.(const main $ names_arg $ jobs_arg $ results_dir_arg $ no_jsonl_arg
+          $ metrics_arg $ progress_arg)
   in
   Cmd.v (Cmd.info "sweepexp" ~doc) term
 

@@ -15,6 +15,8 @@ module Mstats = Sweep_machine.Mstats
 module Table = Sweep_util.Table
 module C = Sweep_exp.Exp_common
 module Results = Sweep_exp.Results
+module Executor = Sweep_exp.Executor
+module Obs = Sweep_obs
 
 let design_assoc =
   [
@@ -30,31 +32,6 @@ let trace_assoc =
     ("none", None);
   ]
 
-(* Parallel map across the selected designs; cell order is preserved so
-   the printed table is identical at any -j. *)
-let pmap ~j f xs =
-  let n = List.length xs in
-  if j <= 1 || n <= 1 then List.map f xs
-  else begin
-    let arr = Array.of_list xs in
-    let out = Array.make n None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          out.(i) <- Some (f arr.(i));
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let spawned = List.init (min j n - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join spawned;
-    Array.to_list (Array.map Option.get out)
-  end
-
 let run_one bench design power config scale verify =
   let w = Sweep_workloads.Registry.find bench in
   let ast = Sweep_workloads.Workload.program ~scale w in
@@ -64,6 +41,8 @@ let run_one bench design power config scale verify =
   let o = r.H.outcome in
   let st = H.mstats r in
   let design_name = H.design_name design in
+  if Obs.Metrics.enabled () then
+    Mstats.publish ~labels:[ ("design", design_name); ("bench", bench) ] st;
   let summary =
     {
       C.outcome = o;
@@ -100,8 +79,24 @@ let run_one bench design power config scale verify =
       verified;
     ] )
 
+let parse_trace_filter spec =
+  match spec with
+  | None -> []
+  | Some spec ->
+    String.split_on_char ',' spec
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun s ->
+           match Obs.Event.category_of_name (String.lowercase_ascii s) with
+           | Some c -> c
+           | None ->
+             Printf.eprintf
+               "unknown trace category %S; available: %s\n" s
+               (String.concat ", "
+                  (List.map Obs.Event.category_name Obs.Event.all_categories));
+             exit 2)
+
 let main bench designs trace cap scale cache_size nvm_search verify j
-    results_dir =
+    results_dir trace_out trace_filter metrics =
   (match Sweep_workloads.Registry.find bench with
   | exception Not_found ->
     Printf.eprintf "unknown workload %S; available:\n  %s\n" bench
@@ -109,6 +104,8 @@ let main bench designs trace cap scale cache_size nvm_search verify j
     exit 2
   | _ -> ());
   Results.set_dir results_dir;
+  if metrics then Obs.Metrics.set_enabled true;
+  let filter = parse_trace_filter trace_filter in
   let power =
     match trace with
     | None -> Driver.Unlimited
@@ -125,11 +122,42 @@ let main bench designs trace cap scale cache_size nvm_search verify j
         "energy uJ"; "miss %"; "regions"; "eff %"; "check";
       ]
   in
+  (* Tracing puts every design on the same simulated-ns timeline, so the
+     runs must be sequential to keep the trace legible. *)
+  let j =
+    match trace_out with
+    | Some _ when j > 1 ->
+      Printf.eprintf "sweepsim: --trace forces -j 1\n";
+      1
+    | _ -> j
+  in
+  if Option.is_some trace_out && List.length designs > 1 then
+    Printf.eprintf
+      "sweepsim: tracing %d designs onto one timeline; pass -d to isolate \
+       one\n"
+      (List.length designs);
+  let run_all () =
+    Executor.map ~workers:j
+      (fun d -> run_one bench d power config scale verify)
+      designs
+  in
   let rows =
-    pmap ~j (fun d -> run_one bench d power config scale verify) designs
+    match trace_out with
+    | None -> run_all ()
+    | Some path ->
+      let sink =
+        Obs.Chrome_trace.create
+          ?filter:(match filter with [] -> None | f -> Some f)
+          path
+      in
+      let rows = Obs.Sink.with_sink sink run_all in
+      Printf.eprintf "trace written to %s (load in ui.perfetto.dev)\n" path;
+      rows
   in
   List.iter (fun (_, row) -> Table.add_row t row) rows;
   Table.print t;
+  if metrics then
+    print_string (Obs.Metrics.render (Obs.Metrics.snapshot ()));
   (* --verify regressions must fail the process so CI can catch them. *)
   if List.for_all fst rows then 0 else 1
 
@@ -168,7 +196,7 @@ let trace_arg =
             (match t with Some k -> Trace.kind_name k | None -> "none") )
   in
   Arg.(value & opt trace_conv (Some Trace.Rf_office)
-       & info [ "t"; "trace" ] ~docv:"TRACE"
+       & info [ "t"; "power-trace" ] ~docv:"TRACE"
            ~doc:"Power trace: rfoffice, rfhome, solar, thermal, or none \
                  (continuous power).")
 
@@ -205,18 +233,36 @@ let results_dir_arg =
        & info [ "results-dir" ] ~docv:"DIR"
            ~doc:"Append one JSON line per design run to DIR/sweepsim.jsonl.")
 
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event / Perfetto JSON timeline of the \
+                 run to FILE (open it at ui.perfetto.dev).  Forces -j 1.")
+
+let trace_filter_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-filter" ] ~docv:"CATS"
+           ~doc:"Comma-separated event categories to keep in the trace: \
+                 region, buffer, cache, power, exec, job.  Default: all.")
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Enable the metrics registry and print it after the table \
+                 (counters labelled by design and bench).")
+
 let cmd =
   let doc = "simulate a workload on an intermittent-computing architecture" in
   let term =
     Term.(
       const (fun bench design all trace cap scale cache nvm_search verify j
-                 results_dir ->
+                 results_dir trace_out trace_filter metrics ->
           let designs = if all then H.all_designs else design in
           main bench designs trace cap scale cache nvm_search verify j
-            results_dir)
+            results_dir trace_out trace_filter metrics)
       $ bench_arg $ designs_arg $ all_designs_arg $ trace_arg $ cap_arg
       $ scale_arg $ cache_arg $ nvm_search_arg $ verify_arg $ jobs_arg
-      $ results_dir_arg)
+      $ results_dir_arg $ trace_out_arg $ trace_filter_arg $ metrics_arg)
   in
   Cmd.v (Cmd.info "sweepsim" ~doc) term
 

@@ -201,7 +201,14 @@ let mem_ops t =
 let step t ~now_ns = Exec.step t.cfg t.cpu t.prog t.stats (mem_ops t) ~now_ns
 
 let jit_backup_cost t = Some (epoch_commit_cost t)
-let commit_jit_backup t ~now_ns:_ = epoch_commit t
+let commit_jit_backup t ~now_ns =
+  epoch_commit t;
+  if Sweep_obs.Sink.on () then begin
+    let lines =
+      match t.shadow with Some { lines; _ } -> List.length lines | None -> 0
+    in
+    Sweep_obs.Sink.emit ~ns:now_ns (Sweep_obs.Event.Backup_lines { lines })
+  end
 let continues_after_backup = true
 
 let on_power_failure t ~now_ns:_ =

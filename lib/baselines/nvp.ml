@@ -73,10 +73,14 @@ let on_power_failure t ~now_ns:_ =
   Cpu.reset t.cpu ~entry:t.prog.entry;
   Mstats.reset_region_counters t.stats
 
-let on_reboot t ~now_ns:_ =
+let on_reboot t ~now_ns =
   (match t.shadow with
   | Some snap -> Cpu.restore t.cpu snap
   | None -> Cpu.reset t.cpu ~entry:t.prog.entry);
+  if Sweep_obs.Sink.on () then
+    Sweep_obs.Sink.emit ~ns:now_ns
+      (Sweep_obs.Event.Mark
+         { name = "restore regs"; cat = Sweep_obs.Event.Power });
   let cost = Jit_common.reg_restore (e t) in
   t.stats.Mstats.restore_events <- t.stats.Mstats.restore_events + 1;
   t.stats.Mstats.restore_joules <- t.stats.Mstats.restore_joules +. cost.Cost.joules;

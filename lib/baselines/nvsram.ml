@@ -155,12 +155,15 @@ struct
         Jit_common.reg_backup (e t)
         ++ Jit_common.lines_backup (e t) ~parallel:t.cfg.Cfg.nvsram_parallel n)
 
-  let commit_jit_backup t ~now_ns:_ =
+  let commit_jit_backup t ~now_ns =
     let regs, pc = Cpu.snapshot t.cpu in
     let lines = lines_to_save t in
     (* The nonvolatile counterpart is NVM: its backup writes count. *)
     Nvm.add_external_writes t.nvm ~events:(List.length lines)
       ~bytes:(List.length lines * Layout.line_bytes);
+    if Sweep_obs.Sink.on () then
+      Sweep_obs.Sink.emit ~ns:now_ns
+        (Sweep_obs.Event.Backup_lines { lines = List.length lines });
     t.shadow <- Some { regs; pc; lines }
 
   let continues_after_backup = false

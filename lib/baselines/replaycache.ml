@@ -199,7 +199,7 @@ let on_power_failure t ~now_ns =
   Cpu.reset t.cpu ~entry:t.prog.entry;
   Mstats.reset_region_counters t.stats
 
-let on_reboot t ~now_ns:_ =
+let on_reboot t ~now_ns =
   let replayed = ref (List.length t.pending) in
   t.pending <- [];
   t.queue_tail <- 0.0;
@@ -224,6 +224,9 @@ let on_reboot t ~now_ns:_ =
   in
   t.stats.Mstats.restore_events <- t.stats.Mstats.restore_events + 1;
   t.stats.Mstats.restore_joules <- t.stats.Mstats.restore_joules +. cost.Cost.joules;
+  if Sweep_obs.Sink.on () then
+    Sweep_obs.Sink.emit ~ns:now_ns
+      (Sweep_obs.Event.Replay { stores = !replayed });
   cost
 
 let drain t ~now_ns =

@@ -1,3 +1,5 @@
+module Metrics = Sweep_obs.Metrics
+
 type t = {
   capacity : int;
   mutable newest_first : (int * int array) list;
@@ -6,6 +8,14 @@ type t = {
 }
 
 exception Overflow
+
+(* Registry instruments are registered once at module init and stay
+   valid across Metrics.reset; updates only happen when metrics are
+   enabled, so the default cost is one branch per push. *)
+let m_pushes = Metrics.counter "pbuf.pushes"
+let m_overflows = Metrics.counter "pbuf.overflows"
+let m_searches = Metrics.counter "pbuf.searches"
+let m_peak = Metrics.gauge "pbuf.peak"
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Persist_buffer.create";
@@ -16,12 +26,20 @@ let count t = t.count
 let is_empty t = t.count = 0
 
 let push t ~base ~data =
-  if t.count >= t.capacity then raise Overflow;
+  if t.count >= t.capacity then begin
+    if Metrics.enabled () then Metrics.inc m_overflows;
+    raise Overflow
+  end;
   t.newest_first <- (base, Array.copy data) :: t.newest_first;
   t.count <- t.count + 1;
-  if t.count > t.peak then t.peak <- t.count
+  if t.count > t.peak then t.peak <- t.count;
+  if Metrics.enabled () then begin
+    Metrics.inc m_pushes;
+    Metrics.set_max m_peak (float_of_int t.peak)
+  end
 
 let search t base =
+  if Metrics.enabled () then Metrics.inc m_searches;
   let rec scan n = function
     | [] -> None
     | (b, data) :: rest ->

@@ -7,6 +7,8 @@ module Nvm = Sweep_mem.Nvm
 module Cache = Sweep_mem.Cache
 module E = Sweep_energy.Energy_config
 module Layout = Sweep_isa.Layout
+module Sink = Sweep_obs.Sink
+module Ev = Sweep_obs.Event
 
 let name = "SweepCache"
 
@@ -23,6 +25,7 @@ type buf = {
   mutable p1_end : float;
   mutable p2_end : float;
   mutable pending_clean : int list;  (* line bases to mark clean at p1_end *)
+  mutable fill_start : float;     (* when this buffer last became Filling *)
 }
 
 type t = {
@@ -54,10 +57,12 @@ let create cfg prog =
           p1_end = 0.0;
           p2_end = 0.0;
           pending_clean = [];
+          fill_start = 0.0;
         })
   in
   bufs.(0).state <- Filling;
   bufs.(0).seq <- 1;
+  if Sink.on () then Sink.emit ~ns:0.0 (Ev.Region_begin { seq = 1; buf = 0 });
   let detector =
     match cfg.Cfg.detector_override with
     | Some d -> d
@@ -146,7 +151,6 @@ let stall_until_phase1 t buf now =
 (* Fetch a line image for a miss: consult the persist buffers before NVM
    (§4.4), honouring the empty-bit policy.  Returns data and cost. *)
 let fetch_line t base now =
-  ignore now;
   let cfg = t.cfg in
   let searchable buf =
     match cfg.Cfg.search with
@@ -173,17 +177,25 @@ let fetch_line t base now =
       ~ns:(float_of_int scanned *. (e t).E.buffer_search_ns)
       ~joules:(float_of_int scanned *. (e t).E.e_buffer_search)
   in
-  let rec consult searched_any cost = function
+  let rec consult searched_any scanned_acc cost = function
     | [] ->
-      if searched_any then t.stats.Mstats.buffer_searches <- t.stats.Mstats.buffer_searches + 1
-      else t.stats.Mstats.buffer_bypasses <- t.stats.Mstats.buffer_bypasses + 1;
+      if searched_any then begin
+        t.stats.Mstats.buffer_searches <- t.stats.Mstats.buffer_searches + 1;
+        if Sink.on () then
+          Sink.emit ~ns:now
+            (Ev.Buffer_search { scanned = scanned_acc; hit = false })
+      end
+      else begin
+        t.stats.Mstats.buffer_bypasses <- t.stats.Mstats.buffer_bypasses + 1;
+        if Sink.on () then Sink.emit ~ns:now Ev.Buffer_bypass
+      end;
       let data = Nvm.read_line t.nvm base in
       let nvm_cost =
         Cost.make ~ns:(e t).E.nvm_read_ns ~joules:(e t).E.e_nvm_read
       in
       (data, Cost.(cost ++ nvm_cost))
     | buf :: rest ->
-      if not (searchable buf) then consult searched_any cost rest
+      if not (searchable buf) then consult searched_any scanned_acc cost rest
       else begin
         (* Even an unsuccessful sequential probe of an empty buffer costs
            one slot check in Nvm_search mode. *)
@@ -191,13 +203,18 @@ let fetch_line t base now =
         | Some (data, scanned) ->
           t.stats.Mstats.buffer_searches <- t.stats.Mstats.buffer_searches + 1;
           t.stats.Mstats.buffer_hits <- t.stats.Mstats.buffer_hits + 1;
+          if Sink.on () then
+            Sink.emit ~ns:now
+              (Ev.Buffer_search { scanned = scanned_acc + scanned; hit = true });
           (Array.copy data, Cost.(cost ++ search_cost scanned))
         | None ->
           let scanned = max 1 (Persist_buffer.count buf.pb) in
-          consult true Cost.(cost ++ search_cost scanned) rest
+          consult true (scanned_acc + scanned)
+            Cost.(cost ++ search_cost scanned)
+            rest
       end
   in
-  consult false Cost.zero order
+  consult false 0 Cost.zero order
 
 (* Make room for a fill: handle the victim line.  Prior-region dirty
    victims wait for their flush (then leave cleanly); current-region
@@ -221,6 +238,8 @@ let evict_for t addr now =
     else begin
       Persist_buffer.push (active_buf t).pb ~base:victim.Cache.base
         ~data:victim.Cache.data;
+      if Sink.on () then
+        Sink.emit ~ns:now (Ev.Cache_writeback { base = victim.Cache.base });
       (* The buffer is NVM-resident: this write-back is an NVM write. *)
       Nvm.add_external_writes t.nvm ~events:1 ~bytes:Layout.line_bytes;
       let peak = Persist_buffer.peak (active_buf t).pb in
@@ -246,6 +265,7 @@ let load t addr now =
     (Cache.read_word line addr, cache_hit_cost t)
   | None ->
     Cache.record_miss t.cache;
+    if Sink.on () then Sink.emit ~ns:now (Ev.Cache_miss { addr; write = false });
     let evict_cost, now = evict_for t addr now in
     let base = Layout.line_base addr in
     let data, fetch_cost = fetch_line t base now in
@@ -276,6 +296,9 @@ let store t addr value now =
         | Some prior when prior.state = Phase1 ->
           let c = stall_until_phase1 t prior now in
           t.stats.Mstats.waw_stall_ns <- t.stats.Mstats.waw_stall_ns +. c.Cost.ns;
+          if Sink.on () then
+            Sink.emit ~ns:now
+              (Ev.Waw_stall { seq = line.Cache.dirty_region; ns = c.Cost.ns });
           c
         | Some _ | None ->
           sync t now;
@@ -289,6 +312,7 @@ let store t addr value now =
     Cost.(waw_cost ++ cache_hit_cost t)
   | None ->
     Cache.record_miss t.cache;
+    if Sink.on () then Sink.emit ~ns:now (Ev.Cache_miss { addr; write = true });
     let evict_cost, now = evict_for t addr now in
     let base = Layout.line_base addr in
     let data, fetch_cost = fetch_line t base now in
@@ -350,9 +374,45 @@ let region_end t now =
   in
   t.stats.Mstats.wait_ns <- t.stats.Mstats.wait_ns +. stall_ns;
   assert (next.state = Idle);
+  if Sink.on () then begin
+    let cur_idx = t.active in
+    Sink.emit ~ns:now (Ev.Region_end { seq = cur.seq; buf = cur_idx });
+    Sink.emit ~ns:now
+      (Ev.Buf_phase
+         {
+           buf = cur_idx;
+           seq = cur.seq;
+           phase = Ev.Fill;
+           start_ns = cur.fill_start;
+           end_ns = now;
+         });
+    Sink.emit ~ns:now
+      (Ev.Buf_phase
+         {
+           buf = cur_idx;
+           seq = cur.seq;
+           phase = Ev.Flush;
+           start_ns = dma_start;
+           end_ns = p1_end;
+         });
+    Sink.emit ~ns:now
+      (Ev.Buf_phase
+         {
+           buf = cur_idx;
+           seq = cur.seq;
+           phase = Ev.Drain;
+           start_ns = p1_end;
+           end_ns = p2_end;
+         });
+    if stall_ns > 0.0 then
+      Sink.emit ~ns:now (Ev.Buf_wait { buf = next_idx; ns = stall_ns });
+    Sink.emit ~ns:(now +. stall_ns)
+      (Ev.Region_begin { seq = t.region_seq + 1; buf = next_idx })
+  end;
   t.region_seq <- t.region_seq + 1;
   next.state <- Filling;
   next.seq <- t.region_seq;
+  next.fill_start <- now +. stall_ns;
   t.active <- next_idx;
   Cost.make ~ns:stall_ns ~joules:background_joules
 
@@ -374,6 +434,11 @@ let continues_after_backup = false
 
 let on_power_failure t ~now_ns =
   sync t now_ns;
+  (* Close the interrupted region's span: it will re-execute under a new
+     sequence number after reboot. *)
+  if Sink.on () then
+    Sink.emit ~ns:now_ns
+      (Ev.Region_end { seq = (active_buf t).seq; buf = t.active });
   Cache.invalidate_all t.cache;
   Wbi_table.clear t.wbi;
   Cpu.reset t.cpu ~entry:t.prog.entry;
@@ -398,6 +463,13 @@ let on_reboot t ~now_ns =
       (match buf.state with
       | Phase2 when not !discarding ->
         let n = Persist_buffer.count buf.pb in
+        if Sink.on () then
+          Sink.emit ~ns:now_ns
+            (Ev.Mark
+               {
+                 name = Printf.sprintf "redo seq %d (%d lines)" buf.seq n;
+                 cat = Sweep_obs.Event.Buffer;
+               });
         apply_entries t buf;
         redo_cost :=
           Cost.(
@@ -407,6 +479,15 @@ let on_reboot t ~now_ns =
                  ~joules:(float_of_int n *. (e t).E.e_dma_line))
       | Phase2 | Phase1 | Filling | Idle ->
         discarding := true;
+        if Sink.on () && Persist_buffer.count buf.pb > 0 then
+          Sink.emit ~ns:now_ns
+            (Ev.Mark
+               {
+                 name =
+                   Printf.sprintf "discard seq %d (%d lines)" buf.seq
+                     (Persist_buffer.count buf.pb);
+                 cat = Sweep_obs.Event.Buffer;
+               });
         Persist_buffer.clear buf.pb);
       buf.state <- Idle;
       buf.seq <- -1;
@@ -432,10 +513,17 @@ let on_reboot t ~now_ns =
   t.region_seq <- t.region_seq + 1;
   t.bufs.(0).state <- Filling;
   t.bufs.(0).seq <- t.region_seq;
+  t.bufs.(0).fill_start <- now_ns +. total.Cost.ns;
   t.active <- 0;
+  if Sink.on () then
+    Sink.emit ~ns:(now_ns +. total.Cost.ns)
+      (Ev.Region_begin { seq = t.region_seq; buf = 0 });
   total
 
 let drain t ~now_ns =
+  if Sink.on () then
+    Sink.emit ~ns:now_ns
+      (Ev.Region_end { seq = (active_buf t).seq; buf = t.active });
   let finish = max now_ns t.dma_free in
   sync t finish;
   Cost.make ~ns:(finish -. now_ns) ~joules:0.0

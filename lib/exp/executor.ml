@@ -1,4 +1,7 @@
 module H = Sweep_sim.Harness
+module Sink = Sweep_obs.Sink
+module Ev = Sweep_obs.Event
+module Metrics = Sweep_obs.Metrics
 
 (* Worker count is process-global configuration (the -j flag), read at
    execute time.  1 means fully sequential: no domain is spawned, which
@@ -8,9 +11,42 @@ let default_workers = ref (Domain.recommended_domain_count ())
 let set_workers n = default_workers := max 1 n
 let workers () = !default_workers
 
+let progress_enabled = ref false
+let set_progress b = progress_enabled := b
+
+(* Wall-clock origin for Job_start/Job_done timestamps: simulation events
+   carry simulated ns, executor events carry host ns since process
+   start — the Chrome sink keeps them on separate process tracks. *)
+let epoch_s = Unix.gettimeofday ()
+let wall_ns () = (Unix.gettimeofday () -. epoch_s) *. 1.0e9
+
+let m_jobs_run = Metrics.counter "exp.jobs_run"
+let m_jobs_cached = Metrics.counter "exp.jobs_cached"
+
+let m_job_elapsed =
+  Metrics.histogram "exp.job_elapsed_s"
+    ~buckets:[| 0.01; 0.05; 0.1; 0.5; 1.0; 5.0; 10.0; 60.0 |]
+
+let progress_lock = Mutex.create ()
+let progress_done = ref 0
+let progress_total = ref 0
+
+let note_progress key elapsed_s =
+  if !progress_enabled then begin
+    Mutex.lock progress_lock;
+    incr progress_done;
+    Printf.eprintf "[%d/%d] %s (%.2fs)\n%!" !progress_done !progress_total key
+      elapsed_s;
+    Mutex.unlock progress_lock
+  end
+
 let run_job j =
   let key = Jobs.key j in
-  if not (Results.mem key) then begin
+  if Results.mem key then begin
+    if Metrics.enabled () then Metrics.inc m_jobs_cached
+  end
+  else begin
+    if Sink.on () then Sink.emit ~ns:(wall_ns ()) (Ev.Job_start { key });
     let power = Jobs.to_power j.Jobs.power in
     let t0 = Unix.gettimeofday () in
     let summary =
@@ -18,6 +54,13 @@ let run_job j =
         j.Jobs.bench
     in
     let elapsed_s = Unix.gettimeofday () -. t0 in
+    if Sink.on () then
+      Sink.emit ~ns:(wall_ns ()) (Ev.Job_done { key; elapsed_s });
+    if Metrics.enabled () then begin
+      Metrics.inc m_jobs_run;
+      Metrics.observe m_job_elapsed elapsed_s
+    end;
+    note_progress key elapsed_s;
     let stored = Results.add ~key summary in
     if stored == summary then
       Results.emit ~exp:j.Jobs.exp ~key
@@ -27,36 +70,29 @@ let run_job j =
         ~bench:j.Jobs.bench ~scale:j.Jobs.scale ~elapsed_s summary
   end
 
-let execute ?workers:w jobs =
-  let w = match w with Some w -> max 1 w | None -> !default_workers in
-  let pending =
-    List.filter (fun j -> not (Results.mem (Jobs.key j))) (Jobs.dedup jobs)
-  in
-  match pending with
-  | [] -> ()
-  | pending when w = 1 || List.length pending = 1 ->
-    List.iter run_job pending
-  | pending ->
-    (* Materialise every trace in the parent domain so workers share
-       read-only instances instead of racing to build them. *)
-    List.iter (fun j -> ignore (Jobs.to_power j.Jobs.power)) pending;
-    let arr = Array.of_list pending in
-    let n = Array.length arr in
+(* Shared worker pool: indices 0..n-1 pulled from an atomic cursor by
+   [w] domains (the calling domain is one of them).  If any worker
+   raises, the remaining indices still finish in the other workers and
+   the first exception is re-raised after the join. *)
+let pool_iter ~w n f =
+  if n <= 0 then ()
+  else if w <= 1 || n = 1 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
     let next = Atomic.make 0 in
     let worker () =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          run_job arr.(i);
+          f i;
           loop ()
         end
       in
       loop ()
     in
-    let spawned =
-      List.init (min w n - 1) (fun _ -> Domain.spawn worker)
-    in
-    (* The calling domain is the last worker. *)
+    let spawned = List.init (min w n - 1) (fun _ -> Domain.spawn worker) in
     let parent_error = try worker (); None with e -> Some e in
     let worker_error =
       List.fold_left
@@ -66,6 +102,35 @@ let execute ?workers:w jobs =
           | _ -> acc)
         None spawned
     in
-    (match (parent_error, worker_error) with
-     | Some e, _ | None, Some e -> raise e
-     | None, None -> ())
+    match (parent_error, worker_error) with
+    | Some e, _ | None, Some e -> raise e
+    | None, None -> ()
+  end
+
+let map ?workers:w f xs =
+  let w = match w with Some w -> max 1 w | None -> !default_workers in
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let out = Array.make n None in
+  pool_iter ~w n (fun i -> out.(i) <- Some (f arr.(i)));
+  Array.to_list out
+  |> List.map (function Some r -> r | None -> assert false)
+
+let execute ?workers:w jobs =
+  let w = match w with Some w -> max 1 w | None -> !default_workers in
+  let pending =
+    List.filter (fun j -> not (Results.mem (Jobs.key j))) (Jobs.dedup jobs)
+  in
+  Mutex.lock progress_lock;
+  progress_done := 0;
+  progress_total := List.length pending;
+  Mutex.unlock progress_lock;
+  match pending with
+  | [] -> ()
+  | pending ->
+    (* Materialise every trace in the parent domain so workers share
+       read-only instances instead of racing to build them. *)
+    if w > 1 && List.length pending > 1 then
+      List.iter (fun j -> ignore (Jobs.to_power j.Jobs.power)) pending;
+    let arr = Array.of_list pending in
+    pool_iter ~w (Array.length arr) (fun i -> run_job arr.(i))

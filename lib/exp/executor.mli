@@ -19,8 +19,20 @@ val set_workers : int -> unit
 val workers : unit -> int
 (** Current default (initially [Domain.recommended_domain_count ()]). *)
 
+val set_progress : bool -> unit
+(** When on, each finished job prints a "[k/n] key (elapsed)" line to
+    stderr (mutex-serialised across workers). *)
+
+val map : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map on the same domain pool as
+    {!execute}: results line up with inputs regardless of worker count.
+    [f] must be safe to call from multiple domains.  With 1 worker (or a
+    single element) no domain is spawned. *)
+
 val execute : ?workers:int -> Jobs.t list -> unit
 (** Populate {!Results} with every job's summary.  [workers] overrides
     the process default.  With 1 worker no domain is spawned.  If a
     worker raises (e.g. {!Sweep_sim.Driver.Stagnation}), the remaining
-    jobs still finish and the first exception is re-raised. *)
+    jobs still finish and the first exception is re-raised.  Each job
+    emits [Job_start]/[Job_done] events when a sink is installed and
+    bumps [exp.*] metrics when the registry is enabled. *)

@@ -85,6 +85,10 @@ let compute ?(scale = 1.0) s ~power bench =
   let w = Sweep_workloads.Registry.find bench in
   let ast = Sweep_workloads.Workload.program ~scale w in
   let r = H.run ~config:s.config ~options:s.options s.design ~power ast in
+  if Sweep_obs.Metrics.enabled () then
+    Sweep_machine.Mstats.publish
+      ~labels:[ ("design", H.design_name s.design); ("bench", bench) ]
+      (H.mstats r);
   {
     outcome = r.H.outcome;
     mstats = H.mstats r;

@@ -74,11 +74,24 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let json_line ~exp ~key ~design ~label ~power ~bench ~scale ~elapsed_s s =
+(* Bump when the line layout changes; consumers should check it before
+   parsing (see README "Results schema").  v2 added [schema_version] and
+   the [ts] emission timestamp. *)
+let schema_version = 2
+
+let iso8601 epoch_s =
+  let tm = Unix.gmtime epoch_s in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let json_line ?ts ~exp ~key ~design ~label ~power ~bench ~scale ~elapsed_s s =
   let o = s.outcome in
   let st = s.mstats in
+  let ts = match ts with Some t -> t | None -> Unix.gettimeofday () in
   Printf.sprintf
-    "{\"experiment\":\"%s\",\"key\":\"%s\",\"design\":\"%s\",\"label\":\"%s\",\
+    "{\"schema_version\":%d,\"ts\":\"%s\",\
+     \"experiment\":\"%s\",\"key\":\"%s\",\"design\":\"%s\",\"label\":\"%s\",\
      \"power\":\"%s\",\"bench\":\"%s\",\"scale\":%g,\
      \"completed\":%b,\"on_ns\":%.17g,\"off_ns\":%.17g,\
      \"outages\":%d,\"deaths\":%d,\"backups\":%d,\"failed_backups\":%d,\
@@ -88,6 +101,7 @@ let json_line ~exp ~key ~design ~label ~power ~bench ~scale ~elapsed_s s =
      \"buffer_searches\":%d,\"buffer_bypasses\":%d,\"buffer_hits\":%d,\
      \"parallelism_eff\":%.17g,\
      \"miss_rate\":%.17g,\"nvm_writes\":%d,\"elapsed_s\":%.6f}"
+    schema_version (iso8601 ts)
     (json_escape exp) (json_escape key) (json_escape design)
     (json_escape label) (json_escape power) (json_escape bench) scale
     o.Driver.completed o.Driver.on_ns o.Driver.off_ns o.Driver.outages

@@ -52,6 +52,28 @@ val set_current_experiment : string -> unit
 
 val current_experiment : unit -> string
 
+val schema_version : int
+(** Version tag stamped into every line ([schema_version] field).
+    Bumped whenever the layout changes; see README "Results schema". *)
+
+val iso8601 : float -> string
+(** UTC ISO-8601 rendering of a Unix epoch ([2026-08-05T12:00:00Z]). *)
+
+val json_line :
+  ?ts:float ->
+  exp:string ->
+  key:string ->
+  design:string ->
+  label:string ->
+  power:string ->
+  bench:string ->
+  scale:float ->
+  elapsed_s:float ->
+  summary ->
+  string
+(** The line {!emit} writes; [ts] (default now) is the emission time.
+    Exposed for the schema tests. *)
+
 val emit :
   exp:string ->
   key:string ->

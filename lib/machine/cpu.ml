@@ -1,8 +1,13 @@
+module Metrics = Sweep_obs.Metrics
+
 type t = {
   regs : int array;
   mutable pc : int;
   mutable halted : bool;
 }
+
+let m_resets = Metrics.counter "cpu.resets"
+let m_restores = Metrics.counter "cpu.restores"
 
 let create ~entry =
   { regs = Array.make Sweep_isa.Reg.count 0; pc = entry; halted = false }
@@ -10,11 +15,13 @@ let create ~entry =
 let reset t ~entry =
   Array.fill t.regs 0 (Array.length t.regs) 0;
   t.pc <- entry;
-  t.halted <- false
+  t.halted <- false;
+  if Metrics.enabled () then Metrics.inc m_resets
 
 let snapshot t = (Array.copy t.regs, t.pc)
 
 let restore t (regs, pc) =
   Array.blit regs 0 t.regs 0 (Array.length regs);
   t.pc <- pc;
-  t.halted <- false
+  t.halted <- false;
+  if Metrics.enabled () then Metrics.inc m_restores

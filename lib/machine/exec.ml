@@ -115,6 +115,8 @@ let step config (cpu : Cpu.t) (prog : Sweep_isa.Program.t) stats ops ~now_ns =
         Cost.zero
       | I.Halt ->
         cpu.halted <- true;
+        if Sweep_obs.Sink.on () then
+          Sweep_obs.Sink.emit ~ns:now_ns Sweep_obs.Event.Halt;
         Cost.zero
     in
     Cost.( ++ ) base

@@ -75,6 +75,32 @@ let parallelism_efficiency t =
   if t.persistence_ns <= 0.0 then 100.0
   else (t.persistence_ns -. t.wait_ns) /. t.persistence_ns *. 100.0
 
+module Metrics = Sweep_obs.Metrics
+
+(* Publish a run's counters into the global metrics registry.  Counters
+   accumulate across runs (an unlabelled publish from every job yields
+   whole-experiment totals); per-run quantities that do not sum land in
+   histograms.  Labels split the series (e.g. per design/bench from
+   sweepsim --metrics). *)
+let publish ?(labels = []) t =
+  let c name v = Metrics.add (Metrics.counter ~labels name) v in
+  c "sim.instructions" t.instructions;
+  c "sim.loads" t.loads;
+  c "sim.stores" t.stores;
+  c "sim.regions" t.regions;
+  c "sim.buffer_searches" t.buffer_searches;
+  c "sim.buffer_bypasses" t.buffer_bypasses;
+  c "sim.buffer_hits" t.buffer_hits;
+  c "sim.backup_events" t.backup_events;
+  c "sim.restore_events" t.restore_events;
+  c "sim.replayed_stores" t.replayed_stores;
+  Metrics.set_max (Metrics.gauge ~labels "sim.buffer_peak")
+    (float_of_int t.buffer_peak);
+  Metrics.observe
+    (Metrics.histogram ~labels "sim.parallelism_eff"
+       ~buckets:[| 20.0; 40.0; 60.0; 70.0; 80.0; 90.0; 95.0; 99.0; 100.0 |])
+    (parallelism_efficiency t)
+
 let hist_cdf hist =
   let total = Array.fold_left ( + ) 0 hist in
   if total = 0 then []

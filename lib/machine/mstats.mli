@@ -44,6 +44,11 @@ val reset_region_counters : t -> unit
 val parallelism_efficiency : t -> float
 (** ((ΣT_p − ΣT_wait) / ΣT_p) × 100; 100.0 when no persistence happened. *)
 
+val publish : ?labels:(string * string) list -> t -> unit
+(** Add this run's counters into the {!Sweep_obs.Metrics} registry
+    (prefix [sim.]); counters accumulate across runs, per-run ratios go
+    to histograms.  [labels] split the series. *)
+
 val hist_cdf : int array -> (int * float) list
 (** Cumulative distribution points (value, percent ≤ value) of a
     histogram, skipping empty prefix/suffix. *)

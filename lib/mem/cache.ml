@@ -120,8 +120,18 @@ let clean_all t =
       line.dirty <- false;
       line.dirty_region <- -1)
 
-let record_hit t = t.hits <- t.hits + 1
-let record_miss t = t.misses <- t.misses + 1
+module Metrics = Sweep_obs.Metrics
+
+let m_hits = Metrics.counter "cache.hits"
+let m_misses = Metrics.counter "cache.misses"
+
+let record_hit t =
+  t.hits <- t.hits + 1;
+  if Metrics.enabled () then Metrics.inc m_hits
+
+let record_miss t =
+  t.misses <- t.misses + 1;
+  if Metrics.enabled () then Metrics.inc m_misses
 let hits t = t.hits
 let misses t = t.misses
 let accesses t = t.hits + t.misses

@@ -1,0 +1,14 @@
+(** Chrome trace-event / Perfetto JSON sink.
+
+    Load the written file in [chrome://tracing] or {{:https://ui.perfetto.dev}ui.perfetto.dev}.
+    Renders the CPU (region spans, WAW/structural stalls, miss markers),
+    a power track (off spans, backup/restore markers), one track per
+    persist buffer (fill/flush/drain phase spans) and the capacitor
+    voltage as a counter, all on one timeline in simulated nanoseconds.
+    Executor job spans land in a second process grouped by worker
+    domain. *)
+
+val create : ?filter:Event.category list -> string -> Sink.t
+(** [create ?filter path] truncates/creates [path].  [filter] keeps
+    only the given categories ([None]/[[]] = everything).  The file is
+    valid JSON only after [close]. *)

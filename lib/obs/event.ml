@@ -1,0 +1,141 @@
+type category = Region | Buffer | Cache | Power | Exec | Job
+
+let category_name = function
+  | Region -> "region"
+  | Buffer -> "buffer"
+  | Cache -> "cache"
+  | Power -> "power"
+  | Exec -> "exec"
+  | Job -> "job"
+
+let category_of_name s =
+  match String.lowercase_ascii (String.trim s) with
+  | "region" -> Some Region
+  | "buffer" -> Some Buffer
+  | "cache" -> Some Cache
+  | "power" -> Some Power
+  | "exec" -> Some Exec
+  | "job" -> Some Job
+  | _ -> None
+
+let all_categories = [ Region; Buffer; Cache; Power; Exec; Job ]
+
+type phase = Fill | Flush | Drain
+
+let phase_index = function Fill -> 1 | Flush -> 2 | Drain -> 3
+let phase_name = function Fill -> "fill" | Flush -> "flush" | Drain -> "drain"
+
+type t =
+  | Region_begin of { seq : int; buf : int }
+  | Region_end of { seq : int; buf : int }
+  | Buf_phase of {
+      buf : int;
+      seq : int;
+      phase : phase;
+      start_ns : float;
+      end_ns : float;
+    }
+  | Buf_wait of { buf : int; ns : float }
+  | Waw_stall of { seq : int; ns : float }
+  | Buffer_search of { scanned : int; hit : bool }
+  | Buffer_bypass
+  | Cache_miss of { addr : int; write : bool }
+  | Cache_writeback of { base : int }
+  | Power_down of { volts : float }
+  | Death of { volts : float }
+  | Reboot of { outage : int }
+  | Backup of { ok : bool; joules : float }
+  | Backup_lines of { lines : int }
+  | Restore of { joules : float }
+  | Replay of { stores : int }
+  | Voltage of { volts : float }
+  | Halt
+  | Job_start of { key : string }
+  | Job_done of { key : string; elapsed_s : float }
+  | Mark of { name : string; cat : category }
+
+let category = function
+  | Region_begin _ | Region_end _ -> Region
+  | Buf_phase _ | Buf_wait _ | Waw_stall _ | Buffer_search _ | Buffer_bypass ->
+    Buffer
+  | Cache_miss _ | Cache_writeback _ -> Cache
+  | Power_down _ | Death _ | Reboot _ | Backup _ | Backup_lines _ | Restore _
+  | Replay _ | Voltage _ ->
+    Power
+  | Halt -> Exec
+  | Job_start _ | Job_done _ -> Job
+  | Mark { cat; _ } -> cat
+
+let name = function
+  | Region_begin { seq; _ } -> Printf.sprintf "region %d" seq
+  | Region_end { seq; _ } -> Printf.sprintf "region %d" seq
+  | Buf_phase { phase; seq; _ } ->
+    Printf.sprintf "%s r%d" (phase_name phase) seq
+  | Buf_wait { buf; _ } -> Printf.sprintf "wait buf%d" buf
+  | Waw_stall _ -> "waw stall"
+  | Buffer_search { hit = true; _ } -> "buffer hit"
+  | Buffer_search { hit = false; _ } -> "buffer search"
+  | Buffer_bypass -> "buffer bypass"
+  | Cache_miss { write = false; _ } -> "load miss"
+  | Cache_miss { write = true; _ } -> "store miss"
+  | Cache_writeback _ -> "writeback"
+  | Power_down _ -> "power down"
+  | Death _ -> "death"
+  | Reboot _ -> "reboot"
+  | Backup { ok = true; _ } -> "backup"
+  | Backup { ok = false; _ } -> "backup failed"
+  | Backup_lines _ -> "backup lines"
+  | Restore _ -> "restore"
+  | Replay _ -> "replay"
+  | Voltage _ -> "voltage"
+  | Halt -> "halt"
+  | Job_start _ -> "job"
+  | Job_done _ -> "job"
+  | Mark { name; _ } -> name
+
+let json_string s =
+  let b = Buffer.create (String.length s + 8) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+(* Event payload as JSON object fields (no surrounding braces), for the
+   JSONL and Chrome "args" renderings. *)
+let json_args = function
+  | Region_begin { seq; buf } | Region_end { seq; buf } ->
+    Printf.sprintf "\"seq\":%d,\"buf\":%d" seq buf
+  | Buf_phase { buf; seq; phase; start_ns; end_ns } ->
+    Printf.sprintf
+      "\"buf\":%d,\"seq\":%d,\"phase\":%d,\"start_ns\":%.17g,\"end_ns\":%.17g"
+      buf seq (phase_index phase) start_ns end_ns
+  | Buf_wait { buf; ns } -> Printf.sprintf "\"buf\":%d,\"ns\":%.17g" buf ns
+  | Waw_stall { seq; ns } -> Printf.sprintf "\"seq\":%d,\"ns\":%.17g" seq ns
+  | Buffer_search { scanned; hit } ->
+    Printf.sprintf "\"scanned\":%d,\"hit\":%b" scanned hit
+  | Buffer_bypass -> ""
+  | Cache_miss { addr; write } ->
+    Printf.sprintf "\"addr\":%d,\"write\":%b" addr write
+  | Cache_writeback { base } -> Printf.sprintf "\"base\":%d" base
+  | Power_down { volts } | Death { volts } | Voltage { volts } ->
+    Printf.sprintf "\"volts\":%.4f" volts
+  | Reboot { outage } -> Printf.sprintf "\"outage\":%d" outage
+  | Backup { ok; joules } ->
+    Printf.sprintf "\"ok\":%b,\"joules\":%.17g" ok joules
+  | Backup_lines { lines } -> Printf.sprintf "\"lines\":%d" lines
+  | Restore { joules } -> Printf.sprintf "\"joules\":%.17g" joules
+  | Replay { stores } -> Printf.sprintf "\"stores\":%d" stores
+  | Halt -> ""
+  | Job_start { key } -> Printf.sprintf "\"job\":%s" (json_string key)
+  | Job_done { key; elapsed_s } ->
+    Printf.sprintf "\"job\":%s,\"elapsed_s\":%.6f" (json_string key) elapsed_s
+  | Mark _ -> ""

@@ -1,0 +1,61 @@
+(** Typed trace events for the whole simulation stack.
+
+    Every event carries its payload inline; the timestamp (simulated
+    nanoseconds for machine/driver events, wall-clock nanoseconds for
+    executor job events) travels separately through {!Sink.emit} so hot
+    paths can reuse the [now_ns] value they already hold. *)
+
+type category = Region | Buffer | Cache | Power | Exec | Job
+
+val category_name : category -> string
+val category_of_name : string -> category option
+val all_categories : category list
+
+type phase =
+  | Fill   (** phase 1: the region executes, write-backs quarantined *)
+  | Flush  (** phase 2 (s-phase1): region-end dirty-line flush *)
+  | Drain  (** phase 3 (s-phase2): DMA drain of the sealed buffer to NVM *)
+
+val phase_index : phase -> int
+val phase_name : phase -> string
+
+type t =
+  | Region_begin of { seq : int; buf : int }
+  | Region_end of { seq : int; buf : int }
+  | Buf_phase of {
+      buf : int;
+      seq : int;
+      phase : phase;
+      start_ns : float;
+      end_ns : float;
+    }  (** A completed/scheduled persistence span on one persist buffer. *)
+  | Buf_wait of { buf : int; ns : float }
+      (** Structural-hazard stall at a region boundary (§3.3). *)
+  | Waw_stall of { seq : int; ns : float }  (** §4.3 write-after-write. *)
+  | Buffer_search of { scanned : int; hit : bool }
+  | Buffer_bypass  (** Empty-bit let a miss skip the buffer search. *)
+  | Cache_miss of { addr : int; write : bool }
+  | Cache_writeback of { base : int }
+  | Power_down of { volts : float }  (** JIT stop or post-backup stop. *)
+  | Death of { volts : float }       (** Hard death at Vmin. *)
+  | Reboot of { outage : int }
+  | Backup of { ok : bool; joules : float }
+  | Backup_lines of { lines : int }  (** Design detail: lines checkpointed. *)
+  | Restore of { joules : float }
+  | Replay of { stores : int }       (** ReplayCache store replay. *)
+  | Voltage of { volts : float }     (** Capacitor sample (counter track). *)
+  | Halt
+  | Job_start of { key : string }
+  | Job_done of { key : string; elapsed_s : float }
+  | Mark of { name : string; cat : category }
+      (** Free-form instant marker for one-off annotations. *)
+
+val category : t -> category
+val name : t -> string
+
+val json_string : string -> string
+(** JSON string literal (with quotes) of [s]. *)
+
+val json_args : t -> string
+(** The payload as JSON object fields without surrounding braces
+    (possibly empty). *)

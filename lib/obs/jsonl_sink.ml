@@ -1,0 +1,32 @@
+(* One JSON object per event, one event per line.  All writes go through
+   a mutex and a single buffered channel, so lines from different
+   domains never interleave. *)
+
+let create path =
+  let lock = Mutex.create () in
+  let oc = open_out path in
+  let closed = ref false in
+  let with_lock f =
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+  in
+  let write ~ns ev =
+    with_lock (fun () ->
+        if not !closed then begin
+          let args = Event.json_args ev in
+          Printf.fprintf oc "{\"ns\":%.17g,\"name\":%s,\"cat\":\"%s\"%s%s}\n"
+            ns
+            (Event.json_string (Event.name ev))
+            (Event.category_name (Event.category ev))
+            (if args = "" then "" else ",")
+            args
+        end)
+  in
+  Sink.make write
+    ~flush:(fun () -> with_lock (fun () -> if not !closed then flush oc))
+    ~close:(fun () ->
+      with_lock (fun () ->
+          if not !closed then begin
+            closed := true;
+            close_out oc
+          end))

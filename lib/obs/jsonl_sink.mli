@@ -1,0 +1,7 @@
+(** Raw event log: one JSON object per event, one per line
+    ([{"ns":…,"name":…,"cat":…,…payload}]).  Whole-line atomic across
+    domains.  For greppable logs; use {!Chrome_trace} for timelines. *)
+
+val create : string -> Sink.t
+(** [create path] truncates/creates [path]; events stream through a
+    buffered channel, flushed on [flush]/[close]. *)

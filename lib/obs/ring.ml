@@ -1,0 +1,48 @@
+type entry = { ns : float; event : Event.t }
+
+type t = {
+  lock : Mutex.t;
+  slots : entry option array;
+  mutable next : int;   (* total events ever written *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create";
+  { lock = Mutex.create (); slots = Array.make capacity None; next = 0 }
+
+let capacity t = Array.length t.slots
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let write t ~ns event =
+  with_lock t (fun () ->
+      t.slots.(t.next mod Array.length t.slots) <- Some { ns; event };
+      t.next <- t.next + 1)
+
+let sink t = Sink.make (fun ~ns ev -> write t ~ns ev)
+
+let total t = with_lock t (fun () -> t.next)
+
+let length t =
+  with_lock t (fun () -> min t.next (Array.length t.slots))
+
+let dropped t =
+  with_lock t (fun () -> max 0 (t.next - Array.length t.slots))
+
+(* Oldest first among the retained window. *)
+let to_list t =
+  with_lock t (fun () ->
+      let cap = Array.length t.slots in
+      let n = min t.next cap in
+      let first = t.next - n in
+      List.init n (fun i ->
+          match t.slots.((first + i) mod cap) with
+          | Some e -> e
+          | None -> assert false))
+
+let clear t =
+  with_lock t (fun () ->
+      Array.fill t.slots 0 (Array.length t.slots) None;
+      t.next <- 0)

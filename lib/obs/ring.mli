@@ -1,0 +1,26 @@
+(** Bounded in-memory event sink: the last [capacity] events, oldest
+    dropped first.  Mutex-guarded, so safe to share across domains;
+    intended for tests and post-mortem inspection of a failing run. *)
+
+type entry = { ns : float; event : Event.t }
+
+type t
+
+val create : capacity:int -> t
+val capacity : t -> int
+
+val sink : t -> Sink.t
+(** The {!Sink.t} view writing into this ring. *)
+
+val total : t -> int
+(** Events ever written (including dropped ones). *)
+
+val length : t -> int
+(** Events currently retained. *)
+
+val dropped : t -> int
+
+val to_list : t -> entry list
+(** Retained events, oldest first. *)
+
+val clear : t -> unit

@@ -1,0 +1,71 @@
+type t = {
+  write : ns:float -> Event.t -> unit;
+  flush : unit -> unit;
+  close : unit -> unit;
+}
+
+let null =
+  { write = (fun ~ns:_ _ -> ()); flush = (fun () -> ()); close = (fun () -> ()) }
+
+let make ?(flush = fun () -> ()) ?(close = fun () -> ()) write =
+  { write; flush; close }
+
+let filtered ~cats sink =
+  {
+    sink with
+    write =
+      (fun ~ns ev ->
+        if List.memq (Event.category ev) cats then sink.write ~ns ev);
+  }
+
+let counting () =
+  let n = Atomic.make 0 in
+  (make (fun ~ns:_ _ -> Atomic.incr n), fun () -> Atomic.get n)
+
+let tee a b =
+  {
+    write =
+      (fun ~ns ev ->
+        a.write ~ns ev;
+        b.write ~ns ev);
+    flush =
+      (fun () ->
+        a.flush ();
+        b.flush ());
+    close =
+      (fun () ->
+        a.close ();
+        b.close ());
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Global installation.  [enabled] is the single branch every
+   instrumentation site pays when tracing is off; it is a plain ref so
+   the disabled fast path is one load + one conditional jump.  Install
+   happens before worker domains spawn (and the reference write is
+   atomic in the OCaml memory model), so cross-domain visibility is not
+   a correctness concern — see DESIGN.md on sink domain-safety. *)
+
+let enabled = ref false
+let current = ref null
+
+let install sink =
+  current := sink;
+  enabled := true
+
+let clear () =
+  enabled := false;
+  current := null
+
+let on () = !enabled
+let emit ~ns ev = !current.write ~ns ev
+let flush () = !current.flush ()
+
+let with_sink sink f =
+  install sink;
+  Fun.protect
+    ~finally:(fun () ->
+      clear ();
+      sink.flush ();
+      sink.close ())
+    f

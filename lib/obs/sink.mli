@@ -1,0 +1,51 @@
+(** Pluggable event sinks.
+
+    A sink is three closures; concrete sinks ({!Ring}, {!Jsonl_sink},
+    {!Chrome_trace}) must be internally synchronised because events may
+    arrive concurrently from worker domains.  The default sink is
+    {!null}: with tracing disabled, every instrumentation site reduces
+    to a single [if Sink.on ()] branch — verified by the
+    [obs:emit-disabled] micro-benchmark. *)
+
+type t = {
+  write : ns:float -> Event.t -> unit;
+  flush : unit -> unit;
+  close : unit -> unit;
+}
+
+val null : t
+
+val make :
+  ?flush:(unit -> unit) -> ?close:(unit -> unit) ->
+  (ns:float -> Event.t -> unit) -> t
+
+val filtered : cats:Event.category list -> t -> t
+(** Keep only events whose category is in [cats]. *)
+
+val counting : unit -> t * (unit -> int)
+(** A sink that atomically counts events (the [-j 1] = [-j 4]
+    determinism check), and its reader. *)
+
+val tee : t -> t -> t
+(** Duplicate every event (and flush/close) into both sinks. *)
+
+(** {2 The process-wide current sink} *)
+
+val install : t -> unit
+(** Route {!emit} to [sink] and flip {!on} to [true].  Install before
+    spawning worker domains. *)
+
+val clear : unit -> unit
+(** Back to the no-op sink ({!on} becomes [false]).  Does not flush or
+    close the previous sink — callers own that. *)
+
+val on : unit -> bool
+(** The guard every instrumentation site checks before building an
+    event: [if Sink.on () then Sink.emit ~ns (Event....)]. *)
+
+val emit : ns:float -> Event.t -> unit
+val flush : unit -> unit
+
+val with_sink : t -> (unit -> 'a) -> 'a
+(** [with_sink sink f] installs, runs [f], then clears and
+    flushes/closes [sink] (also on exception). *)

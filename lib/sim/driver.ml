@@ -4,6 +4,8 @@ module Mstats = Sweep_machine.Mstats
 module Capacitor = Sweep_energy.Capacitor
 module Detector = Sweep_energy.Detector
 module Trace = Sweep_energy.Power_trace
+module Sink = Sweep_obs.Sink
+module Ev = Sweep_obs.Event
 
 type power =
   | Unlimited
@@ -114,7 +116,12 @@ let pass_time_on s ns =
 let charge_until s target ~max_off_s =
   let dt = 1.0e-4 in
   let waited = ref 0.0 in
+  let steps = ref 0 in
   while (not (Capacitor.above s.cap target)) && !waited < max_off_s do
+    (* Sample the recharge ramp sparsely for the voltage counter track. *)
+    if Sink.on () && !steps mod 100 = 0 then
+      Sink.emit ~ns:s.now (Ev.Voltage { volts = Capacitor.voltage s.cap });
+    incr steps;
     (* Apply the net power over the step: harvesting and the detector
        draw are simultaneous, so clamping at Vmax must see the
        difference, not harvest-then-consume (which would cap a small
@@ -151,12 +158,20 @@ let propagation_delay s ns state =
    deaths. *)
 let power_cycle s ~max_off_s =
   s.outages <- s.outages + 1;
+  if Sink.on () then
+    Sink.emit ~ns:s.now (Ev.Power_down { volts = Capacitor.voltage s.cap });
   M.on_power_failure s.m ~now_ns:s.now;
   charge_until s s.det.Detector.v_restore ~max_off_s;
   propagation_delay s s.det.Detector.t_plh_ns `Off;
+  if Sink.on () then begin
+    Sink.emit ~ns:s.now (Ev.Reboot { outage = s.outages });
+    Sink.emit ~ns:s.now (Ev.Voltage { volts = Capacitor.voltage s.cap })
+  end;
   let c = M.on_reboot s.m ~now_ns:s.now in
   Capacitor.consume s.cap c.Cost.joules;
   s.restore_joules <- s.restore_joules +. c.Cost.joules;
+  if Sink.on () then
+    Sink.emit ~ns:s.now (Ev.Restore { joules = c.Cost.joules });
   pass_time_on s c.Cost.ns;
   s.backup_armed <- true
 
@@ -177,10 +192,14 @@ let try_backup s v_min =
         (M.mstats s.m).Mstats.backup_joules +. cost.Cost.joules;
       pass_time_on s cost.Cost.ns;
       s.backups <- s.backups + 1;
+      if Sink.on () then
+        Sink.emit ~ns:s.now (Ev.Backup { ok = true; joules = cost.Cost.joules });
       true
     end
     else begin
       s.failed_backups <- s.failed_backups + 1;
+      if Sink.on () then
+        Sink.emit ~ns:s.now (Ev.Backup { ok = false; joules = cost.Cost.joules });
       false
     end
 
@@ -242,6 +261,8 @@ let run_harvested ?(max_instructions = 500_000_000) ?(max_sim_s = 600.0) m
     else if not (Capacitor.above s.cap v_min) then begin
       (* Hard death: volatile state is lost. *)
       s.deaths <- s.deaths + 1;
+      if Sink.on () then
+        Sink.emit ~ns:s.now (Ev.Death { volts = Capacitor.voltage s.cap });
       power_cycle s ~max_off_s
     end
     else begin
@@ -249,7 +270,11 @@ let run_harvested ?(max_instructions = 500_000_000) ?(max_sim_s = 600.0) m
       Capacitor.consume s.cap c.Cost.joules;
       s.compute_joules <- s.compute_joules +. c.Cost.joules;
       pass_time_on s c.Cost.ns;
-      s.instructions <- s.instructions + 1
+      s.instructions <- s.instructions + 1;
+      (* Sparse voltage samples while executing keep the counter track
+         legible without swamping the trace. *)
+      if Sink.on () && s.instructions mod 5_000 = 0 then
+        Sink.emit ~ns:s.now (Ev.Voltage { volts = Capacitor.voltage s.cap })
     end
   done;
   let d = M.drain m ~now_ns:s.now in
@@ -271,9 +296,31 @@ let run_harvested ?(max_instructions = 500_000_000) ?(max_sim_s = 600.0) m
     instructions = s.instructions;
   }
 
+module Metrics = Sweep_obs.Metrics
+
+(* Accumulate a finished run's outcome into the global metrics registry. *)
+let publish_outcome ?(labels = []) (o : outcome) =
+  if Metrics.enabled () then begin
+    let c name v = Metrics.add (Metrics.counter ~labels name) v in
+    c "driver.runs" 1;
+    c "driver.outages" o.outages;
+    c "driver.deaths" o.deaths;
+    c "driver.backups" o.backups;
+    c "driver.failed_backups" o.failed_backups;
+    c "driver.instructions" o.instructions;
+    Metrics.observe
+      (Metrics.histogram ~labels "driver.on_fraction_pct"
+         ~buckets:[| 10.0; 25.0; 50.0; 75.0; 90.0; 95.0; 99.0; 100.0 |])
+      (if total_ns o <= 0.0 then 100.0 else o.on_ns /. total_ns o *. 100.0)
+  end
+
 let run ?max_instructions ?max_sim_s m ~power =
-  match power with
-  | Unlimited -> run_unlimited ?max_instructions m
-  | Harvested { trace; capacitor_farads; v_max; v_min } ->
-    run_harvested ?max_instructions ?max_sim_s m ~trace ~farads:capacitor_farads
-      ~v_max ~v_min
+  let o =
+    match power with
+    | Unlimited -> run_unlimited ?max_instructions m
+    | Harvested { trace; capacitor_farads; v_max; v_min } ->
+      run_harvested ?max_instructions ?max_sim_s m ~trace
+        ~farads:capacitor_farads ~v_max ~v_min
+  in
+  publish_outcome o;
+  o

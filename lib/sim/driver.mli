@@ -58,4 +58,11 @@ val run :
   power:power ->
   outcome
 (** Executes until [Halt] (plus {!Sweep_machine.Machine_intf.drain}).
-    Guards default to 500 M instructions and 600 simulated seconds. *)
+    Guards default to 500 M instructions and 600 simulated seconds.
+    When {!Sweep_obs.Sink.on}, emits power/backup/restore/voltage events;
+    when {!Sweep_obs.Metrics.enabled}, publishes the outcome (unlabelled)
+    via {!publish_outcome}. *)
+
+val publish_outcome : ?labels:(string * string) list -> outcome -> unit
+(** Accumulate an outcome's counters ([driver.*]) into the global
+    {!Sweep_obs.Metrics} registry.  No-op when metrics are disabled. *)

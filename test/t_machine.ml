@@ -187,6 +187,41 @@ let test_parallelism_efficiency () =
   st.Mstats.wait_ns <- 9.0;
   check (Alcotest.float 1e-9) "91%" 91.0 (Mstats.parallelism_efficiency st)
 
+let test_parallelism_efficiency_edges () =
+  (* Zero persistence with nonzero waits still reads 100%: the metric is
+     a fraction of persistence time, not of wall time. *)
+  let st = Mstats.create () in
+  st.Mstats.wait_ns <- 50.0;
+  check (Alcotest.float 0.0) "zero persistence = 100%" 100.0
+    (Mstats.parallelism_efficiency st);
+  (* Fully serialised: every persisted nanosecond was waited on. *)
+  st.Mstats.persistence_ns <- 25.0;
+  st.Mstats.wait_ns <- 25.0;
+  check (Alcotest.float 1e-9) "fully serialised = 0%" 0.0
+    (Mstats.parallelism_efficiency st)
+
+let test_hist_cdf_edges () =
+  check
+    Alcotest.(list (pair int (float 0.0)))
+    "all-empty histogram" []
+    (Mstats.hist_cdf (Array.make 64 0));
+  check
+    Alcotest.(list (pair int (float 0.0)))
+    "zero-length histogram" [] (Mstats.hist_cdf [||]);
+  (* A single populated bin jumps straight to 100%. *)
+  let h = Array.make 8 0 in
+  h.(3) <- 5;
+  check
+    Alcotest.(list (pair int (float 1e-9)))
+    "single bin" [ (3, 100.0) ] (Mstats.hist_cdf h);
+  (* Two bins: cumulative percents, empty prefix/suffix skipped. *)
+  let h = Array.make 8 0 in
+  h.(1) <- 1;
+  h.(6) <- 3;
+  check
+    Alcotest.(list (pair int (float 1e-9)))
+    "cumulative" [ (1, 25.0); (6, 100.0) ] (Mstats.hist_cdf h)
+
 let test_loader () =
   let prog =
     Sweep_lang.Dsl.(
@@ -221,5 +256,8 @@ let suite =
     Alcotest.test_case "exec halted free" `Quick test_exec_halted_is_free;
     Alcotest.test_case "mstats histograms" `Quick test_mstats_histograms;
     Alcotest.test_case "parallelism efficiency" `Quick test_parallelism_efficiency;
+    Alcotest.test_case "parallelism efficiency edges" `Quick
+      test_parallelism_efficiency_edges;
+    Alcotest.test_case "hist_cdf edges" `Quick test_hist_cdf_edges;
     Alcotest.test_case "loader" `Quick test_loader;
   ]

@@ -96,6 +96,18 @@ let test_percentile () =
   check (Alcotest.float 1e-9) "p50" 3.0 (Stats.percentile sorted 50.0);
   check (Alcotest.float 1e-9) "p25" 2.0 (Stats.percentile sorted 25.0)
 
+let test_cdf_points_edges () =
+  check
+    Alcotest.(list (pair (float 0.0) (float 0.0)))
+    "empty input" []
+    (Stats.cdf_points [] 11);
+  (* Singleton: every requested point is the lone sample, percents span
+     0..100. *)
+  let pts = Stats.cdf_points [ 42.0 ] 3 in
+  check
+    Alcotest.(list (pair (float 1e-9) (float 1e-9)))
+    "singleton" [ (42.0, 0.0); (42.0, 50.0); (42.0, 100.0) ] pts
+
 let prop_cdf_monotone =
   QCheck2.Test.make ~name:"cdf_points monotone" ~count:200
     QCheck2.Gen.(list_size (int_range 1 40) (float_range (-100.) 100.))
@@ -157,6 +169,7 @@ let suite =
     Alcotest.test_case "geomean exact" `Quick test_geomean_exact;
     Alcotest.test_case "stddev" `Quick test_stddev;
     Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "cdf_points edges" `Quick test_cdf_points_edges;
     Alcotest.test_case "clamp" `Quick test_clamp;
     Alcotest.test_case "ratio" `Quick test_ratio;
     Alcotest.test_case "table render" `Quick test_table_render;

@@ -15,4 +15,5 @@ let () =
       ("sim", T_sim.suite);
       ("workloads", T_workloads.suite);
       ("exp", T_exp.suite);
+      ("obs", T_obs.suite);
     ]
