@@ -25,11 +25,19 @@ let list_experiments () =
         (if e.Experiments.heavy then " [heavy]" else ""))
     Experiments.all
 
-let main names j results_dir no_jsonl metrics progress =
+let main names j results_dir no_jsonl metrics metrics_out progress =
   Executor.set_workers j;
   Executor.set_progress progress;
-  if metrics then Sweep_obs.Metrics.set_enabled true;
+  if metrics || Option.is_some metrics_out then
+    Sweep_obs.Metrics.set_enabled true;
   Results.set_dir (if no_jsonl then None else Some results_dir);
+  let dump_metrics () =
+    match metrics_out with
+    | None -> ()
+    | Some path ->
+      Sweep_obs.Metrics.write_json path (Sweep_obs.Metrics.snapshot ());
+      Printf.eprintf "metrics snapshot written to %s\n" path
+  in
   match names with
   | [ "list" ] ->
     list_experiments ();
@@ -71,6 +79,7 @@ let main names j results_dir no_jsonl metrics progress =
         print_string
           (Sweep_obs.Metrics.render (Sweep_obs.Metrics.snapshot ()))
       end;
+      dump_metrics ();
       0)
 
 let names_arg =
@@ -101,6 +110,12 @@ let metrics_arg =
            ~doc:"Enable the metrics registry (sim.*, driver.*, exp.* \
                  series) and dump it after the run.")
 
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Enable the metrics registry and write a JSON snapshot to \
+                 FILE after the run (readable by sweeptrace).")
+
 let progress_arg =
   Arg.(value & flag
        & info [ "progress" ]
@@ -110,7 +125,7 @@ let cmd =
   let doc = "regenerate the SweepCache paper's tables and figures" in
   let term =
     Term.(const main $ names_arg $ jobs_arg $ results_dir_arg $ no_jsonl_arg
-          $ metrics_arg $ progress_arg)
+          $ metrics_arg $ metrics_out_arg $ progress_arg)
   in
   Cmd.v (Cmd.info "sweepexp" ~doc) term
 

@@ -96,7 +96,8 @@ let parse_trace_filter spec =
              exit 2)
 
 let main bench designs trace cap scale cache_size nvm_search verify j
-    results_dir trace_out trace_filter metrics =
+    results_dir trace_out trace_format trace_cap trace_filter metrics
+    metrics_out =
   (match Sweep_workloads.Registry.find bench with
   | exception Not_found ->
     Printf.eprintf "unknown workload %S; available:\n  %s\n" bench
@@ -104,7 +105,7 @@ let main bench designs trace cap scale cache_size nvm_search verify j
     exit 2
   | _ -> ());
   Results.set_dir results_dir;
-  if metrics then Obs.Metrics.set_enabled true;
+  if metrics || Option.is_some metrics_out then Obs.Metrics.set_enabled true;
   let filter = parse_trace_filter trace_filter in
   let power =
     match trace with
@@ -127,7 +128,10 @@ let main bench designs trace cap scale cache_size nvm_search verify j
   let j =
     match trace_out with
     | Some _ when j > 1 ->
-      Printf.eprintf "sweepsim: --trace forces -j 1\n";
+      Printf.eprintf
+        "sweepsim: warning: --trace forces sequential execution — \
+         ignoring -j %d and running with 1 worker\n"
+        j;
       1
     | _ -> j
   in
@@ -145,19 +149,61 @@ let main bench designs trace cap scale cache_size nvm_search verify j
     match trace_out with
     | None -> run_all ()
     | Some path ->
-      let sink =
-        Obs.Chrome_trace.create
-          ?filter:(match filter with [] -> None | f -> Some f)
-          path
+      let file_sink =
+        match trace_format with
+        | `Chrome -> Obs.Chrome_trace.create path
+        | `Jsonl -> Obs.Jsonl_sink.create path
       in
-      let rows = Obs.Sink.with_sink sink run_all in
-      Printf.eprintf "trace written to %s (load in ui.perfetto.dev)\n" path;
+      let counted, count = Obs.Sink.counting () in
+      let with_filter s =
+        match filter with [] -> s | cats -> Obs.Sink.filtered ~cats s
+      in
+      let rows, dropped =
+        if trace_cap > 0 then begin
+          (* Bounded capture: keep the last N events in a ring, then
+             replay the retained window (with its Dropped marker) into
+             the file. *)
+          let ring = Obs.Ring.create ~capacity:trace_cap in
+          let rows =
+            Obs.Sink.with_sink
+              (with_filter (Obs.Sink.tee counted (Obs.Ring.sink ring)))
+              run_all
+          in
+          Obs.Ring.drain_to ring file_sink;
+          file_sink.Obs.Sink.close ();
+          (rows, Obs.Ring.dropped ring)
+        end
+        else
+          ( Obs.Sink.with_sink (with_filter (Obs.Sink.tee counted file_sink))
+              run_all,
+            0 )
+      in
+      let viewer =
+        match trace_format with
+        | `Chrome -> " (load in ui.perfetto.dev)"
+        | `Jsonl -> " (analyze with sweeptrace report)"
+      in
+      if dropped > 0 then
+        Printf.eprintf
+          "trace written to %s%s: TRUNCATED — kept last %d of %d events \
+           (%d dropped by --trace-cap)\n"
+          path viewer
+          (count () - dropped)
+          (count ()) dropped
+      else
+        Printf.eprintf "trace written to %s%s: %d events\n" path viewer
+          (count ());
       rows
   in
   List.iter (fun (_, row) -> Table.add_row t row) rows;
   Table.print t;
   if metrics then
     print_string (Obs.Metrics.render (Obs.Metrics.snapshot ()));
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+    Obs.Metrics.write_json path (Obs.Metrics.snapshot ());
+    Printf.eprintf "metrics snapshot written to %s\n" path);
   (* --verify regressions must fail the process so CI can catch them. *)
   if List.for_all fst rows then 0 else 1
 
@@ -239,6 +285,30 @@ let trace_out_arg =
            ~doc:"Write a Chrome trace-event / Perfetto JSON timeline of the \
                  run to FILE (open it at ui.perfetto.dev).  Forces -j 1.")
 
+let trace_format_arg =
+  let fmt_conv =
+    Arg.conv
+      ( (fun s ->
+          match String.lowercase_ascii s with
+          | "chrome" | "perfetto" -> Ok `Chrome
+          | "jsonl" -> Ok `Jsonl
+          | _ -> Error (`Msg ("unknown trace format " ^ s))),
+        fun fmt f ->
+          Format.pp_print_string fmt
+            (match f with `Chrome -> "chrome" | `Jsonl -> "jsonl") )
+  in
+  Arg.(value & opt fmt_conv `Chrome
+       & info [ "trace-format" ] ~docv:"FMT"
+           ~doc:"Trace file format: $(b,chrome) (Perfetto timeline) or \
+                 $(b,jsonl) (raw event log, the input of sweeptrace).")
+
+let trace_cap_arg =
+  Arg.(value & opt int 0
+       & info [ "trace-cap" ] ~docv:"N"
+           ~doc:"Keep only the last N trace events (0 = unbounded).  A \
+                 truncated trace starts with a dropped-events marker and \
+                 the run summary reports the dropped count.")
+
 let trace_filter_arg =
   Arg.(value & opt (some string) None
        & info [ "trace-filter" ] ~docv:"CATS"
@@ -251,18 +321,27 @@ let metrics_arg =
            ~doc:"Enable the metrics registry and print it after the table \
                  (counters labelled by design and bench).")
 
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Enable the metrics registry and write a JSON snapshot to \
+                 FILE after the run (readable by sweeptrace).")
+
 let cmd =
   let doc = "simulate a workload on an intermittent-computing architecture" in
   let term =
     Term.(
       const (fun bench design all trace cap scale cache nvm_search verify j
-                 results_dir trace_out trace_filter metrics ->
+                 results_dir trace_out trace_format trace_cap trace_filter
+                 metrics metrics_out ->
           let designs = if all then H.all_designs else design in
           main bench designs trace cap scale cache nvm_search verify j
-            results_dir trace_out trace_filter metrics)
+            results_dir trace_out trace_format trace_cap trace_filter metrics
+            metrics_out)
       $ bench_arg $ designs_arg $ all_designs_arg $ trace_arg $ cap_arg
       $ scale_arg $ cache_arg $ nvm_search_arg $ verify_arg $ jobs_arg
-      $ results_dir_arg $ trace_out_arg $ trace_filter_arg $ metrics_arg)
+      $ results_dir_arg $ trace_out_arg $ trace_format_arg $ trace_cap_arg
+      $ trace_filter_arg $ metrics_arg $ metrics_out_arg)
   in
   Cmd.v (Cmd.info "sweepsim" ~doc) term
 

@@ -1,0 +1,254 @@
+(* sweeptrace: analyse the observability layer's artefacts.
+
+     sweeptrace report trace.jsonl --format md
+     sweeptrace report trace.jsonl --metrics m.json --results results/sweepsim.jsonl
+     sweeptrace diff baseline.jsonl current.jsonl --threshold 5%
+     sweeptrace bench --out BENCH_sweepcache.json --baseline BENCH_sweepcache.json
+
+   `report` renders the derived views of one JSONL trace (regions,
+   stalls, buffer occupancy, outage/recovery accounting); `diff`
+   compares two runs with machine-readable verdicts (exit 1 on a
+   regression beyond the threshold); `bench` runs the pinned workload
+   matrix and appends a schema-versioned entry to the bench history
+   file. *)
+
+open Cmdliner
+module A = Sweep_analyze
+
+let read_err fmt = Printf.ksprintf (fun s -> Printf.eprintf "%s\n" s) fmt
+
+let write_output out body =
+  match out with
+  | None -> print_string body
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc body);
+    Printf.eprintf "written to %s\n" path
+
+(* ---------------- report ---------------- *)
+
+let report trace_path metrics_path results_path format out =
+  match A.Report.build ?metrics_path ?results_path ~trace_path () with
+  | Error e ->
+    read_err "sweeptrace: %s" e;
+    2
+  | Ok r ->
+    write_output out (A.Report.render format r);
+    0
+
+let trace_pos =
+  Arg.(required & pos 0 (some file) None
+       & info [] ~docv:"TRACE"
+           ~doc:"JSONL trace (sweepsim --trace FILE --trace-format jsonl).")
+
+let metrics_opt =
+  Arg.(value & opt (some file) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Metrics snapshot from --metrics-out to include.")
+
+let results_opt =
+  Arg.(value & opt (some file) None
+       & info [ "results" ] ~docv:"FILE"
+           ~doc:"Results JSONL (--results-dir output) to include.")
+
+let format_opt =
+  let fmt_conv =
+    Arg.conv
+      ( (fun s ->
+          match A.Report.format_of_string (String.lowercase_ascii s) with
+          | Some f -> Ok f
+          | None -> Error (`Msg ("unknown format " ^ s))),
+        fun fmt f ->
+          Format.pp_print_string fmt
+            (match f with
+            | A.Report.Text -> "text"
+            | A.Report.Csv -> "csv"
+            | A.Report.Markdown -> "md") )
+  in
+  Arg.(value & opt fmt_conv A.Report.Text
+       & info [ "f"; "format" ] ~docv:"FMT"
+           ~doc:"Output format: $(b,text), $(b,csv) or $(b,md).")
+
+let out_opt =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write to FILE instead of stdout.")
+
+let report_cmd =
+  let doc = "render the derived views of one JSONL trace" in
+  Cmd.v
+    (Cmd.info "report" ~doc)
+    Term.(const report $ trace_pos $ metrics_opt $ results_opt $ format_opt
+          $ out_opt)
+
+(* ---------------- diff ---------------- *)
+
+(* "5%" or "5" -> 5.0 *)
+let threshold_conv =
+  Arg.conv
+    ( (fun s ->
+        let s =
+          if String.length s > 0 && s.[String.length s - 1] = '%' then
+            String.sub s 0 (String.length s - 1)
+          else s
+        in
+        match float_of_string_opt s with
+        | Some f when f >= 0.0 -> Ok f
+        | _ -> Error (`Msg ("bad threshold " ^ s))),
+      fun fmt f -> Format.fprintf fmt "%g%%" f )
+
+let threshold_opt =
+  Arg.(value & opt threshold_conv 5.0
+       & info [ "threshold" ] ~docv:"PCT"
+           ~doc:"Regression threshold in percent (e.g. $(b,5%)).  A gated \
+                 series must change strictly beyond this to produce a \
+                 verdict.")
+
+let diff base cur threshold json out =
+  match A.Diff.diff_files ~threshold_pct:threshold base cur with
+  | Error e ->
+    read_err "sweeptrace: %s" e;
+    2
+  | Ok d ->
+    write_output out
+      (if json then A.Diff.render_json d ^ "\n" else A.Diff.render_text d);
+    if A.Diff.has_regressions d then 1 else 0
+
+let base_pos =
+  Arg.(required & pos 0 (some file) None
+       & info [] ~docv:"BASE"
+           ~doc:"Baseline run: results JSONL, bench history file, or \
+                 metrics snapshot.")
+
+let cur_pos =
+  Arg.(required & pos 1 (some file) None
+       & info [] ~docv:"CURRENT" ~doc:"Current run (same formats).")
+
+let json_flag =
+  Arg.(value & flag
+       & info [ "json" ] ~doc:"Emit the machine-readable verdict document.")
+
+let diff_cmd =
+  let doc = "compare two runs; exit 1 on a regression beyond the threshold" in
+  Cmd.v
+    (Cmd.info "diff" ~doc)
+    Term.(const diff $ base_pos $ cur_pos $ threshold_opt $ json_flag
+          $ out_opt)
+
+(* ---------------- bench ---------------- *)
+
+let detect_commit () =
+  match Sys.getenv_opt "GITHUB_SHA" with
+  | Some sha when sha <> "" -> sha
+  | _ -> (
+    try
+      let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+      let line = try input_line ic with End_of_file -> "" in
+      match (Unix.close_process_in ic, line) with
+      | Unix.WEXITED 0, sha when sha <> "" -> sha
+      | _ -> "unknown"
+    with _ -> "unknown")
+
+let bench out commit workers baseline threshold no_append =
+  let commit = match commit with Some c -> c | None -> detect_commit () in
+  Printf.eprintf "sweeptrace bench: matrix %s (%d jobs), commit %s\n"
+    A.Bench.matrix_id
+    (List.length (A.Bench.jobs ()))
+    commit;
+  (* Read the baseline before appending: --out and --baseline are
+     usually the same file, and the fresh entry must not become its own
+     baseline. *)
+  let base =
+    match baseline with
+    | None -> Ok None
+    | Some path -> (
+      match A.Bench.latest path with
+      | Ok e -> Ok (Some (path, e))
+      | Error e -> Error e)
+  in
+  match base with
+  | Error e ->
+    read_err "sweeptrace: %s" e;
+    2
+  | Ok base -> (
+    let results = A.Bench.run ?workers () in
+    let entry =
+      { A.Bench.ts = Sweep_exp.Results.iso8601 (Unix.gettimeofday ());
+        commit; results }
+    in
+    let append_rc =
+      if no_append then 0
+      else
+        match A.Bench.append ~path:out entry with
+        | Ok n ->
+          Printf.eprintf "appended entry %d to %s\n" n out;
+          0
+        | Error e ->
+          read_err "sweeptrace: %s" e;
+          2
+    in
+    if append_rc <> 0 then append_rc
+    else
+      match base with
+      | None -> 0
+      | Some (path, base) -> (
+        match
+          A.Diff.compare_runs ~threshold_pct:threshold
+            base.A.Bench.results results
+        with
+        | Error e ->
+          read_err "sweeptrace: %s" e;
+          2
+        | Ok d ->
+          print_string (A.Diff.render_text d);
+          if A.Diff.has_regressions d then begin
+            read_err
+              "sweeptrace: regression vs baseline %s (commit %s)" path
+              base.A.Bench.commit;
+            1
+          end
+          else 0))
+
+let bench_out_opt =
+  Arg.(value & opt string "BENCH_sweepcache.json"
+       & info [ "out" ] ~docv:"FILE"
+           ~doc:"Bench history file to append to.")
+
+let commit_opt =
+  Arg.(value & opt (some string) None
+       & info [ "commit" ] ~docv:"SHA"
+           ~doc:"Commit id stamped into the entry (default: \
+                 \\$GITHUB_SHA, then git rev-parse HEAD).")
+
+let bench_jobs_opt =
+  Arg.(value & opt (some int) None
+       & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains.")
+
+let baseline_opt =
+  Arg.(value & opt (some file) None
+       & info [ "baseline" ] ~docv:"FILE"
+           ~doc:"Diff the fresh results against this bench history's \
+                 latest entry; exit 1 on a regression.")
+
+let no_append_flag =
+  Arg.(value & flag
+       & info [ "no-append" ]
+           ~doc:"Run and (optionally) diff without writing the history \
+                 file.")
+
+let bench_cmd =
+  let doc = "run the pinned workload matrix and append to the bench history" in
+  Cmd.v
+    (Cmd.info "bench" ~doc)
+    Term.(const bench $ bench_out_opt $ commit_opt $ bench_jobs_opt
+          $ baseline_opt $ threshold_opt $ no_append_flag)
+
+(* ---------------- entry ---------------- *)
+
+let cmd =
+  let doc = "analyse SweepCache traces, metrics and results" in
+  Cmd.group (Cmd.info "sweeptrace" ~doc) [ report_cmd; diff_cmd; bench_cmd ]
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,33 @@
+(** The perf-regression pipeline: a pinned workload matrix and the
+    schema-versioned history file (BENCH_sweepcache.json) CI appends to
+    on every commit and diffs against the committed baseline.
+
+    The simulator is fully deterministic (every simulated metric is a
+    pure function of the job), so the gate compares exact values;
+    wall-clock [elapsed_s] is excluded. *)
+
+val schema_version : int
+
+val matrix_id : string
+(** Identity of the pinned matrix; bumped whenever the job set changes.
+    Entries from different matrices refuse to diff. *)
+
+val jobs : unit -> Sweep_exp.Jobs.t list
+(** The pinned matrix: NVP, ReplayCache and SweepCache (empty-bit) ×
+    sha/dijkstra/fft at scale 0.1 under harvested RF-home power. *)
+
+val run : ?workers:int -> unit -> Diff.run
+(** Execute the matrix through {!Sweep_exp.Executor} and project every
+    summary onto the results schema's numeric fields. *)
+
+type entry = { ts : string; commit : string; results : Diff.run }
+
+val load_entries : string -> (entry list, string) result
+(** [Ok []] when the file does not exist yet; [Error] on a schema or
+    matrix mismatch. *)
+
+val append : path:string -> entry -> (int, string) result
+(** Append one entry, rewriting the file atomically (tmp + rename).
+    Returns the new entry count. *)
+
+val latest : string -> (entry, string) result

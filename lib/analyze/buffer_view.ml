@@ -1,0 +1,136 @@
+(* Per-persist-buffer occupancy from the Buf_phase spans: busy time per
+   phase (fill / flush / drain), dead time between uses (a buffer's
+   drain end → its next fill start), and the cross-buffer overlap that
+   is the paper's region-level parallelism made quantitative (§3.3,
+   Fig. 5's source of speedup). *)
+
+module Ev = Sweep_obs.Event
+
+(* Dead-time histogram bucket upper bounds, in ns (overflow bucket
+   appended by [histogram]). *)
+let dead_time_bounds = [| 1e2; 1e3; 1e4; 1e5; 1e6; 1e7 |]
+
+type per_buffer = {
+  buf : int;
+  cycles : int;           (* fill→flush→drain uses (fill spans seen) *)
+  fill_ns : float;
+  flush_ns : float;
+  drain_ns : float;
+  dead_ns : float;        (* idle gaps between consecutive uses *)
+  dead_gaps : float list; (* each gap, ns *)
+}
+
+type t = {
+  buffers : per_buffer list;   (* ascending buffer index *)
+  overlap_ns : float;          (* time with >= 2 buffers busy *)
+  busy_union_ns : float;       (* time with >= 1 buffer busy *)
+}
+
+type raw = { phase : Ev.phase; start_ns : float; end_ns : float }
+
+let of_entries entries =
+  let tbl : (int, raw list ref) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun { Trace_reader.event; _ } ->
+      match event with
+      | Ev.Buf_phase { buf; phase; start_ns; end_ns; _ }
+        when end_ns > start_ns ->
+        let cell =
+          match Hashtbl.find_opt tbl buf with
+          | Some r -> r
+          | None ->
+            let r = ref [] in
+            Hashtbl.replace tbl buf r;
+            r
+        in
+        cell := { phase; start_ns; end_ns } :: !cell
+      | _ -> ())
+    entries;
+  let buffers =
+    Hashtbl.fold (fun buf spans acc -> (buf, List.rev !spans) :: acc) tbl []
+    |> List.sort compare
+    |> List.map (fun (buf, spans) ->
+           let fill_ns = ref 0.0 and flush_ns = ref 0.0 and drain_ns = ref 0.0 in
+           let cycles = ref 0 in
+           List.iter
+             (fun { phase; start_ns; end_ns } ->
+               let d = end_ns -. start_ns in
+               match phase with
+               | Ev.Fill ->
+                 incr cycles;
+                 fill_ns := !fill_ns +. d
+               | Ev.Flush -> flush_ns := !flush_ns +. d
+               | Ev.Drain -> drain_ns := !drain_ns +. d)
+             spans;
+           (* Idle gaps between consecutive busy intervals of this
+              buffer (sorted by start; fill/flush/drain of one use are
+              contiguous, so gaps are the between-use dead time). *)
+           let sorted =
+             List.sort
+               (fun a b -> compare (a.start_ns, a.end_ns) (b.start_ns, b.end_ns))
+               spans
+           in
+           let dead_gaps = ref [] in
+           let last_end = ref neg_infinity in
+           List.iter
+             (fun { start_ns; end_ns; _ } ->
+               if Float.is_finite !last_end && start_ns > !last_end then
+                 dead_gaps := (start_ns -. !last_end) :: !dead_gaps;
+               last_end := max !last_end end_ns)
+             sorted;
+           let dead_gaps = List.rev !dead_gaps in
+           {
+             buf;
+             cycles = !cycles;
+             fill_ns = !fill_ns;
+             flush_ns = !flush_ns;
+             drain_ns = !drain_ns;
+             dead_ns = List.fold_left ( +. ) 0.0 dead_gaps;
+             dead_gaps;
+           })
+  in
+  (* Cross-buffer overlap: sweep the union of all busy intervals. *)
+  let edges =
+    Hashtbl.fold
+      (fun _ spans acc ->
+        List.fold_left
+          (fun acc { start_ns; end_ns; _ } ->
+            (start_ns, 1) :: (end_ns, -1) :: acc)
+          acc !spans)
+      tbl []
+    |> List.sort compare
+  in
+  let overlap_ns = ref 0.0 and busy_union_ns = ref 0.0 in
+  let depth = ref 0 and prev = ref nan in
+  List.iter
+    (fun (t, d) ->
+      if Float.is_finite !prev && t > !prev then begin
+        let span = t -. !prev in
+        if !depth >= 1 then busy_union_ns := !busy_union_ns +. span;
+        if !depth >= 2 then overlap_ns := !overlap_ns +. span
+      end;
+      depth := !depth + d;
+      prev := t)
+    edges;
+  { buffers; overlap_ns = !overlap_ns; busy_union_ns = !busy_union_ns }
+
+let busy_ns b = b.fill_ns +. b.flush_ns +. b.drain_ns
+
+(* Counts per dead-time bucket (overflow appended), paired with upper
+   bounds. *)
+let dead_time_histogram t =
+  let n = Array.length dead_time_bounds in
+  let counts = Array.make (n + 1) 0 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun gap ->
+          let rec slot i =
+            if i >= n || gap <= dead_time_bounds.(i) then i else slot (i + 1)
+          in
+          let i = slot 0 in
+          counts.(i) <- counts.(i) + 1)
+        b.dead_gaps)
+    t.buffers;
+  List.init (n + 1) (fun i ->
+      ((if i < n then dead_time_bounds.(i) else infinity), counts.(i)))

@@ -1,0 +1,29 @@
+(** Per-persist-buffer occupancy from the [Buf_phase] spans: busy time
+    per phase, dead time between uses, and the cross-buffer overlap
+    that is region-level parallelism made quantitative (§3.3). *)
+
+type per_buffer = {
+  buf : int;
+  cycles : int;       (** fill→flush→drain uses (fill spans seen) *)
+  fill_ns : float;
+  flush_ns : float;   (** s-phase1 *)
+  drain_ns : float;   (** s-phase2 *)
+  dead_ns : float;
+  dead_gaps : float list;
+}
+
+type t = {
+  buffers : per_buffer list;  (** ascending buffer index *)
+  overlap_ns : float;         (** time with >= 2 buffers busy *)
+  busy_union_ns : float;      (** time with >= 1 buffer busy *)
+}
+
+val dead_time_bounds : float array
+(** Histogram bucket upper bounds, ns. *)
+
+val of_entries : Trace_reader.entry list -> t
+val busy_ns : per_buffer -> float
+
+val dead_time_histogram : t -> (float * int) list
+(** (upper bound, gap count) per bucket, overflow bucket ([infinity])
+    appended. *)

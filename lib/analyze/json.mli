@@ -1,0 +1,41 @@
+(** Minimal JSON parser for the analysis layer — just the grammar our
+    own sinks emit (JSONL trace lines, Chrome traces, metrics
+    snapshots, results lines, BENCH files).  No external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Whole-string parse; [Error] carries a short message with offset. *)
+
+val parse_file : string -> (t, string) result
+
+val render : t -> string
+(** Compact serialisation; integral numbers print without a fraction,
+    others as [%.17g] so parse/render round-trips. *)
+
+val escape_string : string -> string
+(** Quoted, escaped JSON string literal. *)
+
+(** {2 Accessors} — all total, [None]/[Some] instead of exceptions. *)
+
+val member : string -> t -> t option
+val to_float : t -> float option
+
+val to_int : t -> int option
+(** Integral [Num] only. *)
+
+val to_string : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+val to_obj : t -> (string * t) list option
+val float_member : string -> t -> float option
+val int_member : string -> t -> int option
+val string_member : string -> t -> string option
+val bool_member : string -> t -> bool option
+val list_member : string -> t -> t list option

@@ -1,0 +1,72 @@
+(* Reader for the --metrics-out snapshot (Sweep_obs.Metrics.render_json
+   output): canonical series name -> sample. *)
+
+type sample =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { count : int; sum : float; buckets : (float * int) list }
+
+type t = (string * sample) list
+
+let bound_of = function
+  | Json.Num f -> Some f
+  | Json.Str "+inf" -> Some infinity
+  | _ -> None
+
+let sample_of j =
+  let ( let* ) = Option.bind in
+  let* ty = Json.string_member "type" j in
+  match ty with
+  | "counter" ->
+    let* v = Json.int_member "value" j in
+    Some (Counter v)
+  | "gauge" ->
+    let* v = Json.float_member "value" j in
+    Some (Gauge v)
+  | "histogram" ->
+    let* count = Json.int_member "count" j in
+    let* sum = Json.float_member "sum" j in
+    let* buckets = Json.list_member "buckets" j in
+    let* buckets =
+      List.fold_left
+        (fun acc b ->
+          let* acc = acc in
+          let* le = Option.bind (Json.member "le" b) bound_of in
+          let* n = Json.int_member "n" b in
+          Some ((le, n) :: acc))
+        (Some []) buckets
+    in
+    Some (Histogram { count; sum; buckets = List.rev buckets })
+  | _ -> None
+
+let of_json j =
+  match
+    (Json.int_member "schema_version" j, Json.member "metrics" j)
+  with
+  | Some v, Some (Json.Obj series)
+    when v = Sweep_obs.Metrics.json_schema_version ->
+    Ok
+      (List.filter_map
+         (fun (name, s) -> Option.map (fun s -> (name, s)) (sample_of s))
+         series)
+  | Some v, Some _ when v <> Sweep_obs.Metrics.json_schema_version ->
+    Error (Printf.sprintf "unsupported metrics schema_version %d" v)
+  | _ -> Error "not a metrics snapshot (missing schema_version/metrics)"
+
+let load path =
+  match Json.parse_file path with
+  | Error e -> Error (path ^ ": " ^ e)
+  | Ok j -> (
+    match of_json j with Error e -> Error (path ^ ": " ^ e) | Ok t -> Ok t)
+
+(* Numeric projection for diffing: counters and gauges as-is,
+   histograms as their count and sum. *)
+let numeric t =
+  List.concat_map
+    (fun (name, s) ->
+      match s with
+      | Counter n -> [ (name, float_of_int n) ]
+      | Gauge v -> [ (name, v) ]
+      | Histogram { count; sum; _ } ->
+        [ (name ^ ".count", float_of_int count); (name ^ ".sum", sum) ])
+    t

@@ -1,0 +1,19 @@
+(** Reader for the [--metrics-out] snapshot
+    ({!Sweep_obs.Metrics.render_json} output). *)
+
+type sample =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { count : int; sum : float; buckets : (float * int) list }
+
+type t = (string * sample) list
+(** Canonical series name ([name{k=v}]) → sample. *)
+
+val of_json : Json.t -> (t, string) result
+(** Validates [schema_version]. *)
+
+val load : string -> (t, string) result
+
+val numeric : t -> (string * float) list
+(** Flatten for diffing: counters and gauges as-is, a histogram as
+    [name.count] and [name.sum]. *)

@@ -1,0 +1,142 @@
+(* Outage and recovery accounting: power cycles, backup/restore energy,
+   and the three recovery cases of SweepCache's protocol (§4.2) — a
+   buffer found with s-phase1 incomplete is discarded ((0,0)), with
+   s-phase1 complete but s-phase2 not is re-driven ((1,0)), and a
+   reboot that finds nothing to redo or discard means every buffer had
+   fully drained ((1,1)).  The (1,0)/(0,0) marks are parsed from the
+   core's "redo seq N (L lines)" / "discard seq N (L lines)" reboot
+   markers. *)
+
+module Ev = Sweep_obs.Event
+
+type t = {
+  power_downs : int;
+  deaths : int;
+  reboots : int;
+  off_ns : float;            (* sum of Power_down -> Reboot gaps *)
+  backups_ok : int;
+  backups_failed : int;
+  backup_joules : float;     (* committed backups only *)
+  restores : int;
+  restore_joules : float;
+  replayed_stores : int;     (* ReplayCache recovery work *)
+  backup_lines : int;        (* JIT designs: lines checkpointed *)
+  redo_buffers : int;        (* (1,0): buffers re-driven on reboot *)
+  redo_lines : int;
+  discarded_buffers : int;   (* (0,0): buffers discarded on reboot *)
+  discarded_lines : int;
+  clean_reboots : int;       (* (1,1): nothing to redo or discard *)
+}
+
+type state = {
+  mutable acc : t;
+  mutable down_ns : float option;
+  (* Marks of the reboot being processed, to classify it as clean. *)
+  mutable current_reboot_dirty : bool;
+  mutable pending_reboot : bool;
+}
+
+let zero =
+  {
+    power_downs = 0;
+    deaths = 0;
+    reboots = 0;
+    off_ns = 0.0;
+    backups_ok = 0;
+    backups_failed = 0;
+    backup_joules = 0.0;
+    restores = 0;
+    restore_joules = 0.0;
+    replayed_stores = 0;
+    backup_lines = 0;
+    redo_buffers = 0;
+    redo_lines = 0;
+    discarded_buffers = 0;
+    discarded_lines = 0;
+    clean_reboots = 0;
+  }
+
+(* "redo seq 12 (3 lines)" -> 3; "discard seq 12 (3 lines)" -> 3 *)
+let mark_lines name =
+  match String.rindex_opt name '(' with
+  | None -> 0
+  | Some i -> (
+    try Scanf.sscanf (String.sub name i (String.length name - i))
+          "(%d lines)" (fun n -> n)
+    with Scanf.Scan_failure _ | Failure _ | End_of_file -> 0)
+
+let prefixed ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* The reboot marks arrive *after* the Reboot event (they are emitted
+   during on_reboot); a reboot is settled as clean when the next
+   power-down (or end of trace) arrives with no redo/discard seen. *)
+let settle st =
+  if st.pending_reboot && not st.current_reboot_dirty then
+    st.acc <- { st.acc with clean_reboots = st.acc.clean_reboots + 1 };
+  st.pending_reboot <- false;
+  st.current_reboot_dirty <- false
+
+let feed st { Trace_reader.ns; event } =
+  let a = st.acc in
+  match event with
+  | Ev.Power_down _ ->
+    settle st;
+    (* re-read: settle may have just counted a clean reboot *)
+    let a = st.acc in
+    st.down_ns <- Some ns;
+    st.acc <- { a with power_downs = a.power_downs + 1 }
+  | Ev.Death _ -> st.acc <- { a with deaths = a.deaths + 1 }
+  | Ev.Reboot _ ->
+    let off =
+      match st.down_ns with Some d when ns > d -> ns -. d | _ -> 0.0
+    in
+    st.down_ns <- None;
+    st.pending_reboot <- true;
+    st.current_reboot_dirty <- false;
+    st.acc <- { a with reboots = a.reboots + 1; off_ns = a.off_ns +. off }
+  | Ev.Backup { ok = true; joules } ->
+    st.acc <-
+      {
+        a with
+        backups_ok = a.backups_ok + 1;
+        backup_joules = a.backup_joules +. joules;
+      }
+  | Ev.Backup { ok = false; _ } ->
+    st.acc <- { a with backups_failed = a.backups_failed + 1 }
+  | Ev.Restore { joules } ->
+    st.acc <-
+      { a with restores = a.restores + 1;
+        restore_joules = a.restore_joules +. joules }
+  | Ev.Replay { stores } ->
+    st.acc <- { a with replayed_stores = a.replayed_stores + stores }
+  | Ev.Backup_lines { lines } ->
+    st.acc <- { a with backup_lines = a.backup_lines + lines }
+  | Ev.Mark { name; cat = Ev.Buffer } when prefixed ~prefix:"redo seq" name ->
+    st.current_reboot_dirty <- true;
+    st.acc <-
+      {
+        a with
+        redo_buffers = a.redo_buffers + 1;
+        redo_lines = a.redo_lines + mark_lines name;
+      }
+  | Ev.Mark { name; cat = Ev.Buffer } when prefixed ~prefix:"discard seq" name
+    ->
+    st.current_reboot_dirty <- true;
+    st.acc <-
+      {
+        a with
+        discarded_buffers = a.discarded_buffers + 1;
+        discarded_lines = a.discarded_lines + mark_lines name;
+      }
+  | _ -> ()
+
+let of_entries entries =
+  let st =
+    { acc = zero; down_ns = None; current_reboot_dirty = false;
+      pending_reboot = false }
+  in
+  List.iter (feed st) entries;
+  settle st;
+  st.acc

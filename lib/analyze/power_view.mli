@@ -1,0 +1,28 @@
+(** Outage and recovery accounting, including SweepCache's three
+    recovery cases (§4.2): a buffer found with s-phase1 incomplete is
+    discarded ((0,0)), one with s-phase1 complete but s-phase2 not is
+    re-driven ((1,0)), and a reboot with nothing to redo or discard
+    means every buffer had fully drained ((1,1)).  The (1,0)/(0,0)
+    marks are parsed from the core's "redo seq N (L lines)" /
+    "discard seq N (L lines)" reboot markers. *)
+
+type t = {
+  power_downs : int;
+  deaths : int;
+  reboots : int;
+  off_ns : float;          (** sum of Power_down → Reboot gaps *)
+  backups_ok : int;
+  backups_failed : int;
+  backup_joules : float;
+  restores : int;
+  restore_joules : float;
+  replayed_stores : int;
+  backup_lines : int;
+  redo_buffers : int;      (** (1,0) *)
+  redo_lines : int;
+  discarded_buffers : int; (** (0,0) *)
+  discarded_lines : int;
+  clean_reboots : int;     (** (1,1) *)
+}
+
+val of_entries : Trace_reader.entry list -> t

@@ -1,0 +1,98 @@
+(* Per-region accounting from the trace: forward progress vs wasted
+   (re-executed) work, and region-latency distribution.
+
+   A region span opens at Region_begin and closes at the next
+   Region_end.  The driver emits Power_down (and Death, for hard
+   deaths) *before* the machine closes the interrupted region at the
+   same timestamp, so a Region_end whose ns equals the last power-event
+   ns is an interruption: that region's work is lost and re-executes
+   under a new sequence number after reboot (SweepCache §4.2 — the same
+   accounting as Alpaca's re-execution cost). *)
+
+module Ev = Sweep_obs.Event
+
+type t = {
+  completed : int;        (* regions that reached their boundary *)
+  interrupted : int;      (* regions cut by a power failure *)
+  forward_ns : float;     (* execution time inside completed regions *)
+  wasted_ns : float;      (* execution time inside interrupted regions *)
+  latencies : float array; (* completed-region spans, ascending *)
+}
+
+type state = {
+  mutable open_region : (int * float) option; (* seq, begin ns *)
+  mutable last_power_ns : float option;
+  mutable completed : int;
+  mutable interrupted : int;
+  mutable forward_ns : float;
+  mutable wasted_ns : float;
+  mutable spans : float list;
+}
+
+let create () =
+  {
+    open_region = None;
+    last_power_ns = None;
+    completed = 0;
+    interrupted = 0;
+    forward_ns = 0.0;
+    wasted_ns = 0.0;
+    spans = [];
+  }
+
+let feed st { Trace_reader.ns; event } =
+  match event with
+  | Ev.Region_begin { seq; _ } -> st.open_region <- Some (seq, ns)
+  | Ev.Power_down _ | Ev.Death _ -> st.last_power_ns <- Some ns
+  | Ev.Region_end _ -> (
+    match st.open_region with
+    | None -> ()
+    | Some (_, begin_ns) ->
+      let span = max 0.0 (ns -. begin_ns) in
+      st.open_region <- None;
+      if st.last_power_ns = Some ns then begin
+        st.interrupted <- st.interrupted + 1;
+        st.wasted_ns <- st.wasted_ns +. span
+      end
+      else begin
+        st.completed <- st.completed + 1;
+        st.forward_ns <- st.forward_ns +. span;
+        st.spans <- span :: st.spans
+      end)
+  | _ -> ()
+
+let finish st =
+  let latencies = Array.of_list st.spans in
+  Array.sort compare latencies;
+  {
+    completed = st.completed;
+    interrupted = st.interrupted;
+    forward_ns = st.forward_ns;
+    wasted_ns = st.wasted_ns;
+    latencies;
+  }
+
+let of_entries entries =
+  let st = create () in
+  List.iter (feed st) entries;
+  finish st
+
+let attempts (t : t) = t.completed + t.interrupted
+
+(* Share of executed region time that was forward progress (1.0 when
+   nothing was interrupted or nothing ran). *)
+let forward_fraction (t : t) =
+  let total = t.forward_ns +. t.wasted_ns in
+  if total <= 0.0 then 1.0 else t.forward_ns /. total
+
+let percentile t p =
+  let n = Array.length t.latencies in
+  if n = 0 then 0.0
+  else
+    let i = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    t.latencies.(max 0 (min (n - 1) i))
+
+let mean_latency t =
+  let n = Array.length t.latencies in
+  if n = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 t.latencies /. float_of_int n

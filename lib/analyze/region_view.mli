@@ -1,0 +1,27 @@
+(** Per-region accounting from a trace: forward progress vs wasted
+    (re-executed) work, and the completed-region latency distribution.
+
+    A [Region_end] whose timestamp equals the last power event's is an
+    interruption — the driver emits [Power_down]/[Death] before the
+    machine closes the cut region at the same nanosecond — so its span
+    re-executes after reboot (SweepCache §4.2's re-execution cost). *)
+
+type t = {
+  completed : int;
+  interrupted : int;
+  forward_ns : float;   (** execution time inside completed regions *)
+  wasted_ns : float;    (** execution time inside interrupted regions *)
+  latencies : float array;  (** completed-region spans, ascending *)
+}
+
+val of_entries : Trace_reader.entry list -> t
+val attempts : t -> int
+
+val forward_fraction : t -> float
+(** Share of executed region time that was forward progress; 1.0 when
+    nothing ran or nothing was interrupted. *)
+
+val percentile : t -> float -> float
+(** [percentile t 95.0]; 0 when no region completed. *)
+
+val mean_latency : t -> float

@@ -1,0 +1,32 @@
+(** Render the derived views of one trace — regions, stalls, buffer
+    occupancy, outage/recovery accounting — plus an optional metrics
+    snapshot and results JSONL, as text, CSV, or markdown.  One
+    [section] is one small table so all three renderers share the same
+    structure. *)
+
+type format = Text | Csv | Markdown
+
+type section = {
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+type t = { source : string; warnings : string list; sections : section list }
+
+val build :
+  ?metrics_path:string ->
+  ?results_path:string ->
+  trace_path:string ->
+  unit ->
+  (t, string) result
+(** Read and analyse [trace_path] (a JSONL trace from
+    [sweepsim --trace --trace-format jsonl]).  A dropped-events count in
+    the trace becomes a truncation warning; an unreadable metrics or
+    results side-file degrades to a warning rather than an error. *)
+
+val render : format -> t -> string
+
+val format_of_string : string -> format option
+(** ["text"], ["csv"], ["md"]/["markdown"]. *)

@@ -1,0 +1,20 @@
+(** Reader for the results JSONL files the experiment stack appends
+    ({!Sweep_exp.Results} schema): one record per key, last line wins
+    when a file accumulated several runs of the same job. *)
+
+type record = {
+  key : string;
+  experiment : string;
+  design : string;
+  bench : string;
+  metrics : (string * float) list;
+}
+
+val with_derived : (string * float) list -> (string * float) list
+(** Append the derived [total_ns] / [total_joules] series when their
+    inputs are present. *)
+
+val record_of_line : Json.t -> record option
+
+val load : string -> (record list, string) result
+(** [Error] when the file is unreadable or holds no parseable lines. *)

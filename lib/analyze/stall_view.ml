@@ -1,0 +1,91 @@
+(* Stall and buffer-traffic attribution: where execution time went
+   besides useful instructions — WAW stalls (§4.3), structural waits at
+   region boundaries (§3.3) — and how misses interacted with the
+   persist buffers (searches vs empty-bit bypasses, §4.4). *)
+
+module Ev = Sweep_obs.Event
+
+type t = {
+  waw_stalls : int;
+  waw_ns : float;
+  waits : int;
+  wait_ns : float;
+  searches : int;
+  scanned : int;          (* entries examined across all searches *)
+  search_hits : int;
+  bypasses : int;
+  load_misses : int;
+  store_misses : int;
+  writebacks : int;
+  first_ns : float;       (* trace horizon *)
+  last_ns : float;
+}
+
+let of_entries entries =
+  let t =
+    ref
+      {
+        waw_stalls = 0;
+        waw_ns = 0.0;
+        waits = 0;
+        wait_ns = 0.0;
+        searches = 0;
+        scanned = 0;
+        search_hits = 0;
+        bypasses = 0;
+        load_misses = 0;
+        store_misses = 0;
+        writebacks = 0;
+        first_ns = infinity;
+        last_ns = neg_infinity;
+      }
+  in
+  List.iter
+    (fun { Trace_reader.ns; event } ->
+      let s = !t in
+      let s =
+        if Float.is_finite ns then
+          {
+            s with
+            first_ns = min s.first_ns ns;
+            last_ns = max s.last_ns ns;
+          }
+        else s
+      in
+      t :=
+        (match event with
+        | Ev.Waw_stall { ns = dur; _ } ->
+          { s with waw_stalls = s.waw_stalls + 1; waw_ns = s.waw_ns +. dur }
+        | Ev.Buf_wait { ns = dur; _ } ->
+          { s with waits = s.waits + 1; wait_ns = s.wait_ns +. dur }
+        | Ev.Buffer_search { scanned; hit } ->
+          {
+            s with
+            searches = s.searches + 1;
+            scanned = s.scanned + scanned;
+            search_hits = (s.search_hits + if hit then 1 else 0);
+          }
+        | Ev.Buffer_bypass -> { s with bypasses = s.bypasses + 1 }
+        | Ev.Cache_miss { write = false; _ } ->
+          { s with load_misses = s.load_misses + 1 }
+        | Ev.Cache_miss { write = true; _ } ->
+          { s with store_misses = s.store_misses + 1 }
+        | Ev.Cache_writeback _ -> { s with writebacks = s.writebacks + 1 }
+        | _ -> s))
+    entries;
+  !t
+
+let horizon_ns t =
+  if t.last_ns > t.first_ns then t.last_ns -. t.first_ns else 0.0
+
+let bypass_rate t =
+  let total = t.searches + t.bypasses in
+  if total = 0 then 0.0 else float_of_int t.bypasses /. float_of_int total
+
+let hit_rate t =
+  if t.searches = 0 then 0.0
+  else float_of_int t.search_hits /. float_of_int t.searches
+
+let avg_scanned t =
+  if t.searches = 0 then 0.0
+  else float_of_int t.scanned /. float_of_int t.searches

@@ -1,0 +1,31 @@
+(** Stall and buffer-traffic attribution: WAW persist-order stalls
+    (§4.3), structural waits for a free persist buffer (§3.3), and how
+    misses interacted with the buffers — sequential searches vs
+    empty-bit bypasses (§4.4). *)
+
+type t = {
+  waw_stalls : int;
+  waw_ns : float;
+  waits : int;
+  wait_ns : float;
+  searches : int;
+  scanned : int;      (** entries examined across all searches *)
+  search_hits : int;
+  bypasses : int;
+  load_misses : int;
+  store_misses : int;
+  writebacks : int;
+  first_ns : float;
+  last_ns : float;
+}
+
+val of_entries : Trace_reader.entry list -> t
+
+val horizon_ns : t -> float
+(** [last_ns - first_ns]; 0 on an empty trace. *)
+
+val bypass_rate : t -> float
+(** Bypasses / (searches + bypasses). *)
+
+val hit_rate : t -> float
+val avg_scanned : t -> float

@@ -1,0 +1,86 @@
+(* Streaming reader for the JSONL event trace (Sweep_obs.Jsonl_sink
+   output, or a Ring drained through it).  Lines are parsed one at a
+   time — a multi-hour trace never has to fit in memory — and decoded
+   back into typed events through Sweep_obs.Event.of_parts, so the
+   constructor list and this reader cannot drift apart. *)
+
+module Ev = Sweep_obs.Event
+
+type entry = { ns : float; event : Ev.t }
+
+type stats = {
+  lines : int;       (* non-empty lines seen *)
+  parsed : int;      (* lines decoded into events *)
+  malformed : int;   (* lines rejected (bad JSON or unknown layout) *)
+  dropped : int;     (* events lost before the trace was written
+                        (sum of Dropped payloads; 0 = complete trace) *)
+}
+
+let empty_stats = { lines = 0; parsed = 0; malformed = 0; dropped = 0 }
+
+(* The JSONL layout fields that are not event payload. *)
+let meta_fields = [ "ns"; "ev"; "name"; "cat" ]
+
+let arg_of_json = function
+  | Json.Bool b -> Some (Ev.Bool b)
+  | Json.Num f -> Some (Ev.Num f)
+  | Json.Str s -> Some (Ev.Str s)
+  | Json.Null | Json.List _ | Json.Obj _ -> None
+
+let parse_line line =
+  match Json.parse line with
+  | Error _ -> None
+  | Ok j -> (
+    match
+      ( Json.float_member "ns" j,
+        Json.string_member "ev" j,
+        Json.string_member "name" j,
+        Json.string_member "cat" j,
+        Json.to_obj j )
+    with
+    | Some ns, Some tag, Some name, Some cat, Some fields ->
+      let args =
+        List.filter_map
+          (fun (k, v) ->
+            if List.mem k meta_fields then None
+            else Option.map (fun a -> (k, a)) (arg_of_json v))
+          fields
+      in
+      Option.map
+        (fun event -> { ns; event })
+        (Ev.of_parts ~tag ~name ~cat ~args)
+    | _ -> None)
+
+let fold path ~init ~f =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let acc = ref init in
+      let stats = ref empty_stats in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then begin
+             let s = !stats in
+             match parse_line line with
+             | Some entry ->
+               let dropped =
+                 match entry.event with
+                 | Ev.Dropped { count } -> s.dropped + count
+                 | _ -> s.dropped
+               in
+               stats :=
+                 { s with lines = s.lines + 1; parsed = s.parsed + 1; dropped };
+               acc := f !acc entry
+             | None ->
+               stats :=
+                 { s with lines = s.lines + 1; malformed = s.malformed + 1 }
+           end
+         done
+       with End_of_file -> ());
+      (!acc, !stats))
+
+let read_all path =
+  let entries, stats = fold path ~init:[] ~f:(fun acc e -> e :: acc) in
+  (List.rev entries, stats)

@@ -79,6 +79,48 @@ let json_escape s =
    the [ts] emission timestamp. *)
 let schema_version = 2
 
+type direction = [ `Lower_better | `Higher_better | `Info ]
+
+(* The numeric per-line fields and the direction a change should be
+   judged in, kept next to [json_line] so a schema change updates both.
+   [`Info] fields are reported but never gate a regression verdict
+   (e.g. elapsed_s is wall-clock noise; buffer_hits depends on the
+   design's policy, not on how fast it runs). *)
+let numeric_fields =
+  [
+    ("on_ns", `Lower_better);
+    ("off_ns", `Lower_better);
+    ("outages", `Lower_better);
+    ("deaths", `Lower_better);
+    ("backups", `Info);
+    ("failed_backups", `Lower_better);
+    ("compute_joules", `Lower_better);
+    ("backup_joules", `Lower_better);
+    ("restore_joules", `Lower_better);
+    ("quiescent_joules", `Lower_better);
+    ("instructions", `Lower_better);
+    ("loads", `Info);
+    ("stores", `Info);
+    ("regions", `Info);
+    ("buffer_searches", `Info);
+    ("buffer_bypasses", `Info);
+    ("buffer_hits", `Info);
+    ("parallelism_eff", `Higher_better);
+    ("miss_rate", `Lower_better);
+    ("nvm_writes", `Lower_better);
+    ("scale", `Info);
+    ("elapsed_s", `Info);
+  ]
+
+(* Derived series sweeptrace adds on top of the raw fields. *)
+let derived_fields =
+  [ ("total_ns", `Lower_better); ("total_joules", `Lower_better) ]
+
+let direction name =
+  match List.assoc_opt name (numeric_fields @ derived_fields) with
+  | Some d -> d
+  | None -> `Info
+
 let iso8601 epoch_s =
   let tm = Unix.gmtime epoch_s in
   Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)

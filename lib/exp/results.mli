@@ -59,6 +59,21 @@ val schema_version : int
 val iso8601 : float -> string
 (** UTC ISO-8601 rendering of a Unix epoch ([2026-08-05T12:00:00Z]). *)
 
+type direction = [ `Lower_better | `Higher_better | `Info ]
+(** How a change in a numeric field should be judged.  [`Info] fields
+    are informational only and never gate a regression verdict. *)
+
+val numeric_fields : (string * direction) list
+(** Every numeric field {!json_line} emits, with its direction — the
+    schema accessor [sweeptrace diff] consumes; kept next to
+    {!json_line} so a layout change updates both. *)
+
+val derived_fields : (string * direction) list
+(** Series derived from the raw fields ([total_ns], [total_joules]). *)
+
+val direction : string -> direction
+(** Direction of a raw or derived field ([`Info] for unknown names). *)
+
 val json_line :
   ?ts:float ->
   exp:string ->

@@ -105,7 +105,7 @@ let write st ~ns ev =
       span st ~tid:cpu_tid ~name:(Event.name ev) ~cat:"buffer" ~start_ns:ns
         ~dur_ns:dur ev
     | Buffer_search _ | Buffer_bypass | Cache_miss _ | Cache_writeback _
-    | Halt ->
+    | Halt | Dropped _ ->
       mark st ~tid:cpu_tid ~ns ev
     | Power_down { volts } ->
       name_thread st ~pid:sim_pid ~tid:power_tid "power";

@@ -50,6 +50,7 @@ type t =
   | Replay of { stores : int }
   | Voltage of { volts : float }
   | Halt
+  | Dropped of { count : int }
   | Job_start of { key : string }
   | Job_done of { key : string; elapsed_s : float }
   | Mark of { name : string; cat : category }
@@ -62,7 +63,7 @@ let category = function
   | Power_down _ | Death _ | Reboot _ | Backup _ | Backup_lines _ | Restore _
   | Replay _ | Voltage _ ->
     Power
-  | Halt -> Exec
+  | Halt | Dropped _ -> Exec
   | Job_start _ | Job_done _ -> Job
   | Mark { cat; _ } -> cat
 
@@ -89,9 +90,37 @@ let name = function
   | Replay _ -> "replay"
   | Voltage _ -> "voltage"
   | Halt -> "halt"
+  | Dropped { count } -> Printf.sprintf "%d events dropped" count
   | Job_start _ -> "job"
   | Job_done _ -> "job"
   | Mark { name; _ } -> name
+
+(* Stable constructor tag, written as the ["ev"] field of every JSONL
+   line so readers can reconstruct the variant (the display [name] is
+   ambiguous: Region_begin and Region_end render identically). *)
+let tag = function
+  | Region_begin _ -> "region_begin"
+  | Region_end _ -> "region_end"
+  | Buf_phase _ -> "buf_phase"
+  | Buf_wait _ -> "buf_wait"
+  | Waw_stall _ -> "waw_stall"
+  | Buffer_search _ -> "buffer_search"
+  | Buffer_bypass -> "buffer_bypass"
+  | Cache_miss _ -> "cache_miss"
+  | Cache_writeback _ -> "cache_writeback"
+  | Power_down _ -> "power_down"
+  | Death _ -> "death"
+  | Reboot _ -> "reboot"
+  | Backup _ -> "backup"
+  | Backup_lines _ -> "backup_lines"
+  | Restore _ -> "restore"
+  | Replay _ -> "replay"
+  | Voltage _ -> "voltage"
+  | Halt -> "halt"
+  | Dropped _ -> "dropped"
+  | Job_start _ -> "job_start"
+  | Job_done _ -> "job_done"
+  | Mark _ -> "mark"
 
 let json_string s =
   let b = Buffer.create (String.length s + 8) in
@@ -118,8 +147,12 @@ let json_args = function
     Printf.sprintf
       "\"buf\":%d,\"seq\":%d,\"phase\":%d,\"start_ns\":%.17g,\"end_ns\":%.17g"
       buf seq (phase_index phase) start_ns end_ns
-  | Buf_wait { buf; ns } -> Printf.sprintf "\"buf\":%d,\"ns\":%.17g" buf ns
-  | Waw_stall { seq; ns } -> Printf.sprintf "\"seq\":%d,\"ns\":%.17g" seq ns
+  (* durations are "dur_ns": a payload key of "ns" would collide with
+     the JSONL line's own timestamp field *)
+  | Buf_wait { buf; ns } ->
+    Printf.sprintf "\"buf\":%d,\"dur_ns\":%.17g" buf ns
+  | Waw_stall { seq; ns } ->
+    Printf.sprintf "\"seq\":%d,\"dur_ns\":%.17g" seq ns
   | Buffer_search { scanned; hit } ->
     Printf.sprintf "\"scanned\":%d,\"hit\":%b" scanned hit
   | Buffer_bypass -> ""
@@ -135,7 +168,116 @@ let json_args = function
   | Restore { joules } -> Printf.sprintf "\"joules\":%.17g" joules
   | Replay { stores } -> Printf.sprintf "\"stores\":%d" stores
   | Halt -> ""
+  | Dropped { count } -> Printf.sprintf "\"count\":%d" count
   | Job_start { key } -> Printf.sprintf "\"job\":%s" (json_string key)
   | Job_done { key; elapsed_s } ->
     Printf.sprintf "\"job\":%s,\"elapsed_s\":%.6f" (json_string key) elapsed_s
   | Mark _ -> ""
+
+(* ------------------------------------------------------------------ *)
+(* Round-trip parsing: rebuild an event from its [tag], display [name],
+   category name and decoded argument fields.  The inverse of
+   [tag]/[name]/[json_args] for every constructor, so a JSONL trace can
+   be re-read by Sweep_analyze without an external JSON dependency
+   leaking into this library. *)
+
+type arg = Bool of bool | Num of float | Str of string
+
+let num_arg args k =
+  match List.assoc_opt k args with Some (Num f) -> Some f | _ -> None
+
+let int_arg args k =
+  match num_arg args k with
+  | Some f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let bool_arg args k =
+  match List.assoc_opt k args with Some (Bool b) -> Some b | _ -> None
+
+let str_arg args k =
+  match List.assoc_opt k args with Some (Str s) -> Some s | _ -> None
+
+let phase_of_index = function
+  | 1 -> Some Fill
+  | 2 -> Some Flush
+  | 3 -> Some Drain
+  | _ -> None
+
+let of_parts ~tag ~name ~cat ~args =
+  let ( let* ) = Option.bind in
+  match tag with
+  | "region_begin" ->
+    let* seq = int_arg args "seq" in
+    let* buf = int_arg args "buf" in
+    Some (Region_begin { seq; buf })
+  | "region_end" ->
+    let* seq = int_arg args "seq" in
+    let* buf = int_arg args "buf" in
+    Some (Region_end { seq; buf })
+  | "buf_phase" ->
+    let* buf = int_arg args "buf" in
+    let* seq = int_arg args "seq" in
+    let* phase = Option.bind (int_arg args "phase") phase_of_index in
+    let* start_ns = num_arg args "start_ns" in
+    let* end_ns = num_arg args "end_ns" in
+    Some (Buf_phase { buf; seq; phase; start_ns; end_ns })
+  | "buf_wait" ->
+    let* buf = int_arg args "buf" in
+    let* ns = num_arg args "dur_ns" in
+    Some (Buf_wait { buf; ns })
+  | "waw_stall" ->
+    let* seq = int_arg args "seq" in
+    let* ns = num_arg args "dur_ns" in
+    Some (Waw_stall { seq; ns })
+  | "buffer_search" ->
+    let* scanned = int_arg args "scanned" in
+    let* hit = bool_arg args "hit" in
+    Some (Buffer_search { scanned; hit })
+  | "buffer_bypass" -> Some Buffer_bypass
+  | "cache_miss" ->
+    let* addr = int_arg args "addr" in
+    let* write = bool_arg args "write" in
+    Some (Cache_miss { addr; write })
+  | "cache_writeback" ->
+    let* base = int_arg args "base" in
+    Some (Cache_writeback { base })
+  | "power_down" ->
+    let* volts = num_arg args "volts" in
+    Some (Power_down { volts })
+  | "death" ->
+    let* volts = num_arg args "volts" in
+    Some (Death { volts })
+  | "reboot" ->
+    let* outage = int_arg args "outage" in
+    Some (Reboot { outage })
+  | "backup" ->
+    let* ok = bool_arg args "ok" in
+    let* joules = num_arg args "joules" in
+    Some (Backup { ok; joules })
+  | "backup_lines" ->
+    let* lines = int_arg args "lines" in
+    Some (Backup_lines { lines })
+  | "restore" ->
+    let* joules = num_arg args "joules" in
+    Some (Restore { joules })
+  | "replay" ->
+    let* stores = int_arg args "stores" in
+    Some (Replay { stores })
+  | "voltage" ->
+    let* volts = num_arg args "volts" in
+    Some (Voltage { volts })
+  | "halt" -> Some Halt
+  | "dropped" ->
+    let* count = int_arg args "count" in
+    Some (Dropped { count })
+  | "job_start" ->
+    let* key = str_arg args "job" in
+    Some (Job_start { key })
+  | "job_done" ->
+    let* key = str_arg args "job" in
+    let* elapsed_s = num_arg args "elapsed_s" in
+    Some (Job_done { key; elapsed_s })
+  | "mark" ->
+    let* cat = category_of_name cat in
+    Some (Mark { name; cat })
+  | _ -> None

@@ -45,6 +45,9 @@ type t =
   | Replay of { stores : int }       (** ReplayCache store replay. *)
   | Voltage of { volts : float }     (** Capacitor sample (counter track). *)
   | Halt
+  | Dropped of { count : int }
+      (** [count] earlier events were lost (bounded sink overwrote on
+          wrap) — a trace containing this is truncated, not complete. *)
   | Job_start of { key : string }
   | Job_done of { key : string; elapsed_s : float }
   | Mark of { name : string; cat : category }
@@ -53,9 +56,32 @@ type t =
 val category : t -> category
 val name : t -> string
 
+val tag : t -> string
+(** Stable lower-snake constructor tag ([region_begin], [buf_phase],
+    …) — the ["ev"] field of every JSONL line.  Unlike {!name} it is
+    unambiguous, so {!of_parts} can reconstruct the variant. *)
+
 val json_string : string -> string
 (** JSON string literal (with quotes) of [s]. *)
 
 val json_args : t -> string
 (** The payload as JSON object fields without surrounding braces
     (possibly empty). *)
+
+(** {2 Round-trip parsing}
+
+    Inverse of {!tag}/{!name}/{!json_args}: rebuild the event from a
+    decoded JSONL line.  Lives here (rather than in [Sweep_analyze]) so
+    the constructor list and its parser can never drift apart. *)
+
+type arg = Bool of bool | Num of float | Str of string
+(** Decoded JSON scalar — what a trace reader hands back for each
+    payload field. *)
+
+val of_parts :
+  tag:string -> name:string -> cat:string -> args:(string * arg) list ->
+  t option
+(** [of_parts ~tag ~name ~cat ~args] is the event whose JSONL rendering
+    carries those parts, or [None] for an unknown tag / missing or
+    ill-typed fields.  [name] and [cat] matter only for [mark] events;
+    numeric fields accept any integral [Num]. *)

@@ -2,6 +2,18 @@
    a mutex and a single buffered channel, so lines from different
    domains never interleave. *)
 
+(* The line layout readers depend on (see Sweep_analyze.Trace_reader):
+   ns, then the stable constructor tag, then the display name and
+   category, then the payload fields. *)
+let render_line ~ns ev =
+  let args = Event.json_args ev in
+  Printf.sprintf "{\"ns\":%.17g,\"ev\":\"%s\",\"name\":%s,\"cat\":\"%s\"%s%s}"
+    ns (Event.tag ev)
+    (Event.json_string (Event.name ev))
+    (Event.category_name (Event.category ev))
+    (if args = "" then "" else ",")
+    args
+
 let create path =
   let lock = Mutex.create () in
   let oc = open_out path in
@@ -13,13 +25,8 @@ let create path =
   let write ~ns ev =
     with_lock (fun () ->
         if not !closed then begin
-          let args = Event.json_args ev in
-          Printf.fprintf oc "{\"ns\":%.17g,\"name\":%s,\"cat\":\"%s\"%s%s}\n"
-            ns
-            (Event.json_string (Event.name ev))
-            (Event.category_name (Event.category ev))
-            (if args = "" then "" else ",")
-            args
+          output_string oc (render_line ~ns ev);
+          output_char oc '\n'
         end)
   in
   Sink.make write

@@ -1,6 +1,11 @@
 (** Raw event log: one JSON object per event, one per line
-    ([{"ns":…,"name":…,"cat":…,…payload}]).  Whole-line atomic across
-    domains.  For greppable logs; use {!Chrome_trace} for timelines. *)
+    ([{"ns":…,"ev":…,"name":…,"cat":…,…payload}]).  Whole-line atomic
+    across domains.  For greppable logs and for
+    [Sweep_analyze.Trace_reader]; use {!Chrome_trace} for timelines. *)
+
+val render_line : ns:float -> Event.t -> string
+(** The exact line {!create}'s sink writes (no trailing newline) —
+    exposed so the round-trip tests and readers share one layout. *)
 
 val create : string -> Sink.t
 (** [create path] truncates/creates [path]; events stream through a

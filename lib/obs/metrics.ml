@@ -177,6 +177,54 @@ let reset () =
             Atomic.set h.hcount 0)
         registry)
 
+(* Machine-readable snapshot export (--metrics-out): one object keyed by
+   canonical series name.  The histogram overflow bucket's bound is the
+   string "+inf" (JSON has no infinity literal). *)
+let json_schema_version = 1
+
+let render_json snap =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"schema_version\":%d,\"metrics\":{" json_schema_version);
+  List.iteri
+    (fun i (name, s) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Event.json_string name);
+      Buffer.add_char b ':';
+      match s with
+      | Count n ->
+        Buffer.add_string b
+          (Printf.sprintf "{\"type\":\"counter\",\"value\":%d}" n)
+      | Value v ->
+        Buffer.add_string b
+          (Printf.sprintf "{\"type\":\"gauge\",\"value\":%.17g}" v)
+      | Histo { count; sum; buckets } ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"type\":\"histogram\",\"count\":%d,\"sum\":%.17g,\"buckets\":["
+             count sum);
+        List.iteri
+          (fun j (bound, n) ->
+            if j > 0 then Buffer.add_char b ',';
+            Buffer.add_string b
+              (Printf.sprintf "{\"le\":%s,\"n\":%d}"
+                 (if bound = infinity then "\"+inf\""
+                  else Printf.sprintf "%.17g" bound)
+                 n))
+          buckets;
+        Buffer.add_string b "]}")
+    snap;
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
+let write_json path snap =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (render_json snap);
+      output_char oc '\n')
+
 let render snap =
   let b = Buffer.create 1024 in
   List.iter

@@ -57,3 +57,16 @@ val reset : unit -> unit
 
 val render : snapshot -> string
 (** Plain-text dump, one instrument per line. *)
+
+val json_schema_version : int
+(** Layout version stamped into {!render_json} output. *)
+
+val render_json : snapshot -> string
+(** Machine-readable snapshot
+    ([{"schema_version":1,"metrics":{name:{type,…}}}]); histogram
+    bucket bounds pair [le] (the overflow bound is the string
+    ["+inf"]) with the per-bucket count [n].  This is what
+    [--metrics-out] writes and what [sweeptrace] reads back. *)
+
+val write_json : string -> snapshot -> unit
+(** {!render_json} to a file (plus trailing newline). *)

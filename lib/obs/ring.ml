@@ -42,6 +42,18 @@ let to_list t =
           | Some e -> e
           | None -> assert false))
 
+(* Replay the retained window into another sink, oldest first.  A wrap
+   is made explicit: the stream opens with a [Dropped] event so a
+   truncated trace can never masquerade as a complete one. *)
+let drain_to t sink =
+  let entries = to_list t in
+  let d = dropped t in
+  if d > 0 then begin
+    let first_ns = match entries with e :: _ -> e.ns | [] -> 0.0 in
+    sink.Sink.write ~ns:first_ns (Event.Dropped { count = d })
+  end;
+  List.iter (fun e -> sink.Sink.write ~ns:e.ns e.event) entries
+
 let clear t =
   with_lock t (fun () ->
       Array.fill t.slots 0 (Array.length t.slots) None;

@@ -23,4 +23,9 @@ val dropped : t -> int
 val to_list : t -> entry list
 (** Retained events, oldest first. *)
 
+val drain_to : t -> Sink.t -> unit
+(** Replay the retained window into [sink], oldest first, preceded by an
+    {!Event.Dropped} event when the ring wrapped — downstream consumers
+    (and [sweeptrace]) must see that the trace is truncated. *)
+
 val clear : t -> unit

@@ -434,6 +434,83 @@ let test_results_schema_v2 () =
   check Alcotest.string "epoch render" "2025-08-05T00:00:00Z"
     (Results.iso8601 1754352000.0)
 
+(* ------------------------------------------------------------------ *)
+(* Ring drain and event round-trip parsing.                            *)
+
+let test_ring_drain_to_marks_truncation () =
+  let ring = Ring.create ~capacity:3 in
+  let sink = Ring.sink ring in
+  for i = 1 to 5 do
+    sink.Sink.write ~ns:(float_of_int i) (Ev.Reboot { outage = i })
+  done;
+  let drained = Ring.create ~capacity:16 in
+  Ring.drain_to ring (Ring.sink drained);
+  let events = List.map (fun e -> e.Ring.event) (Ring.to_list drained) in
+  check Alcotest.int "dropped marker + retained window" 4 (List.length events);
+  (match events with
+  | Ev.Dropped { count } :: rest ->
+    check Alcotest.int "dropped count" 2 count;
+    check
+      Alcotest.(list int)
+      "window replayed oldest-first" [ 3; 4; 5 ]
+      (List.map (function Ev.Reboot { outage } -> outage | _ -> -1) rest)
+  | _ -> Alcotest.fail "first drained event must be Dropped");
+  (* No wrap -> no marker. *)
+  let small = Ring.create ~capacity:8 in
+  (Ring.sink small).Sink.write ~ns:1.0 Ev.Halt;
+  let out = Ring.create ~capacity:8 in
+  Ring.drain_to small (Ring.sink out);
+  check Alcotest.int "no marker when nothing dropped" 1 (Ring.length out)
+
+let test_event_of_parts_roundtrip () =
+  (* volts is rendered %.4f: use representable values. *)
+  let events =
+    [
+      Ev.Region_begin { seq = 3; buf = 1 };
+      Ev.Region_end { seq = 3; buf = 1 };
+      Ev.Buf_phase
+        { buf = 2; seq = 9; phase = Ev.Drain; start_ns = 10.0; end_ns = 32.5 };
+      Ev.Buf_wait { buf = 0; ns = 12.0 };
+      Ev.Waw_stall { seq = 4; ns = 7.25 };
+      Ev.Buffer_search { scanned = 5; hit = true };
+      Ev.Buffer_bypass;
+      Ev.Cache_miss { addr = 4096; write = false };
+      Ev.Cache_writeback { base = 64 };
+      Ev.Power_down { volts = 2.8125 };
+      Ev.Death { volts = 2.8125 };
+      Ev.Reboot { outage = 7 };
+      Ev.Backup { ok = false; joules = 1.5e-7 };
+      Ev.Backup_lines { lines = 12 };
+      Ev.Restore { joules = 2.5e-8 };
+      Ev.Replay { stores = 42 };
+      Ev.Voltage { volts = 3.25 };
+      Ev.Halt;
+      Ev.Dropped { count = 99 };
+      Ev.Job_start { key = "a|b" };
+      Ev.Job_done { key = "a|b"; elapsed_s = 0.25 };
+      Ev.Mark { name = "redo seq 3 (2 lines)"; cat = Ev.Buffer };
+    ]
+  in
+  List.iter
+    (fun ev ->
+      let line = Obs.Jsonl_sink.render_line ~ns:123.0 ev in
+      validate_json line;
+      match Sweep_analyze.Trace_reader.parse_line line with
+      | None -> Alcotest.fail ("unparseable: " ^ line)
+      | Some { Sweep_analyze.Trace_reader.ns; event } ->
+        check (Alcotest.float 0.0) "ns" 123.0 ns;
+        if event <> ev then Alcotest.fail ("round-trip changed: " ^ line))
+    events;
+  (* Unknown tags and ill-typed payloads must not masquerade as events. *)
+  check Alcotest.bool "unknown tag" true
+    (Ev.of_parts ~tag:"warp_drive" ~name:"x" ~cat:"exec" ~args:[] = None);
+  check Alcotest.bool "missing field" true
+    (Ev.of_parts ~tag:"reboot" ~name:"reboot" ~cat:"power" ~args:[] = None);
+  check Alcotest.bool "ill-typed field" true
+    (Ev.of_parts ~tag:"reboot" ~name:"reboot" ~cat:"power"
+       ~args:[ ("outage", Ev.Str "seven") ]
+    = None)
+
 let suite =
   [
     Alcotest.test_case "null sink off" `Quick test_null_sink_off;
@@ -457,4 +534,8 @@ let suite =
     Alcotest.test_case "event counts j1=j4" `Quick
       test_event_counts_j1_equals_j4;
     Alcotest.test_case "results schema v2" `Quick test_results_schema_v2;
+    Alcotest.test_case "ring drain_to truncation marker" `Quick
+      test_ring_drain_to_marks_truncation;
+    Alcotest.test_case "event of_parts round-trip" `Quick
+      test_event_of_parts_roundtrip;
   ]

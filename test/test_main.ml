@@ -16,4 +16,5 @@ let () =
       ("workloads", T_workloads.suite);
       ("exp", T_exp.suite);
       ("obs", T_obs.suite);
+      ("analyze", T_analyze.suite);
     ]
