@@ -26,6 +26,11 @@ let list_experiments () =
     Experiments.all
 
 let main names j results_dir no_jsonl metrics metrics_out progress =
+  try
+  if j < 1 then begin
+    Printf.eprintf "sweepexp: -j must be at least 1 (got %d)\n" j;
+    exit 1
+  end;
   Executor.set_workers j;
   Executor.set_progress progress;
   if metrics || Option.is_some metrics_out then
@@ -80,7 +85,19 @@ let main names j results_dir no_jsonl metrics metrics_out progress =
           (Sweep_obs.Metrics.render (Sweep_obs.Metrics.snapshot ()))
       end;
       dump_metrics ();
-      0)
+      (match Results.failures () with
+      | [] -> 0
+      | failures ->
+        Printf.eprintf "\n%d job(s) failed:\n" (List.length failures);
+        List.iter
+          (fun f ->
+            Printf.eprintf "  %s: %s\n" f.Results.key f.Results.error)
+          failures;
+        1))
+  with Sys_error msg ->
+    (* Unwritable --results-dir / --metrics-out: one line, exit 1. *)
+    Printf.eprintf "sweepexp: %s\n" msg;
+    1
 
 let names_arg =
   Arg.(value & pos_all string []

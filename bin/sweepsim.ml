@@ -32,11 +32,19 @@ let trace_assoc =
     ("none", None);
   ]
 
-let run_one bench design power config scale verify =
+(* One-line fatal error, exit 1 — never an uncaught backtrace. *)
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "sweepsim: %s\n" msg;
+      exit 1)
+    fmt
+
+let run_one bench design power config scale verify fault =
   let w = Sweep_workloads.Registry.find bench in
   let ast = Sweep_workloads.Workload.program ~scale w in
   let t0 = Unix.gettimeofday () in
-  let r = H.run ~config design ~power ast in
+  let r = H.run ~config design ~power ?fault ast in
   let elapsed_s = Unix.gettimeofday () -. t0 in
   let o = r.H.outcome in
   let st = H.mstats r in
@@ -97,20 +105,46 @@ let parse_trace_filter spec =
 
 let main bench designs trace cap scale cache_size nvm_search verify j
     results_dir trace_out trace_format trace_cap trace_filter metrics
-    metrics_out =
+    metrics_out fault fault_nested =
+  try
   (match Sweep_workloads.Registry.find bench with
   | exception Not_found ->
     Printf.eprintf "unknown workload %S; available:\n  %s\n" bench
       (String.concat ", " (Sweep_workloads.Registry.names ()));
     exit 2
   | _ -> ());
+  if j < 1 then die "-j must be at least 1 (got %d)" j;
+  if cap <= 0.0 then die "--cap must be positive (got %g)" cap;
+  if scale <= 0.0 then die "--scale must be positive (got %g)" scale;
+  if cache_size < 64 then die "--cache-size must be at least one line (64)";
+  if trace_cap < 0 then die "--trace-cap must be >= 0 (got %d)" trace_cap;
+  if trace_cap > 0 && trace_out = None then
+    die "--trace-cap only makes sense with --trace FILE";
+  if fault_nested < 0 then die "--fault-nested must be >= 0";
+  if fault_nested > 0 && fault = None then
+    die "--fault-nested only makes sense with --fault N";
+  let fault =
+    match fault with
+    | None -> None
+    | Some n when n < 1 -> die "--fault expects an instruction index >= 1"
+    | Some n -> Some (Sweep_sim.Fault.at_instruction ~nested:fault_nested n)
+  in
   Results.set_dir results_dir;
   if metrics || Option.is_some metrics_out then Obs.Metrics.set_enabled true;
   let filter = parse_trace_filter trace_filter in
   let power =
     match trace with
-    | None -> Driver.Unlimited
-    | Some kind -> Driver.harvested ~trace:(Trace.make kind) ~farads:cap ()
+    | `Kind None -> Driver.Unlimited
+    | `Kind (Some kind) ->
+      Driver.harvested ~trace:(Trace.make kind) ~farads:cap ()
+    | `Csv path -> (
+      (* A measured trace fed back in: any load problem (missing file,
+         malformed CSV) is a clean one-liner, not a backtrace. *)
+      match Trace.load_csv path with
+      | t -> Driver.harvested ~trace:t ~farads:cap ()
+      | exception Sys_error msg -> die "cannot read power trace: %s" msg
+      | exception Failure msg ->
+        die "cannot parse power trace %s: %s" path msg)
   in
   let config =
     let c = Config.with_cache Config.default ~size:cache_size in
@@ -142,7 +176,7 @@ let main bench designs trace cap scale cache_size nvm_search verify j
       (List.length designs);
   let run_all () =
     Executor.map ~workers:j
-      (fun d -> run_one bench d power config scale verify)
+      (fun d -> run_one bench d power config scale verify fault)
       designs
   in
   let rows =
@@ -206,6 +240,11 @@ let main bench designs trace cap scale cache_size nvm_search verify j
     Printf.eprintf "metrics snapshot written to %s\n" path);
   (* --verify regressions must fail the process so CI can catch them. *)
   if List.for_all fst rows then 0 else 1
+  with Sys_error msg ->
+    (* Unwritable --trace / --results-dir / --metrics-out and friends:
+       one line on stderr, exit 1, no backtrace. *)
+    Printf.eprintf "sweepsim: %s\n" msg;
+    1
 
 let bench_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD"
@@ -235,16 +274,30 @@ let trace_arg =
     Arg.conv
       ( (fun s ->
           match List.assoc_opt (String.lowercase_ascii s) trace_assoc with
-          | Some t -> Ok t
-          | None -> Error (`Msg ("unknown trace " ^ s))),
+          | Some t -> Ok (`Kind t)
+          | None ->
+            (* Anything that looks like a file is a CSV trace; anything
+               else is a typo'd kind name. *)
+            if Filename.check_suffix s ".csv" || Sys.file_exists s then
+              Ok (`Csv s)
+            else
+              Error
+                (`Msg
+                  ("unknown trace " ^ s
+                 ^ " (rfoffice, rfhome, solar, thermal, none, or a .csv \
+                    file)"))),
         fun fmt t ->
           Format.pp_print_string fmt
-            (match t with Some k -> Trace.kind_name k | None -> "none") )
+            (match t with
+            | `Kind (Some k) -> Trace.kind_name k
+            | `Kind None -> "none"
+            | `Csv p -> p) )
   in
-  Arg.(value & opt trace_conv (Some Trace.Rf_office)
+  Arg.(value & opt trace_conv (`Kind (Some Trace.Rf_office))
        & info [ "t"; "power-trace" ] ~docv:"TRACE"
-           ~doc:"Power trace: rfoffice, rfhome, solar, thermal, or none \
-                 (continuous power).")
+           ~doc:"Power trace: rfoffice, rfhome, solar, thermal, none \
+                 (continuous power), or a CSV file saved by \
+                 $(b,Power_trace.save_csv).")
 
 let cap_arg =
   Arg.(value & opt float 470e-9
@@ -327,21 +380,36 @@ let metrics_out_arg =
            ~doc:"Enable the metrics registry and write a JSON snapshot to \
                  FILE after the run (readable by sweeptrace).")
 
+let fault_arg =
+  Arg.(value & opt (some int) None
+       & info [ "fault" ] ~docv:"N"
+           ~doc:"Inject an adversarial power failure after the N-th \
+                 dynamic instruction (on top of whatever the power trace \
+                 does).  The crash shows up as a fault event in --trace \
+                 output and in sweeptrace report.")
+
+let fault_nested_arg =
+  Arg.(value & opt int 0
+       & info [ "fault-nested" ] ~docv:"K"
+           ~doc:"With --fault: re-crash K times during recovery itself \
+                 (nested-crash coverage).")
+
 let cmd =
   let doc = "simulate a workload on an intermittent-computing architecture" in
   let term =
     Term.(
       const (fun bench design all trace cap scale cache nvm_search verify j
                  results_dir trace_out trace_format trace_cap trace_filter
-                 metrics metrics_out ->
+                 metrics metrics_out fault fault_nested ->
           let designs = if all then H.all_designs else design in
           main bench designs trace cap scale cache nvm_search verify j
             results_dir trace_out trace_format trace_cap trace_filter metrics
-            metrics_out)
+            metrics_out fault fault_nested)
       $ bench_arg $ designs_arg $ all_designs_arg $ trace_arg $ cap_arg
       $ scale_arg $ cache_arg $ nvm_search_arg $ verify_arg $ jobs_arg
       $ results_dir_arg $ trace_out_arg $ trace_format_arg $ trace_cap_arg
-      $ trace_filter_arg $ metrics_arg $ metrics_out_arg)
+      $ trace_filter_arg $ metrics_arg $ metrics_out_arg $ fault_arg
+      $ fault_nested_arg)
   in
   Cmd.v (Cmd.info "sweepsim" ~doc) term
 

@@ -26,6 +26,11 @@ type t = {
   discarded_buffers : int;   (* (0,0): buffers discarded on reboot *)
   discarded_lines : int;
   clean_reboots : int;       (* (1,1): nothing to redo or discard *)
+  injected_faults : int;     (* adversarial crashes (sweepcheck / --fault) *)
+  nested_faults : int;       (* of which fired during recovery itself *)
+  torn_lines : int;          (* partial line writes at a crash *)
+  torn_words : int;
+  stuck_bits : int;          (* stuck phase1/phase2 completion bits *)
 }
 
 type state = {
@@ -54,6 +59,11 @@ let zero =
     discarded_buffers = 0;
     discarded_lines = 0;
     clean_reboots = 0;
+    injected_faults = 0;
+    nested_faults = 0;
+    torn_lines = 0;
+    torn_words = 0;
+    stuck_bits = 0;
   }
 
 (* "redo seq 12 (3 lines)" -> 3; "discard seq 12 (3 lines)" -> 3 *)
@@ -130,6 +140,22 @@ let feed st { Trace_reader.ns; event } =
         discarded_buffers = a.discarded_buffers + 1;
         discarded_lines = a.discarded_lines + mark_lines name;
       }
+  | Ev.Fault_inject { trigger; _ } ->
+    st.acc <-
+      {
+        a with
+        injected_faults = a.injected_faults + 1;
+        nested_faults =
+          (a.nested_faults + if trigger = "nested" then 1 else 0);
+      }
+  | Ev.Fault_torn { words; _ } ->
+    st.acc <-
+      {
+        a with
+        torn_lines = a.torn_lines + 1;
+        torn_words = a.torn_words + words;
+      }
+  | Ev.Fault_stuck _ -> st.acc <- { a with stuck_bits = a.stuck_bits + 1 }
   | _ -> ()
 
 let of_entries entries =

@@ -23,6 +23,11 @@ type t = {
   discarded_buffers : int; (** (0,0) *)
   discarded_lines : int;
   clean_reboots : int;     (** (1,1) *)
+  injected_faults : int;   (** adversarial crashes ([Fault_inject]) *)
+  nested_faults : int;     (** of which fired during recovery itself *)
+  torn_lines : int;        (** torn-DMA partial line writes *)
+  torn_words : int;
+  stuck_bits : int;        (** stuck phase-completion bits *)
 }
 
 val of_entries : Trace_reader.entry list -> t

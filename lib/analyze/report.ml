@@ -166,7 +166,20 @@ let power_sections (p : Power_view.t) (r : Region_view.t)
           [ "restore energy"; fmt_uj p.Power_view.restore_joules ];
           [ "replayed stores"; fmt_int p.Power_view.replayed_stores ];
           [ "backup lines"; fmt_int p.Power_view.backup_lines ];
-        ];
+        ]
+        @ (if p.Power_view.injected_faults = 0 then []
+           else
+             (* Fault-injection attribution (sweepcheck): keep these rows
+                out of ordinary reports so existing output stays stable. *)
+             [
+               [ "injected faults";
+                 Printf.sprintf "%d (%d nested)" p.Power_view.injected_faults
+                   p.Power_view.nested_faults ];
+               [ "torn DMA lines";
+                 Printf.sprintf "%d (%d words)" p.Power_view.torn_lines
+                   p.Power_view.torn_words ];
+               [ "stuck phase bits"; fmt_int p.Power_view.stuck_bits ];
+             ]);
       notes = [];
     }
   in

@@ -173,16 +173,28 @@ struct
     Cpu.reset t.cpu ~entry:t.prog.entry;
     Mstats.reset_region_counters t.stats
 
-  let on_reboot t ~now_ns:_ =
+  let on_reboot t ~now_ns =
+    (* Mutation for the differential checker: the shadow SRAM restores
+       the CPU but "loses" the checkpointed cache image.  Dirty lines
+       that existed only in the cache at backup time are gone — their
+       stores silently vanish, which the final-globals check must
+       catch.  (A full cold restart would be idempotent for most
+       workloads and therefore undetectable.) *)
+    let drop_lines = t.cfg.Cfg.faults.Sweep_machine.Fault_model.skip_restore in
+    if drop_lines && Sweep_obs.Sink.on () then
+      Sweep_obs.Sink.emit ~ns:now_ns
+        (Sweep_obs.Event.Mark
+           { name = "mutation: skip restore"; cat = Sweep_obs.Event.Fault });
     let cost =
       match t.shadow with
       | Some { regs; pc; lines } ->
         Cpu.restore t.cpu (regs, pc);
-        List.iter
-          (fun saved ->
-            let line = Cache.install t.cache saved.base saved.data in
-            line.Cache.dirty <- saved.dirty)
-          lines;
+        if not drop_lines then
+          List.iter
+            (fun saved ->
+              let line = Cache.install t.cache saved.base saved.data in
+              line.Cache.dirty <- saved.dirty)
+            lines;
         Cost.(
           Jit_common.reg_restore (e t)
           ++ Jit_common.lines_restore (e t) ~parallel:t.cfg.Cfg.nvsram_parallel

@@ -1,0 +1,514 @@
+(* Differential crash-consistency checker (§4.2 validation).
+
+   The checker answers one question: after an adversarial power failure
+   anywhere in a run — including inside a phase-2 flush, mid-phase-3
+   DMA, or during recovery itself — does the machine recover to a state
+   it could legitimately be in, and does the program still compute the
+   right answer?
+
+   It does so differentially, against two oracles:
+
+   - A golden no-failure execution of the same compiled program.  For
+     SweepCache a scout pass records every region boundary (by dynamic
+     instruction index) and a snapshot pass captures the NVM image +
+     checkpointed registers + PC at each boundary.  A crashed run's
+     recovered state must equal one of those boundary states — §4.2's
+     contract is exactly "recovery lands on the last phase1-complete
+     region boundary".
+   - The reference interpreter: the final globals of every crashed run
+     (any design) must match {!Sweep_sim.Harness.check_against_interp},
+     the end-to-end correctness bar.
+
+   The two passes may disagree on *timing* (the snapshot pass drains
+   buffers early) but never on *values*: execution is deterministic and
+   never reads the clock, so the dynamic instruction stream, every
+   stored value and every boundary's NVM image are timing-independent.
+   That is what makes the cheap drain-at-boundary snapshot a sound
+   oracle. *)
+
+module H = Sweep_sim.Harness
+module Driver = Sweep_sim.Driver
+module Fault = Sweep_sim.Fault
+module MI = Sweep_machine.Machine_intf
+module Mstats = Sweep_machine.Mstats
+module Config = Sweep_machine.Config
+module FM = Sweep_machine.Fault_model
+module Cost = Sweep_machine.Cost
+module Cpu = Sweep_machine.Cpu
+module Layout = Sweep_isa.Layout
+module Nvm = Sweep_mem.Nvm
+module Pipeline = Sweep_compiler.Pipeline
+module Sink = Sweep_obs.Sink
+module Ev = Sweep_obs.Event
+
+(* ------------------------------------------------------------------ *)
+(* State digests                                                       *)
+
+(* A recovered machine is compared on the persistent state that §4.2
+   promises to preserve: the data segment and the checkpoint line
+   (registers + PC).  Volatile state (cache, buffers) is by definition
+   lost at a crash and excluded. *)
+let word_ceil addr = (addr + Layout.word_bytes - 1) / Layout.word_bytes * Layout.word_bytes
+
+let digest ~(layout : Layout.t) nvm =
+  let data =
+    Nvm.image nvm ~lo:layout.Layout.data_base ~hi:(word_ceil layout.Layout.data_limit)
+  in
+  let ckpt =
+    Nvm.image nvm ~lo:layout.Layout.ckpt_base
+      ~hi:(layout.Layout.ckpt_base + Layout.line_bytes)
+  in
+  Digest.to_hex (Digest.bytes (Marshal.to_bytes (data, ckpt) []))
+
+type boundary = { instr : int; pc : int; digest : string }
+
+type oracle = {
+  boundaries : boundary list;  (* ascending by [instr]; head = boundary 0 *)
+  accept : (string, unit) Hashtbl.t;  (* read-only after construction *)
+}
+
+let accept_key ~pc ~digest = string_of_int pc ^ "|" ^ digest
+
+(* ------------------------------------------------------------------ *)
+(* Golden pass A: scout                                                *)
+
+type scouted = {
+  total_instructions : int;
+  boundary_instrs : int list;  (* ascending; instruction index at which
+                                  each region boundary completes *)
+  flush_instrs : int list;  (* first instruction ending inside a phase-2
+                               flush window — crash here lands mid-flush *)
+  drain_instrs : int list;  (* same for phase-3 DMA windows *)
+}
+
+(* Steps the machine by hand (no driver, no failures), recording the
+   dynamic instruction index of every region boundary via the
+   [Mstats.regions] counter and mapping persistence-window midpoints
+   (observed through a {!Sink.spy} on [Buf_phase] events) back to the
+   first instruction whose completion time passes them.  Sequential
+   only — the spy taps global sink state. *)
+let scout ~config design compiled ~max_instructions =
+  let m = H.machine ~config design compiled.Pipeline.program in
+  let stats = MI.mstats m in
+  let pending = ref [] in
+  let flush_instrs = ref [] and drain_instrs = ref [] in
+  let detach =
+    Sink.spy (fun ~ns:_ ev ->
+        match ev with
+        | Ev.Buf_phase { phase = (Ev.Flush | Ev.Drain) as ph; start_ns; end_ns; _ }
+          when end_ns > start_ns ->
+          pending := (ph, 0.5 *. (start_ns +. end_ns)) :: !pending
+        | _ -> ())
+  in
+  Fun.protect ~finally:detach @@ fun () ->
+  let now = ref 0.0 and n = ref 0 in
+  let boundaries = ref [] in
+  let last_regions = ref stats.Mstats.regions in
+  while not (MI.halted m) do
+    if !n >= max_instructions then
+      raise (Driver.Stagnation "Check.scout: instruction guard exceeded");
+    let c = MI.step m ~now_ns:!now in
+    now := !now +. c.Cost.ns;
+    incr n;
+    if stats.Mstats.regions > !last_regions then begin
+      last_regions := stats.Mstats.regions;
+      boundaries := !n :: !boundaries
+    end;
+    match !pending with
+    | [] -> ()
+    | _ ->
+      let fired, rest = List.partition (fun (_, mid) -> mid <= !now) !pending in
+      pending := rest;
+      List.iter
+        (fun (ph, _) ->
+          match ph with
+          | Ev.Flush -> flush_instrs := !n :: !flush_instrs
+          | _ -> drain_instrs := !n :: !drain_instrs)
+        fired
+  done;
+  {
+    total_instructions = !n;
+    boundary_instrs = List.rev !boundaries;
+    flush_instrs = List.rev !flush_instrs;
+    drain_instrs = List.rev !drain_instrs;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Golden pass B: boundary snapshots                                   *)
+
+(* Re-executes from scratch and, at each boundary index from the scout,
+   forces all in-flight persistence to complete ([MI.drain]) before
+   digesting NVM.  Draining early only moves timing, never values (the
+   buffered writes land on the same addresses either way), so the
+   digest equals what a crashed run's completed recovery must
+   reconstruct. *)
+let snapshot_oracle ~config design compiled ~boundary_instrs =
+  let m = H.machine ~config design compiled.Pipeline.program in
+  let layout = compiled.Pipeline.program.Sweep_isa.Program.layout in
+  let nvm = MI.nvm m in
+  let now = ref 0.0 and n = ref 0 in
+  let snap instr =
+    {
+      instr;
+      pc = Nvm.peek_word nvm layout.Layout.ckpt_pc;
+      digest = digest ~layout nvm;
+    }
+  in
+  let boundaries =
+    snap 0
+    :: List.map
+         (fun target ->
+           while !n < target && not (MI.halted m) do
+             let c = MI.step m ~now_ns:!now in
+             now := !now +. c.Cost.ns;
+             incr n
+           done;
+           let c = MI.drain m ~now_ns:!now in
+           now := !now +. c.Cost.ns;
+           snap target)
+         boundary_instrs
+  in
+  let accept = Hashtbl.create (List.length boundaries) in
+  List.iter
+    (fun b -> Hashtbl.replace accept (accept_key ~pc:b.pc ~digest:b.digest) ())
+    boundaries;
+  { boundaries; accept }
+
+(* ------------------------------------------------------------------ *)
+(* Crashed runs                                                        *)
+
+type divergence = {
+  design : string;
+  bench : string;
+  scale : float;
+  point : string;  (** crash-point description, {!Fault.describe} *)
+  stage : string;  (** ["golden"], ["recovery"], ["final"] or ["run"] *)
+  message : string;
+}
+
+let pp_divergence d =
+  Printf.sprintf "%s/%s@%g [%s] %s: %s" d.design d.bench d.scale d.point
+    d.stage d.message
+
+type point_outcome = { injected : int; divergences : divergence list }
+
+type case = {
+  design : H.design;
+  bench : string;
+  scale : float;
+  config : Config.t;
+  fm : FM.t;
+  compiled : Pipeline.compiled;
+  ast : Sweep_lang.Ast.program;
+  oracle : oracle option;  (* Sweep only; baselines have no boundaries *)
+  max_instructions : int;
+}
+
+(* One crashed run: inject [fault], let recovery do its thing, then
+   verify (a) every completed recovery landed on an oracle boundary and
+   (b) the final globals still match the reference interpreter. *)
+let run_point case fault =
+  let cfg = Config.with_faults case.config case.fm in
+  let m = H.machine ~config:cfg case.design case.compiled.Pipeline.program in
+  let layout = case.compiled.Pipeline.program.Sweep_isa.Program.layout in
+  let divs = ref [] in
+  let div stage message =
+    divs :=
+      {
+        design = H.design_name case.design;
+        bench = case.bench;
+        scale = case.scale;
+        point = Fault.describe fault;
+        stage;
+        message;
+      }
+      :: !divs
+  in
+  let after_recovery ~now_ns:_ =
+    match case.oracle with
+    | None -> ()
+    | Some o ->
+      let pc = (MI.cpu m).Cpu.pc in
+      let dg = digest ~layout (MI.nvm m) in
+      if not (Hashtbl.mem o.accept (accept_key ~pc ~digest:dg)) then
+        div "recovery"
+          (Printf.sprintf
+             "recovered state (pc=%d digest=%s..) matches no golden region \
+              boundary"
+             pc
+             (String.sub dg 0 12))
+  in
+  match
+    Driver.run ~max_instructions:case.max_instructions ~fault ~after_recovery m
+      ~power:Driver.Unlimited
+  with
+  | exception Driver.Stagnation msg ->
+    div "run" ("stagnation: " ^ msg);
+    { injected = 0; divergences = !divs }
+  | outcome ->
+    let r =
+      { H.design = case.design; outcome; machine = m; compiled = case.compiled }
+    in
+    (match H.check_against_interp r case.ast with
+    | Ok () -> ()
+    | Error msg -> div "final" msg);
+    { injected = outcome.Driver.injected_faults; divergences = !divs }
+
+(* ------------------------------------------------------------------ *)
+(* Crash-point placement                                               *)
+
+(* Evenly subsample [l] down to at most [k] elements. *)
+let sample k l =
+  let n = List.length l in
+  if n <= k || k <= 0 then l
+  else
+    List.filteri (fun i _ -> i * k / n < (i + 1) * k / n) l
+
+(* Crash points for one (design, bench) cell: a stride over the whole
+   dynamic instruction stream, the exact halt instruction, plus (for
+   SweepCache) points landing inside phase-2 flush and phase-3 DMA
+   windows, with a sprinkling of nested re-crashes for
+   crash-during-recovery coverage. *)
+let plan_points ~scouted ~stride ~max_points ~nested_every ~phase_points =
+  let total = scouted.total_instructions in
+  let stride =
+    if stride > 0 then stride else max 1 (total / max 1 max_points)
+  in
+  let rec strided acc i = if i > total then acc else strided (i :: acc) (i + stride) in
+  let base = List.rev (strided [] 1) in
+  let base = if List.mem total base then base else base @ [ total ] in
+  let base = sample max_points base in
+  let phased =
+    if phase_points then
+      sample 6 scouted.flush_instrs @ sample 6 scouted.drain_instrs
+    else []
+  in
+  let points = List.sort_uniq compare (base @ phased) in
+  List.mapi
+    (fun i n ->
+      let nested =
+        if nested_every > 0 && i mod nested_every = nested_every - 1 then 1
+        else 0
+      in
+      Fault.at_instruction ~nested n)
+    points
+
+(* ------------------------------------------------------------------ *)
+(* Sweeps                                                              *)
+
+type plan = {
+  designs : H.design list;
+  benches : (string * float) list;  (* (workload name, scale) *)
+  max_points : int;  (* crash points per design x bench cell *)
+  stride : int;  (* explicit stride; 0 = derive from [max_points] *)
+  nested_every : int;  (* every k-th point re-crashes during recovery *)
+  fm : FM.t;  (* fault model active in crashed runs *)
+  phase_points : bool;  (* add flush-/drain-window points (Sweep) *)
+  workers : int;
+  max_instructions : int;
+}
+
+let default_plan =
+  {
+    designs = H.all_designs;
+    benches =
+      [
+        ("sha", 0.08); ("sha", 0.16); ("sha", 0.3);
+        ("dijkstra", 0.08); ("dijkstra", 0.16); ("dijkstra", 0.3);
+        ("fft", 0.08); ("fft", 0.16); ("fft", 0.3);
+      ];
+    max_points = 24;
+    stride = 0;
+    nested_every = 5;
+    fm = { FM.none with FM.torn_dma = true };
+    phase_points = true;
+    workers = 1;
+    max_instructions = 50_000_000;
+  }
+
+type report = {
+  cells : int;  (* (design, bench) combinations checked *)
+  points : int;  (* crashed runs executed *)
+  crashes : int;  (* faults actually injected (incl. nested) *)
+  skipped : int;  (* points whose trigger never fired *)
+  oracle_boundaries : int;
+  divergences : divergence list;
+}
+
+let empty_report =
+  {
+    cells = 0;
+    points = 0;
+    crashes = 0;
+    skipped = 0;
+    oracle_boundaries = 0;
+    divergences = [];
+  }
+
+let merge a b =
+  {
+    cells = a.cells + b.cells;
+    points = a.points + b.points;
+    crashes = a.crashes + b.crashes;
+    skipped = a.skipped + b.skipped;
+    oracle_boundaries = a.oracle_boundaries + b.oracle_boundaries;
+    divergences = a.divergences @ b.divergences;
+  }
+
+let ok r = r.divergences = []
+
+(* Check one compiled program on one design: golden passes (sequential —
+   the scout's spy taps global sink state), then the crash points in
+   parallel via {!Sweep_exp.Executor.map} (instruction-triggered faults
+   only, so workers never touch the sink). *)
+let check_cell ?(config = Config.default) ?(guard = 50_000_000) ~fm ~bench
+    ~scale ~max_points ~stride ~nested_every ~phase_points ~workers design ast =
+  let compiled = H.compile design ast in
+  let divergence stage message =
+    {
+      design = H.design_name design;
+      bench;
+      scale;
+      point = "-";
+      stage;
+      message;
+    }
+  in
+  match scout ~config design compiled ~max_instructions:guard with
+  | exception Driver.Stagnation msg ->
+    { empty_report with cells = 1; divergences = [ divergence "golden" msg ] }
+  | scouted ->
+    let oracle =
+      match design with
+      | H.Sweep ->
+        Some
+          (snapshot_oracle ~config design compiled
+             ~boundary_instrs:scouted.boundary_instrs)
+      | _ -> None
+    in
+    (* A golden run with a broken oracle would vacuously accept; make
+       sure the no-failure execution itself matches the interpreter
+       before trusting it. *)
+    let golden_divs =
+      let r =
+        H.run ~config design ~power:Driver.Unlimited
+          ~max_instructions:guard ast
+      in
+      match H.check_against_interp r ast with
+      | Ok () -> []
+      | Error msg -> [ divergence "golden" msg ]
+    in
+    let case =
+      {
+        design;
+        bench;
+        scale;
+        config;
+        fm;
+        compiled;
+        ast;
+        oracle;
+        max_instructions =
+          (* re-execution after recovery inflates the dynamic count *)
+          (scouted.total_instructions * 4) + 100_000;
+      }
+    in
+    let points =
+      plan_points ~scouted ~stride ~max_points ~nested_every ~phase_points
+    in
+    let outcomes =
+      if workers > 1 then
+        Sweep_exp.Executor.map ~workers (run_point case) points
+      else List.map (run_point case) points
+    in
+    let crashes = List.fold_left (fun acc o -> acc + o.injected) 0 outcomes in
+    let skipped =
+      List.length (List.filter (fun o -> o.injected = 0) outcomes)
+    in
+    {
+      cells = 1;
+      points = List.length points;
+      crashes;
+      skipped;
+      oracle_boundaries =
+        (match oracle with Some o -> List.length o.boundaries | None -> 0);
+      divergences =
+        golden_divs
+        @ List.concat_map (fun (o : point_outcome) -> o.divergences) outcomes;
+    }
+
+(* Targeted variant: run exactly the given fault plans against one
+   program (tests aiming at specific flush/drain/nested crash points). *)
+let check_points ?(config = Config.default) ?(guard = 50_000_000)
+    ?(fm = FM.none) ?(bench = "adhoc") ?(scale = 1.0) design ast faults =
+  let compiled = H.compile design ast in
+  let scouted = scout ~config design compiled ~max_instructions:guard in
+  let oracle =
+    match design with
+    | H.Sweep ->
+      Some
+        (snapshot_oracle ~config design compiled
+           ~boundary_instrs:scouted.boundary_instrs)
+    | _ -> None
+  in
+  let case =
+    {
+      design;
+      bench;
+      scale;
+      config;
+      fm;
+      compiled;
+      ast;
+      oracle;
+      max_instructions = (scouted.total_instructions * 4) + 100_000;
+    }
+  in
+  let outcomes = List.map (run_point case) faults in
+  {
+    cells = 1;
+    points = List.length faults;
+    crashes =
+      List.fold_left (fun acc (o : point_outcome) -> acc + o.injected) 0
+        outcomes;
+    skipped =
+      List.length
+        (List.filter (fun (o : point_outcome) -> o.injected = 0) outcomes);
+    oracle_boundaries =
+      (match oracle with Some o -> List.length o.boundaries | None -> 0);
+    divergences =
+      List.concat_map (fun (o : point_outcome) -> o.divergences) outcomes;
+  }
+
+let ast_of_bench ~bench ~scale =
+  Sweep_workloads.Workload.program ~scale
+    (Sweep_workloads.Registry.find bench)
+
+let run_plan ?(progress = fun (_ : string) -> ()) plan =
+  List.fold_left
+    (fun acc (bench, scale) ->
+      let ast = ast_of_bench ~bench ~scale in
+      List.fold_left
+        (fun acc design ->
+          progress
+            (Printf.sprintf "%-8s %s@%g" (H.design_name design) bench scale);
+          let r =
+            check_cell ~guard:plan.max_instructions ~fm:plan.fm ~bench ~scale
+              ~max_points:plan.max_points ~stride:plan.stride
+              ~nested_every:plan.nested_every ~phase_points:plan.phase_points
+              ~workers:plan.workers design ast
+          in
+          merge acc r)
+        acc plan.designs)
+    empty_report plan.benches
+
+(* Fuzzing entry point: check one generated program (Sweep + NVSRAM by
+   default — the two interesting recovery disciplines) and report. *)
+let check_program ?(designs = [ H.Sweep; H.Nvsram ]) ?(fm = FM.none)
+    ?(max_points = 12) ?(nested_every = 4) ast =
+  List.fold_left
+    (fun acc design ->
+      merge acc
+        (check_cell ~fm ~bench:"fuzz" ~scale:1.0 ~max_points ~stride:0
+           ~nested_every ~phase_points:true ~workers:1 design ast))
+    empty_report designs

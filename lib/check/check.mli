@@ -1,0 +1,135 @@
+(** Differential crash-consistency checker.
+
+    Validates the §4.2 recovery argument mechanically: a golden
+    no-failure execution provides two oracles — the NVM image +
+    checkpointed registers + PC at every region boundary (SweepCache),
+    and the reference interpreter's final globals (every design) — and
+    every crashed run, with faults injected at chosen instructions
+    (inside phase-2 flushes, mid-phase-3 DMA, nested during recovery),
+    must converge back to them.
+
+    Golden passes are sequential (the scout taps the event stream via
+    {!Sweep_obs.Sink.spy}); crash points use instruction-triggered
+    faults only and may run in parallel. *)
+
+type boundary = { instr : int; pc : int; digest : string }
+
+type oracle = {
+  boundaries : boundary list;
+  accept : (string, unit) Hashtbl.t;
+}
+
+val digest : layout:Sweep_isa.Layout.t -> Sweep_mem.Nvm.t -> string
+(** MD5 over the data segment plus the checkpoint line — the
+    persistent state recovery must reconstruct. *)
+
+type scouted = {
+  total_instructions : int;
+  boundary_instrs : int list;
+  flush_instrs : int list;
+  drain_instrs : int list;
+}
+
+val scout :
+  config:Sweep_machine.Config.t ->
+  Sweep_sim.Harness.design ->
+  Sweep_compiler.Pipeline.compiled ->
+  max_instructions:int ->
+  scouted
+(** Golden pass A: dynamic instruction count, region-boundary
+    instruction indices, and instructions landing inside persistence
+    windows.  Sequential only.  Raises {!Sweep_sim.Driver.Stagnation}
+    past the guard. *)
+
+val snapshot_oracle :
+  config:Sweep_machine.Config.t ->
+  Sweep_sim.Harness.design ->
+  Sweep_compiler.Pipeline.compiled ->
+  boundary_instrs:int list ->
+  oracle
+(** Golden pass B: re-executes, drains at each boundary, digests. *)
+
+type divergence = {
+  design : string;
+  bench : string;
+  scale : float;
+  point : string;
+  stage : string;
+  message : string;
+}
+
+val pp_divergence : divergence -> string
+
+type plan = {
+  designs : Sweep_sim.Harness.design list;
+  benches : (string * float) list;
+  max_points : int;
+  stride : int;
+  nested_every : int;
+  fm : Sweep_machine.Fault_model.t;
+  phase_points : bool;
+  workers : int;
+  max_instructions : int;
+}
+
+val default_plan : plan
+(** The 9-job matrix (sha/dijkstra/fft at three scales), all designs,
+    ~24 strided points per cell plus phase-window and nested points,
+    torn-DMA on. *)
+
+type report = {
+  cells : int;
+  points : int;
+  crashes : int;
+  skipped : int;
+  oracle_boundaries : int;
+  divergences : divergence list;
+}
+
+val empty_report : report
+val merge : report -> report -> report
+val ok : report -> bool
+
+val ast_of_bench : bench:string -> scale:float -> Sweep_lang.Ast.program
+(** Raises [Not_found] for an unknown workload name. *)
+
+val check_points :
+  ?config:Sweep_machine.Config.t ->
+  ?guard:int ->
+  ?fm:Sweep_machine.Fault_model.t ->
+  ?bench:string ->
+  ?scale:float ->
+  Sweep_sim.Harness.design ->
+  Sweep_lang.Ast.program ->
+  Sweep_sim.Fault.t list ->
+  report
+(** Run exactly the given fault plans (tests targeting specific
+    flush/drain/nested crash points).  Sequential. *)
+
+val check_cell :
+  ?config:Sweep_machine.Config.t ->
+  ?guard:int ->
+  fm:Sweep_machine.Fault_model.t ->
+  bench:string ->
+  scale:float ->
+  max_points:int ->
+  stride:int ->
+  nested_every:int ->
+  phase_points:bool ->
+  workers:int ->
+  Sweep_sim.Harness.design ->
+  Sweep_lang.Ast.program ->
+  report
+(** Golden passes + crash sweep for one (design, program) cell. *)
+
+val run_plan : ?progress:(string -> unit) -> plan -> report
+
+val check_program :
+  ?designs:Sweep_sim.Harness.design list ->
+  ?fm:Sweep_machine.Fault_model.t ->
+  ?max_points:int ->
+  ?nested_every:int ->
+  Sweep_lang.Ast.program ->
+  report
+(** Fuzzer entry point: one generated program, Sweep + NVSRAM by
+    default, sequential. *)

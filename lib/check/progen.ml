@@ -1,0 +1,247 @@
+(* Seeded random program generation for the crash-sweep fuzzer.
+
+   Mirrors the QCheck generators in test/gen.ml, but driven by
+   [Sweep_util.Rng] so a failing program is reproducible from a single
+   integer seed that can be reported, stored as a CI artifact and
+   replayed.  Programs are total by construction: loop bounds are small
+   constants, array indices are wrapped into bounds, locals are read
+   only after assignment, and there is no recursion. *)
+
+open Sweep_lang.Ast
+module Rng = Sweep_util.Rng
+
+let array_names = [ ("ga", 24); ("gb", 48) ]
+let scalar_names = [ "gs"; "gt" ]
+let pick rng l = List.nth l (Rng.int rng (List.length l))
+
+(* Wrap an arbitrary expression into a valid index for [len]. *)
+let bounded_index len e =
+  Binop (Rem, Binop (And, e, Int 0x3FFFFFFF), Int len)
+
+let gen_expr rng ~vars ~depth =
+  let rec go depth =
+    let leaf () =
+      match Rng.int rng (if vars = [] then 4 else 6) with
+      | 0 | 1 -> Int (Rng.int rng 201 - 100)
+      | 2 | 3 -> Global (pick rng scalar_names)
+      | _ -> Var (pick rng vars)
+    in
+    if depth <= 0 then leaf ()
+    else
+      match Rng.int rng 8 with
+      | 0 | 1 | 2 -> leaf ()
+      | 3 | 4 | 5 | 6 ->
+        let op =
+          pick rng
+            [ Add; Sub; Mul; Div; Rem; And; Or; Xor; Shl; Shr;
+              Lt; Le; Gt; Ge; Eq; Ne ]
+        in
+        let a = go (depth - 1) in
+        let b = go (depth - 1) in
+        (* Shifts wider than the word make values explode; clamp. *)
+        (match op with
+        | Shl | Shr -> Binop (op, a, Binop (And, b, Int 7))
+        | _ -> Binop (op, a, b))
+      | _ ->
+        let name, len = pick rng array_names in
+        Load (name, bounded_index len (go (depth - 1)))
+  in
+  go depth
+
+(* [readable] includes loop variables; [assignable] excludes them so a
+   generated body can never move an enclosing loop counter. *)
+let gen_stmts rng ~budget =
+  let fresh_var readable = Printf.sprintf "x%d" (List.length readable) in
+  let rec go ~readable ~assignable budget =
+    if budget <= 0 then []
+    else
+      let stmts, readable, assignable =
+        match Rng.int rng 12 with
+        | 0 | 1 | 2 | 3 ->
+          let target =
+            if assignable = [] || Rng.bool rng then fresh_var readable
+            else pick rng assignable
+          in
+          let e = gen_expr rng ~vars:readable ~depth:3 in
+          ( [ Assign (target, e) ],
+            (if List.mem target readable then readable
+             else target :: readable),
+            if List.mem target assignable then assignable
+            else target :: assignable )
+        | 4 | 5 ->
+          let name, len = pick rng array_names in
+          let idx = gen_expr rng ~vars:readable ~depth:2 in
+          let value = gen_expr rng ~vars:readable ~depth:3 in
+          ([ Store (name, bounded_index len idx, value) ], readable, assignable)
+        | 6 ->
+          let s = pick rng scalar_names in
+          let e = gen_expr rng ~vars:readable ~depth:3 in
+          ([ Set_global (s, e) ], readable, assignable)
+        | 7 | 8 ->
+          let c = gen_expr rng ~vars:readable ~depth:2 in
+          let t = go ~readable ~assignable (budget / 3) in
+          let e = go ~readable ~assignable (budget / 3) in
+          ([ If (c, t, e) ], readable, assignable)
+        | 9 | 10 ->
+          let loop_var = fresh_var readable in
+          let n = 1 + Rng.int rng 9 in
+          let body =
+            go ~readable:(loop_var :: readable) ~assignable (budget / 3)
+          in
+          ([ For (loop_var, Int 0, Int n, body) ], readable, assignable)
+        | _ ->
+          let a = gen_expr rng ~vars:readable ~depth:2 in
+          let b = gen_expr rng ~vars:readable ~depth:2 in
+          ([ Call_stmt ("helper", [ a; b ]) ], readable, assignable)
+      in
+      stmts @ go ~readable ~assignable (budget - 1)
+  in
+  go ~readable:[] ~assignable:[] budget
+
+(* A helper function exercising params, a loop and a return value. *)
+let helper_fun =
+  {
+    fname = "helper";
+    params = [ "p"; "q" ];
+    body =
+      [
+        Assign ("acc", Var "p");
+        For
+          ( "k",
+            Int 0,
+            Binop (And, Var "q", Int 7),
+            [
+              Assign
+                ( "acc",
+                  Binop (Add, Var "acc", Load ("ga", bounded_index 24 (Var "k")))
+                );
+              Store ("gb", bounded_index 48 (Var "acc"), Var "k");
+            ] );
+        Set_global ("gs", Binop (Xor, Global "gs", Var "acc"));
+        Return (Some (Var "acc"));
+      ];
+  }
+
+let assemble ~seed body =
+  let init name len =
+    Array (name, len, Array.init len (fun k -> ((k * 37) + seed) land 0xFFFF))
+  in
+  let main_body =
+    body
+    @ [
+        Assign ("r", Call ("helper", [ Global "gs"; Int 5 ]));
+        Set_global ("gt", Binop (Add, Global "gt", Var "r"));
+        Return None;
+      ]
+  in
+  {
+    globals =
+      [ init "ga" 24; init "gb" 48; Scalar ("gs", seed land 0xFF); Scalar ("gt", 1) ];
+    funcs = [ helper_fun; { fname = "main"; params = []; body = main_body } ];
+  }
+
+let generate ~seed =
+  let rng = Rng.create seed in
+  let budget = 6 + Rng.int rng 10 in
+  let p = assemble ~seed (gen_stmts rng ~budget) in
+  validate p;
+  p
+
+(* Shrinking: repeatedly drop top-level statements of [main]'s generated
+   prefix while the predicate [still_failing] holds, until no single
+   removal keeps it failing.  The three trailing statements added by
+   [assemble] (helper call + accumulate + return) are kept so the
+   program stays well-formed. *)
+let shrink ~still_failing p =
+  let split_main p =
+    match List.partition (fun f -> f.fname = "main") p.funcs with
+    | [ m ], rest -> (m, rest)
+    | _ -> invalid_arg "Progen.shrink: no unique main"
+  in
+  let with_body p body =
+    let m, rest = split_main p in
+    let p' = { p with funcs = { m with body } :: rest } in
+    match validate p' with () -> Some p' | exception Invalid _ -> None
+  in
+  let rec drop_one p =
+    let m, _ = split_main p in
+    let n = List.length m.body in
+    (* Keep the 3-statement epilogue intact. *)
+    let candidates =
+      List.init (max 0 (n - 3)) (fun i ->
+          with_body p (List.filteri (fun j _ -> j <> i) m.body))
+    in
+    let next =
+      List.find_map
+        (fun cand ->
+          match cand with
+          | Some p' when still_failing p' -> Some p'
+          | _ -> None)
+        candidates
+    in
+    match next with Some p' -> drop_one p' | None -> p
+  in
+  drop_one p
+
+(* Render a program as readable pseudo-code for the CI artifact. *)
+let render p =
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let op_name = function
+    | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
+    | And -> "&" | Or -> "|" | Xor -> "^" | Shl -> "<<" | Shr -> ">>"
+    | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  in
+  let rec expr = function
+    | Int n -> string_of_int n
+    | Var v -> v
+    | Global g -> "$" ^ g
+    | Load (a, i) -> Printf.sprintf "%s[%s]" a (expr i)
+    | Binop (op, x, y) ->
+      Printf.sprintf "(%s %s %s)" (expr x) (op_name op) (expr y)
+    | Call (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr args))
+  in
+  let rec stmt ind s =
+    let p fmt = pf "%s" ind; pf fmt in
+    match s with
+    | Assign (v, e) -> p "%s = %s\n" v (expr e)
+    | Set_global (g, e) -> p "$%s = %s\n" g (expr e)
+    | Store (a, i, v) -> p "%s[%s] = %s\n" a (expr i) (expr v)
+    | If (c, t, e) ->
+      p "if %s {\n" (expr c);
+      List.iter (stmt (ind ^ "  ")) t;
+      if e <> [] then begin
+        pf "%s} else {\n" ind;
+        List.iter (stmt (ind ^ "  ")) e
+      end;
+      pf "%s}\n" ind
+    | While (c, body) ->
+      p "while %s {\n" (expr c);
+      List.iter (stmt (ind ^ "  ")) body;
+      pf "%s}\n" ind
+    | For (v, lo, hi, body) ->
+      p "for %s = %s .. %s {\n" v (expr lo) (expr hi);
+      List.iter (stmt (ind ^ "  ")) body;
+      pf "%s}\n" ind
+    | Call_stmt (f, args) ->
+      p "%s(%s)\n" f (String.concat ", " (List.map expr args))
+    | Return None -> p "return\n"
+    | Return (Some e) -> p "return %s\n" (expr e)
+  in
+  List.iter
+    (function
+      | Scalar (name, v) -> pf "global $%s = %d\n" name v
+      | Array (name, len, init) ->
+        pf "global %s[%d] = [%s ...]\n" name len
+          (String.concat "; "
+             (List.map string_of_int
+                (Array.to_list (Array.sub init 0 (min 4 (Array.length init)))))))
+    p.globals;
+  List.iter
+    (fun f ->
+      pf "\nfn %s(%s) {\n" f.fname (String.concat ", " f.params);
+      List.iter (stmt "  ") f.body;
+      pf "}\n")
+    p.funcs;
+  Buffer.contents b

@@ -1,0 +1,22 @@
+(** Seeded random program generation + shrinking for the crash-sweep
+    fuzzer ([sweepcheck fuzz]).
+
+    Same shape as the QCheck generators in [test/gen.ml] (total by
+    construction: constant loop bounds, wrapped array indices, no
+    recursion), but driven by {!Sweep_util.Rng} so any failing case is
+    reproducible from its integer seed alone. *)
+
+val generate : seed:int -> Sweep_lang.Ast.program
+(** Deterministic: same seed, same program.  The result passes
+    {!Sweep_lang.Ast.validate}. *)
+
+val shrink :
+  still_failing:(Sweep_lang.Ast.program -> bool) ->
+  Sweep_lang.Ast.program ->
+  Sweep_lang.Ast.program
+(** Greedily removes top-level statements from [main] (keeping the
+    fixed epilogue) while [still_failing] stays [true]; returns a
+    1-minimal failing program. *)
+
+val render : Sweep_lang.Ast.program -> string
+(** Readable pseudo-code, for shrunk-case CI artifacts. *)

@@ -49,6 +49,17 @@ let search t base =
 
 let entries_oldest_first t = List.rev t.newest_first
 
+(* Fault injection only: keep the oldest [keep] entries, drop the
+   youngest.  Models buffer contents that never physically made it in
+   (stuck-phase1Complete truncation). *)
+let truncate_to_oldest t ~keep =
+  let keep = max 0 (min keep t.count) in
+  if keep < t.count then begin
+    t.newest_first <- List.rev (List.filteri (fun i _ -> i < keep)
+                                  (List.rev t.newest_first));
+    t.count <- keep
+  end
+
 let clear t =
   t.newest_first <- [];
   t.count <- 0

@@ -31,6 +31,12 @@ val search : t -> int -> (int array * int) option
 
 val entries_oldest_first : t -> (int * int array) list
 
+val truncate_to_oldest : t -> keep:int -> unit
+(** Drop all but the oldest [keep] entries.  Fault injection only:
+    models a stuck [phase1Complete] bit claiming a cut-short flush
+    completed — the dropped tail is data that never physically reached
+    the buffer. *)
+
 val clear : t -> unit
 
 val peak : t -> int

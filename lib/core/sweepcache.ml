@@ -432,8 +432,70 @@ let jit_backup_cost _ = None
 let commit_jit_backup _ ~now_ns:_ = ()
 let continues_after_backup = false
 
+module FM = Sweep_machine.Fault_model
+
+(* Fault model: a power failure cuts the in-flight s-phase2 DMA
+   mid-line.  Entries already past the DMA engine land whole; the line
+   in flight lands as a word prefix (Nvm.write_line_torn).  Recovery's
+   idempotent re-drive rewrites every line whole, healing the tear —
+   the differential checker proves exactly that.  Checker-only: writes
+   extra NVM traffic, so it is gated on the torn_dma knob. *)
+let tear_inflight_dma t ~now_ns =
+  Array.iter
+    (fun buf ->
+      if buf.state = Phase2 then begin
+        let entries = Persist_buffer.entries_oldest_first buf.pb in
+        let n = List.length entries in
+        if n > 0 then begin
+          let k =
+            let progress = (now_ns -. buf.p1_end) /. (e t).E.dma_line_ns in
+            max 0 (min (n - 1) (int_of_float (floor progress)))
+          in
+          List.iteri
+            (fun i (base, data) ->
+              if i < k then Nvm.write_line t.nvm base data
+              else if i = k then begin
+                (* Deterministic but varied tear point in [1, 15]. *)
+                let words =
+                  1 + ((buf.seq * 31) + (k * 7)) mod (Layout.words_per_line - 1)
+                in
+                Nvm.write_line_torn t.nvm base data ~words;
+                if Sink.on () then
+                  Sink.emit ~ns:now_ns (Ev.Fault_torn { base; words })
+              end)
+            entries
+        end
+      end)
+    t.bufs
+
+(* Mutation: a stuck-at-1 phase1Complete bit means recovery will
+   re-drive a buffer whose flush was cut short.  The functional model's
+   buffer already holds the whole dirty set (pushed eagerly at
+   region_end), so make the physics real: truncate it to the eviction
+   entries plus the prefix the DMA actually flushed before the cut. *)
+let truncate_cut_flush t ~now_ns =
+  Array.iter
+    (fun buf ->
+      if buf.state = Phase1 then begin
+        let flush_n = List.length buf.pending_clean in
+        if flush_n > 0 then begin
+          let dma_line = (e t).E.dma_line_ns in
+          let dma_start = buf.p1_end -. (float_of_int flush_n *. dma_line) in
+          let flushed_so_far =
+            let f = (now_ns -. dma_start) /. dma_line in
+            max 0 (min flush_n (int_of_float (floor f)))
+          in
+          let keep = Persist_buffer.count buf.pb - flush_n + flushed_so_far in
+          Persist_buffer.truncate_to_oldest buf.pb ~keep
+        end
+      end)
+    t.bufs
+
 let on_power_failure t ~now_ns =
   sync t now_ns;
+  let fm = t.cfg.Cfg.faults in
+  if fm.FM.torn_dma then tear_inflight_dma t ~now_ns;
+  if fm.FM.stuck_phase1 then truncate_cut_flush t ~now_ns;
   (* Close the interrupted region's span: it will re-execute under a new
      sequence number after reboot. *)
   if Sink.on () then
@@ -451,55 +513,88 @@ let on_power_failure t ~now_ns =
    - both complete: nothing left in the buffer.
    Then reload the checkpointed registers and PC from NVM. *)
 let on_reboot t ~now_ns =
+  let fm = t.cfg.Cfg.faults in
   let ordered =
     Array.to_list t.bufs
     |> List.filter (fun b -> b.state <> Idle)
     |> List.sort (fun a b -> compare a.seq b.seq)
   in
+  let index_of buf =
+    let idx = ref 0 in
+    Array.iteri (fun i b -> if b == buf then idx := i) t.bufs;
+    !idx
+  in
   let discarding = ref false in
   let redo_cost = ref Cost.zero in
   List.iter
     (fun buf ->
-      (match buf.state with
-      | Phase2 when not !discarding ->
-        let n = Persist_buffer.count buf.pb in
-        if Sink.on () then
-          Sink.emit ~ns:now_ns
-            (Ev.Mark
-               {
-                 name = Printf.sprintf "redo seq %d (%d lines)" buf.seq n;
-                 cat = Sweep_obs.Event.Buffer;
-               });
-        apply_entries t buf;
-        redo_cost :=
-          Cost.(
-            !redo_cost
-            ++ make
-                 ~ns:(float_of_int n *. (e t).E.dma_line_ns)
-                 ~joules:(float_of_int n *. (e t).E.e_dma_line))
-      | Phase2 | Phase1 | Filling | Idle ->
-        discarding := true;
-        if Sink.on () && Persist_buffer.count buf.pb > 0 then
-          Sink.emit ~ns:now_ns
-            (Ev.Mark
-               {
-                 name =
-                   Printf.sprintf "discard seq %d (%d lines)" buf.seq
-                     (Persist_buffer.count buf.pb);
-                 cat = Sweep_obs.Event.Buffer;
-               });
-        Persist_buffer.clear buf.pb);
+      (* What recovery *believes* about the phase-complete bits; a stuck
+         bit makes it believe a phase finished that did not. *)
+      let phase1_done =
+        buf.state = Phase2 || fm.FM.stuck_phase1
+      in
+      let phase2_done = phase1_done && fm.FM.stuck_phase2 in
+      if Sink.on () && fm.FM.stuck_phase1 && buf.state <> Phase2 then
+        Sink.emit ~ns:now_ns
+          (Ev.Fault_stuck { bit = 1; buf = index_of buf; seq = buf.seq });
+      if Sink.on () && fm.FM.stuck_phase2 && phase1_done then
+        Sink.emit ~ns:now_ns
+          (Ev.Fault_stuck { bit = 2; buf = index_of buf; seq = buf.seq });
+      (if phase1_done && phase2_done then
+         (* Believed fully drained: nothing to redo — the entries are
+            dropped on the floor (this is the mutation detecting a
+            silent-green checker). *)
+         Persist_buffer.clear buf.pb
+       else if phase1_done && not !discarding then begin
+         let n = Persist_buffer.count buf.pb in
+         if Sink.on () then
+           Sink.emit ~ns:now_ns
+             (Ev.Mark
+                {
+                  name = Printf.sprintf "redo seq %d (%d lines)" buf.seq n;
+                  cat = Sweep_obs.Event.Buffer;
+                });
+         apply_entries t buf;
+         redo_cost :=
+           Cost.(
+             !redo_cost
+             ++ make
+                  ~ns:(float_of_int n *. (e t).E.dma_line_ns)
+                  ~joules:(float_of_int n *. (e t).E.e_dma_line))
+       end
+       else begin
+         discarding := true;
+         if Sink.on () && Persist_buffer.count buf.pb > 0 then
+           Sink.emit ~ns:now_ns
+             (Ev.Mark
+                {
+                  name =
+                    Printf.sprintf "discard seq %d (%d lines)" buf.seq
+                      (Persist_buffer.count buf.pb);
+                  cat = Sweep_obs.Event.Buffer;
+                });
+         Persist_buffer.clear buf.pb
+       end);
       buf.state <- Idle;
       buf.seq <- -1;
       buf.pending_clean <- [])
     ordered;
   t.dma_free <- now_ns;
   (* Restore the architectural state from the checkpoint array. *)
-  let layout = t.prog.layout in
-  for r = 0 to Sweep_isa.Reg.count - 1 do
-    t.cpu.Cpu.regs.(r) <- Nvm.read_word t.nvm (Layout.reg_slot layout r)
-  done;
-  t.cpu.Cpu.pc <- Nvm.read_word t.nvm layout.ckpt_pc;
+  if fm.FM.skip_restore then begin
+    (* Mutation: reboot "forgets" the checkpoint reload and restarts
+       from program entry over the persisted NVM state. *)
+    if Sink.on () then
+      Sink.emit ~ns:now_ns
+        (Ev.Mark { name = "mutation: skip restore"; cat = Ev.Fault })
+  end
+  else begin
+    let layout = t.prog.layout in
+    for r = 0 to Sweep_isa.Reg.count - 1 do
+      t.cpu.Cpu.regs.(r) <- Nvm.read_word t.nvm (Layout.reg_slot layout r)
+    done;
+    t.cpu.Cpu.pc <- Nvm.read_word t.nvm layout.ckpt_pc
+  end;
   t.cpu.Cpu.halted <- false;
   let reads = float_of_int (Sweep_isa.Reg.count + 1) in
   let restore_cost =

@@ -40,6 +40,8 @@ let note_progress key elapsed_s =
     Mutex.unlock progress_lock
   end
 
+let m_jobs_failed = Metrics.counter "exp.jobs_failed"
+
 let run_job j =
   let key = Jobs.key j in
   if Results.mem key then begin
@@ -49,25 +51,38 @@ let run_job j =
     if Sink.on () then Sink.emit ~ns:(wall_ns ()) (Ev.Job_start { key });
     let power = Jobs.to_power j.Jobs.power in
     let t0 = Unix.gettimeofday () in
-    let summary =
+    match
       Exp_common.compute ~scale:j.Jobs.scale j.Jobs.setting ~power
         j.Jobs.bench
-    in
-    let elapsed_s = Unix.gettimeofday () -. t0 in
-    if Sink.on () then
-      Sink.emit ~ns:(wall_ns ()) (Ev.Job_done { key; elapsed_s });
-    if Metrics.enabled () then begin
-      Metrics.inc m_jobs_run;
-      Metrics.observe m_job_elapsed elapsed_s
-    end;
-    note_progress key elapsed_s;
-    let stored = Results.add ~key summary in
-    if stored == summary then
-      Results.emit ~exp:j.Jobs.exp ~key
-        ~design:(H.design_name j.Jobs.setting.Exp_common.design)
-        ~label:j.Jobs.setting.Exp_common.label
-        ~power:(Jobs.power_id j.Jobs.power)
-        ~bench:j.Jobs.bench ~scale:j.Jobs.scale ~elapsed_s summary
+    with
+    (* A failing job (Stagnation, a workload bug, …) becomes a
+       structured Failed result: the pool keeps draining, renderers see
+       a missing key, and the CLI reports the failure at the end. *)
+    | exception exn ->
+      let backtrace = Printexc.get_backtrace () in
+      let error = Printexc.to_string exn in
+      Results.record_failure ~key ~error ~backtrace;
+      if Sink.on () then
+        Sink.emit ~ns:(wall_ns ()) (Ev.Job_failed { key; error });
+      if Metrics.enabled () then Metrics.inc m_jobs_failed;
+      note_progress (key ^ " FAILED: " ^ error)
+        (Unix.gettimeofday () -. t0)
+    | summary ->
+      let elapsed_s = Unix.gettimeofday () -. t0 in
+      if Sink.on () then
+        Sink.emit ~ns:(wall_ns ()) (Ev.Job_done { key; elapsed_s });
+      if Metrics.enabled () then begin
+        Metrics.inc m_jobs_run;
+        Metrics.observe m_job_elapsed elapsed_s
+      end;
+      note_progress key elapsed_s;
+      let stored = Results.add ~key summary in
+      if stored == summary then
+        Results.emit ~exp:j.Jobs.exp ~key
+          ~design:(H.design_name j.Jobs.setting.Exp_common.design)
+          ~label:j.Jobs.setting.Exp_common.label
+          ~power:(Jobs.power_id j.Jobs.power)
+          ~bench:j.Jobs.bench ~scale:j.Jobs.scale ~elapsed_s summary
   end
 
 (* Shared worker pool: indices 0..n-1 pulled from an atomic cursor by

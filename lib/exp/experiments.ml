@@ -62,7 +62,15 @@ let plan experiments =
 
 let render e =
   Results.set_current_experiment e.name;
-  e.render ()
+  (* A render can hit a job that failed in the batch phase and recompute
+     it sequentially, re-raising the original error; keep the remaining
+     experiments alive and log it as a structured failure. *)
+  try e.render ()
+  with exn ->
+    let backtrace = Printexc.get_backtrace () in
+    let error = Printexc.to_string exn in
+    Results.record_failure ~key:("render:" ^ e.name) ~error ~backtrace;
+    Printf.eprintf "experiment %s failed: %s\n%!" e.name error
 
 let run_many experiments =
   Executor.execute (plan experiments);

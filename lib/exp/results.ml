@@ -33,7 +33,27 @@ let add ~key summary =
 
 let mem key = with_lock (fun () -> Hashtbl.mem table key)
 let size () = with_lock (fun () -> Hashtbl.length table)
-let clear () = with_lock (fun () -> Hashtbl.reset table)
+
+(* ------------------------------------------------------------------ *)
+(* Failure side-store.  A job that raises (e.g. [Driver.Stagnation] on
+   a region too long for the capacitor) produces no summary; the
+   executor records it here instead of tearing down the worker pool, so
+   one bad job cannot kill a -j N sweep.  Renderers then see a missing
+   key and the CLI reports the failures at the end. *)
+
+type failure = { key : string; error : string; backtrace : string }
+
+let failure_log : failure list ref = ref []
+
+let record_failure ~key ~error ~backtrace =
+  with_lock (fun () -> failure_log := { key; error; backtrace } :: !failure_log)
+
+let failures () = with_lock (fun () -> List.rev !failure_log)
+
+let clear () =
+  with_lock (fun () ->
+      Hashtbl.reset table;
+      failure_log := [])
 
 let snapshot () =
   with_lock (fun () ->

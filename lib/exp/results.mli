@@ -32,7 +32,19 @@ val mem : string -> bool
 val size : unit -> int
 
 val clear : unit -> unit
-(** Empty the store (tests; long-lived sessions re-sweeping). *)
+(** Empty the store and the failure log (tests; long-lived sessions
+    re-sweeping). *)
+
+type failure = { key : string; error : string; backtrace : string }
+(** A job or render that raised instead of producing a summary. *)
+
+val record_failure : key:string -> error:string -> backtrace:string -> unit
+(** Thread-safe; called by the executor's workers so one failing job
+    (e.g. {!Sweep_sim.Driver.Stagnation}) is a structured result, not a
+    pool-tearing exception. *)
+
+val failures : unit -> failure list
+(** In recording order. *)
 
 val snapshot : unit -> (string * summary) list
 (** All entries, sorted by key — the determinism tests compare the

@@ -11,6 +11,7 @@ type t = {
   nvsram_parallel : int;
   replay_queue : int;
   rename_entries : int;
+  faults : Fault_model.t;
 }
 
 let default =
@@ -25,8 +26,10 @@ let default =
     nvsram_parallel = 8;
     replay_queue = 8;
     rename_entries = 64;
+    faults = Fault_model.none;
   }
 
 let with_cache t ~size = { t with cache_size_bytes = size }
 let with_search t search = { t with search }
 let with_detector t d = { t with detector_override = Some d }
+let with_faults t faults = { t with faults }

@@ -22,6 +22,10 @@ type t = {
       (** ReplayCache pending-clwb queue depth; default 8. *)
   rename_entries : int;
       (** NvMR rename-buffer capacity; default 64. *)
+  faults : Fault_model.t;
+      (** Hardware fault models for the crash-consistency checker;
+          {!Fault_model.none} (the default) leaves behaviour
+          untouched. *)
 }
 
 val default : t
@@ -29,3 +33,4 @@ val default : t
 val with_cache : t -> size:int -> t
 val with_search : t -> buffer_search -> t
 val with_detector : t -> Sweep_energy.Detector.t -> t
+val with_faults : t -> Fault_model.t -> t

@@ -1,0 +1,48 @@
+(* Hardware fault models for crash-consistency validation (checker
+   only; every knob defaults to off so normal simulation and the bench
+   baseline are untouched).
+
+   [torn_dma] makes an injected power failure tear the in-flight
+   persist-buffer DMA line: lines already past the DMA engine land
+   whole, the line in flight lands as a prefix of its words.  Recovery
+   must heal the tear by re-driving the buffer (full-line rewrites).
+
+   [stuck_phase1] / [stuck_phase2] model a stuck-at-1
+   phase1Complete / phase2Complete bit: recovery believes a phase
+   finished that did not.  These are *mutations* — deliberate invariant
+   breaks used to prove the differential checker is not silently green.
+
+   [skip_restore] makes reboot skip reloading the checkpointed
+   registers + PC (restart from program entry over persisted NVM
+   state), the classic double-execution bug intermittent systems
+   exist to prevent. *)
+
+type t = {
+  torn_dma : bool;
+  stuck_phase1 : bool;
+  stuck_phase2 : bool;
+  skip_restore : bool;
+}
+
+let none =
+  {
+    torn_dma = false;
+    stuck_phase1 = false;
+    stuck_phase2 = false;
+    skip_restore = false;
+  }
+
+let is_none t = t = none
+
+let to_string t =
+  if is_none t then "none"
+  else
+    String.concat "+"
+      (List.filter_map
+         (fun (on, name) -> if on then Some name else None)
+         [
+           (t.torn_dma, "torn-dma");
+           (t.stuck_phase1, "stuck-phase1");
+           (t.stuck_phase2, "stuck-phase2");
+           (t.skip_restore, "skip-restore");
+         ])

@@ -1,0 +1,22 @@
+(** Hardware fault models for crash-consistency validation.
+
+    All knobs default to off ({!none}); machines must behave
+    byte-identically to the un-faulted model when handed {!none}.
+    [torn_dma] is a *fault the design must survive* (partial line
+    writes during the phase-3 DMA are healed by the idempotent
+    re-drive); the stuck-bit and skip-restore knobs are *mutations*
+    that break a recovery invariant on purpose, so the differential
+    checker can prove it detects real bugs. *)
+
+type t = {
+  torn_dma : bool;      (** tear the in-flight DMA line on injected crash *)
+  stuck_phase1 : bool;  (** phase1Complete reads 1 even when flush was cut *)
+  stuck_phase2 : bool;  (** phase2Complete reads 1 even when drain was cut *)
+  skip_restore : bool;  (** reboot skips the register/PC checkpoint reload *)
+}
+
+val none : t
+val is_none : t -> bool
+
+val to_string : t -> string
+(** ["none"] or a [+]-joined list such as ["torn-dma+skip-restore"]. *)

@@ -50,6 +50,15 @@ let write_line t base data =
   t.bytes_written <- t.bytes_written + Layout.line_bytes;
   Array.blit data 0 t.words (base / Layout.word_bytes) Layout.words_per_line
 
+let write_line_torn t base data ~words =
+  check_line_addr base;
+  assert (Array.length data = Layout.words_per_line);
+  if words <= 0 || words >= Layout.words_per_line then
+    invalid_arg "Nvm.write_line_torn: words must be in (0, words_per_line)";
+  t.write_events <- t.write_events + 1;
+  t.bytes_written <- t.bytes_written + (words * Layout.word_bytes);
+  Array.blit data 0 t.words (base / Layout.word_bytes) words
+
 let peek_word t addr =
   check_word_addr addr;
   t.words.(addr / Layout.word_bytes)

@@ -28,6 +28,13 @@ val write_line : t -> int -> int array -> unit
 (** [write_line t base data] writes a full line.  Counts one write
     event. *)
 
+val write_line_torn : t -> int -> int array -> words:int -> unit
+(** [write_line_torn t base data ~words] models a DMA line write cut by
+    a power failure: only the first [words] words (0 < [words] <
+    words-per-line) of [data] reach NVM; the line's tail keeps its old
+    contents.  Counts one (partial) write event.  Fault injection
+    only. *)
+
 val peek_word : t -> int -> int
 (** Read without accounting (for tests and state comparison). *)
 

@@ -59,14 +59,14 @@ let span st ~tid ~name ~cat ~start_ns ~dur_ns ev =
        (us (max 0.0 dur_ns))
        sim_pid tid (args_field ev))
 
-let mark st ~tid ~ns ev =
+let mark st ?(pid = sim_pid) ~tid ~ns ev =
   record st
     (Printf.sprintf
        "{\"name\":%s,\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\
         \"pid\":%d,\"tid\":%d%s}"
        (Event.json_string (Event.name ev))
        (Event.category_name (Event.category ev))
-       (us ns) sim_pid tid (args_field ev))
+       (us ns) pid tid (args_field ev))
 
 let begin_end st ~pid ~tid ~ns ~ph ev =
   record st
@@ -125,11 +125,20 @@ let write st ~ns ev =
       name_thread st ~pid:sim_pid ~tid:power_tid "power";
       mark st ~tid:power_tid ~ns ev
     | Voltage { volts } -> counter st ~ns ~name:"capacitor V" ~series:"V" volts
+    | Fault_inject _ | Fault_torn _ | Fault_stuck _ ->
+      (* Injected faults land on the power track next to the deaths
+         they masquerade as. *)
+      name_thread st ~pid:sim_pid ~tid:power_tid "power";
+      mark st ~tid:power_tid ~ns ev
     | Job_start _ | Job_done _ ->
       let tid = (Domain.self () :> int) in
       name_thread st ~pid:exec_pid ~tid (Printf.sprintf "worker %d" tid);
       let ph = match ev with Job_start _ -> 'B' | _ -> 'E' in
       begin_end st ~pid:exec_pid ~tid ~ns ~ph ev
+    | Job_failed _ ->
+      let tid = (Domain.self () :> int) in
+      name_thread st ~pid:exec_pid ~tid (Printf.sprintf "worker %d" tid);
+      mark st ~pid:exec_pid ~tid ~ns ev
     | Mark _ -> mark st ~tid:cpu_tid ~ns ev
   end
 

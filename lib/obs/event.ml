@@ -1,4 +1,4 @@
-type category = Region | Buffer | Cache | Power | Exec | Job
+type category = Region | Buffer | Cache | Power | Exec | Job | Fault
 
 let category_name = function
   | Region -> "region"
@@ -7,6 +7,7 @@ let category_name = function
   | Power -> "power"
   | Exec -> "exec"
   | Job -> "job"
+  | Fault -> "fault"
 
 let category_of_name s =
   match String.lowercase_ascii (String.trim s) with
@@ -16,9 +17,10 @@ let category_of_name s =
   | "power" -> Some Power
   | "exec" -> Some Exec
   | "job" -> Some Job
+  | "fault" -> Some Fault
   | _ -> None
 
-let all_categories = [ Region; Buffer; Cache; Power; Exec; Job ]
+let all_categories = [ Region; Buffer; Cache; Power; Exec; Job; Fault ]
 
 type phase = Fill | Flush | Drain
 
@@ -53,6 +55,10 @@ type t =
   | Dropped of { count : int }
   | Job_start of { key : string }
   | Job_done of { key : string; elapsed_s : float }
+  | Job_failed of { key : string; error : string }
+  | Fault_inject of { trigger : string; detail : string }
+  | Fault_torn of { base : int; words : int }
+  | Fault_stuck of { bit : int; buf : int; seq : int }
   | Mark of { name : string; cat : category }
 
 let category = function
@@ -64,7 +70,8 @@ let category = function
   | Replay _ | Voltage _ ->
     Power
   | Halt | Dropped _ -> Exec
-  | Job_start _ | Job_done _ -> Job
+  | Job_start _ | Job_done _ | Job_failed _ -> Job
+  | Fault_inject _ | Fault_torn _ | Fault_stuck _ -> Fault
   | Mark { cat; _ } -> cat
 
 let name = function
@@ -93,6 +100,10 @@ let name = function
   | Dropped { count } -> Printf.sprintf "%d events dropped" count
   | Job_start _ -> "job"
   | Job_done _ -> "job"
+  | Job_failed _ -> "job failed"
+  | Fault_inject { trigger; _ } -> Printf.sprintf "fault %s" trigger
+  | Fault_torn { words; _ } -> Printf.sprintf "torn dma (%d words)" words
+  | Fault_stuck { bit; _ } -> Printf.sprintf "stuck phase%d bit" bit
   | Mark { name; _ } -> name
 
 (* Stable constructor tag, written as the ["ev"] field of every JSONL
@@ -120,6 +131,10 @@ let tag = function
   | Dropped _ -> "dropped"
   | Job_start _ -> "job_start"
   | Job_done _ -> "job_done"
+  | Job_failed _ -> "job_failed"
+  | Fault_inject _ -> "fault_inject"
+  | Fault_torn _ -> "fault_torn"
+  | Fault_stuck _ -> "fault_stuck"
   | Mark _ -> "mark"
 
 let json_string s =
@@ -172,6 +187,16 @@ let json_args = function
   | Job_start { key } -> Printf.sprintf "\"job\":%s" (json_string key)
   | Job_done { key; elapsed_s } ->
     Printf.sprintf "\"job\":%s,\"elapsed_s\":%.6f" (json_string key) elapsed_s
+  | Job_failed { key; error } ->
+    Printf.sprintf "\"job\":%s,\"error\":%s" (json_string key)
+      (json_string error)
+  | Fault_inject { trigger; detail } ->
+    Printf.sprintf "\"trigger\":%s,\"detail\":%s" (json_string trigger)
+      (json_string detail)
+  | Fault_torn { base; words } ->
+    Printf.sprintf "\"base\":%d,\"words\":%d" base words
+  | Fault_stuck { bit; buf; seq } ->
+    Printf.sprintf "\"bit\":%d,\"buf\":%d,\"seq\":%d" bit buf seq
   | Mark _ -> ""
 
 (* ------------------------------------------------------------------ *)
@@ -277,6 +302,23 @@ let of_parts ~tag ~name ~cat ~args =
     let* key = str_arg args "job" in
     let* elapsed_s = num_arg args "elapsed_s" in
     Some (Job_done { key; elapsed_s })
+  | "job_failed" ->
+    let* key = str_arg args "job" in
+    let* error = str_arg args "error" in
+    Some (Job_failed { key; error })
+  | "fault_inject" ->
+    let* trigger = str_arg args "trigger" in
+    let* detail = str_arg args "detail" in
+    Some (Fault_inject { trigger; detail })
+  | "fault_torn" ->
+    let* base = int_arg args "base" in
+    let* words = int_arg args "words" in
+    Some (Fault_torn { base; words })
+  | "fault_stuck" ->
+    let* bit = int_arg args "bit" in
+    let* buf = int_arg args "buf" in
+    let* seq = int_arg args "seq" in
+    Some (Fault_stuck { bit; buf; seq })
   | "mark" ->
     let* cat = category_of_name cat in
     Some (Mark { name; cat })

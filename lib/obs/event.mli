@@ -5,7 +5,7 @@
     executor job events) travels separately through {!Sink.emit} so hot
     paths can reuse the [now_ns] value they already hold. *)
 
-type category = Region | Buffer | Cache | Power | Exec | Job
+type category = Region | Buffer | Cache | Power | Exec | Job | Fault
 
 val category_name : category -> string
 val category_of_name : string -> category option
@@ -50,6 +50,18 @@ type t =
           wrap) — a trace containing this is truncated, not complete. *)
   | Job_start of { key : string }
   | Job_done of { key : string; elapsed_s : float }
+  | Job_failed of { key : string; error : string }
+      (** A worker caught an exception; the job produced no summary. *)
+  | Fault_inject of { trigger : string; detail : string }
+      (** An injected (adversarial) power failure, as opposed to a
+          voltage-driven {!Death}.  [trigger] is ["instr"], ["event"] or
+          ["nested"]; [detail] locates the crash point. *)
+  | Fault_torn of { base : int; words : int }
+      (** Torn persist-buffer DMA: only the first [words] words of the
+          line at [base] reached NVM before the crash. *)
+  | Fault_stuck of { bit : int; buf : int; seq : int }
+      (** A stuck-at-1 [phaseNComplete] bit ([bit] is 1 or 2) observed
+          on buffer [buf] (region [seq]) at crash time. *)
   | Mark of { name : string; cat : category }
       (** Free-form instant marker for one-off annotations. *)
 

@@ -4,11 +4,21 @@ type t = {
   lock : Mutex.t;
   slots : entry option array;
   mutable next : int;   (* total events ever written *)
+  (* Fault-category events, with the global index each was written at,
+     newest first.  They are re-surfaced by [drain_to] even after the
+     window wraps past them: a capped trace must never lose the very
+     fault injection it exists to explain. *)
+  mutable pinned : (int * entry) list;
 }
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Ring.create";
-  { lock = Mutex.create (); slots = Array.make capacity None; next = 0 }
+  {
+    lock = Mutex.create ();
+    slots = Array.make capacity None;
+    next = 0;
+    pinned = [];
+  }
 
 let capacity t = Array.length t.slots
 
@@ -18,7 +28,10 @@ let with_lock t f =
 
 let write t ~ns event =
   with_lock t (fun () ->
-      t.slots.(t.next mod Array.length t.slots) <- Some { ns; event };
+      let e = { ns; event } in
+      t.slots.(t.next mod Array.length t.slots) <- Some e;
+      if Event.category event = Event.Fault then
+        t.pinned <- (t.next, e) :: t.pinned;
       t.next <- t.next + 1)
 
 let sink t = Sink.make (fun ~ns ev -> write t ~ns ev)
@@ -42,19 +55,49 @@ let to_list t =
           | Some e -> e
           | None -> assert false))
 
+(* Entries evicted from the window but preserved by pinning (fault
+   events), oldest first. *)
+let pinned t =
+  with_lock t (fun () ->
+      let first = max 0 (t.next - Array.length t.slots) in
+      List.rev_map snd (List.filter (fun (i, _) -> i < first) t.pinned))
+
 (* Replay the retained window into another sink, oldest first.  A wrap
    is made explicit: the stream opens with a [Dropped] event so a
-   truncated trace can never masquerade as a complete one. *)
+   truncated trace can never masquerade as a complete one.  Pinned
+   fault events that wrapped out of the window are re-emitted right
+   after the marker (and excluded from its count): a [Dropped] marker
+   must never swallow the fault injection itself. *)
 let drain_to t sink =
-  let entries = to_list t in
-  let d = dropped t in
-  if d > 0 then begin
-    let first_ns = match entries with e :: _ -> e.ns | [] -> 0.0 in
-    sink.Sink.write ~ns:first_ns (Event.Dropped { count = d })
+  let entries, evicted_pinned, lost =
+    with_lock t (fun () ->
+        let cap = Array.length t.slots in
+        let n = min t.next cap in
+        let first = t.next - n in
+        let entries =
+          List.init n (fun i ->
+              match t.slots.((first + i) mod cap) with
+              | Some e -> e
+              | None -> assert false)
+        in
+        let evicted =
+          List.rev_map snd (List.filter (fun (i, _) -> i < first) t.pinned)
+        in
+        (entries, evicted, first - List.length evicted))
+  in
+  if lost > 0 then begin
+    let first_ns =
+      match (evicted_pinned, entries) with
+      | e :: _, _ | [], e :: _ -> e.ns
+      | [], [] -> 0.0
+    in
+    sink.Sink.write ~ns:first_ns (Event.Dropped { count = lost })
   end;
+  List.iter (fun e -> sink.Sink.write ~ns:e.ns e.event) evicted_pinned;
   List.iter (fun e -> sink.Sink.write ~ns:e.ns e.event) entries
 
 let clear t =
   with_lock t (fun () ->
       Array.fill t.slots 0 (Array.length t.slots) None;
-      t.next <- 0)
+      t.next <- 0;
+      t.pinned <- [])

@@ -23,9 +23,16 @@ val dropped : t -> int
 val to_list : t -> entry list
 (** Retained events, oldest first. *)
 
+val pinned : t -> entry list
+(** Fault-category events that were evicted from the window but
+    preserved by pinning, oldest first. *)
+
 val drain_to : t -> Sink.t -> unit
 (** Replay the retained window into [sink], oldest first, preceded by an
     {!Event.Dropped} event when the ring wrapped — downstream consumers
-    (and [sweeptrace]) must see that the trace is truncated. *)
+    (and [sweeptrace]) must see that the trace is truncated.  Fault
+    events are pinned: even when the window wraps past them they are
+    re-emitted (right after the [Dropped] marker, excluded from its
+    count) rather than silently lost. *)
 
 val clear : t -> unit

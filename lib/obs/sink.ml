@@ -49,16 +49,36 @@ let tee a b =
 let enabled = ref false
 let current = ref null
 
+(* Lightweight observers riding alongside the installed sink: the
+   checker's oracle pass taps the event stream without displacing (or
+   requiring) a real sink.  Sequential use only — see the .mli. *)
+let observers : (ns:float -> Event.t -> unit) list ref = ref []
+
+let refresh_enabled () = enabled := !current != null || !observers <> []
+
 let install sink =
   current := sink;
   enabled := true
 
 let clear () =
-  enabled := false;
-  current := null
+  current := null;
+  refresh_enabled ()
+
+let spy f =
+  observers := f :: !observers;
+  refresh_enabled ();
+  fun () ->
+    observers := List.filter (fun g -> g != f) !observers;
+    refresh_enabled ()
 
 let on () = !enabled
-let emit ~ns ev = !current.write ~ns ev
+
+let emit ~ns ev =
+  !current.write ~ns ev;
+  match !observers with
+  | [] -> ()
+  | obs -> List.iter (fun f -> f ~ns ev) obs
+
 let flush () = !current.flush ()
 
 let with_sink sink f =

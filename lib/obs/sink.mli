@@ -36,8 +36,16 @@ val install : t -> unit
     spawning worker domains. *)
 
 val clear : unit -> unit
-(** Back to the no-op sink ({!on} becomes [false]).  Does not flush or
-    close the previous sink — callers own that. *)
+(** Back to the no-op sink ({!on} becomes [false] unless spies remain).
+    Does not flush or close the previous sink — callers own that. *)
+
+val spy : (ns:float -> Event.t -> unit) -> unit -> unit
+(** [spy f] attaches [f] as an observer of every emitted event — in
+    addition to (and independent of) the installed sink — and returns a
+    detach closure.  While any observer is attached {!on} reports
+    [true], so instrumentation sites fire even with no sink installed.
+    Unlike sinks, observers are NOT synchronised: attach, observe and
+    detach only from sequential (single-domain) runs. *)
 
 val on : unit -> bool
 (** The guard every instrumentation site checks before building an

@@ -32,6 +32,7 @@ type outcome = {
   restore_joules : float;
   quiescent_joules : float;
   instructions : int;
+  injected_faults : int;
 }
 
 let total_ns o = o.on_ns +. o.off_ns
@@ -44,16 +45,96 @@ exception Stagnation of string
 let ns_to_s ns = ns *. 1.0e-9
 
 (* ------------------------------------------------------------------ *)
+(* Fault-trigger bookkeeping shared by both power modes.  [watch]
+   attaches a Sink spy for event triggers (sequential runs only) and
+   returns a detach closure; [should_fire] is checked once per
+   completed instruction. *)
 
-let run_unlimited ?(max_instructions = 500_000_000) m =
+type fault_watch = {
+  fault : Fault.t option;
+  mutable fired : bool;
+  mutable event_pending : bool;
+  mutable detach : (unit -> unit) option;
+}
+
+let watch_fault fault =
+  let w = { fault; fired = false; event_pending = false; detach = None } in
+  (match fault with
+  | Some { Fault.trigger = Fault.At_event { tag; nth }; _ } ->
+    let hits = ref 0 in
+    w.detach <-
+      Some
+        (Sink.spy (fun ~ns:_ ev ->
+             if (not w.fired) && (not w.event_pending) && Ev.tag ev = tag
+             then begin
+               incr hits;
+               if !hits >= nth then w.event_pending <- true
+             end))
+  | Some _ | None -> ());
+  w
+
+let unwatch_fault w =
+  Option.iter (fun d -> d ()) w.detach;
+  w.detach <- None
+
+let fault_to_fire w ~instructions =
+  if w.fired then None
+  else
+    match w.fault with
+    | None -> None
+    | Some f -> (
+      match f.Fault.trigger with
+      | Fault.At_instruction n -> if instructions >= n then Some f else None
+      | Fault.At_event _ -> if w.event_pending then Some f else None)
+
+(* ------------------------------------------------------------------ *)
+
+let run_unlimited ?(max_instructions = 500_000_000) ?fault ?after_recovery m =
   let now = ref 0.0 in
   let joules = ref 0.0 in
+  let restore_joules = ref 0.0 in
   let instructions = ref 0 in
+  let outages = ref 0 in
+  let injected = ref 0 in
+  let w = watch_fault fault in
+  Fun.protect ~finally:(fun () -> unwatch_fault w) @@ fun () ->
+  (* One injected crash under unlimited power: no capacitor, so the
+     off period is instantaneous — the machine's power-failure and
+     recovery paths run, execution resumes at the recovered PC. *)
+  let crash ~trigger ~detail =
+    incr injected;
+    incr outages;
+    (* A JIT design never dies without its banked backup (the backup
+       threshold sits above Vmin), so an adversarial crash still finds
+       a fresh checkpoint: commit one at the crash point. *)
+    if M.jit_backup_cost m <> None then M.commit_jit_backup m ~now_ns:!now;
+    if Sink.on () then begin
+      Sink.emit ~ns:!now (Ev.Fault_inject { trigger; detail });
+      Sink.emit ~ns:!now (Ev.Power_down { volts = 0.0 })
+    end;
+    M.on_power_failure m ~now_ns:!now;
+    if Sink.on () then Sink.emit ~ns:!now (Ev.Reboot { outage = !outages });
+    let c = M.on_reboot m ~now_ns:!now in
+    now := !now +. c.Cost.ns;
+    restore_joules := !restore_joules +. c.Cost.joules;
+    if Sink.on () then
+      Sink.emit ~ns:!now (Ev.Restore { joules = c.Cost.joules });
+    match after_recovery with Some f -> f ~now_ns:!now | None -> ()
+  in
   while (not (M.halted m)) && !instructions < max_instructions do
     let c = M.step m ~now_ns:!now in
     now := !now +. c.Cost.ns;
     joules := !joules +. c.Cost.joules;
-    incr instructions
+    incr instructions;
+    match fault_to_fire w ~instructions:!instructions with
+    | Some f ->
+      w.fired <- true;
+      crash ~trigger:(Fault.trigger_kind f.Fault.trigger)
+        ~detail:(Fault.describe f);
+      for _ = 1 to f.Fault.nested do
+        crash ~trigger:"nested" ~detail:(Fault.describe f)
+      done
+    | None -> ()
   done;
   if not (M.halted m) then
     raise (Stagnation "instruction guard exceeded without Halt");
@@ -64,15 +145,16 @@ let run_unlimited ?(max_instructions = 500_000_000) m =
     completed = true;
     on_ns = !now;
     off_ns = 0.0;
-    outages = 0;
+    outages = !outages;
     deaths = 0;
     backups = 0;
     failed_backups = 0;
     compute_joules = !joules;
     backup_joules = 0.0;
-    restore_joules = 0.0;
+    restore_joules = !restore_joules;
     quiescent_joules = 0.0;
     instructions = !instructions;
+    injected_faults = !injected;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -96,6 +178,7 @@ type harv_state = {
   mutable quiescent_joules : float;
   mutable instructions : int;
   mutable backup_armed : bool;
+  mutable injected_faults : int;
 }
 
 (* Advance wall time by [ns] while powered on: harvest plus quiescent
@@ -154,9 +237,10 @@ let propagation_delay s ns state =
   | `On -> s.on_ns <- s.on_ns +. ns
   | `Off -> s.off_ns <- s.off_ns +. ns
 
-(* Power-down / charge / reboot sequence shared by JIT stops and hard
-   deaths. *)
-let power_cycle s ~max_off_s =
+(* Power-down / charge / reboot sequence shared by JIT stops, hard
+   deaths and injected faults.  [after_recovery] (the differential
+   checker's hook) observes the machine right after every recovery. *)
+let power_cycle ?after_recovery s ~max_off_s =
   s.outages <- s.outages + 1;
   if Sink.on () then
     Sink.emit ~ns:s.now (Ev.Power_down { volts = Capacitor.voltage s.cap });
@@ -173,7 +257,8 @@ let power_cycle s ~max_off_s =
   if Sink.on () then
     Sink.emit ~ns:s.now (Ev.Restore { joules = c.Cost.joules });
   pass_time_on s c.Cost.ns;
-  s.backup_armed <- true
+  s.backup_armed <- true;
+  match after_recovery with Some f -> f ~now_ns:s.now | None -> ()
 
 let try_backup s v_min =
   (* Detection propagation delay passes first (§2.2). *)
@@ -203,8 +288,8 @@ let try_backup s v_min =
       false
     end
 
-let run_harvested ?(max_instructions = 500_000_000) ?(max_sim_s = 600.0) m
-    ~trace ~farads ~v_max ~v_min =
+let run_harvested ?(max_instructions = 500_000_000) ?(max_sim_s = 600.0)
+    ?fault ?after_recovery m ~trace ~farads ~v_max ~v_min =
   let det = M.detector m in
   let s =
     {
@@ -226,6 +311,7 @@ let run_harvested ?(max_instructions = 500_000_000) ?(max_sim_s = 600.0) m
       quiescent_joules = 0.0;
       instructions = 0;
       backup_armed = true;
+      injected_faults = 0;
     }
   in
   let max_off_s = 120.0 in
@@ -236,6 +322,35 @@ let run_harvested ?(max_instructions = 500_000_000) ?(max_sim_s = 600.0) m
       raise (Stagnation "simulated-time guard exceeded")
   in
   let has_jit = M.jit_backup_cost m <> None in
+  let w = watch_fault fault in
+  (* An injected crash behaves like a death at the crash point, except a
+     JIT design first banks the backup its detector would have banked
+     (the backup threshold sits above Vmin, so a crash with no fresh
+     checkpoint is physically impossible under the detector model). *)
+  let inject s f ~trigger =
+    s.injected_faults <- s.injected_faults + 1;
+    if has_jit then begin
+      match M.jit_backup_cost m with
+      | Some cost ->
+        M.commit_jit_backup m ~now_ns:s.now;
+        Capacitor.consume s.cap cost.Cost.joules;
+        s.backup_joules <- s.backup_joules +. cost.Cost.joules;
+        (M.mstats m).Mstats.backup_events <-
+          (M.mstats m).Mstats.backup_events + 1;
+        (M.mstats m).Mstats.backup_joules <-
+          (M.mstats m).Mstats.backup_joules +. cost.Cost.joules;
+        s.backups <- s.backups + 1;
+        if Sink.on () then
+          Sink.emit ~ns:s.now
+            (Ev.Backup { ok = true; joules = cost.Cost.joules })
+      | None -> ()
+    end;
+    if Sink.on () then
+      Sink.emit ~ns:s.now
+        (Ev.Fault_inject { trigger; detail = Fault.describe f });
+    power_cycle ?after_recovery s ~max_off_s
+  in
+  Fun.protect ~finally:(fun () -> unwatch_fault w) @@ fun () ->
   while not (M.halted m) do
     guards ();
     (* Re-arm the backup trigger once the voltage has recovered. *)
@@ -256,14 +371,14 @@ let run_harvested ?(max_instructions = 500_000_000) ?(max_sim_s = 600.0) m
         ()
       else
         (* Backup (or its failure) is followed by power-down. *)
-        power_cycle s ~max_off_s
+        power_cycle ?after_recovery s ~max_off_s
     end
     else if not (Capacitor.above s.cap v_min) then begin
       (* Hard death: volatile state is lost. *)
       s.deaths <- s.deaths + 1;
       if Sink.on () then
         Sink.emit ~ns:s.now (Ev.Death { volts = Capacitor.voltage s.cap });
-      power_cycle s ~max_off_s
+      power_cycle ?after_recovery s ~max_off_s
     end
     else begin
       let c = M.step m ~now_ns:s.now in
@@ -274,7 +389,13 @@ let run_harvested ?(max_instructions = 500_000_000) ?(max_sim_s = 600.0) m
       (* Sparse voltage samples while executing keep the counter track
          legible without swamping the trace. *)
       if Sink.on () && s.instructions mod 5_000 = 0 then
-        Sink.emit ~ns:s.now (Ev.Voltage { volts = Capacitor.voltage s.cap })
+        Sink.emit ~ns:s.now (Ev.Voltage { volts = Capacitor.voltage s.cap });
+      match fault_to_fire w ~instructions:s.instructions with
+      | Some f ->
+        w.fired <- true;
+        inject s f ~trigger:(Fault.trigger_kind f.Fault.trigger);
+        for _ = 1 to f.Fault.nested do inject s f ~trigger:"nested" done
+      | None -> ()
     end
   done;
   let d = M.drain m ~now_ns:s.now in
@@ -294,6 +415,7 @@ let run_harvested ?(max_instructions = 500_000_000) ?(max_sim_s = 600.0) m
     restore_joules = s.restore_joules;
     quiescent_joules = s.quiescent_joules;
     instructions = s.instructions;
+    injected_faults = s.injected_faults;
   }
 
 module Metrics = Sweep_obs.Metrics
@@ -314,13 +436,13 @@ let publish_outcome ?(labels = []) (o : outcome) =
       (if total_ns o <= 0.0 then 100.0 else o.on_ns /. total_ns o *. 100.0)
   end
 
-let run ?max_instructions ?max_sim_s m ~power =
+let run ?max_instructions ?max_sim_s ?fault ?after_recovery m ~power =
   let o =
     match power with
-    | Unlimited -> run_unlimited ?max_instructions m
+    | Unlimited -> run_unlimited ?max_instructions ?fault ?after_recovery m
     | Harvested { trace; capacitor_farads; v_max; v_min } ->
-      run_harvested ?max_instructions ?max_sim_s m ~trace
-        ~farads:capacitor_farads ~v_max ~v_min
+      run_harvested ?max_instructions ?max_sim_s ?fault ?after_recovery m
+        ~trace ~farads:capacitor_farads ~v_max ~v_min
   in
   publish_outcome o;
   o

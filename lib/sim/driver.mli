@@ -41,6 +41,7 @@ type outcome = {
   restore_joules : float;
   quiescent_joules : float;
   instructions : int;
+  injected_faults : int;  (** crashes injected by the [?fault] plan *)
 }
 
 val total_ns : outcome -> float
@@ -54,6 +55,8 @@ exception Stagnation of string
 val run :
   ?max_instructions:int ->
   ?max_sim_s:float ->
+  ?fault:Fault.t ->
+  ?after_recovery:(now_ns:float -> unit) ->
   Sweep_machine.Machine_intf.packed ->
   power:power ->
   outcome
@@ -61,7 +64,20 @@ val run :
     Guards default to 500 M instructions and 600 simulated seconds.
     When {!Sweep_obs.Sink.on}, emits power/backup/restore/voltage events;
     when {!Sweep_obs.Metrics.enabled}, publishes the outcome (unlabelled)
-    via {!publish_outcome}. *)
+    via {!publish_outcome}.
+
+    [?fault] injects one adversarial power failure at the plan's crash
+    point (plus its nested re-crashes), on top of whatever the voltage
+    model does: the machine's [on_power_failure]/[on_reboot] paths run
+    exactly as for a real death, a JIT design first banks the backup
+    its detector would have banked, and a [Fault_inject] event is
+    emitted.  Under [Unlimited] power the off period is instantaneous.
+    Event-triggered plans require a sequential run.
+
+    [?after_recovery] is invoked after {e every} completed recovery
+    (injected or voltage-driven) with the machine in its
+    just-recovered state — the differential checker's observation
+    hook. *)
 
 val publish_outcome : ?labels:(string * string) list -> outcome -> unit
 (** Accumulate an outcome's counters ([driver.*]) into the global

@@ -1,0 +1,30 @@
+(* Injectable fault plans: adversarial power failures at a chosen
+   execution point, independent of what the voltage model would do.
+   One plan describes one crash (optionally followed by immediate
+   nested re-crashes exercising recovery-of-recovery). *)
+
+type trigger =
+  | At_instruction of int
+  | At_event of { tag : string; nth : int }
+
+type t = { trigger : trigger; nested : int }
+
+let at_instruction ?(nested = 0) n =
+  if n < 1 then invalid_arg "Fault.at_instruction";
+  { trigger = At_instruction n; nested = max 0 nested }
+
+let at_event ?(nested = 0) ?(nth = 1) tag =
+  if nth < 1 then invalid_arg "Fault.at_event";
+  { trigger = At_event { tag; nth }; nested = max 0 nested }
+
+let trigger_kind = function
+  | At_instruction _ -> "instr"
+  | At_event _ -> "event"
+
+let describe t =
+  let base =
+    match t.trigger with
+    | At_instruction n -> Printf.sprintf "instr %d" n
+    | At_event { tag; nth } -> Printf.sprintf "event %s #%d" tag nth
+  in
+  if t.nested > 0 then Printf.sprintf "%s +%d nested" base t.nested else base

@@ -1,0 +1,29 @@
+(** Injectable fault plans for {!Driver.run}.
+
+    A plan kills the run at an exact execution point — the Nth dynamic
+    instruction, or the Nth emission of a named {!Sweep_obs.Event} tag
+    (e.g. ["buf_phase"] to land inside a persistence window) — rather
+    than wherever the voltage model happens to cross Vmin.  [nested]
+    adds that many immediate re-crashes right after each recovery
+    completes, covering crash-during-recovery (the §4.2 re-drive must
+    be idempotent). *)
+
+type trigger =
+  | At_instruction of int
+      (** Fire after the Nth (1-based) dynamically executed
+          instruction, counted across reboots. *)
+  | At_event of { tag : string; nth : int }
+      (** Fire at the end of the step during which the [nth] event with
+          constructor tag [tag] is emitted.  Requires a sequential run
+          (the driver taps the event stream via {!Sweep_obs.Sink.spy}). *)
+
+type t = { trigger : trigger; nested : int }
+
+val at_instruction : ?nested:int -> int -> t
+val at_event : ?nested:int -> ?nth:int -> string -> t
+
+val trigger_kind : trigger -> string
+(** ["instr"] or ["event"] — the [Fault_inject] event's trigger field. *)
+
+val describe : t -> string
+(** Human-readable crash-point description, e.g. ["instr 812 +1 nested"]. *)

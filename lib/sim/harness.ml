@@ -49,10 +49,13 @@ type result = {
   compiled : Pipeline.compiled;
 }
 
-let run ?config ?options ?max_instructions ?max_sim_s design ~power ast =
+let run ?config ?options ?max_instructions ?max_sim_s ?fault ?after_recovery
+    design ~power ast =
   let compiled = compile ?options design ast in
   let m = machine ?config design compiled.Pipeline.program in
-  let outcome = Driver.run ?max_instructions ?max_sim_s m ~power in
+  let outcome =
+    Driver.run ?max_instructions ?max_sim_s ?fault ?after_recovery m ~power
+  in
   { design; outcome; machine = m; compiled }
 
 let mstats r = M.mstats r.machine

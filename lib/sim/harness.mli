@@ -49,10 +49,15 @@ val run :
   ?options:Sweep_compiler.Pipeline.options ->
   ?max_instructions:int ->
   ?max_sim_s:float ->
+  ?fault:Fault.t ->
+  ?after_recovery:(now_ns:float -> unit) ->
   design ->
   power:Driver.power ->
   Sweep_lang.Ast.program ->
   result
+(** [?fault]/[?after_recovery] are passed through to {!Driver.run} —
+    adversarial crash injection and the differential checker's
+    observation hook. *)
 
 val mstats : result -> Sweep_machine.Mstats.t
 val cache_miss_rate : result -> float

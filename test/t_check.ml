@@ -1,0 +1,221 @@
+(* Differential crash-consistency checker tests: the §4.2 three-case
+   recovery argument under adversarial crash placement — inside the
+   phase-2 flush, mid-phase-3 DMA, and nested (crash during recovery
+   itself) — plus the checker's own liveness (every --mutate mode must
+   flip the verdict) and the executor's structured failure handling. *)
+
+open Alcotest
+module Check = Sweep_check.Check
+module Progen = Sweep_check.Progen
+module H = Sweep_sim.Harness
+module Driver = Sweep_sim.Driver
+module Fault = Sweep_sim.Fault
+module Config = Sweep_machine.Config
+module FM = Sweep_machine.Fault_model
+module Executor = Sweep_exp.Executor
+module Results = Sweep_exp.Results
+module Jobs = Sweep_exp.Jobs
+module C = Sweep_exp.Exp_common
+
+let ast () = Check.ast_of_bench ~bench:"sha" ~scale:0.05
+let config = Config.default
+let torn = { FM.none with FM.torn_dma = true }
+
+let scout_sweep ast =
+  let compiled = H.compile H.Sweep ast in
+  (compiled, Check.scout ~config H.Sweep compiled ~max_instructions:5_000_000)
+
+(* ------------------------------------------------------------------ *)
+
+let test_oracle_deterministic () =
+  let ast = ast () in
+  let compiled, s1 = scout_sweep ast in
+  let _, s2 = scout_sweep ast in
+  check int "total instructions stable" s1.Check.total_instructions
+    s2.Check.total_instructions;
+  check (list int) "boundaries stable" s1.Check.boundary_instrs
+    s2.Check.boundary_instrs;
+  check bool "has boundaries" true (s1.Check.boundary_instrs <> []);
+  let o1 =
+    Check.snapshot_oracle ~config H.Sweep compiled
+      ~boundary_instrs:s1.Check.boundary_instrs
+  in
+  let o2 =
+    Check.snapshot_oracle ~config H.Sweep compiled
+      ~boundary_instrs:s2.Check.boundary_instrs
+  in
+  check (list string) "digests stable"
+    (List.map (fun b -> b.Check.digest) o1.Check.boundaries)
+    (List.map (fun b -> b.Check.digest) o2.Check.boundaries)
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+(* Crash inside the phase-2 flush (s-phase1 in flight): the buffer is
+   neither cleanly Filling nor phase1-complete; recovery must discard
+   it and land on the previous boundary. *)
+let test_sweep_crash_in_flush () =
+  let ast = ast () in
+  let _, s = scout_sweep ast in
+  check bool "scout found flush windows" true (s.Check.flush_instrs <> []);
+  let faults =
+    List.map Fault.at_instruction (take 3 s.Check.flush_instrs)
+  in
+  let r = Check.check_points ~fm:torn H.Sweep ast faults in
+  check int "all fired" 0 r.Check.skipped;
+  check (list string) "no divergence in flush crashes" []
+    (List.map Check.pp_divergence r.Check.divergences)
+
+(* Crash mid-phase-3 DMA: entries partially (and, with torn-dma, only
+   partially per line) applied; the idempotent re-drive must heal. *)
+let test_sweep_crash_mid_dma () =
+  let ast = ast () in
+  let _, s = scout_sweep ast in
+  check bool "scout found drain windows" true (s.Check.drain_instrs <> []);
+  let faults =
+    List.map Fault.at_instruction (take 3 s.Check.drain_instrs)
+  in
+  let r = Check.check_points ~fm:torn H.Sweep ast faults in
+  check int "all fired" 0 r.Check.skipped;
+  check (list string) "no divergence in mid-DMA crashes" []
+    (List.map Check.pp_divergence r.Check.divergences)
+
+(* Nested: the re-drive itself is interrupted, twice.  §4.2's redo must
+   be idempotent for this to converge. *)
+let test_sweep_nested_crash () =
+  let ast = ast () in
+  let _, s = scout_sweep ast in
+  let mid = s.Check.total_instructions / 2 in
+  let faults =
+    [ Fault.at_instruction ~nested:2 mid ]
+    @ List.map (Fault.at_instruction ~nested:1) (take 2 s.Check.drain_instrs)
+  in
+  let r = Check.check_points ~fm:torn H.Sweep ast faults in
+  check bool "nested crashes fired" true (r.Check.crashes >= 7);
+  check (list string) "no divergence with nested crashes" []
+    (List.map Check.pp_divergence r.Check.divergences)
+
+(* NVSRAM under the same crash points (plus nested): its JIT shadow
+   backup must restore exactly; the final-globals oracle decides. *)
+let test_nvsram_crashes () =
+  let ast = ast () in
+  let _, s = scout_sweep ast in
+  let total = s.Check.total_instructions in
+  let faults =
+    [
+      Fault.at_instruction (max 1 (total / 4));
+      Fault.at_instruction (max 1 (total / 2));
+      Fault.at_instruction ~nested:2 (max 1 (3 * total / 4));
+    ]
+  in
+  let r = Check.check_points H.Nvsram ast faults in
+  check bool "crashes fired" true (r.Check.crashes >= 5);
+  check (list string) "NVSRAM recovers" []
+    (List.map Check.pp_divergence r.Check.divergences)
+
+(* Event-triggered placement: kill at the Nth buf_phase event without
+   knowing instruction indices (sequential spy path in the driver). *)
+let test_event_triggered_fault () =
+  let ast = ast () in
+  let r =
+    H.run ~config H.Sweep ~power:Driver.Unlimited
+      ~fault:(Fault.at_event ~nth:5 "buf_phase")
+      ast
+  in
+  check int "event fault fired" 1 r.H.outcome.Driver.injected_faults;
+  (match H.check_against_interp r ast with
+  | Ok () -> ()
+  | Error e -> fail ("event-triggered crash diverged: " ^ e))
+
+(* Every --mutate mode must flip the verdict: a checker that stays
+   green under a deliberately broken recovery invariant is vacuous. *)
+let mutation_detected fm design =
+  let r =
+    Check.check_cell ~fm ~bench:"sha" ~scale:0.08 ~max_points:8 ~stride:0
+      ~nested_every:4 ~phase_points:true ~workers:1 design
+      (Check.ast_of_bench ~bench:"sha" ~scale:0.08)
+  in
+  not (Check.ok r)
+
+let test_mutations_detected () =
+  check bool "skip-restore detected (Sweep)" true
+    (mutation_detected { torn with FM.skip_restore = true } H.Sweep);
+  check bool "stuck-phase1 detected" true
+    (mutation_detected { torn with FM.stuck_phase1 = true } H.Sweep);
+  check bool "stuck-phase2 detected" true
+    (mutation_detected { torn with FM.stuck_phase2 = true } H.Sweep);
+  check bool "skip-restore detected (NVSRAM)" true
+    (mutation_detected { FM.none with FM.skip_restore = true } H.Nvsram)
+
+(* ------------------------------------------------------------------ *)
+
+let test_progen_deterministic () =
+  let p1 = Progen.generate ~seed:42 in
+  let p2 = Progen.generate ~seed:42 in
+  check bool "same seed, same program" true (p1 = p2);
+  let p3 = Progen.generate ~seed:43 in
+  check bool "different seed, different program" true (p1 <> p3);
+  (* Generated programs pass the checker (they are total and the
+     machine recovers); keep it to one seed for test-suite speed. *)
+  let r = Check.check_program ~max_points:4 ~nested_every:3 p1 in
+  check (list string) "generated program checks out" []
+    (List.map Check.pp_divergence r.Check.divergences)
+
+let test_progen_render_and_shrink () =
+  let p = Progen.generate ~seed:7 in
+  let text = Progen.render p in
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  check bool "render mentions main" true (contains "fn main" text);
+  (* Shrinking with an always-failing predicate must reach the minimal
+     main (epilogue only) and keep the program valid. *)
+  let small = Progen.shrink ~still_failing:(fun _ -> true) p in
+  Sweep_lang.Ast.validate small;
+  let main_fn =
+    List.find (fun f -> f.Sweep_lang.Ast.fname = "main")
+      small.Sweep_lang.Ast.funcs
+  in
+  check int "shrunk to epilogue" 3 (List.length main_fn.Sweep_lang.Ast.body);
+  (* A predicate that rejects everything leaves the program unchanged. *)
+  let same = Progen.shrink ~still_failing:(fun _ -> false) p in
+  check bool "no shrink when nothing keeps failing" true (same = p)
+
+(* ------------------------------------------------------------------ *)
+
+(* One bad job must not tear down a -j N sweep: it becomes a structured
+   failure, the good jobs still produce summaries. *)
+let test_executor_structured_failures () =
+  Results.clear ();
+  let good =
+    Jobs.job ~exp:"t" ~scale:0.05 (C.setting H.Nvp) ~power:Jobs.unlimited
+      "sha"
+  in
+  let bad =
+    Jobs.job ~exp:"t" ~scale:0.05 (C.setting H.Nvp) ~power:Jobs.unlimited
+      "no-such-bench"
+  in
+  Executor.execute ~workers:2 [ good; bad ];
+  check bool "good job has a summary" true (Results.mem (Jobs.key good));
+  (match Results.failures () with
+  | [ f ] ->
+    check string "failure keyed to the bad job" (Jobs.key bad) f.Results.key;
+    check bool "error recorded" true (String.length f.Results.error > 0)
+  | l -> fail (Printf.sprintf "expected 1 failure, got %d" (List.length l)));
+  Results.clear ()
+
+let suite =
+  [
+    test_case "oracle is deterministic" `Quick test_oracle_deterministic;
+    test_case "crash inside phase-2 flush" `Quick test_sweep_crash_in_flush;
+    test_case "crash mid-phase-3 DMA" `Quick test_sweep_crash_mid_dma;
+    test_case "nested crash during recovery" `Quick test_sweep_nested_crash;
+    test_case "NVSRAM crash recovery" `Quick test_nvsram_crashes;
+    test_case "event-triggered fault" `Quick test_event_triggered_fault;
+    test_case "mutations are detected" `Slow test_mutations_detected;
+    test_case "progen determinism" `Quick test_progen_deterministic;
+    test_case "progen render + shrink" `Quick test_progen_render_and_shrink;
+    test_case "executor structured failures" `Quick
+      test_executor_structured_failures;
+  ]

@@ -417,6 +417,7 @@ let test_results_schema_v2 () =
           restore_joules = 0.0;
           quiescent_joules = 0.0;
           instructions = 1;
+          injected_faults = 0;
         };
       mstats = Sweep_machine.Mstats.create ();
       miss_rate = 0.0;
@@ -488,6 +489,10 @@ let test_event_of_parts_roundtrip () =
       Ev.Dropped { count = 99 };
       Ev.Job_start { key = "a|b" };
       Ev.Job_done { key = "a|b"; elapsed_s = 0.25 };
+      Ev.Job_failed { key = "a|b"; error = "Driver.Stagnation(\"x\")" };
+      Ev.Fault_inject { trigger = "instr"; detail = "instr 812 +1 nested" };
+      Ev.Fault_torn { base = 4096; words = 7 };
+      Ev.Fault_stuck { bit = 1; buf = 2; seq = 14 };
       Ev.Mark { name = "redo seq 3 (2 lines)"; cat = Ev.Buffer };
     ]
   in
@@ -510,6 +515,43 @@ let test_event_of_parts_roundtrip () =
     (Ev.of_parts ~tag:"reboot" ~name:"reboot" ~cat:"power"
        ~args:[ ("outage", Ev.Str "seven") ]
     = None)
+
+(* Fault events must survive a capped ring: a --trace-cap window that
+   happens to scroll past the crash would otherwise swallow the one
+   event that explains the trace. *)
+let test_ring_pins_fault_events () =
+  let ring = Ring.create ~capacity:3 in
+  let sink = Ring.sink ring in
+  sink.Sink.write ~ns:1.0
+    (Ev.Fault_inject { trigger = "instr"; detail = "instr 1" });
+  for i = 2 to 8 do
+    sink.Sink.write ~ns:(float_of_int i) (Ev.Reboot { outage = i })
+  done;
+  let drained = Ring.create ~capacity:16 in
+  Ring.drain_to ring (Ring.sink drained);
+  let events = List.map (fun e -> e.Ring.event) (Ring.to_list drained) in
+  (match events with
+  | Ev.Dropped { count } :: Ev.Fault_inject _ :: rest ->
+    (* 5 events were evicted: 4 reboots lost + 1 fault preserved. *)
+    check Alcotest.int "lost excludes pinned" 4 count;
+    check Alcotest.int "window intact" 3 (List.length rest)
+  | _ ->
+    Alcotest.fail "expected Dropped marker then the pinned fault event");
+  Ring.clear ring;
+  check Alcotest.int "clear drops pinned" 0
+    (List.length (Ring.pinned ring))
+
+let test_sink_spy () =
+  let seen = ref [] in
+  check Alcotest.bool "off before spy" false (Sink.on ());
+  let detach = Sink.spy (fun ~ns:_ ev -> seen := ev :: !seen) in
+  check Alcotest.bool "spy turns sink on" true (Sink.on ());
+  Sink.emit ~ns:1.0 Ev.Halt;
+  Sink.emit ~ns:2.0 (Ev.Reboot { outage = 1 });
+  detach ();
+  Sink.emit ~ns:3.0 Ev.Halt;
+  check Alcotest.bool "off after detach" false (Sink.on ());
+  check Alcotest.int "observed while attached" 2 (List.length !seen)
 
 let suite =
   [
@@ -538,4 +580,7 @@ let suite =
       test_ring_drain_to_marks_truncation;
     Alcotest.test_case "event of_parts round-trip" `Quick
       test_event_of_parts_roundtrip;
+    Alcotest.test_case "ring pins fault events" `Quick
+      test_ring_pins_fault_events;
+    Alcotest.test_case "sink spy" `Quick test_sink_spy;
   ]

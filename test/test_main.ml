@@ -17,4 +17,5 @@ let () =
       ("exp", T_exp.suite);
       ("obs", T_obs.suite);
       ("analyze", T_analyze.suite);
+      ("check", T_check.suite);
     ]
