@@ -25,7 +25,17 @@ let list_experiments () =
         (if e.Experiments.heavy then " [heavy]" else ""))
     Experiments.all
 
-let main names j results_dir no_jsonl metrics metrics_out progress =
+(* --list: the planning phase without the execution phase — every job
+   key the selected experiments would schedule, after dedup, with the
+   experiment that owns it.  sweeptune's `plan` command is the same idea
+   for synthesized design points. *)
+let list_keys experiments =
+  List.iter
+    (fun (exp, key) -> Printf.printf "%-10s %s\n" exp key)
+    (Experiments.keys experiments);
+  Printf.printf "%d job(s) after dedup\n" (List.length (Experiments.plan experiments))
+
+let main names j results_dir no_jsonl metrics metrics_out progress list_only =
   try
   if j < 1 then begin
     Printf.eprintf "sweepexp: -j must be at least 1 (got %d)\n" j;
@@ -51,14 +61,16 @@ let main names j results_dir no_jsonl metrics metrics_out progress =
     let selection =
       match names with
       | [] ->
-        Printf.printf
-          "SweepCache reproduction — regenerating all tables/figures (-j %d)\n\n"
-          (Executor.workers ());
+        if not list_only then
+          Printf.printf
+            "SweepCache reproduction — regenerating all tables/figures (-j %d)\n\n"
+            (Executor.workers ());
         Ok (Experiments.all)
       | [ "quick" ] ->
-        Printf.printf
-          "SweepCache reproduction — quick set (heavy sweeps skipped, -j %d)\n\n"
-          (Executor.workers ());
+        if not list_only then
+          Printf.printf
+            "SweepCache reproduction — quick set (heavy sweeps skipped, -j %d)\n\n"
+            (Executor.workers ());
         Ok (List.filter (fun e -> not e.Experiments.heavy) Experiments.all)
       | names ->
         let unknown =
@@ -77,6 +89,9 @@ let main names j results_dir no_jsonl metrics metrics_out progress =
         (fun n -> Printf.eprintf "unknown experiment %S (try: list)\n" n)
         unknown;
       2
+    | Ok experiments when list_only ->
+      list_keys experiments;
+      0
     | Ok experiments ->
       Experiments.run_many experiments;
       if metrics then begin
@@ -138,11 +153,18 @@ let progress_arg =
        & info [ "progress" ]
            ~doc:"Print a [k/n] line to stderr as each job finishes.")
 
+let list_arg =
+  Arg.(value & flag
+       & info [ "list" ]
+           ~doc:"Plan only: print every deduplicated job key the selected \
+                 experiments would execute (with the owning experiment) \
+                 and exit without running anything.")
+
 let cmd =
   let doc = "regenerate the SweepCache paper's tables and figures" in
   let term =
     Term.(const main $ names_arg $ jobs_arg $ results_dir_arg $ no_jsonl_arg
-          $ metrics_arg $ metrics_out_arg $ progress_arg)
+          $ metrics_arg $ metrics_out_arg $ progress_arg $ list_arg)
   in
   Cmd.v (Cmd.info "sweepexp" ~doc) term
 

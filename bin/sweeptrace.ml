@@ -245,10 +245,55 @@ let bench_cmd =
     Term.(const bench $ bench_out_opt $ commit_opt $ bench_jobs_opt
           $ baseline_opt $ threshold_opt $ no_append_flag)
 
+(* ---------------- tune ---------------- *)
+
+(* Render sweeptune's artefacts (same code path as `sweeptune report`,
+   here so trace analysis tooling covers every JSONL the repo emits). *)
+let tune frontier_path journal_path format out =
+  let journal =
+    match journal_path with
+    | None -> []
+    | Some p -> (
+        match A.Tune_file.load_journal p with
+        | Ok (cells, warnings) ->
+          List.iter (fun w -> Printf.eprintf "warning: %s\n" w) warnings;
+          cells
+        | Error e ->
+          Printf.eprintf "warning: %s\n" e;
+          [])
+  in
+  match A.Tune_file.load_frontier frontier_path with
+  | Error e ->
+    read_err "sweeptrace: %s" e;
+    2
+  | Ok (entries, warnings) ->
+    List.iter (fun w -> Printf.eprintf "warning: %s\n" w) warnings;
+    write_output out
+      (A.Report.render format
+         (A.Tune_file.report ~journal ~source:frontier_path entries));
+    0
+
+let frontier_pos =
+  Arg.(required & pos 0 (some file) None
+       & info [] ~docv:"FRONTIER"
+           ~doc:"frontier.jsonl from a sweeptune explore run.")
+
+let journal_opt =
+  Arg.(value & opt (some file) None
+       & info [ "journal" ] ~docv:"FILE"
+           ~doc:"journal.jsonl to add per-axis sensitivity sections.")
+
+let tune_cmd =
+  let doc = "render a sweeptune frontier (and journal sensitivity)" in
+  Cmd.v
+    (Cmd.info "tune" ~doc)
+    Term.(const tune $ frontier_pos $ journal_opt $ format_opt $ out_opt)
+
 (* ---------------- entry ---------------- *)
 
 let cmd =
   let doc = "analyse SweepCache traces, metrics and results" in
-  Cmd.group (Cmd.info "sweeptrace" ~doc) [ report_cmd; diff_cmd; bench_cmd ]
+  Cmd.group (Cmd.info "sweeptrace" ~doc)
+    [ report_cmd; diff_cmd; bench_cmd; tune_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,305 @@
+(* sweeptune: resumable design-space exploration over SweepCache's
+   hardware and compiler knobs.
+
+     dune exec bin/sweeptune.exe -- explore --budget 200 --seed 42 -j 4
+     dune exec bin/sweeptune.exe -- explore --strategy random --budget 60
+     dune exec bin/sweeptune.exe -- plan --strategy halving --budget 200
+     dune exec bin/sweeptune.exe -- report tune/frontier.jsonl --journal tune/journal.jsonl
+
+   `explore` searches the pinned design matrix (cache geometry,
+   persist-buffer entries, region store cap, unroll factor, capacitor,
+   power trace) under a budget of (point, bench) simulation cells,
+   journalling every evaluated cell to <out-dir>/journal.jsonl and
+   writing the Pareto frontier (geomean runtime x NVM writes x hardware
+   bits) to <out-dir>/frontier.jsonl.  Interrupt it at any time: rerun
+   with the same out-dir and it resumes from the journal, re-evaluating
+   nothing and converging to the identical frontier.  Output is
+   byte-identical at any -j. *)
+
+open Cmdliner
+module Tune = Sweep_tune
+module A = Sweep_analyze
+
+let err fmt = Printf.ksprintf (fun s -> Printf.eprintf "sweeptune: %s\n" s) fmt
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+    end
+  in
+  go dir
+
+let strategy_conv =
+  Arg.conv
+    ( (fun s ->
+        match Tune.Search.strategy_of_name (String.lowercase_ascii s) with
+        | Some st -> Ok st
+        | None -> Error (`Msg ("unknown strategy " ^ s ^ " (grid|random|halving)"))),
+      fun fmt st ->
+        Format.pp_print_string fmt (Tune.Search.strategy_name st) )
+
+let format_conv =
+  Arg.conv
+    ( (fun s ->
+        match A.Report.format_of_string (String.lowercase_ascii s) with
+        | Some f -> Ok f
+        | None -> Error (`Msg ("unknown format " ^ s))),
+      fun fmt f ->
+        Format.pp_print_string fmt
+          (match f with
+          | A.Report.Text -> "text"
+          | A.Report.Csv -> "csv"
+          | A.Report.Markdown -> "md") )
+
+(* Shared search parameter flags. *)
+let budget_arg =
+  Arg.(value & opt int Tune.Search.default_params.Tune.Search.budget
+       & info [ "budget" ] ~docv:"N"
+           ~doc:"Maximum (point, bench) simulation cells to schedule; \
+                 journal-cached cells count too, so a resumed search \
+                 stops exactly where an uninterrupted one would.")
+
+let seed_arg =
+  Arg.(value & opt int Tune.Search.default_params.Tune.Search.seed
+       & info [ "seed" ] ~docv:"N"
+           ~doc:"Search seed (drives $(b,random)'s shuffle).")
+
+let strategy_arg =
+  Arg.(value & opt strategy_conv Tune.Search.default_params.Tune.Search.strategy
+       & info [ "strategy" ] ~docv:"S"
+           ~doc:"$(b,grid) (canonical exhaustive walk), $(b,random) \
+                 (seeded sample) or $(b,halving) (successive halving up \
+                 the bench ladder; the default).")
+
+let scale_arg =
+  Arg.(value & opt float Tune.Search.default_params.Tune.Search.scale
+       & info [ "scale" ] ~docv:"F"
+           ~doc:"Workload scale for every cell (default 0.2).")
+
+let params_of budget seed strategy scale =
+  { Tune.Search.default_params with budget; seed; strategy; scale }
+
+let check_params budget scale =
+  if budget < 0 then begin
+    err "--budget must be non-negative (got %d)" budget;
+    false
+  end
+  else if scale <= 0.0 || scale > 1.0 then begin
+    err "--scale must be in (0, 1] (got %g)" scale;
+    false
+  end
+  else true
+
+(* ---------------- explore ---------------- *)
+
+let render_failed = function
+  | [] -> ()
+  | failed ->
+      Printf.eprintf "%d point(s) excluded from the frontier:\n"
+        (List.length failed);
+      List.iter
+        (fun (p, e) -> Printf.eprintf "  %s: %s\n" (Tune.Space.id p) e)
+        failed
+
+let explore budget seed strategy scale j out_dir kill_after metrics metrics_out
+    format =
+  if not (check_params budget scale) then 2
+  else if j < 1 then begin
+    err "-j must be at least 1 (got %d)" j;
+    2
+  end
+  else begin
+    Sweep_exp.Executor.set_workers j;
+    if metrics || Option.is_some metrics_out then
+      Sweep_obs.Metrics.set_enabled true;
+    let params = params_of budget seed strategy scale in
+    let journal = Filename.concat out_dir "journal.jsonl" in
+    let frontier_path = Filename.concat out_dir "frontier.jsonl" in
+    let dump_metrics () =
+      (match metrics_out with
+      | None -> ()
+      | Some path ->
+          Sweep_obs.Metrics.write_json path (Sweep_obs.Metrics.snapshot ());
+          Printf.eprintf "metrics snapshot written to %s\n" path);
+      if metrics then
+        prerr_string (Sweep_obs.Metrics.render (Sweep_obs.Metrics.snapshot ()))
+    in
+    try
+      mkdir_p out_dir;
+      match Tune.Search.run ~workers:j ?kill_after ~journal params with
+      | Error e ->
+          err "%s" e;
+          1
+      | Ok (o, warnings) ->
+          List.iter (fun w -> Printf.eprintf "warning: %s\n" w) warnings;
+          Tune.Frontier.write_jsonl frontier_path o.Tune.Search.frontier;
+          Printf.printf
+            "sweeptune: %s search, budget %d — %d cell(s) scheduled \
+             (%d simulated, %d from journal)\n"
+            (Tune.Search.strategy_name strategy)
+            budget o.Tune.Search.scheduled o.Tune.Search.executed
+            o.Tune.Search.cached;
+          Printf.printf
+            "final tier: %d point(s) on benches [%s]; frontier written to %s\n\n"
+            o.Tune.Search.tier_points
+            (String.concat ", " o.Tune.Search.tier_benches)
+            frontier_path;
+          let journal_cells =
+            match A.Tune_file.load_journal journal with
+            | Ok (cells, _) -> cells
+            | Error _ -> []
+          in
+          (match A.Tune_file.load_frontier frontier_path with
+          | Error e ->
+              err "%s" e;
+              1
+          | Ok (entries, fwarnings) ->
+              List.iter (fun w -> Printf.eprintf "warning: %s\n" w) fwarnings;
+              print_string
+                (A.Report.render format
+                   (A.Tune_file.report ~journal:journal_cells
+                      ~source:frontier_path entries));
+              render_failed o.Tune.Search.failed_points;
+              dump_metrics ();
+              0)
+    with
+    | Tune.Search.Interrupted { executed } ->
+        err "interrupted after %d simulated cell(s); journal %s is \
+             resumable" executed journal;
+        dump_metrics ();
+        3
+    | Sys_error msg ->
+        err "%s" msg;
+        1
+  end
+
+(* ---------------- plan ---------------- *)
+
+let plan budget seed strategy scale =
+  if not (check_params budget scale) then 2
+  else begin
+    let params = params_of budget seed strategy scale in
+    let cands, worst = Tune.Search.plan params in
+    List.iter (fun p -> print_endline (Tune.Space.id p)) cands;
+    Printf.printf
+      "%d candidate point(s) (%s), worst case %d cell(s) within budget %d\n"
+      (List.length cands)
+      (Tune.Search.strategy_name strategy)
+      worst budget;
+    0
+  end
+
+(* ---------------- report ---------------- *)
+
+let report frontier_path journal_path format out =
+  let journal =
+    match journal_path with
+    | None -> []
+    | Some p -> (
+        match A.Tune_file.load_journal p with
+        | Ok (cells, warnings) ->
+            List.iter (fun w -> Printf.eprintf "warning: %s\n" w) warnings;
+            cells
+        | Error e ->
+            Printf.eprintf "warning: %s\n" e;
+            [])
+  in
+  match A.Tune_file.load_frontier frontier_path with
+  | Error e ->
+      err "%s" e;
+      2
+  | Ok (entries, warnings) ->
+      List.iter (fun w -> Printf.eprintf "warning: %s\n" w) warnings;
+      let body =
+        A.Report.render format
+          (A.Tune_file.report ~journal ~source:frontier_path entries)
+      in
+      (match out with
+      | None -> print_string body
+      | Some path ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc body);
+          Printf.eprintf "written to %s\n" path);
+      0
+
+(* ---------------- command line ---------------- *)
+
+let jobs_arg =
+  Arg.(value & opt int (Domain.recommended_domain_count ())
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for cell evaluation (1 = sequential); \
+                 does not affect output.")
+
+let out_dir_arg =
+  Arg.(value & opt string "tune"
+       & info [ "out-dir" ] ~docv:"DIR"
+           ~doc:"Directory for journal.jsonl (the resumable checkpoint) \
+                 and frontier.jsonl.")
+
+let kill_after_arg =
+  Arg.(value & opt (some int) None
+       & info [ "kill-after" ] ~docv:"N"
+           ~doc:"Abort (exit 3) at the first batch boundary after N \
+                 cells have been simulated this run — the CI \
+                 resume-equivalence crash injector.")
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Enable the metrics registry (tune.*, exp.*, sim.*) and \
+                 dump it to stderr after the run.")
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Enable the metrics registry and write a JSON snapshot \
+                 to FILE.")
+
+let format_arg =
+  Arg.(value & opt format_conv A.Report.Text
+       & info [ "f"; "format" ] ~docv:"FMT"
+           ~doc:"Report format: $(b,text), $(b,csv) or $(b,md).")
+
+let out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the report to FILE instead of stdout.")
+
+let explore_cmd =
+  let doc = "search the design space and write the Pareto frontier" in
+  Cmd.v
+    (Cmd.info "explore" ~doc)
+    Term.(const explore $ budget_arg $ seed_arg $ strategy_arg $ scale_arg
+          $ jobs_arg $ out_dir_arg $ kill_after_arg $ metrics_arg
+          $ metrics_out_arg $ format_arg)
+
+let plan_cmd =
+  let doc = "print the candidate points without running anything" in
+  Cmd.v
+    (Cmd.info "plan" ~doc)
+    Term.(const plan $ budget_arg $ seed_arg $ strategy_arg $ scale_arg)
+
+let frontier_pos =
+  Arg.(required & pos 0 (some file) None
+       & info [] ~docv:"FRONTIER" ~doc:"frontier.jsonl from an explore run.")
+
+let journal_opt =
+  Arg.(value & opt (some file) None
+       & info [ "journal" ] ~docv:"FILE"
+           ~doc:"journal.jsonl to add per-axis sensitivity sections.")
+
+let report_cmd =
+  let doc = "render a frontier (and journal sensitivity) as a report" in
+  Cmd.v
+    (Cmd.info "report" ~doc)
+    Term.(const report $ frontier_pos $ journal_opt $ format_arg $ out_arg)
+
+let cmd =
+  let doc = "design-space exploration over SweepCache's knobs" in
+  Cmd.group (Cmd.info "sweeptune" ~doc) [ explore_cmd; plan_cmd; report_cmd ]
+
+let () = exit (Cmd.eval' cmd)

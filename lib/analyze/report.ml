@@ -429,7 +429,7 @@ let md_cell s =
 
 let render_markdown t =
   let b = Buffer.create 4096 in
-  Buffer.add_string b (Printf.sprintf "# Trace report — %s\n" t.source);
+  Buffer.add_string b (Printf.sprintf "# Report — %s\n" t.source);
   List.iter
     (fun w -> Buffer.add_string b (Printf.sprintf "\n> **Warning:** %s\n" w))
     t.warnings;

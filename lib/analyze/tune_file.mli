@@ -1,0 +1,56 @@
+(** Reader and report renderer for sweeptune's output files.
+
+    [sweeptune explore] writes two JSONL artifacts: the journal (one
+    line per evaluated (point, bench) cell) and the frontier (one line
+    per Pareto-optimal design point).  This module parses both
+    generically — the analysis layer sits below [sweepcache.tune], so it
+    reads the schema, not the types — and renders them as a {!Report}:
+    the frontier table plus one per-axis sensitivity section for each
+    design-space axis, each mapped to the paper figure it reproduces
+    (§6.8 Fig. 8 cache geometry, §6.6 Tab. 2/Fig. 9 capacitor, §6.7
+    Fig. 10 power trace, §6.4 store cap, §6.9 buffer capacity /
+    hardware cost). *)
+
+type entry = {
+  id : string;
+  cache_bytes : int;
+  assoc : int;
+  buffer_entries : int;
+  store_cap : int;
+  max_unroll : int;
+  farads : float;
+  trace : string;
+  benches : string list;
+  runtime_ns : float;
+  nvm_writes : float;
+  hw_bits : int;
+}
+(** One frontier line. *)
+
+type cell = {
+  c_cache_bytes : int;
+  c_assoc : int;
+  c_buffer_entries : int;
+  c_store_cap : int;
+  c_max_unroll : int;
+  c_farads : float;
+  c_trace : string;
+  bench : string;
+  c_runtime_ns : float;
+  c_nvm_writes : int;
+  completed : bool;
+  failed : bool;
+}
+(** One journal line. *)
+
+val load_frontier : string -> (entry list * string list, string) result
+(** Entries in file order plus warnings (skipped lines with an
+    unexpected schema version). *)
+
+val load_journal : string -> (cell list * string list, string) result
+
+val report : ?journal:cell list -> source:string -> entry list -> Report.t
+(** The frontier table, then — when journal cells are supplied — one
+    sensitivity section per axis with at least two observed values:
+    cells grouped by axis value with geomean runtime and mean NVM
+    writes over completed cells. *)

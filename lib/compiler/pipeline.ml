@@ -23,6 +23,17 @@ let options ?(mode = Sweep) ?(store_threshold = 64)
     ?(inline = false) () =
   { mode; store_threshold; instr_cap; unroll; max_unroll; inline }
 
+let options_for ?(mode = Sweep) ?(inline = false) ~farads ~store_threshold
+    ~max_unroll () =
+  {
+    mode;
+    store_threshold;
+    instr_cap = Sweep_energy.Eh_model.region_instr_cap ~farads ~store_threshold ();
+    unroll = max_unroll > 1;
+    max_unroll;
+    inline;
+  }
+
 type compile_stats = {
   boundaries : int;
   ckpt_stores : int;

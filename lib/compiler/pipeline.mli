@@ -30,6 +30,15 @@ val default_options : options
 val options : ?mode:mode -> ?store_threshold:int -> ?instr_cap:int ->
   ?unroll:bool -> ?max_unroll:int -> ?inline:bool -> unit -> options
 
+val options_for :
+  ?mode:mode -> ?inline:bool -> farads:float -> store_threshold:int ->
+  max_unroll:int -> unit -> options
+(** Options for one point of the design space: [instr_cap] is recomputed
+    from the EH model for the given capacitor, so a swept capacitor axis
+    keeps regions executable on one charge (a fixed 470 nF cap would
+    livelock small capacitors and under-fill large ones).  [max_unroll]
+    of 1 disables unrolling. *)
+
 type compile_stats = {
   boundaries : int;
   ckpt_stores : int;

@@ -31,6 +31,12 @@ type stats = {
   max_region_stores : int;(** largest path store count incl. checkpoints *)
 }
 
+val ckpt_reserve : int
+(** Store slots the path scan reserves for a boundary's checkpoint
+    (16 registers + PC save + slack).  [run] requires
+    [threshold > ckpt_reserve]; design-space tooling uses this to reject
+    infeasible store caps before scheduling a simulation. *)
+
 val run :
   layout:Sweep_isa.Layout.t ->
   threshold:int ->

@@ -122,6 +122,24 @@ let load_csv ?(kind = Rf_office) path =
        with End_of_file -> ()));
   let rows = List.rev !rows in
   if rows = [] then failwith "Power_trace.load_csv: empty trace";
+  (* A negative or non-increasing timestamp would silently corrupt the
+     zero-order hold below (earlier rows shadow later ones), and with it
+     every outage count downstream — reject the file instead. *)
+  ignore
+    (List.fold_left
+       (fun (prev, row) (ts, _) ->
+         if ts < 0.0 then
+           failwith
+             (Printf.sprintf
+                "Power_trace.load_csv: negative timestamp %g (row %d)" ts row);
+         if ts <= prev then
+           failwith
+             (Printf.sprintf
+                "Power_trace.load_csv: non-monotonic timestamp %g after %g \
+                 (row %d)"
+                ts prev row);
+         (ts, row + 1))
+       (Float.neg_infinity, 1) rows);
   let duration = List.fold_left (fun acc (ts, _) -> Float.max acc ts) 0.0 rows in
   let n = max 1 (int_of_float (duration /. dt_s) + 1) in
   let samples = Array.make n 0.0 in

@@ -38,4 +38,6 @@ val load_csv : ?kind:kind -> string -> t
 (** Read a "time_s,power_w" CSV (header line optional).  Samples are
     resampled onto the trace's native 100 µs grid by zero-order hold;
     [kind] labels the result (default [Rf_office]).  Raises [Failure] on
-    a malformed file or an empty trace. *)
+    a malformed file, an empty trace, or a negative / non-monotonic
+    timestamp column (which would silently corrupt the resampling and
+    every outage count derived from it). *)

@@ -60,6 +60,9 @@ let find name = List.find_opt (fun e -> e.name = name) all
 let plan experiments =
   Jobs.dedup (List.concat_map (fun e -> e.jobs ()) experiments)
 
+let keys experiments =
+  List.map (fun j -> (j.Jobs.exp, Jobs.key j)) (plan experiments)
+
 let render e =
   Results.set_current_experiment e.name;
   (* A render can hit a job that failed in the batch phase and recompute

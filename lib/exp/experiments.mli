@@ -27,6 +27,12 @@ val plan : t list -> Jobs.t list
 (** Deduplicated union of the experiments' job matrices — e.g. Fig 6
     and Table 2 share their NVP runs. *)
 
+val keys : t list -> (string * string) list
+(** [(owning experiment, canonical job key)] for every planned job, in
+    plan order — what [sweepexp --list] prints, and what sweeptune's
+    dry-run planner uses to show which evaluations a search would
+    schedule without running any. *)
+
 val run : t -> unit
 (** Execute the experiment's jobs (at {!Executor.workers}), then
     render. *)

@@ -33,3 +33,12 @@ let with_cache t ~size = { t with cache_size_bytes = size }
 let with_search t search = { t with search }
 let with_detector t d = { t with detector_override = Some d }
 let with_faults t faults = { t with faults }
+
+let with_geometry t ~size ~assoc =
+  { t with cache_size_bytes = size; cache_assoc = assoc }
+
+let with_buffer_entries t entries = { t with buffer_entries = entries }
+
+let valid_geometry ~size ~assoc =
+  let line = Sweep_isa.Layout.line_bytes in
+  size > 0 && assoc > 0 && size mod (assoc * line) = 0

@@ -34,3 +34,14 @@ val with_cache : t -> size:int -> t
 val with_search : t -> buffer_search -> t
 val with_detector : t -> Sweep_energy.Detector.t -> t
 val with_faults : t -> Fault_model.t -> t
+
+val with_geometry : t -> size:int -> assoc:int -> t
+(** Cache geometry as one knob (the design-space explorer's axis). *)
+
+val with_buffer_entries : t -> int -> t
+(** Persist-buffer capacity (must be >= the compiler's store
+    threshold for SweepCache to be able to seal a region's stores). *)
+
+val valid_geometry : size:int -> assoc:int -> bool
+(** Whether {!Sweep_mem.Cache.create} would accept the pair — [size] a
+    positive multiple of [assoc * line_bytes]. *)

@@ -20,6 +20,7 @@ let exec_pid = 1
 let cpu_tid = 0
 let power_tid = 1
 let buf_tid buf = 2 + buf
+let tune_tid = 0 (* executor process: worker tids are domain ids >= 1 *)
 
 type state = {
   lock : Mutex.t;
@@ -139,6 +140,15 @@ let write st ~ns ev =
       let tid = (Domain.self () :> int) in
       name_thread st ~pid:exec_pid ~tid (Printf.sprintf "worker %d" tid);
       mark st ~pid:exec_pid ~tid ~ns ev
+    | Tune_round _ | Tune_frontier _ ->
+      (* Search rounds bracket the job spans they schedule, so they live
+         on their own executor-process track. *)
+      name_thread st ~pid:exec_pid ~tid:tune_tid "tune";
+      let ph = match ev with Tune_round _ -> 'B' | _ -> 'E' in
+      begin_end st ~pid:exec_pid ~tid:tune_tid ~ns ~ph ev
+    | Tune_eval _ ->
+      name_thread st ~pid:exec_pid ~tid:tune_tid "tune";
+      mark st ~pid:exec_pid ~tid:tune_tid ~ns ev
     | Mark _ -> mark st ~tid:cpu_tid ~ns ev
   end
 

@@ -1,4 +1,4 @@
-type category = Region | Buffer | Cache | Power | Exec | Job | Fault
+type category = Region | Buffer | Cache | Power | Exec | Job | Fault | Tune
 
 let category_name = function
   | Region -> "region"
@@ -8,6 +8,7 @@ let category_name = function
   | Exec -> "exec"
   | Job -> "job"
   | Fault -> "fault"
+  | Tune -> "tune"
 
 let category_of_name s =
   match String.lowercase_ascii (String.trim s) with
@@ -18,9 +19,10 @@ let category_of_name s =
   | "exec" -> Some Exec
   | "job" -> Some Job
   | "fault" -> Some Fault
+  | "tune" -> Some Tune
   | _ -> None
 
-let all_categories = [ Region; Buffer; Cache; Power; Exec; Job; Fault ]
+let all_categories = [ Region; Buffer; Cache; Power; Exec; Job; Fault; Tune ]
 
 type phase = Fill | Flush | Drain
 
@@ -59,6 +61,9 @@ type t =
   | Fault_inject of { trigger : string; detail : string }
   | Fault_torn of { base : int; words : int }
   | Fault_stuck of { bit : int; buf : int; seq : int }
+  | Tune_round of { strategy : string; round : int; points : int; benches : int }
+  | Tune_eval of { key : string; cached : bool }
+  | Tune_frontier of { size : int; evals : int }
   | Mark of { name : string; cat : category }
 
 let category = function
@@ -72,6 +77,7 @@ let category = function
   | Halt | Dropped _ -> Exec
   | Job_start _ | Job_done _ | Job_failed _ -> Job
   | Fault_inject _ | Fault_torn _ | Fault_stuck _ -> Fault
+  | Tune_round _ | Tune_eval _ | Tune_frontier _ -> Tune
   | Mark { cat; _ } -> cat
 
 let name = function
@@ -104,6 +110,11 @@ let name = function
   | Fault_inject { trigger; _ } -> Printf.sprintf "fault %s" trigger
   | Fault_torn { words; _ } -> Printf.sprintf "torn dma (%d words)" words
   | Fault_stuck { bit; _ } -> Printf.sprintf "stuck phase%d bit" bit
+  | Tune_round { strategy; round; _ } ->
+    Printf.sprintf "%s round %d" strategy round
+  | Tune_eval { cached = true; _ } -> "eval (cached)"
+  | Tune_eval { cached = false; _ } -> "eval"
+  | Tune_frontier { size; _ } -> Printf.sprintf "frontier (%d)" size
   | Mark { name; _ } -> name
 
 (* Stable constructor tag, written as the ["ev"] field of every JSONL
@@ -135,6 +146,9 @@ let tag = function
   | Fault_inject _ -> "fault_inject"
   | Fault_torn _ -> "fault_torn"
   | Fault_stuck _ -> "fault_stuck"
+  | Tune_round _ -> "tune_round"
+  | Tune_eval _ -> "tune_eval"
+  | Tune_frontier _ -> "tune_frontier"
   | Mark _ -> "mark"
 
 let json_string s =
@@ -197,6 +211,13 @@ let json_args = function
     Printf.sprintf "\"base\":%d,\"words\":%d" base words
   | Fault_stuck { bit; buf; seq } ->
     Printf.sprintf "\"bit\":%d,\"buf\":%d,\"seq\":%d" bit buf seq
+  | Tune_round { strategy; round; points; benches } ->
+    Printf.sprintf "\"strategy\":%s,\"round\":%d,\"points\":%d,\"benches\":%d"
+      (json_string strategy) round points benches
+  | Tune_eval { key; cached } ->
+    Printf.sprintf "\"job\":%s,\"cached\":%b" (json_string key) cached
+  | Tune_frontier { size; evals } ->
+    Printf.sprintf "\"size\":%d,\"evals\":%d" size evals
   | Mark _ -> ""
 
 (* ------------------------------------------------------------------ *)
@@ -319,6 +340,20 @@ let of_parts ~tag ~name ~cat ~args =
     let* buf = int_arg args "buf" in
     let* seq = int_arg args "seq" in
     Some (Fault_stuck { bit; buf; seq })
+  | "tune_round" ->
+    let* strategy = str_arg args "strategy" in
+    let* round = int_arg args "round" in
+    let* points = int_arg args "points" in
+    let* benches = int_arg args "benches" in
+    Some (Tune_round { strategy; round; points; benches })
+  | "tune_eval" ->
+    let* key = str_arg args "job" in
+    let* cached = bool_arg args "cached" in
+    Some (Tune_eval { key; cached })
+  | "tune_frontier" ->
+    let* size = int_arg args "size" in
+    let* evals = int_arg args "evals" in
+    Some (Tune_frontier { size; evals })
   | "mark" ->
     let* cat = category_of_name cat in
     Some (Mark { name; cat })

@@ -5,7 +5,7 @@
     executor job events) travels separately through {!Sink.emit} so hot
     paths can reuse the [now_ns] value they already hold. *)
 
-type category = Region | Buffer | Cache | Power | Exec | Job | Fault
+type category = Region | Buffer | Cache | Power | Exec | Job | Fault | Tune
 
 val category_name : category -> string
 val category_of_name : string -> category option
@@ -62,6 +62,15 @@ type t =
   | Fault_stuck of { bit : int; buf : int; seq : int }
       (** A stuck-at-1 [phaseNComplete] bit ([bit] is 1 or 2) observed
           on buffer [buf] (region [seq]) at crash time. *)
+  | Tune_round of { strategy : string; round : int; points : int; benches : int }
+      (** A design-space search round: [points] candidates evaluated on
+          [benches] workloads (wall-clock timestamps, like job events). *)
+  | Tune_eval of { key : string; cached : bool }
+      (** One (point, bench) cell of the search; [cached] when the
+          journal or results store already held it. *)
+  | Tune_frontier of { size : int; evals : int }
+      (** Pareto frontier update after a round: [size] non-dominated
+          points after [evals] total evaluations. *)
   | Mark of { name : string; cat : category }
       (** Free-form instant marker for one-off annotations. *)
 

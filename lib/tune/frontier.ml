@@ -1,0 +1,66 @@
+type objectives = {
+  runtime_ns : float;
+  nvm_writes : float;
+  hw_bits : int;
+}
+
+type entry = {
+  point : Space.point;
+  benches : string list;
+  objs : objectives;
+}
+
+let dominates a b =
+  a.runtime_ns <= b.runtime_ns
+  && a.nvm_writes <= b.nvm_writes
+  && a.hw_bits <= b.hw_bits
+  && (a.runtime_ns < b.runtime_ns
+     || a.nvm_writes < b.nvm_writes
+     || a.hw_bits < b.hw_bits)
+
+type t = entry list (* non-dominated, unordered *)
+
+let empty = []
+let size = List.length
+
+let insert t e =
+  if List.exists (fun m -> dominates m.objs e.objs) t then t
+  else e :: List.filter (fun m -> not (dominates e.objs m.objs)) t
+
+let of_entries entries = List.fold_left insert empty entries
+
+let order a b =
+  let c = Float.compare a.objs.runtime_ns b.objs.runtime_ns in
+  if c <> 0 then c
+  else
+    let c = Float.compare a.objs.nvm_writes b.objs.nvm_writes in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare a.objs.hw_bits b.objs.hw_bits in
+      if c <> 0 then c else Space.compare a.point b.point
+
+let members t = List.sort order t
+
+let schema_version = 1
+
+let entry_line e =
+  Printf.sprintf
+    "{\"schema_version\":%d,\"id\":%s,%s,\"benches\":[%s],\
+     \"runtime_ns\":%.17g,\"nvm_writes\":%.17g,\"hw_bits\":%d}"
+    schema_version
+    (Sweep_obs.Event.json_string (Space.id e.point))
+    (Space.json_fields e.point)
+    (String.concat ","
+       (List.map Sweep_obs.Event.json_string (List.sort Stdlib.compare e.benches)))
+    e.objs.runtime_ns e.objs.nvm_writes e.objs.hw_bits
+
+let write_jsonl path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun e ->
+          output_string oc (entry_line e);
+          output_char oc '\n')
+        (members t))

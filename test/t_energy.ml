@@ -178,9 +178,107 @@ let test_trace_csv_rejects_garbage () =
         | _ -> false
         | exception Failure _ -> true))
 
+(* Charge/discharge boundary behaviour: the threshold crossings that
+   drive backup/death/reboot decisions must be exact at the rails. *)
+let test_cap_discharge_boundary () =
+  let c = cap () in
+  let usable = Capacitor.usable_above c 2.8 in
+  Capacitor.consume c usable;
+  check (Alcotest.float 1e-9) "discharge lands exactly on vmin" 2.8
+    (Capacitor.voltage c);
+  Alcotest.(check bool) "at vmin still counts as above" true
+    (Capacitor.above c 2.8);
+  check (Alcotest.float 0.0) "nothing usable at the boundary" 0.0
+    (Capacitor.usable_above c 2.8);
+  Capacitor.consume c 1e-9;
+  Alcotest.(check bool) "one more joule-fraction crosses it" false
+    (Capacitor.above c 2.8)
+
+let test_cap_charge_boundary () =
+  let c = cap () in
+  Capacitor.set_voltage c 0.0;
+  check (Alcotest.float 0.0) "empty at 0 V" 0.0 (Capacitor.energy c);
+  (* charging is monotone... *)
+  let prev = ref 0.0 in
+  for _ = 1 to 100 do
+    Capacitor.harvest c ~power_w:1e-4 ~dt_s:1e-3;
+    Alcotest.(check bool) "voltage non-decreasing while charging" true
+      (Capacitor.voltage c >= !prev);
+    prev := Capacitor.voltage c
+  done;
+  (* ...and saturates exactly at vmax, however much is harvested *)
+  Capacitor.harvest c ~power_w:1.0 ~dt_s:1.0;
+  check (Alcotest.float 1e-9) "saturates at vmax" 3.5 (Capacitor.voltage c);
+  check (Alcotest.float 1e-15) "energy clamped to the vmax energy"
+    (Capacitor.energy_at c 3.5) (Capacitor.energy c);
+  Capacitor.harvest c ~power_w:1.0 ~dt_s:1.0;
+  check (Alcotest.float 1e-15) "further harvest is a no-op"
+    (Capacitor.energy_at c 3.5) (Capacitor.energy c)
+
+let test_detector_hysteresis () =
+  let d = Detector.jit ~v_backup:2.9 ~v_restore:3.2 in
+  Alcotest.(check bool) "restore sits above backup" true
+    (d.Detector.v_restore > Option.get d.Detector.v_backup);
+  (* Inside the band the capacitor trips backup but not restore: a dead
+     system stays off until the restore threshold, not merely v_backup —
+     the hysteresis that prevents reboot/death oscillation. *)
+  let c = cap () in
+  Capacitor.set_voltage c 3.0;
+  Alcotest.(check bool) "band voltage is above backup" true
+    (Capacitor.above c (Option.get d.Detector.v_backup));
+  Alcotest.(check bool) "band voltage is below restore" false
+    (Capacitor.above c d.Detector.v_restore);
+  (* SweepCache's single-threshold comparator keeps its band against the
+     capacitor's death floor instead. *)
+  let s = Detector.sweep ~v_restore:3.3 in
+  Alcotest.(check bool) "sweep restore above the death floor" true
+    (s.Detector.v_restore > Capacitor.v_min c);
+  let d' = Detector.with_thresholds d ~v_backup:3.0 ~v_restore:3.3 () in
+  Alcotest.(check bool) "threshold override keeps the band" true
+    (d'.Detector.v_restore > Option.get d'.Detector.v_backup)
+
+let test_trace_csv_rejects_negative_time () =
+  let path = Filename.temp_file "trace" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "time_s,power_w\n-0.1,0.001\n0.2,0.001\n";
+      close_out oc;
+      Alcotest.(check bool) "negative timestamp raises" true
+        (match Trace.load_csv path with
+        | _ -> false
+        | exception Failure m ->
+          Alcotest.(check bool) "message names the problem" true
+            (String.length m > 0
+            && String.sub m 0 (String.length "Power_trace") = "Power_trace");
+          true))
+
+let test_trace_csv_rejects_nonmonotonic_time () =
+  let path = Filename.temp_file "trace" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "time_s,power_w\n0.0,0.001\n0.5,0.002\n0.5,0.001\n";
+      close_out oc;
+      Alcotest.(check bool) "repeated timestamp raises" true
+        (match Trace.load_csv path with
+        | _ -> false
+        | exception Failure _ -> true))
+
 let suite =
   suite
   @ [
       Alcotest.test_case "trace csv roundtrip" `Quick test_trace_csv_roundtrip;
       Alcotest.test_case "trace csv garbage" `Quick test_trace_csv_rejects_garbage;
+      Alcotest.test_case "capacitor discharge boundary" `Quick
+        test_cap_discharge_boundary;
+      Alcotest.test_case "capacitor charge boundary" `Quick
+        test_cap_charge_boundary;
+      Alcotest.test_case "detector hysteresis" `Quick test_detector_hysteresis;
+      Alcotest.test_case "trace csv negative time" `Quick
+        test_trace_csv_rejects_negative_time;
+      Alcotest.test_case "trace csv non-monotonic time" `Quick
+        test_trace_csv_rejects_nonmonotonic_time;
     ]

@@ -494,6 +494,10 @@ let test_event_of_parts_roundtrip () =
       Ev.Fault_torn { base = 4096; words = 7 };
       Ev.Fault_stuck { bit = 1; buf = 2; seq = 14 };
       Ev.Mark { name = "redo seq 3 (2 lines)"; cat = Ev.Buffer };
+      Ev.Tune_round { strategy = "halving"; round = 2; points = 120; benches = 1 };
+      Ev.Tune_eval { key = "tune:a|b"; cached = true };
+      Ev.Tune_eval { key = "tune:a|b"; cached = false };
+      Ev.Tune_frontier { size = 11; evals = 200 };
     ]
   in
   List.iter

@@ -1,0 +1,301 @@
+(* Tests for the design-space exploration layer: space enumeration,
+   Pareto frontier, journal round-trip, and search determinism/resume. *)
+module Space = Sweep_tune.Space
+module Frontier = Sweep_tune.Frontier
+module Journal = Sweep_tune.Journal
+module Search = Sweep_tune.Search
+module Results = Sweep_exp.Results
+
+let check = Alcotest.check
+
+(* ---------------- space ---------------- *)
+
+let test_space_default () =
+  let pts = Space.points Space.default in
+  check Alcotest.int "pinned matrix size" 120 (List.length pts);
+  Alcotest.(check bool) "all valid" true (List.for_all Space.valid pts);
+  Alcotest.(check bool) "canonically sorted" true
+    (List.sort Space.compare pts = pts);
+  let ids = List.map Space.id pts in
+  check Alcotest.int "ids injective" (List.length pts)
+    (List.length (List.sort_uniq Stdlib.compare ids));
+  Alcotest.(check bool) "paper point is in the matrix" true
+    (List.exists (fun p -> Space.compare p Space.paper_point = 0) pts)
+
+let test_space_validity () =
+  Alcotest.(check bool) "paper point valid" true (Space.valid Space.paper_point);
+  Alcotest.(check bool) "store cap above buffer rejected" false
+    (Space.valid { Space.paper_point with Space.store_cap = 128 });
+  Alcotest.(check bool) "store cap below checkpoint reserve rejected" false
+    (Space.valid
+       { Space.paper_point with Space.store_cap = Sweep_compiler.Regions.ckpt_reserve });
+  Alcotest.(check bool) "broken geometry rejected" false
+    (Space.valid { Space.paper_point with Space.cache_bytes = 1000 })
+
+let test_space_json_roundtrip () =
+  List.iter
+    (fun p ->
+      let line = "{" ^ Space.json_fields p ^ "}" in
+      match Result.to_option (Sweep_analyze.Json.parse line) with
+      | None -> Alcotest.fail ("unparseable: " ^ line)
+      | Some j -> (
+          match Space.of_json j with
+          | None -> Alcotest.fail ("no point from: " ^ line)
+          | Some p' ->
+              check Alcotest.int (Space.id p) 0 (Space.compare p p')))
+    (Space.points Space.default)
+
+(* ---------------- frontier ---------------- *)
+
+let entry ?(benches = [ "sha" ]) ~rt ~wr ~hw p =
+  { Frontier.point = p; benches;
+    objs = { Frontier.runtime_ns = rt; nvm_writes = wr; hw_bits = hw } }
+
+let test_frontier_dominance () =
+  let a = { Frontier.runtime_ns = 1.0; nvm_writes = 2.0; hw_bits = 3 } in
+  let b = { Frontier.runtime_ns = 2.0; nvm_writes = 2.0; hw_bits = 3 } in
+  Alcotest.(check bool) "a dominates b" true (Frontier.dominates a b);
+  Alcotest.(check bool) "b does not dominate a" false (Frontier.dominates b a);
+  Alcotest.(check bool) "no self-domination" false (Frontier.dominates a a);
+  let c = { Frontier.runtime_ns = 0.5; nvm_writes = 9.0; hw_bits = 3 } in
+  Alcotest.(check bool) "trade-off: neither dominates" false
+    (Frontier.dominates a c || Frontier.dominates c a)
+
+let test_frontier_insertion_order () =
+  let p = Space.paper_point in
+  let mk rt wr hw = entry ~rt ~wr ~hw
+      { p with Space.buffer_entries = 64 + hw; store_cap = 24 } in
+  let entries =
+    [ mk 1.0 5.0 0; mk 2.0 4.0 1; mk 3.0 3.0 2; mk 4.0 2.0 3; mk 5.0 1.0 4;
+      mk 6.0 6.0 5 (* dominated by everything cheaper *) ]
+  in
+  let members es =
+    List.map Frontier.entry_line (Frontier.members (Frontier.of_entries es))
+  in
+  let base = members entries in
+  check Alcotest.int "dominated entry pruned" 5 (List.length base);
+  Alcotest.(check (list string)) "reverse insertion, same frontier" base
+    (members (List.rev entries));
+  let rot = List.tl entries @ [ List.hd entries ] in
+  Alcotest.(check (list string)) "rotated insertion, same frontier" base
+    (members rot)
+
+(* ---------------- journal ---------------- *)
+
+let sample_cell p bench =
+  { Journal.point = p; bench; scale = 0.05; key = "k|" ^ bench;
+    runtime_ns = 123.5; nvm_writes = 42; completed = true; failed = false;
+    error = "" }
+
+let with_tmp f =
+  let path = Filename.temp_file "tune" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_journal_roundtrip () =
+  with_tmp (fun path ->
+      let cells =
+        [ sample_cell Space.paper_point "sha";
+          { (sample_cell Space.paper_point "fft") with
+            Journal.failed = true; completed = false;
+            error = "Driver.Stagnation(\"x\")" } ]
+      in
+      let oc = open_out path in
+      List.iter (Journal.append oc) cells;
+      close_out oc;
+      match Journal.load path with
+      | Error e -> Alcotest.fail e
+      | Ok (cells', warnings) ->
+          Alcotest.(check (list string)) "no warnings" [] warnings;
+          check Alcotest.int "cells preserved" 2 (List.length cells');
+          Alcotest.(check bool) "lines identical" true
+            (List.map Journal.line cells = List.map Journal.line cells'))
+
+let test_journal_torn_line () =
+  with_tmp (fun path ->
+      let oc = open_out path in
+      Journal.append oc (sample_cell Space.paper_point "sha");
+      output_string oc "{\"schema_version\":1,\"key\":\"half";
+      close_out oc;
+      match Journal.load path with
+      | Error e -> Alcotest.fail e
+      | Ok (cells, warnings) ->
+          check Alcotest.int "intact cell kept" 1 (List.length cells);
+          check Alcotest.int "torn final line warned" 1 (List.length warnings))
+
+let test_journal_corrupt_middle () =
+  with_tmp (fun path ->
+      let oc = open_out path in
+      Journal.append oc (sample_cell Space.paper_point "sha");
+      output_string oc "garbage\n";
+      Journal.append oc (sample_cell Space.paper_point "fft");
+      close_out oc;
+      Alcotest.(check bool) "corrupt interior line is an error" true
+        (match Journal.load path with Error _ -> true | Ok _ -> false))
+
+let test_journal_missing_file () =
+  match Journal.load "/nonexistent/tune-journal.jsonl" with
+  | Ok ([], []) -> ()
+  | _ -> Alcotest.fail "missing journal should load as empty"
+
+(* ---------------- search ---------------- *)
+
+let tiny_space =
+  {
+    Space.cache_bytes = [ 2048 ];
+    assoc = [ 1 ];
+    buffer_entries = [ 32; 64 ];
+    store_cap = [ 24 ];
+    max_unroll = [ 1; 4 ];
+    farads = [ 1e-6 ];
+    traces = [ Sweep_energy.Power_trace.Rf_office ];
+  }
+
+let params ?(strategy = Search.Grid) ?(ladder = [ [ "sha" ] ]) ?(budget = 16) ()
+    =
+  { Search.space = tiny_space; strategy; budget; seed = 7; scale = 0.05; ladder }
+
+let run_fresh ?workers ?kill_after params =
+  Results.clear ();
+  with_tmp (fun journal ->
+      Sys.remove journal;
+      Search.run ?workers ?kill_after ~journal params)
+
+let frontier_lines (o : Search.outcome) =
+  List.map Frontier.entry_line (Frontier.members o.Search.frontier)
+
+let test_search_grid_deterministic () =
+  match (run_fresh ~workers:1 (params ()), run_fresh ~workers:2 (params ())) with
+  | Ok (o1, []), Ok (o2, []) ->
+      check Alcotest.int "all cells scheduled" 4 o1.Search.scheduled;
+      check Alcotest.int "all cells simulated" 4 o1.Search.executed;
+      Alcotest.(check bool) "frontier non-empty" true
+        (Frontier.size o1.Search.frontier > 0);
+      Alcotest.(check (list string)) "workers do not change the frontier"
+        (frontier_lines o1) (frontier_lines o2)
+  | _ -> Alcotest.fail "search failed"
+
+let test_search_budget_truncates () =
+  match run_fresh ~workers:1 (params ~budget:2 ()) with
+  | Ok (o, []) ->
+      check Alcotest.int "budget respected" 2 o.Search.scheduled;
+      let cands, worst = Search.plan (params ~budget:2 ()) in
+      check Alcotest.int "plan matches" 2 (List.length cands);
+      check Alcotest.int "worst case within budget" 2 worst
+  | _ -> Alcotest.fail "search failed"
+
+let test_search_halving_promotes () =
+  let p =
+    params ~strategy:Search.Halving ~ladder:[ [ "sha" ]; [ "dijkstra" ] ]
+      ~budget:6 ()
+  in
+  match run_fresh ~workers:2 p with
+  | Ok (o, []) ->
+      (* rung 0: 4 points on sha; rung 1: best half (2) on dijkstra *)
+      check Alcotest.int "budget exhausted" 6 o.Search.scheduled;
+      check Alcotest.int "reached the top rung" 1 o.Search.tier;
+      Alcotest.(check (list string)) "cumulative bench coverage"
+        [ "dijkstra"; "sha" ] o.Search.tier_benches;
+      Alcotest.(check bool) "frontier over survivors" true
+        (Frontier.size o.Search.frontier >= 1
+        && Frontier.size o.Search.frontier <= 2)
+  | Ok (_, w) -> Alcotest.fail (String.concat "; " w)
+  | Error e -> Alcotest.fail e
+
+let test_search_resume_equivalence () =
+  Results.clear ();
+  with_tmp (fun journal ->
+      Sys.remove journal;
+      let p = params () in
+      (* Uninterrupted reference run. *)
+      let reference =
+        match run_fresh ~workers:1 p with
+        | Ok (o, []) -> frontier_lines o
+        | _ -> Alcotest.fail "reference run failed"
+      in
+      (* Killed run: Interrupted escapes, journal keeps completed work. *)
+      Results.clear ();
+      (match Search.run ~workers:1 ~kill_after:1 ~journal p with
+      | exception Search.Interrupted { executed } ->
+          Alcotest.(check bool) "killed after at least one eval" true
+            (executed >= 1)
+      | Ok _ -> Alcotest.fail "kill_after did not fire"
+      | Error e -> Alcotest.fail e);
+      Alcotest.(check bool) "journal survives the kill" true
+        (Sys.file_exists journal);
+      (* Resume: nothing re-evaluated, identical frontier. *)
+      Results.clear ();
+      match Search.run ~workers:1 ~journal p with
+      | Ok (o, []) ->
+          check Alcotest.int "budget counts cached cells" 4 o.Search.scheduled;
+          Alcotest.(check bool) "journal cells reused" true (o.Search.cached >= 1);
+          Alcotest.(check (list string)) "resumed = uninterrupted" reference
+            (frontier_lines o)
+      | Ok (_, w) -> Alcotest.fail (String.concat "; " w)
+      | Error e -> Alcotest.fail e)
+
+(* ---------------- analyze round-trip ---------------- *)
+
+let test_tune_file_roundtrip () =
+  Results.clear ();
+  with_tmp (fun journal ->
+      Sys.remove journal;
+      match Search.run ~workers:1 ~journal (params ()) with
+      | Ok (o, []) ->
+          with_tmp (fun fpath ->
+              Frontier.write_jsonl fpath o.Search.frontier;
+              (match Sweep_analyze.Tune_file.load_frontier fpath with
+              | Error e -> Alcotest.fail e
+              | Ok (entries, warnings) ->
+                  Alcotest.(check (list string)) "no frontier warnings" []
+                    warnings;
+                  check Alcotest.int "every member parsed"
+                    (Frontier.size o.Search.frontier)
+                    (List.length entries));
+              match Sweep_analyze.Tune_file.load_journal journal with
+              | Error e -> Alcotest.fail e
+              | Ok (cells, warnings) ->
+                  Alcotest.(check (list string)) "no journal warnings" []
+                    warnings;
+                  check Alcotest.int "every cell parsed" o.Search.executed
+                    (List.length cells);
+                  let report =
+                    Sweep_analyze.Tune_file.report ~journal:cells
+                      ~source:fpath
+                      (match Sweep_analyze.Tune_file.load_frontier fpath with
+                      | Ok (es, _) -> es
+                      | Error _ -> [])
+                  in
+                  Alcotest.(check bool) "frontier + sensitivity sections" true
+                    (List.length report.Sweep_analyze.Report.sections >= 2);
+                  Alcotest.(check bool) "text render non-empty" true
+                    (String.length
+                       (Sweep_analyze.Report.render Sweep_analyze.Report.Text
+                          report)
+                    > 0))
+      | Ok (_, w) -> Alcotest.fail (String.concat "; " w)
+      | Error e -> Alcotest.fail e)
+
+let suite =
+  [
+    Alcotest.test_case "space default matrix" `Quick test_space_default;
+    Alcotest.test_case "space validity" `Quick test_space_validity;
+    Alcotest.test_case "space json roundtrip" `Quick test_space_json_roundtrip;
+    Alcotest.test_case "frontier dominance" `Quick test_frontier_dominance;
+    Alcotest.test_case "frontier insertion order" `Quick
+      test_frontier_insertion_order;
+    Alcotest.test_case "journal roundtrip" `Quick test_journal_roundtrip;
+    Alcotest.test_case "journal torn line" `Quick test_journal_torn_line;
+    Alcotest.test_case "journal corrupt middle" `Quick
+      test_journal_corrupt_middle;
+    Alcotest.test_case "journal missing file" `Quick test_journal_missing_file;
+    Alcotest.test_case "search grid deterministic" `Slow
+      test_search_grid_deterministic;
+    Alcotest.test_case "search budget truncates" `Slow
+      test_search_budget_truncates;
+    Alcotest.test_case "search halving promotes" `Slow
+      test_search_halving_promotes;
+    Alcotest.test_case "search resume equivalence" `Slow
+      test_search_resume_equivalence;
+    Alcotest.test_case "tune file roundtrip" `Slow test_tune_file_roundtrip;
+  ]

@@ -18,4 +18,5 @@ let () =
       ("obs", T_obs.suite);
       ("analyze", T_analyze.suite);
       ("check", T_check.suite);
+      ("tune", T_tune.suite);
     ]
