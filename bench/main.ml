@@ -35,9 +35,9 @@ let micro_tests () =
              ignore (Sweep_mem.Cache.install cache (addr * 64) data)
            done;
            for addr = 0 to 63 do
-             match Sweep_mem.Cache.find cache (addr * 64) with
-             | Some line -> ignore (Sweep_mem.Cache.read_word line (addr * 64))
-             | None -> assert false
+             let li = Sweep_mem.Cache.find cache (addr * 64) in
+             assert (li <> Sweep_mem.Cache.no_line);
+             ignore (Sweep_mem.Cache.read_word cache li (addr * 64))
            done))
   in
   let buffer_ops =

@@ -40,12 +40,40 @@ let die fmt =
       exit 1)
     fmt
 
-let run_one bench design power config scale verify fault =
+let run_one bench design power config scale verify fault profile =
   let w = Sweep_workloads.Registry.find bench in
   let ast = Sweep_workloads.Workload.program ~scale w in
+  (* Compile and build the machine outside the timed window so --profile
+     measures the cycle loop itself, not AST construction. *)
+  let compiled = H.compile design ast in
+  let m = H.machine ~config design compiled.Sweep_compiler.Pipeline.program in
+  let g0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
-  let r = H.run ~config design ~power ?fault ast in
+  let outcome = Driver.run ?fault m ~power in
   let elapsed_s = Unix.gettimeofday () -. t0 in
+  let r = { H.design; outcome; machine = m; compiled } in
+  if profile then begin
+    (* One-shot hot-loop profile: wall time, simulated-instruction
+       throughput, and GC pressure over the drive loop (compile and
+       machine construction excluded).  Stderr so tables/JSON stay
+       parseable. *)
+    let g1 = Gc.quick_stat () in
+    let o = r.H.outcome in
+    let instrs = o.Driver.instructions in
+    let minor = g1.Gc.minor_words -. g0.Gc.minor_words in
+    let major = g1.Gc.major_words -. g0.Gc.major_words in
+    Printf.eprintf
+      "profile[%s/%s]: %.3f s wall, %d instrs, %.0f instr/s\n\
+      \  minor %.0f words (%.4f w/instr), major %.0f words, \
+       %d minor collections, %d major collections\n"
+      (H.design_name design) bench elapsed_s instrs
+      (float_of_int instrs /. (if elapsed_s > 0.0 then elapsed_s else 1e-9))
+      minor
+      (if instrs > 0 then minor /. float_of_int instrs else 0.0)
+      major
+      (g1.Gc.minor_collections - g0.Gc.minor_collections)
+      (g1.Gc.major_collections - g0.Gc.major_collections)
+  end;
   let o = r.H.outcome in
   let st = H.mstats r in
   let design_name = H.design_name design in
@@ -105,7 +133,7 @@ let parse_trace_filter spec =
 
 let main bench designs trace cap scale cache_size nvm_search verify j
     results_dir trace_out trace_format trace_cap trace_filter metrics
-    metrics_out fault fault_nested =
+    metrics_out fault fault_nested profile =
   try
   (match Sweep_workloads.Registry.find bench with
   | exception Not_found ->
@@ -176,7 +204,7 @@ let main bench designs trace cap scale cache_size nvm_search verify j
       (List.length designs);
   let run_all () =
     Executor.map ~workers:j
-      (fun d -> run_one bench d power config scale verify fault)
+      (fun d -> run_one bench d power config scale verify fault profile)
       designs
   in
   let rows =
@@ -394,22 +422,29 @@ let fault_nested_arg =
            ~doc:"With --fault: re-crash K times during recovery itself \
                  (nested-crash coverage).")
 
+let profile_arg =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Print a one-shot hot-loop profile per run to stderr: wall \
+                 time, simulated-instruction throughput, and GC pressure \
+                 (minor/major words and collections).")
+
 let cmd =
   let doc = "simulate a workload on an intermittent-computing architecture" in
   let term =
     Term.(
       const (fun bench design all trace cap scale cache nvm_search verify j
                  results_dir trace_out trace_format trace_cap trace_filter
-                 metrics metrics_out fault fault_nested ->
+                 metrics metrics_out fault fault_nested profile ->
           let designs = if all then H.all_designs else design in
           main bench designs trace cap scale cache nvm_search verify j
             results_dir trace_out trace_format trace_cap trace_filter metrics
-            metrics_out fault fault_nested)
+            metrics_out fault fault_nested profile)
       $ bench_arg $ designs_arg $ all_designs_arg $ trace_arg $ cap_arg
       $ scale_arg $ cache_arg $ nvm_search_arg $ verify_arg $ jobs_arg
       $ results_dir_arg $ trace_out_arg $ trace_format_arg $ trace_cap_arg
       $ trace_filter_arg $ metrics_arg $ metrics_out_arg $ fault_arg
-      $ fault_nested_arg)
+      $ fault_nested_arg $ profile_arg)
   in
   Cmd.v (Cmd.info "sweepsim" ~doc) term
 

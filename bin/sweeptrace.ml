@@ -151,7 +151,8 @@ let detect_commit () =
       | _ -> "unknown"
     with _ -> "unknown")
 
-let bench out commit workers baseline threshold no_append =
+let bench out commit workers baseline threshold no_append no_throughput
+    min_ips_ratio =
   let commit = match commit with Some c -> c | None -> detect_commit () in
   Printf.eprintf "sweeptrace bench: matrix %s (%d jobs), commit %s\n"
     A.Bench.matrix_id
@@ -174,9 +175,23 @@ let bench out commit workers baseline threshold no_append =
     2
   | Ok base -> (
     let results = A.Bench.run ?workers () in
+    (* Wall-clock throughput runs sequentially after the (possibly
+       parallel) result matrix so the timing is not skewed by worker
+       contention. *)
+    let throughput =
+      if no_throughput then [] else A.Bench.measure_throughput ()
+    in
+    if throughput <> [] then begin
+      List.iter
+        (fun (key, ips) ->
+          Printf.eprintf "  %-60s %12.0f instr/s\n" key ips)
+        throughput;
+      Printf.eprintf "  %-60s %12.0f instr/s\n" "geomean"
+        (A.Bench.geomean throughput)
+    end;
     let entry =
       { A.Bench.ts = Sweep_exp.Results.iso8601 (Unix.gettimeofday ());
-        commit; results }
+        commit; results; throughput }
     in
     let append_rc =
       if no_append then 0
@@ -189,10 +204,31 @@ let bench out commit workers baseline threshold no_append =
           read_err "sweeptrace: %s" e;
           2
     in
+    (* Wall-clock throughput gate: a coarse geomean ratio against the
+       baseline entry, not the exact-value diff — host timing is noisy,
+       so only a drop below [min_ips_ratio] of the baseline fails. *)
+    let throughput_rc =
+      match base with
+      | Some (path, b) when throughput <> [] && b.A.Bench.throughput <> [] ->
+        let cur = A.Bench.geomean throughput in
+        let old = A.Bench.geomean b.A.Bench.throughput in
+        Printf.eprintf
+          "  throughput vs baseline: %.0f / %.0f instr/s (%.2fx)\n" cur old
+          (cur /. old);
+        if cur < min_ips_ratio *. old then begin
+          read_err
+            "sweeptrace: throughput regression vs baseline %s: geomean \
+             %.0f < %.0f×%.2f instr/s"
+            path cur old min_ips_ratio;
+          1
+        end
+        else 0
+      | _ -> 0
+    in
     if append_rc <> 0 then append_rc
     else
       match base with
-      | None -> 0
+      | None -> throughput_rc
       | Some (path, base) -> (
         match
           A.Diff.compare_runs ~threshold_pct:threshold
@@ -209,7 +245,7 @@ let bench out commit workers baseline threshold no_append =
               base.A.Bench.commit;
             1
           end
-          else 0))
+          else throughput_rc))
 
 let bench_out_opt =
   Arg.(value & opt string "BENCH_sweepcache.json"
@@ -238,12 +274,25 @@ let no_append_flag =
            ~doc:"Run and (optionally) diff without writing the history \
                  file.")
 
+let no_throughput_flag =
+  Arg.(value & flag
+       & info [ "no-throughput" ]
+           ~doc:"Skip the sequential wall-clock throughput measurement.")
+
+let min_ips_ratio_opt =
+  Arg.(value & opt float 0.5
+       & info [ "min-ips-ratio" ] ~docv:"R"
+           ~doc:"Fail when the geomean instructions/second falls below R \
+                 times the baseline entry's (wall-clock gate; coarse on \
+                 purpose because host timing is noisy).")
+
 let bench_cmd =
   let doc = "run the pinned workload matrix and append to the bench history" in
   Cmd.v
     (Cmd.info "bench" ~doc)
     Term.(const bench $ bench_out_opt $ commit_opt $ bench_jobs_opt
-          $ baseline_opt $ threshold_opt $ no_append_flag)
+          $ baseline_opt $ threshold_opt $ no_append_flag
+          $ no_throughput_flag $ min_ips_ratio_opt)
 
 (* ---------------- tune ---------------- *)
 

@@ -35,17 +35,24 @@ let program =
     ]
 
 let step_n t from n =
+  let acc = Sweepcache.acc t in
   let now = ref from in
   for _ = 1 to n do
-    if not (Sweepcache.halted t) then
-      now := !now +. (Sweepcache.step t ~now_ns:!now).Cost.ns
+    if not (Sweepcache.halted t) then begin
+      acc.Sweep_machine.Exec.Acc.now <- !now;
+      Sweepcache.step t;
+      now := !now +. acc.Sweep_machine.Exec.Acc.ns
+    end
   done;
   !now
 
 let run_to_completion t from =
+  let acc = Sweepcache.acc t in
   let now = ref from in
   while not (Sweepcache.halted t) do
-    now := !now +. (Sweepcache.step t ~now_ns:!now).Cost.ns
+    acc.Sweep_machine.Exec.Acc.now <- !now;
+    Sweepcache.step t;
+    now := !now +. acc.Sweep_machine.Exec.Acc.ns
   done;
   now := !now +. (Sweepcache.drain t ~now_ns:!now).Cost.ns;
   !now

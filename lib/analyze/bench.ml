@@ -13,7 +13,11 @@ module Results = Sweep_exp.Results
 module Jobs = Sweep_exp.Jobs
 module Exp_common = Sweep_exp.Exp_common
 
-let schema_version = 1
+let schema_version = 2
+
+(* v1 entries predate the throughput track; they carry the same result
+   fields and stay diffable, so the loader accepts both. *)
+let accepted_schema_versions = [ 1; 2 ]
 
 (* Bump the matrix id whenever the job set or any default the jobs
    depend on changes — entries with a different id must not be diffed
@@ -68,24 +72,80 @@ let run ?workers () : Diff.run =
       | None -> failwith ("bench: executor produced no summary for " ^ key))
     jobs
 
+(* ---------------- wall-clock throughput ---------------- *)
+
+(* Simulated instructions per wall-second, measured sequentially per
+   job (the parallel executor would make jobs contend for cores and
+   understate each one).  Each job's compiled program is built outside
+   the timed region; machine construction + the driver run are inside
+   it, repeated until [min_seconds] of wall time accumulates so fast
+   simulators still get a stable number.  Unlike the result fields this
+   is host-dependent and noisy, so it is stored in a separate entry
+   member and gated by a coarse ratio, never by the exact-value diff. *)
+let measure_job_ips ?(min_seconds = 0.2) job =
+  let s = job.Jobs.setting in
+  let w = Sweep_workloads.Registry.find job.Jobs.bench in
+  let ast = Sweep_workloads.Workload.program ~scale:job.Jobs.scale w in
+  let compiled =
+    Sweep_sim.Harness.compile ~options:s.Exp_common.options
+      s.Exp_common.design ast
+  in
+  let prog = compiled.Sweep_compiler.Pipeline.program in
+  let power = Jobs.to_power job.Jobs.power in
+  let instructions = ref 0 in
+  let elapsed = ref 0.0 in
+  while !elapsed < min_seconds do
+    let m = Sweep_sim.Harness.machine ~config:s.Exp_common.config
+        s.Exp_common.design prog
+    in
+    let t0 = Unix.gettimeofday () in
+    let outcome = Sweep_sim.Driver.run m ~power in
+    elapsed := !elapsed +. (Unix.gettimeofday () -. t0);
+    instructions := !instructions + outcome.Sweep_sim.Driver.instructions
+  done;
+  float_of_int !instructions /. !elapsed
+
+let measure_throughput ?min_seconds () =
+  List.map
+    (fun job -> (Jobs.key job, measure_job_ips ?min_seconds job))
+    (jobs ())
+
+let geomean = function
+  | [] -> 0.0
+  | ips ->
+    let n = float_of_int (List.length ips) in
+    exp (List.fold_left (fun a (_, v) -> a +. log v) 0.0 ips /. n)
+
 (* ---------------- history file ---------------- *)
 
-type entry = { ts : string; commit : string; results : Diff.run }
+type entry = {
+  ts : string;
+  commit : string;
+  results : Diff.run;
+  throughput : (string * float) list;
+}
 
 let entry_json e =
   Json.Obj
-    [
-      ("ts", Json.Str e.ts);
-      ("commit", Json.Str e.commit);
-      ( "results",
-        Json.Obj
-          (List.map
-             (fun (key, fields) ->
-               ( key,
-                 Json.Obj
-                   (List.map (fun (n, v) -> (n, Json.Num v)) fields) ))
-             e.results) );
-    ]
+    ([
+       ("ts", Json.Str e.ts);
+       ("commit", Json.Str e.commit);
+       ( "results",
+         Json.Obj
+           (List.map
+              (fun (key, fields) ->
+                ( key,
+                  Json.Obj
+                    (List.map (fun (n, v) -> (n, Json.Num v)) fields) ))
+              e.results) );
+     ]
+    @
+    if e.throughput = [] then []
+    else
+      [
+        ( "throughput",
+          Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) e.throughput) );
+      ])
 
 let file_json entries =
   Json.Obj
@@ -113,7 +173,18 @@ let entry_of_json j =
           | None -> [] ))
       keyed
   in
-  Some { ts; commit; results }
+  let throughput =
+    match Json.member "throughput" j with
+    | Some tj -> (
+      match Json.to_obj tj with
+      | Some kvs ->
+        List.filter_map
+          (fun (k, v) -> Option.map (fun f -> (k, f)) (Json.to_float v))
+          kvs
+      | None -> [])
+    | None -> []
+  in
+  Some { ts; commit; results; throughput }
 
 let load_entries path =
   if not (Sys.file_exists path) then Ok []
@@ -123,7 +194,7 @@ let load_entries path =
     | Ok j -> (
       match (Json.int_member "schema_version" j, Json.string_member "matrix_id" j)
       with
-      | Some v, _ when v <> schema_version ->
+      | Some v, _ when not (List.mem v accepted_schema_versions) ->
         Error (Printf.sprintf "%s: unsupported schema_version %d" path v)
       | _, Some id when id <> matrix_id ->
         Error

@@ -20,7 +20,25 @@ val run : ?workers:int -> unit -> Diff.run
 (** Execute the matrix through {!Sweep_exp.Executor} and project every
     summary onto the results schema's numeric fields. *)
 
-type entry = { ts : string; commit : string; results : Diff.run }
+val measure_throughput :
+  ?min_seconds:float -> unit -> (string * float) list
+(** Sequentially time each pinned job and report simulated
+    instructions per wall-second, keyed like the results.  Each job is
+    repeated until [min_seconds] (default 0.2) of wall time accumulates
+    so fast simulators still yield stable numbers.  Host-dependent:
+    never compared by the exact-value diff gate. *)
+
+val geomean : (string * float) list -> float
+(** Geometric mean of the measured values; 0 for an empty list. *)
+
+type entry = {
+  ts : string;
+  commit : string;
+  results : Diff.run;
+  throughput : (string * float) list;
+      (** instructions/wall-second per job; [] for schema-v1 entries,
+          which predate the throughput track *)
+}
 
 val load_entries : string -> (entry list, string) result
 (** [Ok []] when the file does not exist yet; [Error] on a schema or

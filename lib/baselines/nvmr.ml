@@ -2,6 +2,7 @@ module Cfg = Sweep_machine.Config
 module Cost = Sweep_machine.Cost
 module Cpu = Sweep_machine.Cpu
 module Exec = Sweep_machine.Exec
+module Acc = Sweep_machine.Exec.Acc
 module Mstats = Sweep_machine.Mstats
 module Nvm = Sweep_mem.Nvm
 module Cache = Sweep_mem.Cache
@@ -22,70 +23,35 @@ type shadow = {
 type t = {
   cfg : Cfg.t;
   prog : Sweep_isa.Program.t;
+  dec : Sweep_isa.Decoded.t;
   cpu : Cpu.t;
   nvm : Nvm.t;
   cache : Cache.t;
   stats : Mstats.t;
+  acc : Acc.t;
+  mutable ops : Exec.mem_ops;
   detector : Sweep_energy.Detector.t;
   rename : Pb.t;  (** persistent renamed locations of the open epoch *)
   mutable shadow : shadow option;
 }
 
-let create cfg prog =
-  let nvm = Nvm.create () in
-  Sweep_machine.Loader.load nvm prog;
-  let detector =
-    match cfg.Cfg.detector_override with
-    | Some d -> d
-    | None ->
-      (* Backing up dirty cachelines needs an NVSRAM-class reserve; the
-         design then keeps executing below the threshold (its defining
-         advantage), gambling that a forced commit lands before death. *)
-      Sweep_energy.Detector.jit ~v_backup:3.2 ~v_restore:3.4
-  in
-  {
-    cfg;
-    prog;
-    cpu = Cpu.create ~entry:prog.entry;
-    nvm;
-    cache =
-      Cache.create ~size_bytes:cfg.Cfg.cache_size_bytes ~assoc:cfg.Cfg.cache_assoc;
-    stats = Mstats.create ();
-    detector;
-    rename = Pb.create ~capacity:(max 1 cfg.Cfg.rename_entries);
-    shadow = None;
-  }
-
-let cpu t = t.cpu
-let nvm t = t.nvm
-let cache t = Some t.cache
-let mstats t = t.stats
-let detector t = t.detector
-let halted t = t.cpu.Cpu.halted
 let e t = t.cfg.Cfg.energy
-
-let hit_cost t =
-  Cost.make
-    ~ns:(float_of_int (e t).E.cache_hit_cycles *. E.cycle_ns (e t))
-    ~joules:(e t).E.e_cache_access
 
 (* Every store consults the renaming structures to detect a WAR
    dependence on the open epoch (NvMR's defining mechanism); this sits on
    the store path. *)
 let rename_check_ns = 2.0
 
-let store_cost t =
-  Cost.(
-    hit_cost t
-    ++ make ~ns:rename_check_ns ~joules:(e t).E.e_buffer_search)
-
 let dirty_saved_lines t =
   let acc = ref [] in
-  Cache.iter_lines t.cache (fun line ->
-      if line.Cache.valid && line.Cache.dirty then
+  Cache.iter_lines t.cache (fun li ->
+      if Cache.valid t.cache li && Cache.dirty t.cache li then
         acc :=
-          { base = line.Cache.base; data = Array.copy line.Cache.data;
-            dirty = true }
+          {
+            base = Cache.line_addr t.cache li;
+            data = Cache.copy_line_data t.cache li;
+            dirty = true;
+          }
           :: !acc);
   !acc
 
@@ -115,90 +81,149 @@ let epoch_commit t =
     ~bytes:(List.length lines * Layout.line_bytes);
   t.shadow <- Some { regs; pc; lines }
 
-(* Fetch a line: the rename buffer may hold a newer version than NVM.
-   NvMR's rename table is an indexed hardware map, so the lookup is a
-   constant two-probe cost, unlike SweepCache's deliberately cheap
-   sequential buffer scan. *)
-let rename_lookup_cost t =
-  Cost.make
-    ~ns:(2.0 *. (e t).E.buffer_search_ns)
-    ~joules:(2.0 *. (e t).E.e_buffer_search)
-
-let fetch_line t base =
-  match Pb.search t.rename base with
-  | Some (data, _) -> (Array.copy data, rename_lookup_cost t)
-  | None ->
-    ( Nvm.read_line t.nvm base,
-      Cost.(
-        rename_lookup_cost t
-        ++ make ~ns:(e t).E.nvm_read_ns ~joules:(e t).E.e_nvm_read) )
-
-let fill t addr =
-  let victim = Cache.victim t.cache addr in
-  let evict_cost =
-    if victim.Cache.valid && victim.Cache.dirty then begin
-      (* Renamed write: quarantined for rollback.  A full rename buffer
-         forces an epoch commit first (structural hazard → backup). *)
-      let forced =
-        if Pb.count t.rename >= Pb.capacity t.rename then begin
-          let c = epoch_commit_cost t in
-          epoch_commit t;
-          t.stats.Mstats.backup_events <- t.stats.Mstats.backup_events + 1;
-          t.stats.Mstats.backup_joules <-
-            t.stats.Mstats.backup_joules +. c.Cost.joules;
-          c
-        end
-        else Cost.zero
-      in
-      Pb.push t.rename ~base:victim.Cache.base ~data:victim.Cache.data;
-      Cost.(
-        forced
-        ++ make ~ns:(e t).E.nvm_write_ns ~joules:(e t).E.e_nvm_line_write)
-    end
-    else Cost.zero
+let make_ops t =
+  let e = e t in
+  let hit_ns = float_of_int e.E.cache_hit_cycles *. E.cycle_ns e
+  and e_hit = e.E.e_cache_access in
+  let nvm_read_ns = e.E.nvm_read_ns
+  and e_nvm_read = e.E.e_nvm_read
+  and nvm_write_ns = e.E.nvm_write_ns
+  and e_nvm_line_write = e.E.e_nvm_line_write in
+  (* NvMR's rename table is an indexed hardware map, so a miss lookup is
+     a constant two-probe cost, unlike SweepCache's deliberately cheap
+     sequential buffer scan. *)
+  let lookup_ns = 2.0 *. e.E.buffer_search_ns
+  and e_lookup = 2.0 *. e.E.e_buffer_search in
+  let e_rename_check = e.E.e_buffer_search in
+  (* Fill the victim way for [addr]: quarantine a dirty victim in the
+     rename buffer (a full buffer forces an epoch commit first —
+     structural hazard → backup), then fetch the newest line image from
+     the rename buffer or NVM.  Returns the way and the fill cost,
+     grouped (evict ++ fetch) ++ hit like the legacy Cost chain. *)
+  let fill addr =
+    let cache = t.cache in
+    let vi = Cache.victim cache addr in
+    let evict_ns, evict_joules =
+      if Cache.valid cache vi && Cache.dirty cache vi then begin
+        let forced_ns, forced_joules =
+          if Pb.count t.rename >= Pb.capacity t.rename then begin
+            let c = epoch_commit_cost t in
+            epoch_commit t;
+            t.stats.Mstats.backup_events <- t.stats.Mstats.backup_events + 1;
+            t.stats.Mstats.f.Mstats.backup_joules <-
+              t.stats.Mstats.f.Mstats.backup_joules +. c.Cost.joules;
+            (c.Cost.ns, c.Cost.joules)
+          end
+          else (0.0, 0.0)
+        in
+        Pb.push_from t.rename ~base:(Cache.line_addr cache vi)
+          ~src:(Cache.data cache) ~src_pos:(Cache.data_pos cache vi);
+        (forced_ns +. nvm_write_ns, forced_joules +. e_nvm_line_write)
+      end
+      else (0.0, 0.0)
+    in
+    let base = Layout.line_base addr in
+    Cache.install_victim cache vi addr;
+    let scanned =
+      Pb.search_into t.rename base ~dst:(Cache.data cache)
+        ~dst_pos:(Cache.data_pos cache vi)
+    in
+    let fetch_ns, fetch_joules =
+      if scanned > 0 then (lookup_ns, e_lookup)
+      else begin
+        Nvm.read_line_into t.nvm base ~dst:(Cache.data cache)
+          ~dst_pos:(Cache.data_pos cache vi);
+        (lookup_ns +. nvm_read_ns, e_lookup +. e_nvm_read)
+      end
+    in
+    (vi, evict_ns +. fetch_ns +. hit_ns, evict_joules +. fetch_joules +. e_hit)
   in
-  let base = Layout.line_base addr in
-  let data, fetch_cost = fetch_line t base in
-  let line = Cache.install t.cache addr data in
-  (line, Cost.(evict_cost ++ fetch_cost ++ hit_cost t))
-
-let load t addr =
-  match Cache.find t.cache addr with
-  | Some line ->
-    Cache.record_hit t.cache;
-    Cache.touch t.cache line;
-    (Cache.read_word line addr, hit_cost t)
-  | None ->
-    Cache.record_miss t.cache;
-    let line, cost = fill t addr in
-    (Cache.read_word line addr, cost)
-
-let store t addr value =
-  match Cache.find t.cache addr with
-  | Some line ->
-    Cache.record_hit t.cache;
-    Cache.touch t.cache line;
-    Cache.write_word line addr value;
-    line.Cache.dirty <- true;
-    store_cost t
-  | None ->
-    Cache.record_miss t.cache;
-    let line, cost = fill t addr in
-    Cache.write_word line addr value;
-    line.Cache.dirty <- true;
-    Cost.(cost ++ make ~ns:rename_check_ns ~joules:(e t).E.e_buffer_search)
-
-let mem_ops t =
   Exec.nop_region_ops
     {
-      Exec.load = (fun addr _ -> load t addr);
-      store = (fun addr value _ -> store t addr value);
-      clwb = (fun _ _ -> Cost.zero);
-      fence = (fun _ -> Cost.zero);
-      region_end = (fun _ -> Cost.zero);
+      Exec.load =
+        (fun addr ->
+          let li = Cache.find t.cache addr in
+          if li <> Cache.no_line then begin
+            Cache.record_hit t.cache;
+            Cache.touch t.cache li;
+            Acc.charge t.acc ~ns:hit_ns ~joules:e_hit;
+            Cache.read_word t.cache li addr
+          end
+          else begin
+            Cache.record_miss t.cache;
+            let vi, ns, joules = fill addr in
+            Acc.charge t.acc ~ns ~joules;
+            Cache.read_word t.cache vi addr
+          end);
+      store =
+        (fun addr value ->
+          let li = Cache.find t.cache addr in
+          if li <> Cache.no_line then begin
+            Cache.record_hit t.cache;
+            Cache.touch t.cache li;
+            Cache.write_word t.cache li addr value;
+            Cache.set_dirty t.cache li ~region:(-1);
+            Acc.charge t.acc ~ns:(hit_ns +. rename_check_ns)
+              ~joules:(e_hit +. e_rename_check)
+          end
+          else begin
+            Cache.record_miss t.cache;
+            let vi, ns, joules = fill addr in
+            Cache.write_word t.cache vi addr value;
+            Cache.set_dirty t.cache vi ~region:(-1);
+            Acc.charge t.acc ~ns:(ns +. rename_check_ns)
+              ~joules:(joules +. e_rename_check)
+          end);
+      clwb = (fun _ -> ());
+      fence = (fun () -> ());
+      region_end = (fun () -> ());
     }
 
-let step t ~now_ns = Exec.step t.cfg t.cpu t.prog t.stats (mem_ops t) ~now_ns
+let create cfg prog =
+  let nvm = Nvm.create () in
+  Sweep_machine.Loader.load nvm prog;
+  let detector =
+    match cfg.Cfg.detector_override with
+    | Some d -> d
+    | None ->
+      (* Backing up dirty cachelines needs an NVSRAM-class reserve; the
+         design then keeps executing below the threshold (its defining
+         advantage), gambling that a forced commit lands before death. *)
+      Sweep_energy.Detector.jit ~v_backup:3.2 ~v_restore:3.4
+  in
+  let t =
+    {
+      cfg;
+      prog;
+      dec = Sweep_isa.Decoded.compile prog;
+      cpu = Cpu.create ~entry:prog.entry;
+      nvm;
+      cache =
+        Cache.create ~size_bytes:cfg.Cfg.cache_size_bytes
+          ~assoc:cfg.Cfg.cache_assoc;
+      stats = Mstats.create ();
+      acc = (let a = Acc.create () in Acc.set_rates a cfg.Cfg.energy; a);
+      ops = Exec.null_ops;
+      detector;
+      rename = Pb.create ~capacity:(max 1 cfg.Cfg.rename_entries);
+      shadow = None;
+    }
+  in
+  t.ops <- make_ops t;
+  t
+
+let cpu t = t.cpu
+let nvm t = t.nvm
+let cache t = Some t.cache
+let mstats t = t.stats
+let acc t = t.acc
+let detector t = t.detector
+let halted t = t.cpu.Cpu.halted
+
+let step t =
+  if t.cfg.Cfg.reference_interp then
+    Exec.step_reference t.cpu t.prog t.stats t.ops t.acc
+  else Exec.step t.cpu t.dec t.stats t.ops t.acc
 
 let jit_backup_cost t = Some (epoch_commit_cost t)
 let commit_jit_backup t ~now_ns =
@@ -225,8 +250,8 @@ let on_reboot t ~now_ns:_ =
       Cpu.restore t.cpu (regs, pc);
       List.iter
         (fun saved ->
-          let line = Cache.install t.cache saved.base saved.data in
-          line.Cache.dirty <- saved.dirty)
+          let li = Cache.install t.cache saved.base saved.data in
+          if saved.dirty then Cache.set_dirty t.cache li ~region:(-1))
         lines;
       Cost.(
         Jit_common.reg_restore (e t)
@@ -237,7 +262,7 @@ let on_reboot t ~now_ns:_ =
       Jit_common.reg_restore (e t)
   in
   t.stats.Mstats.restore_events <- t.stats.Mstats.restore_events + 1;
-  t.stats.Mstats.restore_joules <- t.stats.Mstats.restore_joules +. cost.Cost.joules;
+  t.stats.Mstats.f.Mstats.restore_joules <- t.stats.Mstats.f.Mstats.restore_joules +. cost.Cost.joules;
   cost
 
 (* End of program: commit the open epoch and flush remaining dirty
@@ -250,9 +275,10 @@ let drain t ~now_ns:_ =
   Pb.clear t.rename;
   let dirty = Cache.dirty_lines t.cache in
   List.iter
-    (fun line ->
-      Nvm.write_line t.nvm line.Cache.base line.Cache.data;
-      line.Cache.dirty <- false)
+    (fun li ->
+      Nvm.write_line_from t.nvm (Cache.line_addr t.cache li)
+        ~src:(Cache.data t.cache) ~src_pos:(Cache.data_pos t.cache li);
+      Cache.clear_dirty t.cache li)
     dirty;
   let n = float_of_int (List.length dirty) in
   Cost.(
@@ -273,6 +299,7 @@ let packed cfg prog =
       let nvm = nvm
       let cache = cache
       let mstats = mstats
+      let acc = acc
       let detector = detector
       let step = step
       let halted = halted

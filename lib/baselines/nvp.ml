@@ -2,6 +2,7 @@ module Cfg = Sweep_machine.Config
 module Cost = Sweep_machine.Cost
 module Cpu = Sweep_machine.Cpu
 module Exec = Sweep_machine.Exec
+module Acc = Sweep_machine.Exec.Acc
 module Mstats = Sweep_machine.Mstats
 module Nvm = Sweep_mem.Nvm
 module E = Sweep_energy.Energy_config
@@ -11,12 +12,38 @@ let name = "NVP"
 type t = {
   cfg : Cfg.t;
   prog : Sweep_isa.Program.t;
+  dec : Sweep_isa.Decoded.t;
   cpu : Cpu.t;
   nvm : Nvm.t;
   stats : Mstats.t;
+  acc : Acc.t;
+  mutable ops : Exec.mem_ops;
   detector : Sweep_energy.Detector.t;
   mutable shadow : (int array * int) option; (* NVFF register checkpoint *)
 }
+
+let e t = t.cfg.Cfg.energy
+
+let make_ops t =
+  let e = e t in
+  let nvm_read_ns = e.E.nvm_read_ns
+  and e_nvm_read = e.E.e_nvm_read
+  and nvm_write_ns = e.E.nvm_write_ns
+  and e_nvm_write = e.E.e_nvm_write in
+  Exec.nop_region_ops
+    {
+      Exec.load =
+        (fun addr ->
+          Acc.charge t.acc ~ns:nvm_read_ns ~joules:e_nvm_read;
+          Nvm.read_word t.nvm addr);
+      store =
+        (fun addr value ->
+          Acc.charge t.acc ~ns:nvm_write_ns ~joules:e_nvm_write;
+          Nvm.write_word t.nvm addr value);
+      clwb = (fun _ -> ());
+      fence = (fun () -> ());
+      region_end = (fun () -> ());
+    }
 
 let create cfg prog =
   let nvm = Nvm.create () in
@@ -26,42 +53,35 @@ let create cfg prog =
     | Some d -> d
     | None -> Sweep_energy.Detector.jit ~v_backup:2.9 ~v_restore:3.2
   in
-  {
-    cfg;
-    prog;
-    cpu = Cpu.create ~entry:prog.entry;
-    nvm;
-    stats = Mstats.create ();
-    detector;
-    shadow = None;
-  }
+  let t =
+    {
+      cfg;
+      prog;
+      dec = Sweep_isa.Decoded.compile prog;
+      cpu = Cpu.create ~entry:prog.entry;
+      nvm;
+      stats = Mstats.create ();
+      acc = (let a = Acc.create () in Acc.set_rates a cfg.Cfg.energy; a);
+      ops = Exec.null_ops;
+      detector;
+      shadow = None;
+    }
+  in
+  t.ops <- make_ops t;
+  t
 
 let cpu t = t.cpu
 let nvm t = t.nvm
 let cache _ = None
 let mstats t = t.stats
+let acc t = t.acc
 let detector t = t.detector
 let halted t = t.cpu.Cpu.halted
 
-let e t = t.cfg.Cfg.energy
-
-let mem_ops t =
-  Exec.nop_region_ops
-    {
-      Exec.load =
-        (fun addr _ ->
-          ( Nvm.read_word t.nvm addr,
-            Cost.make ~ns:(e t).E.nvm_read_ns ~joules:(e t).E.e_nvm_read ));
-      store =
-        (fun addr value _ ->
-          Nvm.write_word t.nvm addr value;
-          Cost.make ~ns:(e t).E.nvm_write_ns ~joules:(e t).E.e_nvm_write);
-      clwb = (fun _ _ -> Cost.zero);
-      fence = (fun _ -> Cost.zero);
-      region_end = (fun _ -> Cost.zero);
-    }
-
-let step t ~now_ns = Exec.step t.cfg t.cpu t.prog t.stats (mem_ops t) ~now_ns
+let step t =
+  if t.cfg.Cfg.reference_interp then
+    Exec.step_reference t.cpu t.prog t.stats t.ops t.acc
+  else Exec.step t.cpu t.dec t.stats t.ops t.acc
 
 let jit_backup_cost t = Some (Jit_common.reg_backup (e t))
 
@@ -83,7 +103,7 @@ let on_reboot t ~now_ns =
          { name = "restore regs"; cat = Sweep_obs.Event.Power });
   let cost = Jit_common.reg_restore (e t) in
   t.stats.Mstats.restore_events <- t.stats.Mstats.restore_events + 1;
-  t.stats.Mstats.restore_joules <- t.stats.Mstats.restore_joules +. cost.Cost.joules;
+  t.stats.Mstats.f.Mstats.restore_joules <- t.stats.Mstats.f.Mstats.restore_joules +. cost.Cost.joules;
   cost
 
 let drain _ ~now_ns:_ = Cost.zero
@@ -101,6 +121,7 @@ let packed cfg prog =
       let nvm = nvm
       let cache = cache
       let mstats = mstats
+      let acc = acc
       let detector = detector
       let step = step
       let halted = halted

@@ -2,6 +2,7 @@ module Cfg = Sweep_machine.Config
 module Cost = Sweep_machine.Cost
 module Cpu = Sweep_machine.Cpu
 module Exec = Sweep_machine.Exec
+module Acc = Sweep_machine.Exec.Acc
 module Mstats = Sweep_machine.Mstats
 module Nvm = Sweep_mem.Nvm
 module Cache = Sweep_mem.Cache
@@ -19,13 +20,89 @@ type shadow = {
 type state = {
   cfg : Cfg.t;
   prog : Sweep_isa.Program.t;
+  dec : Sweep_isa.Decoded.t;
   cpu : Cpu.t;
   nvm : Nvm.t;
   cache : Cache.t;
   stats : Mstats.t;
+  acc : Acc.t;
+  mutable ops : Exec.mem_ops;
   detector : Sweep_energy.Detector.t;
   mutable shadow : shadow option;
 }
+
+let e (t : state) = t.cfg.Cfg.energy
+
+(* Standard write-back memory path (shared by NVSRAM and NVSRAM-E —
+   only the backup scope differs): dirty victims go straight to their
+   NVM home (no redo buffer here — crash consistency comes from the
+   JIT backup of the whole cache). *)
+let make_ops (t : state) =
+  let e = e t in
+  let hit_ns = float_of_int e.E.cache_hit_cycles *. E.cycle_ns e
+  and e_hit = e.E.e_cache_access in
+  let nvm_read_ns = e.E.nvm_read_ns
+  and e_nvm_read = e.E.e_nvm_read
+  and nvm_write_ns = e.E.nvm_write_ns
+  and e_nvm_line_write = e.E.e_nvm_line_write in
+  (* Fill the victim way for [addr]; charges (evict ++ read) ++ hit with
+     the same grouping as the legacy Cost chain. *)
+  let fill addr =
+    let cache = t.cache in
+    let vi = Cache.victim cache addr in
+    let evict_ns, evict_joules =
+      if Cache.valid cache vi && Cache.dirty cache vi then begin
+        Nvm.write_line_from t.nvm (Cache.line_addr cache vi)
+          ~src:(Cache.data cache) ~src_pos:(Cache.data_pos cache vi);
+        (nvm_write_ns, e_nvm_line_write)
+      end
+      else (0.0, 0.0)
+    in
+    let base = Layout.line_base addr in
+    Cache.install_victim cache vi addr;
+    Nvm.read_line_into t.nvm base ~dst:(Cache.data cache)
+      ~dst_pos:(Cache.data_pos cache vi);
+    Acc.charge t.acc
+      ~ns:(evict_ns +. nvm_read_ns +. hit_ns)
+      ~joules:(evict_joules +. e_nvm_read +. e_hit);
+    vi
+  in
+  Exec.nop_region_ops
+    {
+      Exec.load =
+        (fun addr ->
+          let li = Cache.find t.cache addr in
+          if li <> Cache.no_line then begin
+            Cache.record_hit t.cache;
+            Cache.touch t.cache li;
+            Acc.charge t.acc ~ns:hit_ns ~joules:e_hit;
+            Cache.read_word t.cache li addr
+          end
+          else begin
+            Cache.record_miss t.cache;
+            let li = fill addr in
+            Cache.read_word t.cache li addr
+          end);
+      store =
+        (fun addr value ->
+          let li = Cache.find t.cache addr in
+          if li <> Cache.no_line then begin
+            Cache.record_hit t.cache;
+            Cache.touch t.cache li;
+            Cache.write_word t.cache li addr value;
+            Cache.set_dirty t.cache li ~region:(-1);
+            Acc.charge t.acc ~ns:hit_ns ~joules:e_hit
+          end
+          else begin
+            Cache.record_miss t.cache;
+            let li = fill addr in
+            Cache.write_word t.cache li addr value;
+            Cache.set_dirty t.cache li ~region:(-1)
+          end);
+      clwb = (fun _ -> ());
+      fence = (fun () -> ());
+      region_end = (fun () -> ());
+    }
 
 module Make (P : sig
   val name : string
@@ -50,100 +127,49 @@ struct
       | Some d -> d
       | None -> Sweep_energy.Detector.jit ~v_backup ~v_restore
     in
-    {
-      cfg;
-      prog;
-      cpu = Cpu.create ~entry:prog.entry;
-      nvm;
-      cache =
-        Cache.create ~size_bytes:cfg.Cfg.cache_size_bytes
-          ~assoc:cfg.Cfg.cache_assoc;
-      stats = Mstats.create ();
-      detector;
-      shadow = None;
-    }
+    let t =
+      {
+        cfg;
+        prog;
+        dec = Sweep_isa.Decoded.compile prog;
+        cpu = Cpu.create ~entry:prog.entry;
+        nvm;
+        cache =
+          Cache.create ~size_bytes:cfg.Cfg.cache_size_bytes
+            ~assoc:cfg.Cfg.cache_assoc;
+        stats = Mstats.create ();
+        acc = (let a = Acc.create () in Acc.set_rates a cfg.Cfg.energy; a);
+        ops = Exec.null_ops;
+        detector;
+        shadow = None;
+      }
+    in
+    t.ops <- make_ops t;
+    t
 
   let cpu t = t.cpu
   let nvm t = t.nvm
   let cache t = Some t.cache
   let mstats t = t.stats
+  let acc (t : t) = t.acc
   let detector t = t.detector
   let halted t = t.cpu.Cpu.halted
-  let e t = t.cfg.Cfg.energy
+  let e = e
 
-  let hit_cost t =
-    Cost.make
-      ~ns:(float_of_int (e t).E.cache_hit_cycles *. E.cycle_ns (e t))
-      ~joules:(e t).E.e_cache_access
-
-  (* Standard write-back miss handling: dirty victims go straight to
-     their NVM home (no redo buffer here — crash consistency comes from
-     the JIT backup of the whole cache). *)
-  let fill t addr =
-    let victim = Cache.victim t.cache addr in
-    let evict_cost =
-      if victim.Cache.valid && victim.Cache.dirty then begin
-        Nvm.write_line t.nvm victim.Cache.base victim.Cache.data;
-        Cost.make ~ns:(e t).E.nvm_write_ns ~joules:(e t).E.e_nvm_line_write
-      end
-      else Cost.zero
-    in
-    let base = Layout.line_base addr in
-    let data = Nvm.read_line t.nvm base in
-    let line = Cache.install t.cache addr data in
-    ( line,
-      Cost.(
-        evict_cost
-        ++ make ~ns:(e t).E.nvm_read_ns ~joules:(e t).E.e_nvm_read
-        ++ hit_cost t) )
-
-  let load t addr =
-    match Cache.find t.cache addr with
-    | Some line ->
-      Cache.record_hit t.cache;
-      Cache.touch t.cache line;
-      (Cache.read_word line addr, hit_cost t)
-    | None ->
-      Cache.record_miss t.cache;
-      let line, cost = fill t addr in
-      (Cache.read_word line addr, cost)
-
-  let store t addr value =
-    match Cache.find t.cache addr with
-    | Some line ->
-      Cache.record_hit t.cache;
-      Cache.touch t.cache line;
-      Cache.write_word line addr value;
-      line.Cache.dirty <- true;
-      hit_cost t
-    | None ->
-      Cache.record_miss t.cache;
-      let line, cost = fill t addr in
-      Cache.write_word line addr value;
-      line.Cache.dirty <- true;
-      cost
-
-  let mem_ops t =
-    Exec.nop_region_ops
-      {
-        Exec.load = (fun addr _ -> load t addr);
-        store = (fun addr value _ -> store t addr value);
-        clwb = (fun _ _ -> Cost.zero);
-        fence = (fun _ -> Cost.zero);
-        region_end = (fun _ -> Cost.zero);
-      }
-
-  let step t ~now_ns = Exec.step t.cfg t.cpu t.prog t.stats (mem_ops t) ~now_ns
+  let step (t : t) =
+    if t.cfg.Cfg.reference_interp then
+      Exec.step_reference t.cpu t.prog t.stats t.ops t.acc
+    else Exec.step t.cpu t.dec t.stats t.ops t.acc
 
   let lines_to_save t =
     let acc = ref [] in
-    Cache.iter_lines t.cache (fun line ->
-        if line.Cache.valid && (P.entire || line.Cache.dirty) then
+    Cache.iter_lines t.cache (fun li ->
+        if Cache.valid t.cache li && (P.entire || Cache.dirty t.cache li) then
           acc :=
             {
-              base = line.Cache.base;
-              data = Array.copy line.Cache.data;
-              dirty = line.Cache.dirty;
+              base = Cache.line_addr t.cache li;
+              data = Cache.copy_line_data t.cache li;
+              dirty = Cache.dirty t.cache li;
             }
             :: !acc);
     !acc
@@ -192,8 +218,8 @@ struct
         if not drop_lines then
           List.iter
             (fun saved ->
-              let line = Cache.install t.cache saved.base saved.data in
-              line.Cache.dirty <- saved.dirty)
+              let li = Cache.install t.cache saved.base saved.data in
+              if saved.dirty then Cache.set_dirty t.cache li ~region:(-1))
             lines;
         Cost.(
           Jit_common.reg_restore (e t)
@@ -204,8 +230,8 @@ struct
         Jit_common.reg_restore (e t)
     in
     t.stats.Mstats.restore_events <- t.stats.Mstats.restore_events + 1;
-    t.stats.Mstats.restore_joules <-
-      t.stats.Mstats.restore_joules +. cost.Cost.joules;
+    t.stats.Mstats.f.Mstats.restore_joules <-
+      t.stats.Mstats.f.Mstats.restore_joules +. cost.Cost.joules;
     cost
 
   (* End of program: write back what is still dirty so the final NVM
@@ -213,9 +239,10 @@ struct
   let drain t ~now_ns:_ =
     let dirty = Cache.dirty_lines t.cache in
     List.iter
-      (fun line ->
-        Nvm.write_line t.nvm line.Cache.base line.Cache.data;
-        line.Cache.dirty <- false)
+      (fun li ->
+        Nvm.write_line_from t.nvm (Cache.line_addr t.cache li)
+          ~src:(Cache.data t.cache) ~src_pos:(Cache.data_pos t.cache li);
+        Cache.clear_dirty t.cache li)
       dirty;
     let n = float_of_int (List.length dirty) in
     Cost.make ~ns:(n *. (e t).E.nvm_write_ns)
@@ -232,6 +259,7 @@ struct
         let nvm = nvm
         let cache = cache
         let mstats = mstats
+        let acc = acc
         let detector = detector
         let step = step
         let halted = halted

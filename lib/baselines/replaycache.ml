@@ -2,6 +2,7 @@ module Cfg = Sweep_machine.Config
 module Cost = Sweep_machine.Cost
 module Cpu = Sweep_machine.Cpu
 module Exec = Sweep_machine.Exec
+module Acc = Sweep_machine.Exec.Acc
 module Mstats = Sweep_machine.Mstats
 module Nvm = Sweep_mem.Nvm
 module Cache = Sweep_mem.Cache
@@ -10,22 +11,11 @@ module Layout = Sweep_isa.Layout
 
 let name = "ReplayCache"
 
-type t = {
-  cfg : Cfg.t;
-  prog : Sweep_isa.Program.t;
-  cpu : Cpu.t;
-  nvm : Nvm.t;
-  cache : Cache.t;
-  stats : Mstats.t;
-  detector : Sweep_energy.Detector.t;
-  mutable pending : float list;
-      (** completion times of in-flight clwbs, oldest first; data reaches
-          NVM eagerly, timing carried here *)
-  mutable queue_tail : float;  (** completion time of the newest clwb *)
-  mutable shadow : shadow option;
-}
+(* Single-field all-float record: flat representation, so mutating [v]
+   does not allocate — unlike a mutable float field in the mixed [t]. *)
+type fbox = { mutable v : float }
 
-and shadow = {
+type shadow = {
   s_regs : int array;
   s_pc : int;
   s_replay : (int * int array) list;
@@ -33,6 +23,192 @@ and shadow = {
           store integrity lets recovery replay those stores, which we
           model by reapplying the line images (costed as replay). *)
 }
+
+type t = {
+  cfg : Cfg.t;
+  prog : Sweep_isa.Program.t;
+  dec : Sweep_isa.Decoded.t;
+  cpu : Cpu.t;
+  nvm : Nvm.t;
+  cache : Cache.t;
+  stats : Mstats.t;
+  acc : Acc.t;
+  mutable ops : Exec.mem_ops;
+  detector : Sweep_energy.Detector.t;
+  pend : floatarray;
+      (** completion times of in-flight clwbs, a ring buffer ordered
+          oldest first (completion times are monotone); data reaches NVM
+          eagerly, timing carried here *)
+  mutable p_head : int;
+  mutable p_count : int;
+  queue_tail : fbox;  (** completion time of the newest clwb *)
+  mutable shadow : shadow option;
+}
+
+let e t = t.cfg.Cfg.energy
+
+(* Drop clwbs that have completed by [now].  Entries are sorted
+   ascending, so this is a prefix drop. *)
+(* Ring indices are always in [0, 2*cap): [p_head < cap] and
+   [p_count <= cap] are invariants, so a compare-subtract wraps
+   identically to [mod] without the hardware divide per queue op. *)
+let[@inline] ring_wrap i cap = if i >= cap then i - cap else i
+
+let sync t now =
+  let cap = Float.Array.length t.pend in
+  while t.p_count > 0 && Float.Array.get t.pend t.p_head <= now do
+    t.p_head <- ring_wrap (t.p_head + 1) cap;
+    t.p_count <- t.p_count - 1
+  done
+
+(* Hot-path variant reading the clock from the accumulator: a float
+   argument would be boxed at every call without flambda. *)
+let sync_clock t =
+  let now = t.acc.Acc.now in
+  let cap = Float.Array.length t.pend in
+  while t.p_count > 0 && Float.Array.get t.pend t.p_head <= now do
+    t.p_head <- ring_wrap (t.p_head + 1) cap;
+    t.p_count <- t.p_count - 1
+  done
+
+let newest_pending t ~default =
+  if t.p_count = 0 then default
+  else
+    let cap = Float.Array.length t.pend in
+    Float.Array.get t.pend (ring_wrap (t.p_head + t.p_count - 1) cap)
+
+let clear_pending t =
+  t.p_head <- 0;
+  t.p_count <- 0
+
+let make_ops t =
+  let e = e t in
+  let hit_ns = float_of_int e.E.cache_hit_cycles *. E.cycle_ns e
+  and e_hit = e.E.e_cache_access in
+  let nvm_read_ns = e.E.nvm_read_ns
+  and e_nvm_read = e.E.e_nvm_read
+  and nvm_write_ns = e.E.nvm_write_ns
+  and e_nvm_line_write = e.E.e_nvm_line_write
+  and clwb_drain_ns = e.E.clwb_drain_ns in
+  (* Fill the victim way for [addr]; charges (evict ++ read) ++ hit.
+     clwb cleans lines right after each store, so dirty victims are rare
+     (a store whose clwb was the very last instruction before the miss);
+     write them back synchronously. *)
+  let fill addr =
+    let cache = t.cache in
+    let vi = Cache.victim cache addr in
+    let dirty = Cache.valid cache vi && Cache.dirty cache vi in
+    if dirty then
+      Nvm.write_line_from t.nvm (Cache.line_addr cache vi)
+        ~src:(Cache.data cache) ~src_pos:(Cache.data_pos cache vi);
+    let evict_ns = if dirty then nvm_write_ns else 0.0
+    and evict_joules = if dirty then e_nvm_line_write else 0.0 in
+    let base = Layout.line_base addr in
+    Cache.install_victim cache vi addr;
+    Nvm.read_line_into t.nvm base ~dst:(Cache.data cache)
+      ~dst_pos:(Cache.data_pos cache vi);
+    (* Acc.charge by hand: the call is not inlined, so the computed
+       float arguments would be boxed. *)
+    let a = t.acc in
+    a.Acc.ns <- a.Acc.ns +. (evict_ns +. nvm_read_ns +. hit_ns);
+    a.Acc.joules <- a.Acc.joules +. (evict_joules +. e_nvm_read +. e_hit);
+    vi
+  in
+  {
+    Exec.load =
+      (fun addr ->
+        sync_clock t;
+        let li = Cache.find t.cache addr in
+        if li <> Cache.no_line then begin
+          Cache.record_hit t.cache;
+          Cache.touch t.cache li;
+          Acc.charge t.acc ~ns:hit_ns ~joules:e_hit;
+          Cache.read_word t.cache li addr
+        end
+        else begin
+          Cache.record_miss t.cache;
+          let li = fill addr in
+          Cache.read_word t.cache li addr
+        end);
+    store =
+      (fun addr value ->
+        sync_clock t;
+        let li = Cache.find t.cache addr in
+        if li <> Cache.no_line then begin
+          Cache.record_hit t.cache;
+          Cache.touch t.cache li;
+          Cache.write_word t.cache li addr value;
+          Cache.set_dirty t.cache li ~region:(-1);
+          Acc.charge t.acc ~ns:hit_ns ~joules:e_hit
+        end
+        else begin
+          Cache.record_miss t.cache;
+          let li = fill addr in
+          Cache.write_word t.cache li addr value;
+          Cache.set_dirty t.cache li ~region:(-1)
+        end);
+    clwb =
+      (* Enqueue an asynchronous line write-back.  NVM contents update
+         eagerly (values are identical either way); the completion time
+         models the write bandwidth, and a full queue stalls the
+         pipeline. *)
+      (fun addr ->
+        sync_clock t;
+        let now0 = t.acc.Acc.now in
+        let base = Layout.line_base addr in
+        let stall =
+          if t.p_count >= t.cfg.Cfg.replay_queue then
+            if t.p_count > 0 then begin
+              let oldest = Float.Array.get t.pend t.p_head in
+              t.p_head <- ring_wrap (t.p_head + 1) (Float.Array.length t.pend);
+              t.p_count <- t.p_count - 1;
+              let d = oldest -. now0 in
+              if d > 0.0 then d else 0.0
+            end
+            else 0.0
+          else 0.0
+        in
+        let now = now0 +. stall in
+        let li = Cache.find t.cache base in
+        if li <> Cache.no_line then begin
+          Nvm.write_line_from t.nvm base ~src:(Cache.data t.cache)
+            ~src_pos:(Cache.data_pos t.cache li);
+          Cache.clear_dirty t.cache li
+        end;
+        (* else: the line was evicted between the store and its clwb —
+           cannot happen with adjacent instructions, but stay total. *)
+        let tail = t.queue_tail.v in
+        let done_at = (if now >= tail then now else tail) +. clwb_drain_ns in
+        t.queue_tail.v <- done_at;
+        (* push_pending inlined: a float argument would box per clwb. *)
+        let cap = Float.Array.length t.pend in
+        Float.Array.set t.pend (ring_wrap (t.p_head + t.p_count) cap) done_at;
+        t.p_count <- t.p_count + 1;
+        let a = t.acc in
+        a.Acc.ns <- a.Acc.ns +. stall;
+        a.Acc.joules <- a.Acc.joules +. e_nvm_line_write);
+    fence =
+      (fun () ->
+        sync_clock t;
+        let now = t.acc.Acc.now in
+        (* newest_pending, inlined: float argument/return would box. *)
+        let target =
+          if t.p_count = 0 then now
+          else
+            Float.Array.get t.pend
+              (ring_wrap (t.p_head + t.p_count - 1) (Float.Array.length t.pend))
+        in
+        let target = if target > now then target else now in
+        let stall = target -. now in
+        clear_pending t;
+        t.stats.Mstats.f.Mstats.persistence_ns <-
+          t.stats.Mstats.f.Mstats.persistence_ns +. stall;
+        t.stats.Mstats.f.Mstats.wait_ns <-
+          t.stats.Mstats.f.Mstats.wait_ns +. stall;
+        let a = t.acc in
+        a.Acc.ns <- a.Acc.ns +. stall);
+    region_end = (fun () -> ());
+  }
 
 let create cfg prog =
   let nvm = Nvm.create () in
@@ -42,136 +218,42 @@ let create cfg prog =
     | Some d -> d
     | None -> Sweep_energy.Detector.jit ~v_backup:2.9 ~v_restore:3.2
   in
-  {
-    cfg;
-    prog;
-    cpu = Cpu.create ~entry:prog.entry;
-    nvm;
-    cache =
-      Cache.create ~size_bytes:cfg.Cfg.cache_size_bytes ~assoc:cfg.Cfg.cache_assoc;
-    stats = Mstats.create ();
-    detector;
-    pending = [];
-    queue_tail = 0.0;
-    shadow = None;
-  }
+  let t =
+    {
+      cfg;
+      prog;
+      dec = Sweep_isa.Decoded.compile prog;
+      cpu = Cpu.create ~entry:prog.entry;
+      nvm;
+      cache =
+        Cache.create ~size_bytes:cfg.Cfg.cache_size_bytes
+          ~assoc:cfg.Cfg.cache_assoc;
+      stats = Mstats.create ();
+      acc = (let a = Acc.create () in Acc.set_rates a cfg.Cfg.energy; a);
+      ops = Exec.null_ops;
+      detector;
+      pend = Float.Array.make (max 1 cfg.Cfg.replay_queue) 0.0;
+      p_head = 0;
+      p_count = 0;
+      queue_tail = { v = 0.0 };
+      shadow = None;
+    }
+  in
+  t.ops <- make_ops t;
+  t
 
 let cpu t = t.cpu
 let nvm t = t.nvm
 let cache t = Some t.cache
 let mstats t = t.stats
+let acc t = t.acc
 let detector t = t.detector
 let halted t = t.cpu.Cpu.halted
-let e t = t.cfg.Cfg.energy
 
-let hit_cost t =
-  Cost.make
-    ~ns:(float_of_int (e t).E.cache_hit_cycles *. E.cycle_ns (e t))
-    ~joules:(e t).E.e_cache_access
-
-let sync t now = t.pending <- List.filter (fun done_at -> done_at > now) t.pending
-
-(* Stall-time power is charged uniformly by the executor. *)
-let stall_cost _ ns = Cost.make ~ns ~joules:0.0
-
-let fill t addr =
-  let victim = Cache.victim t.cache addr in
-  let evict_cost =
-    (* clwb cleans lines right after each store, so dirty victims are
-       rare (a store whose clwb was the very last instruction before the
-       miss); write them back synchronously. *)
-    if victim.Cache.valid && victim.Cache.dirty then begin
-      Nvm.write_line t.nvm victim.Cache.base victim.Cache.data;
-      Cost.make ~ns:(e t).E.nvm_write_ns ~joules:(e t).E.e_nvm_line_write
-    end
-    else Cost.zero
-  in
-  let base = Layout.line_base addr in
-  let data = Nvm.read_line t.nvm base in
-  let line = Cache.install t.cache addr data in
-  ( line,
-    Cost.(
-      evict_cost
-      ++ make ~ns:(e t).E.nvm_read_ns ~joules:(e t).E.e_nvm_read
-      ++ hit_cost t) )
-
-let load t addr now =
-  sync t now;
-  match Cache.find t.cache addr with
-  | Some line ->
-    Cache.record_hit t.cache;
-    Cache.touch t.cache line;
-    (Cache.read_word line addr, hit_cost t)
-  | None ->
-    Cache.record_miss t.cache;
-    let line, cost = fill t addr in
-    (Cache.read_word line addr, cost)
-
-let store t addr value now =
-  sync t now;
-  match Cache.find t.cache addr with
-  | Some line ->
-    Cache.record_hit t.cache;
-    Cache.touch t.cache line;
-    Cache.write_word line addr value;
-    line.Cache.dirty <- true;
-    hit_cost t
-  | None ->
-    Cache.record_miss t.cache;
-    let line, cost = fill t addr in
-    Cache.write_word line addr value;
-    line.Cache.dirty <- true;
-    cost
-
-(* Enqueue an asynchronous line write-back.  NVM contents update eagerly
-   (values are identical either way); the completion time models the
-   write bandwidth, and a full queue stalls the pipeline. *)
-let clwb t addr now =
-  sync t now;
-  let base = Layout.line_base addr in
-  let stall =
-    if List.length t.pending >= t.cfg.Cfg.replay_queue then begin
-      match t.pending with
-      | oldest :: rest ->
-        t.pending <- rest;
-        max 0.0 (oldest -. now)
-      | [] -> 0.0
-    end
-    else 0.0
-  in
-  let now = now +. stall in
-  (match Cache.find t.cache base with
-  | Some line ->
-    Nvm.write_line t.nvm base line.Cache.data;
-    line.Cache.dirty <- false
-  | None ->
-    (* The line was evicted between the store and its clwb — cannot
-       happen with adjacent instructions, but stay total. *)
-    ());
-  let done_at = max now t.queue_tail +. (e t).E.clwb_drain_ns in
-  t.queue_tail <- done_at;
-  t.pending <- t.pending @ [ done_at ];
-  Cost.(stall_cost t stall ++ make ~ns:0.0 ~joules:(e t).E.e_nvm_line_write)
-
-let fence t now =
-  sync t now;
-  let target = List.fold_left max now t.pending in
-  let stall = target -. now in
-  t.pending <- [];
-  t.stats.Mstats.persistence_ns <- t.stats.Mstats.persistence_ns +. stall;
-  t.stats.Mstats.wait_ns <- t.stats.Mstats.wait_ns +. stall;
-  stall_cost t stall
-
-let mem_ops t =
-  {
-    Exec.load = (fun addr now -> load t addr now);
-    store = (fun addr value now -> store t addr value now);
-    clwb = (fun addr now -> clwb t addr now);
-    fence = (fun now -> fence t now);
-    region_end = (fun _ -> Cost.zero);
-  }
-
-let step t ~now_ns = Exec.step t.cfg t.cpu t.prog t.stats (mem_ops t) ~now_ns
+let step t =
+  if t.cfg.Cfg.reference_interp then
+    Exec.step_reference t.cpu t.prog t.stats t.ops t.acc
+  else Exec.step t.cpu t.dec t.stats t.ops t.acc
 
 let jit_backup_cost t = Some (Jit_common.reg_backup (e t))
 
@@ -182,10 +264,10 @@ let commit_jit_backup t ~now_ns =
      covers them, so they join the replay set. *)
   sync t now_ns;
   t.stats.Mstats.replayed_stores <-
-    t.stats.Mstats.replayed_stores + List.length t.pending;
+    t.stats.Mstats.replayed_stores + t.p_count;
   let s_replay =
     List.map
-      (fun line -> (line.Cache.base, Array.copy line.Cache.data))
+      (fun li -> (Cache.line_addr t.cache li, Cache.copy_line_data t.cache li))
       (Cache.dirty_lines t.cache)
   in
   let s_regs, s_pc = Cpu.snapshot t.cpu in
@@ -200,9 +282,9 @@ let on_power_failure t ~now_ns =
   Mstats.reset_region_counters t.stats
 
 let on_reboot t ~now_ns =
-  let replayed = ref (List.length t.pending) in
-  t.pending <- [];
-  t.queue_tail <- 0.0;
+  let replayed = ref t.p_count in
+  clear_pending t;
+  t.queue_tail.v <- 0.0;
   (match t.shadow with
   | Some { s_regs; s_pc; s_replay } ->
     Cpu.restore t.cpu (s_regs, s_pc);
@@ -223,22 +305,24 @@ let on_reboot t ~now_ns =
            ~joules:(n *. ((e t).E.e_nvm_read +. (e t).E.e_nvm_line_write)))
   in
   t.stats.Mstats.restore_events <- t.stats.Mstats.restore_events + 1;
-  t.stats.Mstats.restore_joules <- t.stats.Mstats.restore_joules +. cost.Cost.joules;
+  t.stats.Mstats.f.Mstats.restore_joules <- t.stats.Mstats.f.Mstats.restore_joules +. cost.Cost.joules;
   if Sweep_obs.Sink.on () then
     Sweep_obs.Sink.emit ~ns:now_ns
       (Sweep_obs.Event.Replay { stores = !replayed });
   cost
 
 let drain t ~now_ns =
-  let target = List.fold_left max now_ns t.pending in
-  t.pending <- [];
+  let target = newest_pending t ~default:now_ns in
+  let target = if target > now_ns then target else now_ns in
+  clear_pending t;
   (* Any still-dirty lines (stores without a reached clwb cannot exist in
      Replay-mode programs, but examples may run Plain code here). *)
   let dirty = Cache.dirty_lines t.cache in
   List.iter
-    (fun line ->
-      Nvm.write_line t.nvm line.Cache.base line.Cache.data;
-      line.Cache.dirty <- false)
+    (fun li ->
+      Nvm.write_line_from t.nvm (Cache.line_addr t.cache li)
+        ~src:(Cache.data t.cache) ~src_pos:(Cache.data_pos t.cache li);
+      Cache.clear_dirty t.cache li)
     dirty;
   let n = float_of_int (List.length dirty) in
   Cost.make
@@ -258,6 +342,7 @@ let packed cfg prog =
       let nvm = nvm
       let cache = cache
       let mstats = mstats
+      let acc = acc
       let detector = detector
       let step = step
       let halted = halted

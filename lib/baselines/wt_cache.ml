@@ -2,6 +2,7 @@ module Cfg = Sweep_machine.Config
 module Cost = Sweep_machine.Cost
 module Cpu = Sweep_machine.Cpu
 module Exec = Sweep_machine.Exec
+module Acc = Sweep_machine.Exec.Acc
 module Mstats = Sweep_machine.Mstats
 module Nvm = Sweep_mem.Nvm
 module Cache = Sweep_mem.Cache
@@ -13,13 +14,67 @@ let name = "WT-VCache"
 type t = {
   cfg : Cfg.t;
   prog : Sweep_isa.Program.t;
+  dec : Sweep_isa.Decoded.t;
   cpu : Cpu.t;
   nvm : Nvm.t;
   cache : Cache.t;
   stats : Mstats.t;
+  acc : Acc.t;
+  mutable ops : Exec.mem_ops;
   detector : Sweep_energy.Detector.t;
   mutable shadow : (int array * int) option;
 }
+
+let e t = t.cfg.Cfg.energy
+
+let make_ops t =
+  let e = e t in
+  let hit_ns = float_of_int e.E.cache_hit_cycles *. E.cycle_ns e
+  and e_hit = e.E.e_cache_access in
+  let miss_ns = e.E.nvm_read_ns +. hit_ns
+  and e_miss = e.E.e_nvm_read +. e_hit in
+  let nvm_write_ns = e.E.nvm_write_ns
+  and e_nvm_write = e.E.e_nvm_write in
+  Exec.nop_region_ops
+    {
+      Exec.load =
+        (fun addr ->
+          let li = Cache.find t.cache addr in
+          if li <> Cache.no_line then begin
+            Cache.record_hit t.cache;
+            Cache.touch t.cache li;
+            Acc.charge t.acc ~ns:hit_ns ~joules:e_hit;
+            Cache.read_word t.cache li addr
+          end
+          else begin
+            Cache.record_miss t.cache;
+            (* Write-through lines are never dirty, so eviction is
+               silent. *)
+            let base = Layout.line_base addr in
+            let vi = Cache.victim t.cache addr in
+            Cache.install_victim t.cache vi addr;
+            Nvm.read_line_into t.nvm base ~dst:(Cache.data t.cache)
+              ~dst_pos:(Cache.data_pos t.cache vi);
+            Acc.charge t.acc ~ns:miss_ns ~joules:e_miss;
+            Cache.read_word t.cache vi addr
+          end);
+      store =
+        (fun addr value ->
+          (* Write-through, no-write-allocate: update the line if
+             present, and always write NVM synchronously. *)
+          let li = Cache.find t.cache addr in
+          if li <> Cache.no_line then begin
+            Cache.record_hit t.cache;
+            Cache.touch t.cache li;
+            Cache.write_word t.cache li addr value
+          end
+          else Cache.record_miss t.cache;
+          Nvm.write_word t.nvm addr value;
+          Acc.charge t.acc ~ns:nvm_write_ns ~joules:e_nvm_write);
+      clwb = (fun _ -> ());
+      fence = (fun () -> ());
+      region_end = (fun () -> ());
+    }
 
 let create cfg prog =
   let nvm = Nvm.create () in
@@ -29,70 +84,38 @@ let create cfg prog =
     | Some d -> d
     | None -> Sweep_energy.Detector.jit ~v_backup:2.9 ~v_restore:3.2
   in
-  {
-    cfg;
-    prog;
-    cpu = Cpu.create ~entry:prog.entry;
-    nvm;
-    cache =
-      Cache.create ~size_bytes:cfg.Cfg.cache_size_bytes ~assoc:cfg.Cfg.cache_assoc;
-    stats = Mstats.create ();
-    detector;
-    shadow = None;
-  }
+  let t =
+    {
+      cfg;
+      prog;
+      dec = Sweep_isa.Decoded.compile prog;
+      cpu = Cpu.create ~entry:prog.entry;
+      nvm;
+      cache =
+        Cache.create ~size_bytes:cfg.Cfg.cache_size_bytes
+          ~assoc:cfg.Cfg.cache_assoc;
+      stats = Mstats.create ();
+      acc = (let a = Acc.create () in Acc.set_rates a cfg.Cfg.energy; a);
+      ops = Exec.null_ops;
+      detector;
+      shadow = None;
+    }
+  in
+  t.ops <- make_ops t;
+  t
 
 let cpu t = t.cpu
 let nvm t = t.nvm
 let cache t = Some t.cache
 let mstats t = t.stats
+let acc t = t.acc
 let detector t = t.detector
 let halted t = t.cpu.Cpu.halted
-let e t = t.cfg.Cfg.energy
 
-let hit_cost t =
-  Cost.make
-    ~ns:(float_of_int (e t).E.cache_hit_cycles *. E.cycle_ns (e t))
-    ~joules:(e t).E.e_cache_access
-
-let load t addr =
-  match Cache.find t.cache addr with
-  | Some line ->
-    Cache.record_hit t.cache;
-    Cache.touch t.cache line;
-    (Cache.read_word line addr, hit_cost t)
-  | None ->
-    Cache.record_miss t.cache;
-    (* Write-through lines are never dirty, so eviction is silent. *)
-    let base = Layout.line_base addr in
-    let data = Nvm.read_line t.nvm base in
-    let line = Cache.install t.cache addr data in
-    ( Cache.read_word line addr,
-      Cost.(
-        make ~ns:(e t).E.nvm_read_ns ~joules:(e t).E.e_nvm_read ++ hit_cost t) )
-
-let store t addr value =
-  (* Write-through, no-write-allocate: update the line if present, and
-     always write NVM synchronously. *)
-  (match Cache.find t.cache addr with
-  | Some line ->
-    Cache.record_hit t.cache;
-    Cache.touch t.cache line;
-    Cache.write_word line addr value
-  | None -> Cache.record_miss t.cache);
-  Nvm.write_word t.nvm addr value;
-  Cost.make ~ns:(e t).E.nvm_write_ns ~joules:(e t).E.e_nvm_write
-
-let mem_ops t =
-  Exec.nop_region_ops
-    {
-      Exec.load = (fun addr _ -> load t addr);
-      store = (fun addr value _ -> store t addr value);
-      clwb = (fun _ _ -> Cost.zero);
-      fence = (fun _ -> Cost.zero);
-      region_end = (fun _ -> Cost.zero);
-    }
-
-let step t ~now_ns = Exec.step t.cfg t.cpu t.prog t.stats (mem_ops t) ~now_ns
+let step t =
+  if t.cfg.Cfg.reference_interp then
+    Exec.step_reference t.cpu t.prog t.stats t.ops t.acc
+  else Exec.step t.cpu t.dec t.stats t.ops t.acc
 
 let jit_backup_cost t = Some (Jit_common.reg_backup (e t))
 let commit_jit_backup t ~now_ns:_ = t.shadow <- Some (Cpu.snapshot t.cpu)
@@ -113,7 +136,7 @@ let on_reboot t ~now_ns =
          { name = "restore regs"; cat = Sweep_obs.Event.Power });
   let cost = Jit_common.reg_restore (e t) in
   t.stats.Mstats.restore_events <- t.stats.Mstats.restore_events + 1;
-  t.stats.Mstats.restore_joules <- t.stats.Mstats.restore_joules +. cost.Cost.joules;
+  t.stats.Mstats.f.Mstats.restore_joules <- t.stats.Mstats.f.Mstats.restore_joules +. cost.Cost.joules;
   cost
 
 let drain _ ~now_ns:_ = Cost.zero
@@ -131,6 +154,7 @@ let packed cfg prog =
       let nvm = nvm
       let cache = cache
       let mstats = mstats
+      let acc = acc
       let detector = detector
       let step = step
       let halted = halted

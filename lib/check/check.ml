@@ -101,14 +101,16 @@ let scout ~config design compiled ~max_instructions =
         | _ -> ())
   in
   Fun.protect ~finally:detach @@ fun () ->
+  let acc = MI.acc m in
   let now = ref 0.0 and n = ref 0 in
   let boundaries = ref [] in
   let last_regions = ref stats.Mstats.regions in
   while not (MI.halted m) do
     if !n >= max_instructions then
       raise (Driver.Stagnation "Check.scout: instruction guard exceeded");
-    let c = MI.step m ~now_ns:!now in
-    now := !now +. c.Cost.ns;
+    acc.Sweep_machine.Exec.Acc.now <- !now;
+    MI.step m;
+    now := !now +. acc.Sweep_machine.Exec.Acc.ns;
     incr n;
     if stats.Mstats.regions > !last_regions then begin
       last_regions := stats.Mstats.regions;
@@ -146,6 +148,7 @@ let snapshot_oracle ~config design compiled ~boundary_instrs =
   let m = H.machine ~config design compiled.Pipeline.program in
   let layout = compiled.Pipeline.program.Sweep_isa.Program.layout in
   let nvm = MI.nvm m in
+  let acc = MI.acc m in
   let now = ref 0.0 and n = ref 0 in
   let snap instr =
     {
@@ -159,8 +162,9 @@ let snapshot_oracle ~config design compiled ~boundary_instrs =
     :: List.map
          (fun target ->
            while !n < target && not (MI.halted m) do
-             let c = MI.step m ~now_ns:!now in
-             now := !now +. c.Cost.ns;
+             acc.Sweep_machine.Exec.Acc.now <- !now;
+             MI.step m;
+             now := !now +. acc.Sweep_machine.Exec.Acc.ns;
              incr n
            done;
            let c = MI.drain m ~now_ns:!now in

@@ -24,12 +24,33 @@ val is_empty : t -> bool
 val push : t -> base:int -> data:int array -> unit
 (** Append a line image (data is copied). *)
 
+val push_from : t -> base:int -> src:int array -> src_pos:int -> unit
+(** Like {!push} but blits 16 words from [src] at [src_pos] — the
+    eviction path pushes straight out of the cache's contiguous data
+    array without an intermediate copy. *)
+
 val search : t -> int -> (int array * int) option
-(** [search t base] returns the *youngest* entry for the line, together
-    with the number of entries scanned to find it (sequential-search cost
-    model).  [None] scans everything. *)
+(** [search t base] returns a copy of the *youngest* entry for the
+    line, together with the number of entries scanned to find it
+    (sequential-search cost model).  [None] scans everything. *)
+
+val search_into : t -> int -> dst:int array -> dst_pos:int -> int
+(** Allocation-free {!search}: blits the youngest match into [dst] at
+    [dst_pos] and returns the scanned count (>= 1), or returns 0 when
+    the line is absent ([dst] untouched). *)
 
 val entries_oldest_first : t -> (int * int array) list
+(** Allocates; tests and fault injection only — the drain path uses the
+    slot accessors below. *)
+
+val base_at : t -> int -> int
+(** Base address of the [i]-th entry, oldest-first. *)
+
+val data : t -> int array
+(** The backing word store; entry [i] occupies 16 words at
+    [data_pos t i].  Read-only by convention. *)
+
+val data_pos : t -> int -> int
 
 val truncate_to_oldest : t -> keep:int -> unit
 (** Drop all but the oldest [keep] entries.  Fault injection only:

@@ -2,6 +2,7 @@ module Cfg = Sweep_machine.Config
 module Cost = Sweep_machine.Cost
 module Cpu = Sweep_machine.Cpu
 module Exec = Sweep_machine.Exec
+module Acc = Sweep_machine.Exec.Acc
 module Mstats = Sweep_machine.Mstats
 module Nvm = Sweep_mem.Nvm
 module Cache = Sweep_mem.Cache
@@ -11,6 +12,15 @@ module Sink = Sweep_obs.Sink
 module Ev = Sweep_obs.Event
 
 let name = "SweepCache"
+
+(* All-float (flat): phase deadlines are rewritten at every region
+   boundary, and a mutable float field in the mixed [buf] record would
+   be boxed on each write. *)
+type buf_times = {
+  mutable p1_end : float;
+  mutable p2_end : float;
+  mutable fill_start : float;   (* when this buffer last became Filling *)
+}
 
 type buf_state =
   | Idle        (* free for the next region *)
@@ -22,73 +32,56 @@ type buf = {
   pb : Persist_buffer.t;
   mutable state : buf_state;
   mutable seq : int;              (* region sequence number; -1 when idle *)
-  mutable p1_end : float;
-  mutable p2_end : float;
-  mutable pending_clean : int list;  (* line bases to mark clean at p1_end *)
-  mutable fill_start : float;     (* when this buffer last became Filling *)
+  bt : buf_times;
+  pc : int array;                 (* line bases to mark clean at p1_end *)
+  mutable pc_n : int;
+}
+
+(* All-float scratch record (flat representation, so field writes never
+   allocate): the hot-path helpers below communicate times and costs
+   through these fields instead of float arguments and returns, which
+   the non-flambda compiler boxes at every call boundary. *)
+type scr = {
+  mutable clock : float;     (* [sync_at] target time *)
+  mutable ev_ns : float;     (* [evict_for]: eviction cost *)
+  mutable ev_joules : float;
+  mutable ev_now : float;    (* [evict_for]: possibly-stalled clock *)
+  mutable f_ns : float;      (* [consult]: line-fill cost *)
+  mutable f_joules : float;
+  mutable dma_free : float;  (* single DMA channel availability *)
+  mutable dma_next : float;
+      (* Earliest pending phase deadline across all buffers — [sync_at]'s
+         fast-path bound.  Always <= the true earliest event (a
+         conservative hint): sites that change buffer states or phase
+         times drop it to -inf, forcing one slow pass that recomputes
+         the exact minimum (+inf when nothing is in flight). *)
 }
 
 type t = {
   cfg : Cfg.t;
   prog : Sweep_isa.Program.t;
+  dec : Sweep_isa.Decoded.t;
   cpu : Cpu.t;
   nvm : Nvm.t;
   cache : Cache.t;
   stats : Mstats.t;
+  acc : Acc.t;
+  scr : scr;
+  mutable ops : Exec.mem_ops;
   detector : Sweep_energy.Detector.t;
   bufs : buf array;
   mutable active : int;
   mutable region_seq : int;
-  mutable dma_free : float;       (* single DMA channel availability *)
   wbi : Wbi_table.t;              (* current region's dirty lines *)
   mutable miss_fill_sum : int;    (* Σ buffer occupancy at load misses *)
   mutable miss_fill_n : int;
 }
 
-let create cfg prog =
-  let nvm = Nvm.create () in
-  Sweep_machine.Loader.load nvm prog;
-  let bufs =
-    Array.init (max 1 cfg.Cfg.buffer_count) (fun _ ->
-        {
-          pb = Persist_buffer.create ~capacity:cfg.Cfg.buffer_entries;
-          state = Idle;
-          seq = -1;
-          p1_end = 0.0;
-          p2_end = 0.0;
-          pending_clean = [];
-          fill_start = 0.0;
-        })
-  in
-  bufs.(0).state <- Filling;
-  bufs.(0).seq <- 1;
-  if Sink.on () then Sink.emit ~ns:0.0 (Ev.Region_begin { seq = 1; buf = 0 });
-  let detector =
-    match cfg.Cfg.detector_override with
-    | Some d -> d
-    | None -> Sweep_energy.Detector.sweep ~v_restore:3.3
-  in
-  {
-    cfg;
-    prog;
-    cpu = Cpu.create ~entry:prog.entry;
-    nvm;
-    cache = Cache.create ~size_bytes:cfg.Cfg.cache_size_bytes ~assoc:cfg.Cfg.cache_assoc;
-    stats = Mstats.create ();
-    detector;
-    bufs;
-    active = 0;
-    region_seq = 1;
-    dma_free = 0.0;
-    wbi = Wbi_table.create ();
-    miss_fill_sum = 0;
-    miss_fill_n = 0;
-  }
-
 let cpu t = t.cpu
 let nvm t = t.nvm
 let cache t = Some t.cache
 let mstats t = t.stats
+let acc t = t.acc
 let detector t = t.detector
 let halted t = t.cpu.Cpu.halted
 
@@ -97,264 +90,139 @@ let e t = t.cfg.Cfg.energy
 (* Apply a sealed buffer's entries to their NVM home locations,
    oldest-first so younger duplicates win (footnote 4). *)
 let apply_entries t buf =
-  List.iter
-    (fun (base, data) -> Nvm.write_line t.nvm base data)
-    (Persist_buffer.entries_oldest_first buf.pb);
-  Persist_buffer.clear buf.pb
+  let pb = buf.pb in
+  for k = 0 to Persist_buffer.count pb - 1 do
+    Nvm.write_line_from t.nvm (Persist_buffer.base_at pb k)
+      ~src:(Persist_buffer.data pb) ~src_pos:(Persist_buffer.data_pos pb k)
+  done;
+  Persist_buffer.clear pb
 
 (* Mark a finished flush's lines clean; they stay resident (§4.2: the
    flushed data remain in the cache with dirty bits reset). *)
 let clean_flushed t buf =
-  List.iter
-    (fun base ->
-      match Cache.find t.cache base with
-      | Some line when line.Cache.dirty && line.Cache.dirty_region = buf.seq ->
-        line.Cache.dirty <- false;
-        line.Cache.dirty_region <- -1
-      | Some _ | None -> ())
-    buf.pending_clean;
-  buf.pending_clean <- []
+  for k = 0 to buf.pc_n - 1 do
+    let base = buf.pc.(k) in
+    let li = Cache.find t.cache base in
+    if
+      li <> Cache.no_line
+      && Cache.dirty t.cache li
+      && Cache.dirty_region t.cache li = buf.seq
+    then Cache.clear_dirty t.cache li
+  done;
+  buf.pc_n <- 0
 
-(* Advance the background DMA engine to [now]: complete any phases whose
-   deadline has passed. *)
-let sync t now =
-  Array.iter
-    (fun buf ->
-      if buf.state = Phase1 && buf.p1_end <= now then begin
+(* Advance the background DMA engine: complete any phases whose
+   deadline has passed.  [sync_at] reads its target time from the
+   scratch record — it sits behind every load/store, so no float may
+   cross the call and no closure may be allocated here. *)
+let sync_at t =
+  let now = t.scr.clock in
+  (* Fast path: nothing in flight completes before [dma_next], and the
+     vast majority of accesses land between phase deadlines. *)
+  if now >= t.scr.dma_next then begin
+    let bufs = t.bufs in
+    for i = 0 to Array.length bufs - 1 do
+      let buf = Array.unsafe_get bufs i in
+      if buf.state = Phase1 && buf.bt.p1_end <= now then begin
         clean_flushed t buf;
         buf.state <- Phase2
       end;
-      if buf.state = Phase2 && buf.p2_end <= now then begin
+      if buf.state = Phase2 && buf.bt.p2_end <= now then begin
         apply_entries t buf;
         buf.state <- Idle;
         buf.seq <- -1
-      end)
-    t.bufs
+      end
+    done;
+    (* Recompute the exact earliest pending deadline (accumulated in the
+       flat scratch field — a [ref] here would allocate per slow pass,
+       which region-end frequency would turn into per-instruction
+       garbage). *)
+    t.scr.dma_next <- infinity;
+    for i = 0 to Array.length bufs - 1 do
+      let buf = Array.unsafe_get bufs i in
+      match buf.state with
+      | Phase1 ->
+        if buf.bt.p1_end < t.scr.dma_next then t.scr.dma_next <- buf.bt.p1_end
+      | Phase2 ->
+        if buf.bt.p2_end < t.scr.dma_next then t.scr.dma_next <- buf.bt.p2_end
+      | Idle | Filling -> ()
+    done
+  end
+
+(* Cold-path convenience (crash, drain, recovery). *)
+let sync t now =
+  t.scr.clock <- now;
+  sync_at t
+
+(* Hot-path variant: the clock comes from the accumulator. *)
+let sync_clock t =
+  t.scr.clock <- t.acc.Acc.now;
+  sync_at t
 
 let active_buf t = t.bufs.(t.active)
 
-(* The buffer (if any) that still owns a given prior region. *)
-let buf_of_seq t seq =
-  let found = ref None in
-  Array.iter (fun b -> if b.seq = seq then found := Some b) t.bufs;
-  !found
+(* Index of the buffer (if any) that still owns a given prior region;
+   -1 when none.  Top-level recursion, immediate result: the option
+   version allocated on every cross-region store and eviction. *)
+let rec buf_idx_from bufs seq i =
+  if i >= Array.length bufs then -1
+  else if (Array.unsafe_get bufs i).seq = seq then i
+  else buf_idx_from bufs seq (i + 1)
 
-(* Stall until a prior region's s-phase1 completes (WAW, §4.3, and dirty
-   evictions of prior-region lines).  Returns stall cost. *)
-let stall_until_phase1 t buf now =
-  let target = max now buf.p1_end in
-  let stall_ns = target -. now in
-  sync t target;
-  (* Stall-time power is charged uniformly by the executor. *)
-  Cost.make ~ns:stall_ns ~joules:0.0
+let buf_idx_of_seq t seq = buf_idx_from t.bufs seq 0
 
-(* Fetch a line image for a miss: consult the persist buffers before NVM
-   (§4.4), honouring the empty-bit policy.  Returns data and cost. *)
-let fetch_line t base now =
-  let cfg = t.cfg in
-  let searchable buf =
-    match cfg.Cfg.search with
-    | Cfg.Nvm_search -> true
-    | Cfg.Empty_bit -> not (Persist_buffer.is_empty buf.pb)
-  in
-  (* Newest data first: the active (filling) buffer, then the other(s) in
-     decreasing seq order. *)
-  let order =
-    let others =
-      Array.to_list t.bufs
-      |> List.filter (fun b -> b != active_buf t)
-      |> List.sort (fun a b -> compare b.seq a.seq)
-    in
-    active_buf t :: others
-  in
-  let fill_now =
-    Array.fold_left (fun acc b -> acc + Persist_buffer.count b.pb) 0 t.bufs
-  in
-  t.miss_fill_sum <- t.miss_fill_sum + fill_now;
-  t.miss_fill_n <- t.miss_fill_n + 1;
-  let search_cost scanned =
-    Cost.make
-      ~ns:(float_of_int scanned *. (e t).E.buffer_search_ns)
-      ~joules:(float_of_int scanned *. (e t).E.e_buffer_search)
-  in
-  let rec consult searched_any scanned_acc cost = function
-    | [] ->
-      if searched_any then begin
-        t.stats.Mstats.buffer_searches <- t.stats.Mstats.buffer_searches + 1;
-        if Sink.on () then
-          Sink.emit ~ns:now
-            (Ev.Buffer_search { scanned = scanned_acc; hit = false })
-      end
-      else begin
-        t.stats.Mstats.buffer_bypasses <- t.stats.Mstats.buffer_bypasses + 1;
-        if Sink.on () then Sink.emit ~ns:now Ev.Buffer_bypass
-      end;
-      let data = Nvm.read_line t.nvm base in
-      let nvm_cost =
-        Cost.make ~ns:(e t).E.nvm_read_ns ~joules:(e t).E.e_nvm_read
-      in
-      (data, Cost.(cost ++ nvm_cost))
-    | buf :: rest ->
-      if not (searchable buf) then consult searched_any scanned_acc cost rest
-      else begin
-        (* Even an unsuccessful sequential probe of an empty buffer costs
-           one slot check in Nvm_search mode. *)
-        match Persist_buffer.search buf.pb base with
-        | Some (data, scanned) ->
-          t.stats.Mstats.buffer_searches <- t.stats.Mstats.buffer_searches + 1;
-          t.stats.Mstats.buffer_hits <- t.stats.Mstats.buffer_hits + 1;
-          if Sink.on () then
-            Sink.emit ~ns:now
-              (Ev.Buffer_search { scanned = scanned_acc + scanned; hit = true });
-          (Array.copy data, Cost.(cost ++ search_cost scanned))
-        | None ->
-          let scanned = max 1 (Persist_buffer.count buf.pb) in
-          consult true (scanned_acc + scanned)
-            Cost.(cost ++ search_cost scanned)
-            rest
-      end
-  in
-  consult false 0 Cost.zero order
-
-(* Make room for a fill: handle the victim line.  Prior-region dirty
-   victims wait for their flush (then leave cleanly); current-region
-   dirty victims are written back into the active persist buffer
-   (t-phase1). *)
-let evict_for t addr now =
-  let victim = Cache.victim t.cache addr in
-  if victim.Cache.valid && victim.Cache.dirty then begin
-    if victim.Cache.dirty_region <> (active_buf t).seq then begin
-      match buf_of_seq t victim.Cache.dirty_region with
-      | Some prior when prior.state = Phase1 || prior.state = Filling ->
-        (* Filling cannot happen for a prior seq; Phase1 means the flush
-           is still in flight. *)
-        let c = stall_until_phase1 t prior now in
-        (c, now +. c.Cost.ns)
-      | Some _ | None ->
-        (* Flush already completed; sync must have cleaned it. *)
-        sync t now;
-        (Cost.zero, now)
-    end
-    else begin
-      Persist_buffer.push (active_buf t).pb ~base:victim.Cache.base
-        ~data:victim.Cache.data;
-      if Sink.on () then
-        Sink.emit ~ns:now (Ev.Cache_writeback { base = victim.Cache.base });
-      (* The buffer is NVM-resident: this write-back is an NVM write. *)
-      Nvm.add_external_writes t.nvm ~events:1 ~bytes:Layout.line_bytes;
-      let peak = Persist_buffer.peak (active_buf t).pb in
-      if peak > t.stats.Mstats.buffer_peak then
-        t.stats.Mstats.buffer_peak <- peak;
-      ( Cost.make ~ns:(e t).E.nvm_write_ns ~joules:(e t).E.e_nvm_line_write,
-        now )
-    end
-  end
-  else (Cost.zero, now)
-
-let cache_hit_cost t =
-  Cost.make
-    ~ns:(float_of_int (e t).E.cache_hit_cycles *. E.cycle_ns (e t))
-    ~joules:(e t).E.e_cache_access
-
-let load t addr now =
-  sync t now;
-  match Cache.find t.cache addr with
-  | Some line ->
-    Cache.record_hit t.cache;
-    Cache.touch t.cache line;
-    (Cache.read_word line addr, cache_hit_cost t)
-  | None ->
-    Cache.record_miss t.cache;
-    if Sink.on () then Sink.emit ~ns:now (Ev.Cache_miss { addr; write = false });
-    let evict_cost, now = evict_for t addr now in
-    let base = Layout.line_base addr in
-    let data, fetch_cost = fetch_line t base now in
-    let line = Cache.install t.cache addr data in
-    (Cache.read_word line addr, Cost.(evict_cost ++ fetch_cost ++ cache_hit_cost t))
-
-let mark_dirty t line =
+let mark_dirty t li =
   let buf = active_buf t in
   (* A dirty line here must belong to the current region: stores to a
      prior region's dirty lines stall until the flush cleans them. *)
-  assert ((not line.Cache.dirty) || line.Cache.dirty_region = buf.seq);
-  if not line.Cache.dirty then begin
-    line.Cache.dirty <- true;
-    line.Cache.dirty_region <- buf.seq;
-    Wbi_table.mark t.wbi line.Cache.base
+  assert ((not (Cache.dirty t.cache li)) || Cache.dirty_region t.cache li = buf.seq);
+  if not (Cache.dirty t.cache li) then begin
+    Cache.set_dirty t.cache li ~region:buf.seq;
+    Wbi_table.mark t.wbi (Cache.line_addr t.cache li)
   end
-
-let store t addr value now =
-  sync t now;
-  match Cache.find t.cache addr with
-  | Some line ->
-    Cache.record_hit t.cache;
-    let waw_cost =
-      if line.Cache.dirty && line.Cache.dirty_region <> (active_buf t).seq
-      then begin
-        (* §4.3: the line belongs to a prior region still in s-phase1. *)
-        match buf_of_seq t line.Cache.dirty_region with
-        | Some prior when prior.state = Phase1 ->
-          let c = stall_until_phase1 t prior now in
-          t.stats.Mstats.waw_stall_ns <- t.stats.Mstats.waw_stall_ns +. c.Cost.ns;
-          if Sink.on () then
-            Sink.emit ~ns:now
-              (Ev.Waw_stall { seq = line.Cache.dirty_region; ns = c.Cost.ns });
-          c
-        | Some _ | None ->
-          sync t now;
-          Cost.zero
-      end
-      else Cost.zero
-    in
-    Cache.touch t.cache line;
-    Cache.write_word line addr value;
-    mark_dirty t line;
-    Cost.(waw_cost ++ cache_hit_cost t)
-  | None ->
-    Cache.record_miss t.cache;
-    if Sink.on () then Sink.emit ~ns:now (Ev.Cache_miss { addr; write = true });
-    let evict_cost, now = evict_for t addr now in
-    let base = Layout.line_base addr in
-    let data, fetch_cost = fetch_line t base now in
-    let line = Cache.install t.cache addr data in
-    Cache.write_word line addr value;
-    mark_dirty t line;
-    Cost.(evict_cost ++ fetch_cost ++ cache_hit_cost t)
 
 (* Region boundary (§3.2): seal the active buffer — flush the region's
    dirty lines into it and schedule both persistence phases on the DMA
    engine — then hand execution to the other buffer, stalling only if it
    has not finished its own s-phase2 (structural hazard, §3.3). *)
-let region_end t now =
-  sync t now;
+let region_end t =
+  let now = t.acc.Acc.now in
+  sync_clock t;
   let cur = active_buf t in
-  let flush_bases = Wbi_table.bases t.wbi in
+  (* Flush the region's dirty lines (WBI marking order) into the buffer,
+     recording each base so the s-phase1 completion can clear its dirty
+     bit. *)
+  cur.pc_n <- 0;
+  for k = 0 to Wbi_table.count t.wbi - 1 do
+    let base = Wbi_table.get t.wbi k in
+    let li = Cache.find t.cache base in
+    if
+      li <> Cache.no_line
+      && Cache.dirty t.cache li
+      && Cache.dirty_region t.cache li = cur.seq
+    then begin
+      Persist_buffer.push_from cur.pb ~base ~src:(Cache.data t.cache)
+        ~src_pos:(Cache.data_pos t.cache li);
+      cur.pc.(cur.pc_n) <- base;
+      cur.pc_n <- cur.pc_n + 1
+    end
+  done;
   Wbi_table.clear t.wbi;
-  let flushed =
-    List.filter_map
-      (fun base ->
-        match Cache.find t.cache base with
-        | Some line when line.Cache.dirty && line.Cache.dirty_region = cur.seq ->
-          Persist_buffer.push cur.pb ~base ~data:line.Cache.data;
-          Some base
-        | Some _ | None -> None)
-      flush_bases
-  in
   let peak = Persist_buffer.peak cur.pb in
   if peak > t.stats.Mstats.buffer_peak then t.stats.Mstats.buffer_peak <- peak;
-  let flush_n = List.length flushed in
+  let flush_n = cur.pc_n in
   Nvm.add_external_writes t.nvm ~events:flush_n
     ~bytes:(flush_n * Layout.line_bytes);
   let total = Persist_buffer.count cur.pb in
-  let dma_start = max now t.dma_free in
+  let dma_start = if now >= t.scr.dma_free then now else t.scr.dma_free in
   let p1_end = dma_start +. (float_of_int flush_n *. (e t).E.dma_line_ns) in
   let p2_end = p1_end +. (float_of_int total *. (e t).E.dma_line_ns) in
   cur.state <- Phase1;
-  cur.p1_end <- p1_end;
-  cur.p2_end <- p2_end;
-  cur.pending_clean <- flushed;
-  t.dma_free <- p2_end;
-  t.stats.Mstats.persistence_ns <- t.stats.Mstats.persistence_ns +. (p2_end -. now);
+  cur.bt.p1_end <- p1_end;
+  cur.bt.p2_end <- p2_end;
+  t.scr.dma_next <- Float.neg_infinity;
+  t.scr.dma_free <- p2_end;
+  t.stats.Mstats.f.Mstats.persistence_ns <- t.stats.Mstats.f.Mstats.persistence_ns +. (p2_end -. now);
   (* Background-persistence energy is charged now; its time is carried by
      the completion timestamps. *)
   let background_joules =
@@ -366,13 +234,14 @@ let region_end t now =
   let stall_ns =
     if next.state = Idle then 0.0
     else begin
-      let target = max now next.p2_end in
+      let target = if now >= next.bt.p2_end then now else next.bt.p2_end in
       let s = target -. now in
-      sync t target;
+      t.scr.clock <- target;
+      sync_at t;
       s
     end
   in
-  t.stats.Mstats.wait_ns <- t.stats.Mstats.wait_ns +. stall_ns;
+  t.stats.Mstats.f.Mstats.wait_ns <- t.stats.Mstats.f.Mstats.wait_ns +. stall_ns;
   assert (next.state = Idle);
   if Sink.on () then begin
     let cur_idx = t.active in
@@ -383,7 +252,7 @@ let region_end t now =
            buf = cur_idx;
            seq = cur.seq;
            phase = Ev.Fill;
-           start_ns = cur.fill_start;
+           start_ns = cur.bt.fill_start;
            end_ns = now;
          });
     Sink.emit ~ns:now
@@ -412,21 +281,314 @@ let region_end t now =
   t.region_seq <- t.region_seq + 1;
   next.state <- Filling;
   next.seq <- t.region_seq;
-  next.fill_start <- now +. stall_ns;
+  next.bt.fill_start <- now +. stall_ns;
   t.active <- next_idx;
-  Cost.make ~ns:stall_ns ~joules:background_joules
+  (* Acc.charge, inlined by hand: the call is not inlined by the
+     non-flambda compiler, so computed float arguments would be boxed. *)
+  let a = t.acc in
+  a.Acc.ns <- a.Acc.ns +. stall_ns;
+  a.Acc.joules <- a.Acc.joules +. background_joules
 
-let mem_ops t =
+(* Make room for a fill: handle the victim line.  Prior-region dirty
+   victims wait for their flush (then leave cleanly); current-region
+   dirty victims are written back into the active persist buffer
+   (t-phase1).  Returns the chosen victim way (the single set scan
+   serves both eviction and install); the eviction cost and the
+   possibly-stalled clock land in [t.scr]. *)
+let evict_for t addr =
+  let now = t.acc.Acc.now in
+  let cache = t.cache in
+  let vi = Cache.victim cache addr in
+  t.scr.ev_ns <- 0.0;
+  t.scr.ev_joules <- 0.0;
+  t.scr.ev_now <- now;
+  if Cache.valid cache vi && Cache.dirty cache vi then begin
+    if Cache.dirty_region cache vi <> (active_buf t).seq then begin
+      let bi = buf_idx_of_seq t (Cache.dirty_region cache vi) in
+      if
+        bi >= 0
+        &&
+        let st = t.bufs.(bi).state in
+        st = Phase1 || st = Filling
+      then begin
+        (* Filling cannot happen for a prior seq; Phase1 means the flush
+           is still in flight — stall until it completes (§4.3). *)
+        let prior = t.bufs.(bi) in
+        let target = if now >= prior.bt.p1_end then now else prior.bt.p1_end in
+        t.scr.clock <- target;
+        sync_at t;
+        let stall = target -. now in
+        t.scr.ev_ns <- stall;
+        t.scr.ev_now <- now +. stall
+      end
+      else begin
+        (* Flush already completed; sync must have cleaned it. *)
+        t.scr.clock <- now;
+        sync_at t
+      end
+    end
+    else begin
+      Persist_buffer.push_from (active_buf t).pb
+        ~base:(Cache.line_addr cache vi) ~src:(Cache.data cache)
+        ~src_pos:(Cache.data_pos cache vi);
+      if Sink.on () then
+        Sink.emit ~ns:now
+          (Ev.Cache_writeback { base = Cache.line_addr cache vi });
+      (* The buffer is NVM-resident: this write-back is an NVM write. *)
+      Nvm.add_external_writes t.nvm ~events:1 ~bytes:Layout.line_bytes;
+      let peak = Persist_buffer.peak (active_buf t).pb in
+      if peak > t.stats.Mstats.buffer_peak then
+        t.stats.Mstats.buffer_peak <- peak;
+      t.scr.ev_ns <- (e t).E.nvm_write_ns;
+      t.scr.ev_joules <- (e t).E.e_nvm_line_write
+    end
+  end;
+  vi
+
+(* Consult order (§4.4): the active (filling) buffer first, then the
+   others newest-region-first — decreasing seq, ties in array order,
+   exactly the stable sort the list-based implementation produced. *)
+let rec best_unvisited bufs visited i best best_seq =
+  if i >= Array.length bufs then best
+  else begin
+    let seq = (Array.unsafe_get bufs i).seq in
+    if visited land (1 lsl i) = 0 && (best < 0 || seq > best_seq) then
+      best_unvisited bufs visited (i + 1) i seq
+    else best_unvisited bufs visited (i + 1) best best_seq
+  end
+
+let next_consult_buf t visited =
+  if visited land (1 lsl t.active) = 0 then t.active
+  else best_unvisited t.bufs visited 0 (-1) min_int
+
+(* Probe the persist buffers for a missed line (honouring the empty-bit
+   policy), falling back to the NVM home location.  The matched image is
+   blitted straight into the cache data slot at [dst_pos]; fill costs
+   accumulate left-to-right into [t.scr.f_ns]/[t.scr.f_joules].  Every
+   argument is immediate, so the whole walk allocates nothing. *)
+let rec consult t base ~dst_pos ~searched ~scanned ~visited =
+  let bi = next_consult_buf t visited in
+  if bi < 0 then begin
+    (if searched then begin
+       t.stats.Mstats.buffer_searches <- t.stats.Mstats.buffer_searches + 1;
+       if Sink.on () then
+         Sink.emit ~ns:t.scr.ev_now
+           (Ev.Buffer_search { scanned; hit = false })
+     end
+     else begin
+       t.stats.Mstats.buffer_bypasses <- t.stats.Mstats.buffer_bypasses + 1;
+       if Sink.on () then Sink.emit ~ns:t.scr.ev_now Ev.Buffer_bypass
+     end);
+    Nvm.read_line_into t.nvm base ~dst:(Cache.data t.cache) ~dst_pos;
+    t.scr.f_ns <- t.scr.f_ns +. (e t).E.nvm_read_ns;
+    t.scr.f_joules <- t.scr.f_joules +. (e t).E.e_nvm_read
+  end
+  else begin
+    let visited = visited lor (1 lsl bi) in
+    let buf = t.bufs.(bi) in
+    let searchable =
+      match t.cfg.Cfg.search with
+      | Cfg.Nvm_search -> true
+      | Cfg.Empty_bit -> not (Persist_buffer.is_empty buf.pb)
+    in
+    if not searchable then consult t base ~dst_pos ~searched ~scanned ~visited
+    else begin
+      (* Even an unsuccessful sequential probe of an empty buffer costs
+         one slot check in Nvm_search mode. *)
+      let scanned_hit =
+        Persist_buffer.search_into buf.pb base ~dst:(Cache.data t.cache)
+          ~dst_pos
+      in
+      if scanned_hit > 0 then begin
+        t.stats.Mstats.buffer_searches <- t.stats.Mstats.buffer_searches + 1;
+        t.stats.Mstats.buffer_hits <- t.stats.Mstats.buffer_hits + 1;
+        if Sink.on () then
+          Sink.emit ~ns:t.scr.ev_now
+            (Ev.Buffer_search { scanned = scanned + scanned_hit; hit = true });
+        t.scr.f_ns <-
+          t.scr.f_ns +. (float_of_int scanned_hit *. (e t).E.buffer_search_ns);
+        t.scr.f_joules <-
+          t.scr.f_joules
+          +. (float_of_int scanned_hit *. (e t).E.e_buffer_search)
+      end
+      else begin
+        let sc = max 1 (Persist_buffer.count buf.pb) in
+        t.scr.f_ns <- t.scr.f_ns +. (float_of_int sc *. (e t).E.buffer_search_ns);
+        t.scr.f_joules <-
+          t.scr.f_joules +. (float_of_int sc *. (e t).E.e_buffer_search);
+        consult t base ~dst_pos ~searched:true ~scanned:(scanned + sc) ~visited
+      end
+    end
+  end
+
+(* Fetch a line image for a miss straight into way [vi]'s data slot,
+   consulting the persist buffers before NVM (§4.4). *)
+let fetch_into t vi base =
+  for i = 0 to Array.length t.bufs - 1 do
+    t.miss_fill_sum <- t.miss_fill_sum + Persist_buffer.count t.bufs.(i).pb
+  done;
+  t.miss_fill_n <- t.miss_fill_n + 1;
+  t.scr.f_ns <- 0.0;
+  t.scr.f_joules <- 0.0;
+  consult t base ~dst_pos:(Cache.data_pos t.cache vi) ~searched:false
+    ~scanned:0 ~visited:0
+
+let make_ops t =
+  let e = e t in
+  let hit_ns = float_of_int e.E.cache_hit_cycles *. E.cycle_ns e
+  and e_hit = e.E.e_cache_access in
   {
-    Exec.load = (fun addr now -> load t addr now);
-    store = (fun addr value now -> store t addr value now);
-    clwb = (fun _ _ -> Cost.zero);
-    fence = (fun _ -> Cost.zero);
-    region_end = (fun now -> region_end t now);
+    Exec.load =
+      (fun addr ->
+        sync_clock t;
+        let now = t.acc.Acc.now in
+        let li = Cache.find t.cache addr in
+        if li <> Cache.no_line then begin
+          Cache.record_hit t.cache;
+          Cache.touch t.cache li;
+          Acc.charge t.acc ~ns:hit_ns ~joules:e_hit;
+          Cache.read_word t.cache li addr
+        end
+        else begin
+          Cache.record_miss t.cache;
+          if Sink.on () then
+            Sink.emit ~ns:now (Ev.Cache_miss { addr; write = false });
+          let vi = evict_for t addr in
+          let base = Layout.line_base addr in
+          Cache.install_victim t.cache vi addr;
+          fetch_into t vi base;
+          let a = t.acc in
+          a.Acc.ns <- a.Acc.ns +. (t.scr.ev_ns +. t.scr.f_ns +. hit_ns);
+          a.Acc.joules <-
+            a.Acc.joules +. (t.scr.ev_joules +. t.scr.f_joules +. e_hit);
+          Cache.read_word t.cache vi addr
+        end);
+    store =
+      (fun addr value ->
+        sync_clock t;
+        let now = t.acc.Acc.now in
+        let li = Cache.find t.cache addr in
+        if li <> Cache.no_line then begin
+          Cache.record_hit t.cache;
+          let waw_ns =
+            if
+              Cache.dirty t.cache li
+              && Cache.dirty_region t.cache li <> (active_buf t).seq
+            then begin
+              (* §4.3: the line belongs to a prior region still in
+                 s-phase1. *)
+              let bi = buf_idx_of_seq t (Cache.dirty_region t.cache li) in
+              if bi >= 0 && t.bufs.(bi).state = Phase1 then begin
+                let prior = t.bufs.(bi) in
+                let target =
+                  if now >= prior.bt.p1_end then now else prior.bt.p1_end
+                in
+                t.scr.clock <- target;
+                sync_at t;
+                let s = target -. now in
+                t.stats.Mstats.f.Mstats.waw_stall_ns <-
+                  t.stats.Mstats.f.Mstats.waw_stall_ns +. s;
+                if Sink.on () then
+                  Sink.emit ~ns:now
+                    (Ev.Waw_stall
+                       { seq = Cache.dirty_region t.cache li; ns = s });
+                s
+              end
+              else begin
+                t.scr.clock <- now;
+                sync_at t;
+                0.0
+              end
+            end
+            else 0.0
+          in
+          Cache.touch t.cache li;
+          Cache.write_word t.cache li addr value;
+          mark_dirty t li;
+          let a = t.acc in
+          a.Acc.ns <- a.Acc.ns +. (waw_ns +. hit_ns);
+          a.Acc.joules <- a.Acc.joules +. e_hit
+        end
+        else begin
+          Cache.record_miss t.cache;
+          if Sink.on () then
+            Sink.emit ~ns:now (Ev.Cache_miss { addr; write = true });
+          let vi = evict_for t addr in
+          let base = Layout.line_base addr in
+          Cache.install_victim t.cache vi addr;
+          fetch_into t vi base;
+          Cache.write_word t.cache vi addr value;
+          mark_dirty t vi;
+          let a = t.acc in
+          a.Acc.ns <- a.Acc.ns +. (t.scr.ev_ns +. t.scr.f_ns +. hit_ns);
+          a.Acc.joules <-
+            a.Acc.joules +. (t.scr.ev_joules +. t.scr.f_joules +. e_hit)
+        end);
+    clwb = (fun _ -> ());
+    fence = (fun () -> ());
+    region_end = (fun () -> region_end t);
   }
 
-let step t ~now_ns =
-  Exec.step t.cfg t.cpu t.prog t.stats (mem_ops t) ~now_ns
+let create cfg prog =
+  let nvm = Nvm.create () in
+  Sweep_machine.Loader.load nvm prog;
+  let bufs =
+    Array.init (max 1 cfg.Cfg.buffer_count) (fun _ ->
+        {
+          pb = Persist_buffer.create ~capacity:cfg.Cfg.buffer_entries;
+          state = Idle;
+          seq = -1;
+          bt = { p1_end = 0.0; p2_end = 0.0; fill_start = 0.0 };
+          pc = Array.make (max 1 cfg.Cfg.buffer_entries) 0;
+          pc_n = 0;
+        })
+  in
+  bufs.(0).state <- Filling;
+  bufs.(0).seq <- 1;
+  if Sink.on () then Sink.emit ~ns:0.0 (Ev.Region_begin { seq = 1; buf = 0 });
+  let detector =
+    match cfg.Cfg.detector_override with
+    | Some d -> d
+    | None -> Sweep_energy.Detector.sweep ~v_restore:3.3
+  in
+  let t =
+    {
+      cfg;
+      prog;
+      dec = Sweep_isa.Decoded.compile prog;
+      cpu = Cpu.create ~entry:prog.entry;
+      nvm;
+      cache = Cache.create ~size_bytes:cfg.Cfg.cache_size_bytes ~assoc:cfg.Cfg.cache_assoc;
+      stats = Mstats.create ();
+      acc = (let a = Acc.create () in Acc.set_rates a cfg.Cfg.energy; a);
+      scr =
+        {
+          clock = 0.0;
+          ev_ns = 0.0;
+          ev_joules = 0.0;
+          ev_now = 0.0;
+          f_ns = 0.0;
+          f_joules = 0.0;
+          dma_free = 0.0;
+          dma_next = Float.neg_infinity;
+        };
+      ops = Exec.null_ops;
+      detector;
+      bufs;
+      active = 0;
+      region_seq = 1;
+      wbi = Wbi_table.create ();
+      miss_fill_sum = 0;
+      miss_fill_n = 0;
+    }
+  in
+  t.ops <- make_ops t;
+  t
+
+let step t =
+  if t.cfg.Cfg.reference_interp then
+    Exec.step_reference t.cpu t.prog t.stats t.ops t.acc
+  else Exec.step t.cpu t.dec t.stats t.ops t.acc
 
 let jit_backup_cost _ = None
 let commit_jit_backup _ ~now_ns:_ = ()
@@ -448,7 +610,7 @@ let tear_inflight_dma t ~now_ns =
         let n = List.length entries in
         if n > 0 then begin
           let k =
-            let progress = (now_ns -. buf.p1_end) /. (e t).E.dma_line_ns in
+            let progress = (now_ns -. buf.bt.p1_end) /. (e t).E.dma_line_ns in
             max 0 (min (n - 1) (int_of_float (floor progress)))
           in
           List.iteri
@@ -477,10 +639,10 @@ let truncate_cut_flush t ~now_ns =
   Array.iter
     (fun buf ->
       if buf.state = Phase1 then begin
-        let flush_n = List.length buf.pending_clean in
+        let flush_n = buf.pc_n in
         if flush_n > 0 then begin
           let dma_line = (e t).E.dma_line_ns in
-          let dma_start = buf.p1_end -. (float_of_int flush_n *. dma_line) in
+          let dma_start = buf.bt.p1_end -. (float_of_int flush_n *. dma_line) in
           let flushed_so_far =
             let f = (now_ns -. dma_start) /. dma_line in
             max 0 (min flush_n (int_of_float (floor f)))
@@ -504,7 +666,8 @@ let on_power_failure t ~now_ns =
   Cache.invalidate_all t.cache;
   Wbi_table.clear t.wbi;
   Cpu.reset t.cpu ~entry:t.prog.entry;
-  Mstats.reset_region_counters t.stats
+  Mstats.reset_region_counters t.stats;
+  t.scr.dma_next <- Float.neg_infinity
 
 (* Recovery protocol (§4.2): examine buffers in region order.
    - s-phase1 incomplete (state Filling/Phase1): (0,0) — discard.
@@ -577,9 +740,10 @@ let on_reboot t ~now_ns =
        end);
       buf.state <- Idle;
       buf.seq <- -1;
-      buf.pending_clean <- [])
+      buf.pc_n <- 0)
     ordered;
-  t.dma_free <- now_ns;
+  t.scr.dma_free <- now_ns;
+  t.scr.dma_next <- Float.neg_infinity;
   (* Restore the architectural state from the checkpoint array. *)
   if fm.FM.skip_restore then begin
     (* Mutation: reboot "forgets" the checkpoint reload and restarts
@@ -603,12 +767,12 @@ let on_reboot t ~now_ns =
   in
   let total = Cost.(!redo_cost ++ restore_cost) in
   t.stats.Mstats.restore_events <- t.stats.Mstats.restore_events + 1;
-  t.stats.Mstats.restore_joules <- t.stats.Mstats.restore_joules +. total.Cost.joules;
+  t.stats.Mstats.f.Mstats.restore_joules <- t.stats.Mstats.f.Mstats.restore_joules +. total.Cost.joules;
   (* Execution resumes in a fresh region on buffer 0. *)
   t.region_seq <- t.region_seq + 1;
   t.bufs.(0).state <- Filling;
   t.bufs.(0).seq <- t.region_seq;
-  t.bufs.(0).fill_start <- now_ns +. total.Cost.ns;
+  t.bufs.(0).bt.fill_start <- now_ns +. total.Cost.ns;
   t.active <- 0;
   if Sink.on () then
     Sink.emit ~ns:(now_ns +. total.Cost.ns)
@@ -619,7 +783,7 @@ let drain t ~now_ns =
   if Sink.on () then
     Sink.emit ~ns:now_ns
       (Ev.Region_end { seq = (active_buf t).seq; buf = t.active });
-  let finish = max now_ns t.dma_free in
+  let finish = if now_ns >= t.scr.dma_free then now_ns else t.scr.dma_free in
   sync t finish;
   Cost.make ~ns:(finish -. now_ns) ~joules:0.0
 
@@ -642,6 +806,7 @@ let pack instance =
       let nvm = nvm
       let cache = cache
       let mstats = mstats
+      let acc = acc
       let detector = detector
       let step = step
       let halted = halted

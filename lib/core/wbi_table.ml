@@ -1,19 +1,34 @@
+(* Array-backed so [mark] — hit on every clean->dirty transition in the
+   cycle loop — never allocates in steady state.  Dedup is a linear scan:
+   the compiler's store-threshold invariant bounds the table by the
+   persist-buffer capacity, so the scan is short; the architectural
+   table is a hardware bit-vector anyway, so no cost is modelled.  The
+   backing array grows geometrically and is kept across [clear], so
+   after warm-up the table is allocation-free. *)
 type t = {
-  seen : (int, unit) Hashtbl.t;
-  mutable order : int list; (* reversed marking order *)
+  mutable slots : int array;
+  mutable count : int;
 }
 
-let create () = { seen = Hashtbl.create 64; order = [] }
+let create () = { slots = Array.make 64 0; count = 0 }
+
+let rec scan slots n base i =
+  if i >= n then -1
+  else if Array.unsafe_get slots i = base then i
+  else scan slots n base (i + 1)
 
 let mark t base =
-  if not (Hashtbl.mem t.seen base) then begin
-    Hashtbl.replace t.seen base ();
-    t.order <- base :: t.order
+  if scan t.slots t.count base 0 < 0 then begin
+    if t.count = Array.length t.slots then begin
+      let bigger = Array.make (2 * t.count) 0 in
+      Array.blit t.slots 0 bigger 0 t.count;
+      t.slots <- bigger
+    end;
+    t.slots.(t.count) <- base;
+    t.count <- t.count + 1
   end
 
-let bases t = List.rev t.order
-let count t = Hashtbl.length t.seen
-
-let clear t =
-  Hashtbl.reset t.seen;
-  t.order <- []
+let count t = t.count
+let get t i = t.slots.(i)
+let bases t = Array.to_list (Array.sub t.slots 0 t.count)
+let clear t = t.count <- 0

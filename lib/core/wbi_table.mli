@@ -17,7 +17,12 @@ val mark : t -> int -> unit
 (** Record a dirtied line by its base address. *)
 
 val bases : t -> int list
-(** Dirty line bases, in marking order. *)
+(** Dirty line bases, in marking order.  Allocates; tests only. *)
 
 val count : t -> int
+
+val get : t -> int -> int
+(** [get t i] is the [i]-th marked base (marking order) — the
+    allocation-free iteration used by the region-end flush. *)
+
 val clear : t -> unit

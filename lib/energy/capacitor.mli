@@ -4,7 +4,19 @@
     subtracts every consumption event; voltage-threshold crossings drive
     backup/death/reboot decisions in the machines. *)
 
-type t
+type t = {
+  farads : float;
+  v_max : float;
+  v_min : float;
+  e_max : float;
+  mutable energy : float;
+}
+(** Concrete (and all-float, hence flat): the driver's per-instruction
+    loop charges/consumes by direct field arithmetic, because calling
+    {!consume}/{!harvest}/{!above} there would box the computed float
+    arguments on every dynamic instruction (non-flambda calling
+    convention).  Everything off the hot path should use the functions
+    below. *)
 
 val create : farads:float -> v_max:float -> v_min:float -> t
 (** Starts fully charged at [v_max]. *)

@@ -76,6 +76,9 @@ let make ?(seed = 42) kind =
 
 let kind t = t.kind
 
+let samples t = t.samples
+let sample_dt t = t.dt_s
+
 let power t time_s =
   let idx = int_of_float (time_s /. t.dt_s) in
   let n = Array.length t.samples in

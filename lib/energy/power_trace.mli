@@ -24,6 +24,15 @@ val kind : t -> kind
 val power : t -> float -> float
 (** [power t time_s] in watts. *)
 
+val samples : t -> float array
+(** The raw sample grid (watts).  With {!sample_dt}, lets the driver's
+    per-instruction loop do the {!power} lookup inline — index
+    [((idx mod n) + n) mod n] for [idx = time_s / sample_dt] — without a
+    float-boxing call per instruction. *)
+
+val sample_dt : t -> float
+(** Grid spacing of {!samples} in seconds (100 µs). *)
+
 val mean_power : t -> float
 
 val duty_cycle : t -> float

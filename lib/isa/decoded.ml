@@ -1,0 +1,130 @@
+(* Programs are compiled once into packed parallel int arrays so the
+   cycle loop dispatches on a flat opcode instead of matching variant
+   constructors.  Binop/cond sub-operations are fused into the opcode
+   (one jump table in the executor, no second tag read); operands live
+   in three parallel arrays [x]/[y]/[z] whose meaning is per-opcode.
+
+   The numbering is shared with [Sweep_machine.Exec]'s dispatch loop —
+   keep the two in sync (the differential suite in test/t_equiv.ml
+   cross-checks the decoded path against the variant interpreter over
+   the full workload registry, so a drift cannot land silently). *)
+
+(* Fused ranges: 0-9 Bin, 10-19 Bini (binop order: Add Sub Mul Div Rem
+   And Or Xor Shl Shr); 20-25 Set, 26-31 Br (cond order: Eq Ne Lt Le Gt
+   Ge). *)
+let op_bin = 0
+let op_bini = 10
+let op_set = 20
+let op_br = 26
+let op_movi = 32
+let op_movl = 33
+let op_mov = 34
+let op_load = 35
+let op_load_abs = 36
+let op_store = 37
+let op_store_abs = 38
+let op_jmp = 39
+let op_jmp_reg = 40
+let op_call = 41
+let op_clwb = 42
+let op_clwb_abs = 43
+let op_fence = 44
+let op_region_end = 45
+let op_nop = 46
+let op_halt = 47
+
+let binop_code = function
+  | Instr.Add -> 0
+  | Instr.Sub -> 1
+  | Instr.Mul -> 2
+  | Instr.Div -> 3
+  | Instr.Rem -> 4
+  | Instr.And -> 5
+  | Instr.Or -> 6
+  | Instr.Xor -> 7
+  | Instr.Shl -> 8
+  | Instr.Shr -> 9
+
+let cond_code = function
+  | Instr.Eq -> 0
+  | Instr.Ne -> 1
+  | Instr.Lt -> 2
+  | Instr.Le -> 3
+  | Instr.Gt -> 4
+  | Instr.Ge -> 5
+
+type t = {
+  len : int;
+  op : int array;
+  x : int array;
+  y : int array;
+  z : int array;
+}
+
+let length t = t.len
+
+(* Operand layout per opcode (unused slots stay 0):
+     Bin/Bini/Set   x=rd  y=ra  z=rb/imm
+     Br             x=ra  y=rb  z=target
+     Movi/Movl      x=rd        z=imm/index
+     Mov            x=rd  y=rs
+     Load/Store     x=rd/rv  y=rs  z=offset
+     Load_abs/Store_abs  x=rd/rv  z=addr
+     Jmp/Call       z=target
+     Jmp_reg        x=r
+     Clwb           x=rs  z=offset
+     Clwb_abs       z=addr *)
+let compile (prog : Program.t) =
+  let code = prog.Program.code in
+  let len = Array.length code in
+  let op = Array.make len op_nop in
+  let x = Array.make len 0 in
+  let y = Array.make len 0 in
+  let z = Array.make len 0 in
+  let reg i r =
+    if r < 0 || r >= Reg.count then
+      invalid_arg
+        (Printf.sprintf "Decoded.compile: instr %d: bad register r%d" i r);
+    r
+  in
+  let target i t =
+    if t < 0 || t >= len then
+      invalid_arg
+        (Printf.sprintf "Decoded.compile: instr %d: bad target %d" i t);
+    t
+  in
+  Array.iteri
+    (fun i ins ->
+      let set o a b c =
+        op.(i) <- o;
+        x.(i) <- a;
+        y.(i) <- b;
+        z.(i) <- c
+      in
+      match ins with
+      | Instr.Movi (rd, n) -> set op_movi (reg i rd) 0 n
+      | Instr.Movl (rd, idx) -> set op_movl (reg i rd) 0 idx
+      | Instr.Mov (rd, rs) -> set op_mov (reg i rd) (reg i rs) 0
+      | Instr.Bin (o, rd, a, b) ->
+        set (op_bin + binop_code o) (reg i rd) (reg i a) (reg i b)
+      | Instr.Bini (o, rd, a, n) ->
+        set (op_bini + binop_code o) (reg i rd) (reg i a) n
+      | Instr.Set (c, rd, a, b) ->
+        set (op_set + cond_code c) (reg i rd) (reg i a) (reg i b)
+      | Instr.Load (rd, rs, off) -> set op_load (reg i rd) (reg i rs) off
+      | Instr.Load_abs (rd, addr) -> set op_load_abs (reg i rd) 0 addr
+      | Instr.Store (rv, rs, off) -> set op_store (reg i rv) (reg i rs) off
+      | Instr.Store_abs (rv, addr) -> set op_store_abs (reg i rv) 0 addr
+      | Instr.Br (c, a, b, tgt) ->
+        set (op_br + cond_code c) (reg i a) (reg i b) (target i tgt)
+      | Instr.Jmp tgt -> set op_jmp 0 0 (target i tgt)
+      | Instr.Jmp_reg r -> set op_jmp_reg (reg i r) 0 0
+      | Instr.Call tgt -> set op_call 0 0 (target i tgt)
+      | Instr.Clwb (rs, off) -> set op_clwb (reg i rs) 0 off
+      | Instr.Clwb_abs addr -> set op_clwb_abs 0 0 addr
+      | Instr.Fence -> set op_fence 0 0 0
+      | Instr.Region_end -> set op_region_end 0 0 0
+      | Instr.Nop -> set op_nop 0 0 0
+      | Instr.Halt -> set op_halt 0 0 0)
+    code;
+  { len; op; x; y; z }

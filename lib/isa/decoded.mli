@@ -1,0 +1,50 @@
+(** Flat decoded representation of a {!Program}: one compile pass turns
+    the variant instruction array into packed parallel int arrays
+    (opcode + three operand slots) so the simulator's cycle loop reads
+    flat ints instead of matching constructors.
+
+    Binop and condition sub-operations are fused into the opcode: codes
+    [op_bin+k] / [op_bini+k] use binop code [k] (Add Sub Mul Div Rem And
+    Or Xor Shl Shr), [op_set+k] / [op_br+k] use condition code [k] (Eq
+    Ne Lt Le Gt Ge).  The numbering is mirrored by the dispatch loop in
+    [Sweep_machine.Exec]; the differential suite pins the two
+    together. *)
+
+type t = private {
+  len : int;
+  op : int array;   (** fused opcode, one of the [op_*] codes *)
+  x : int array;    (** rd / rv / first source register *)
+  y : int array;    (** rs / second source register *)
+  z : int array;    (** immediate / offset / branch target / address *)
+}
+
+val compile : Program.t -> t
+(** Validates every register index and branch target (so the executor
+    may trust the operand arrays); raises [Invalid_argument] on a
+    malformed program. *)
+
+val length : t -> int
+
+val op_bin : int
+val op_bini : int
+val op_set : int
+val op_br : int
+val op_movi : int
+val op_movl : int
+val op_mov : int
+val op_load : int
+val op_load_abs : int
+val op_store : int
+val op_store_abs : int
+val op_jmp : int
+val op_jmp_reg : int
+val op_call : int
+val op_clwb : int
+val op_clwb_abs : int
+val op_fence : int
+val op_region_end : int
+val op_nop : int
+val op_halt : int
+
+val binop_code : Instr.binop -> int
+val cond_code : Instr.cond -> int

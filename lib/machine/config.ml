@@ -12,6 +12,7 @@ type t = {
   replay_queue : int;
   rename_entries : int;
   faults : Fault_model.t;
+  reference_interp : bool;
 }
 
 let default =
@@ -27,9 +28,11 @@ let default =
     replay_queue = 8;
     rename_entries = 64;
     faults = Fault_model.none;
+    reference_interp = false;
   }
 
 let with_cache t ~size = { t with cache_size_bytes = size }
+let with_reference_interp t = { t with reference_interp = true }
 let with_search t search = { t with search }
 let with_detector t d = { t with detector_override = Some d }
 let with_faults t faults = { t with faults }

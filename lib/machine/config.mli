@@ -26,11 +26,16 @@ type t = {
       (** Hardware fault models for the crash-consistency checker;
           {!Fault_model.none} (the default) leaves behaviour
           untouched. *)
+  reference_interp : bool;
+      (** Run the legacy variant interpreter ({!Sweep_machine.Exec}'s
+          [step_reference]) instead of the decoded fast path — the
+          differential equivalence suite's switch.  Default false. *)
 }
 
 val default : t
 
 val with_cache : t -> size:int -> t
+val with_reference_interp : t -> t
 val with_search : t -> buffer_search -> t
 val with_detector : t -> Sweep_energy.Detector.t -> t
 val with_faults : t -> Fault_model.t -> t

@@ -21,8 +21,16 @@ module type S = sig
   val detector : t -> Sweep_energy.Detector.t
   (** The design's voltage detector (possibly overridden by config). *)
 
-  val step : t -> now_ns:float -> Cost.t
-  (** Execute one instruction. *)
+  val step : t -> unit
+  (** Execute one instruction, leaving its cost in {!acc}.  The caller
+      writes the current simulation time into [Acc.now] before stepping
+      (passing it as a float argument would box it on every call). *)
+
+  val acc : t -> Exec.Acc.t
+  (** The machine's per-step cost accumulator.  Write [now] before and
+      read [ns]/[joules] after each {!step}; the next step overwrites
+      them.  Callers hoist this once before their cycle loop — the
+      accumulator object is stable for the machine's lifetime. *)
 
   val halted : t -> bool
 
@@ -55,7 +63,8 @@ end
 type packed = Packed : (module S with type t = 'a) * 'a -> packed
 
 let name (Packed ((module M), _)) = M.name
-let step (Packed ((module M), t)) ~now_ns = M.step t ~now_ns
+let step (Packed ((module M), t)) = M.step t
+let acc (Packed ((module M), t)) = M.acc t
 let halted (Packed ((module M), t)) = M.halted t
 let cpu (Packed ((module M), t)) = M.cpu t
 let nvm (Packed ((module M), t)) = M.nvm t

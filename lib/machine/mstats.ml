@@ -1,3 +1,15 @@
+(* The time/energy accumulators live in their own all-float record: a
+   mutable float field in the mixed record below would be boxed on
+   every write, and persistence_ns/wait_ns are written at every region
+   boundary on the hot path. *)
+type floats = {
+  mutable persistence_ns : float;
+  mutable wait_ns : float;
+  mutable waw_stall_ns : float;
+  mutable backup_joules : float;
+  mutable restore_joules : float;
+}
+
 type t = {
   mutable instructions : int;
   mutable loads : int;
@@ -6,13 +18,9 @@ type t = {
   mutable buffer_searches : int;
   mutable buffer_bypasses : int;
   mutable buffer_hits : int;
-  mutable persistence_ns : float;
-  mutable wait_ns : float;
-  mutable waw_stall_ns : float;
+  f : floats;
   mutable backup_events : int;
-  mutable backup_joules : float;
   mutable restore_events : int;
-  mutable restore_joules : float;
   mutable replayed_stores : int;
   mutable buffer_peak : int;
   region_size_hist : int array;
@@ -33,13 +41,16 @@ let create () =
     buffer_searches = 0;
     buffer_bypasses = 0;
     buffer_hits = 0;
-    persistence_ns = 0.0;
-    wait_ns = 0.0;
-    waw_stall_ns = 0.0;
+    f =
+      {
+        persistence_ns = 0.0;
+        wait_ns = 0.0;
+        waw_stall_ns = 0.0;
+        backup_joules = 0.0;
+        restore_joules = 0.0;
+      };
     backup_events = 0;
-    backup_joules = 0.0;
     restore_events = 0;
-    restore_joules = 0.0;
     replayed_stores = 0;
     buffer_peak = 0;
     region_size_hist = Array.make (size_cap + 1) 0;
@@ -72,8 +83,8 @@ let reset_region_counters t =
   t.cur_region_stores <- 0
 
 let parallelism_efficiency t =
-  if t.persistence_ns <= 0.0 then 100.0
-  else (t.persistence_ns -. t.wait_ns) /. t.persistence_ns *. 100.0
+  if t.f.persistence_ns <= 0.0 then 100.0
+  else (t.f.persistence_ns -. t.f.wait_ns) /. t.f.persistence_ns *. 100.0
 
 module Metrics = Sweep_obs.Metrics
 

@@ -4,6 +4,15 @@
     the §4.4 empty-bit analysis; persistence/wait times feed the §6.3
     parallelism-efficiency metric. *)
 
+type floats = {
+  mutable persistence_ns : float;   (** ΣT_p: region persistence latency *)
+  mutable wait_ns : float;          (** ΣT_wait: structural-hazard stalls *)
+  mutable waw_stall_ns : float;     (** §4.3 write-after-write stalls *)
+  mutable backup_joules : float;
+  mutable restore_joules : float;
+}
+(** All-float (flat) so hot-path writes never box. *)
+
 type t = {
   mutable instructions : int;
   mutable loads : int;
@@ -12,13 +21,9 @@ type t = {
   mutable buffer_searches : int;    (** misses that searched a persist buffer *)
   mutable buffer_bypasses : int;    (** misses that skipped it via empty-bit *)
   mutable buffer_hits : int;        (** misses served from the buffer *)
-  mutable persistence_ns : float;   (** ΣT_p: region persistence latency *)
-  mutable wait_ns : float;          (** ΣT_wait: structural-hazard stalls *)
-  mutable waw_stall_ns : float;     (** §4.3 write-after-write stalls *)
+  f : floats;                       (** time/energy accumulators *)
   mutable backup_events : int;
-  mutable backup_joules : float;
   mutable restore_events : int;
-  mutable restore_joules : float;
   mutable replayed_stores : int;    (** ReplayCache recovery work *)
   mutable buffer_peak : int;        (** max persist-buffer occupancy seen *)
   region_size_hist : int array;     (** index = instruction count, capped *)

@@ -1,19 +1,24 @@
 open Sweep_isa
 
-type line = {
-  mutable valid : bool;
-  mutable dirty : bool;
-  mutable dirty_region : int;
-  mutable base : int;
-  mutable lru : int;
-  data : int array;
-}
-
+(* Struct-of-arrays line storage: a line is an int index into flat
+   parallel arrays, and all line data lives in one contiguous array
+   ([data], 16 words per line).  No per-line records, no per-line data
+   arrays — find/touch/read/write on the hot path allocate nothing, and
+   fills/write-backs blit straight between [data] and NVM. *)
 type t = {
-  sets : line array array; (* sets.(set_index).(way) *)
   set_count : int;
+  set_mask : int;
+      (* [set_count - 1] when [set_count] is a power of two (the usual
+         geometry), so [set_base] can mask instead of paying a hardware
+         divide per access; -1 otherwise. *)
   assoc : int;
-  mutable clock : int; (* LRU timestamp source *)
+  valid : int array;        (* 0/1 *)
+  dirty : int array;        (* 0/1 *)
+  dirty_region : int array; (* region id of the dirtying store; -1 clean *)
+  base : int array;         (* line-aligned byte address *)
+  lru : int array;          (* bigger = more recently used *)
+  data : int array;         (* line_count * words_per_line *)
+  mutable clock : int;      (* LRU timestamp source *)
   mutable hits : int;
   mutable misses : int;
 }
@@ -23,102 +28,140 @@ let create ~size_bytes ~assoc =
   if size_bytes mod (assoc * Layout.line_bytes) <> 0 then
     invalid_arg "Cache.create: size not a multiple of assoc * line";
   let set_count = size_bytes / (assoc * Layout.line_bytes) in
-  let fresh_line () =
-    { valid = false;
-      dirty = false;
-      dirty_region = -1;
-      base = 0;
-      lru = 0;
-      data = Array.make Layout.words_per_line 0 }
-  in
-  let sets =
-    Array.init set_count (fun _ -> Array.init assoc (fun _ -> fresh_line ()))
-  in
-  { sets; set_count; assoc; clock = 0; hits = 0; misses = 0 }
+  let n = set_count * assoc in
+  {
+    set_count;
+    set_mask = (if set_count land (set_count - 1) = 0 then set_count - 1 else -1);
+    assoc;
+    valid = Array.make n 0;
+    dirty = Array.make n 0;
+    dirty_region = Array.make n (-1);
+    base = Array.make n 0;
+    lru = Array.make n 0;
+    data = Array.make (n * Layout.words_per_line) 0;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
 
 let size_bytes t = t.set_count * t.assoc * Layout.line_bytes
 let assoc t = t.assoc
 let line_count t = t.set_count * t.assoc
 
-let set_of t addr = t.sets.((Layout.line_base addr / Layout.line_bytes) mod t.set_count)
+let set_base t addr =
+  let s = Layout.line_base addr / Layout.line_bytes in
+  (if t.set_mask >= 0 then s land t.set_mask else s mod t.set_count) * t.assoc
+
+let no_line = -1
+
+(* Top-level recursion: a local [let rec] closure would allocate on
+   every access. *)
+let rec scan_set valid bases base i last =
+  if i > last then no_line
+  else if
+    Array.unsafe_get valid i = 1 && Array.unsafe_get bases i = base
+  then i
+  else scan_set valid bases base (i + 1) last
 
 let find t addr =
   let base = Layout.line_base addr in
-  let set = set_of t addr in
-  let rec scan i =
-    if i >= t.assoc then None
-    else begin
-      let line = set.(i) in
-      if line.valid && line.base = base then Some line else scan (i + 1)
-    end
-  in
-  scan 0
+  let s = set_base t addr in
+  scan_set t.valid t.base base s (s + t.assoc - 1)
 
-let touch t line =
+let touch t li =
   t.clock <- t.clock + 1;
-  line.lru <- t.clock
+  t.lru.(li) <- t.clock
+
+let rec first_invalid valid i last =
+  if i > last then no_line
+  else if Array.unsafe_get valid i = 0 then i
+  else first_invalid valid (i + 1) last
+
+let rec lru_min lru i last best =
+  if i > last then best
+  else
+    lru_min lru (i + 1) last
+      (if Array.unsafe_get lru i < Array.unsafe_get lru best then i else best)
 
 let victim t addr =
-  let set = set_of t addr in
-  let first_invalid =
-    Array.fold_left
-      (fun acc line ->
-        match acc with
-        | Some _ -> acc
-        | None -> if line.valid then None else Some line)
-      None set
-  in
-  match first_invalid with
-  | Some line -> line
-  | None ->
-    Array.fold_left (fun best line -> if line.lru < best.lru then line else best)
-      set.(0) set
+  let s = set_base t addr in
+  let last = s + t.assoc - 1 in
+  let i = first_invalid t.valid s last in
+  if i <> no_line then i else lru_min t.lru (s + 1) last s
 
-let install t addr data =
-  assert (Array.length data = Layout.words_per_line);
+let valid t li = t.valid.(li) = 1
+let dirty t li = t.dirty.(li) = 1
+let dirty_region t li = t.dirty_region.(li)
+let line_addr t li = t.base.(li)
+
+let set_dirty t li ~region =
+  t.dirty.(li) <- 1;
+  t.dirty_region.(li) <- region
+
+let clear_dirty t li =
+  t.dirty.(li) <- 0;
+  t.dirty_region.(li) <- -1
+
+let data t = t.data
+let data_pos _t li = li * Layout.words_per_line
+
+(* Tag-only install of a fill into a victim way the caller already
+   chose (its previous occupant handled, the miss scan done once).  The
+   line comes up clean; the caller fills [data] at [data_pos] itself —
+   from NVM via {!Nvm.read_line_into}, or from a persist buffer. *)
+let install_victim t li addr =
+  t.valid.(li) <- 1;
+  t.dirty.(li) <- 0;
+  t.dirty_region.(li) <- -1;
+  t.base.(li) <- Layout.line_base addr;
+  touch t li
+
+let install t addr line_data =
+  assert (Array.length line_data = Layout.words_per_line);
   (* Reinstalling a resident line must not create a duplicate in another
      way: reuse the existing line. *)
-  let line =
-    match find t addr with Some line -> line | None -> victim t addr
+  let li =
+    match find t addr with i when i <> no_line -> i | _ -> victim t addr
   in
-  line.valid <- true;
-  line.dirty <- false;
-  line.dirty_region <- -1;
-  line.base <- Layout.line_base addr;
-  Array.blit data 0 line.data 0 Layout.words_per_line;
-  touch t line;
-  line
+  install_victim t li addr;
+  Array.blit line_data 0 t.data (li * Layout.words_per_line)
+    Layout.words_per_line;
+  li
 
-let word_index line addr =
-  let off = addr - line.base in
+let copy_line_data t li =
+  Array.sub t.data (li * Layout.words_per_line) Layout.words_per_line
+
+let word_index t li addr =
+  let off = addr - t.base.(li) in
   assert (off >= 0 && off < Layout.line_bytes);
   assert (addr land (Layout.word_bytes - 1) = 0);
-  off / Layout.word_bytes
+  (li * Layout.words_per_line) + (off / Layout.word_bytes)
 
-let read_word line addr = line.data.(word_index line addr)
-
-let write_word line addr v = line.data.(word_index line addr) <- v
+let read_word t li addr = t.data.(word_index t li addr)
+let write_word t li addr v = t.data.(word_index t li addr) <- v
 
 let dirty_lines t =
   let acc = ref [] in
-  Array.iter
-    (fun set ->
-      Array.iter (fun line -> if line.valid && line.dirty then acc := line :: !acc) set)
-    t.sets;
-  List.rev !acc
+  for i = line_count t - 1 downto 0 do
+    if t.valid.(i) = 1 && t.dirty.(i) = 1 then acc := i :: !acc
+  done;
+  !acc
 
-let iter_lines t f = Array.iter (fun set -> Array.iter f set) t.sets
+let iter_lines t f =
+  for i = 0 to line_count t - 1 do
+    f i
+  done
 
 let invalidate_all t =
-  iter_lines t (fun line ->
-      line.valid <- false;
-      line.dirty <- false;
-      line.dirty_region <- -1)
+  iter_lines t (fun i ->
+      t.valid.(i) <- 0;
+      t.dirty.(i) <- 0;
+      t.dirty_region.(i) <- -1)
 
 let clean_all t =
-  iter_lines t (fun line ->
-      line.dirty <- false;
-      line.dirty_region <- -1)
+  iter_lines t (fun i ->
+      t.dirty.(i) <- 0;
+      t.dirty_region.(i) <- -1)
 
 module Metrics = Sweep_obs.Metrics
 
@@ -132,6 +175,7 @@ let record_hit t =
 let record_miss t =
   t.misses <- t.misses + 1;
   if Metrics.enabled () then Metrics.inc m_misses
+
 let hits t = t.hits
 let misses t = t.misses
 let accesses t = t.hits + t.misses

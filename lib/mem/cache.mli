@@ -6,17 +6,14 @@
     a [dirty_region] tag — the id of the region whose store dirtied the
     line — which SweepCache's write-after-write rule needs (§4.3).
 
+    Storage is struct-of-arrays: a line is an [int] index (dense in
+    [0, line_count)), its metadata lives in flat parallel arrays and its
+    16 words occupy one slice of a single contiguous data array, so the
+    simulator's hot path runs without per-access allocation.  {!find}
+    returns {!no_line} on a miss rather than an option.
+
     Power failure wipes the cache ({!invalidate_all}); NVSRAM restores it
     from its nonvolatile counterpart by re-installing saved lines. *)
-
-type line = {
-  mutable valid : bool;
-  mutable dirty : bool;
-  mutable dirty_region : int;  (** region id of the dirtying store; -1 if clean *)
-  mutable base : int;          (** line-aligned byte address *)
-  mutable lru : int;           (** bigger = more recently used *)
-  data : int array;            (** 16 words *)
-}
 
 type t
 
@@ -28,33 +25,72 @@ val size_bytes : t -> int
 val assoc : t -> int
 val line_count : t -> int
 
-val find : t -> int -> line option
-(** [find t addr] returns the line containing [addr] if present (does not
-    touch LRU or hit counters — use {!record_hit}/{!record_miss}). *)
+val no_line : int
+(** The miss sentinel (-1) returned by {!find} and {!victim}-style
+    scans; never a valid line index. *)
 
-val touch : t -> line -> unit
+val find : t -> int -> int
+(** [find t addr] returns the index of the line containing [addr], or
+    {!no_line} (does not touch LRU or hit counters — use
+    {!record_hit}/{!record_miss}). *)
+
+val touch : t -> int -> unit
 (** Mark a line most-recently-used. *)
 
-val victim : t -> int -> line
+val victim : t -> int -> int
 (** The line to (re)use for a fill of [addr]'s set: an invalid way if one
     exists, else the LRU way.  The caller must write back the victim's
     data first if it is valid and dirty. *)
 
-val install : t -> int -> int array -> line
-(** [install t addr data] fills the victim way of [addr]'s set with the
-    given line data (clean).  Returns the installed line.  The caller is
-    responsible for having handled the previous occupant. *)
+val install_victim : t -> int -> int -> unit
+(** [install_victim t li addr] retags the victim way [li] (from
+    {!victim}, after the caller missed via {!find} and handled the
+    occupant) as a clean resident line for [addr] and touches it.  The
+    caller fills the line's words itself — via
+    {!Nvm.read_line_into}[ nvm base ~dst:(data t) ~dst_pos:(data_pos t li)]
+    or a persist-buffer blit — so the miss path scans the set exactly
+    once and copies the data exactly once. *)
 
-val read_word : line -> int -> int
-(** [read_word line addr] for an address inside the line. *)
+val install : t -> int -> int array -> int
+(** [install t addr data] fills [addr]'s set with the given line data
+    (clean) and returns the line: the resident line if [addr] is
+    already cached (no duplicate ways), else the victim way.  Cold-path
+    convenience (recovery reinstalls, tests); the miss path proper uses
+    {!find}/{!victim}/{!install_victim}. *)
 
-val write_word : line -> int -> int -> unit
+val valid : t -> int -> bool
+val dirty : t -> int -> bool
+
+val dirty_region : t -> int -> int
+(** Region id of the dirtying store; -1 if clean. *)
+
+val line_addr : t -> int -> int
+(** The line's base (line-aligned byte address). *)
+
+val set_dirty : t -> int -> region:int -> unit
+val clear_dirty : t -> int -> unit
+
+val read_word : t -> int -> int -> int
+(** [read_word t li addr] for an address inside line [li]. *)
+
+val write_word : t -> int -> int -> int -> unit
 (** Writes data only; dirtiness is the caller's concern. *)
 
-val dirty_lines : t -> line list
-(** All valid dirty lines, in set order. *)
+val data : t -> int array
+(** The contiguous backing store, [line_count * 16] words. *)
 
-val iter_lines : t -> (line -> unit) -> unit
+val data_pos : t -> int -> int
+(** Word offset of line [li]'s data within {!data}. *)
+
+val copy_line_data : t -> int -> int array
+(** Fresh 16-word copy of a line's data (cold paths: backups, pushes
+    into legacy array-based consumers). *)
+
+val dirty_lines : t -> int list
+(** All valid dirty lines, in line-index (set) order. *)
+
+val iter_lines : t -> (int -> unit) -> unit
+(** Every way, valid or not; the callback filters on {!valid}. *)
 
 val invalidate_all : t -> unit
 (** Power failure: every line is lost. *)

@@ -1,7 +1,13 @@
 open Sweep_isa
 
+(* Word storage lives in a Bigarray so word reads/writes on the hot
+   path are plain unboxed int loads/stores with no GC involvement (the
+   16 MiB backing store would otherwise sit in the major heap and get
+   walked by the GC). *)
+type words = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type t = {
-  words : int array;
+  words : words;
   mutable read_events : int;
   mutable write_events : int;
   mutable bytes_written : int;
@@ -10,10 +16,9 @@ type t = {
 let word_count = Layout.nvm_bytes / Layout.word_bytes
 
 let create () =
-  { words = Array.make word_count 0;
-    read_events = 0;
-    write_events = 0;
-    bytes_written = 0 }
+  let words = Bigarray.Array1.create Bigarray.int Bigarray.c_layout word_count in
+  Bigarray.Array1.fill words 0;
+  { words; read_events = 0; write_events = 0; bytes_written = 0 }
 
 let check_word_addr addr =
   if addr land (Layout.word_bytes - 1) <> 0 then
@@ -21,16 +26,20 @@ let check_word_addr addr =
   if addr < 0 || addr >= Layout.nvm_bytes then
     invalid_arg (Printf.sprintf "Nvm: address %#x out of range" addr)
 
+(* After [check_word_addr]/[check_line_addr] the word index is provably
+   inside [word_count], so the hot accessors skip the Bigarray bounds
+   check (it would re-test what the explicit check just established). *)
+
 let read_word t addr =
   check_word_addr addr;
   t.read_events <- t.read_events + 1;
-  t.words.(addr / Layout.word_bytes)
+  Bigarray.Array1.unsafe_get t.words (addr / Layout.word_bytes)
 
 let write_word t addr v =
   check_word_addr addr;
   t.write_events <- t.write_events + 1;
   t.bytes_written <- t.bytes_written + Layout.word_bytes;
-  t.words.(addr / Layout.word_bytes) <- v
+  Bigarray.Array1.unsafe_set t.words (addr / Layout.word_bytes) v
 
 let check_line_addr base =
   if base land (Layout.line_bytes - 1) <> 0 then
@@ -41,14 +50,35 @@ let check_line_addr base =
 let read_line t base =
   check_line_addr base;
   t.read_events <- t.read_events + 1;
-  Array.sub t.words (base / Layout.word_bytes) Layout.words_per_line
+  let w = base / Layout.word_bytes in
+  Array.init Layout.words_per_line (fun k -> t.words.{w + k})
+
+let read_line_into t base ~dst ~dst_pos =
+  check_line_addr base;
+  t.read_events <- t.read_events + 1;
+  let w = base / Layout.word_bytes in
+  for k = 0 to Layout.words_per_line - 1 do
+    dst.(dst_pos + k) <- Bigarray.Array1.unsafe_get t.words (w + k)
+  done
 
 let write_line t base data =
   check_line_addr base;
   assert (Array.length data = Layout.words_per_line);
   t.write_events <- t.write_events + 1;
   t.bytes_written <- t.bytes_written + Layout.line_bytes;
-  Array.blit data 0 t.words (base / Layout.word_bytes) Layout.words_per_line
+  let w = base / Layout.word_bytes in
+  for k = 0 to Layout.words_per_line - 1 do
+    t.words.{w + k} <- data.(k)
+  done
+
+let write_line_from t base ~src ~src_pos =
+  check_line_addr base;
+  t.write_events <- t.write_events + 1;
+  t.bytes_written <- t.bytes_written + Layout.line_bytes;
+  let w = base / Layout.word_bytes in
+  for k = 0 to Layout.words_per_line - 1 do
+    Bigarray.Array1.unsafe_set t.words (w + k) src.(src_pos + k)
+  done
 
 let write_line_torn t base data ~words =
   check_line_addr base;
@@ -57,15 +87,18 @@ let write_line_torn t base data ~words =
     invalid_arg "Nvm.write_line_torn: words must be in (0, words_per_line)";
   t.write_events <- t.write_events + 1;
   t.bytes_written <- t.bytes_written + (words * Layout.word_bytes);
-  Array.blit data 0 t.words (base / Layout.word_bytes) words
+  let w = base / Layout.word_bytes in
+  for k = 0 to words - 1 do
+    t.words.{w + k} <- data.(k)
+  done
 
 let peek_word t addr =
   check_word_addr addr;
-  t.words.(addr / Layout.word_bytes)
+  t.words.{addr / Layout.word_bytes}
 
 let poke_word t addr v =
   check_word_addr addr;
-  t.words.(addr / Layout.word_bytes) <- v
+  t.words.{addr / Layout.word_bytes} <- v
 
 let read_events t = t.read_events
 let write_events t = t.write_events
@@ -83,4 +116,5 @@ let reset_counters t =
 let image t ~lo ~hi =
   check_word_addr lo;
   check_word_addr hi;
-  Array.sub t.words (lo / Layout.word_bytes) ((hi - lo) / Layout.word_bytes)
+  let w = lo / Layout.word_bytes in
+  Array.init ((hi - lo) / Layout.word_bytes) (fun k -> t.words.{w + k})

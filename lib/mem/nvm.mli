@@ -24,9 +24,18 @@ val read_line : t -> int -> int array
 (** [read_line t base] reads the 16-word line at [base] (line-aligned).
     Counts one read event. *)
 
+val read_line_into : t -> int -> dst:int array -> dst_pos:int -> unit
+(** Like {!read_line} but fills [dst] at [dst_pos] instead of
+    allocating — the cache-fill path reads straight into the cache's
+    contiguous data array.  Counts one read event. *)
+
 val write_line : t -> int -> int array -> unit
 (** [write_line t base data] writes a full line.  Counts one write
     event. *)
+
+val write_line_from : t -> int -> src:int array -> src_pos:int -> unit
+(** Line write sourced from [src] at [src_pos] (write-back straight out
+    of the cache's contiguous data array).  Counts one write event. *)
 
 val write_line_torn : t -> int -> int array -> words:int -> unit
 (** [write_line_torn t base data ~words] models a DMA line write cut by

@@ -1,5 +1,6 @@
 module M = Sweep_machine.Machine_intf
 module Cost = Sweep_machine.Cost
+module Exec = Sweep_machine.Exec
 module Mstats = Sweep_machine.Mstats
 module Capacitor = Sweep_energy.Capacitor
 module Detector = Sweep_energy.Detector
@@ -89,10 +90,18 @@ let fault_to_fire w ~instructions =
 
 (* ------------------------------------------------------------------ *)
 
+(* All-float mutable totals: mutating a float field of a flat float
+   record writes in place, so the cycle loop allocates nothing.  (Float
+   refs or a mixed record would box a fresh float per store.) *)
+type utotals = {
+  mutable u_now : float;
+  mutable u_joules : float;
+  mutable u_restore_joules : float;
+}
+
 let run_unlimited ?(max_instructions = 500_000_000) ?fault ?after_recovery m =
-  let now = ref 0.0 in
-  let joules = ref 0.0 in
-  let restore_joules = ref 0.0 in
+  let tt = { u_now = 0.0; u_joules = 0.0; u_restore_joules = 0.0 } in
+  let acc = M.acc m in
   let instructions = ref 0 in
   let outages = ref 0 in
   let injected = ref 0 in
@@ -107,24 +116,25 @@ let run_unlimited ?(max_instructions = 500_000_000) ?fault ?after_recovery m =
     (* A JIT design never dies without its banked backup (the backup
        threshold sits above Vmin), so an adversarial crash still finds
        a fresh checkpoint: commit one at the crash point. *)
-    if M.jit_backup_cost m <> None then M.commit_jit_backup m ~now_ns:!now;
+    if M.jit_backup_cost m <> None then M.commit_jit_backup m ~now_ns:tt.u_now;
     if Sink.on () then begin
-      Sink.emit ~ns:!now (Ev.Fault_inject { trigger; detail });
-      Sink.emit ~ns:!now (Ev.Power_down { volts = 0.0 })
+      Sink.emit ~ns:tt.u_now (Ev.Fault_inject { trigger; detail });
+      Sink.emit ~ns:tt.u_now (Ev.Power_down { volts = 0.0 })
     end;
-    M.on_power_failure m ~now_ns:!now;
-    if Sink.on () then Sink.emit ~ns:!now (Ev.Reboot { outage = !outages });
-    let c = M.on_reboot m ~now_ns:!now in
-    now := !now +. c.Cost.ns;
-    restore_joules := !restore_joules +. c.Cost.joules;
+    M.on_power_failure m ~now_ns:tt.u_now;
+    if Sink.on () then Sink.emit ~ns:tt.u_now (Ev.Reboot { outage = !outages });
+    let c = M.on_reboot m ~now_ns:tt.u_now in
+    tt.u_now <- tt.u_now +. c.Cost.ns;
+    tt.u_restore_joules <- tt.u_restore_joules +. c.Cost.joules;
     if Sink.on () then
-      Sink.emit ~ns:!now (Ev.Restore { joules = c.Cost.joules });
-    match after_recovery with Some f -> f ~now_ns:!now | None -> ()
+      Sink.emit ~ns:tt.u_now (Ev.Restore { joules = c.Cost.joules });
+    match after_recovery with Some f -> f ~now_ns:tt.u_now | None -> ()
   in
   while (not (M.halted m)) && !instructions < max_instructions do
-    let c = M.step m ~now_ns:!now in
-    now := !now +. c.Cost.ns;
-    joules := !joules +. c.Cost.joules;
+    acc.Exec.Acc.now <- tt.u_now;
+    M.step m;
+    tt.u_now <- tt.u_now +. acc.Exec.Acc.ns;
+    tt.u_joules <- tt.u_joules +. acc.Exec.Acc.joules;
     incr instructions;
     match fault_to_fire w ~instructions:!instructions with
     | Some f ->
@@ -138,20 +148,20 @@ let run_unlimited ?(max_instructions = 500_000_000) ?fault ?after_recovery m =
   done;
   if not (M.halted m) then
     raise (Stagnation "instruction guard exceeded without Halt");
-  let d = M.drain m ~now_ns:!now in
-  now := !now +. d.Cost.ns;
-  joules := !joules +. d.Cost.joules;
+  let d = M.drain m ~now_ns:tt.u_now in
+  tt.u_now <- tt.u_now +. d.Cost.ns;
+  tt.u_joules <- tt.u_joules +. d.Cost.joules;
   {
     completed = true;
-    on_ns = !now;
+    on_ns = tt.u_now;
     off_ns = 0.0;
     outages = !outages;
     deaths = 0;
     backups = 0;
     failed_backups = 0;
-    compute_joules = !joules;
+    compute_joules = tt.u_joules;
     backup_joules = 0.0;
-    restore_joules = !restore_joules;
+    restore_joules = tt.u_restore_joules;
     quiescent_joules = 0.0;
     instructions = !instructions;
     injected_faults = !injected;
@@ -159,23 +169,43 @@ let run_unlimited ?(max_instructions = 500_000_000) ?fault ?after_recovery m =
 
 (* ------------------------------------------------------------------ *)
 
+(* Same flat-float-record discipline as {!utotals}: every float the
+   harvested loop mutates per instruction lives here, nested inside the
+   mixed {!harv_state}. *)
+type harv_totals = {
+  mutable now : float; (* ns *)
+  mutable on_ns : float;
+  mutable off_ns : float;
+  mutable compute_joules : float;
+  mutable backup_joules : float;
+  mutable restore_joules : float;
+  mutable quiescent_joules : float;
+  mutable trace_p : float;
+      (* Cached [Trace.power] sample for the hot loop, valid while
+         [now < trace_edge].  The trace is a 100 µs zero-order hold and
+         steps advance time by nanoseconds, so the sample only changes
+         every ~10⁴–10⁵ instructions; caching turns the per-instruction
+         lookup (float divide, truncation, integer modulo, array load)
+         into one float compare. *)
+  mutable trace_edge : float;
+      (* Conservative lower bound (ns) on the next sample boundary:
+         always <= the true edge, so a stale sample is never used; -inf
+         initially and whenever nothing is cached.  Cold paths advance
+         [now] without touching it — [now] is monotonic, so crossing the
+         bound just forces a recompute. *)
+}
+
 type harv_state = {
   m : M.packed;
   trace : Trace.t;
   cap : Capacitor.t;
   det : Detector.t;
   p_quiescent : float;
-  mutable now : float; (* ns *)
-  mutable on_ns : float;
-  mutable off_ns : float;
+  f : harv_totals;
   mutable outages : int;
   mutable deaths : int;
   mutable backups : int;
   mutable failed_backups : int;
-  mutable compute_joules : float;
-  mutable backup_joules : float;
-  mutable restore_joules : float;
-  mutable quiescent_joules : float;
   mutable instructions : int;
   mutable backup_armed : bool;
   mutable injected_faults : int;
@@ -188,10 +218,12 @@ let pass_time_on s ns =
     let dt = ns_to_s ns in
     let pq = s.p_quiescent *. dt in
     Capacitor.consume s.cap pq;
-    s.quiescent_joules <- s.quiescent_joules +. pq;
-    Capacitor.harvest s.cap ~power_w:(Trace.power s.trace (ns_to_s s.now)) ~dt_s:dt;
-    s.now <- s.now +. ns;
-    s.on_ns <- s.on_ns +. ns
+    s.f.quiescent_joules <- s.f.quiescent_joules +. pq;
+    Capacitor.harvest s.cap
+      ~power_w:(Trace.power s.trace (ns_to_s s.f.now))
+      ~dt_s:dt;
+    s.f.now <- s.f.now +. ns;
+    s.f.on_ns <- s.f.on_ns +. ns
   end
 
 (* Dead/charging: integrate the trace at its own resolution until the
@@ -203,19 +235,19 @@ let charge_until s target ~max_off_s =
   while (not (Capacitor.above s.cap target)) && !waited < max_off_s do
     (* Sample the recharge ramp sparsely for the voltage counter track. *)
     if Sink.on () && !steps mod 100 = 0 then
-      Sink.emit ~ns:s.now (Ev.Voltage { volts = Capacitor.voltage s.cap });
+      Sink.emit ~ns:s.f.now (Ev.Voltage { volts = Capacitor.voltage s.cap });
     incr steps;
     (* Apply the net power over the step: harvesting and the detector
        draw are simultaneous, so clamping at Vmax must see the
        difference, not harvest-then-consume (which would cap a small
        capacitor's steady state a whole quiescent-step below Vmax). *)
-    let p = Trace.power s.trace (ns_to_s s.now) in
+    let p = Trace.power s.trace (ns_to_s s.f.now) in
     let net = p -. s.p_quiescent in
     if net >= 0.0 then Capacitor.harvest s.cap ~power_w:net ~dt_s:dt
     else Capacitor.consume s.cap (-.net *. dt);
-    s.quiescent_joules <- s.quiescent_joules +. (s.p_quiescent *. dt);
-    s.now <- s.now +. (dt *. 1.0e9);
-    s.off_ns <- s.off_ns +. (dt *. 1.0e9);
+    s.f.quiescent_joules <- s.f.quiescent_joules +. (s.p_quiescent *. dt);
+    s.f.now <- s.f.now +. (dt *. 1.0e9);
+    s.f.off_ns <- s.f.off_ns +. (dt *. 1.0e9);
     waited := !waited +. dt
   done;
   if not (Capacitor.above s.cap target) then
@@ -230,12 +262,14 @@ let propagation_delay s ns state =
   let dt = ns_to_s ns in
   let pq = s.p_quiescent *. dt in
   Capacitor.consume s.cap pq;
-  s.quiescent_joules <- s.quiescent_joules +. pq;
-  Capacitor.harvest s.cap ~power_w:(Trace.power s.trace (ns_to_s s.now)) ~dt_s:dt;
-  s.now <- s.now +. ns;
+  s.f.quiescent_joules <- s.f.quiescent_joules +. pq;
+  Capacitor.harvest s.cap
+    ~power_w:(Trace.power s.trace (ns_to_s s.f.now))
+    ~dt_s:dt;
+  s.f.now <- s.f.now +. ns;
   match state with
-  | `On -> s.on_ns <- s.on_ns +. ns
-  | `Off -> s.off_ns <- s.off_ns +. ns
+  | `On -> s.f.on_ns <- s.f.on_ns +. ns
+  | `Off -> s.f.off_ns <- s.f.off_ns +. ns
 
 (* Power-down / charge / reboot sequence shared by JIT stops, hard
    deaths and injected faults.  [after_recovery] (the differential
@@ -243,22 +277,22 @@ let propagation_delay s ns state =
 let power_cycle ?after_recovery s ~max_off_s =
   s.outages <- s.outages + 1;
   if Sink.on () then
-    Sink.emit ~ns:s.now (Ev.Power_down { volts = Capacitor.voltage s.cap });
-  M.on_power_failure s.m ~now_ns:s.now;
+    Sink.emit ~ns:s.f.now (Ev.Power_down { volts = Capacitor.voltage s.cap });
+  M.on_power_failure s.m ~now_ns:s.f.now;
   charge_until s s.det.Detector.v_restore ~max_off_s;
   propagation_delay s s.det.Detector.t_plh_ns `Off;
   if Sink.on () then begin
-    Sink.emit ~ns:s.now (Ev.Reboot { outage = s.outages });
-    Sink.emit ~ns:s.now (Ev.Voltage { volts = Capacitor.voltage s.cap })
+    Sink.emit ~ns:s.f.now (Ev.Reboot { outage = s.outages });
+    Sink.emit ~ns:s.f.now (Ev.Voltage { volts = Capacitor.voltage s.cap })
   end;
-  let c = M.on_reboot s.m ~now_ns:s.now in
+  let c = M.on_reboot s.m ~now_ns:s.f.now in
   Capacitor.consume s.cap c.Cost.joules;
-  s.restore_joules <- s.restore_joules +. c.Cost.joules;
+  s.f.restore_joules <- s.f.restore_joules +. c.Cost.joules;
   if Sink.on () then
-    Sink.emit ~ns:s.now (Ev.Restore { joules = c.Cost.joules });
+    Sink.emit ~ns:s.f.now (Ev.Restore { joules = c.Cost.joules });
   pass_time_on s c.Cost.ns;
   s.backup_armed <- true;
-  match after_recovery with Some f -> f ~now_ns:s.now | None -> ()
+  match after_recovery with Some f -> f ~now_ns:s.f.now | None -> ()
 
 let try_backup s v_min =
   (* Detection propagation delay passes first (§2.2). *)
@@ -268,23 +302,23 @@ let try_backup s v_min =
   | Some cost ->
     let available = Capacitor.usable_above s.cap v_min in
     if cost.Cost.joules <= available then begin
-      M.commit_jit_backup s.m ~now_ns:s.now;
+      M.commit_jit_backup s.m ~now_ns:s.f.now;
       Capacitor.consume s.cap cost.Cost.joules;
-      s.backup_joules <- s.backup_joules +. cost.Cost.joules;
+      s.f.backup_joules <- s.f.backup_joules +. cost.Cost.joules;
       (M.mstats s.m).Mstats.backup_events <-
         (M.mstats s.m).Mstats.backup_events + 1;
-      (M.mstats s.m).Mstats.backup_joules <-
-        (M.mstats s.m).Mstats.backup_joules +. cost.Cost.joules;
+      (M.mstats s.m).Mstats.f.Mstats.backup_joules <-
+        (M.mstats s.m).Mstats.f.Mstats.backup_joules +. cost.Cost.joules;
       pass_time_on s cost.Cost.ns;
       s.backups <- s.backups + 1;
       if Sink.on () then
-        Sink.emit ~ns:s.now (Ev.Backup { ok = true; joules = cost.Cost.joules });
+        Sink.emit ~ns:s.f.now (Ev.Backup { ok = true; joules = cost.Cost.joules });
       true
     end
     else begin
       s.failed_backups <- s.failed_backups + 1;
       if Sink.on () then
-        Sink.emit ~ns:s.now (Ev.Backup { ok = false; joules = cost.Cost.joules });
+        Sink.emit ~ns:s.f.now (Ev.Backup { ok = false; joules = cost.Cost.joules });
       false
     end
 
@@ -298,30 +332,52 @@ let run_harvested ?(max_instructions = 500_000_000) ?(max_sim_s = 600.0)
       cap = Capacitor.create ~farads ~v_max ~v_min;
       det;
       p_quiescent = Detector.quiescent_power_w det;
-      now = 0.0;
-      on_ns = 0.0;
-      off_ns = 0.0;
+      f =
+        {
+          now = 0.0;
+          on_ns = 0.0;
+          off_ns = 0.0;
+          compute_joules = 0.0;
+          backup_joules = 0.0;
+          restore_joules = 0.0;
+          quiescent_joules = 0.0;
+          trace_p = 0.0;
+          trace_edge = Float.neg_infinity;
+        };
       outages = 0;
       deaths = 0;
       backups = 0;
       failed_backups = 0;
-      compute_joules = 0.0;
-      backup_joules = 0.0;
-      restore_joules = 0.0;
-      quiescent_joules = 0.0;
       instructions = 0;
       backup_armed = true;
       injected_faults = 0;
     }
   in
+  let acc = M.acc m in
   let max_off_s = 120.0 in
-  let guards () =
-    if s.instructions > max_instructions then
-      raise (Stagnation "instruction guard exceeded");
-    if ns_to_s s.now > max_sim_s then
-      raise (Stagnation "simulated-time guard exceeded")
-  in
   let has_jit = M.jit_backup_cost m <> None in
+  (* Hot-loop flattening: the per-instruction block below does all its
+     capacitor/trace arithmetic by direct field access on the flat
+     [Capacitor.t] and the raw sample array.  Calling
+     [Capacitor.consume]/[harvest]/[above] or [Trace.power] here would
+     box their computed float arguments on every dynamic instruction
+     (non-flambda), which used to cost ~11 minor words/instr and
+     dominate harvested-mode wall-clock.  The voltage thresholds are
+     hoisted as energies ([above t v] ⇔ [energy >= ½Cv² - 1e-18]); a
+     missing backup threshold becomes -∞ so the comparison is always
+     false, matching the [None -> false] arm it replaces.  Cold paths
+     (outages, charging, backup) keep the readable module calls. *)
+  let cap = s.cap in
+  let tr_samples = Trace.samples trace and tr_dt = Trace.sample_dt trace in
+  let tr_n = Array.length tr_samples in
+  let p_quiescent = s.p_quiescent in
+  let th_restore = Capacitor.energy_at cap det.Detector.v_restore -. 1e-18 in
+  let th_vmin = Capacitor.energy_at cap v_min -. 1e-18 in
+  let th_backup =
+    match det.Detector.v_backup with
+    | Some vb -> Capacitor.energy_at cap vb -. 1e-18
+    | None -> Float.neg_infinity
+  in
   let w = watch_fault fault in
   (* An injected crash behaves like a death at the crash point, except a
      JIT design first banks the backup its detector would have banked
@@ -332,38 +388,34 @@ let run_harvested ?(max_instructions = 500_000_000) ?(max_sim_s = 600.0)
     if has_jit then begin
       match M.jit_backup_cost m with
       | Some cost ->
-        M.commit_jit_backup m ~now_ns:s.now;
+        M.commit_jit_backup m ~now_ns:s.f.now;
         Capacitor.consume s.cap cost.Cost.joules;
-        s.backup_joules <- s.backup_joules +. cost.Cost.joules;
+        s.f.backup_joules <- s.f.backup_joules +. cost.Cost.joules;
         (M.mstats m).Mstats.backup_events <-
           (M.mstats m).Mstats.backup_events + 1;
-        (M.mstats m).Mstats.backup_joules <-
-          (M.mstats m).Mstats.backup_joules +. cost.Cost.joules;
+        (M.mstats m).Mstats.f.Mstats.backup_joules <-
+          (M.mstats m).Mstats.f.Mstats.backup_joules +. cost.Cost.joules;
         s.backups <- s.backups + 1;
         if Sink.on () then
-          Sink.emit ~ns:s.now
+          Sink.emit ~ns:s.f.now
             (Ev.Backup { ok = true; joules = cost.Cost.joules })
       | None -> ()
     end;
     if Sink.on () then
-      Sink.emit ~ns:s.now
+      Sink.emit ~ns:s.f.now
         (Ev.Fault_inject { trigger; detail = Fault.describe f });
     power_cycle ?after_recovery s ~max_off_s
   in
   Fun.protect ~finally:(fun () -> unwatch_fault w) @@ fun () ->
   while not (M.halted m) do
-    guards ();
+    if s.instructions > max_instructions then
+      raise (Stagnation "instruction guard exceeded");
+    if s.f.now *. 1.0e-9 > max_sim_s then
+      raise (Stagnation "simulated-time guard exceeded");
     (* Re-arm the backup trigger once the voltage has recovered. *)
-    if (not s.backup_armed) && Capacitor.above s.cap det.Detector.v_restore then
+    if (not s.backup_armed) && cap.Capacitor.energy >= th_restore then
       s.backup_armed <- true;
-    let backup_wanted =
-      has_jit && s.backup_armed
-      &&
-      match det.Detector.v_backup with
-      | Some vb -> not (Capacitor.above s.cap vb)
-      | None -> false
-    in
-    if backup_wanted then begin
+    if has_jit && s.backup_armed && cap.Capacitor.energy < th_backup then begin
       s.backup_armed <- false;
       let ok = try_backup s v_min in
       if M.continues_after_backup m && ok then
@@ -373,23 +425,53 @@ let run_harvested ?(max_instructions = 500_000_000) ?(max_sim_s = 600.0)
         (* Backup (or its failure) is followed by power-down. *)
         power_cycle ?after_recovery s ~max_off_s
     end
-    else if not (Capacitor.above s.cap v_min) then begin
+    else if cap.Capacitor.energy < th_vmin then begin
       (* Hard death: volatile state is lost. *)
       s.deaths <- s.deaths + 1;
       if Sink.on () then
-        Sink.emit ~ns:s.now (Ev.Death { volts = Capacitor.voltage s.cap });
+        Sink.emit ~ns:s.f.now (Ev.Death { volts = Capacitor.voltage s.cap });
       power_cycle ?after_recovery s ~max_off_s
     end
     else begin
-      let c = M.step m ~now_ns:s.now in
-      Capacitor.consume s.cap c.Cost.joules;
-      s.compute_joules <- s.compute_joules +. c.Cost.joules;
-      pass_time_on s c.Cost.ns;
+      acc.Exec.Acc.now <- s.f.now;
+      M.step m;
+      let step_ns = acc.Exec.Acc.ns and step_joules = acc.Exec.Acc.joules in
+      (* Capacitor.consume, inlined. *)
+      let e = cap.Capacitor.energy -. step_joules in
+      cap.Capacitor.energy <- (if e > 0.0 then e else 0.0);
+      s.f.compute_joules <- s.f.compute_joules +. step_joules;
+      (* pass_time_on, inlined: quiescent draw, then harvest at the
+         pre-advance timestamp (same order as the function). *)
+      if step_ns > 0.0 then begin
+        let dt = step_ns *. 1.0e-9 in
+        let pq = p_quiescent *. dt in
+        let e = cap.Capacitor.energy -. pq in
+        cap.Capacitor.energy <- (if e > 0.0 then e else 0.0);
+        s.f.quiescent_joules <- s.f.quiescent_joules +. pq;
+        (* Trace sample, from the cache while [now] stays inside the
+           current 100 µs hold interval.  On a recompute: [now] never
+           goes backwards from 0, so [idx] is non-negative and one [mod]
+           reproduces [Trace.power]'s wraparound; the refreshed edge is
+           shrunk by a relative 1e-6 (≫ any rounding error, ≪ the
+           interval) so it can never land past the true boundary. *)
+        if s.f.now >= s.f.trace_edge then begin
+          let idx = int_of_float (s.f.now *. 1.0e-9 /. tr_dt) in
+          s.f.trace_p <- Array.unsafe_get tr_samples (idx mod tr_n);
+          s.f.trace_edge <-
+            float_of_int (idx + 1) *. tr_dt *. 1.0e9 *. 0.999999
+        end;
+        let p = s.f.trace_p in
+        let e = cap.Capacitor.energy +. (p *. dt) in
+        cap.Capacitor.energy <-
+          (if e < cap.Capacitor.e_max then e else cap.Capacitor.e_max);
+        s.f.now <- s.f.now +. step_ns;
+        s.f.on_ns <- s.f.on_ns +. step_ns
+      end;
       s.instructions <- s.instructions + 1;
       (* Sparse voltage samples while executing keep the counter track
          legible without swamping the trace. *)
       if Sink.on () && s.instructions mod 5_000 = 0 then
-        Sink.emit ~ns:s.now (Ev.Voltage { volts = Capacitor.voltage s.cap });
+        Sink.emit ~ns:s.f.now (Ev.Voltage { volts = Capacitor.voltage s.cap });
       match fault_to_fire w ~instructions:s.instructions with
       | Some f ->
         w.fired <- true;
@@ -398,22 +480,22 @@ let run_harvested ?(max_instructions = 500_000_000) ?(max_sim_s = 600.0)
       | None -> ()
     end
   done;
-  let d = M.drain m ~now_ns:s.now in
+  let d = M.drain m ~now_ns:s.f.now in
   Capacitor.consume s.cap d.Cost.joules;
-  s.compute_joules <- s.compute_joules +. d.Cost.joules;
+  s.f.compute_joules <- s.f.compute_joules +. d.Cost.joules;
   pass_time_on s d.Cost.ns;
   {
     completed = true;
-    on_ns = s.on_ns;
-    off_ns = s.off_ns;
+    on_ns = s.f.on_ns;
+    off_ns = s.f.off_ns;
     outages = s.outages;
     deaths = s.deaths;
     backups = s.backups;
     failed_backups = s.failed_backups;
-    compute_joules = s.compute_joules;
-    backup_joules = s.backup_joules;
-    restore_joules = s.restore_joules;
-    quiescent_joules = s.quiescent_joules;
+    compute_joules = s.f.compute_joules;
+    backup_joules = s.f.backup_joules;
+    restore_joules = s.f.restore_joules;
+    quiescent_joules = s.f.quiescent_joules;
     instructions = s.instructions;
     injected_faults = s.injected_faults;
   }

@@ -1,0 +1,58 @@
+(* Allocation-regression gate for the decoded hot path.
+
+   With no event sink installed, the cycle loop — Exec.step dispatch,
+   mem-ops, accumulator charging, and the driver's totals bookkeeping —
+   must not allocate on the minor heap at all.  We run the same design
+   at two workload scales and require the minor-allocation delta across
+   Driver.run to stay below a small constant that does not grow with the
+   instruction count (machine construction and the outcome record are
+   allowed; per-instruction garbage is not). *)
+
+module H = Sweep_sim.Harness
+module Driver = Sweep_sim.Driver
+module Pipeline = Sweep_compiler.Pipeline
+
+(* Minor words allocated during one full Driver.run of [design] on
+   sha@[scale], machine construction excluded. *)
+let measure design scale =
+  let ast =
+    Sweep_workloads.Workload.program ~scale
+      (Sweep_workloads.Registry.find "sha")
+  in
+  let compiled = H.compile design ast in
+  let m = H.machine design compiled.Pipeline.program in
+  Gc.full_major ();
+  let w0 = Gc.minor_words () in
+  let outcome = Driver.run m ~power:Driver.Unlimited in
+  let w1 = Gc.minor_words () in
+  (w1 -. w0, outcome.Driver.instructions)
+
+let check_design design =
+  (* Warm-up run so one-time lazy initialisation is off the books. *)
+  ignore (measure design 0.02);
+  let small_words, small_instrs = measure design 0.02 in
+  let big_words, big_instrs = measure design 0.1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: scales ran (%d -> %d instrs)" (H.design_name design)
+       small_instrs big_instrs)
+    true
+    (big_instrs > small_instrs && small_instrs > 0);
+  let per_instr = (big_words -. small_words) /. float_of_int (big_instrs - small_instrs) in
+  if per_instr > 1e-3 then
+    Alcotest.failf
+      "%s hot loop allocates: %.4f minor words/instr (%.0f words over %d \
+       instrs vs %.0f over %d)"
+      (H.design_name design) per_instr big_words big_instrs small_words
+      small_instrs
+
+let test_nvp_zero_alloc () = check_design H.Nvp
+let test_sweep_zero_alloc () = check_design H.Sweep
+let test_replay_zero_alloc () = check_design H.Replay
+
+let suite =
+  [
+    Alcotest.test_case "nvp hot loop alloc-free" `Slow test_nvp_zero_alloc;
+    Alcotest.test_case "sweep hot loop alloc-free" `Slow test_sweep_zero_alloc;
+    Alcotest.test_case "replay hot loop alloc-free" `Slow
+      test_replay_zero_alloc;
+  ]

@@ -300,10 +300,12 @@ let test_bench_history_roundtrip () =
   if Sys.file_exists path then Sys.remove path;
   let e1 =
     { A.Bench.ts = "2026-08-05T00:00:00Z"; commit = "aaa";
-      results = [ ("k", [ ("on_ns", 10.0); ("miss_rate", 0.01) ]) ] }
+      results = [ ("k", [ ("on_ns", 10.0); ("miss_rate", 0.01) ]) ];
+      throughput = [] }
   in
   let e2 = { e1 with A.Bench.commit = "bbb";
-                     results = [ ("k", [ ("on_ns", 12.0) ]) ] } in
+                     results = [ ("k", [ ("on_ns", 12.0) ]) ];
+                     throughput = [ ("k", 123456.0) ] } in
   (match A.Bench.append ~path e1 with
   | Ok 1 -> ()
   | Ok n -> Alcotest.failf "expected 1 entry, got %d" n
@@ -324,14 +326,33 @@ let test_bench_history_roundtrip () =
   | Ok l -> Alcotest.failf "expected 2 entries, got %d" (List.length l)
   | Error e -> Alcotest.fail e);
   (match A.Bench.latest path with
-  | Ok e -> check Alcotest.string "latest" "bbb" e.A.Bench.commit
+  | Ok e ->
+    check Alcotest.string "latest" "bbb" e.A.Bench.commit;
+    check
+      (Alcotest.option (Alcotest.float 0.0))
+      "throughput survives" (Some 123456.0)
+      (List.assoc_opt "k" e.A.Bench.throughput)
   | Error e -> Alcotest.fail e);
-  (* Diff.load autodetects the bench format and picks the last entry. *)
+  (* Schema-v1 entries (no throughput member) still load. *)
+  let oc = open_out path in
+  output_string oc
+    (Printf.sprintf
+       "{\"schema_version\":1,\"matrix_id\":%S,\"entries\":[{\"ts\":\"t\",\
+        \"commit\":\"v1c\",\"results\":{\"k\":{\"on_ns\":7}}}]}"
+       A.Bench.matrix_id);
+  close_out oc;
+  (match A.Bench.latest path with
+  | Ok e ->
+    check Alcotest.string "v1 entry loads" "v1c" e.A.Bench.commit;
+    check Alcotest.bool "v1 throughput empty" true (e.A.Bench.throughput = [])
+  | Error e -> Alcotest.fail e);
+  (* Diff.load autodetects the bench format and picks the last entry
+     (the v1 file written just above). *)
   (match A.Diff.load path with
   | Ok [ ("k", fields) ] ->
     check
       (Alcotest.option (Alcotest.float 0.0))
-      "bench as run" (Some 12.0)
+      "bench as run" (Some 7.0)
       (List.assoc_opt "on_ns" fields)
   | Ok _ -> Alcotest.fail "unexpected run shape"
   | Error e -> Alcotest.fail e);

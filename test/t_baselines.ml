@@ -36,18 +36,25 @@ let machine_of design =
   (compiled, H.machine design compiled.Pipeline.program)
 
 let run_some m n =
+  let acc = M.acc m in
   let now = ref 0.0 in
   for _ = 1 to n do
-    if not (M.halted m) then
-      now := !now +. (M.step m ~now_ns:!now).Sweep_machine.Cost.ns
+    if not (M.halted m) then begin
+      acc.Sweep_machine.Exec.Acc.now <- !now;
+      M.step m;
+      now := !now +. acc.Sweep_machine.Exec.Acc.ns
+    end
   done;
   !now
 
 let finish m now0 =
+  let acc = M.acc m in
   let now = ref now0 in
   let guard = ref 0 in
   while (not (M.halted m)) && !guard < 5_000_000 do
-    now := !now +. (M.step m ~now_ns:!now).Sweep_machine.Cost.ns;
+    acc.Sweep_machine.Exec.Acc.now <- !now;
+    M.step m;
+    now := !now +. acc.Sweep_machine.Exec.Acc.ns;
     incr guard
   done;
   ignore (M.drain m ~now_ns:!now);

@@ -85,11 +85,13 @@ let fresh_machine () =
   Sweepcache.create Config.default (Lazy.force compiled_tiny).Pipeline.program
 
 let step_n t n =
+  let acc = Sweepcache.acc t in
   let consumed = ref 0.0 in
   for _ = 1 to n do
     if not (Sweepcache.halted t) then begin
-      let c = Sweepcache.step t ~now_ns:!consumed in
-      consumed := !consumed +. c.Sweep_machine.Cost.ns
+      acc.Sweep_machine.Exec.Acc.now <- !consumed;
+      Sweepcache.step t;
+      consumed := !consumed +. acc.Sweep_machine.Exec.Acc.ns
     end
   done;
   !consumed
@@ -140,11 +142,13 @@ let test_crash_then_completion_is_consistent () =
       Sweepcache.on_power_failure t ~now_ns:now;
       let c = Sweepcache.on_reboot t ~now_ns:(now +. 10.0) in
       let resume = now +. 10.0 +. c.Sweep_machine.Cost.ns in
+      let acc = Sweepcache.acc t in
       let consumed = ref resume in
       let guard = ref 0 in
       while (not (Sweepcache.halted t)) && !guard < 5_000_000 do
-        let c = Sweepcache.step t ~now_ns:!consumed in
-        consumed := !consumed +. c.Sweep_machine.Cost.ns;
+        acc.Sweep_machine.Exec.Acc.now <- !consumed;
+        Sweepcache.step t;
+        consumed := !consumed +. acc.Sweep_machine.Exec.Acc.ns;
         incr guard
       done;
       Alcotest.(check bool) "finished" true (Sweepcache.halted t);

@@ -1,0 +1,86 @@
+(* Differential equivalence of the decoded fast path against the
+   reference interpreter.
+
+   The decoded-opstream refactor must be semantically invisible: for
+   every workload and every design, running with
+   [Config.reference_interp] set (the original match-on-constructors
+   interpreter over [Program.t]) and with the decoded dispatch loop must
+   produce byte-identical results — same final NVM data segment and
+   checkpoint slots, same machine statistics, same outcome (times and
+   energies compared exactly, not within a tolerance). *)
+
+module H = Sweep_sim.Harness
+module Config = Sweep_machine.Config
+module Mstats = Sweep_machine.Mstats
+module Nvm = Sweep_mem.Nvm
+module M = Sweep_machine.Machine_intf
+module Layout = Sweep_isa.Layout
+module Driver = Sweep_sim.Driver
+
+let check = Alcotest.check
+
+(* Digest of the architecturally persistent state: the data segment the
+   compiler laid out plus the register/PC checkpoint slots. *)
+let nvm_digest (r : H.result) =
+  let (M.Packed ((module MI), m)) = r.H.machine in
+  let nvm = MI.nvm m in
+  let layout = r.H.compiled.Sweep_compiler.Pipeline.program.Sweep_isa.Program.layout in
+  let data = Nvm.image nvm ~lo:layout.Layout.data_base ~hi:layout.Layout.data_limit in
+  let ckpt =
+    Nvm.image nvm ~lo:layout.Layout.ckpt_base
+      ~hi:(layout.Layout.ckpt_pc + Layout.word_bytes)
+  in
+  Digest.string (Marshal.to_string (data, ckpt) [])
+
+let scale = 0.05
+
+let check_pair name design =
+  let ast =
+    Sweep_workloads.Workload.program ~scale
+      (Sweep_workloads.Registry.find name)
+  in
+  let run config = H.run ~config design ~power:Driver.Unlimited ast in
+  let fast = run Config.default in
+  let ref_ = run (Config.with_reference_interp Config.default) in
+  let tag fmt = Printf.sprintf "%s/%s %s" (H.design_name design) name fmt in
+  check Alcotest.bool (tag "completed") ref_.H.outcome.Driver.completed
+    fast.H.outcome.Driver.completed;
+  (* Outcome: every field, floats compared bit-for-bit. *)
+  Alcotest.(check bool)
+    (tag "outcome identical")
+    true
+    (ref_.H.outcome = fast.H.outcome);
+  (* Machine statistics, including stall/persistence nanoseconds. *)
+  let sf = H.mstats fast and sr = H.mstats ref_ in
+  check Alcotest.int (tag "instructions") sr.Mstats.instructions
+    sf.Mstats.instructions;
+  check Alcotest.int (tag "loads") sr.Mstats.loads sf.Mstats.loads;
+  check Alcotest.int (tag "stores") sr.Mstats.stores sf.Mstats.stores;
+  check Alcotest.int (tag "regions") sr.Mstats.regions sf.Mstats.regions;
+  check Alcotest.int (tag "buffer searches") sr.Mstats.buffer_searches
+    sf.Mstats.buffer_searches;
+  check Alcotest.int (tag "buffer hits") sr.Mstats.buffer_hits
+    sf.Mstats.buffer_hits;
+  check Alcotest.int (tag "buffer peak") sr.Mstats.buffer_peak
+    sf.Mstats.buffer_peak;
+  check (Alcotest.float 0.0) (tag "persistence_ns") sr.Mstats.f.Mstats.persistence_ns
+    sf.Mstats.f.Mstats.persistence_ns;
+  check (Alcotest.float 0.0) (tag "wait_ns") sr.Mstats.f.Mstats.wait_ns
+    sf.Mstats.f.Mstats.wait_ns;
+  check (Alcotest.float 0.0) (tag "waw_stall_ns") sr.Mstats.f.Mstats.waw_stall_ns
+    sf.Mstats.f.Mstats.waw_stall_ns;
+  (* Persistent memory image. *)
+  check Alcotest.string (tag "nvm digest") (nvm_digest ref_) (nvm_digest fast)
+
+let test_design design () =
+  List.iter
+    (fun name -> check_pair name design)
+    (Sweep_workloads.Registry.names ())
+
+let suite =
+  List.map
+    (fun d ->
+      Alcotest.test_case
+        ("decoded = reference: " ^ H.design_name d)
+        `Slow (test_design d))
+    H.all_designs

@@ -36,22 +36,22 @@ let test_cost_algebra () =
   check (Alcotest.float 0.0) "sum" 3.0 (sum [ c; zero ]).ns
 
 (* A simple flat-memory ops record for executor tests: loads/stores hit a
-   hashtable with a fixed per-op cost. *)
-let flat_mem () =
+   hashtable and charge a fixed per-op cost into [acc]. *)
+let flat_mem acc =
   let mem = Hashtbl.create 16 in
   let ops =
     {
       Exec.load =
-        (fun addr _ ->
-          ( Option.value ~default:0 (Hashtbl.find_opt mem addr),
-            Cost.make ~ns:10.0 ~joules:0.0 ));
+        (fun addr ->
+          Exec.Acc.charge acc ~ns:10.0 ~joules:0.0;
+          Option.value ~default:0 (Hashtbl.find_opt mem addr));
       store =
-        (fun addr v _ ->
+        (fun addr v ->
           Hashtbl.replace mem addr v;
-          Cost.make ~ns:20.0 ~joules:0.0);
-      clwb = (fun _ _ -> Cost.zero);
-      fence = (fun _ -> Cost.zero);
-      region_end = (fun _ -> Cost.zero);
+          Exec.Acc.charge acc ~ns:20.0 ~joules:0.0);
+      clwb = (fun _ -> ());
+      fence = (fun () -> ());
+      region_end = (fun () -> ());
     }
   in
   (mem, ops)
@@ -60,18 +60,26 @@ let assemble items =
   Program.assemble ~layout:(Layout.make ~data_limit:0x2000) ~entry:"main"
     (Program.Label "main" :: items)
 
-let run_program items =
+(* Run through the decoded fast path (or the reference interpreter with
+   [~reference:true]), summing each step's accumulator into a Cost. *)
+let run_program ?(reference = false) items =
   let prog = assemble items in
+  let dec = Sweep_isa.Decoded.compile prog in
   let cpu = Cpu.create ~entry:prog.Program.entry in
   let stats = Mstats.create () in
-  let mem, ops = flat_mem () in
-  let total = ref Cost.zero in
+  let acc = Exec.Acc.create () in
+  Exec.Acc.set_rates acc Config.default.Config.energy;
+  let mem, ops = flat_mem acc in
+  let total_ns = ref 0.0 and total_joules = ref 0.0 in
   let guard = ref 0 in
   while (not cpu.Cpu.halted) && !guard < 10_000 do
-    total := Cost.( ++ ) !total (Exec.step Config.default cpu prog stats ops ~now_ns:0.0);
+    if reference then Exec.step_reference cpu prog stats ops acc
+    else Exec.step cpu dec stats ops acc;
+    total_ns := !total_ns +. acc.Exec.Acc.ns;
+    total_joules := !total_joules +. acc.Exec.Acc.joules;
     incr guard
   done;
-  (cpu, mem, stats, !total)
+  (cpu, mem, stats, Cost.make ~ns:!total_ns ~joules:!total_joules)
 
 let ins l = List.map (fun x -> Program.Ins x) l
 
@@ -159,12 +167,57 @@ let test_exec_cost_model () =
 
 let test_exec_halted_is_free () =
   let prog = assemble (ins [ I.Halt ]) in
+  let dec = Sweep_isa.Decoded.compile prog in
   let cpu = Cpu.create ~entry:0 in
   let stats = Mstats.create () in
-  let _, ops = flat_mem () in
-  ignore (Exec.step Config.default cpu prog stats ops ~now_ns:0.0);
-  let c = Exec.step Config.default cpu prog stats ops ~now_ns:0.0 in
-  check (Alcotest.float 0.0) "halted step costs nothing" 0.0 c.Cost.ns
+  let acc = Exec.Acc.create () in
+  Exec.Acc.set_rates acc Config.default.Config.energy;
+  let _, ops = flat_mem acc in
+  Exec.step cpu dec stats ops acc;
+  Exec.step cpu dec stats ops acc;
+  check (Alcotest.float 0.0) "halted step costs nothing" 0.0 acc.Exec.Acc.ns
+
+(* The decoded fast path and the reference interpreter must agree
+   bit-for-bit — registers, memory, stats and accumulated cost.  The
+   full-matrix differential suite lives in t_equiv.ml; this is the
+   executor-level smoke check. *)
+let test_exec_reference_parity () =
+  let items =
+    ins
+      [
+        I.Movi (0, 0x100);
+        I.Movi (1, 6);
+        I.Bin (I.Mul, 2, 1, 1);
+        I.Store (2, 0, 8);
+        I.Load (3, 0, 8);
+        I.Bini (I.Xor, 4, 3, 5);
+        I.Set (I.Le, 5, 1, 3);
+        I.Br (I.Ne, 5, 4, "end");
+        I.Movi (6, 99);
+      ]
+    @ [ Program.Label "end" ]
+    @ ins [ I.Region_end; I.Halt ]
+  in
+  let cpu_d, _, stats_d, cost_d = run_program items in
+  let cpu_r, _, stats_r, cost_r = run_program ~reference:true items in
+  check Alcotest.(array int) "regs equal" cpu_r.Cpu.regs cpu_d.Cpu.regs;
+  check Alcotest.int "pc equal" cpu_r.Cpu.pc cpu_d.Cpu.pc;
+  check Alcotest.int "instrs equal" stats_r.Mstats.instructions
+    stats_d.Mstats.instructions;
+  check Alcotest.int "regions equal" stats_r.Mstats.regions
+    stats_d.Mstats.regions;
+  check (Alcotest.float 0.0) "ns equal" cost_r.Cost.ns cost_d.Cost.ns;
+  check (Alcotest.float 0.0) "joules equal" cost_r.Cost.joules
+    cost_d.Cost.joules
+
+(* Decoded.compile rejects malformed programs up front, so the cycle
+   loop can use unchecked array reads. *)
+let test_decoded_validation () =
+  let good = assemble (ins [ I.Halt ]) in
+  let bad_target = { good with Program.code = [| I.Jmp 99; I.Halt |] } in
+  Alcotest.check_raises "jump target out of range"
+    (Invalid_argument "Decoded.compile: instr 0: bad target 99") (fun () ->
+      ignore (Sweep_isa.Decoded.compile bad_target))
 
 let test_mstats_histograms () =
   let st = Mstats.create () in
@@ -183,20 +236,20 @@ let test_parallelism_efficiency () =
   let st = Mstats.create () in
   check (Alcotest.float 0.0) "no persistence = 100%" 100.0
     (Mstats.parallelism_efficiency st);
-  st.Mstats.persistence_ns <- 100.0;
-  st.Mstats.wait_ns <- 9.0;
+  st.Mstats.f.Mstats.persistence_ns <- 100.0;
+  st.Mstats.f.Mstats.wait_ns <- 9.0;
   check (Alcotest.float 1e-9) "91%" 91.0 (Mstats.parallelism_efficiency st)
 
 let test_parallelism_efficiency_edges () =
   (* Zero persistence with nonzero waits still reads 100%: the metric is
      a fraction of persistence time, not of wall time. *)
   let st = Mstats.create () in
-  st.Mstats.wait_ns <- 50.0;
+  st.Mstats.f.Mstats.wait_ns <- 50.0;
   check (Alcotest.float 0.0) "zero persistence = 100%" 100.0
     (Mstats.parallelism_efficiency st);
   (* Fully serialised: every persisted nanosecond was waited on. *)
-  st.Mstats.persistence_ns <- 25.0;
-  st.Mstats.wait_ns <- 25.0;
+  st.Mstats.f.Mstats.persistence_ns <- 25.0;
+  st.Mstats.f.Mstats.wait_ns <- 25.0;
   check (Alcotest.float 1e-9) "fully serialised = 0%" 0.0
     (Mstats.parallelism_efficiency st)
 
@@ -254,6 +307,9 @@ let suite =
     Alcotest.test_case "exec region markers" `Quick test_exec_region_marker_counts;
     Alcotest.test_case "exec cost model" `Quick test_exec_cost_model;
     Alcotest.test_case "exec halted free" `Quick test_exec_halted_is_free;
+    Alcotest.test_case "exec reference parity" `Quick
+      test_exec_reference_parity;
+    Alcotest.test_case "decoded validation" `Quick test_decoded_validation;
     Alcotest.test_case "mstats histograms" `Quick test_mstats_histograms;
     Alcotest.test_case "parallelism efficiency" `Quick test_parallelism_efficiency;
     Alcotest.test_case "parallelism efficiency edges" `Quick

@@ -72,18 +72,18 @@ let test_cache_geometry () =
 let test_cache_install_find () =
   let c = make_cache () in
   let data = Array.init 16 (fun k -> k + 100) in
-  let line = Cache.install c 0x2000 data in
-  check Alcotest.int "read word" 103 (Cache.read_word line 0x200C);
-  (match Cache.find c 0x2004 with
-  | Some l -> check Alcotest.int "find same line" l.Cache.base line.Cache.base
-  | None -> Alcotest.fail "expected hit");
-  Alcotest.(check bool) "other line misses" true (Cache.find c 0x4000 = None)
+  let li = Cache.install c 0x2000 data in
+  check Alcotest.int "read word" 103 (Cache.read_word c li 0x200C);
+  let hit = Cache.find c 0x2004 in
+  Alcotest.(check bool) "find same line" true (hit = li);
+  Alcotest.(check bool) "other line misses" true
+    (Cache.find c 0x4000 = Cache.no_line)
 
 let test_cache_write_word () =
   let c = make_cache () in
-  let line = Cache.install c 0 (Array.make 16 0) in
-  Cache.write_word line 8 77;
-  check Alcotest.int "written" 77 (Cache.read_word line 8)
+  let li = Cache.install c 0 (Array.make 16 0) in
+  Cache.write_word c li 8 77;
+  check Alcotest.int "written" 77 (Cache.read_word c li 8)
 
 let test_cache_lru_eviction () =
   let c = make_cache () in
@@ -93,29 +93,34 @@ let test_cache_lru_eviction () =
   Cache.touch c l0;
   (* l1 is now LRU; the next fill of set 0 must evict it. *)
   let victim = Cache.victim c 0x4000 in
-  check Alcotest.int "victim is LRU" l1.Cache.base victim.Cache.base;
+  check Alcotest.int "victim is LRU" (Cache.line_addr c l1)
+    (Cache.line_addr c victim);
   ignore (Cache.install c 0x4000 (Array.make 16 3));
-  Alcotest.(check bool) "evicted line gone" true (Cache.find c 0x2000 = None);
-  Alcotest.(check bool) "touched line survives" true (Cache.find c 0x0 <> None)
+  Alcotest.(check bool) "evicted line gone" true
+    (Cache.find c 0x2000 = Cache.no_line);
+  Alcotest.(check bool) "touched line survives" true
+    (Cache.find c 0x0 <> Cache.no_line)
 
 let test_cache_victim_prefers_invalid () =
   let c = make_cache () in
   ignore (Cache.install c 0x0 (Array.make 16 1));
   let victim = Cache.victim c 0x2000 in
-  Alcotest.(check bool) "invalid way preferred" true (not victim.Cache.valid)
+  Alcotest.(check bool) "invalid way preferred" true (not (Cache.valid c victim))
 
 let test_cache_dirty_tracking () =
   let c = make_cache () in
   let l0 = Cache.install c 0x0 (Array.make 16 0) in
   let _l1 = Cache.install c 0x40 (Array.make 16 0) in
-  l0.Cache.dirty <- true;
-  l0.Cache.dirty_region <- 7;
+  Cache.set_dirty c l0 ~region:7;
+  check Alcotest.int "dirty region recorded" 7 (Cache.dirty_region c l0);
   check Alcotest.int "one dirty line" 1 (List.length (Cache.dirty_lines c));
   Cache.clean_all c;
   check Alcotest.int "clean_all clears" 0 (List.length (Cache.dirty_lines c));
-  Alcotest.(check bool) "data survives clean" true (Cache.find c 0x0 <> None);
+  Alcotest.(check bool) "data survives clean" true
+    (Cache.find c 0x0 <> Cache.no_line);
   Cache.invalidate_all c;
-  Alcotest.(check bool) "invalidate drops" true (Cache.find c 0x0 = None)
+  Alcotest.(check bool) "invalidate drops" true
+    (Cache.find c 0x0 = Cache.no_line)
 
 let test_cache_counters () =
   let c = make_cache () in
@@ -138,9 +143,9 @@ let prop_cache_set_discipline =
         line_ids;
       (* Count lines per set. *)
       let sets = Hashtbl.create 16 in
-      Cache.iter_lines c (fun line ->
-          if line.Cache.valid then begin
-            let set = line.Cache.base / 64 mod 8 in
+      Cache.iter_lines c (fun li ->
+          if Cache.valid c li then begin
+            let set = Cache.line_addr c li / 64 mod 8 in
             Hashtbl.replace sets set
               (1 + Option.value ~default:0 (Hashtbl.find_opt sets set))
           end);
@@ -161,9 +166,9 @@ let prop_cache_find_returns_installed =
         (fun id stamp ok ->
           ok
           &&
-          match Cache.find c (id * 64) with
-          | Some line -> Cache.read_word line (id * 64) = stamp
-          | None -> true (* may have been evicted *))
+          let li = Cache.find c (id * 64) in
+          li = Cache.no_line (* may have been evicted *)
+          || Cache.read_word c li (id * 64) = stamp)
         last true)
 
 let suite =

@@ -12,6 +12,8 @@ let () =
       ("machine", T_machine.suite);
       ("core", T_core.suite);
       ("baselines", T_baselines.suite);
+      ("equiv", T_equiv.suite);
+      ("alloc", T_alloc.suite);
       ("sim", T_sim.suite);
       ("workloads", T_workloads.suite);
       ("exp", T_exp.suite);
