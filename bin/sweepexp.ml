@@ -35,18 +35,44 @@ let list_keys experiments =
     (Experiments.keys experiments);
   Printf.printf "%d job(s) after dedup\n" (List.length (Experiments.plan experiments))
 
-let main names j results_dir no_jsonl metrics metrics_out progress list_only =
+let main names j results_dir no_jsonl metrics metrics_out progress list_only
+    status_file metrics_export flight_dir heartbeat_every =
   try
   if j < 1 then begin
     Printf.eprintf "sweepexp: -j must be at least 1 (got %d)\n" j;
     exit 1
   end;
   Executor.set_workers j;
-  Executor.set_progress progress;
-  if metrics || Option.is_some metrics_out then
-    Sweep_obs.Metrics.set_enabled true;
+  if metrics || Option.is_some metrics_out || Option.is_some metrics_export
+  then Sweep_obs.Metrics.set_enabled true;
   Results.set_dir (if no_jsonl then None else Some results_dir);
+  (* Live telemetry: heartbeats default on as soon as something consumes
+     them (a status file or a metrics exporter), off otherwise so plain
+     runs keep the zero-telemetry hot loop. *)
+  let status =
+    Option.map
+      (fun path -> Sweep_exp.Status.create ~path ~workers:j ())
+      status_file
+  in
+  let export =
+    Option.map
+      (fun path -> Sweep_obs.Openmetrics.exporter ~path ())
+      metrics_export
+  in
+  let flight = Option.map (fun dir -> Sweep_obs.Flight.arm ~dir ()) flight_dir in
+  let heartbeat_every =
+    match heartbeat_every with
+    | Some n -> n
+    | None ->
+      if status <> None || export <> None then
+        Sweep_obs.Heartbeat.default_every
+      else 0
+  in
+  let config =
+    Executor.config ~progress ~heartbeat_every ?status ?flight ?export ()
+  in
   let dump_metrics () =
+    Option.iter Sweep_obs.Openmetrics.flush export;
     match metrics_out with
     | None -> ()
     | Some path ->
@@ -93,7 +119,7 @@ let main names j results_dir no_jsonl metrics metrics_out progress list_only =
       list_keys experiments;
       0
     | Ok experiments ->
-      Experiments.run_many experiments;
+      Experiments.run_many ~config experiments;
       if metrics then begin
         print_newline ();
         print_string
@@ -160,11 +186,43 @@ let list_arg =
                  experiments would execute (with the owning experiment) \
                  and exit without running anything.")
 
+let status_file_arg =
+  Arg.(value & opt (some string) None
+       & info [ "status-file" ] ~docv:"FILE"
+           ~doc:"Maintain an atomically-updated live status snapshot \
+                 (queued/running/done/failed, per-job progress, ETA) at \
+                 FILE while the run executes; enables heartbeats.")
+
+let metrics_export_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-export" ] ~docv:"FILE"
+           ~doc:"Enable the metrics registry and periodically re-export \
+                 it to FILE in OpenMetrics (Prometheus text) format; \
+                 enables heartbeats.")
+
+let flight_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "flight-dir" ] ~docv:"DIR"
+           ~doc:"Arm the crash flight recorder: every captured job \
+                 failure dumps a postmortem-*.jsonl artifact (recent \
+                 events + metrics snapshot) into DIR, readable by \
+                 $(b,sweeptrace postmortem).")
+
+let heartbeat_every_arg =
+  Arg.(value & opt (some int) None
+       & info [ "heartbeat-every" ] ~docv:"N"
+           ~doc:"Emit an in-run heartbeat every N simulated instructions \
+                 (default: 1000000 when --status-file or \
+                 --metrics-export is given, otherwise disabled; 0 \
+                 disables).")
+
 let cmd =
   let doc = "regenerate the SweepCache paper's tables and figures" in
   let term =
     Term.(const main $ names_arg $ jobs_arg $ results_dir_arg $ no_jsonl_arg
-          $ metrics_arg $ metrics_out_arg $ progress_arg $ list_arg)
+          $ metrics_arg $ metrics_out_arg $ progress_arg $ list_arg
+          $ status_file_arg $ metrics_export_arg $ flight_dir_arg
+          $ heartbeat_every_arg)
   in
   Cmd.v (Cmd.info "sweepexp" ~doc) term
 

@@ -40,16 +40,27 @@ let die fmt =
       exit 1)
     fmt
 
-let run_one bench design power config scale verify fault profile =
+let run_one bench design power config scale verify fault profile
+    heartbeat_every export =
   let w = Sweep_workloads.Registry.find bench in
   let ast = Sweep_workloads.Workload.program ~scale w in
   (* Compile and build the machine outside the timed window so --profile
      measures the cycle loop itself, not AST construction. *)
   let compiled = H.compile design ast in
   let m = H.machine ~config design compiled.Sweep_compiler.Pipeline.program in
+  let heartbeat =
+    if heartbeat_every <= 0 then None
+    else
+      let observer =
+        Option.map
+          (fun ex _ -> Obs.Openmetrics.tick ex)
+          export
+      in
+      Some (Obs.Heartbeat.create ?observer ~every:heartbeat_every ())
+  in
   let g0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
-  let outcome = Driver.run ?fault m ~power in
+  let outcome = Driver.run ?fault ?heartbeat m ~power in
   let elapsed_s = Unix.gettimeofday () -. t0 in
   let r = { H.design; outcome; machine = m; compiled } in
   if profile then begin
@@ -133,7 +144,7 @@ let parse_trace_filter spec =
 
 let main bench designs trace cap scale cache_size nvm_search verify j
     results_dir trace_out trace_format trace_cap trace_filter metrics
-    metrics_out fault fault_nested profile =
+    metrics_out fault fault_nested profile heartbeat_every metrics_export =
   try
   (match Sweep_workloads.Registry.find bench with
   | exception Not_found ->
@@ -158,7 +169,19 @@ let main bench designs trace cap scale cache_size nvm_search verify j
     | Some n -> Some (Sweep_sim.Fault.at_instruction ~nested:fault_nested n)
   in
   Results.set_dir results_dir;
-  if metrics || Option.is_some metrics_out then Obs.Metrics.set_enabled true;
+  if metrics || Option.is_some metrics_out || Option.is_some metrics_export
+  then Obs.Metrics.set_enabled true;
+  let export =
+    Option.map (fun path -> Obs.Openmetrics.exporter ~path ()) metrics_export
+  in
+  (* Heartbeats default on when the exporter needs a pulse to flush to,
+     off otherwise; --heartbeat-every overrides either way. *)
+  let heartbeat_every =
+    match heartbeat_every with
+    | Some n -> n
+    | None -> if export <> None then Obs.Heartbeat.default_every else 0
+  in
+  if heartbeat_every < 0 then die "--heartbeat-every must be >= 0";
   let filter = parse_trace_filter trace_filter in
   let power =
     match trace with
@@ -204,7 +227,9 @@ let main bench designs trace cap scale cache_size nvm_search verify j
       (List.length designs);
   let run_all () =
     Executor.map ~workers:j
-      (fun d -> run_one bench d power config scale verify fault profile)
+      (fun d ->
+        run_one bench d power config scale verify fault profile
+          heartbeat_every export)
       designs
   in
   let rows =
@@ -266,6 +291,11 @@ let main bench designs trace cap scale cache_size nvm_search verify j
   | Some path ->
     Obs.Metrics.write_json path (Obs.Metrics.snapshot ());
     Printf.eprintf "metrics snapshot written to %s\n" path);
+  (match (export, metrics_export) with
+  | Some ex, Some path ->
+    Obs.Openmetrics.flush ex;
+    Printf.eprintf "OpenMetrics export written to %s\n" path
+  | _ -> ());
   (* --verify regressions must fail the process so CI can catch them. *)
   if List.for_all fst rows then 0 else 1
   with Sys_error msg ->
@@ -422,6 +452,21 @@ let fault_nested_arg =
            ~doc:"With --fault: re-crash K times during recovery itself \
                  (nested-crash coverage).")
 
+let heartbeat_every_arg =
+  Arg.(value & opt (some int) None
+       & info [ "heartbeat-every" ] ~docv:"N"
+           ~doc:"Emit an in-run heartbeat event every N simulated \
+                 instructions (visible in --trace output; default: \
+                 1000000 when --metrics-export is given, otherwise \
+                 disabled; 0 disables).")
+
+let metrics_export_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-export" ] ~docv:"FILE"
+           ~doc:"Enable the metrics registry and periodically re-export \
+                 it to FILE in OpenMetrics (Prometheus text) format \
+                 (refreshed on every heartbeat, final flush at exit).")
+
 let profile_arg =
   Arg.(value & flag
        & info [ "profile" ]
@@ -435,16 +480,19 @@ let cmd =
     Term.(
       const (fun bench design all trace cap scale cache nvm_search verify j
                  results_dir trace_out trace_format trace_cap trace_filter
-                 metrics metrics_out fault fault_nested profile ->
+                 metrics metrics_out fault fault_nested profile
+                 heartbeat_every metrics_export ->
           let designs = if all then H.all_designs else design in
           main bench designs trace cap scale cache nvm_search verify j
             results_dir trace_out trace_format trace_cap trace_filter metrics
-            metrics_out fault fault_nested profile)
+            metrics_out fault fault_nested profile heartbeat_every
+            metrics_export)
       $ bench_arg $ designs_arg $ all_designs_arg $ trace_arg $ cap_arg
       $ scale_arg $ cache_arg $ nvm_search_arg $ verify_arg $ jobs_arg
       $ results_dir_arg $ trace_out_arg $ trace_format_arg $ trace_cap_arg
       $ trace_filter_arg $ metrics_arg $ metrics_out_arg $ fault_arg
-      $ fault_nested_arg $ profile_arg)
+      $ fault_nested_arg $ profile_arg $ heartbeat_every_arg
+      $ metrics_export_arg)
   in
   Cmd.v (Cmd.info "sweepsim" ~doc) term
 

@@ -338,11 +338,112 @@ let tune_cmd =
     (Cmd.info "tune" ~doc)
     Term.(const tune $ frontier_pos $ journal_opt $ format_opt $ out_opt)
 
+(* ---------------- postmortem ---------------- *)
+
+let postmortem artifact_path tail format out =
+  match A.Flight_file.load artifact_path with
+  | Error e ->
+    read_err "sweeptrace: %s" e;
+    2
+  | Ok pm ->
+    write_output out
+      (A.Report.render format
+         (A.Flight_file.report ~tail ~source:artifact_path pm));
+    0
+
+let artifact_pos =
+  Arg.(required & pos 0 (some file) None
+       & info [] ~docv:"ARTIFACT"
+           ~doc:"postmortem-*.jsonl written by the crash flight recorder \
+                 (sweepexp/sweeptune --flight-dir).")
+
+let tail_opt =
+  Arg.(value & opt int 25
+       & info [ "tail" ] ~docv:"N"
+           ~doc:"Show the last N ring events (default 25).")
+
+let postmortem_cmd =
+  let doc = "render a crash flight-recorder artifact" in
+  Cmd.v
+    (Cmd.info "postmortem" ~doc)
+    Term.(const postmortem $ artifact_pos $ tail_opt $ format_opt $ out_opt)
+
+(* ---------------- lint ---------------- *)
+
+(* Shape checks for the operational telemetry files CI uploads: the
+   --status-file snapshot and the --metrics-export OpenMetrics text.
+   Exit 1 on any problem so the CI step is a plain command. *)
+let lint status_path openmetrics_path =
+  if status_path = None && openmetrics_path = None then begin
+    read_err "sweeptrace: lint needs --status and/or --openmetrics";
+    2
+  end
+  else begin
+    let problems = ref 0 in
+    let problem fmt =
+      Printf.ksprintf
+        (fun s ->
+          incr problems;
+          Printf.eprintf "%s\n" s)
+        fmt
+    in
+    (match status_path with
+    | None -> ()
+    | Some path -> (
+      match A.Status_file.load path with
+      | Error e -> problem "status: %s" e
+      | Ok s ->
+        List.iter (fun p -> problem "status: %s: %s" path p)
+          (A.Status_file.validate s);
+        Printf.printf
+          "status: %s: ok (%d/%d jobs done, %d running, %d failed)\n" path
+          s.A.Status_file.done_ s.A.Status_file.total
+          s.A.Status_file.running_n s.A.Status_file.failed));
+    (match openmetrics_path with
+    | None -> ()
+    | Some path -> (
+      match
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | exception Sys_error e -> problem "openmetrics: %s" e
+      | text -> (
+        match Sweep_obs.Openmetrics.lint text with
+        | Error e -> problem "openmetrics: %s: %s" path e
+        | Ok families ->
+          Printf.printf "openmetrics: %s: ok (%d families, %d samples)\n"
+            path (List.length families)
+            (List.fold_left
+               (fun acc f ->
+                 acc
+                 + List.length f.Sweep_obs.Openmetrics.samples)
+               0 families))));
+    if !problems > 0 then 1 else 0
+  end
+
+let status_lint_opt =
+  Arg.(value & opt (some file) None
+       & info [ "status" ] ~docv:"FILE"
+           ~doc:"status.json snapshot (--status-file) to validate.")
+
+let openmetrics_lint_opt =
+  Arg.(value & opt (some file) None
+       & info [ "openmetrics" ] ~docv:"FILE"
+           ~doc:"OpenMetrics text file (--metrics-export) to validate.")
+
+let lint_cmd =
+  let doc = "validate live-telemetry files (status.json, OpenMetrics)" in
+  Cmd.v
+    (Cmd.info "lint" ~doc)
+    Term.(const lint $ status_lint_opt $ openmetrics_lint_opt)
+
 (* ---------------- entry ---------------- *)
 
 let cmd =
   let doc = "analyse SweepCache traces, metrics and results" in
   Cmd.group (Cmd.info "sweeptrace" ~doc)
-    [ report_cmd; diff_cmd; bench_cmd; tune_cmd ]
+    [ report_cmd; diff_cmd; bench_cmd; tune_cmd; postmortem_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval' cmd)

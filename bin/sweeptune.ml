@@ -104,20 +104,57 @@ let render_failed = function
         failed
 
 let explore budget seed strategy scale j out_dir kill_after metrics metrics_out
-    format =
+    format early_stop status_file metrics_export flight_dir =
   if not (check_params budget scale) then 2
   else if j < 1 then begin
     err "-j must be at least 1 (got %d)" j;
     2
   end
+  else if (match early_stop with Some m -> m < 1.0 | None -> false) then begin
+    err "--early-stop margin must be >= 1 (got %g)"
+      (Option.get early_stop);
+    2
+  end
   else begin
     Sweep_exp.Executor.set_workers j;
-    if metrics || Option.is_some metrics_out then
-      Sweep_obs.Metrics.set_enabled true;
-    let params = params_of budget seed strategy scale in
+    if metrics || Option.is_some metrics_out || Option.is_some metrics_export
+    then Sweep_obs.Metrics.set_enabled true;
+    let params =
+      { (params_of budget seed strategy scale) with early_stop }
+    in
     let journal = Filename.concat out_dir "journal.jsonl" in
     let frontier_path = Filename.concat out_dir "frontier.jsonl" in
+    (* Live telemetry threaded into every chunk's Executor.execute; none
+       of it touches the journal or the frontier bytes. *)
+    let status =
+      Option.map
+        (fun path -> Sweep_exp.Status.create ~path ~workers:j ())
+        status_file
+    in
+    let export =
+      Option.map
+        (fun path -> Sweep_obs.Openmetrics.exporter ~path ())
+        metrics_export
+    in
+    let flight =
+      Option.map (fun dir -> Sweep_obs.Flight.arm ~dir ()) flight_dir
+    in
+    let heartbeat_every =
+      if status <> None || export <> None then
+        Sweep_obs.Heartbeat.default_every
+      else 0
+    in
+    let exec_config =
+      if status = None && export = None && flight = None
+         && heartbeat_every = 0
+      then None
+      else
+        Some
+          (Sweep_exp.Executor.config ~heartbeat_every ?status ?flight ?export
+             ())
+    in
     let dump_metrics () =
+      Option.iter Sweep_obs.Openmetrics.flush export;
       (match metrics_out with
       | None -> ()
       | Some path ->
@@ -128,7 +165,9 @@ let explore budget seed strategy scale j out_dir kill_after metrics metrics_out
     in
     try
       mkdir_p out_dir;
-      match Tune.Search.run ~workers:j ?kill_after ~journal params with
+      match
+        Tune.Search.run ~workers:j ?kill_after ?exec_config ~journal params
+      with
       | Error e ->
           err "%s" e;
           1
@@ -264,6 +303,36 @@ let format_arg =
        & info [ "f"; "format" ] ~docv:"FMT"
            ~doc:"Report format: $(b,text), $(b,csv) or $(b,md).")
 
+let early_stop_arg =
+  Arg.(value & opt (some float) None
+       & info [ "early-stop" ] ~docv:"MARGIN"
+           ~doc:"Kill dominated cells: gracefully stop any cell once its \
+                 simulated time exceeds MARGIN times the best completed \
+                 runtime journalled for the same bench (MARGIN >= 1, e.g. \
+                 $(b,1.5)).  Budgets are frozen per execution chunk from \
+                 journalled state only, so the journal and frontier stay \
+                 byte-identical across -j and kill/resume.")
+
+let status_file_arg =
+  Arg.(value & opt (some string) None
+       & info [ "status-file" ] ~docv:"FILE"
+           ~doc:"Maintain an atomically-updated live status snapshot at \
+                 FILE while cells execute; enables heartbeats.")
+
+let metrics_export_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-export" ] ~docv:"FILE"
+           ~doc:"Enable the metrics registry and periodically re-export \
+                 it to FILE in OpenMetrics (Prometheus text) format; \
+                 enables heartbeats.")
+
+let flight_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "flight-dir" ] ~docv:"DIR"
+           ~doc:"Arm the crash flight recorder: every captured cell \
+                 failure dumps a postmortem-*.jsonl artifact into DIR \
+                 (see $(b,sweeptrace postmortem)).")
+
 let out_arg =
   Arg.(value & opt (some string) None
        & info [ "o"; "output" ] ~docv:"FILE"
@@ -275,7 +344,8 @@ let explore_cmd =
     (Cmd.info "explore" ~doc)
     Term.(const explore $ budget_arg $ seed_arg $ strategy_arg $ scale_arg
           $ jobs_arg $ out_dir_arg $ kill_after_arg $ metrics_arg
-          $ metrics_out_arg $ format_arg)
+          $ metrics_out_arg $ format_arg $ early_stop_arg $ status_file_arg
+          $ metrics_export_arg $ flight_dir_arg)
 
 let plan_cmd =
   let doc = "print the candidate points without running anything" in

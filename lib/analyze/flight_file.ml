@@ -1,0 +1,183 @@
+(* Reader for Sweep_obs.Flight.dump artifacts: one header line, the
+   ring's event tail as ordinary trace lines, and a closing metrics
+   snapshot.  Event lines reuse Trace_reader.parse_line, so the loader
+   tracks the sink format for free. *)
+
+module Ev = Sweep_obs.Event
+
+type header = {
+  schema_version : int;
+  job : string;
+  error : string;
+  backtrace : string;
+  events : int;
+  dropped : int;
+}
+
+type t = {
+  header : header;
+  entries : Trace_reader.entry list;
+  malformed : int;
+  metrics : Metrics_file.t option;
+}
+
+let header_of_json j =
+  let ( let* ) = Option.bind in
+  let* schema_version = Json.int_member "schema_version" j in
+  let* kind = Json.string_member "kind" j in
+  let* job = Json.string_member "job" j in
+  let* error = Json.string_member "error" j in
+  let* backtrace = Json.string_member "backtrace" j in
+  let* events = Json.int_member "events" j in
+  let* dropped = Json.int_member "dropped" j in
+  if kind <> "postmortem" then None
+  else Some { schema_version; job; error; backtrace; events; dropped }
+
+let load path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        match input_line ic with
+        | exception End_of_file -> Error (path ^ ": empty file")
+        | first -> (
+          let header =
+            match Json.parse first with
+            | Error _ -> None
+            | Ok j -> header_of_json j
+          in
+          match header with
+          | None ->
+            Error
+              (path
+             ^ ": not a postmortem artifact (bad header line — expected \
+                {\"kind\":\"postmortem\",...})")
+          | Some h when h.schema_version <> Sweep_obs.Flight.schema_version ->
+            Error
+              (Printf.sprintf "%s: unsupported postmortem schema_version %d"
+                 path h.schema_version)
+          | Some header ->
+            let entries = ref [] in
+            let malformed = ref 0 in
+            let metrics = ref None in
+            (try
+               while true do
+                 let line = input_line ic in
+                 if String.trim line <> "" then
+                   match Trace_reader.parse_line line with
+                   | Some e -> entries := e :: !entries
+                   | None -> (
+                     (* the one non-event line is the closing metrics
+                        snapshot; anything else is malformed *)
+                     match
+                       Result.bind (Json.parse line) Metrics_file.of_json
+                     with
+                     | Ok m -> metrics := Some m
+                     | Error _ -> incr malformed)
+               done
+             with End_of_file -> ());
+            Ok
+              {
+                header;
+                entries = List.rev !entries;
+                malformed = !malformed;
+                metrics = !metrics;
+              }))
+
+let take_last n xs =
+  let len = List.length xs in
+  if len <= n then xs else List.filteri (fun i _ -> i >= len - n) xs
+
+let fmt_ns ns =
+  if Float.abs ns >= 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+  else if Float.abs ns >= 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let first_line s =
+  match String.index_opt s '\n' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let report ?(tail = 25) ~source t =
+  let h = t.header in
+  let failure =
+    {
+      Report.title = "Post-mortem";
+      headers = [ "quantity"; "value" ];
+      rows =
+        [
+          [ "job"; h.job ];
+          [ "error"; h.error ];
+          [ "ring events"; string_of_int h.events ];
+          [ "ring dropped"; string_of_int h.dropped ];
+        ];
+      notes =
+        (Printf.sprintf "source: %s" source)
+        :: (if h.backtrace = "" then []
+            else [ "backtrace: " ^ first_line h.backtrace ])
+        @
+        if h.dropped > 0 then
+          [
+            Printf.sprintf
+              "ring overflowed: %d earlier events were dropped (fault \
+               events are pinned and survive)."
+              h.dropped;
+          ]
+        else [];
+    }
+  in
+  let shown = take_last tail t.entries in
+  let events =
+    {
+      Report.title = Printf.sprintf "Last %d events" (List.length shown);
+      headers = [ "t"; "category"; "event"; "args" ];
+      rows =
+        List.map
+          (fun e ->
+            [
+              fmt_ns e.Trace_reader.ns;
+              Ev.category_name (Ev.category e.Trace_reader.event);
+              Ev.tag e.Trace_reader.event;
+              Ev.json_args e.Trace_reader.event;
+            ])
+          shown;
+      notes =
+        (if List.length t.entries > List.length shown then
+           [
+             Printf.sprintf "%d earlier events omitted (ring holds %d)."
+               (List.length t.entries - List.length shown)
+               (List.length t.entries);
+           ]
+         else [])
+        @
+        if t.malformed > 0 then
+          [ Printf.sprintf "%d malformed lines skipped." t.malformed ]
+        else [];
+    }
+  in
+  let warnings =
+    if t.malformed > 0 then
+      [ Printf.sprintf "%d malformed artifact lines skipped" t.malformed ]
+    else []
+  in
+  let sections =
+    [ failure; events ]
+    @
+    match t.metrics with
+    | Some m ->
+      [
+        {
+          Report.title = "Metrics at failure";
+          headers = [ "series"; "value" ];
+          rows =
+            List.map
+              (fun (name, v) -> [ name; Printf.sprintf "%g" v ])
+              (Metrics_file.numeric m);
+          notes = [];
+        };
+      ]
+    | None -> []
+  in
+  { Report.source; warnings; sections }

@@ -28,12 +28,44 @@ let fmt_f g = Printf.sprintf "%g" g
 
 (* ---------------- section builders ---------------- *)
 
-let trace_section path (stats : Trace_reader.stats) =
+(* Heartbeat coverage: [beats] total, and [gaps] — consecutive beats
+   whose instruction delta exceeds the advertised cadence, i.e. spans
+   where the run stopped beating (an overloaded sink, a wedged
+   worker).  A negative delta is a new run in the same trace, not a
+   gap. *)
+let heartbeat_stats entries =
+  let beats, gaps, _ =
+    List.fold_left
+      (fun (beats, gaps, prev) e ->
+        match e.Trace_reader.event with
+        | Sweep_obs.Event.Heartbeat { every; instructions; _ } ->
+          let gaps =
+            match prev with
+            | Some p when instructions > p && instructions - p > every ->
+              gaps + 1
+            | _ -> gaps
+          in
+          (beats + 1, gaps, Some instructions)
+        | _ -> (beats, gaps, prev))
+      (0, 0, None) entries
+  in
+  (beats, gaps)
+
+let trace_section path (stats : Trace_reader.stats) ~heartbeats:(beats, gaps) =
+  (* Heartbeat columns only appear when the trace has beats, so
+     reports of heartbeat-free traces are byte-identical to before. *)
+  let hb_headers, hb_cells =
+    if beats = 0 then ([], [])
+    else ([ "heartbeats"; "hb gaps" ], [ fmt_int beats; fmt_int gaps ])
+  in
   {
     title = "Trace";
-    headers = [ "events"; "malformed"; "dropped" ];
+    headers = [ "events"; "malformed"; "dropped" ] @ hb_headers;
     rows =
-      [ [ fmt_int stats.parsed; fmt_int stats.malformed; fmt_int stats.dropped ] ];
+      [
+        [ fmt_int stats.parsed; fmt_int stats.malformed; fmt_int stats.dropped ]
+        @ hb_cells;
+      ];
     notes =
       (Printf.sprintf "source: %s" path)
       ::
@@ -44,7 +76,16 @@ let trace_section path (stats : Trace_reader.stats) =
               written; every figure below is a lower bound."
              stats.dropped;
          ]
-       else []);
+       else [])
+      @
+      if gaps > 0 then
+        [
+          Printf.sprintf
+            "%d heartbeat gap(s): spans where consecutive beats are more \
+             than one cadence apart."
+            gaps;
+        ]
+      else [];
   }
 
 let region_section (r : Region_view.t) =
@@ -339,8 +380,8 @@ let build ?metrics_path ?results_path ~trace_path () =
         match results with Some (Ok r) -> Some r | _ -> None
       in
       let sections =
-        [ trace_section trace_path stats; region_section regions;
-          stall_section stalls ]
+        [ trace_section trace_path stats ~heartbeats:(heartbeat_stats entries);
+          region_section regions; stall_section stalls ]
         @ buffer_sections buffers
         @ power_sections power regions results_ok
         @ (match results_ok with

@@ -1,0 +1,45 @@
+(** Reader/validator for the live status snapshot
+    ({!Sweep_exp.Status} output, [sweepexp --status-file]).
+
+    The file is ephemeral operational telemetry; this module exists so
+    dashboards, CI and [sweeptrace lint --status] can check that a
+    snapshot is well-formed without hand-rolled JSON poking. *)
+
+type running = {
+  job : string;
+  elapsed_s : float;
+  beats : int;
+  instructions : int;
+  sim_ns : float;
+  reboots : int;
+  nvm_writes : int;
+  instr_per_s : float;
+  est_progress : float option;  (** [None] until a job has finished *)
+}
+
+type t = {
+  schema_version : int;
+  ts_s : float;
+  elapsed_s : float;
+  workers : int;
+  total : int;
+  queued : int;
+  running_n : int;
+  done_ : int;
+  failed : int;
+  pct_done : float;
+  eta_s : float option;
+  instr_per_s : float;
+  running : running list;
+}
+
+val of_json : Json.t -> (t, string) result
+(** Validates [schema_version] and that every required field is present
+    with the right type. *)
+
+val load : string -> (t, string) result
+
+val validate : t -> string list
+(** Internal-consistency problems beyond shape: job counts that don't
+    add up to [total], [pct_done] or [est_progress] out of range,
+    negative counters.  Empty list means clean. *)

@@ -1,7 +1,11 @@
 module H = Sweep_sim.Harness
+module Driver = Sweep_sim.Driver
 module Sink = Sweep_obs.Sink
 module Ev = Sweep_obs.Event
 module Metrics = Sweep_obs.Metrics
+module Hb = Sweep_obs.Heartbeat
+module Flight = Sweep_obs.Flight
+module Om = Sweep_obs.Openmetrics
 
 (* Worker count is process-global configuration (the -j flag), read at
    execute time.  1 means fully sequential: no domain is spawned, which
@@ -11,8 +15,33 @@ let default_workers = ref (Domain.recommended_domain_count ())
 let set_workers n = default_workers := max 1 n
 let workers () = !default_workers
 
+(* Telemetry and reporting are per-run configuration, threaded through
+   [execute] instead of mutated globals. *)
+type config = {
+  progress : bool;
+  heartbeat_every : int;
+  status : Status.t option;
+  flight : Flight.t option;
+  export : Om.exporter option;
+}
+
+let config ?(progress = false) ?(heartbeat_every = 0) ?status ?flight ?export
+    () =
+  { progress; heartbeat_every; status; flight; export }
+
+(* Deprecated global progress toggle, kept so pre-config callers
+   compile; [default_config] folds it in. *)
 let progress_enabled = ref false
 let set_progress b = progress_enabled := b
+
+let default_config () =
+  {
+    progress = !progress_enabled;
+    heartbeat_every = 0;
+    status = None;
+    flight = None;
+    export = None;
+  }
 
 (* Wall-clock origin for Job_start/Job_done timestamps: simulation events
    carry simulated ns, executor events carry host ns since process
@@ -27,22 +56,42 @@ let m_job_elapsed =
   Metrics.histogram "exp.job_elapsed_s"
     ~buckets:[| 0.01; 0.05; 0.1; 0.5; 1.0; 5.0; 10.0; 60.0 |]
 
-let progress_lock = Mutex.create ()
-let progress_done = ref 0
-let progress_total = ref 0
-
-let note_progress key elapsed_s =
-  if !progress_enabled then begin
-    Mutex.lock progress_lock;
-    incr progress_done;
-    Printf.eprintf "[%d/%d] %s (%.2fs)\n%!" !progress_done !progress_total key
-      elapsed_s;
-    Mutex.unlock progress_lock
-  end
-
 let m_jobs_failed = Metrics.counter "exp.jobs_failed"
 
-let run_job j =
+(* Per-[execute] run state: configuration plus the progress counter the
+   old global pair used to hold. *)
+type run_state = {
+  cfg : config;
+  budget : Jobs.t -> float option;
+  plock : Mutex.t;
+  mutable finished : int;
+  total : int;
+}
+
+let note_progress st key elapsed_s =
+  Mutex.lock st.plock;
+  st.finished <- st.finished + 1;
+  if st.cfg.progress then
+    Printf.eprintf "[%d/%d] %s (%.2fs)\n%!" st.finished st.total key elapsed_s;
+  Mutex.unlock st.plock
+
+(* One fresh heartbeat per job (never shared across domains), observed
+   by the live-status aggregator and the metrics exporter. *)
+let heartbeat_for st ~key =
+  if st.cfg.heartbeat_every <= 0 then None
+  else
+    let observer =
+      match (st.cfg.status, st.cfg.export) with
+      | None, None -> None
+      | status, export ->
+        Some
+          (fun hb ->
+            Option.iter (fun s -> Status.beat s ~key hb) status;
+            Option.iter Om.tick export)
+    in
+    Some (Hb.create ?observer ~every:st.cfg.heartbeat_every ())
+
+let run_job st j =
   let key = Jobs.key j in
   if Results.mem key then begin
     if Metrics.enabled () then Metrics.inc m_jobs_cached
@@ -50,23 +99,38 @@ let run_job j =
   else begin
     if Sink.on () then Sink.emit ~ns:(wall_ns ()) (Ev.Job_start { key });
     let power = Jobs.to_power j.Jobs.power in
+    let sim_budget_ns = st.budget j in
+    let heartbeat = heartbeat_for st ~key in
+    Option.iter (fun s -> Status.job_started s ~key) st.cfg.status;
     let t0 = Unix.gettimeofday () in
     match
-      Exp_common.compute ~scale:j.Jobs.scale j.Jobs.setting ~power
-        j.Jobs.bench
+      Exp_common.compute ~scale:j.Jobs.scale ?sim_budget_ns ?heartbeat
+        j.Jobs.setting ~power j.Jobs.bench
     with
     (* A failing job (Stagnation, a workload bug, …) becomes a
        structured Failed result: the pool keeps draining, renderers see
        a missing key, and the CLI reports the failure at the end. *)
     | exception exn ->
+      let elapsed_s = Unix.gettimeofday () -. t0 in
       let backtrace = Printexc.get_backtrace () in
       let error = Printexc.to_string exn in
       Results.record_failure ~key ~error ~backtrace;
       if Sink.on () then
         Sink.emit ~ns:(wall_ns ()) (Ev.Job_failed { key; error });
+      (* Flight recorder: the ring has been collecting alongside the
+         sink (including the Job_failed line just emitted); freeze it
+         into a post-mortem artifact for this key. *)
+      (match st.cfg.flight with
+      | Some fl ->
+        let path = Flight.dump fl ~key ~error ~backtrace in
+        if st.cfg.progress then Printf.eprintf "postmortem: %s\n%!" path
+      | None -> ());
       if Metrics.enabled () then Metrics.inc m_jobs_failed;
-      note_progress (key ^ " FAILED: " ^ error)
-        (Unix.gettimeofday () -. t0)
+      Option.iter
+        (fun s -> Status.job_finished s ~key ~ok:false ~elapsed_s ~sim_ns:0.0)
+        st.cfg.status;
+      Option.iter Om.tick st.cfg.export;
+      note_progress st (key ^ " FAILED: " ^ error) elapsed_s
     | summary ->
       let elapsed_s = Unix.gettimeofday () -. t0 in
       if Sink.on () then
@@ -75,7 +139,13 @@ let run_job j =
         Metrics.inc m_jobs_run;
         Metrics.observe m_job_elapsed elapsed_s
       end;
-      note_progress key elapsed_s;
+      Option.iter
+        (fun s ->
+          Status.job_finished s ~key ~ok:true ~elapsed_s
+            ~sim_ns:(Driver.total_ns summary.Exp_common.outcome))
+        st.cfg.status;
+      Option.iter Om.tick st.cfg.export;
+      note_progress st key elapsed_s;
       let stored = Results.add ~key summary in
       if stored == summary then
         Results.emit ~exp:j.Jobs.exp ~key
@@ -131,16 +201,19 @@ let map ?workers:w f xs =
   Array.to_list out
   |> List.map (function Some r -> r | None -> assert false)
 
-let execute ?workers:w jobs =
+let execute ?workers:w ?config:cfg ?budget jobs =
   let w = match w with Some w -> max 1 w | None -> !default_workers in
+  let cfg = match cfg with Some c -> c | None -> default_config () in
+  let budget = match budget with Some f -> f | None -> fun _ -> None in
   let pending =
     List.filter (fun j -> not (Results.mem (Jobs.key j))) (Jobs.dedup jobs)
   in
-  Mutex.lock progress_lock;
-  progress_done := 0;
-  progress_total := List.length pending;
-  Mutex.unlock progress_lock;
-  match pending with
+  let st =
+    { cfg; budget; plock = Mutex.create (); finished = 0;
+      total = List.length pending }
+  in
+  Option.iter (fun s -> Status.add_total s st.total) cfg.status;
+  (match pending with
   | [] -> ()
   | pending ->
     (* Materialise every trace in the parent domain so workers share
@@ -148,4 +221,12 @@ let execute ?workers:w jobs =
     if w > 1 && List.length pending > 1 then
       List.iter (fun j -> ignore (Jobs.to_power j.Jobs.power)) pending;
     let arr = Array.of_list pending in
-    pool_iter ~w (Array.length arr) (fun i -> run_job arr.(i))
+    let body () = pool_iter ~w (Array.length arr) (fun i -> run_job st arr.(i)) in
+    (* Arm the flight recorder's ring alongside whatever sink the run
+       installed (tee set up before workers spawn, torn down after the
+       join). *)
+    match cfg.flight with
+    | Some fl -> Sink.with_tee (Flight.sink fl) body
+    | None -> body ());
+  Option.iter Status.write cfg.status;
+  Option.iter Om.tick cfg.export

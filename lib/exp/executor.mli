@@ -19,9 +19,44 @@ val set_workers : int -> unit
 val workers : unit -> int
 (** Current default (initially [Domain.recommended_domain_count ()]). *)
 
+(** Per-run telemetry/reporting configuration, threaded through
+    {!execute} — replaces the old global progress toggle. *)
+type config = {
+  progress : bool;
+      (** print "[k/n] key (elapsed)" per finished job to stderr
+          (mutex-serialised across workers) *)
+  heartbeat_every : int;
+      (** instructions between in-run {!Sweep_obs.Event.Heartbeat}
+          beats; [<= 0] disables heartbeats entirely *)
+  status : Status.t option;
+      (** live status.json aggregation; fed by job transitions and (when
+          [heartbeat_every > 0]) heartbeat observers *)
+  flight : Sweep_obs.Flight.t option;
+      (** crash flight recorder: its ring is teed alongside the
+          installed sink for the duration of {!execute}, and every
+          captured job failure dumps a post-mortem artifact *)
+  export : Sweep_obs.Openmetrics.exporter option;
+      (** periodic OpenMetrics re-export of the metrics registry *)
+}
+
+val config :
+  ?progress:bool ->
+  ?heartbeat_every:int ->
+  ?status:Status.t ->
+  ?flight:Sweep_obs.Flight.t ->
+  ?export:Sweep_obs.Openmetrics.exporter ->
+  unit ->
+  config
+(** Everything off/absent by default. *)
+
+val default_config : unit -> config
+(** The config used when {!execute} is called without one: everything
+    off, except [progress] follows the deprecated {!set_progress}
+    global so pre-config callers behave as before. *)
+
 val set_progress : bool -> unit
-(** When on, each finished job prints a "[k/n] key (elapsed)" line to
-    stderr (mutex-serialised across workers). *)
+(** @deprecated Use [config ~progress:true] per run instead.  Kept as a
+    shim: it sets the global default that {!default_config} reads. *)
 
 val map : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel map on the same domain pool as
@@ -29,10 +64,22 @@ val map : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list
     [f] must be safe to call from multiple domains.  With 1 worker (or a
     single element) no domain is spawned. *)
 
-val execute : ?workers:int -> Jobs.t list -> unit
+val execute :
+  ?workers:int ->
+  ?config:config ->
+  ?budget:(Jobs.t -> float option) ->
+  Jobs.t list ->
+  unit
 (** Populate {!Results} with every job's summary.  [workers] overrides
     the process default.  With 1 worker no domain is spawned.  If a
     worker raises (e.g. {!Sweep_sim.Driver.Stagnation}), the remaining
     jobs still finish and the first exception is re-raised.  Each job
     emits [Job_start]/[Job_done] events when a sink is installed and
-    bumps [exp.*] metrics when the registry is enabled. *)
+    bumps [exp.*] metrics when the registry is enabled.
+
+    [config] attaches per-run telemetry (progress lines, heartbeats,
+    live status, flight recorder, OpenMetrics export); defaults to
+    {!default_config}.  [budget] maps a job to an optional graceful
+    simulated-time ceiling in ns (sweeptune's early-stop); a
+    budget-stopped job stores a summary with
+    [outcome.completed = false]. *)

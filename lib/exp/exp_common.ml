@@ -81,10 +81,13 @@ type summary = Results.summary = {
   nvm_writes : int;
 }
 
-let compute ?(scale = 1.0) s ~power bench =
+let compute ?(scale = 1.0) ?sim_budget_ns ?heartbeat s ~power bench =
   let w = Sweep_workloads.Registry.find bench in
   let ast = Sweep_workloads.Workload.program ~scale w in
-  let r = H.run ~config:s.config ~options:s.options s.design ~power ast in
+  let r =
+    H.run ~config:s.config ~options:s.options ?sim_budget_ns ?heartbeat
+      s.design ~power ast
+  in
   if Sweep_obs.Metrics.enabled () then
     Sweep_machine.Mstats.publish
       ~labels:[ ("design", H.design_name s.design); ("bench", bench) ]

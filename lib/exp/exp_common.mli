@@ -74,12 +74,17 @@ type summary = Results.summary = {
 
 val compute :
   ?scale:float ->
+  ?sim_budget_ns:float ->
+  ?heartbeat:Sweep_obs.Heartbeat.t ->
   setting ->
   power:Sweep_sim.Driver.power ->
   string ->
   summary
 (** Run one benchmark under one setting, bypassing the results store —
-    the pure function the executor's worker domains evaluate. *)
+    the pure function the executor's worker domains evaluate.
+    [?sim_budget_ns] (graceful partial stop with
+    [outcome.completed = false]) and [?heartbeat] flow through to
+    {!Sweep_sim.Driver.run}. *)
 
 val run :
   ?scale:float ->

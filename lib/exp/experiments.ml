@@ -75,11 +75,11 @@ let render e =
     Results.record_failure ~key:("render:" ^ e.name) ~error ~backtrace;
     Printf.eprintf "experiment %s failed: %s\n%!" e.name error
 
-let run_many experiments =
-  Executor.execute (plan experiments);
+let run_many ?config experiments =
+  Executor.execute ?config (plan experiments);
   List.iter render experiments
 
-let run e = run_many [ e ]
+let run ?config e = run_many ?config [ e ]
 
-let run_all ?(include_heavy = true) () =
-  run_many (List.filter (fun e -> include_heavy || not e.heavy) all)
+let run_all ?config ?(include_heavy = true) () =
+  run_many ?config (List.filter (fun e -> include_heavy || not e.heavy) all)

@@ -33,13 +33,14 @@ val keys : t list -> (string * string) list
     dry-run planner uses to show which evaluations a search would
     schedule without running any. *)
 
-val run : t -> unit
+val run : ?config:Executor.config -> t -> unit
 (** Execute the experiment's jobs (at {!Executor.workers}), then
-    render. *)
+    render.  [config] attaches per-run telemetry (see
+    {!Executor.config}). *)
 
-val run_many : t list -> unit
+val run_many : ?config:Executor.config -> t list -> unit
 (** Batch-execute the union of the given experiments' jobs, then render
     each in order. *)
 
-val run_all : ?include_heavy:bool -> unit -> unit
+val run_all : ?config:Executor.config -> ?include_heavy:bool -> unit -> unit
 (** Run every experiment in DESIGN.md order. *)

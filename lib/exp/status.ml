@@ -1,0 +1,197 @@
+(* Live status aggregation: heartbeats and job transitions from worker
+   domains fold into one mutex-guarded structure, periodically rendered
+   to an atomically-renamed status.json for `watch`/dashboards.
+
+   All wall-clock derived fields (ETA, instr/s) are estimates; the file
+   is ephemeral operational telemetry, not a determinism surface — the
+   byte-identical outputs are the results store and the journal. *)
+
+module Hb = Sweep_obs.Heartbeat
+module Ev = Sweep_obs.Event
+
+let schema_version = 1
+
+type job = {
+  key : string;
+  started_s : float;
+  mutable instructions : int;
+  mutable sim_ns : float;
+  mutable reboots : int;
+  mutable nvm_writes : int;
+  mutable beats : int;
+}
+
+type t = {
+  path : string;
+  interval_s : float;
+  workers : int;
+  created_s : float;
+  lock : Mutex.t;
+  running : (string, job) Hashtbl.t;
+  mutable total : int;
+  mutable started : int;
+  mutable done_ : int;
+  mutable failed : int;
+  mutable elapsed_done_s : float;  (* wall time summed over finished jobs *)
+  mutable sim_done_ns : float;  (* simulated time summed over ok jobs *)
+  mutable ok : int;
+  mutable last_write_s : float;
+}
+
+let create ~path ?(interval_s = 0.5) ~workers () =
+  {
+    path;
+    interval_s;
+    workers = max 1 workers;
+    created_s = Unix.gettimeofday ();
+    lock = Mutex.create ();
+    running = Hashtbl.create 16;
+    total = 0;
+    started = 0;
+    done_ = 0;
+    failed = 0;
+    elapsed_done_s = 0.0;
+    sim_done_ns = 0.0;
+    ok = 0;
+    last_write_s = neg_infinity;
+  }
+
+let js = Ev.json_string
+
+let render_locked t ~now =
+  let b = Buffer.create 512 in
+  let queued = max 0 (t.total - t.started) in
+  let mean_elapsed =
+    if t.done_ + t.failed > 0 then
+      t.elapsed_done_s /. float_of_int (t.done_ + t.failed)
+    else 0.0
+  in
+  let mean_sim_ns =
+    if t.ok > 0 then t.sim_done_ns /. float_of_int t.ok else 0.0
+  in
+  let running = Hashtbl.fold (fun _ j acc -> j :: acc) t.running [] in
+  let running = List.sort (fun a b -> compare a.key b.key) running in
+  let running_elapsed =
+    List.fold_left (fun acc j -> acc +. (now -. j.started_s)) 0.0 running
+  in
+  (* Remaining wall-work estimate from the mean finished-job time,
+     credited with the time already sunk into running jobs, spread
+     over the pool. *)
+  let eta_s =
+    if t.done_ + t.failed = 0 then None
+    else
+      let left = queued + List.length running in
+      let work = (float_of_int left *. mean_elapsed) -. running_elapsed in
+      Some (Float.max 0.0 (work /. float_of_int t.workers))
+  in
+  let pct_done =
+    if t.total = 0 then 100.0
+    else float_of_int (t.done_ + t.failed) *. 100.0 /. float_of_int t.total
+  in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"schema_version\":%d,\"ts_s\":%.3f,\"elapsed_s\":%.3f,\"workers\":%d,"
+       schema_version now (now -. t.created_s) t.workers);
+  Buffer.add_string b
+    (Printf.sprintf
+       "\"jobs\":{\"total\":%d,\"queued\":%d,\"running\":%d,\"done\":%d,\"failed\":%d,\"pct_done\":%.2f},"
+       t.total queued (List.length running) t.done_ t.failed pct_done);
+  (match eta_s with
+  | Some e -> Buffer.add_string b (Printf.sprintf "\"eta_s\":%.1f," e)
+  | None -> Buffer.add_string b "\"eta_s\":null,");
+  let total_ips =
+    List.fold_left
+      (fun acc j ->
+        let dt = now -. j.started_s in
+        if dt > 0.0 then acc +. (float_of_int j.instructions /. dt) else acc)
+      0.0 running
+  in
+  Buffer.add_string b
+    (Printf.sprintf "\"throughput\":{\"instr_per_s\":%.0f}," total_ips);
+  Buffer.add_string b "\"running\":[";
+  List.iteri
+    (fun i j ->
+      if i > 0 then Buffer.add_char b ',';
+      let dt = now -. j.started_s in
+      let ips = if dt > 0.0 then float_of_int j.instructions /. dt else 0.0 in
+      (* % complete is an estimate against the mean simulated time of
+         the jobs finished so far — capped below 100 because a slow
+         cell can legitimately exceed the mean. *)
+      let progress =
+        if mean_sim_ns > 0.0 && j.sim_ns > 0.0 then
+          Printf.sprintf "%.3f" (Float.min 0.99 (j.sim_ns /. mean_sim_ns))
+        else "null"
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"job\":%s,\"elapsed_s\":%.3f,\"beats\":%d,\"instructions\":%d,\"sim_ns\":%.17g,\"reboots\":%d,\"nvm_writes\":%d,\"instr_per_s\":%.0f,\"est_progress\":%s}"
+           (js j.key) dt j.beats j.instructions j.sim_ns j.reboots
+           j.nvm_writes ips progress))
+    running;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* Atomic publication: scrape-side readers either see the previous
+   snapshot or this one, never a torn write. *)
+let write_locked t ~now =
+  t.last_write_s <- now;
+  let line = render_locked t ~now in
+  let tmp = t.path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc line;
+  output_char oc '\n';
+  close_out oc;
+  Sys.rename tmp t.path
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let write t =
+  with_lock t (fun () -> write_locked t ~now:(Unix.gettimeofday ()))
+
+let maybe_write_locked t =
+  let now = Unix.gettimeofday () in
+  if now -. t.last_write_s >= t.interval_s then write_locked t ~now
+
+let add_total t n = with_lock t (fun () -> t.total <- t.total + n)
+
+let job_started t ~key =
+  with_lock t (fun () ->
+      let now = Unix.gettimeofday () in
+      t.started <- t.started + 1;
+      Hashtbl.replace t.running key
+        {
+          key;
+          started_s = now;
+          instructions = 0;
+          sim_ns = 0.0;
+          reboots = 0;
+          nvm_writes = 0;
+          beats = 0;
+        };
+      maybe_write_locked t)
+
+let beat t ~key (hb : Hb.t) =
+  with_lock t (fun () ->
+      (match Hashtbl.find_opt t.running key with
+      | Some j ->
+        j.instructions <- hb.Hb.instructions;
+        j.sim_ns <- Hb.sim_ns hb;
+        j.reboots <- hb.Hb.reboots;
+        j.nvm_writes <- hb.Hb.nvm_writes;
+        j.beats <- Hb.beats hb
+      | None -> ());
+      maybe_write_locked t)
+
+let job_finished t ~key ~ok ~elapsed_s ~sim_ns =
+  with_lock t (fun () ->
+      Hashtbl.remove t.running key;
+      if ok then begin
+        t.done_ <- t.done_ + 1;
+        t.ok <- t.ok + 1;
+        t.sim_done_ns <- t.sim_done_ns +. sim_ns
+      end
+      else t.failed <- t.failed + 1;
+      t.elapsed_done_s <- t.elapsed_done_s +. elapsed_s;
+      maybe_write_locked t)

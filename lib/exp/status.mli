@@ -1,0 +1,41 @@
+(** Live run status: heartbeat and job-transition aggregation rendered
+    to an atomically-renamed JSON file ([--status-file]).
+
+    The executor calls {!job_started}/{!job_finished} around each job
+    and wires {!beat} as the per-job heartbeat observer; this module
+    folds them (mutex-guarded — workers call in concurrently) and
+    rewrites the file at most once per [interval_s], via a temp file +
+    rename so a watcher never reads a torn snapshot.
+
+    The JSON is one object: [schema_version], [ts_s], [elapsed_s],
+    [workers], [jobs {total queued running done failed pct_done}],
+    [eta_s] (null until a first job finishes), [throughput
+    {instr_per_s}], and [running], an array with one entry per
+    in-flight job ([job], [elapsed_s], [beats], [instructions],
+    [sim_ns], [reboots], [nvm_writes], [instr_per_s], [est_progress] —
+    the latter an estimate against the mean simulated time of finished
+    jobs, null while nothing has finished).  Everything here is
+    wall-clock telemetry: the deterministic outputs of a run are the
+    results store and the journal, never this file. *)
+
+type t
+
+val schema_version : int
+
+val create : path:string -> ?interval_s:float -> workers:int -> unit -> t
+(** [interval_s] defaults to 0.5 s. *)
+
+val add_total : t -> int -> unit
+(** Announce [n] more jobs (the executor calls this per [execute]
+    batch, so sweeptune's chunked scheduling accumulates). *)
+
+val job_started : t -> key:string -> unit
+val beat : t -> key:string -> Sweep_obs.Heartbeat.t -> unit
+
+val job_finished :
+  t -> key:string -> ok:bool -> elapsed_s:float -> sim_ns:float -> unit
+(** [sim_ns] is the job's total simulated time (feeds the
+    [est_progress] baseline); pass 0 for failures. *)
+
+val write : t -> unit
+(** Unconditional write (end of run), bypassing the interval. *)

@@ -106,7 +106,7 @@ let write st ~ns ev =
       span st ~tid:cpu_tid ~name:(Event.name ev) ~cat:"buffer" ~start_ns:ns
         ~dur_ns:dur ev
     | Buffer_search _ | Buffer_bypass | Cache_miss _ | Cache_writeback _
-    | Halt | Dropped _ ->
+    | Halt | Heartbeat _ | Dropped _ ->
       mark st ~tid:cpu_tid ~ns ev
     | Power_down { volts } ->
       name_thread st ~pid:sim_pid ~tid:power_tid "power";
@@ -146,7 +146,7 @@ let write st ~ns ev =
       name_thread st ~pid:exec_pid ~tid:tune_tid "tune";
       let ph = match ev with Tune_round _ -> 'B' | _ -> 'E' in
       begin_end st ~pid:exec_pid ~tid:tune_tid ~ns ~ph ev
-    | Tune_eval _ ->
+    | Tune_eval _ | Tune_prune _ ->
       name_thread st ~pid:exec_pid ~tid:tune_tid "tune";
       mark st ~pid:exec_pid ~tid:tune_tid ~ns ev
     | Mark _ -> mark st ~tid:cpu_tid ~ns ev

@@ -54,6 +54,12 @@ type t =
   | Replay of { stores : int }
   | Voltage of { volts : float }
   | Halt
+  | Heartbeat of {
+      every : int;
+      instructions : int;
+      reboots : int;
+      nvm_writes : int;
+    }
   | Dropped of { count : int }
   | Job_start of { key : string }
   | Job_done of { key : string; elapsed_s : float }
@@ -63,6 +69,7 @@ type t =
   | Fault_stuck of { bit : int; buf : int; seq : int }
   | Tune_round of { strategy : string; round : int; points : int; benches : int }
   | Tune_eval of { key : string; cached : bool }
+  | Tune_prune of { key : string; budget_ns : float }
   | Tune_frontier of { size : int; evals : int }
   | Mark of { name : string; cat : category }
 
@@ -74,10 +81,10 @@ let category = function
   | Power_down _ | Death _ | Reboot _ | Backup _ | Backup_lines _ | Restore _
   | Replay _ | Voltage _ ->
     Power
-  | Halt | Dropped _ -> Exec
+  | Halt | Heartbeat _ | Dropped _ -> Exec
   | Job_start _ | Job_done _ | Job_failed _ -> Job
   | Fault_inject _ | Fault_torn _ | Fault_stuck _ -> Fault
-  | Tune_round _ | Tune_eval _ | Tune_frontier _ -> Tune
+  | Tune_round _ | Tune_eval _ | Tune_prune _ | Tune_frontier _ -> Tune
   | Mark { cat; _ } -> cat
 
 let name = function
@@ -103,6 +110,7 @@ let name = function
   | Replay _ -> "replay"
   | Voltage _ -> "voltage"
   | Halt -> "halt"
+  | Heartbeat _ -> "heartbeat"
   | Dropped { count } -> Printf.sprintf "%d events dropped" count
   | Job_start _ -> "job"
   | Job_done _ -> "job"
@@ -114,6 +122,7 @@ let name = function
     Printf.sprintf "%s round %d" strategy round
   | Tune_eval { cached = true; _ } -> "eval (cached)"
   | Tune_eval { cached = false; _ } -> "eval"
+  | Tune_prune _ -> "early stop"
   | Tune_frontier { size; _ } -> Printf.sprintf "frontier (%d)" size
   | Mark { name; _ } -> name
 
@@ -139,6 +148,7 @@ let tag = function
   | Replay _ -> "replay"
   | Voltage _ -> "voltage"
   | Halt -> "halt"
+  | Heartbeat _ -> "heartbeat"
   | Dropped _ -> "dropped"
   | Job_start _ -> "job_start"
   | Job_done _ -> "job_done"
@@ -148,6 +158,7 @@ let tag = function
   | Fault_stuck _ -> "fault_stuck"
   | Tune_round _ -> "tune_round"
   | Tune_eval _ -> "tune_eval"
+  | Tune_prune _ -> "tune_prune"
   | Tune_frontier _ -> "tune_frontier"
   | Mark _ -> "mark"
 
@@ -197,6 +208,10 @@ let json_args = function
   | Restore { joules } -> Printf.sprintf "\"joules\":%.17g" joules
   | Replay { stores } -> Printf.sprintf "\"stores\":%d" stores
   | Halt -> ""
+  | Heartbeat { every; instructions; reboots; nvm_writes } ->
+    Printf.sprintf
+      "\"every\":%d,\"instructions\":%d,\"reboots\":%d,\"nvm_writes\":%d"
+      every instructions reboots nvm_writes
   | Dropped { count } -> Printf.sprintf "\"count\":%d" count
   | Job_start { key } -> Printf.sprintf "\"job\":%s" (json_string key)
   | Job_done { key; elapsed_s } ->
@@ -216,6 +231,8 @@ let json_args = function
       (json_string strategy) round points benches
   | Tune_eval { key; cached } ->
     Printf.sprintf "\"job\":%s,\"cached\":%b" (json_string key) cached
+  | Tune_prune { key; budget_ns } ->
+    Printf.sprintf "\"job\":%s,\"budget_ns\":%.17g" (json_string key) budget_ns
   | Tune_frontier { size; evals } ->
     Printf.sprintf "\"size\":%d,\"evals\":%d" size evals
   | Mark _ -> ""
@@ -313,6 +330,12 @@ let of_parts ~tag ~name ~cat ~args =
     let* volts = num_arg args "volts" in
     Some (Voltage { volts })
   | "halt" -> Some Halt
+  | "heartbeat" ->
+    let* every = int_arg args "every" in
+    let* instructions = int_arg args "instructions" in
+    let* reboots = int_arg args "reboots" in
+    let* nvm_writes = int_arg args "nvm_writes" in
+    Some (Heartbeat { every; instructions; reboots; nvm_writes })
   | "dropped" ->
     let* count = int_arg args "count" in
     Some (Dropped { count })
@@ -350,6 +373,10 @@ let of_parts ~tag ~name ~cat ~args =
     let* key = str_arg args "job" in
     let* cached = bool_arg args "cached" in
     Some (Tune_eval { key; cached })
+  | "tune_prune" ->
+    let* key = str_arg args "job" in
+    let* budget_ns = num_arg args "budget_ns" in
+    Some (Tune_prune { key; budget_ns })
   | "tune_frontier" ->
     let* size = int_arg args "size" in
     let* evals = int_arg args "evals" in

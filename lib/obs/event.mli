@@ -45,6 +45,16 @@ type t =
   | Replay of { stores : int }       (** ReplayCache store replay. *)
   | Voltage of { volts : float }     (** Capacitor sample (counter track). *)
   | Halt
+  | Heartbeat of {
+      every : int;
+      instructions : int;
+      reboots : int;
+      nvm_writes : int;
+    }
+      (** Periodic liveness beat from the hot cycle loop, fired every
+          [every] instructions.  Carries cumulative instructions,
+          reboots and NVM writes; simulated time rides as the line's
+          own timestamp. *)
   | Dropped of { count : int }
       (** [count] earlier events were lost (bounded sink overwrote on
           wrap) — a trace containing this is truncated, not complete. *)
@@ -68,6 +78,9 @@ type t =
   | Tune_eval of { key : string; cached : bool }
       (** One (point, bench) cell of the search; [cached] when the
           journal or results store already held it. *)
+  | Tune_prune of { key : string; budget_ns : float }
+      (** An early-stopped cell: its simulation was cut at [budget_ns]
+          simulated nanoseconds because it was already dominated. *)
   | Tune_frontier of { size : int; evals : int }
       (** Pareto frontier update after a round: [size] non-dominated
           points after [evals] total evaluations. *)

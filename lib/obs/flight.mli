@@ -1,0 +1,34 @@
+(** Crash flight recorder.
+
+    A bounded event {!Ring} teed alongside the installed sink (via
+    {!Sink.with_tee}); when the executor captures a job failure it
+    calls {!dump}, which writes a self-contained post-mortem JSONL
+    artifact: a header line naming the job, error and backtrace, then
+    the ring's retained tail (the [Dropped] truncation marker and
+    pinned fault-category events are preserved), then a
+    {!Metrics.render_json} snapshot as the final line.  Readable by
+    [sweeptrace postmortem] through [Sweep_analyze.Flight_file]. *)
+
+type t
+
+val schema_version : int
+val default_capacity : int
+(** 4096 events retained. *)
+
+val arm : ?capacity:int -> dir:string -> unit -> t
+(** Create the artifact directory (and parents) and the ring.  Tee
+    {!sink} into the event stream yourself — the executor does this
+    with {!Sink.with_tee} around a whole run. *)
+
+val sink : t -> Sink.t
+(** The ring's sink view. *)
+
+val path_for : t -> key:string -> string
+(** Artifact path a {!dump} for [key] will write: a sanitised slug of
+    the job key plus a short hash (distinct keys never collide). *)
+
+val dump : t -> key:string -> error:string -> backtrace:string -> string
+(** Write the artifact for one captured failure (atomic tmp+rename;
+    serialised across domains) and return its path.  The ring is not
+    cleared: a later failure's artifact also carries the earlier tail
+    — forensically useful, and dumps stay independent. *)

@@ -1,0 +1,58 @@
+(* Amortized liveness beats for the hot cycle loop.
+
+   The driver pays two machine operations per instruction — a
+   compare and a subtract on [countdown] — and everything else
+   happens on the cold [fire] path once per [every] instructions.
+   [countdown]/[beats]/... are plain int fields so the hot path
+   allocates nothing; the last observed simulated time lives in a
+   separate all-float record ([floats]) because mutating a float
+   field of a mixed record boxes on non-flambda builds. *)
+
+type floats = { mutable sim_ns : float }
+
+type t = {
+  every : int;  (* instructions per beat; <= 0 means disabled *)
+  mutable countdown : int;
+  mutable beats : int;
+  mutable instructions : int;
+  mutable reboots : int;
+  mutable nvm_writes : int;
+  f : floats;
+  observer : (t -> unit) option;
+}
+
+let default_every = 1_000_000
+
+let create ?observer ?(every = default_every) () =
+  {
+    every;
+    countdown = (if every > 0 then every else max_int);
+    beats = 0;
+    instructions = 0;
+    reboots = 0;
+    nvm_writes = 0;
+    f = { sim_ns = 0.0 };
+    observer;
+  }
+
+let disabled () = create ~every:0 ()
+let enabled t = t.every > 0
+let beats t = t.beats
+let sim_ns t = t.f.sim_ns
+
+(* Cold path: re-arm the countdown, record the machine's progress,
+   emit (only when a sink is installed) and notify the observer.
+   Called by the driver when [countdown] reaches zero. *)
+let fire t ~sim_ns ~instructions ~reboots ~nvm_writes =
+  t.countdown <- (if t.every > 0 then t.every else max_int);
+  if t.every > 0 then begin
+    t.beats <- t.beats + 1;
+    t.instructions <- instructions;
+    t.reboots <- reboots;
+    t.nvm_writes <- nvm_writes;
+    t.f.sim_ns <- sim_ns;
+    if Sink.on () then
+      Sink.emit ~ns:sim_ns
+        (Event.Heartbeat { every = t.every; instructions; reboots; nvm_writes });
+    match t.observer with None -> () | Some f -> f t
+  end

@@ -1,0 +1,58 @@
+(** Amortized liveness beats for the hot cycle loop.
+
+    The simulator driver decrements {!field-countdown} once per
+    instruction and calls {!fire} when it reaches zero — two machine
+    operations on the hot path, everything else amortized over
+    [every] instructions.  A beat emits {!Event.Heartbeat} through
+    the installed sink (if any) and invokes the per-run [observer]
+    (the executor's live-status aggregator).  The hot path allocates
+    nothing: all beat state is int fields plus a separate all-float
+    record for the simulated timestamp. *)
+
+type floats = { mutable sim_ns : float }
+
+(* Not [private]: the driver's hot loop must mutate [countdown]
+   directly (a closure or setter would cost a call per instruction). *)
+type t = {
+  every : int;  (** instructions per beat; [<= 0] means disabled *)
+  mutable countdown : int;
+      (** decremented by the driver per instruction; fire at [<= 0] *)
+  mutable beats : int;
+  mutable instructions : int;  (** cumulative, at the last beat *)
+  mutable reboots : int;
+  mutable nvm_writes : int;
+  f : floats;
+  observer : (t -> unit) option;
+}
+
+val default_every : int
+(** 1,000,000 instructions — tens of beats per second at the
+    simulator's measured 20–40 M instr/s, and far too sparse to show
+    up in the allocation or throughput gates. *)
+
+val create : ?observer:(t -> unit) -> ?every:int -> unit -> t
+(** Fresh beat state.  [every <= 0] disables firing entirely (the
+    countdown is armed to [max_int]).  Heartbeat values are not
+    shared: give every concurrent run its own. *)
+
+val disabled : unit -> t
+(** [create ~every:0 ()] — the driver's default when no heartbeat is
+    requested; the per-instruction decrement still runs but never
+    fires. *)
+
+val enabled : t -> bool
+val beats : t -> int
+val sim_ns : t -> float
+(** Simulated time at the last beat (0.0 before the first). *)
+
+val fire :
+  t ->
+  sim_ns:float ->
+  instructions:int ->
+  reboots:int ->
+  nvm_writes:int ->
+  unit
+(** Cold path, called by the driver when [countdown <= 0]: re-arms
+    the countdown, records the progress counters, emits
+    {!Event.Heartbeat} when a sink is installed, and runs the
+    observer.  A no-op (beyond re-arming) when disabled. *)

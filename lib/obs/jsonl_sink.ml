@@ -26,7 +26,20 @@ let create path =
     with_lock (fun () ->
         if not !closed then begin
           output_string oc (render_line ~ns ev);
-          output_char oc '\n'
+          output_char oc '\n';
+          (* Failure and fault lines are exactly the tail a post-mortem
+             needs, and exactly what buffered IO loses when the process
+             dies — push them through to the OS immediately. *)
+          let crash_critical =
+            match ev with
+            | Event.Job_failed _ -> true
+            | ev -> Event.category ev = Event.Fault
+          in
+          if crash_critical then begin
+            flush oc;
+            try Unix.fsync (Unix.descr_of_out_channel oc)
+            with Unix.Unix_error _ -> ()
+          end
         end)
   in
   Sink.make write

@@ -9,4 +9,7 @@ val render_line : ns:float -> Event.t -> string
 
 val create : string -> Sink.t
 (** [create path] truncates/creates [path]; events stream through a
-    buffered channel, flushed on [flush]/[close]. *)
+    buffered channel, flushed on [flush]/[close].  [Job_failed] and
+    fault-category lines are additionally flushed and fsynced as they
+    are written, so the most interesting tail of a trace survives a
+    process that dies without closing the sink. *)

@@ -1,0 +1,66 @@
+(** Prometheus/OpenMetrics text exposition of {!Metrics} snapshots.
+
+    Mapping: [Count] samples render as counters (samples suffixed
+    [_total]), [Value] samples as gauges, [Histo] samples as
+    histograms with cumulative [le] buckets (terminated by
+    [le="+Inf"]) plus [_sum]/[_count].  Registry names are sanitised
+    to the exposition charset (dots become underscores); label values
+    are escaped.  Output ends with the [# EOF] terminator. *)
+
+val render : Metrics.snapshot -> string
+
+val write : string -> Metrics.snapshot -> unit
+(** Atomic: renders to [path ^ ".tmp"], then renames over [path], so
+    a scraper never reads a half-written exposition. *)
+
+val sanitize_name : string -> string
+(** Exposition metric name: [a-zA-Z0-9_:], no leading digit. *)
+
+val escape_label_value : string -> string
+(** Escape backslash, double-quote and newline per the exposition
+    format. *)
+
+val split_key : string -> string * (string * string) list
+(** Split a registry canonical key [name{k=v,...}] back into its base
+    name and (unsanitised) labels. *)
+
+(** {2 Mini-parser and lint}
+
+    A promtool-style validator used by the round-trip tests and
+    [sweeptrace lint]: line-oriented parse of [# TYPE]/sample lines,
+    plus histogram sanity (cumulative buckets, [+Inf] terminal,
+    [_count] consistency). *)
+
+type psample = {
+  sname : string;
+  labels : (string * string) list;  (** decoded, in line order *)
+  value : float;
+}
+
+type family = {
+  fname : string;
+  ftype : string;  (** ["counter"], ["gauge"] or ["histogram"] *)
+  samples : psample list;
+}
+
+val parse : string -> (family list, string) result
+(** Errors carry a line number.  Requires every sample to follow a
+    [# TYPE] declaration it belongs to, and the text to end with
+    [# EOF]. *)
+
+val lint : string -> (family list, string) result
+(** {!parse} plus histogram checks (cumulative buckets, [+Inf] last,
+    [_count] consistency); returns the parsed families on success. *)
+
+(** {2 Periodic exporter} *)
+
+type exporter
+
+val exporter : path:string -> ?interval_s:float -> unit -> exporter
+(** Throttled re-exporter for [--metrics-export]: {!tick} rewrites
+    [path] (atomically) at most once per [interval_s] (default 1 s)
+    wall-clock seconds. Safe to tick from worker domains. *)
+
+val tick : exporter -> unit
+val flush : exporter -> unit
+(** Unconditional write — call once at end of run. *)

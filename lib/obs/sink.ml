@@ -64,6 +64,17 @@ let clear () =
   current := null;
   refresh_enabled ()
 
+let installed () = !current
+
+let with_tee sink f =
+  let prev = !current in
+  install (if prev == null then sink else tee prev sink);
+  Fun.protect
+    ~finally:(fun () ->
+      if prev == null then clear () else install prev;
+      sink.flush ())
+    f
+
 let spy f =
   observers := f :: !observers;
   refresh_enabled ();

@@ -39,6 +39,16 @@ val clear : unit -> unit
 (** Back to the no-op sink ({!on} becomes [false] unless spies remain).
     Does not flush or close the previous sink — callers own that. *)
 
+val installed : unit -> t
+(** The currently installed sink ({!null} when none). *)
+
+val with_tee : t -> (unit -> 'a) -> 'a
+(** [with_tee sink f] splices [sink] alongside whatever sink is
+    currently installed (or installs it alone when none is), runs [f],
+    then restores the previous state and flushes [sink] — but does not
+    close it, so the caller can still drain it (the flight recorder's
+    ring).  Like {!install}, call before spawning worker domains. *)
+
 val spy : (ns:float -> Event.t -> unit) -> unit -> unit
 (** [spy f] attaches [f] as an observer of every emitted event — in
     addition to (and independent of) the installed sink — and returns a

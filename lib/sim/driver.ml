@@ -7,6 +7,8 @@ module Detector = Sweep_energy.Detector
 module Trace = Sweep_energy.Power_trace
 module Sink = Sweep_obs.Sink
 module Ev = Sweep_obs.Event
+module Hb = Sweep_obs.Heartbeat
+module Nvm = Sweep_mem.Nvm
 
 type power =
   | Unlimited
@@ -99,12 +101,17 @@ type utotals = {
   mutable u_restore_joules : float;
 }
 
-let run_unlimited ?(max_instructions = 500_000_000) ?fault ?after_recovery m =
+let run_unlimited ?(max_instructions = 500_000_000) ?sim_budget_ns ?fault
+    ?after_recovery ?heartbeat m =
   let tt = { u_now = 0.0; u_joules = 0.0; u_restore_joules = 0.0 } in
   let acc = M.acc m in
   let instructions = ref 0 in
   let outages = ref 0 in
   let injected = ref 0 in
+  let budget =
+    match sim_budget_ns with Some b -> b | None -> Float.infinity
+  in
+  let hb = match heartbeat with Some h -> h | None -> Hb.disabled () in
   let w = watch_fault fault in
   Fun.protect ~finally:(fun () -> unwatch_fault w) @@ fun () ->
   (* One injected crash under unlimited power: no capacitor, so the
@@ -130,12 +137,22 @@ let run_unlimited ?(max_instructions = 500_000_000) ?fault ?after_recovery m =
       Sink.emit ~ns:tt.u_now (Ev.Restore { joules = c.Cost.joules });
     match after_recovery with Some f -> f ~now_ns:tt.u_now | None -> ()
   in
-  while (not (M.halted m)) && !instructions < max_instructions do
+  while
+    (not (M.halted m)) && !instructions < max_instructions
+    && tt.u_now <= budget
+  do
     acc.Exec.Acc.now <- tt.u_now;
     M.step m;
     tt.u_now <- tt.u_now +. acc.Exec.Acc.ns;
     tt.u_joules <- tt.u_joules +. acc.Exec.Acc.joules;
     incr instructions;
+    (* Amortized liveness beat: two machine ops per instruction, the
+       rest on the cold [fire] path every [hb.every] instructions. *)
+    hb.Hb.countdown <- hb.Hb.countdown - 1;
+    if hb.Hb.countdown <= 0 then
+      Hb.fire hb ~sim_ns:tt.u_now ~instructions:!instructions
+        ~reboots:!outages
+        ~nvm_writes:(Nvm.write_events (M.nvm m));
     match fault_to_fire w ~instructions:!instructions with
     | Some f ->
       w.fired <- true;
@@ -146,13 +163,19 @@ let run_unlimited ?(max_instructions = 500_000_000) ?fault ?after_recovery m =
       done
     | None -> ()
   done;
-  if not (M.halted m) then
+  let completed = M.halted m in
+  (* Running out of the simulated-time budget is a graceful partial
+     stop (the early-stop path); only the instruction guard is an
+     error.  A partial machine is left undrained. *)
+  if (not completed) && tt.u_now <= budget then
     raise (Stagnation "instruction guard exceeded without Halt");
-  let d = M.drain m ~now_ns:tt.u_now in
-  tt.u_now <- tt.u_now +. d.Cost.ns;
-  tt.u_joules <- tt.u_joules +. d.Cost.joules;
+  if completed then begin
+    let d = M.drain m ~now_ns:tt.u_now in
+    tt.u_now <- tt.u_now +. d.Cost.ns;
+    tt.u_joules <- tt.u_joules +. d.Cost.joules
+  end;
   {
-    completed = true;
+    completed;
     on_ns = tt.u_now;
     off_ns = 0.0;
     outages = !outages;
@@ -323,7 +346,8 @@ let try_backup s v_min =
     end
 
 let run_harvested ?(max_instructions = 500_000_000) ?(max_sim_s = 600.0)
-    ?fault ?after_recovery m ~trace ~farads ~v_max ~v_min =
+    ?sim_budget_ns ?fault ?after_recovery ?heartbeat m ~trace ~farads ~v_max
+    ~v_min =
   let det = M.detector m in
   let s =
     {
@@ -378,6 +402,10 @@ let run_harvested ?(max_instructions = 500_000_000) ?(max_sim_s = 600.0)
     | Some vb -> Capacitor.energy_at cap vb -. 1e-18
     | None -> Float.neg_infinity
   in
+  let budget =
+    match sim_budget_ns with Some b -> b | None -> Float.infinity
+  in
+  let hb = match heartbeat with Some h -> h | None -> Hb.disabled () in
   let w = watch_fault fault in
   (* An injected crash behaves like a death at the crash point, except a
      JIT design first banks the backup its detector would have banked
@@ -407,7 +435,7 @@ let run_harvested ?(max_instructions = 500_000_000) ?(max_sim_s = 600.0)
     power_cycle ?after_recovery s ~max_off_s
   in
   Fun.protect ~finally:(fun () -> unwatch_fault w) @@ fun () ->
-  while not (M.halted m) do
+  while (not (M.halted m)) && s.f.now <= budget do
     if s.instructions > max_instructions then
       raise (Stagnation "instruction guard exceeded");
     if s.f.now *. 1.0e-9 > max_sim_s then
@@ -468,6 +496,13 @@ let run_harvested ?(max_instructions = 500_000_000) ?(max_sim_s = 600.0)
         s.f.on_ns <- s.f.on_ns +. step_ns
       end;
       s.instructions <- s.instructions + 1;
+      (* Amortized liveness beat (compare + subtract per instruction;
+         everything else is on the cold fire path). *)
+      hb.Hb.countdown <- hb.Hb.countdown - 1;
+      if hb.Hb.countdown <= 0 then
+        Hb.fire hb ~sim_ns:s.f.now ~instructions:s.instructions
+          ~reboots:s.outages
+          ~nvm_writes:(Nvm.write_events (M.nvm m));
       (* Sparse voltage samples while executing keep the counter track
          legible without swamping the trace. *)
       if Sink.on () && s.instructions mod 5_000 = 0 then
@@ -480,12 +515,17 @@ let run_harvested ?(max_instructions = 500_000_000) ?(max_sim_s = 600.0)
       | None -> ()
     end
   done;
-  let d = M.drain m ~now_ns:s.f.now in
-  Capacitor.consume s.cap d.Cost.joules;
-  s.f.compute_joules <- s.f.compute_joules +. d.Cost.joules;
-  pass_time_on s d.Cost.ns;
+  let completed = M.halted m in
+  (* A budget stop leaves the machine undrained: the outcome reports
+     partial progress with [completed = false]. *)
+  if completed then begin
+    let d = M.drain m ~now_ns:s.f.now in
+    Capacitor.consume s.cap d.Cost.joules;
+    s.f.compute_joules <- s.f.compute_joules +. d.Cost.joules;
+    pass_time_on s d.Cost.ns
+  end;
   {
-    completed = true;
+    completed;
     on_ns = s.f.on_ns;
     off_ns = s.f.off_ns;
     outages = s.outages;
@@ -518,13 +558,17 @@ let publish_outcome ?(labels = []) (o : outcome) =
       (if total_ns o <= 0.0 then 100.0 else o.on_ns /. total_ns o *. 100.0)
   end
 
-let run ?max_instructions ?max_sim_s ?fault ?after_recovery m ~power =
+let run ?max_instructions ?max_sim_s ?sim_budget_ns ?fault ?after_recovery
+    ?heartbeat m ~power =
   let o =
     match power with
-    | Unlimited -> run_unlimited ?max_instructions ?fault ?after_recovery m
+    | Unlimited ->
+      run_unlimited ?max_instructions ?sim_budget_ns ?fault ?after_recovery
+        ?heartbeat m
     | Harvested { trace; capacitor_farads; v_max; v_min } ->
-      run_harvested ?max_instructions ?max_sim_s ?fault ?after_recovery m
-        ~trace ~farads:capacitor_farads ~v_max ~v_min
+      run_harvested ?max_instructions ?max_sim_s ?sim_budget_ns ?fault
+        ?after_recovery ?heartbeat m ~trace ~farads:capacitor_farads ~v_max
+        ~v_min
   in
   publish_outcome o;
   o

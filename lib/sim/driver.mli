@@ -29,7 +29,10 @@ val harvested :
   farads:float -> unit -> power
 
 type outcome = {
-  completed : bool;       (** reached [Halt] within the guards *)
+  completed : bool;
+      (** reached [Halt] within the guards; [false] only for a graceful
+          [?sim_budget_ns] partial stop (the machine is left undrained
+          and all totals report partial progress) *)
   on_ns : float;          (** time spent executing (incl. stalls) *)
   off_ns : float;         (** time spent dead/charging *)
   outages : int;          (** power-down events (backup stops + deaths) *)
@@ -55,8 +58,10 @@ exception Stagnation of string
 val run :
   ?max_instructions:int ->
   ?max_sim_s:float ->
+  ?sim_budget_ns:float ->
   ?fault:Fault.t ->
   ?after_recovery:(now_ns:float -> unit) ->
+  ?heartbeat:Sweep_obs.Heartbeat.t ->
   Sweep_machine.Machine_intf.packed ->
   power:power ->
   outcome
@@ -65,6 +70,22 @@ val run :
     When {!Sweep_obs.Sink.on}, emits power/backup/restore/voltage events;
     when {!Sweep_obs.Metrics.enabled}, publishes the outcome (unlabelled)
     via {!publish_outcome}.
+
+    [?sim_budget_ns] is a {e graceful} simulated-time ceiling: unlike
+    the guards (which raise {!Stagnation}), reaching it stops the run
+    cleanly with [completed = false] and partial totals — sweeptune's
+    early-stop uses it to cut dominated cells.  The check is one float
+    compare per loop iteration, so the budget is honoured to within
+    one instruction (or one power cycle).
+
+    [?heartbeat] attaches per-run liveness beats: the hot loops pay a
+    compare + subtract per instruction and call
+    {!Sweep_obs.Heartbeat.fire} every [every] instructions, emitting
+    {!Sweep_obs.Event.Heartbeat} (instructions, reboots, NVM writes;
+    simulated time as the timestamp) and invoking the observer — the
+    executor's live-status hook.  Allocation-free when beats don't
+    fire; the fired path is amortized far below the [test alloc]
+    gate's threshold.
 
     [?fault] injects one adversarial power failure at the plan's crash
     point (plus its nested re-crashes), on top of whatever the voltage

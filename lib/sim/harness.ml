@@ -49,12 +49,13 @@ type result = {
   compiled : Pipeline.compiled;
 }
 
-let run ?config ?options ?max_instructions ?max_sim_s ?fault ?after_recovery
-    design ~power ast =
+let run ?config ?options ?max_instructions ?max_sim_s ?sim_budget_ns ?fault
+    ?after_recovery ?heartbeat design ~power ast =
   let compiled = compile ?options design ast in
   let m = machine ?config design compiled.Pipeline.program in
   let outcome =
-    Driver.run ?max_instructions ?max_sim_s ?fault ?after_recovery m ~power
+    Driver.run ?max_instructions ?max_sim_s ?sim_budget_ns ?fault
+      ?after_recovery ?heartbeat m ~power
   in
   { design; outcome; machine = m; compiled }
 

@@ -49,15 +49,18 @@ val run :
   ?options:Sweep_compiler.Pipeline.options ->
   ?max_instructions:int ->
   ?max_sim_s:float ->
+  ?sim_budget_ns:float ->
   ?fault:Fault.t ->
   ?after_recovery:(now_ns:float -> unit) ->
+  ?heartbeat:Sweep_obs.Heartbeat.t ->
   design ->
   power:Driver.power ->
   Sweep_lang.Ast.program ->
   result
 (** [?fault]/[?after_recovery] are passed through to {!Driver.run} —
     adversarial crash injection and the differential checker's
-    observation hook. *)
+    observation hook — as are [?sim_budget_ns] (graceful early-stop
+    ceiling) and [?heartbeat] (live-telemetry beats). *)
 
 val mstats : result -> Sweep_machine.Mstats.t
 val cache_miss_rate : result -> float

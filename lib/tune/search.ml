@@ -26,6 +26,7 @@ type params = {
   seed : int;
   scale : float;
   ladder : string list list;
+  early_stop : float option;
 }
 
 let default_ladder =
@@ -39,6 +40,7 @@ let default_params =
     seed = 42;
     scale = 0.2;
     ladder = default_ladder;
+    early_stop = None;
   }
 
 type outcome = {
@@ -57,6 +59,7 @@ exception Interrupted of { executed : int }
 let m_scheduled = Metrics.counter "tune.cells_scheduled"
 let m_executed = Metrics.counter "tune.cells_executed"
 let m_cached = Metrics.counter "tune.cells_cached"
+let m_pruned = Metrics.counter "tune.cells_pruned"
 let m_rounds = Metrics.counter "tune.rounds"
 let m_failed = Metrics.counter "tune.points_failed"
 let m_frontier = Metrics.gauge "tune.frontier_size"
@@ -119,6 +122,7 @@ type ctx = {
   oc : out_channel;
   workers : int option;
   kill_after : int option;
+  exec_config : Executor.config option;
   mutable scheduled : int;
   mutable executed : int;
   mutable cached : int;
@@ -169,10 +173,21 @@ let evaluate ctx points benches =
   (* Execute in canonical-order chunks, journalling after each, so a
      crash mid-rung loses at most one chunk and [kill_after] has chunk
      (not rung) granularity. *)
-  let record (p, bench, key) =
+  let record budgets (p, bench, key) =
     let cell =
       match Results.find key with
       | Some s ->
+          let completed = s.Results.outcome.Sweep_sim.Driver.completed in
+          let error =
+            match (completed, List.assoc_opt key budgets) with
+            | false, Some b ->
+                if Metrics.enabled () then Metrics.inc m_pruned;
+                if Sink.on () then
+                  Sink.emit ~ns:(wall_ns ())
+                    (Event.Tune_prune { key; budget_ns = b });
+                Printf.sprintf "early-stopped: dominated at %.17g ns budget" b
+            | _ -> ""
+          in
           {
             Journal.point = p;
             bench;
@@ -180,9 +195,9 @@ let evaluate ctx points benches =
             key;
             runtime_ns = Sweep_sim.Driver.total_ns s.Results.outcome;
             nvm_writes = s.Results.nvm_writes;
-            completed = s.Results.outcome.Sweep_sim.Driver.completed;
+            completed;
             failed = false;
-            error = "";
+            error;
           }
       | None ->
           let error =
@@ -209,16 +224,42 @@ let evaluate ctx points benches =
     Journal.append ctx.oc cell;
     Hashtbl.replace ctx.cells key cell
   in
+  (* Early-stop budgets are frozen per chunk from journalled state only
+     (best completed runtime per bench over [ctx.cells]), so they are
+     identical across worker counts and kill/resume: within a chunk no
+     cell's budget depends on another cell of the same chunk, and the
+     journal advances in whole canonical chunks. *)
+  let chunk_budgets chunk =
+    match ctx.params.early_stop with
+    | None -> []
+    | Some margin ->
+        let best = Hashtbl.create 8 in
+        Hashtbl.iter
+          (fun _ c ->
+            if c.Journal.completed && not c.Journal.failed then
+              match Hashtbl.find_opt best c.Journal.bench with
+              | Some b when b <= c.Journal.runtime_ns -> ()
+              | _ -> Hashtbl.replace best c.Journal.bench c.Journal.runtime_ns)
+          ctx.cells;
+        List.filter_map
+          (fun (_, b, key) ->
+            Option.map
+              (fun best_ns -> (key, margin *. best_ns))
+              (Hashtbl.find_opt best b))
+          chunk
+  in
   let rec chunks = function
     | [] -> ()
     | rest ->
         let chunk = List.filteri (fun i _ -> i < chunk_cells) rest in
         let rest = List.filteri (fun i _ -> i >= chunk_cells) rest in
-        Executor.execute ?workers:ctx.workers
+        let budgets = chunk_budgets chunk in
+        Executor.execute ?workers:ctx.workers ?config:ctx.exec_config
+          ~budget:(fun j -> List.assoc_opt (Jobs.key j) budgets)
           (List.map
              (fun (p, b, _) -> Space.job ~scale:ctx.params.scale p b)
              chunk);
-        List.iter record chunk;
+        List.iter (record budgets) chunk;
         ctx.executed <- ctx.executed + List.length chunk;
         if Metrics.enabled () then Metrics.add m_executed (List.length chunk);
         (match ctx.kill_after with
@@ -256,7 +297,11 @@ let point_result ctx p benches =
         | Some c when c.Journal.failed ->
             Error (Printf.sprintf "%s: %s" b c.Journal.error)
         | Some c when not c.Journal.completed ->
-            Error (Printf.sprintf "%s: did not complete" b)
+            let why =
+              if c.Journal.error <> "" then c.Journal.error
+              else "did not complete"
+            in
+            Error (Printf.sprintf "%s: %s" b why)
         | Some c -> collect (c :: acc) rest)
   in
   match collect [] benches with
@@ -337,7 +382,7 @@ let failed_points ctx =
         && (cell.Journal.failed || not cell.Journal.completed)
       then
         let err =
-          if cell.Journal.failed then
+          if cell.Journal.failed || cell.Journal.error <> "" then
             Printf.sprintf "%s: %s" cell.Journal.bench cell.Journal.error
           else Printf.sprintf "%s: did not complete" cell.Journal.bench
         in
@@ -421,7 +466,7 @@ let search ctx =
     failed_points = failed_points ctx;
   }
 
-let run ?workers ?kill_after ~journal params =
+let run ?workers ?kill_after ?exec_config ~journal params =
   match Journal.load journal with
   | Error e -> Error e
   | Ok (cells0, warnings) ->
@@ -441,6 +486,7 @@ let run ?workers ?kill_after ~journal params =
           oc;
           workers;
           kill_after;
+          exec_config;
           scheduled = 0;
           executed = 0;
           cached = 0;

@@ -33,6 +33,17 @@ type params = {
   ladder : string list list;
       (** bench rungs, cheapest first; [Grid]/[Random] run the
           flattened ladder *)
+  early_stop : float option;
+      (** kill dominated cells: [Some margin] gracefully stops any cell
+          once its simulated time exceeds [margin *.] the best completed
+          runtime journalled for the same bench.  Budgets are frozen per
+          execution chunk from journalled state only, so the decision
+          sequence — and the journal — stays byte-identical across
+          worker counts and kill/resume.  Stopped cells are journalled
+          as [completed = false] with an ["early-stopped: ..."] error,
+          emit {!Sweep_obs.Event.Tune_prune}, and are excluded from the
+          frontier like any other incomplete cell.  [None] (the
+          default) reproduces the non-early-stop search exactly. *)
 }
 
 val default_ladder : string list list
@@ -40,7 +51,8 @@ val default_ladder : string list list
     1/2/3 from the 10-benchmark subset. *)
 
 val default_params : params
-(** Pinned matrix, [Halving], budget 200, seed 42, scale 0.2. *)
+(** Pinned matrix, [Halving], budget 200, seed 42, scale 0.2, no
+    early stop. *)
 
 type outcome = {
   frontier : Frontier.t;
@@ -67,12 +79,15 @@ val plan : params -> Space.point list * int
 val run :
   ?workers:int ->
   ?kill_after:int ->
+  ?exec_config:Sweep_exp.Executor.config ->
   journal:string ->
   params ->
   (outcome * string list, string) result
 (** Execute the search, resuming from [journal] if it exists and
     appending every newly executed cell to it.  [kill_after n] aborts
     (with {!Interrupted}) at the first batch boundary where at least
-    [n] cells have been simulated {e this run}.  [Error] is a corrupt
-    journal or an unwritable path; warnings surface torn journal
-    lines. *)
+    [n] cells have been simulated {e this run}.  [exec_config] is
+    passed to every {!Sweep_exp.Executor.execute} chunk (live status,
+    heartbeats, flight recorder, metrics export).  [Error] is a
+    corrupt journal or an unwritable path; warnings surface torn
+    journal lines. *)

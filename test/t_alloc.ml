@@ -13,7 +13,10 @@ module Driver = Sweep_sim.Driver
 module Pipeline = Sweep_compiler.Pipeline
 
 (* Minor words allocated during one full Driver.run of [design] on
-   sha@[scale], machine construction excluded. *)
+   sha@[scale], machine construction excluded.  Heartbeats stay armed:
+   the amortised countdown (and the no-sink [fire] path, which only
+   mutates the heartbeat's preallocated fields) must be alloc-free too,
+   so telemetry-on sweeps keep the same throughput guarantee. *)
 let measure design scale =
   let ast =
     Sweep_workloads.Workload.program ~scale
@@ -21,9 +24,10 @@ let measure design scale =
   in
   let compiled = H.compile design ast in
   let m = H.machine design compiled.Pipeline.program in
+  let heartbeat = Sweep_obs.Heartbeat.create ~every:50_000 () in
   Gc.full_major ();
   let w0 = Gc.minor_words () in
-  let outcome = Driver.run m ~power:Driver.Unlimited in
+  let outcome = Driver.run ~heartbeat m ~power:Driver.Unlimited in
   let w1 = Gc.minor_words () in
   (w1 -. w0, outcome.Driver.instructions)
 

@@ -498,6 +498,10 @@ let test_event_of_parts_roundtrip () =
       Ev.Tune_eval { key = "tune:a|b"; cached = true };
       Ev.Tune_eval { key = "tune:a|b"; cached = false };
       Ev.Tune_frontier { size = 11; evals = 200 };
+      Ev.Heartbeat
+        { every = 1_000_000; instructions = 3_000_000; reboots = 4;
+          nvm_writes = 512 };
+      Ev.Tune_prune { key = "tune:a|b"; budget_ns = 1.25e9 };
     ]
   in
   List.iter

@@ -1,0 +1,334 @@
+(* Live-telemetry tests: in-run heartbeats (determinism across worker
+   counts), the OpenMetrics exporter (render/parse round-trip including
+   label edge cases), the live status snapshot (schema + consistency),
+   and the crash flight recorder (artifact written on a captured job
+   failure, readable by the sweeptrace postmortem loader). *)
+
+module Obs = Sweep_obs
+module Ev = Sweep_obs.Event
+module Sink = Sweep_obs.Sink
+module Hb = Sweep_obs.Heartbeat
+module Om = Sweep_obs.Openmetrics
+module Metrics = Sweep_obs.Metrics
+module C = Sweep_exp.Exp_common
+module Jobs = Sweep_exp.Jobs
+module Executor = Sweep_exp.Executor
+module Results = Sweep_exp.Results
+module Status = Sweep_exp.Status
+module H = Sweep_sim.Harness
+module Driver = Sweep_sim.Driver
+module A = Sweep_analyze
+
+let check = Alcotest.check
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "telemetry" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun name -> Sys.remove (Filename.concat dir name))
+        (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+(* ---------------- heartbeats ---------------- *)
+
+(* Beats are a pure function of the simulation: same machine, same
+   cadence -> same count, and the count matches the instruction total. *)
+let test_heartbeat_driver_deterministic () =
+  let run () =
+    let ast =
+      Sweep_workloads.Workload.program ~scale:0.05
+        (Sweep_workloads.Registry.find "sha")
+    in
+    let compiled = H.compile H.Sweep ast in
+    let m = H.machine H.Sweep compiled.Sweep_compiler.Pipeline.program in
+    let hb = Hb.create ~every:10_000 () in
+    let outcome = Driver.run ~heartbeat:hb m ~power:Driver.Unlimited in
+    (Hb.beats hb, outcome.Driver.instructions)
+  in
+  let beats1, instrs1 = run () in
+  let beats2, instrs2 = run () in
+  check Alcotest.int "beats repeat" beats1 beats2;
+  check Alcotest.int "instructions repeat" instrs1 instrs2;
+  check Alcotest.int "beats = instrs / every" (instrs1 / 10_000) beats1;
+  Alcotest.(check bool) "beats happened" true (beats1 > 0)
+
+let small_matrix () =
+  Jobs.matrix ~exp:"t" ~scale:0.05
+    [ C.setting H.Nvp; C.setting H.Wt; C.sweep_empty_bit ]
+    [ "sha"; "dijkstra" ]
+
+(* Heartbeat events ride the sink from worker domains; their total
+   count over a fixed matrix must not depend on the worker count. *)
+let test_heartbeat_counts_j1_equals_j4 () =
+  let count workers =
+    Results.clear ();
+    let beats = Atomic.make 0 in
+    let detach =
+      Sink.spy (fun ~ns:_ ev ->
+          match ev with
+          | Ev.Heartbeat _ -> Atomic.incr beats
+          | _ -> ())
+    in
+    Fun.protect ~finally:detach (fun () ->
+        Executor.execute ~workers
+          ~config:(Executor.config ~heartbeat_every:2_000 ())
+          (small_matrix ()));
+    Atomic.get beats
+  in
+  let seq = count 1 in
+  let par = count 4 in
+  Alcotest.(check bool) "some beats" true (seq > 0);
+  check Alcotest.int "heartbeat count j1 = j4" seq par
+
+(* ---------------- OpenMetrics ---------------- *)
+
+let sample_snapshot : Metrics.snapshot =
+  [
+    (* empty label set *)
+    ("plain_counter", Metrics.Count 7);
+    (* escaped label values: backslash, quote, newline *)
+    ( "labelled{design=sweep,note=a\\b\"c\nd}",
+      Metrics.Count 3 );
+    ("some_gauge{k=v}", Metrics.Value 2.5);
+    ( "lat_ns{design=nvp}",
+      Metrics.Histo
+        {
+          count = 6;
+          sum = 91.0;
+          buckets = [ (10.0, 1); (100.0, 3); (infinity, 2) ];
+        } );
+  ]
+
+let find_family fname families =
+  List.find_opt (fun f -> f.Om.fname = fname) families
+
+let test_openmetrics_roundtrip () =
+  let text = Om.render sample_snapshot in
+  match Om.lint text with
+  | Error e -> Alcotest.fail ("lint rejected rendered text: " ^ e)
+  | Ok families ->
+    check Alcotest.int "family count" 4 (List.length families);
+    (match find_family "plain_counter" families with
+    | Some { Om.ftype = "counter"; samples = [ s ]; _ } ->
+      check Alcotest.string "counter sample name" "plain_counter_total"
+        s.Om.sname;
+      check Alcotest.int "no labels" 0 (List.length s.Om.labels);
+      check (Alcotest.float 0.0) "counter value" 7.0 s.Om.value
+    | _ -> Alcotest.fail "plain_counter family wrong");
+    (match find_family "labelled" families with
+    | Some { samples = [ s ]; _ } ->
+      (* escapes must decode back to the original label value *)
+      check
+        (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+        "escaped labels decode"
+        [ ("design", "sweep"); ("note", "a\\b\"c\nd") ]
+        s.Om.labels
+    | _ -> Alcotest.fail "labelled family wrong");
+    (match find_family "lat_ns" families with
+    | Some { ftype = "histogram"; samples; _ } ->
+      (* cumulative buckets: 1, 4, 6; then sum and count *)
+      let bucket le =
+        List.find_opt
+          (fun s ->
+            s.Om.sname = "lat_ns_bucket"
+            && List.assoc_opt "le" s.Om.labels = Some le)
+          samples
+      in
+      let value = function
+        | Some s -> s.Om.value
+        | None -> Alcotest.fail "missing bucket"
+      in
+      check (Alcotest.float 0.0) "le=10" 1.0 (value (bucket "10"));
+      check (Alcotest.float 0.0) "le=100 cumulative" 4.0 (value (bucket "100"));
+      check (Alcotest.float 0.0) "le=+Inf" 6.0 (value (bucket "+Inf"));
+      Alcotest.(check bool) "sum present" true
+        (List.exists (fun s -> s.Om.sname = "lat_ns_sum") samples);
+      Alcotest.(check bool) "count present" true
+        (List.exists
+           (fun s -> s.Om.sname = "lat_ns_count" && s.Om.value = 6.0)
+           samples)
+    | _ -> Alcotest.fail "histogram family wrong")
+
+let test_openmetrics_lint_rejects () =
+  let ok text = Result.is_ok (Om.lint text) in
+  Alcotest.(check bool) "missing EOF" false
+    (ok "# TYPE x counter\nx_total 1\n");
+  Alcotest.(check bool) "sample without family" false
+    (ok "y_total 1\n# EOF\n");
+  Alcotest.(check bool) "duplicate TYPE" false
+    (ok "# TYPE x counter\n# TYPE x counter\nx_total 1\n# EOF\n");
+  Alcotest.(check bool) "non-cumulative histogram" false
+    (ok
+       "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} \
+        3\nh_sum 9\nh_count 3\n# EOF\n");
+  Alcotest.(check bool) "well-formed accepted" true
+    (ok "# TYPE x counter\nx_total 1\n# EOF\n")
+
+let test_openmetrics_exporter_writes () =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "m.om" in
+      Metrics.set_enabled true;
+      Fun.protect
+        ~finally:(fun () -> Metrics.set_enabled false)
+        (fun () ->
+          let c = Metrics.counter "telemetry_test_ticks" in
+          Metrics.inc c;
+          let ex = Om.exporter ~path ~interval_s:0.0 () in
+          Om.tick ex;
+          Alcotest.(check bool) "file written" true (Sys.file_exists path);
+          let ic = open_in_bin path in
+          let text =
+            Fun.protect
+              ~finally:(fun () -> close_in ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          match Om.lint text with
+          | Error e -> Alcotest.fail ("exporter output rejected: " ^ e)
+          | Ok families ->
+            Alcotest.(check bool) "has the test counter" true
+              (find_family "telemetry_test_ticks" families <> None)))
+
+(* ---------------- status snapshot ---------------- *)
+
+let test_status_schema_roundtrip () =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "status.json" in
+      let st = Status.create ~path ~interval_s:0.0 ~workers:2 () in
+      Status.add_total st 3;
+      Status.job_started st ~key:"job-a";
+      Status.job_finished st ~key:"job-a" ~ok:true ~elapsed_s:0.5
+        ~sim_ns:2.0e6;
+      Status.job_started st ~key:"job-b";
+      let hb = Hb.create ~every:1_000 () in
+      Hb.fire hb ~sim_ns:1.0e6 ~instructions:5_000 ~reboots:2 ~nvm_writes:40;
+      Status.beat st ~key:"job-b" hb;
+      Status.write st;
+      match A.Status_file.load path with
+      | Error e -> Alcotest.fail e
+      | Ok s ->
+        check
+          (Alcotest.list Alcotest.string)
+          "internally consistent" [] (A.Status_file.validate s);
+        check Alcotest.int "total" 3 s.A.Status_file.total;
+        check Alcotest.int "done" 1 s.A.Status_file.done_;
+        check Alcotest.int "queued" 1 s.A.Status_file.queued;
+        check Alcotest.int "running" 1 s.A.Status_file.running_n;
+        Alcotest.(check bool) "eta present after a finish" true
+          (s.A.Status_file.eta_s <> None);
+        (match s.A.Status_file.running with
+        | [ r ] ->
+          check Alcotest.string "running job" "job-b" r.A.Status_file.job;
+          check Alcotest.int "beats" 1 r.A.Status_file.beats;
+          check Alcotest.int "instructions" 5_000 r.A.Status_file.instructions;
+          check Alcotest.int "reboots" 2 r.A.Status_file.reboots;
+          (* sim_ns 1e6 vs mean finished 2e6 -> 0.5 *)
+          (match r.A.Status_file.est_progress with
+          | Some p -> check (Alcotest.float 1e-6) "est_progress" 0.5 p
+          | None -> Alcotest.fail "expected est_progress")
+        | rs ->
+          Alcotest.failf "expected one running job, got %d" (List.length rs)))
+
+let test_status_validate_catches () =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "bad.json" in
+      let oc = open_out path in
+      output_string oc
+        {|{"schema_version":1,"ts_s":1.0,"elapsed_s":1.0,"workers":1,"jobs":{"total":5,"queued":1,"running":0,"done":1,"failed":1,"pct_done":40.0},"eta_s":null,"throughput":{"instr_per_s":0},"running":[]}|};
+      close_out oc;
+      match A.Status_file.load path with
+      | Error e -> Alcotest.fail e
+      | Ok s ->
+        Alcotest.(check bool) "counts that don't add up are flagged" true
+          (A.Status_file.validate s <> []))
+
+(* ---------------- crash flight recorder ---------------- *)
+
+let test_flight_recorder_postmortem () =
+  with_tmp_dir (fun dir ->
+      Results.clear ();
+      let fl = Obs.Flight.arm ~dir () in
+      (* "nosuchbench" explodes inside compute (Not_found from the
+         workload registry) — a captured failure, so execute returns
+         normally and the flight recorder must have dumped. *)
+      let bad =
+        Jobs.job ~exp:"t" ~scale:0.05 (C.setting H.Nvp) ~power:Jobs.unlimited
+          "nosuchbench"
+      in
+      let good =
+        Jobs.job ~exp:"t" ~scale:0.05 (C.setting H.Nvp) ~power:Jobs.unlimited
+          "sha"
+      in
+      let cfg = Executor.config ~flight:fl () in
+      Executor.execute ~workers:1 ~config:cfg [ good; bad ];
+      check Alcotest.int "one captured failure" 1
+        (List.length (Results.failures ()));
+      let path = Obs.Flight.path_for fl ~key:(Jobs.key bad) in
+      Alcotest.(check bool) "artifact written" true (Sys.file_exists path);
+      match A.Flight_file.load path with
+      | Error e -> Alcotest.fail e
+      | Ok pm ->
+        check Alcotest.string "artifact names the job" (Jobs.key bad)
+          pm.A.Flight_file.header.A.Flight_file.job;
+        Alcotest.(check bool) "error recorded" true
+          (pm.A.Flight_file.header.A.Flight_file.error <> "");
+        check Alcotest.int "no malformed lines" 0 pm.A.Flight_file.malformed;
+        (* the ring tail must contain the failure event itself *)
+        Alcotest.(check bool) "Job_failed in the tail" true
+          (List.exists
+             (fun e ->
+               match e.A.Trace_reader.event with
+               | Ev.Job_failed { key; _ } -> key = Jobs.key bad
+               | _ -> false)
+             pm.A.Flight_file.entries);
+        (* and the postmortem renderer must produce a report *)
+        let text =
+          A.Report.render A.Report.Text
+            (A.Flight_file.report ~source:path pm)
+        in
+        Alcotest.(check bool) "report renders" true
+          (String.length text > 0))
+
+(* A failure with an armed sink: the artifact must tee, not steal —
+   the installed sink still sees every event. *)
+let test_flight_tee_preserves_sink () =
+  with_tmp_dir (fun dir ->
+      Results.clear ();
+      let fl = Obs.Flight.arm ~dir () in
+      let seen = Atomic.make 0 in
+      let detach = Sink.spy (fun ~ns:_ _ -> Atomic.incr seen) in
+      Fun.protect ~finally:detach (fun () ->
+          let bad =
+            Jobs.job ~exp:"t" ~scale:0.05 (C.setting H.Nvp)
+              ~power:Jobs.unlimited "nosuchbench"
+          in
+          Executor.execute ~workers:1
+            ~config:(Executor.config ~flight:fl ())
+            [ bad ]);
+      Alcotest.(check bool) "installed sink still saw events" true
+        (Atomic.get seen > 0))
+
+let suite =
+  [
+    Alcotest.test_case "heartbeat driver deterministic" `Quick
+      test_heartbeat_driver_deterministic;
+    Alcotest.test_case "heartbeat counts j1=j4" `Slow
+      test_heartbeat_counts_j1_equals_j4;
+    Alcotest.test_case "openmetrics round-trip" `Quick
+      test_openmetrics_roundtrip;
+    Alcotest.test_case "openmetrics lint rejects" `Quick
+      test_openmetrics_lint_rejects;
+    Alcotest.test_case "openmetrics exporter writes" `Quick
+      test_openmetrics_exporter_writes;
+    Alcotest.test_case "status schema round-trip" `Quick
+      test_status_schema_roundtrip;
+    Alcotest.test_case "status validate catches" `Quick
+      test_status_validate_catches;
+    Alcotest.test_case "flight recorder postmortem" `Slow
+      test_flight_recorder_postmortem;
+    Alcotest.test_case "flight tee preserves sink" `Slow
+      test_flight_tee_preserves_sink;
+  ]

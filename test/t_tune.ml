@@ -151,9 +151,17 @@ let tiny_space =
     traces = [ Sweep_energy.Power_trace.Rf_office ];
   }
 
-let params ?(strategy = Search.Grid) ?(ladder = [ [ "sha" ] ]) ?(budget = 16) ()
-    =
-  { Search.space = tiny_space; strategy; budget; seed = 7; scale = 0.05; ladder }
+let params ?(strategy = Search.Grid) ?(ladder = [ [ "sha" ] ]) ?(budget = 16)
+    ?early_stop () =
+  {
+    Search.space = tiny_space;
+    strategy;
+    budget;
+    seed = 7;
+    scale = 0.05;
+    ladder;
+    early_stop;
+  }
 
 let run_fresh ?workers ?kill_after params =
   Results.clear ();
@@ -234,6 +242,152 @@ let test_search_resume_equivalence () =
       | Ok (_, w) -> Alcotest.fail (String.concat "; " w)
       | Error e -> Alcotest.fail e)
 
+(* ---------------- early stop ---------------- *)
+
+let contains_sub s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Seed the journal with a synthetic completed sha cell whose 1 ns
+   runtime dominates everything: with early-stop on, every real cell's
+   budget collapses to margin * 1 ns, so the whole space is pruned —
+   deterministically, with no dependence on actual cell runtimes. *)
+let test_early_stop_prunes () =
+  Results.clear ();
+  with_tmp (fun journal ->
+      Sys.remove journal;
+      let seed =
+        {
+          (sample_cell Space.paper_point "sha") with
+          Journal.key = "synthetic|sha";
+          runtime_ns = 1.0;
+        }
+      in
+      let oc = open_out journal in
+      Journal.append oc seed;
+      close_out oc;
+      let pruned = Atomic.make 0 in
+      let detach =
+        Sweep_obs.Sink.spy (fun ~ns:_ ev ->
+            match ev with
+            | Sweep_obs.Event.Tune_prune _ -> Atomic.incr pruned
+            | _ -> ())
+      in
+      let result =
+        Fun.protect ~finally:detach (fun () ->
+            Search.run ~workers:1 ~journal (params ~early_stop:1.5 ()))
+      in
+      match result with
+      | Ok (o, []) ->
+          check Alcotest.int "all cells still executed" 4 o.Search.executed;
+          check Alcotest.int "every cell emitted Tune_prune" 4
+            (Atomic.get pruned);
+          check Alcotest.int "frontier empty" 0
+            (Frontier.size o.Search.frontier);
+          check Alcotest.int "every point failed" 4
+            (List.length o.Search.failed_points);
+          Alcotest.(check bool) "failures say early-stopped" true
+            (List.for_all
+               (fun (_, e) -> contains_sub e "early-stopped")
+               o.Search.failed_points);
+          (match Journal.load journal with
+          | Ok (cells, []) ->
+              let real =
+                List.filter
+                  (fun c -> c.Journal.key <> "synthetic|sha")
+                  cells
+              in
+              check Alcotest.int "real cells journalled" 4 (List.length real);
+              Alcotest.(check bool)
+                "pruned cells: incomplete, not failed, budget recorded" true
+                (List.for_all
+                   (fun c ->
+                     (not c.Journal.completed)
+                     && (not c.Journal.failed)
+                     && contains_sub c.Journal.error "early-stopped")
+                   real)
+          | _ -> Alcotest.fail "journal reload failed")
+      | Ok (_, w) -> Alcotest.fail (String.concat "; " w)
+      | Error e -> Alcotest.fail e)
+
+(* A space wide enough for two canonical chunks (24 cells over a
+   16-cell chunk size), so chunk 2's budgets really derive from chunk
+   1's journalled results.  The frontier and the journal bytes must be
+   identical across worker counts and across a kill/resume. *)
+let wide_params =
+  {
+    (params ~ladder:[ [ "sha"; "dijkstra" ] ] ~budget:24 ~early_stop:1.0 ()) with
+    Search.space =
+      {
+        tiny_space with
+        Space.max_unroll = [ 1; 2; 4 ];
+        farads = [ 1e-6; 4.7e-7 ];
+      };
+  }
+
+let test_early_stop_resume_equivalence () =
+  let p = wide_params in
+  let run_to_end ?kill_first workers =
+    Results.clear ();
+    with_tmp (fun journal ->
+        Sys.remove journal;
+        (match kill_first with
+        | None -> ()
+        | Some n -> (
+            match Search.run ~workers ~kill_after:n ~journal p with
+            | exception Search.Interrupted _ -> Results.clear ()
+            | Ok _ -> Alcotest.fail "kill_after did not fire"
+            | Error e -> Alcotest.fail e));
+        match Search.run ~workers ~journal p with
+        | Ok (o, []) -> (frontier_lines o, read_file journal, o)
+        | Ok (_, w) -> Alcotest.fail (String.concat "; " w)
+        | Error e -> Alcotest.fail e)
+  in
+  let f1, j1, o1 = run_to_end 1 in
+  let f4, j4, _ = run_to_end 4 in
+  let fr, jr, o_res = run_to_end ~kill_first:1 1 in
+  check Alcotest.int "two chunks of cells" 24 o1.Search.executed;
+  Alcotest.(check bool) "pruning was active" true
+    (contains_sub j1 "early-stopped");
+  Alcotest.(check bool) "frontier survives pruning" true
+    (Frontier.size o1.Search.frontier > 0);
+  Alcotest.(check (list string)) "frontier j1 = j4" f1 f4;
+  check Alcotest.string "journal j1 = j4 (byte-identical)" j1 j4;
+  Alcotest.(check bool) "resume reused the first chunk" true
+    (o_res.Search.cached >= 16);
+  Alcotest.(check (list string)) "frontier resumed = uninterrupted" f1 fr;
+  check Alcotest.string "journal resumed = uninterrupted (byte-identical)" j1
+    jr
+
+(* The off switch is exact: early_stop = None must reproduce the
+   non-early-stop search cell for cell. *)
+let test_early_stop_off_is_identity () =
+  let strip_params = { wide_params with Search.early_stop = None } in
+  let run pp =
+    Results.clear ();
+    with_tmp (fun journal ->
+        Sys.remove journal;
+        match Search.run ~workers:1 ~journal pp with
+        | Ok (o, []) -> (frontier_lines o, read_file journal)
+        | Ok (_, w) -> Alcotest.fail (String.concat "; " w)
+        | Error e -> Alcotest.fail e)
+  in
+  let f_off, j_off = run strip_params in
+  let f_off2, j_off2 = run strip_params in
+  Alcotest.(check (list string)) "frontier reproducible" f_off f_off2;
+  check Alcotest.string "journal reproducible" j_off j_off2;
+  Alcotest.(check bool) "no prune markers without early-stop" false
+    (contains_sub j_off "early-stopped")
+
 (* ---------------- analyze round-trip ---------------- *)
 
 let test_tune_file_roundtrip () =
@@ -297,5 +451,11 @@ let suite =
       test_search_halving_promotes;
     Alcotest.test_case "search resume equivalence" `Slow
       test_search_resume_equivalence;
+    Alcotest.test_case "early stop prunes dominated cells" `Slow
+      test_early_stop_prunes;
+    Alcotest.test_case "early stop kill/resume equivalence" `Slow
+      test_early_stop_resume_equivalence;
+    Alcotest.test_case "early stop off is identity" `Slow
+      test_early_stop_off_is_identity;
     Alcotest.test_case "tune file roundtrip" `Slow test_tune_file_roundtrip;
   ]

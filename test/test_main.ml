@@ -21,4 +21,5 @@ let () =
       ("analyze", T_analyze.suite);
       ("check", T_check.suite);
       ("tune", T_tune.suite);
+      ("telemetry", T_telemetry.suite);
     ]
