@@ -36,7 +36,7 @@ let list_keys experiments =
   Printf.printf "%d job(s) after dedup\n" (List.length (Experiments.plan experiments))
 
 let main names j results_dir no_jsonl metrics metrics_out progress list_only
-    status_file metrics_export flight_dir heartbeat_every =
+    status_file metrics_export flight_dir heartbeat_every attrib_dir =
   try
   if j < 1 then begin
     Printf.eprintf "sweepexp: -j must be at least 1 (got %d)\n" j;
@@ -69,7 +69,8 @@ let main names j results_dir no_jsonl metrics metrics_out progress list_only
       else 0
   in
   let config =
-    Executor.config ~progress ~heartbeat_every ?status ?flight ?export ()
+    Executor.config ~progress ~heartbeat_every ?status ?flight ?export
+      ?attrib_dir ()
   in
   let dump_metrics () =
     Option.iter Sweep_obs.Openmetrics.flush export;
@@ -216,13 +217,21 @@ let heartbeat_every_arg =
                  --metrics-export is given, otherwise disabled; 0 \
                  disables).")
 
+let attrib_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "attrib-dir" ] ~docv:"DIR"
+           ~doc:"Arm per-PC attribution for every executed job and write \
+                 DIR/<job key>.attrib.json (+ .folded collapsed stacks) \
+                 per job.  Profiles are byte-identical at any -j; \
+                 analyze with $(b,sweeptrace profile).")
+
 let cmd =
   let doc = "regenerate the SweepCache paper's tables and figures" in
   let term =
     Term.(const main $ names_arg $ jobs_arg $ results_dir_arg $ no_jsonl_arg
           $ metrics_arg $ metrics_out_arg $ progress_arg $ list_arg
           $ status_file_arg $ metrics_export_arg $ flight_dir_arg
-          $ heartbeat_every_arg)
+          $ heartbeat_every_arg $ attrib_dir_arg)
   in
   Cmd.v (Cmd.info "sweepexp" ~doc) term
 

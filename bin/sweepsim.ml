@@ -41,13 +41,22 @@ let die fmt =
     fmt
 
 let run_one bench design power config scale verify fault profile
-    heartbeat_every export =
+    heartbeat_every export attrib_out attrib_folded =
   let w = Sweep_workloads.Registry.find bench in
   let ast = Sweep_workloads.Workload.program ~scale w in
   (* Compile and build the machine outside the timed window so --profile
      measures the cycle loop itself, not AST construction. *)
   let compiled = H.compile design ast in
   let m = H.machine ~config design compiled.Sweep_compiler.Pipeline.program in
+  let at =
+    if attrib_out <> None || attrib_folded <> None then
+      Some
+        (Obs.Attrib.create
+           ~len:
+             (Array.length
+                compiled.Sweep_compiler.Pipeline.program.Sweep_isa.Program.code))
+    else None
+  in
   let heartbeat =
     if heartbeat_every <= 0 then None
     else
@@ -60,9 +69,9 @@ let run_one bench design power config scale verify fault profile
   in
   let g0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
-  let outcome = Driver.run ?fault ?heartbeat m ~power in
+  let outcome = Driver.run ?fault ?heartbeat ?attrib:at m ~power in
   let elapsed_s = Unix.gettimeofday () -. t0 in
-  let r = { H.design; outcome; machine = m; compiled } in
+  let r = { H.design; outcome; machine = m; compiled; attrib = at } in
   if profile then begin
     (* One-shot hot-loop profile: wall time, simulated-instruction
        throughput, and GC pressure over the drive loop (compile and
@@ -90,6 +99,26 @@ let run_one bench design power config scale verify fault profile
   let design_name = H.design_name design in
   if Obs.Metrics.enabled () then
     Mstats.publish ~labels:[ ("design", design_name); ("bench", bench) ] st;
+  (match at with
+  | Some at ->
+    let p =
+      Sweep_sim.Profile.make ~design:design_name ~bench ~scale
+        ~key:
+          (C.key_of ~label:design_name ~design:design_name
+             ~power:(C.power_key power) ~bench ~scale)
+        compiled.Sweep_compiler.Pipeline.program at
+    in
+    Option.iter
+      (fun path ->
+        Sweep_sim.Profile.write_json p ~path;
+        Printf.eprintf "per-PC profile written to %s\n" path)
+      attrib_out;
+    Option.iter
+      (fun path ->
+        Sweep_sim.Profile.write_folded p ~path;
+        Printf.eprintf "collapsed stacks written to %s\n" path)
+      attrib_folded
+  | None -> ());
   let summary =
     {
       C.outcome = o;
@@ -144,7 +173,8 @@ let parse_trace_filter spec =
 
 let main bench designs trace cap scale cache_size nvm_search verify j
     results_dir trace_out trace_format trace_cap trace_filter metrics
-    metrics_out fault fault_nested profile heartbeat_every metrics_export =
+    metrics_out fault fault_nested profile heartbeat_every metrics_export
+    attrib_out attrib_folded =
   try
   (match Sweep_workloads.Registry.find bench with
   | exception Not_found ->
@@ -162,6 +192,11 @@ let main bench designs trace cap scale cache_size nvm_search verify j
   if fault_nested < 0 then die "--fault-nested must be >= 0";
   if fault_nested > 0 && fault = None then
     die "--fault-nested only makes sense with --fault N";
+  if (attrib_out <> None || attrib_folded <> None) && List.length designs > 1
+  then
+    die
+      "--attrib/--attrib-folded write one profile file: select a single \
+       design with -d";
   let fault =
     match fault with
     | None -> None
@@ -229,7 +264,7 @@ let main bench designs trace cap scale cache_size nvm_search verify j
     Executor.map ~workers:j
       (fun d ->
         run_one bench d power config scale verify fault profile
-          heartbeat_every export)
+          heartbeat_every export attrib_out attrib_folded)
       designs
   in
   let rows =
@@ -474,6 +509,22 @@ let profile_arg =
                  time, simulated-instruction throughput, and GC pressure \
                  (minor/major words and collections).")
 
+let attrib_arg =
+  Arg.(value & opt (some string) None
+       & info [ "attrib" ] ~docv:"FILE"
+           ~doc:"Arm per-PC attribution and write the schema-versioned \
+                 profile table (simulated time, energy split, NVM wear, \
+                 cache misses, stalls, re-executed vs. forward work per \
+                 program counter) to FILE as JSON.  Requires a single \
+                 design.  Analyze with $(b,sweeptrace profile).")
+
+let attrib_folded_arg =
+  Arg.(value & opt (some string) None
+       & info [ "attrib-folded" ] ~docv:"FILE"
+           ~doc:"With or without --attrib: write Brendan Gregg collapsed \
+                 stacks (func;label+off;op weight, weighted by simulated \
+                 ns) to FILE for flamegraph tooling.")
+
 let cmd =
   let doc = "simulate a workload on an intermittent-computing architecture" in
   let term =
@@ -481,18 +532,18 @@ let cmd =
       const (fun bench design all trace cap scale cache nvm_search verify j
                  results_dir trace_out trace_format trace_cap trace_filter
                  metrics metrics_out fault fault_nested profile
-                 heartbeat_every metrics_export ->
+                 heartbeat_every metrics_export attrib_out attrib_folded ->
           let designs = if all then H.all_designs else design in
           main bench designs trace cap scale cache nvm_search verify j
             results_dir trace_out trace_format trace_cap trace_filter metrics
             metrics_out fault fault_nested profile heartbeat_every
-            metrics_export)
+            metrics_export attrib_out attrib_folded)
       $ bench_arg $ designs_arg $ all_designs_arg $ trace_arg $ cap_arg
       $ scale_arg $ cache_arg $ nvm_search_arg $ verify_arg $ jobs_arg
       $ results_dir_arg $ trace_out_arg $ trace_format_arg $ trace_cap_arg
       $ trace_filter_arg $ metrics_arg $ metrics_out_arg $ fault_arg
       $ fault_nested_arg $ profile_arg $ heartbeat_every_arg
-      $ metrics_export_arg)
+      $ metrics_export_arg $ attrib_arg $ attrib_folded_arg)
   in
   Cmd.v (Cmd.info "sweepsim" ~doc) term
 

@@ -338,6 +338,63 @@ let tune_cmd =
     (Cmd.info "tune" ~doc)
     Term.(const tune $ frontier_pos $ journal_opt $ format_opt $ out_opt)
 
+(* ---------------- profile ---------------- *)
+
+(* Render one per-PC attribution profile (sweepsim --attrib /
+   sweepexp --attrib-dir output), or diff two of them with the
+   profile-specific direction map (exit 1 when any cost series
+   regresses beyond the threshold). *)
+let profile profile_path diff_path top threshold json out =
+  match diff_path with
+  | None -> (
+    match A.Profile_view.load profile_path with
+    | Error e ->
+      read_err "sweeptrace: %s" e;
+      2
+    | Ok p ->
+      write_output out (A.Profile_view.render_report ~top p);
+      0)
+  | Some cur_path -> (
+    match
+      A.Profile_view.diff_files ~threshold_pct:threshold profile_path
+        cur_path
+    with
+    | Error e ->
+      read_err "sweeptrace: %s" e;
+      2
+    | Ok d ->
+      write_output out
+        (if json then A.Diff.render_json d ^ "\n" else A.Diff.render_text d);
+      if A.Diff.has_regressions d then 1 else 0)
+
+let profile_pos =
+  Arg.(required & pos 0 (some file) None
+       & info [] ~docv:"PROFILE"
+           ~doc:"Attribution profile JSON (sweepsim --attrib FILE, or a \
+                 .attrib.json from sweepexp/sweeptune --attrib-dir).  With \
+                 $(b,--diff) this is the baseline.")
+
+let profile_diff_opt =
+  Arg.(value & opt (some file) None
+       & info [ "diff" ] ~docv:"CURRENT"
+           ~doc:"Compare PROFILE (baseline) against CURRENT instead of \
+                 rendering a report: per-PC and whole-run deltas with \
+                 direction-aware verdicts (time/energy/wear/re-execution \
+                 lower-better); exit 1 on a regression beyond \
+                 $(b,--threshold).")
+
+let top_opt =
+  Arg.(value & opt int 10
+       & info [ "top" ] ~docv:"N"
+           ~doc:"Rows per top-N table in the report (default 10).")
+
+let profile_cmd =
+  let doc = "render or diff per-PC attribution profiles" in
+  Cmd.v
+    (Cmd.info "profile" ~doc)
+    Term.(const profile $ profile_pos $ profile_diff_opt $ top_opt
+          $ threshold_opt $ json_flag $ out_opt)
+
 (* ---------------- postmortem ---------------- *)
 
 let postmortem artifact_path tail format out =
@@ -444,6 +501,7 @@ let lint_cmd =
 let cmd =
   let doc = "analyse SweepCache traces, metrics and results" in
   Cmd.group (Cmd.info "sweeptrace" ~doc)
-    [ report_cmd; diff_cmd; bench_cmd; tune_cmd; postmortem_cmd; lint_cmd ]
+    [ report_cmd; diff_cmd; bench_cmd; profile_cmd; tune_cmd;
+      postmortem_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -104,7 +104,7 @@ let render_failed = function
         failed
 
 let explore budget seed strategy scale j out_dir kill_after metrics metrics_out
-    format early_stop status_file metrics_export flight_dir =
+    format early_stop status_file metrics_export flight_dir attrib_dir =
   if not (check_params budget scale) then 2
   else if j < 1 then begin
     err "-j must be at least 1 (got %d)" j;
@@ -146,12 +146,12 @@ let explore budget seed strategy scale j out_dir kill_after metrics metrics_out
     in
     let exec_config =
       if status = None && export = None && flight = None
-         && heartbeat_every = 0
+         && heartbeat_every = 0 && attrib_dir = None
       then None
       else
         Some
           (Sweep_exp.Executor.config ~heartbeat_every ?status ?flight ?export
-             ())
+             ?attrib_dir ())
     in
     let dump_metrics () =
       Option.iter Sweep_obs.Openmetrics.flush export;
@@ -338,6 +338,14 @@ let out_arg =
        & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Write the report to FILE instead of stdout.")
 
+let attrib_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "attrib-dir" ] ~docv:"DIR"
+           ~doc:"Arm per-PC attribution for every evaluated design point \
+                 and write DIR/<job key>.attrib.json (+ .folded) per \
+                 cell, so any frontier point can be explained with \
+                 $(b,sweeptrace profile).")
+
 let explore_cmd =
   let doc = "search the design space and write the Pareto frontier" in
   Cmd.v
@@ -345,7 +353,7 @@ let explore_cmd =
     Term.(const explore $ budget_arg $ seed_arg $ strategy_arg $ scale_arg
           $ jobs_arg $ out_dir_arg $ kill_after_arg $ metrics_arg
           $ metrics_out_arg $ format_arg $ early_stop_arg $ status_file_arg
-          $ metrics_export_arg $ flight_dir_arg)
+          $ metrics_export_arg $ flight_dir_arg $ attrib_dir_arg)
 
 let plan_cmd =
   let doc = "print the candidate points without running anything" in

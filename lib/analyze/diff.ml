@@ -111,7 +111,9 @@ let judge ~threshold_pct ~direction ~pct =
       in
       if worse then Regression else Improvement
 
-let compare_runs ~threshold_pct (base : run) (cur : run) =
+let compare_runs ?(direction = Results.direction) ~threshold_pct (base : run)
+    (cur : run) =
+  let field_direction = direction in
   let keys_of r = List.map fst r in
   let missing_in_cur =
     List.filter (fun k -> not (List.mem_assoc k cur)) (keys_of base)
@@ -137,7 +139,7 @@ let compare_runs ~threshold_pct (base : run) (cur : run) =
                 if field = "elapsed_s" then None
                 else
                   let pct = delta_pct ~base:bv ~cur:cv in
-                  let direction = Results.direction field in
+                  let direction = field_direction field in
                   Some
                     {
                       key;

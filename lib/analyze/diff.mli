@@ -37,8 +37,17 @@ val zero_base_sentinel : float
 
 val load : string -> (run, string) result
 
-val compare_runs : threshold_pct:float -> run -> run -> (t, string) result
-(** [Error] when the two runs share no keys. *)
+val compare_runs :
+  ?direction:(string -> Sweep_exp.Results.direction) ->
+  threshold_pct:float ->
+  run ->
+  run ->
+  (t, string) result
+(** [Error] when the two runs share no keys.  [?direction] overrides
+    the per-field direction map (default
+    {!Sweep_exp.Results.direction}) — {!Profile_view.diff} passes a
+    profile-specific map where time/energy/wear series are
+    [`Lower_better]. *)
 
 val diff_files :
   threshold_pct:float -> string -> string -> (t, string) result

@@ -1,0 +1,92 @@
+(** Reader/renderer for per-PC attribution profiles.
+
+    {!Sweep_sim.Profile} writes the schema-versioned JSON table
+    ([sweepsim --attrib], [sweepexp --attrib-dir]); this module loads
+    it back, prints the [sweeptrace profile] report (whole-run summary,
+    top-N tables for time / energy / NVM wear / re-execution, and
+    per-function / per-opcode rollups), and diffs two profiles through
+    {!Diff.compare_runs} with a profile-specific direction map. *)
+
+type row = {
+  pc : int;
+  op : string;
+  label : string;
+  label_off : int;
+  func : string;
+  count : int;
+  forward : int;
+  reexec : int;
+  crashes : int;
+  ns : float;
+  stall_ns : float;
+  joules : float;
+  backup_joules : float;
+  restore_joules : float;
+  ckpt_ns : float;
+  nvm_writes : int;
+  ckpt_nvm_writes : int;
+  cache_misses : int;
+}
+
+type totals = {
+  instructions : int;
+  t_reexec : int;
+  t_forward : int;
+  t_nvm_writes : int;
+  t_ckpt_nvm_writes : int;
+  t_cache_misses : int;
+  t_crashes : int;
+  t_ns : float;
+  t_stall_ns : float;
+  t_joules : float;
+  t_backup_joules : float;
+  t_restore_joules : float;
+  t_ckpt_ns : float;
+}
+
+type t = {
+  design : string;
+  bench : string;
+  scale : float;
+  key : string;
+  totals : totals;
+  rows : row list;
+}
+
+val of_json : Json.t -> (t, string) result
+(** Strict: wrong [kind], unsupported [schema_version], or any missing
+    row/totals field is an [Error]. *)
+
+val load : string -> (t, string) result
+
+val row_time : row -> float
+(** [ns + ckpt_ns + stall_ns] — everything the PC cost on the clock. *)
+
+val row_energy : row -> float
+(** [joules + backup_joules + restore_joules]. *)
+
+val row_wear : row -> int
+(** [nvm_writes + ckpt_nvm_writes]. *)
+
+val summary_text : t -> string
+(** Whole-run header: retirement split, time, energy, wear. *)
+
+val render_report : ?top:int -> t -> string
+(** Summary plus top-[top] (default 10) tables by time, energy, NVM
+    writes, and re-execution, then per-function and per-opcode
+    rollups.  Deterministic: ties break on PC / group name. *)
+
+val direction : string -> Sweep_exp.Results.direction
+(** Profile-field direction map: retirement counts ([count], [forward],
+    [instructions]) are [`Info]; every cost series is [`Lower_better]. *)
+
+val to_run : t -> Diff.run
+(** One Diff key per row ([pc<n>:<op>]) plus a [totals] pseudo-key that
+    compares even across different programs. *)
+
+val diff : ?threshold_pct:float -> t -> t -> (Diff.t, string) result
+(** [Diff.compare_runs] over {!to_run} with {!direction}; default
+    threshold 0.5%. *)
+
+val diff_files :
+  ?threshold_pct:float -> string -> string -> (Diff.t, string) result

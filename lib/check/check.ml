@@ -251,7 +251,13 @@ let run_point case fault =
     { injected = 0; divergences = !divs }
   | outcome ->
     let r =
-      { H.design = case.design; outcome; machine = m; compiled = case.compiled }
+      {
+        H.design = case.design;
+        outcome;
+        machine = m;
+        compiled = case.compiled;
+        attrib = None;
+      }
     in
     (match H.check_against_interp r case.ast with
     | Ok () -> ()

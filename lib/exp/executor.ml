@@ -23,24 +23,21 @@ type config = {
   status : Status.t option;
   flight : Flight.t option;
   export : Om.exporter option;
+  attrib_dir : string option;
 }
 
 let config ?(progress = false) ?(heartbeat_every = 0) ?status ?flight ?export
-    () =
-  { progress; heartbeat_every; status; flight; export }
-
-(* Deprecated global progress toggle, kept so pre-config callers
-   compile; [default_config] folds it in. *)
-let progress_enabled = ref false
-let set_progress b = progress_enabled := b
+    ?attrib_dir () =
+  { progress; heartbeat_every; status; flight; export; attrib_dir }
 
 let default_config () =
   {
-    progress = !progress_enabled;
+    progress = false;
     heartbeat_every = 0;
     status = None;
     flight = None;
     export = None;
+    attrib_dir = None;
   }
 
 (* Wall-clock origin for Job_start/Job_done timestamps: simulation events
@@ -105,7 +102,7 @@ let run_job st j =
     let t0 = Unix.gettimeofday () in
     match
       Exp_common.compute ~scale:j.Jobs.scale ?sim_budget_ns ?heartbeat
-        j.Jobs.setting ~power j.Jobs.bench
+        ?attrib_dir:st.cfg.attrib_dir j.Jobs.setting ~power j.Jobs.bench
     with
     (* A failing job (Stagnation, a workload bug, …) becomes a
        structured Failed result: the pool keeps draining, renderers see

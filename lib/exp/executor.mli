@@ -37,6 +37,11 @@ type config = {
           captured job failure dumps a post-mortem artifact *)
   export : Sweep_obs.Openmetrics.exporter option;
       (** periodic OpenMetrics re-export of the metrics registry *)
+  attrib_dir : string option;
+      (** when set, every executed job runs with per-PC attribution
+          armed and writes [<dir>/<sanitised key>.attrib.json] (plus a
+          [.folded] collapsed-stack twin); profiles are a pure function
+          of the job, so they are byte-identical at any [-j] *)
 }
 
 val config :
@@ -45,18 +50,14 @@ val config :
   ?status:Status.t ->
   ?flight:Sweep_obs.Flight.t ->
   ?export:Sweep_obs.Openmetrics.exporter ->
+  ?attrib_dir:string ->
   unit ->
   config
 (** Everything off/absent by default. *)
 
 val default_config : unit -> config
 (** The config used when {!execute} is called without one: everything
-    off, except [progress] follows the deprecated {!set_progress}
-    global so pre-config callers behave as before. *)
-
-val set_progress : bool -> unit
-(** @deprecated Use [config ~progress:true] per run instead.  Kept as a
-    shim: it sets the global default that {!default_config} reads. *)
+    off/absent. *)
 
 val map : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel map on the same domain pool as

@@ -81,17 +81,41 @@ type summary = Results.summary = {
   nvm_writes : int;
 }
 
-let compute ?(scale = 1.0) ?sim_budget_ns ?heartbeat s ~power bench =
+(* Profile filenames embed the canonical run key, sanitised for the
+   filesystem ('|' and '/' become '_').  Keys are unique per job and
+   the substitution is injective enough in practice (keys never
+   contain '_'-ambiguous collisions within one matrix). *)
+let sanitize_key key =
+  String.map (fun c -> match c with '|' | '/' | ' ' -> '_' | c -> c) key
+
+let compute ?(scale = 1.0) ?sim_budget_ns ?heartbeat ?attrib_dir s ~power
+    bench =
   let w = Sweep_workloads.Registry.find bench in
   let ast = Sweep_workloads.Workload.program ~scale w in
   let r =
     H.run ~config:s.config ~options:s.options ?sim_budget_ns ?heartbeat
-      s.design ~power ast
+      ~attrib:(attrib_dir <> None) s.design ~power ast
   in
   if Sweep_obs.Metrics.enabled () then
     Sweep_machine.Mstats.publish
       ~labels:[ ("design", H.design_name s.design); ("bench", bench) ]
       (H.mstats r);
+  (match attrib_dir with
+  | None -> ()
+  | Some dir ->
+    (* One JSON + one collapsed-stack file per job, named by the
+       sanitised canonical key.  The profile is a pure function of the
+       job (no timestamps, PC-ordered rows), so any worker writing it
+       produces identical bytes — safe at any -j. *)
+    let key = run_key ~scale s ~power bench in
+    (match Sweep_sim.Profile.of_result ~bench ~scale ~key r with
+    | None -> ()
+    | Some p ->
+      (try Unix.mkdir dir 0o755
+       with Unix.Unix_error ((Unix.EEXIST | Unix.EISDIR), _, _) -> ());
+      let base = Filename.concat dir (sanitize_key key) in
+      Sweep_sim.Profile.write_json p ~path:(base ^ ".attrib.json");
+      Sweep_sim.Profile.write_folded p ~path:(base ^ ".folded")));
   {
     outcome = r.H.outcome;
     mstats = H.mstats r;

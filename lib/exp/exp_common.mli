@@ -76,6 +76,7 @@ val compute :
   ?scale:float ->
   ?sim_budget_ns:float ->
   ?heartbeat:Sweep_obs.Heartbeat.t ->
+  ?attrib_dir:string ->
   setting ->
   power:Sweep_sim.Driver.power ->
   string ->
@@ -84,7 +85,10 @@ val compute :
     the pure function the executor's worker domains evaluate.
     [?sim_budget_ns] (graceful partial stop with
     [outcome.completed = false]) and [?heartbeat] flow through to
-    {!Sweep_sim.Driver.run}. *)
+    {!Sweep_sim.Driver.run}.  [?attrib_dir] arms per-PC attribution
+    and writes [<dir>/<sanitised run_key>.attrib.json] plus a
+    [.folded] collapsed-stack file — byte-identical at any [-j]
+    because the profile is a pure function of the job. *)
 
 val run :
   ?scale:float ->

@@ -59,9 +59,72 @@ type t = {
   x : int array;
   y : int array;
   z : int array;
+  label_idx : int array;
+  label_off : int array;
+  func_idx : int array;
+  label_names : string array;
+  func_names : string array;
 }
 
 let length t = t.len
+
+let binop_names =
+  [| "add"; "sub"; "mul"; "div"; "rem"; "and"; "or"; "xor"; "shl"; "shr" |]
+
+let cond_names = [| "eq"; "ne"; "lt"; "le"; "gt"; "ge" |]
+
+let op_name o =
+  if o >= op_bin && o < op_bin + 10 then binop_names.(o - op_bin)
+  else if o >= op_bini && o < op_bini + 10 then binop_names.(o - op_bini) ^ "i"
+  else if o >= op_set && o < op_set + 6 then "set." ^ cond_names.(o - op_set)
+  else if o >= op_br && o < op_br + 6 then "br." ^ cond_names.(o - op_br)
+  else if o = op_movi then "movi"
+  else if o = op_movl then "movl"
+  else if o = op_mov then "mov"
+  else if o = op_load then "load"
+  else if o = op_load_abs then "load_abs"
+  else if o = op_store then "store"
+  else if o = op_store_abs then "store_abs"
+  else if o = op_jmp then "jmp"
+  else if o = op_jmp_reg then "jmp_reg"
+  else if o = op_call then "call"
+  else if o = op_clwb then "clwb"
+  else if o = op_clwb_abs then "clwb_abs"
+  else if o = op_fence then "fence"
+  else if o = op_region_end then "region_end"
+  else if o = op_nop then "nop"
+  else if o = op_halt then "halt"
+  else Printf.sprintf "op%d" o
+
+let pc_label t pc = t.label_names.(t.label_idx.(pc))
+let pc_label_off t pc = t.label_off.(pc)
+let pc_func t pc = t.func_names.(t.func_idx.(pc))
+let pc_op_name t pc = op_name t.op.(pc)
+
+(* Map each PC to the nearest enclosing label / source function: sweep
+   the program once, advancing through the anchor PCs in ascending
+   order.  Index 0 is the synthetic "<top>" region for PCs before the
+   first anchor; ties at the same PC resolve to the last-listed
+   anchor. *)
+let sweep_anchors ~len anchors =
+  (* anchors : (name, pc) list, any order *)
+  let sorted =
+    List.stable_sort (fun (_, a) (_, b) -> compare a b) anchors
+  in
+  let names = Array.of_list ("<top>" :: List.map fst sorted) in
+  let pcs = Array.of_list (0 :: List.map snd sorted) in
+  let n = Array.length pcs in
+  let idx = Array.make (max len 1) 0 in
+  let off = Array.make (max len 1) 0 in
+  let j = ref 0 in
+  for pc = 0 to len - 1 do
+    while !j + 1 < n && pcs.(!j + 1) <= pc do
+      incr j
+    done;
+    idx.(pc) <- !j;
+    off.(pc) <- pc - pcs.(!j)
+  done;
+  (idx, off, names)
 
 (* Operand layout per opcode (unused slots stay 0):
      Bin/Bini/Set   x=rd  y=ra  z=rb/imm
@@ -127,4 +190,16 @@ let compile (prog : Program.t) =
       | Instr.Nop -> set op_nop 0 0 0
       | Instr.Halt -> set op_halt 0 0 0)
     code;
-  { len; op; x; y; z }
+  let label_idx, label_off, label_names =
+    sweep_anchors ~len prog.Program.labels
+  in
+  let func_anchors =
+    List.filter_map
+      (fun (name, lbl) ->
+        match List.assoc_opt lbl prog.Program.labels with
+        | Some pc -> Some (name, pc)
+        | None -> None)
+      prog.Program.meta.Program.functions
+  in
+  let func_idx, _, func_names = sweep_anchors ~len func_anchors in
+  { len; op; x; y; z; label_idx; label_off; func_idx; label_names; func_names }

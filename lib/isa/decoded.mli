@@ -16,6 +16,13 @@ type t = private {
   x : int array;    (** rd / rv / first source register *)
   y : int array;    (** rs / second source register *)
   z : int array;    (** immediate / offset / branch target / address *)
+  label_idx : int array;
+      (** per-PC index into [label_names]: nearest enclosing label *)
+  label_off : int array;  (** per-PC offset from that label's PC *)
+  func_idx : int array;
+      (** per-PC index into [func_names]: enclosing source function *)
+  label_names : string array;  (** index 0 is the synthetic ["<top>"] *)
+  func_names : string array;   (** index 0 is the synthetic ["<top>"] *)
 }
 
 val compile : Program.t -> t
@@ -48,3 +55,20 @@ val op_halt : int
 
 val binop_code : Instr.binop -> int
 val cond_code : Instr.cond -> int
+
+val op_name : int -> string
+(** Mnemonic for a fused opcode (e.g. ["addi"], ["br.lt"],
+    ["region_end"]); unknown codes render as ["op<n>"]. *)
+
+val pc_label : t -> int -> string
+(** Nearest label at or before this PC (["<top>"] before the first). *)
+
+val pc_label_off : t -> int -> int
+(** Instruction offset of this PC from its [pc_label] anchor. *)
+
+val pc_func : t -> int -> string
+(** Enclosing source function per [Program.meta.functions]
+    (["<top>"] before the first function entry). *)
+
+val pc_op_name : t -> int -> string
+(** [op_name] of the instruction at this PC. *)

@@ -131,10 +131,19 @@ let install t addr line_data =
 let copy_line_data t li =
   Array.sub t.data (li * Layout.words_per_line) Layout.words_per_line
 
+(* [word_index] sits on the load/store hot path; its bounds checks are
+   only for catching layout bugs during development, so they hide
+   behind a runtime flag (off by default, switched on by the unit
+   tests) instead of taxing every simulated access. *)
+let debug_checks = ref false
+let set_debug_checks b = debug_checks := b
+
 let word_index t li addr =
   let off = addr - t.base.(li) in
-  assert (off >= 0 && off < Layout.line_bytes);
-  assert (addr land (Layout.word_bytes - 1) = 0);
+  if !debug_checks then begin
+    assert (off >= 0 && off < Layout.line_bytes);
+    assert (addr land (Layout.word_bytes - 1) = 0)
+  end;
   (li * Layout.words_per_line) + (off / Layout.word_bytes)
 
 let read_word t li addr = t.data.(word_index t li addr)

@@ -106,3 +106,8 @@ val misses : t -> int
 val accesses : t -> int
 val miss_rate : t -> float
 val reset_counters : t -> unit
+
+val set_debug_checks : bool -> unit
+(** Enable the word-index bounds assertions on the access hot path.
+    Off by default (release throughput); the memory unit tests switch
+    it on so layout bugs still fail loudly under [dune runtest]. *)

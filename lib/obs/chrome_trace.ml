@@ -126,6 +126,11 @@ let write st ~ns ev =
       name_thread st ~pid:sim_pid ~tid:power_tid "power";
       mark st ~tid:power_tid ~ns ev
     | Voltage { volts } -> counter st ~ns ~name:"capacitor V" ~series:"V" volts
+    | Reexec { discarded } ->
+      (* Per-outage discarded work as its own counter track: the
+         re-execution cost trajectory next to the voltage one. *)
+      counter st ~ns ~name:"re-executed instrs" ~series:"instructions"
+        (float_of_int discarded)
     | Fault_inject _ | Fault_torn _ | Fault_stuck _ ->
       (* Injected faults land on the power track next to the deaths
          they masquerade as. *)

@@ -51,6 +51,7 @@ type t =
   | Backup of { ok : bool; joules : float }
   | Backup_lines of { lines : int }
   | Restore of { joules : float }
+  | Reexec of { discarded : int }
   | Replay of { stores : int }
   | Voltage of { volts : float }
   | Halt
@@ -79,7 +80,7 @@ let category = function
     Buffer
   | Cache_miss _ | Cache_writeback _ -> Cache
   | Power_down _ | Death _ | Reboot _ | Backup _ | Backup_lines _ | Restore _
-  | Replay _ | Voltage _ ->
+  | Reexec _ | Replay _ | Voltage _ ->
     Power
   | Halt | Heartbeat _ | Dropped _ -> Exec
   | Job_start _ | Job_done _ | Job_failed _ -> Job
@@ -107,6 +108,7 @@ let name = function
   | Backup { ok = false; _ } -> "backup failed"
   | Backup_lines _ -> "backup lines"
   | Restore _ -> "restore"
+  | Reexec _ -> "re-executed work"
   | Replay _ -> "replay"
   | Voltage _ -> "voltage"
   | Halt -> "halt"
@@ -145,6 +147,7 @@ let tag = function
   | Backup _ -> "backup"
   | Backup_lines _ -> "backup_lines"
   | Restore _ -> "restore"
+  | Reexec _ -> "reexec"
   | Replay _ -> "replay"
   | Voltage _ -> "voltage"
   | Halt -> "halt"
@@ -206,6 +209,7 @@ let json_args = function
     Printf.sprintf "\"ok\":%b,\"joules\":%.17g" ok joules
   | Backup_lines { lines } -> Printf.sprintf "\"lines\":%d" lines
   | Restore { joules } -> Printf.sprintf "\"joules\":%.17g" joules
+  | Reexec { discarded } -> Printf.sprintf "\"discarded\":%d" discarded
   | Replay { stores } -> Printf.sprintf "\"stores\":%d" stores
   | Halt -> ""
   | Heartbeat { every; instructions; reboots; nvm_writes } ->
@@ -323,6 +327,9 @@ let of_parts ~tag ~name ~cat ~args =
   | "restore" ->
     let* joules = num_arg args "joules" in
     Some (Restore { joules })
+  | "reexec" ->
+    let* discarded = int_arg args "discarded" in
+    Some (Reexec { discarded })
   | "replay" ->
     let* stores = int_arg args "stores" in
     Some (Replay { stores })

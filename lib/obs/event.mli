@@ -42,6 +42,10 @@ type t =
   | Backup of { ok : bool; joules : float }
   | Backup_lines of { lines : int }  (** Design detail: lines checkpointed. *)
   | Restore of { joules : float }
+  | Reexec of { discarded : int }
+      (** Instructions executed since the last durable commit and
+          discarded by this outage — the work the reboot re-executes
+          (counter track; emitted on every crash path). *)
   | Replay of { stores : int }       (** ReplayCache store replay. *)
   | Voltage of { volts : float }     (** Capacitor sample (counter track). *)
   | Halt

@@ -8,7 +8,22 @@ module Trace = Sweep_energy.Power_trace
 module Sink = Sweep_obs.Sink
 module Ev = Sweep_obs.Event
 module Hb = Sweep_obs.Heartbeat
+module Attrib = Sweep_obs.Attrib
 module Nvm = Sweep_mem.Nvm
+module Cache = Sweep_mem.Cache
+module Cpu = Sweep_machine.Cpu
+
+(* Per-PC attribution rides both cycle loops branchlessly: the loops
+   always index the counter arrays with [pc land at.mask] (-1 armed, 0
+   disabled — see {!Sweep_obs.Attrib}), so a run without a profiler
+   pays a handful of dead stores into a one-slot buffer instead of a
+   branch.  A disabled sink still tracks the since-last-commit
+   instruction count in its slot 0 (every PC aliases there), which is
+   exactly the whole-run discarded-work total — so the [Ev.Reexec]
+   counter track is live in every traced run, profiler armed or not.
+   Cacheless designs attribute against a hoisted dummy cache whose
+   miss counter never moves. *)
+let dummy_cache () = Cache.create ~size_bytes:64 ~assoc:1
 
 type power =
   | Unlimited
@@ -102,9 +117,14 @@ type utotals = {
 }
 
 let run_unlimited ?(max_instructions = 500_000_000) ?sim_budget_ns ?fault
-    ?after_recovery ?heartbeat m =
+    ?after_recovery ?heartbeat ?attrib m =
   let tt = { u_now = 0.0; u_joules = 0.0; u_restore_joules = 0.0 } in
   let acc = M.acc m in
+  let at = match attrib with Some a -> a | None -> Attrib.disabled () in
+  let cpu = M.cpu m in
+  let nvm = M.nvm m in
+  let mst = M.mstats m in
+  let acache = match M.cache m with Some c -> c | None -> dummy_cache () in
   let instructions = ref 0 in
   let outages = ref 0 in
   let injected = ref 0 in
@@ -120,19 +140,33 @@ let run_unlimited ?(max_instructions = 500_000_000) ?sim_budget_ns ?fault
   let crash ~trigger ~detail =
     incr injected;
     incr outages;
+    let pc0 = cpu.Cpu.pc in
+    let w0 = Nvm.write_events nvm in
+    let mi0 = Cache.misses acache in
     (* A JIT design never dies without its banked backup (the backup
        threshold sits above Vmin), so an adversarial crash still finds
        a fresh checkpoint: commit one at the crash point. *)
-    if M.jit_backup_cost m <> None then M.commit_jit_backup m ~now_ns:tt.u_now;
+    if M.jit_backup_cost m <> None then begin
+      M.commit_jit_backup m ~now_ns:tt.u_now;
+      Attrib.note_commit at
+    end;
     if Sink.on () then begin
       Sink.emit ~ns:tt.u_now (Ev.Fault_inject { trigger; detail });
       Sink.emit ~ns:tt.u_now (Ev.Power_down { volts = 0.0 })
     end;
     M.on_power_failure m ~now_ns:tt.u_now;
-    if Sink.on () then Sink.emit ~ns:tt.u_now (Ev.Reboot { outage = !outages });
+    let discarded = Attrib.note_crash at ~pc:pc0 in
+    if Sink.on () then begin
+      Sink.emit ~ns:tt.u_now (Ev.Reexec { discarded });
+      Sink.emit ~ns:tt.u_now (Ev.Reboot { outage = !outages })
+    end;
     let c = M.on_reboot m ~now_ns:tt.u_now in
     tt.u_now <- tt.u_now +. c.Cost.ns;
     tt.u_restore_joules <- tt.u_restore_joules +. c.Cost.joules;
+    Attrib.note_cold at ~pc:pc0
+      ~nvm_writes:(Nvm.write_events nvm - w0)
+      ~cache_misses:(Cache.misses acache - mi0)
+      ~ns:c.Cost.ns ~restore_joules:c.Cost.joules ();
     if Sink.on () then
       Sink.emit ~ns:tt.u_now (Ev.Restore { joules = c.Cost.joules });
     match after_recovery with Some f -> f ~now_ns:tt.u_now | None -> ()
@@ -141,18 +175,52 @@ let run_unlimited ?(max_instructions = 500_000_000) ?sim_budget_ns ?fault
     (not (M.halted m)) && !instructions < max_instructions
     && tt.u_now <= budget
   do
+    (* Attribution pre-reads: the PC about to execute and the
+       monotonic machine counters whose per-step deltas get charged to
+       it.  All int reads except the stall total, which stays unboxed
+       in a register (cmmgen unboxes float lets whose uses are float
+       ops — same discipline as the loop totals below). *)
+    let pc = cpu.Cpu.pc in
+    let w0 = Nvm.write_events nvm in
+    let mi0 = Cache.misses acache in
+    let st0 = mst.Mstats.f.Mstats.wait_ns +. mst.Mstats.f.Mstats.waw_stall_ns in
+    let rg0 = mst.Mstats.regions in
     acc.Exec.Acc.now <- tt.u_now;
     M.step m;
     tt.u_now <- tt.u_now +. acc.Exec.Acc.ns;
     tt.u_joules <- tt.u_joules +. acc.Exec.Acc.joules;
     incr instructions;
+    (* Unconditional attribution stores ([i] = 0 when disabled): int
+       adds, unboxed float adds, and the epoch/stamp/delta re-execution
+       bookkeeping.  The epoch bump uses the step's region-count delta,
+       so a retiring region boundary commits its own instruction. *)
+    let i = pc land at.Attrib.mask in
+    Array.unsafe_set at.Attrib.count i (Array.unsafe_get at.Attrib.count i + 1);
+    Array.unsafe_set at.Attrib.ns i
+      (Array.unsafe_get at.Attrib.ns i +. acc.Exec.Acc.ns);
+    Array.unsafe_set at.Attrib.joules i
+      (Array.unsafe_get at.Attrib.joules i +. acc.Exec.Acc.joules);
+    Array.unsafe_set at.Attrib.nvm_writes i
+      (Array.unsafe_get at.Attrib.nvm_writes i + (Nvm.write_events nvm - w0));
+    Array.unsafe_set at.Attrib.cache_misses i
+      (Array.unsafe_get at.Attrib.cache_misses i + (Cache.misses acache - mi0));
+    Array.unsafe_set at.Attrib.stall_ns i
+      (Array.unsafe_get at.Attrib.stall_ns i
+      +. (mst.Mstats.f.Mstats.wait_ns +. mst.Mstats.f.Mstats.waw_stall_ns -. st0
+         ));
+    if Array.unsafe_get at.Attrib.stamp i = at.Attrib.epoch then
+      Array.unsafe_set at.Attrib.delta i (Array.unsafe_get at.Attrib.delta i + 1)
+    else begin
+      Array.unsafe_set at.Attrib.stamp i at.Attrib.epoch;
+      Array.unsafe_set at.Attrib.delta i 1
+    end;
+    at.Attrib.epoch <- at.Attrib.epoch + (mst.Mstats.regions - rg0);
     (* Amortized liveness beat: two machine ops per instruction, the
        rest on the cold [fire] path every [hb.every] instructions. *)
     hb.Hb.countdown <- hb.Hb.countdown - 1;
     if hb.Hb.countdown <= 0 then
       Hb.fire hb ~sim_ns:tt.u_now ~instructions:!instructions
-        ~reboots:!outages
-        ~nvm_writes:(Nvm.write_events (M.nvm m));
+        ~reboots:!outages ~nvm_writes:(Nvm.write_events nvm);
     match fault_to_fire w ~instructions:!instructions with
     | Some f ->
       w.fired <- true;
@@ -170,9 +238,14 @@ let run_unlimited ?(max_instructions = 500_000_000) ?sim_budget_ns ?fault
   if (not completed) && tt.u_now <= budget then
     raise (Stagnation "instruction guard exceeded without Halt");
   if completed then begin
+    let pc0 = cpu.Cpu.pc in
+    let w0 = Nvm.write_events nvm in
     let d = M.drain m ~now_ns:tt.u_now in
     tt.u_now <- tt.u_now +. d.Cost.ns;
-    tt.u_joules <- tt.u_joules +. d.Cost.joules
+    tt.u_joules <- tt.u_joules +. d.Cost.joules;
+    Attrib.note_cold at ~pc:pc0
+      ~nvm_writes:(Nvm.write_events nvm - w0)
+      ~ns:d.Cost.ns ~joules:d.Cost.joules ()
   end;
   {
     completed;
@@ -224,6 +297,7 @@ type harv_state = {
   cap : Capacitor.t;
   det : Detector.t;
   p_quiescent : float;
+  at : Attrib.t;
   f : harv_totals;
   mutable outages : int;
   mutable deaths : int;
@@ -299,9 +373,14 @@ let propagation_delay s ns state =
    checker's hook) observes the machine right after every recovery. *)
 let power_cycle ?after_recovery s ~max_off_s =
   s.outages <- s.outages + 1;
+  let pc0 = (M.cpu s.m).Cpu.pc in
+  let w0 = Nvm.write_events (M.nvm s.m) in
+  let mi0 = match M.cache s.m with Some c -> Cache.misses c | None -> 0 in
   if Sink.on () then
     Sink.emit ~ns:s.f.now (Ev.Power_down { volts = Capacitor.voltage s.cap });
   M.on_power_failure s.m ~now_ns:s.f.now;
+  let discarded = Attrib.note_crash s.at ~pc:pc0 in
+  if Sink.on () then Sink.emit ~ns:s.f.now (Ev.Reexec { discarded });
   charge_until s s.det.Detector.v_restore ~max_off_s;
   propagation_delay s s.det.Detector.t_plh_ns `Off;
   if Sink.on () then begin
@@ -311,6 +390,10 @@ let power_cycle ?after_recovery s ~max_off_s =
   let c = M.on_reboot s.m ~now_ns:s.f.now in
   Capacitor.consume s.cap c.Cost.joules;
   s.f.restore_joules <- s.f.restore_joules +. c.Cost.joules;
+  let mi1 = match M.cache s.m with Some c -> Cache.misses c | None -> 0 in
+  Attrib.note_cold s.at ~pc:pc0
+    ~nvm_writes:(Nvm.write_events (M.nvm s.m) - w0)
+    ~cache_misses:(mi1 - mi0) ~ns:c.Cost.ns ~restore_joules:c.Cost.joules ();
   if Sink.on () then
     Sink.emit ~ns:s.f.now (Ev.Restore { joules = c.Cost.joules });
   pass_time_on s c.Cost.ns;
@@ -325,7 +408,13 @@ let try_backup s v_min =
   | Some cost ->
     let available = Capacitor.usable_above s.cap v_min in
     if cost.Cost.joules <= available then begin
+      let pc0 = (M.cpu s.m).Cpu.pc in
+      let w0 = Nvm.write_events (M.nvm s.m) in
       M.commit_jit_backup s.m ~now_ns:s.f.now;
+      Attrib.note_commit s.at;
+      Attrib.note_cold s.at ~pc:pc0
+        ~nvm_writes:(Nvm.write_events (M.nvm s.m) - w0)
+        ~ns:cost.Cost.ns ~backup_joules:cost.Cost.joules ();
       Capacitor.consume s.cap cost.Cost.joules;
       s.f.backup_joules <- s.f.backup_joules +. cost.Cost.joules;
       (M.mstats s.m).Mstats.backup_events <-
@@ -346,8 +435,8 @@ let try_backup s v_min =
     end
 
 let run_harvested ?(max_instructions = 500_000_000) ?(max_sim_s = 600.0)
-    ?sim_budget_ns ?fault ?after_recovery ?heartbeat m ~trace ~farads ~v_max
-    ~v_min =
+    ?sim_budget_ns ?fault ?after_recovery ?heartbeat ?attrib m ~trace ~farads
+    ~v_max ~v_min =
   let det = M.detector m in
   let s =
     {
@@ -356,6 +445,7 @@ let run_harvested ?(max_instructions = 500_000_000) ?(max_sim_s = 600.0)
       cap = Capacitor.create ~farads ~v_max ~v_min;
       det;
       p_quiescent = Detector.quiescent_power_w det;
+      at = (match attrib with Some a -> a | None -> Attrib.disabled ());
       f =
         {
           now = 0.0;
@@ -378,6 +468,11 @@ let run_harvested ?(max_instructions = 500_000_000) ?(max_sim_s = 600.0)
     }
   in
   let acc = M.acc m in
+  let at = s.at in
+  let cpu = M.cpu m in
+  let nvm = M.nvm m in
+  let mst = M.mstats m in
+  let acache = match M.cache m with Some c -> c | None -> dummy_cache () in
   let max_off_s = 120.0 in
   let has_jit = M.jit_backup_cost m <> None in
   (* Hot-loop flattening: the per-instruction block below does all its
@@ -416,7 +511,15 @@ let run_harvested ?(max_instructions = 500_000_000) ?(max_sim_s = 600.0)
     if has_jit then begin
       match M.jit_backup_cost m with
       | Some cost ->
+        let pc0 = (M.cpu m).Cpu.pc in
+        let w0 = Nvm.write_events (M.nvm m) in
         M.commit_jit_backup m ~now_ns:s.f.now;
+        Attrib.note_commit s.at;
+        (* The inject path charges the backup's joules but not its ns
+           (the outage swallows it); attribution mirrors that. *)
+        Attrib.note_cold s.at ~pc:pc0
+          ~nvm_writes:(Nvm.write_events (M.nvm m) - w0)
+          ~backup_joules:cost.Cost.joules ();
         Capacitor.consume s.cap cost.Cost.joules;
         s.f.backup_joules <- s.f.backup_joules +. cost.Cost.joules;
         (M.mstats m).Mstats.backup_events <-
@@ -461,9 +564,41 @@ let run_harvested ?(max_instructions = 500_000_000) ?(max_sim_s = 600.0)
       power_cycle ?after_recovery s ~max_off_s
     end
     else begin
+      (* Attribution pre-reads (see run_unlimited). *)
+      let pc = cpu.Cpu.pc in
+      let w0 = Nvm.write_events nvm in
+      let mi0 = Cache.misses acache in
+      let st0 =
+        mst.Mstats.f.Mstats.wait_ns +. mst.Mstats.f.Mstats.waw_stall_ns
+      in
+      let rg0 = mst.Mstats.regions in
       acc.Exec.Acc.now <- s.f.now;
       M.step m;
       let step_ns = acc.Exec.Acc.ns and step_joules = acc.Exec.Acc.joules in
+      let i = pc land at.Attrib.mask in
+      Array.unsafe_set at.Attrib.count i
+        (Array.unsafe_get at.Attrib.count i + 1);
+      Array.unsafe_set at.Attrib.ns i
+        (Array.unsafe_get at.Attrib.ns i +. step_ns);
+      Array.unsafe_set at.Attrib.joules i
+        (Array.unsafe_get at.Attrib.joules i +. step_joules);
+      Array.unsafe_set at.Attrib.nvm_writes i
+        (Array.unsafe_get at.Attrib.nvm_writes i + (Nvm.write_events nvm - w0));
+      Array.unsafe_set at.Attrib.cache_misses i
+        (Array.unsafe_get at.Attrib.cache_misses i
+        + (Cache.misses acache - mi0));
+      Array.unsafe_set at.Attrib.stall_ns i
+        (Array.unsafe_get at.Attrib.stall_ns i
+        +. (mst.Mstats.f.Mstats.wait_ns
+           +. mst.Mstats.f.Mstats.waw_stall_ns -. st0));
+      if Array.unsafe_get at.Attrib.stamp i = at.Attrib.epoch then
+        Array.unsafe_set at.Attrib.delta i
+          (Array.unsafe_get at.Attrib.delta i + 1)
+      else begin
+        Array.unsafe_set at.Attrib.stamp i at.Attrib.epoch;
+        Array.unsafe_set at.Attrib.delta i 1
+      end;
+      at.Attrib.epoch <- at.Attrib.epoch + (mst.Mstats.regions - rg0);
       (* Capacitor.consume, inlined. *)
       let e = cap.Capacitor.energy -. step_joules in
       cap.Capacitor.energy <- (if e > 0.0 then e else 0.0);
@@ -501,8 +636,7 @@ let run_harvested ?(max_instructions = 500_000_000) ?(max_sim_s = 600.0)
       hb.Hb.countdown <- hb.Hb.countdown - 1;
       if hb.Hb.countdown <= 0 then
         Hb.fire hb ~sim_ns:s.f.now ~instructions:s.instructions
-          ~reboots:s.outages
-          ~nvm_writes:(Nvm.write_events (M.nvm m));
+          ~reboots:s.outages ~nvm_writes:(Nvm.write_events nvm);
       (* Sparse voltage samples while executing keep the counter track
          legible without swamping the trace. *)
       if Sink.on () && s.instructions mod 5_000 = 0 then
@@ -519,9 +653,14 @@ let run_harvested ?(max_instructions = 500_000_000) ?(max_sim_s = 600.0)
   (* A budget stop leaves the machine undrained: the outcome reports
      partial progress with [completed = false]. *)
   if completed then begin
+    let pc0 = cpu.Cpu.pc in
+    let w0 = Nvm.write_events nvm in
     let d = M.drain m ~now_ns:s.f.now in
     Capacitor.consume s.cap d.Cost.joules;
     s.f.compute_joules <- s.f.compute_joules +. d.Cost.joules;
+    Attrib.note_cold at ~pc:pc0
+      ~nvm_writes:(Nvm.write_events nvm - w0)
+      ~ns:d.Cost.ns ~joules:d.Cost.joules ();
     pass_time_on s d.Cost.ns
   end;
   {
@@ -559,16 +698,16 @@ let publish_outcome ?(labels = []) (o : outcome) =
   end
 
 let run ?max_instructions ?max_sim_s ?sim_budget_ns ?fault ?after_recovery
-    ?heartbeat m ~power =
+    ?heartbeat ?attrib m ~power =
   let o =
     match power with
     | Unlimited ->
       run_unlimited ?max_instructions ?sim_budget_ns ?fault ?after_recovery
-        ?heartbeat m
+        ?heartbeat ?attrib m
     | Harvested { trace; capacitor_farads; v_max; v_min } ->
       run_harvested ?max_instructions ?max_sim_s ?sim_budget_ns ?fault
-        ?after_recovery ?heartbeat m ~trace ~farads:capacitor_farads ~v_max
-        ~v_min
+        ?after_recovery ?heartbeat ?attrib m ~trace ~farads:capacitor_farads
+        ~v_max ~v_min
   in
   publish_outcome o;
   o

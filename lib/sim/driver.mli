@@ -62,6 +62,7 @@ val run :
   ?fault:Fault.t ->
   ?after_recovery:(now_ns:float -> unit) ->
   ?heartbeat:Sweep_obs.Heartbeat.t ->
+  ?attrib:Sweep_obs.Attrib.t ->
   Sweep_machine.Machine_intf.packed ->
   power:power ->
   outcome
@@ -86,6 +87,17 @@ val run :
     executor's live-status hook.  Allocation-free when beats don't
     fire; the fired path is amortized far below the [test alloc]
     gate's threshold.
+
+    [?attrib] arms per-PC attribution: the cycle loops charge each
+    instruction's time, energy, NVM line-writes, cache misses and
+    persist stalls to the PC that executed it, and the epoch scheme in
+    {!Sweep_obs.Attrib} splits work into forward progress vs.
+    re-executed-after-crash.  The loops always run the accumulation
+    stores (indexing a one-slot buffer when no profiler is attached),
+    so arming costs no extra branch and the path stays allocation-free
+    — [test alloc] runs with attribution armed.  Crash paths emit an
+    {!Sweep_obs.Event.Reexec} counter sample (discarded instructions
+    per outage) whenever a sink is on, profiler or not.
 
     [?fault] injects one adversarial power failure at the plan's crash
     point (plus its nested re-crashes), on top of whatever the voltage

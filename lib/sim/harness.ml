@@ -47,17 +47,25 @@ type result = {
   outcome : Driver.outcome;
   machine : M.packed;
   compiled : Pipeline.compiled;
+  attrib : Sweep_obs.Attrib.t option;
 }
 
 let run ?config ?options ?max_instructions ?max_sim_s ?sim_budget_ns ?fault
-    ?after_recovery ?heartbeat design ~power ast =
+    ?after_recovery ?heartbeat ?(attrib = false) design ~power ast =
   let compiled = compile ?options design ast in
   let m = machine ?config design compiled.Pipeline.program in
+  let at =
+    if attrib then
+      Some
+        (Sweep_obs.Attrib.create
+           ~len:(Array.length compiled.Pipeline.program.Sweep_isa.Program.code))
+    else None
+  in
   let outcome =
     Driver.run ?max_instructions ?max_sim_s ?sim_budget_ns ?fault
-      ?after_recovery ?heartbeat m ~power
+      ?after_recovery ?heartbeat ?attrib:at m ~power
   in
-  { design; outcome; machine = m; compiled }
+  { design; outcome; machine = m; compiled; attrib = at }
 
 let mstats r = M.mstats r.machine
 

@@ -42,6 +42,8 @@ type result = {
   outcome : Driver.outcome;
   machine : Sweep_machine.Machine_intf.packed;
   compiled : Sweep_compiler.Pipeline.compiled;
+  attrib : Sweep_obs.Attrib.t option;
+      (** populated iff the run was started with [~attrib:true] *)
 }
 
 val run :
@@ -53,6 +55,7 @@ val run :
   ?fault:Fault.t ->
   ?after_recovery:(now_ns:float -> unit) ->
   ?heartbeat:Sweep_obs.Heartbeat.t ->
+  ?attrib:bool ->
   design ->
   power:Driver.power ->
   Sweep_lang.Ast.program ->
@@ -60,7 +63,10 @@ val run :
 (** [?fault]/[?after_recovery] are passed through to {!Driver.run} —
     adversarial crash injection and the differential checker's
     observation hook — as are [?sim_budget_ns] (graceful early-stop
-    ceiling) and [?heartbeat] (live-telemetry beats). *)
+    ceiling) and [?heartbeat] (live-telemetry beats).  [?attrib]
+    (default false) arms a per-PC attribution profiler sized to the
+    compiled program and returns it in the result for serialisation
+    via {!Profile}. *)
 
 val mstats : result -> Sweep_machine.Mstats.t
 val cache_miss_rate : result -> float

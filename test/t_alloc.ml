@@ -16,7 +16,11 @@ module Pipeline = Sweep_compiler.Pipeline
    sha@[scale], machine construction excluded.  Heartbeats stay armed:
    the amortised countdown (and the no-sink [fire] path, which only
    mutates the heartbeat's preallocated fields) must be alloc-free too,
-   so telemetry-on sweeps keep the same throughput guarantee. *)
+   so telemetry-on sweeps keep the same throughput guarantee.  The
+   per-PC attribution profiler is armed as well — its unconditional
+   load-add-store accumulation (including the float counters and the
+   epoch/stamp/delta re-execution bookkeeping) is part of the same
+   zero-allocation contract. *)
 let measure design scale =
   let ast =
     Sweep_workloads.Workload.program ~scale
@@ -25,9 +29,13 @@ let measure design scale =
   let compiled = H.compile design ast in
   let m = H.machine design compiled.Pipeline.program in
   let heartbeat = Sweep_obs.Heartbeat.create ~every:50_000 () in
+  let attrib =
+    Sweep_obs.Attrib.create
+      ~len:(Array.length compiled.Pipeline.program.Sweep_isa.Program.code)
+  in
   Gc.full_major ();
   let w0 = Gc.minor_words () in
-  let outcome = Driver.run ~heartbeat m ~power:Driver.Unlimited in
+  let outcome = Driver.run ~heartbeat ~attrib m ~power:Driver.Unlimited in
   let w1 = Gc.minor_words () in
   (w1 -. w0, outcome.Driver.instructions)
 

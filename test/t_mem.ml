@@ -5,6 +5,10 @@ module Layout = Sweep_isa.Layout
 
 let check = Alcotest.check
 
+(* The word-index bounds asserts are off by default (hot path); keep
+   them armed for the whole memory suite so layout bugs fail loudly. *)
+let () = Cache.set_debug_checks true
+
 let test_nvm_rw () =
   let nvm = Nvm.create () in
   Nvm.write_word nvm 0x100 42;

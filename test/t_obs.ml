@@ -483,6 +483,7 @@ let test_event_of_parts_roundtrip () =
       Ev.Backup { ok = false; joules = 1.5e-7 };
       Ev.Backup_lines { lines = 12 };
       Ev.Restore { joules = 2.5e-8 };
+      Ev.Reexec { discarded = 166 };
       Ev.Replay { stores = 42 };
       Ev.Voltage { volts = 3.25 };
       Ev.Halt;

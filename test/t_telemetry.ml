@@ -245,6 +245,90 @@ let test_status_validate_catches () =
         Alcotest.(check bool) "counts that don't add up are flagged" true
           (A.Status_file.validate s <> []))
 
+(* ETA edge cases.  The ETA divides by the finished-job count, scales
+   by the queue and credits running time — each snapshot below pins
+   one boundary of that arithmetic, and every one must still satisfy
+   the reader's validate (no negative ETA, counts that add up). *)
+
+(* Nothing finished yet: no mean job time exists, so eta_s must be
+   null — not 0, not a guess from the running jobs' elapsed time. *)
+let test_status_eta_zero_completed () =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "status.json" in
+      let st = Status.create ~path ~interval_s:0.0 ~workers:4 () in
+      Status.add_total st 5;
+      Status.job_started st ~key:"job-a";
+      Status.job_started st ~key:"job-b";
+      Status.write st;
+      match A.Status_file.load path with
+      | Error e -> Alcotest.fail e
+      | Ok s ->
+        check
+          (Alcotest.list Alcotest.string)
+          "validate clean" [] (A.Status_file.validate s);
+        Alcotest.(check bool) "eta null before any job finishes" true
+          (s.A.Status_file.eta_s = None);
+        check Alcotest.int "running" 2 s.A.Status_file.running_n;
+        check Alcotest.int "queued" 3 s.A.Status_file.queued)
+
+(* Every job failed: done stays 0 but failures carry wall time, so the
+   ETA estimate exists (failed jobs still teach the mean) and must be
+   non-negative even though no simulated time was banked. *)
+let test_status_eta_all_failed () =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "status.json" in
+      let st = Status.create ~path ~interval_s:0.0 ~workers:2 () in
+      Status.add_total st 3;
+      List.iter
+        (fun key ->
+          Status.job_started st ~key;
+          Status.job_finished st ~key ~ok:false ~elapsed_s:0.25 ~sim_ns:0.0)
+        [ "f1"; "f2" ];
+      Status.write st;
+      match A.Status_file.load path with
+      | Error e -> Alcotest.fail e
+      | Ok s ->
+        check
+          (Alcotest.list Alcotest.string)
+          "validate clean" [] (A.Status_file.validate s);
+        check Alcotest.int "done" 0 s.A.Status_file.done_;
+        check Alcotest.int "failed" 2 s.A.Status_file.failed;
+        (match s.A.Status_file.eta_s with
+        | Some e -> Alcotest.(check bool) "eta >= 0" true (e >= 0.0)
+        | None -> Alcotest.fail "failures alone should still yield an ETA"))
+
+(* Snapshot whose only signal is heartbeats — a long-running first job
+   beating away with nothing finished: est_progress must be null (no
+   mean simulated time to compare against), eta null, validate clean. *)
+let test_status_heartbeat_gap_only () =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "status.json" in
+      let st = Status.create ~path ~interval_s:0.0 ~workers:1 () in
+      Status.add_total st 1;
+      Status.job_started st ~key:"long-job";
+      let hb = Hb.create ~every:1_000 () in
+      Hb.fire hb ~sim_ns:5.0e6 ~instructions:9_000 ~reboots:1 ~nvm_writes:7;
+      Hb.fire hb ~sim_ns:9.0e6 ~instructions:21_000 ~reboots:3 ~nvm_writes:19;
+      Status.beat st ~key:"long-job" hb;
+      Status.write st;
+      match A.Status_file.load path with
+      | Error e -> Alcotest.fail e
+      | Ok s ->
+        check
+          (Alcotest.list Alcotest.string)
+          "validate clean" [] (A.Status_file.validate s);
+        Alcotest.(check bool) "eta null" true (s.A.Status_file.eta_s = None);
+        (match s.A.Status_file.running with
+        | [ r ] ->
+          check Alcotest.int "beats" 2 r.A.Status_file.beats;
+          check Alcotest.int "instructions" 21_000
+            r.A.Status_file.instructions;
+          Alcotest.(check bool)
+            "est_progress null without a finished mean" true
+            (r.A.Status_file.est_progress = None)
+        | rs ->
+          Alcotest.failf "expected one running job, got %d" (List.length rs)))
+
 (* ---------------- crash flight recorder ---------------- *)
 
 let test_flight_recorder_postmortem () =
@@ -327,6 +411,12 @@ let suite =
       test_status_schema_roundtrip;
     Alcotest.test_case "status validate catches" `Quick
       test_status_validate_catches;
+    Alcotest.test_case "status eta: zero completed" `Quick
+      test_status_eta_zero_completed;
+    Alcotest.test_case "status eta: all failed" `Quick
+      test_status_eta_all_failed;
+    Alcotest.test_case "status heartbeat-gap-only snapshot" `Quick
+      test_status_heartbeat_gap_only;
     Alcotest.test_case "flight recorder postmortem" `Slow
       test_flight_recorder_postmortem;
     Alcotest.test_case "flight tee preserves sink" `Slow

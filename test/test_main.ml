@@ -22,4 +22,5 @@ let () =
       ("check", T_check.suite);
       ("tune", T_tune.suite);
       ("telemetry", T_telemetry.suite);
+      ("profile", T_profile.suite);
     ]
