@@ -17,6 +17,9 @@ open Cmdliner
 module Experiments = Sweep_exp.Experiments
 module Executor = Sweep_exp.Executor
 module Results = Sweep_exp.Results
+module Supervisor = Sweep_exp.Supervisor
+module Rcache = Sweep_exp.Rcache
+module Exit_code = Sweep_exp.Exit_code
 
 let list_experiments () =
   List.iter
@@ -35,12 +38,23 @@ let list_keys experiments =
     (Experiments.keys experiments);
   Printf.printf "%d job(s) after dedup\n" (List.length (Experiments.plan experiments))
 
+let report_cache rc =
+  let s = Rcache.stats rc in
+  Printf.eprintf "result cache: %d hit(s), %d miss(es), %d evicted, %d corrupt\n%!"
+    s.Rcache.hits s.Rcache.misses s.Rcache.evictions s.Rcache.corrupt
+
 let main names j results_dir no_jsonl metrics metrics_out progress list_only
-    status_file metrics_export flight_dir heartbeat_every attrib_dir =
+    status_file metrics_export flight_dir heartbeat_every attrib_dir workers
+    retries worker_timeout respawn_budget supervise_seed chaos_kill_after
+    cache_dir cache_max_bytes =
   try
   if j < 1 then begin
     Printf.eprintf "sweepexp: -j must be at least 1 (got %d)\n" j;
-    exit 1
+    exit Exit_code.usage
+  end;
+  if workers < 0 then begin
+    Printf.eprintf "sweepexp: --workers must be >= 0 (got %d)\n" workers;
+    exit Exit_code.usage
   end;
   Executor.set_workers j;
   if metrics || Option.is_some metrics_out || Option.is_some metrics_export
@@ -68,9 +82,21 @@ let main names j results_dir no_jsonl metrics metrics_out progress list_only
         Sweep_obs.Heartbeat.default_every
       else 0
   in
+  let rcache =
+    Option.map
+      (fun dir -> Rcache.create ?max_bytes:cache_max_bytes dir)
+      cache_dir
+  in
+  let distribute =
+    if workers = 0 then None
+    else
+      Some
+        (Supervisor.policy ~retries ~worker_timeout_s:worker_timeout
+           ~respawn_budget ~seed:supervise_seed ?chaos_kill_after ~workers ())
+  in
   let config =
     Executor.config ~progress ~heartbeat_every ?status ?flight ?export
-      ?attrib_dir ()
+      ?attrib_dir ?rcache ?distribute ()
   in
   let dump_metrics () =
     Option.iter Sweep_obs.Openmetrics.flush export;
@@ -115,27 +141,35 @@ let main names j results_dir no_jsonl metrics metrics_out progress list_only
       List.iter
         (fun n -> Printf.eprintf "unknown experiment %S (try: list)\n" n)
         unknown;
-      2
+      Exit_code.usage
     | Ok experiments when list_only ->
       list_keys experiments;
       0
     | Ok experiments ->
       Experiments.run_many ~config experiments;
+      Supervisor.shutdown ();
       if metrics then begin
         print_newline ();
         print_string
           (Sweep_obs.Metrics.render (Sweep_obs.Metrics.snapshot ()))
       end;
       dump_metrics ();
-      (match Results.failures () with
-      | [] -> 0
-      | failures ->
+      Option.iter report_cache rcache;
+      let sup = Supervisor.stats () in
+      if sup.Supervisor.degraded then
+        Printf.eprintf
+          "sweepexp: degraded completion — respawn budget exhausted, \
+           finished on surviving workers\n";
+      let failures = Results.failures () in
+      if failures <> [] then begin
         Printf.eprintf "\n%d job(s) failed:\n" (List.length failures);
         List.iter
           (fun f ->
             Printf.eprintf "  %s: %s\n" f.Results.key f.Results.error)
-          failures;
-        1))
+          failures
+      end;
+      Exit_code.of_run ~degraded:sup.Supervisor.degraded
+        ~failures:(List.length failures))
   with Sys_error msg ->
     (* Unwritable --results-dir / --metrics-out: one line, exit 1. *)
     Printf.eprintf "sweepexp: %s\n" msg;
@@ -225,14 +259,79 @@ let attrib_dir_arg =
                  per job.  Profiles are byte-identical at any -j; \
                  analyze with $(b,sweeptrace profile).")
 
+let workers_arg =
+  Arg.(value & opt int 0
+       & info [ "workers" ] ~docv:"N"
+           ~doc:"Run jobs on N supervised worker $(i,processes) (the \
+                 binary re-execs itself) instead of in-process domains: \
+                 dead or hung workers are respawned with seeded backoff, \
+                 in-flight jobs retry up to --retries times before \
+                 quarantine, and results are byte-identical to \
+                 $(b,--workers 0) (the default, in-process -j mode).")
+
+let retries_arg =
+  Arg.(value & opt int 2
+       & info [ "retries" ] ~docv:"K"
+           ~doc:"Extra attempts for a job whose worker died before \
+                 quarantining it as a structured failure (supervised \
+                 mode only).")
+
+let worker_timeout_arg =
+  Arg.(value & opt float 60.0
+       & info [ "worker-timeout" ] ~docv:"SECONDS"
+           ~doc:"SIGKILL a busy worker that has been silent (no \
+                 heartbeat, no result) this long; 0 disables the \
+                 liveness check (supervised mode only).")
+
+let respawn_budget_arg =
+  Arg.(value & opt int 8
+       & info [ "respawn-budget" ] ~docv:"N"
+           ~doc:"Total worker respawns allowed for the run; once \
+                 exhausted the sweep finishes degraded on surviving \
+                 workers (exit code 2).")
+
+let supervise_seed_arg =
+  Arg.(value & opt int 42
+       & info [ "supervise-seed" ] ~docv:"SEED"
+           ~doc:"Seed for the respawn backoff jitter and the chaos \
+                 victim chooser (deterministic schedules).")
+
+let chaos_kill_after_arg =
+  Arg.(value & opt (some int) None
+       & info [ "chaos-kill-after" ] ~docv:"N"
+           ~doc:"Fault injection for tests: SIGKILL one seeded-chosen \
+                 worker after N completed jobs (supervised mode only).")
+
+let cache_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Persistent content-addressed result cache: jobs whose \
+                 (key, config digest) is already cached skip simulation; \
+                 executed jobs are stored back.  Entries are checksummed \
+                 — corrupt or truncated ones are warned about and \
+                 re-simulated, never served.")
+
+let cache_max_bytes_arg =
+  Arg.(value & opt (some int) None
+       & info [ "cache-max-bytes" ] ~docv:"BYTES"
+           ~doc:"Result-cache size bound; least-recently-used entries \
+                 are evicted past it (default 268435456).")
+
 let cmd =
   let doc = "regenerate the SweepCache paper's tables and figures" in
   let term =
     Term.(const main $ names_arg $ jobs_arg $ results_dir_arg $ no_jsonl_arg
           $ metrics_arg $ metrics_out_arg $ progress_arg $ list_arg
           $ status_file_arg $ metrics_export_arg $ flight_dir_arg
-          $ heartbeat_every_arg $ attrib_dir_arg)
+          $ heartbeat_every_arg $ attrib_dir_arg $ workers_arg $ retries_arg
+          $ worker_timeout_arg $ respawn_budget_arg $ supervise_seed_arg
+          $ chaos_kill_after_arg $ cache_dir_arg $ cache_max_bytes_arg)
   in
   Cmd.v (Cmd.info "sweepexp" ~doc) term
 
-let () = exit (Cmd.eval' cmd)
+(* Hidden worker mode: when the supervisor re-execs this binary, hand
+   the process to the frame loop before cmdliner ever sees argv. *)
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = Sweep_exp.Worker.argv_flag
+  then exit (Sweep_exp.Worker.main ())
+  else exit (Cmd.eval' cmd)

@@ -19,8 +19,16 @@
 open Cmdliner
 module Tune = Sweep_tune
 module A = Sweep_analyze
+module Exit_code = Sweep_exp.Exit_code
 
 let err fmt = Printf.ksprintf (fun s -> Printf.eprintf "sweeptune: %s\n" s) fmt
+
+let report_cache rc =
+  let s = Sweep_exp.Rcache.stats rc in
+  Printf.eprintf
+    "result cache: %d hit(s), %d miss(es), %d evicted, %d corrupt\n"
+    s.Sweep_exp.Rcache.hits s.Sweep_exp.Rcache.misses
+    s.Sweep_exp.Rcache.evictions s.Sweep_exp.Rcache.corrupt
 
 let mkdir_p dir =
   let rec go d =
@@ -104,16 +112,22 @@ let render_failed = function
         failed
 
 let explore budget seed strategy scale j out_dir kill_after metrics metrics_out
-    format early_stop status_file metrics_export flight_dir attrib_dir =
-  if not (check_params budget scale) then 2
+    format early_stop status_file metrics_export flight_dir attrib_dir workers
+    retries worker_timeout respawn_budget supervise_seed chaos_kill_after
+    cache_dir cache_max_bytes =
+  if not (check_params budget scale) then Exit_code.usage
   else if j < 1 then begin
     err "-j must be at least 1 (got %d)" j;
-    2
+    Exit_code.usage
+  end
+  else if workers < 0 then begin
+    err "--workers must be >= 0 (got %d)" workers;
+    Exit_code.usage
   end
   else if (match early_stop with Some m -> m < 1.0 | None -> false) then begin
     err "--early-stop margin must be >= 1 (got %g)"
       (Option.get early_stop);
-    2
+    Exit_code.usage
   end
   else begin
     Sweep_exp.Executor.set_workers j;
@@ -144,14 +158,28 @@ let explore budget seed strategy scale j out_dir kill_after metrics metrics_out
         Sweep_obs.Heartbeat.default_every
       else 0
     in
+    let rcache =
+      Option.map
+        (fun dir -> Sweep_exp.Rcache.create ?max_bytes:cache_max_bytes dir)
+        cache_dir
+    in
+    let distribute =
+      if workers > 0 then
+        Some
+          (Sweep_exp.Supervisor.policy ~retries
+             ~worker_timeout_s:worker_timeout ~respawn_budget
+             ~seed:supervise_seed ?chaos_kill_after ~workers ())
+      else None
+    in
     let exec_config =
       if status = None && export = None && flight = None
-         && heartbeat_every = 0 && attrib_dir = None
+         && heartbeat_every = 0 && attrib_dir = None && rcache = None
+         && distribute = None
       then None
       else
         Some
           (Sweep_exp.Executor.config ~heartbeat_every ?status ?flight ?export
-             ?attrib_dir ())
+             ?attrib_dir ?rcache ?distribute ())
     in
     let dump_metrics () =
       Option.iter Sweep_obs.Openmetrics.flush export;
@@ -202,22 +230,36 @@ let explore budget seed strategy scale j out_dir kill_after metrics metrics_out
                       ~source:frontier_path entries));
               render_failed o.Tune.Search.failed_points;
               dump_metrics ();
-              0)
+              Sweep_exp.Supervisor.shutdown ();
+              Option.iter report_cache rcache;
+              let sup = Sweep_exp.Supervisor.stats () in
+              if sup.Sweep_exp.Supervisor.degraded then
+                err "degraded completion — respawn budget exhausted, \
+                     finished on surviving workers";
+              (* Deterministically failing cells are a search outcome
+                 (excluded from the frontier, exit 0, as always); only
+                 jobs the supervisor quarantined after exhausting
+                 worker-death retries count as job failures. *)
+              Exit_code.of_run ~degraded:sup.Sweep_exp.Supervisor.degraded
+                ~failures:sup.Sweep_exp.Supervisor.quarantined)
     with
     | Tune.Search.Interrupted { executed } ->
         err "interrupted after %d simulated cell(s); journal %s is \
              resumable" executed journal;
         dump_metrics ();
-        3
+        Sweep_exp.Supervisor.shutdown ();
+        Option.iter report_cache rcache;
+        Exit_code.interrupted
     | Sys_error msg ->
         err "%s" msg;
+        Sweep_exp.Supervisor.shutdown ();
         1
   end
 
 (* ---------------- plan ---------------- *)
 
 let plan budget seed strategy scale =
-  if not (check_params budget scale) then 2
+  if not (check_params budget scale) then Exit_code.usage
   else begin
     let params = params_of budget seed strategy scale in
     let cands, worst = Tune.Search.plan params in
@@ -248,7 +290,7 @@ let report frontier_path journal_path format out =
   match A.Tune_file.load_frontier frontier_path with
   | Error e ->
       err "%s" e;
-      2
+      Exit_code.usage
   | Ok (entries, warnings) ->
       List.iter (fun w -> Printf.eprintf "warning: %s\n" w) warnings;
       let body =
@@ -346,6 +388,57 @@ let attrib_dir_arg =
                  cell, so any frontier point can be explained with \
                  $(b,sweeptrace profile).")
 
+let workers_arg =
+  Arg.(value & opt int 0
+       & info [ "workers" ] ~docv:"N"
+           ~doc:"Evaluate cells in N supervised worker processes instead \
+                 of in-process domains (0 = in-process, the default); \
+                 does not affect output.")
+
+let retries_arg =
+  Arg.(value & opt int 2
+       & info [ "retries" ] ~docv:"K"
+           ~doc:"Supervised mode: re-run a cell up to K times after a \
+                 worker death before quarantining it as a failure.")
+
+let worker_timeout_arg =
+  Arg.(value & opt float 60.0
+       & info [ "worker-timeout" ] ~docv:"SECONDS"
+           ~doc:"Supervised mode: kill a worker whose heartbeat gap \
+                 exceeds SECONDS (0 disables the liveness check).")
+
+let respawn_budget_arg =
+  Arg.(value & opt int 8
+       & info [ "respawn-budget" ] ~docv:"N"
+           ~doc:"Supervised mode: total worker respawns allowed before \
+                 the fleet degrades onto the survivors (exit 2).")
+
+let supervise_seed_arg =
+  Arg.(value & opt int 42
+       & info [ "supervise-seed" ] ~docv:"N"
+           ~doc:"Seed for the deterministic respawn backoff jitter and \
+                 chaos-kill victim choice.")
+
+let chaos_kill_after_arg =
+  Arg.(value & opt (some int) None
+       & info [ "chaos-kill-after" ] ~docv:"N"
+           ~doc:"Fault injection: SIGKILL one seeded-random worker after \
+                 N cells have completed — the CI supervision crash \
+                 injector.")
+
+let cache_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Persistent content-addressed result cache: cells whose \
+                 design point, workload and simulator version match a \
+                 cached entry are served without re-simulation.")
+
+let cache_max_bytes_arg =
+  Arg.(value & opt (some int) None
+       & info [ "cache-max-bytes" ] ~docv:"BYTES"
+           ~doc:"Size bound for --cache-dir; least-recently-used entries \
+                 are evicted past it.")
+
 let explore_cmd =
   let doc = "search the design space and write the Pareto frontier" in
   Cmd.v
@@ -353,7 +446,10 @@ let explore_cmd =
     Term.(const explore $ budget_arg $ seed_arg $ strategy_arg $ scale_arg
           $ jobs_arg $ out_dir_arg $ kill_after_arg $ metrics_arg
           $ metrics_out_arg $ format_arg $ early_stop_arg $ status_file_arg
-          $ metrics_export_arg $ flight_dir_arg $ attrib_dir_arg)
+          $ metrics_export_arg $ flight_dir_arg $ attrib_dir_arg
+          $ workers_arg $ retries_arg $ worker_timeout_arg
+          $ respawn_budget_arg $ supervise_seed_arg $ chaos_kill_after_arg
+          $ cache_dir_arg $ cache_max_bytes_arg)
 
 let plan_cmd =
   let doc = "print the candidate points without running anything" in
@@ -380,4 +476,9 @@ let cmd =
   let doc = "design-space exploration over SweepCache's knobs" in
   Cmd.group (Cmd.info "sweeptune" ~doc) [ explore_cmd; plan_cmd; report_cmd ]
 
-let () = exit (Cmd.eval' cmd)
+(* Hidden worker mode: the supervisor re-execs this same binary with a
+   sentinel first argument; everything else is the cmdliner CLI. *)
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = Sweep_exp.Worker.argv_flag
+  then exit (Sweep_exp.Worker.main ())
+  else exit (Cmd.eval' cmd)

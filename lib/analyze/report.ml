@@ -304,6 +304,41 @@ let results_section records =
     notes = [];
   }
 
+(* Supervision + result-cache activity (supervised `--workers N` runs).
+   The section only appears when the trace carries any of these events,
+   so reports of single-process traces stay byte-identical. *)
+let supervision_section entries =
+  let spawns, deads, retries, hits =
+    List.fold_left
+      (fun (s, d, r, h) e ->
+        match e.Trace_reader.event with
+        | Sweep_obs.Event.Worker_spawn _ -> (s + 1, d, r, h)
+        | Sweep_obs.Event.Worker_dead _ -> (s, d + 1, r, h)
+        | Sweep_obs.Event.Job_retry _ -> (s, d, r + 1, h)
+        | Sweep_obs.Event.Cache_hit _ -> (s, d, r, h + 1)
+        | _ -> (s, d, r, h))
+      (0, 0, 0, 0) entries
+  in
+  if spawns = 0 && deads = 0 && retries = 0 && hits = 0 then []
+  else
+    [
+      {
+        title = "Supervision & result cache";
+        headers = [ "quantity"; "value" ];
+        rows =
+          [
+            [ "worker spawns"; fmt_int spawns ];
+            [ "worker deaths"; fmt_int deads ];
+            [ "job retries"; fmt_int retries ];
+            [ "result-cache hits"; fmt_int hits ];
+          ];
+        notes =
+          (if deads > spawns then
+             [ "more deaths than spawns: trace is truncated or merged." ]
+           else []);
+      };
+    ]
+
 let metrics_section (m : Metrics_file.t) =
   {
     title = "Metrics snapshot";
@@ -384,6 +419,7 @@ let build ?metrics_path ?results_path ~trace_path () =
           region_section regions; stall_section stalls ]
         @ buffer_sections buffers
         @ power_sections power regions results_ok
+        @ supervision_section entries
         @ (match results_ok with
           | Some r -> [ results_section r ]
           | None -> [])

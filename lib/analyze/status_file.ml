@@ -24,6 +24,7 @@ type t = {
   running_n : int;
   done_ : int;
   failed : int;
+  retried : int;
   pct_done : float;
   eta_s : float option;
   instr_per_s : float;
@@ -92,6 +93,7 @@ let of_json j =
     let* running_n = req "jobs.running" (Json.int_member "running" jobs) in
     let* done_ = req "jobs.done" (Json.int_member "done" jobs) in
     let* failed = req "jobs.failed" (Json.int_member "failed" jobs) in
+    let* retried = req "jobs.retried" (Json.int_member "retried" jobs) in
     let* pct_done = req "jobs.pct_done" (Json.float_member "pct_done" jobs) in
     let* eta_s = opt_float "eta_s" (Json.member "eta_s" j) in
     let* throughput = req "throughput" (Json.member "throughput" j) in
@@ -118,6 +120,7 @@ let of_json j =
         running_n;
         done_;
         failed;
+        retried;
         pct_done;
         eta_s;
         instr_per_s;
@@ -135,7 +138,7 @@ let validate t =
   let bad fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
   if t.workers < 1 then bad "workers %d < 1" t.workers;
   if t.total < 0 || t.queued < 0 || t.running_n < 0 || t.done_ < 0
-     || t.failed < 0
+     || t.failed < 0 || t.retried < 0
   then bad "negative job count";
   if t.queued + t.running_n + t.done_ + t.failed <> t.total then
     bad "job counts don't add up: %d queued + %d running + %d done + %d failed <> %d total"

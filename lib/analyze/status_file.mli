@@ -27,6 +27,9 @@ type t = {
   running_n : int;
   done_ : int;
   failed : int;
+  retried : int;
+      (** supervised runs: attempts requeued after a worker death (not
+          part of the [total] sum — a retried job returns to [queued]) *)
   pct_done : float;
   eta_s : float option;
   instr_per_s : float;

@@ -24,11 +24,22 @@ type config = {
   flight : Flight.t option;
   export : Om.exporter option;
   attrib_dir : string option;
+  rcache : Rcache.t option;
+  distribute : Supervisor.policy option;
 }
 
 let config ?(progress = false) ?(heartbeat_every = 0) ?status ?flight ?export
-    ?attrib_dir () =
-  { progress; heartbeat_every; status; flight; export; attrib_dir }
+    ?attrib_dir ?rcache ?distribute () =
+  {
+    progress;
+    heartbeat_every;
+    status;
+    flight;
+    export;
+    attrib_dir;
+    rcache;
+    distribute;
+  }
 
 let default_config () =
   {
@@ -38,6 +49,8 @@ let default_config () =
     flight = None;
     export = None;
     attrib_dir = None;
+    rcache = None;
+    distribute = None;
   }
 
 (* Wall-clock origin for Job_start/Job_done timestamps: simulation events
@@ -144,12 +157,19 @@ let run_job st j =
       Option.iter Om.tick st.cfg.export;
       note_progress st key elapsed_s;
       let stored = Results.add ~key summary in
-      if stored == summary then
+      if stored == summary then begin
         Results.emit ~exp:j.Jobs.exp ~key
           ~design:(H.design_name j.Jobs.setting.Exp_common.design)
           ~label:j.Jobs.setting.Exp_common.label
           ~power:(Jobs.power_id j.Jobs.power)
-          ~bench:j.Jobs.bench ~scale:j.Jobs.scale ~elapsed_s summary
+          ~bench:j.Jobs.bench ~scale:j.Jobs.scale ~elapsed_s summary;
+        match st.cfg.rcache with
+        | Some rc ->
+          Rcache.store rc ~key
+            ~digest:(Rcache.config_digest j.Jobs.setting)
+            ~elapsed_s summary
+        | None -> ()
+      end
   end
 
 (* Shared worker pool: indices 0..n-1 pulled from an atomic cursor by
@@ -198,13 +218,42 @@ let map ?workers:w f xs =
   Array.to_list out
   |> List.map (function Some r -> r | None -> assert false)
 
+(* Resolve jobs against the persistent result cache before scheduling:
+   a hit lands in the results store (and the JSONL sink, with the
+   cached job's original elapsed time) exactly as if it had just run,
+   so the pending filter below drops it and renderers cannot tell the
+   difference.  Corrupt entries were already warned + unlinked by
+   {!Rcache.find} and simply stay pending. *)
+let resolve_cached rc jobs =
+  let hits = ref 0 in
+  List.iter
+    (fun j ->
+      let key = Jobs.key j in
+      if not (Results.mem key) then
+        let digest = Rcache.config_digest j.Jobs.setting in
+        match Rcache.find rc ~key ~digest with
+        | None -> ()
+        | Some (summary, elapsed_s) ->
+          incr hits;
+          if Sink.on () then
+            Sink.emit ~ns:(wall_ns ()) (Ev.Cache_hit { key });
+          let stored = Results.add ~key summary in
+          if stored == summary then
+            Results.emit ~exp:j.Jobs.exp ~key
+              ~design:(H.design_name j.Jobs.setting.Exp_common.design)
+              ~label:j.Jobs.setting.Exp_common.label
+              ~power:(Jobs.power_id j.Jobs.power)
+              ~bench:j.Jobs.bench ~scale:j.Jobs.scale ~elapsed_s summary)
+    jobs;
+  if !hits > 0 then Supervisor.note_cache_hits !hits
+
 let execute ?workers:w ?config:cfg ?budget jobs =
   let w = match w with Some w -> max 1 w | None -> !default_workers in
   let cfg = match cfg with Some c -> c | None -> default_config () in
   let budget = match budget with Some f -> f | None -> fun _ -> None in
-  let pending =
-    List.filter (fun j -> not (Results.mem (Jobs.key j))) (Jobs.dedup jobs)
-  in
+  let jobs = Jobs.dedup jobs in
+  Option.iter (fun rc -> resolve_cached rc jobs) cfg.rcache;
+  let pending = List.filter (fun j -> not (Results.mem (Jobs.key j))) jobs in
   let st =
     { cfg; budget; plock = Mutex.create (); finished = 0;
       total = List.length pending }
@@ -213,12 +262,24 @@ let execute ?workers:w ?config:cfg ?budget jobs =
   (match pending with
   | [] -> ()
   | pending ->
-    (* Materialise every trace in the parent domain so workers share
-       read-only instances instead of racing to build them. *)
-    if w > 1 && List.length pending > 1 then
-      List.iter (fun j -> ignore (Jobs.to_power j.Jobs.power)) pending;
-    let arr = Array.of_list pending in
-    let body () = pool_iter ~w (Array.length arr) (fun i -> run_job st arr.(i)) in
+    let body () =
+      match cfg.distribute with
+      | Some policy ->
+        (* Multi-process mode: ship the batch to the supervised worker
+           fleet; every stateful concern (store, emission, cache,
+           status) stays in this process. *)
+        Supervisor.run ~policy ~progress:cfg.progress
+          ~heartbeat_every:cfg.heartbeat_every ?status:cfg.status
+          ?flight:cfg.flight ?export:cfg.export ?attrib_dir:cfg.attrib_dir
+          ?rcache:cfg.rcache ~budget pending
+      | None ->
+        (* Materialise every trace in the parent domain so workers
+           share read-only instances instead of racing to build them. *)
+        if w > 1 && List.length pending > 1 then
+          List.iter (fun j -> ignore (Jobs.to_power j.Jobs.power)) pending;
+        let arr = Array.of_list pending in
+        pool_iter ~w (Array.length arr) (fun i -> run_job st arr.(i))
+    in
     (* Arm the flight recorder's ring alongside whatever sink the run
        installed (tee set up before workers spawn, torn down after the
        join). *)

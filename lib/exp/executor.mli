@@ -42,6 +42,15 @@ type config = {
           armed and writes [<dir>/<sanitised key>.attrib.json] (plus a
           [.folded] collapsed-stack twin); profiles are a pure function
           of the job, so they are byte-identical at any [-j] *)
+  rcache : Rcache.t option;
+      (** persistent content-addressed result cache: jobs whose
+          (key, config digest) is cached skip simulation entirely
+          (emitting {!Sweep_obs.Event.Cache_hit}); executed jobs are
+          stored back *)
+  distribute : Supervisor.policy option;
+      (** when set, pending jobs run on a supervised multi-process
+          worker fleet (see {!Supervisor}) instead of the in-process
+          domain pool; outputs are byte-identical either way *)
 }
 
 val config :
@@ -51,6 +60,8 @@ val config :
   ?flight:Sweep_obs.Flight.t ->
   ?export:Sweep_obs.Openmetrics.exporter ->
   ?attrib_dir:string ->
+  ?rcache:Rcache.t ->
+  ?distribute:Supervisor.policy ->
   unit ->
   config
 (** Everything off/absent by default. *)

@@ -203,4 +203,10 @@ let emit ~exp ~key ~design ~label ~power ~bench ~scale ~elapsed_s summary =
           ~finally:(fun () -> close_out oc)
           (fun () ->
             output_string oc line;
-            output_char oc '\n'))
+            output_char oc '\n';
+            (* Durability on normal completion, not just on failure: a
+               supervisor-respawned process must never re-read a torn
+               final record as valid. *)
+            flush oc;
+            try Unix.fsync (Unix.descr_of_out_channel oc)
+            with Unix.Unix_error _ -> ()))

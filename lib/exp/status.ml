@@ -9,7 +9,7 @@
 module Hb = Sweep_obs.Heartbeat
 module Ev = Sweep_obs.Event
 
-let schema_version = 1
+let schema_version = 2
 
 type job = {
   key : string;
@@ -32,6 +32,7 @@ type t = {
   mutable started : int;
   mutable done_ : int;
   mutable failed : int;
+  mutable retried : int;  (* requeued attempts; not part of the total sum *)
   mutable elapsed_done_s : float;  (* wall time summed over finished jobs *)
   mutable sim_done_ns : float;  (* simulated time summed over ok jobs *)
   mutable ok : int;
@@ -50,6 +51,7 @@ let create ~path ?(interval_s = 0.5) ~workers () =
     started = 0;
     done_ = 0;
     failed = 0;
+    retried = 0;
     elapsed_done_s = 0.0;
     sim_done_ns = 0.0;
     ok = 0;
@@ -94,8 +96,9 @@ let render_locked t ~now =
        schema_version now (now -. t.created_s) t.workers);
   Buffer.add_string b
     (Printf.sprintf
-       "\"jobs\":{\"total\":%d,\"queued\":%d,\"running\":%d,\"done\":%d,\"failed\":%d,\"pct_done\":%.2f},"
-       t.total queued (List.length running) t.done_ t.failed pct_done);
+       "\"jobs\":{\"total\":%d,\"queued\":%d,\"running\":%d,\"done\":%d,\"failed\":%d,\"retried\":%d,\"pct_done\":%.2f},"
+       t.total queued (List.length running) t.done_ t.failed t.retried
+       pct_done);
   (match eta_s with
   | Some e -> Buffer.add_string b (Printf.sprintf "\"eta_s\":%.1f," e)
   | None -> Buffer.add_string b "\"eta_s\":null,");
@@ -172,16 +175,32 @@ let job_started t ~key =
         };
       maybe_write_locked t)
 
-let beat t ~key (hb : Hb.t) =
+let beat_counts t ~key ~instructions ~sim_ns ~reboots ~nvm_writes ~beats =
   with_lock t (fun () ->
       (match Hashtbl.find_opt t.running key with
       | Some j ->
-        j.instructions <- hb.Hb.instructions;
-        j.sim_ns <- Hb.sim_ns hb;
-        j.reboots <- hb.Hb.reboots;
-        j.nvm_writes <- hb.Hb.nvm_writes;
-        j.beats <- Hb.beats hb
+        j.instructions <- instructions;
+        j.sim_ns <- sim_ns;
+        j.reboots <- reboots;
+        j.nvm_writes <- nvm_writes;
+        j.beats <- beats
       | None -> ());
+      maybe_write_locked t)
+
+let beat t ~key (hb : Hb.t) =
+  beat_counts t ~key ~instructions:hb.Hb.instructions ~sim_ns:(Hb.sim_ns hb)
+    ~reboots:hb.Hb.reboots ~nvm_writes:hb.Hb.nvm_writes ~beats:(Hb.beats hb)
+
+(* A retried job leaves the running set and returns to the queue: undo
+   its [started] increment so queued+running+done+failed still sums to
+   total, and count the failed attempt separately. *)
+let job_retried t ~key =
+  with_lock t (fun () ->
+      if Hashtbl.mem t.running key then begin
+        Hashtbl.remove t.running key;
+        t.started <- t.started - 1;
+        t.retried <- t.retried + 1
+      end;
       maybe_write_locked t)
 
 let job_finished t ~key ~ok ~elapsed_s ~sim_ns =

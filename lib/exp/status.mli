@@ -8,7 +8,8 @@
     rename so a watcher never reads a torn snapshot.
 
     The JSON is one object: [schema_version], [ts_s], [elapsed_s],
-    [workers], [jobs {total queued running done failed pct_done}],
+    [workers], [jobs {total queued running done failed retried
+    pct_done}],
     [eta_s] (null until a first job finishes), [throughput
     {instr_per_s}], and [running], an array with one entry per
     in-flight job ([job], [elapsed_s], [beats], [instructions],
@@ -31,6 +32,23 @@ val add_total : t -> int -> unit
 
 val job_started : t -> key:string -> unit
 val beat : t -> key:string -> Sweep_obs.Heartbeat.t -> unit
+
+val beat_counts :
+  t ->
+  key:string ->
+  instructions:int ->
+  sim_ns:float ->
+  reboots:int ->
+  nvm_writes:int ->
+  beats:int ->
+  unit
+(** {!beat} from raw counters — the supervisor folds worker-process
+    {!Wire.Beat} frames in without materialising a heartbeat value. *)
+
+val job_retried : t -> key:string -> unit
+(** The job's worker died and the job went back to the queue: moves it
+    from [running] to [queued] (so the jobs sum still equals [total])
+    and bumps the [retried] counter. *)
 
 val job_finished :
   t -> key:string -> ok:bool -> elapsed_s:float -> sim_ns:float -> unit

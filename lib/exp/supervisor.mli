@@ -1,0 +1,93 @@
+(** Supervised multi-process execution: worker fleets with heartbeat
+    liveness, retry/backoff, poison-job quarantine.
+
+    {!run} shards a pending job list across [workers] re-exec'd copies
+    of the current binary (see {!Worker}), routes jobs by a stable hash
+    of their canonical key, and supervises: dead workers are reaped
+    with [waitpid], hung workers are SIGKILLed after a heartbeat-gap
+    timeout, in-flight jobs retry up to [retries] extra times before
+    quarantine as structured {!Results.failure}s, and respawns run
+    under seeded exponential backoff bounded by a pool-lifetime
+    [respawn_budget] — when it is exhausted the run finishes degraded
+    on the surviving workers.
+
+    The parent owns the results store, JSONL emission, result cache and
+    telemetry, so a supervised run's outputs are byte-identical to the
+    in-process executor's.  The worker pool persists across calls (a
+    sweeptune search executes many batches); {!shutdown} tears it down,
+    and process exit does too (workers exit on stdin EOF). *)
+
+type policy = {
+  workers : int;
+  retries : int;  (** extra attempts after a worker death (default 2) *)
+  worker_timeout_s : float;
+      (** SIGKILL a busy worker silent this long; [<= 0] disables
+          (default 60) *)
+  respawn_budget : int;  (** pool-lifetime respawn cap (default 8) *)
+  backoff_base_s : float;
+  backoff_max_s : float;
+  seed : int;  (** backoff jitter + chaos chooser seed (default 42) *)
+  chaos_kill_after : int option;
+      (** fault injection: SIGKILL a seeded-chosen worker once, after
+          this many completed jobs (CI chaos harness) *)
+}
+
+val policy :
+  ?retries:int ->
+  ?worker_timeout_s:float ->
+  ?respawn_budget:int ->
+  ?backoff_base_s:float ->
+  ?backoff_max_s:float ->
+  ?seed:int ->
+  ?chaos_kill_after:int ->
+  workers:int ->
+  unit ->
+  policy
+
+val backoff_delay_s : policy -> slot:int -> nth:int -> float
+(** Delay before respawn [nth] (0-based) of [slot]: exponential in
+    [nth], capped at [backoff_max_s], with up to +50% jitter drawn
+    from (seed, slot, nth) alone — a pure function, independent of
+    scheduling order and worker count, so schedules are reproducible
+    (tested). *)
+
+type stats = {
+  mutable spawns : int;
+  mutable deaths : int;
+  mutable job_retries : int;
+  mutable quarantined : int;
+  mutable cache_hits : int;
+  mutable degraded : bool;
+}
+
+val stats : unit -> stats
+(** Process-lifetime accumulator (sweeptune's rounds add up) — the
+    binaries derive their exit code from [degraded] / [quarantined]. *)
+
+val reset_stats : unit -> unit
+
+val note_cache_hits : int -> unit
+(** Called by {!Executor} when the persistent cache satisfies jobs
+    before dispatch, so the end-of-run summary covers both modes. *)
+
+val run :
+  policy:policy ->
+  ?progress:bool ->
+  ?heartbeat_every:int ->
+  ?status:Status.t ->
+  ?flight:Sweep_obs.Flight.t ->
+  ?export:Sweep_obs.Openmetrics.exporter ->
+  ?attrib_dir:string ->
+  ?rcache:Rcache.t ->
+  ?budget:(Jobs.t -> float option) ->
+  Jobs.t list ->
+  unit
+(** Execute [pending] (already deduplicated and filtered against
+    {!Results}) on the supervised pool.  Returns when every job is in
+    the results store or the failure log.  When [worker_timeout_s > 0]
+    and [heartbeat_every <= 0], heartbeats are forced on at
+    {!Sweep_obs.Heartbeat.default_every} — liveness needs a signal. *)
+
+val shutdown : unit -> unit
+(** Quit + reap the pool (SIGKILL stragglers after a grace period).
+    Idempotent; safe without a pool. *)

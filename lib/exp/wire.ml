@@ -1,0 +1,255 @@
+(* JSONL pipe protocol between the supervisor and its worker processes.
+
+   One frame per line, each a flat JSON object tagged by a ["frame"]
+   field.  Job specs and result summaries travel as hex-encoded
+   [Marshal] payloads inside JSON strings: both types are plain data
+   (records, variants, strings, numbers — verified where they are
+   defined), and supervisor and worker are the same binary, so the
+   marshal format is identical on both ends by construction.
+
+   The decoder is deliberately forgiving: a line that does not parse as
+   a frame yields [None] and the supervisor skips it (a worker killed
+   mid-write leaves a torn final line; the fsync'd results JSONL — not
+   this pipe — is the durability surface).  The parser handles exactly
+   the flat scalar objects the encoder produces; it is not a general
+   JSON reader. *)
+
+type to_worker =
+  | Init of { heartbeat_every : int; attrib_dir : string option }
+  | Job of { key : string; spec : Jobs.t; sim_budget_ns : float option }
+  | Quit
+
+type from_worker =
+  | Beat of {
+      key : string;
+      instructions : int;
+      sim_ns : float;
+      reboots : int;
+      nvm_writes : int;
+      beats : int;
+    }
+  | Done of { key : string; elapsed_s : float; summary : Results.summary }
+  | Failed of { key : string; error : string; backtrace : string }
+
+(* {2 Hex codec} *)
+
+let to_hex s =
+  let n = String.length s in
+  let b = Bytes.create (2 * n) in
+  let digit d = "0123456789abcdef".[d] in
+  for i = 0 to n - 1 do
+    let c = Char.code s.[i] in
+    Bytes.set b (2 * i) (digit (c lsr 4));
+    Bytes.set b ((2 * i) + 1) (digit (c land 0xf))
+  done;
+  Bytes.unsafe_to_string b
+
+exception Bad
+
+let of_hex s =
+  let n = String.length s in
+  if n land 1 <> 0 then raise Bad;
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | _ -> raise Bad
+  in
+  String.init (n / 2) (fun i ->
+      Char.chr ((digit s.[2 * i] lsl 4) lor digit s.[(2 * i) + 1]))
+
+(* {2 Flat-object JSON parsing} *)
+
+type jv = S of string | N of float | B of bool | Null
+
+let parse_jstring s i =
+  (* s.[i] = '"'; returns (decoded, index past closing quote) *)
+  let b = Buffer.create 32 in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then raise Bad
+    else
+      match s.[i] with
+      | '"' -> i + 1
+      | '\\' ->
+        if i + 1 >= n then raise Bad;
+        (match s.[i + 1] with
+        | '"' -> Buffer.add_char b '"'; go (i + 2)
+        | '\\' -> Buffer.add_char b '\\'; go (i + 2)
+        | '/' -> Buffer.add_char b '/'; go (i + 2)
+        | 'n' -> Buffer.add_char b '\n'; go (i + 2)
+        | 't' -> Buffer.add_char b '\t'; go (i + 2)
+        | 'r' -> Buffer.add_char b '\r'; go (i + 2)
+        | 'b' -> Buffer.add_char b '\b'; go (i + 2)
+        | 'f' -> Buffer.add_char b '\012'; go (i + 2)
+        | 'u' ->
+          if i + 5 >= n then raise Bad;
+          let code = int_of_string ("0x" ^ String.sub s (i + 2) 4) in
+          (* The encoder only \u-escapes control bytes (< 0x20);
+             anything wider would need UTF-8 re-encoding we never
+             produce. *)
+          if code > 0xff then raise Bad;
+          Buffer.add_char b (Char.chr code);
+          go (i + 6)
+        | _ -> raise Bad)
+      | c -> Buffer.add_char b c; go (i + 1)
+  and finish j = (Buffer.contents b, j) in
+  finish (go (i + 1))
+
+let parse_obj line =
+  let n = String.length line in
+  let rec skip_ws i =
+    if i < n && (line.[i] = ' ' || line.[i] = '\t') then skip_ws (i + 1) else i
+  in
+  let expect c i =
+    let i = skip_ws i in
+    if i < n && line.[i] = c then i + 1 else raise Bad
+  in
+  let parse_value i =
+    let i = skip_ws i in
+    if i >= n then raise Bad
+    else
+      match line.[i] with
+      | '"' ->
+        let s, j = parse_jstring line i in
+        (S s, j)
+      | 't' when i + 4 <= n && String.sub line i 4 = "true" -> (B true, i + 4)
+      | 'f' when i + 5 <= n && String.sub line i 5 = "false" ->
+        (B false, i + 5)
+      | 'n' when i + 4 <= n && String.sub line i 4 = "null" -> (Null, i + 4)
+      | '-' | '0' .. '9' ->
+        let j = ref i in
+        while
+          !j < n
+          && (match line.[!j] with
+             | '-' | '+' | '.' | 'e' | 'E' | '0' .. '9' -> true
+             | _ -> false)
+        do
+          incr j
+        done;
+        (N (float_of_string (String.sub line i (!j - i))), !j)
+      | _ -> raise Bad
+  in
+  try
+    let i = expect '{' 0 in
+    let i = skip_ws i in
+    if i < n && line.[i] = '}' then Some []
+    else
+      let rec fields acc i =
+        let i = skip_ws i in
+        if i >= n || line.[i] <> '"' then raise Bad;
+        let name, i = parse_jstring line i in
+        let i = expect ':' i in
+        let v, i = parse_value i in
+        let i = skip_ws i in
+        if i < n && line.[i] = ',' then fields ((name, v) :: acc) (i + 1)
+        else
+          let i = expect '}' i in
+          let i = skip_ws i in
+          if i <> n then raise Bad else List.rev ((name, v) :: acc)
+      in
+      Some (fields [] i)
+  with Bad | Failure _ | Invalid_argument _ -> None
+
+let str fields name =
+  match List.assoc_opt name fields with Some (S s) -> s | _ -> raise Bad
+
+let num fields name =
+  match List.assoc_opt name fields with Some (N x) -> x | _ -> raise Bad
+
+let int_f fields name = int_of_float (num fields name)
+
+(* {2 Frames} *)
+
+let js = Sweep_obs.Event.json_string
+
+let line_of_to_worker = function
+  | Init { heartbeat_every; attrib_dir } ->
+    Printf.sprintf "{\"frame\":\"init\",\"heartbeat_every\":%d,\"attrib_dir\":%s}"
+      heartbeat_every
+      (match attrib_dir with None -> "null" | Some d -> js d)
+  | Job { key; spec; sim_budget_ns } ->
+    Printf.sprintf "{\"frame\":\"job\",\"key\":%s,\"spec\":\"%s\",\"sim_budget_ns\":%s}"
+      (js key)
+      (to_hex (Marshal.to_string (spec : Jobs.t) []))
+      (match sim_budget_ns with
+      | None -> "null"
+      | Some b -> Printf.sprintf "%.17g" b)
+  | Quit -> "{\"frame\":\"quit\"}"
+
+let line_of_from_worker = function
+  | Beat { key; instructions; sim_ns; reboots; nvm_writes; beats } ->
+    Printf.sprintf
+      "{\"frame\":\"beat\",\"key\":%s,\"instructions\":%d,\"sim_ns\":%.17g,\
+       \"reboots\":%d,\"nvm_writes\":%d,\"beats\":%d}"
+      (js key) instructions sim_ns reboots nvm_writes beats
+  | Done { key; elapsed_s; summary } ->
+    Printf.sprintf
+      "{\"frame\":\"done\",\"key\":%s,\"elapsed_s\":%.17g,\"summary\":\"%s\"}"
+      (js key) elapsed_s
+      (to_hex (Marshal.to_string (summary : Results.summary) []))
+  | Failed { key; error; backtrace } ->
+    Printf.sprintf
+      "{\"frame\":\"failed\",\"key\":%s,\"error\":%s,\"backtrace\":%s}"
+      (js key) (js error) (js backtrace)
+
+let to_worker_of_line line =
+  match parse_obj line with
+  | None -> None
+  | Some fields -> (
+    try
+      match str fields "frame" with
+      | "init" ->
+        let attrib_dir =
+          match List.assoc_opt "attrib_dir" fields with
+          | Some (S s) -> Some s
+          | Some Null | None -> None
+          | _ -> raise Bad
+        in
+        Some (Init { heartbeat_every = int_f fields "heartbeat_every"; attrib_dir })
+      | "job" ->
+        let spec = (Marshal.from_string (of_hex (str fields "spec")) 0 : Jobs.t) in
+        let sim_budget_ns =
+          match List.assoc_opt "sim_budget_ns" fields with
+          | Some (N x) -> Some x
+          | Some Null | None -> None
+          | _ -> raise Bad
+        in
+        Some (Job { key = str fields "key"; spec; sim_budget_ns })
+      | "quit" -> Some Quit
+      | _ -> None
+    with Bad | Failure _ -> None)
+
+let from_worker_of_line line =
+  match parse_obj line with
+  | None -> None
+  | Some fields -> (
+    try
+      match str fields "frame" with
+      | "beat" ->
+        Some
+          (Beat
+             {
+               key = str fields "key";
+               instructions = int_f fields "instructions";
+               sim_ns = num fields "sim_ns";
+               reboots = int_f fields "reboots";
+               nvm_writes = int_f fields "nvm_writes";
+               beats = int_f fields "beats";
+             })
+      | "done" ->
+        let summary =
+          (Marshal.from_string (of_hex (str fields "summary")) 0
+            : Results.summary)
+        in
+        Some (Done { key = str fields "key"; elapsed_s = num fields "elapsed_s"; summary })
+      | "failed" ->
+        Some
+          (Failed
+             {
+               key = str fields "key";
+               error = str fields "error";
+               backtrace = str fields "backtrace";
+             })
+      | _ -> None
+    with Bad | Failure _ -> None)

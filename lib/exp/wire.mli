@@ -1,0 +1,42 @@
+(** JSONL pipe protocol between the supervisor and worker processes.
+
+    One frame per line; job specs and summaries ride as hex-encoded
+    [Marshal] payloads (supervisor and worker are the same binary, so
+    the format matches by construction).  Decoders return [None] on any
+    malformed line — a worker killed mid-write leaves a torn final
+    line, which the supervisor must skip, not crash on. *)
+
+type to_worker =
+  | Init of { heartbeat_every : int; attrib_dir : string option }
+      (** First frame after spawn: run configuration. *)
+  | Job of { key : string; spec : Jobs.t; sim_budget_ns : float option }
+  | Quit  (** Orderly shutdown; the worker exits 0. *)
+
+type from_worker =
+  | Beat of {
+      key : string;
+      instructions : int;
+      sim_ns : float;
+      reboots : int;
+      nvm_writes : int;
+      beats : int;
+    }
+      (** Forwarded {!Sweep_obs.Heartbeat} observer state — the
+          supervisor's liveness signal and the parent {!Status} feed. *)
+  | Done of { key : string; elapsed_s : float; summary : Results.summary }
+  | Failed of { key : string; error : string; backtrace : string }
+      (** The job raised in the worker.  Deterministic failures are not
+          retried (they would fail identically); only worker deaths
+          trigger the retry path. *)
+
+val line_of_to_worker : to_worker -> string
+val line_of_from_worker : from_worker -> string
+
+val to_worker_of_line : string -> to_worker option
+val from_worker_of_line : string -> from_worker option
+
+val to_hex : string -> string
+(** Lowercase hex of every byte (exposed for tests). *)
+
+val of_hex : string -> string
+(** Inverse of {!to_hex}; raises on odd length or non-hex digits. *)

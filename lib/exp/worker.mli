@@ -1,0 +1,14 @@
+(** Worker-process half of supervised execution.
+
+    The binary re-execs itself with {!argv_flag} as [argv.(1)]; the
+    entry point then speaks {!Wire} frames over stdin/stdout until EOF
+    or a [Quit] frame.  Workers hold no state beyond the last [Init]
+    frame — every cross-job concern lives in the supervisor. *)
+
+val argv_flag : string
+(** ["--sweepcache-worker"] — hidden from [--help]; checked by the
+    binaries before handing argv to cmdliner. *)
+
+val main : unit -> int
+(** Frame loop; returns the process exit code (0 on EOF/[Quit], 1 when
+    the pipe to the supervisor broke). *)

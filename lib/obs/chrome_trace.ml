@@ -21,6 +21,7 @@ let cpu_tid = 0
 let power_tid = 1
 let buf_tid buf = 2 + buf
 let tune_tid = 0 (* executor process: worker tids are domain ids >= 1 *)
+let sup_tid = -1 (* executor process: supervisor track (parent only) *)
 
 type state = {
   lock : Mutex.t;
@@ -145,6 +146,11 @@ let write st ~ns ev =
       let tid = (Domain.self () :> int) in
       name_thread st ~pid:exec_pid ~tid (Printf.sprintf "worker %d" tid);
       mark st ~pid:exec_pid ~tid ~ns ev
+    | Job_retry _ | Cache_hit _ | Worker_spawn _ | Worker_dead _ ->
+      (* Supervision events are emitted by the parent process only, so
+         they share one "supervisor" track on the executor process. *)
+      name_thread st ~pid:exec_pid ~tid:sup_tid "supervisor";
+      mark st ~pid:exec_pid ~tid:sup_tid ~ns ev
     | Tune_round _ | Tune_frontier _ ->
       (* Search rounds bracket the job spans they schedule, so they live
          on their own executor-process track. *)

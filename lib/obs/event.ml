@@ -65,6 +65,10 @@ type t =
   | Job_start of { key : string }
   | Job_done of { key : string; elapsed_s : float }
   | Job_failed of { key : string; error : string }
+  | Job_retry of { key : string; attempt : int }
+  | Cache_hit of { key : string }
+  | Worker_spawn of { worker : int; pid : int }
+  | Worker_dead of { worker : int; pid : int; reason : string }
   | Fault_inject of { trigger : string; detail : string }
   | Fault_torn of { base : int; words : int }
   | Fault_stuck of { bit : int; buf : int; seq : int }
@@ -83,7 +87,9 @@ let category = function
   | Reexec _ | Replay _ | Voltage _ ->
     Power
   | Halt | Heartbeat _ | Dropped _ -> Exec
-  | Job_start _ | Job_done _ | Job_failed _ -> Job
+  | Job_start _ | Job_done _ | Job_failed _ | Job_retry _ | Cache_hit _
+  | Worker_spawn _ | Worker_dead _ ->
+    Job
   | Fault_inject _ | Fault_torn _ | Fault_stuck _ -> Fault
   | Tune_round _ | Tune_eval _ | Tune_prune _ | Tune_frontier _ -> Tune
   | Mark { cat; _ } -> cat
@@ -117,6 +123,10 @@ let name = function
   | Job_start _ -> "job"
   | Job_done _ -> "job"
   | Job_failed _ -> "job failed"
+  | Job_retry { attempt; _ } -> Printf.sprintf "job retry %d" attempt
+  | Cache_hit _ -> "cache hit"
+  | Worker_spawn { worker; _ } -> Printf.sprintf "worker %d spawn" worker
+  | Worker_dead { worker; _ } -> Printf.sprintf "worker %d dead" worker
   | Fault_inject { trigger; _ } -> Printf.sprintf "fault %s" trigger
   | Fault_torn { words; _ } -> Printf.sprintf "torn dma (%d words)" words
   | Fault_stuck { bit; _ } -> Printf.sprintf "stuck phase%d bit" bit
@@ -156,6 +166,10 @@ let tag = function
   | Job_start _ -> "job_start"
   | Job_done _ -> "job_done"
   | Job_failed _ -> "job_failed"
+  | Job_retry _ -> "job_retry"
+  | Cache_hit _ -> "cache_hit"
+  | Worker_spawn _ -> "worker_spawn"
+  | Worker_dead _ -> "worker_dead"
   | Fault_inject _ -> "fault_inject"
   | Fault_torn _ -> "fault_torn"
   | Fault_stuck _ -> "fault_stuck"
@@ -223,6 +237,14 @@ let json_args = function
   | Job_failed { key; error } ->
     Printf.sprintf "\"job\":%s,\"error\":%s" (json_string key)
       (json_string error)
+  | Job_retry { key; attempt } ->
+    Printf.sprintf "\"job\":%s,\"attempt\":%d" (json_string key) attempt
+  | Cache_hit { key } -> Printf.sprintf "\"job\":%s" (json_string key)
+  | Worker_spawn { worker; pid } ->
+    Printf.sprintf "\"worker\":%d,\"pid\":%d" worker pid
+  | Worker_dead { worker; pid; reason } ->
+    Printf.sprintf "\"worker\":%d,\"pid\":%d,\"reason\":%s" worker pid
+      (json_string reason)
   | Fault_inject { trigger; detail } ->
     Printf.sprintf "\"trigger\":%s,\"detail\":%s" (json_string trigger)
       (json_string detail)
@@ -357,6 +379,22 @@ let of_parts ~tag ~name ~cat ~args =
     let* key = str_arg args "job" in
     let* error = str_arg args "error" in
     Some (Job_failed { key; error })
+  | "job_retry" ->
+    let* key = str_arg args "job" in
+    let* attempt = int_arg args "attempt" in
+    Some (Job_retry { key; attempt })
+  | "cache_hit" ->
+    let* key = str_arg args "job" in
+    Some (Cache_hit { key })
+  | "worker_spawn" ->
+    let* worker = int_arg args "worker" in
+    let* pid = int_arg args "pid" in
+    Some (Worker_spawn { worker; pid })
+  | "worker_dead" ->
+    let* worker = int_arg args "worker" in
+    let* pid = int_arg args "pid" in
+    let* reason = str_arg args "reason" in
+    Some (Worker_dead { worker; pid; reason })
   | "fault_inject" ->
     let* trigger = str_arg args "trigger" in
     let* detail = str_arg args "detail" in

@@ -66,6 +66,19 @@ type t =
   | Job_done of { key : string; elapsed_s : float }
   | Job_failed of { key : string; error : string }
       (** A worker caught an exception; the job produced no summary. *)
+  | Job_retry of { key : string; attempt : int }
+      (** Supervised execution: the worker running the job died (crash
+          or heartbeat timeout) and the job was requeued; [attempt] is
+          the attempt that just failed (1-based). *)
+  | Cache_hit of { key : string }
+      (** The persistent result cache served the job's summary; nothing
+          was simulated. *)
+  | Worker_spawn of { worker : int; pid : int }
+      (** Supervisor (re)spawned worker process [pid] into slot
+          [worker]. *)
+  | Worker_dead of { worker : int; pid : int; reason : string }
+      (** Worker process [pid] in slot [worker] was reaped; [reason] is
+          ["exit N"], ["signal N"] or ["heartbeat timeout (...)"] . *)
   | Fault_inject of { trigger : string; detail : string }
       (** An injected (adversarial) power failure, as opposed to a
           voltage-driven {!Death}.  [trigger] is ["instr"], ["event"] or

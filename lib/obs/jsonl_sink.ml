@@ -27,12 +27,14 @@ let create path =
         if not !closed then begin
           output_string oc (render_line ~ns ev);
           output_char oc '\n';
-          (* Failure and fault lines are exactly the tail a post-mortem
-             needs, and exactly what buffered IO loses when the process
-             dies — push them through to the OS immediately. *)
+          (* Failure, fault and completion lines are exactly the tail a
+             post-mortem needs, and exactly what buffered IO loses when
+             the process dies — push them through to the OS immediately.
+             Job_done is included so a supervisor that respawns this
+             process never re-reads a torn final record as valid. *)
           let crash_critical =
             match ev with
-            | Event.Job_failed _ -> true
+            | Event.Job_failed _ | Event.Job_done _ -> true
             | ev -> Event.category ev = Event.Fault
           in
           if crash_critical then begin

@@ -503,6 +503,10 @@ let test_event_of_parts_roundtrip () =
         { every = 1_000_000; instructions = 3_000_000; reboots = 4;
           nvm_writes = 512 };
       Ev.Tune_prune { key = "tune:a|b"; budget_ns = 1.25e9 };
+      Ev.Job_retry { key = "a|b"; attempt = 2 };
+      Ev.Cache_hit { key = "a|b" };
+      Ev.Worker_spawn { worker = 3; pid = 4321 };
+      Ev.Worker_dead { worker = 3; pid = 4321; reason = "heartbeat timeout" };
     ]
   in
   List.iter

@@ -237,7 +237,7 @@ let test_status_validate_catches () =
       let path = Filename.concat dir "bad.json" in
       let oc = open_out path in
       output_string oc
-        {|{"schema_version":1,"ts_s":1.0,"elapsed_s":1.0,"workers":1,"jobs":{"total":5,"queued":1,"running":0,"done":1,"failed":1,"pct_done":40.0},"eta_s":null,"throughput":{"instr_per_s":0},"running":[]}|};
+        {|{"schema_version":2,"ts_s":1.0,"elapsed_s":1.0,"workers":1,"jobs":{"total":5,"queued":1,"running":0,"done":1,"failed":1,"retried":0,"pct_done":40.0},"eta_s":null,"throughput":{"instr_per_s":0},"running":[]}|};
       close_out oc;
       match A.Status_file.load path with
       | Error e -> Alcotest.fail e

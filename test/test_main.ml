@@ -22,5 +22,6 @@ let () =
       ("check", T_check.suite);
       ("tune", T_tune.suite);
       ("telemetry", T_telemetry.suite);
+      ("super", T_super.suite);
       ("profile", T_profile.suite);
     ]
