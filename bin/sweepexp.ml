@@ -317,8 +317,51 @@ let cache_max_bytes_arg =
            ~doc:"Result-cache size bound; least-recently-used entries \
                  are evicted past it (default 268435456).")
 
+(* ---------------- cache maintenance ---------------- *)
+
+(* Offline maintenance of a --cache-dir: `cache stats` is a read-only
+   stat pass, `cache purge` deletes every entry (the directory stays,
+   and entries mid-write by a concurrent run survive). *)
+let cache_action action dir =
+  try
+    let rc = Rcache.create dir in
+    (match action with
+    | `Stats ->
+      let entries, bytes = Rcache.disk_stats rc in
+      Printf.printf "%s: %d cached result(s), %d bytes\n" dir entries bytes
+    | `Purge ->
+      let entries, bytes = Rcache.purge rc in
+      Printf.printf "%s: purged %d cached result(s), %d bytes\n" dir entries
+        bytes);
+    0
+  with Sys_error msg ->
+    Printf.eprintf "sweepexp: %s\n" msg;
+    1
+
+let cache_dir_pos =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"DIR"
+           ~doc:"Result-cache directory (what runs were given as \
+                 $(b,--cache-dir)).")
+
+let cache_cmd =
+  let stats_cmd =
+    Cmd.v
+      (Cmd.info "stats" ~doc:"print entry count and on-disk size")
+      Term.(const (cache_action `Stats) $ cache_dir_pos)
+  in
+  let purge_cmd =
+    Cmd.v
+      (Cmd.info "purge" ~doc:"delete every cached result")
+      Term.(const (cache_action `Purge) $ cache_dir_pos)
+  in
+  Cmd.group
+    (Cmd.info "cache" ~doc:"inspect or clear a persistent result cache")
+    [ stats_cmd; purge_cmd ]
+
+let doc = "regenerate the paper's tables and figures"
+
 let cmd =
-  let doc = "regenerate the SweepCache paper's tables and figures" in
   let term =
     Term.(const main $ names_arg $ jobs_arg $ results_dir_arg $ no_jsonl_arg
           $ metrics_arg $ metrics_out_arg $ progress_arg $ list_arg
@@ -329,9 +372,16 @@ let cmd =
   in
   Cmd.v (Cmd.info "sweepexp" ~doc) term
 
+(* Positional arguments are experiment ids ("sweepexp tab1 fig5"), so
+   `cache` can't be a cmdliner subcommand of the same group — it is
+   dispatched on argv before cmdliner sees anything, like worker mode. *)
+let cache_root = Cmd.group (Cmd.info "sweepexp" ~doc) [ cache_cmd ]
+
 (* Hidden worker mode: when the supervisor re-execs this binary, hand
    the process to the frame loop before cmdliner ever sees argv. *)
 let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = Sweep_exp.Worker.argv_flag
   then exit (Sweep_exp.Worker.main ())
+  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "cache" then
+    exit (Cmd.eval' cache_root)
   else exit (Cmd.eval' cmd)

@@ -171,10 +171,10 @@ let parse_trace_filter spec =
                   (List.map Obs.Event.category_name Obs.Event.all_categories));
              exit 2)
 
-let main bench designs trace cap scale cache_size nvm_search verify j
-    results_dir trace_out trace_format trace_cap trace_filter metrics
-    metrics_out fault fault_nested profile heartbeat_every metrics_export
-    attrib_out attrib_folded =
+let main bench designs trace cap volts scale cache_size assoc buffer_entries
+    jitter nvm_search verify j results_dir trace_out trace_format trace_cap
+    trace_filter metrics metrics_out fault fault_nested profile
+    heartbeat_every metrics_export attrib_out attrib_folded =
   try
   (match Sweep_workloads.Registry.find bench with
   | exception Not_found ->
@@ -186,6 +186,32 @@ let main bench designs trace cap scale cache_size nvm_search verify j
   if cap <= 0.0 then die "--cap must be positive (got %g)" cap;
   if scale <= 0.0 then die "--scale must be positive (got %g)" scale;
   if cache_size < 64 then die "--cache-size must be at least one line (64)";
+  let v_max, v_min = volts in
+  if v_min <= 0.0 || v_max <= v_min then
+    die "--v-max must exceed --v-min > 0 (got %g / %g)" v_max v_min;
+  if not (Config.valid_geometry ~size:cache_size ~assoc) then
+    die
+      "--cache-size %d with --assoc %d is not a valid geometry (size must \
+       be a positive multiple of assoc * 64)"
+      cache_size assoc;
+  if buffer_entries < 1 then
+    die "--buffer-entries must be at least 1 (got %d)" buffer_entries;
+  let jshift, jamp, jdrop, jseed = jitter in
+  if jshift < 0 then die "--jitter-shift-steps must be >= 0";
+  if jamp < 0 then die "--jitter-amp-permille must be >= 0";
+  if jdrop < 0 || jdrop > 10000 then
+    die "--jitter-drop-bp must be in [0, 10000]";
+  if jseed < 0 then die "--jitter-drop-seed must be >= 0";
+  let jittered = jshift <> 0 || jamp <> 1000 || jdrop <> 0 || jseed <> 0 in
+  (* The canonical fleet jitter pipeline (shift, then scale, then drop),
+     so a `sweepfleet report` replay line reproduces its device's power
+     trace bit-for-bit. *)
+  let jitterize t =
+    if not jittered then t
+    else
+      Sweep_exp.Jobs.apply_jitter t ~shift_steps:jshift ~amp_permille:jamp
+        ~drop_bp:jdrop ~drop_seed:jseed
+  in
   if trace_cap < 0 then die "--trace-cap must be >= 0 (got %d)" trace_cap;
   if trace_cap > 0 && trace_out = None then
     die "--trace-cap only makes sense with --trace FILE";
@@ -220,20 +246,27 @@ let main bench designs trace cap scale cache_size nvm_search verify j
   let filter = parse_trace_filter trace_filter in
   let power =
     match trace with
-    | `Kind None -> Driver.Unlimited
+    | `Kind None ->
+      if jittered then die "--jitter-* flags need a power trace (-t)";
+      Driver.Unlimited
     | `Kind (Some kind) ->
-      Driver.harvested ~trace:(Trace.make kind) ~farads:cap ()
+      Driver.harvested ~v_max ~v_min ~trace:(jitterize (Trace.make kind))
+        ~farads:cap ()
     | `Csv path -> (
       (* A measured trace fed back in: any load problem (missing file,
          malformed CSV) is a clean one-liner, not a backtrace. *)
       match Trace.load_csv path with
-      | t -> Driver.harvested ~trace:t ~farads:cap ()
+      | t -> Driver.harvested ~v_max ~v_min ~trace:(jitterize t) ~farads:cap ()
       | exception Sys_error msg -> die "cannot read power trace: %s" msg
       | exception Failure msg ->
         die "cannot parse power trace %s: %s" path msg)
   in
   let config =
-    let c = Config.with_cache Config.default ~size:cache_size in
+    let c =
+      Config.with_buffer_entries
+        (Config.with_geometry Config.default ~size:cache_size ~assoc)
+        buffer_entries
+    in
     if nvm_search then Config.with_search c Config.Nvm_search else c
   in
   let t =
@@ -396,6 +429,21 @@ let cap_arg =
   Arg.(value & opt float 470e-9
        & info [ "cap" ] ~docv:"FARADS" ~doc:"Capacitor size (farads).")
 
+let volts_term =
+  let v_max =
+    Arg.(value & opt float 3.5
+         & info [ "v-max" ] ~docv:"VOLTS"
+             ~doc:"Capacitor voltage at which execution starts (Table 1: \
+                   3.5 V).")
+  in
+  let v_min =
+    Arg.(value & opt float 2.8
+         & info [ "v-min" ] ~docv:"VOLTS"
+             ~doc:"Brown-out voltage at which execution dies (Table 1: \
+                   2.8 V).")
+  in
+  Term.(const (fun mx mn -> (mx, mn)) $ v_max $ v_min)
+
 let scale_arg =
   Arg.(value & opt float 1.0
        & info [ "scale" ] ~docv:"S" ~doc:"Workload input scale factor.")
@@ -403,6 +451,43 @@ let scale_arg =
 let cache_arg =
   Arg.(value & opt int 4096
        & info [ "cache-size" ] ~docv:"BYTES" ~doc:"Data-cache size in bytes.")
+
+let assoc_arg =
+  Arg.(value & opt int 2
+       & info [ "assoc" ] ~docv:"WAYS" ~doc:"Data-cache associativity.")
+
+let buffer_entries_arg =
+  Arg.(value & opt int 64
+       & info [ "buffer-entries" ] ~docv:"N"
+           ~doc:"Persist-buffer capacity in entries.")
+
+(* The four knobs of the fleet's per-device power perturbation.  The
+   defaults are the identity transform; `sweepfleet report` prints these
+   flags per tail device so the device replays exactly. *)
+let jitter_term =
+  let shift =
+    Arg.(value & opt int 0
+         & info [ "jitter-shift-steps" ] ~docv:"N"
+             ~doc:"Rotate the power trace by N 100-microsecond steps \
+                   before simulating (fleet device replay).")
+  in
+  let amp =
+    Arg.(value & opt int 1000
+         & info [ "jitter-amp-permille" ] ~docv:"N"
+             ~doc:"Scale every power sample by N/1000 (1000 = unity).")
+  in
+  let drop =
+    Arg.(value & opt int 0
+         & info [ "jitter-drop-bp" ] ~docv:"N"
+             ~doc:"Zero out N basis points (N/10000) of samples, chosen \
+                   by --jitter-drop-seed.")
+  in
+  let seed =
+    Arg.(value & opt int 0
+         & info [ "jitter-drop-seed" ] ~docv:"N"
+             ~doc:"Seed for the --jitter-drop-bp sample choice.")
+  in
+  Term.(const (fun a b c d -> (a, b, c, d)) $ shift $ amp $ drop $ seed)
 
 let nvm_search_arg =
   Arg.(value & flag
@@ -529,17 +614,19 @@ let cmd =
   let doc = "simulate a workload on an intermittent-computing architecture" in
   let term =
     Term.(
-      const (fun bench design all trace cap scale cache nvm_search verify j
-                 results_dir trace_out trace_format trace_cap trace_filter
-                 metrics metrics_out fault fault_nested profile
-                 heartbeat_every metrics_export attrib_out attrib_folded ->
+      const (fun bench design all trace cap volts scale cache assoc
+                 buffer_entries jitter nvm_search verify j results_dir
+                 trace_out trace_format trace_cap trace_filter metrics
+                 metrics_out fault fault_nested profile heartbeat_every
+                 metrics_export attrib_out attrib_folded ->
           let designs = if all then H.all_designs else design in
-          main bench designs trace cap scale cache nvm_search verify j
-            results_dir trace_out trace_format trace_cap trace_filter metrics
-            metrics_out fault fault_nested profile heartbeat_every
-            metrics_export attrib_out attrib_folded)
+          main bench designs trace cap volts scale cache assoc buffer_entries
+            jitter nvm_search verify j results_dir trace_out trace_format
+            trace_cap trace_filter metrics metrics_out fault fault_nested
+            profile heartbeat_every metrics_export attrib_out attrib_folded)
       $ bench_arg $ designs_arg $ all_designs_arg $ trace_arg $ cap_arg
-      $ scale_arg $ cache_arg $ nvm_search_arg $ verify_arg $ jobs_arg
+      $ volts_term $ scale_arg $ cache_arg $ assoc_arg $ buffer_entries_arg
+      $ jitter_term $ nvm_search_arg $ verify_arg $ jobs_arg
       $ results_dir_arg $ trace_out_arg $ trace_format_arg $ trace_cap_arg
       $ trace_filter_arg $ metrics_arg $ metrics_out_arg $ fault_arg
       $ fault_nested_arg $ profile_arg $ heartbeat_every_arg

@@ -496,12 +496,34 @@ let lint_cmd =
     (Cmd.info "lint" ~doc)
     Term.(const lint $ status_lint_opt $ openmetrics_lint_opt)
 
+(* ---------------- fleet ---------------- *)
+
+let fleet fleet_path format out =
+  match A.Fleet_view.load fleet_path with
+  | Error e ->
+    read_err "sweeptrace: %s" e;
+    2
+  | Ok t ->
+    write_output out (A.Report.render format (A.Fleet_view.report ~source:fleet_path t));
+    0
+
+let fleet_pos =
+  Arg.(required & pos 0 (some file) None
+       & info [] ~docv:"FLEET"
+           ~doc:"Aggregated fleet report (sweepfleet run's fleet.json).")
+
+let fleet_cmd =
+  let doc = "render a fleet.json: population distributions, cohorts, tails" in
+  Cmd.v
+    (Cmd.info "fleet" ~doc)
+    Term.(const fleet $ fleet_pos $ format_opt $ out_opt)
+
 (* ---------------- entry ---------------- *)
 
 let cmd =
   let doc = "analyse SweepCache traces, metrics and results" in
   Cmd.group (Cmd.info "sweeptrace" ~doc)
     [ report_cmd; diff_cmd; bench_cmd; profile_cmd; tune_cmd;
-      postmortem_cmd; lint_cmd ]
+      postmortem_cmd; lint_cmd; fleet_cmd ]
 
 let () = exit (Cmd.eval' cmd)

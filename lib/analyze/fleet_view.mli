@@ -1,0 +1,68 @@
+(** Reader + renderer for [fleet.json], sweepfleet's aggregated fleet
+    report.
+
+    The file is self-describing (every histogram embeds its bin edges),
+    so this module depends only on the JSON shape, not on the fleet
+    library — analyze sits below fleet in the dependency order.
+    Rendering goes through {!Report}, so text/CSV/markdown come for
+    free ([sweeptrace fleet], [sweepfleet report]). *)
+
+type hist = {
+  edges : float array;
+  bins : int array;
+  count : int;
+  sum : float;
+  minv : float;
+  maxv : float;
+}
+
+type group = {
+  devices : int;
+  failed : int;
+  rate : hist;
+  energy : hist;
+  reboots : hist;
+  survival : hist;
+}
+
+type tail = {
+  id : int;
+  cohort : string;
+  t_rate : float;
+  t_energy : float;
+  t_reboots : int;
+  t_survival : float;
+  replay : string;
+}
+
+type t = {
+  name : string;
+  bench : string;
+  design : string;
+  trace : string;
+  scale : float;
+  devices_declared : int;
+  seed : int;
+  spec_digest : string;
+  total : group;
+  cohorts : (string * group) list;
+  tails : tail list;
+  failed_total : int;
+  failed_ids : int list;
+}
+
+val of_json : Json.t -> (t, string) result
+val load : string -> (t, string) result
+
+val quantile : hist -> float -> float option
+(** Upper edge of the first bin whose cumulative count reaches
+    [ceil (q * count)], clamped to the observed min/max — the sketch's
+    documented read-back rule; [None] on empty. *)
+
+val mean : hist -> float option
+
+val report : source:string -> t -> Report.t
+(** Four sections: fleet summary, whole-fleet distributions
+    (mean/min/p50/p90/p99/p99.9/max per metric), per-cohort breakdown,
+    and the tail-device table with exact sweepsim replay command lines
+    in its notes. *)

@@ -14,6 +14,15 @@ type running = {
   est_progress : float option;
 }
 
+type cohort = {
+  cohort : string;
+  c_total : int;
+  c_queued : int;
+  c_running : int;
+  c_done : int;
+  c_failed : int;
+}
+
 type t = {
   schema_version : int;
   ts_s : float;
@@ -28,6 +37,8 @@ type t = {
   pct_done : float;
   eta_s : float option;
   instr_per_s : float;
+  cohorts : cohort list;
+  running_shown : int option;
   running : running list;
 }
 
@@ -77,13 +88,26 @@ let running_of_json j =
       est_progress;
     }
 
+let cohort_of_json j =
+  let* cohort = req "cohorts[].cohort" (Json.string_member "cohort" j) in
+  let* c_total = req "cohorts[].total" (Json.int_member "total" j) in
+  let* c_queued = req "cohorts[].queued" (Json.int_member "queued" j) in
+  let* c_running = req "cohorts[].running" (Json.int_member "running" j) in
+  let* c_done = req "cohorts[].done" (Json.int_member "done" j) in
+  let* c_failed = req "cohorts[].failed" (Json.int_member "failed" j) in
+  Ok { cohort; c_total; c_queued; c_running; c_done; c_failed }
+
 let of_json j =
   let* schema_version =
     req "schema_version" (Json.int_member "schema_version" j)
   in
-  if schema_version <> Sweep_exp.Status.schema_version then
+  if
+    schema_version <> Sweep_exp.Status.schema_version
+    && schema_version <> Sweep_exp.Status.rollup_schema_version
+  then
     Error (Printf.sprintf "unsupported status schema_version %d" schema_version)
   else
+    let rollup = schema_version = Sweep_exp.Status.rollup_schema_version in
     let* ts_s = req "ts_s" (Json.float_member "ts_s" j) in
     let* elapsed_s = req "elapsed_s" (Json.float_member "elapsed_s" j) in
     let* workers = req "workers" (Json.int_member "workers" j) in
@@ -99,6 +123,34 @@ let of_json j =
     let* throughput = req "throughput" (Json.member "throughput" j) in
     let* instr_per_s =
       req "throughput.instr_per_s" (Json.float_member "instr_per_s" throughput)
+    in
+    (* Cohort rollup fields exist exactly in v3 — their absence there,
+       or presence in v2, is schema drift. *)
+    let* cohorts =
+      if not rollup then
+        match Json.member "cohorts" j with
+        | None -> Ok []
+        | Some _ -> Error "unexpected field cohorts in schema_version 2"
+      else
+        let* cohort_js = req "cohorts" (Json.list_member "cohorts" j) in
+        let* cohorts =
+          List.fold_left
+            (fun acc c ->
+              let* acc = acc in
+              let* c = cohort_of_json c in
+              Ok (c :: acc))
+            (Ok []) cohort_js
+        in
+        Ok (List.rev cohorts)
+    in
+    let* running_shown =
+      if not rollup then
+        match Json.member "running_shown" j with
+        | None -> Ok None
+        | Some _ -> Error "unexpected field running_shown in schema_version 2"
+      else
+        let* n = req "running_shown" (Json.int_member "running_shown" j) in
+        Ok (Some n)
     in
     let* running_js = req "running" (Json.list_member "running" j) in
     let* running =
@@ -124,6 +176,8 @@ let of_json j =
         pct_done;
         eta_s;
         instr_per_s;
+        cohorts;
+        running_shown;
         running = List.rev running;
       }
 
@@ -148,9 +202,37 @@ let validate t =
   (match t.eta_s with
   | Some e when e < 0.0 -> bad "eta_s %.1f < 0" e
   | _ -> ());
-  if List.length t.running <> t.running_n then
-    bad "running list has %d entries, jobs.running says %d"
-      (List.length t.running) t.running_n;
+  List.iter
+    (fun c ->
+      if
+        c.c_total < 0 || c.c_queued < 0 || c.c_running < 0 || c.c_done < 0
+        || c.c_failed < 0
+      then bad "cohort %s has a negative counter" c.cohort;
+      (* An undeclared cohort renders total 0 while jobs move — only a
+         declared total is checkable against its parts. *)
+      if
+        c.c_total > 0
+        && c.c_queued + c.c_running + c.c_done + c.c_failed <> c.c_total
+      then
+        bad
+          "cohort %s counts don't add up: %d queued + %d running + %d done + \
+           %d failed <> %d total"
+          c.cohort c.c_queued c.c_running c.c_done c.c_failed c.c_total)
+    t.cohorts;
+  (match t.running_shown with
+  | None ->
+    if List.length t.running <> t.running_n then
+      bad "running list has %d entries, jobs.running says %d"
+        (List.length t.running) t.running_n
+  | Some shown ->
+    (* Rollup mode: the running array is capped, so it matches
+       running_shown (itself never above the true running count). *)
+    if shown < 0 then bad "running_shown %d < 0" shown;
+    if shown > t.running_n then
+      bad "running_shown %d exceeds jobs.running %d" shown t.running_n;
+    if List.length t.running <> shown then
+      bad "running list has %d entries, running_shown says %d"
+        (List.length t.running) shown);
   List.iter
     (fun r ->
       if r.beats < 0 || r.instructions < 0 || r.reboots < 0 || r.nvm_writes < 0

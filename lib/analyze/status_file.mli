@@ -17,6 +17,16 @@ type running = {
   est_progress : float option;  (** [None] until a job has finished *)
 }
 
+type cohort = {
+  cohort : string;
+  c_total : int;
+  c_queued : int;
+  c_running : int;
+  c_done : int;
+  c_failed : int;
+}
+(** One fleet-cohort rollup record (schema v3 only). *)
+
 type t = {
   schema_version : int;
   ts_s : float;
@@ -33,11 +43,16 @@ type t = {
   pct_done : float;
   eta_s : float option;
   instr_per_s : float;
+  cohorts : cohort list;  (** empty in schema v2 *)
+  running_shown : int option;
+      (** [Some n] in schema v3, where the [running] array is capped at
+          [n] entries; [None] in v2 (the array is complete) *)
   running : running list;
 }
 
 val of_json : Json.t -> (t, string) result
-(** Validates [schema_version] and that every required field is present
+(** Validates [schema_version] (v2 plain, or the v3 cohort-rollup
+    schema fleet runs write) and that every required field is present
     with the right type. *)
 
 val load : string -> (t, string) result

@@ -12,6 +12,7 @@ type t = {
   kind : kind;
   dt_s : float;
   samples : float array; (* watts *)
+  tag : string option; (* transform provenance, part of the power key *)
 }
 
 let dt_s = 1.0e-4 (* 100 us *)
@@ -72,12 +73,14 @@ let make ?(seed = 42) kind =
     gen_rf rng ~p_on_w:650.0e-6 ~mean_on_s:0.0015 ~mean_off_s:0.0020 samples
   | Solar -> gen_solar rng samples
   | Thermal -> gen_thermal rng samples);
-  { kind; dt_s; samples }
+  { kind; dt_s; samples; tag = None }
 
 let kind t = t.kind
 
 let samples t = t.samples
 let sample_dt t = t.dt_s
+let tag t = t.tag
+let with_tag t tag = { t with tag = Some tag }
 
 let power t time_s =
   let idx = int_of_float (time_s /. t.dt_s) in
@@ -92,6 +95,70 @@ let duty_cycle t =
     Array.fold_left (fun acc p -> if p > 1.0e-6 then acc + 1 else acc) 0 t.samples
   in
   float_of_int live /. float_of_int (Array.length t.samples)
+
+(* ---- validated transforms (the fleet jitter layer builds on these) ----
+
+   Every transform returns a fresh trace on the same 100 µs grid; the
+   input is never mutated.  Validation mirrors [load_csv]: a transform
+   that would shift timestamps negative (or otherwise break the
+   monotone zero-based grid the zero-order-hold lookup assumes) is a
+   [Failure], not a silent corruption. *)
+
+(* Rotate the trace right by [shift_s] seconds: the returned trace at
+   time x reads the original at (x - shift_s), wrapping — timestamps
+   stay the 0, dt, 2·dt, … grid, so they remain non-negative and
+   strictly monotonic by construction.  A negative shift would be a
+   left rotation expressible only with negative timestamps pre-wrap;
+   reject it (callers wanting one can shift by duration - s). *)
+let time_shift t shift_s =
+  if not (Float.is_finite shift_s) then
+    failwith
+      (Printf.sprintf "Power_trace.time_shift: non-finite shift %g" shift_s);
+  if shift_s < 0.0 then
+    failwith
+      (Printf.sprintf
+         "Power_trace.time_shift: negative shift %g would produce negative \
+          timestamps"
+         shift_s);
+  let n = Array.length t.samples in
+  let steps = int_of_float ((shift_s /. t.dt_s) +. 0.5) mod n in
+  if steps = 0 then { t with samples = Array.copy t.samples }
+  else
+    {
+      t with
+      samples = Array.init n (fun i -> t.samples.((i - steps + n) mod n));
+    }
+
+(* Scale every amplitude by [factor] (harvester efficiency / antenna
+   gain jitter).  Timestamps are untouched; a negative factor would
+   mean negative harvested power, which the capacitor model has no
+   interpretation for — reject it along with NaN/inf. *)
+let scale t factor =
+  if not (Float.is_finite factor) then
+    failwith (Printf.sprintf "Power_trace.scale: non-finite factor %g" factor);
+  if factor < 0.0 then
+    failwith (Printf.sprintf "Power_trace.scale: negative factor %g" factor);
+  { t with samples = Array.map (fun p -> p *. factor) t.samples }
+
+(* Zero each sample independently with probability [frac] (seeded):
+   momentary harvester blackouts.  Samples are zeroed in place on the
+   grid, never removed — removing rows would compress the timeline and
+   de-monotonize the mapping back to wall time. *)
+let drop_samples t ~seed ~frac =
+  if not (Float.is_finite frac) || frac < 0.0 || frac > 1.0 then
+    failwith
+      (Printf.sprintf "Power_trace.drop_samples: fraction %g out of [0, 1]"
+         frac);
+  if frac = 0.0 then { t with samples = Array.copy t.samples }
+  else
+    let rng = Sweep_util.Rng.create seed in
+    {
+      t with
+      samples =
+        Array.map
+          (fun p -> if Sweep_util.Rng.float rng 1.0 < frac then 0.0 else p)
+          t.samples;
+    }
 
 let save_csv t path =
   let oc = open_out path in
@@ -159,4 +226,4 @@ let load_csv ?(kind = Rf_office) path =
     end
   in
   fill rows 0 (snd (List.hd rows));
-  { kind; dt_s; samples }
+  { kind; dt_s; samples; tag = None }

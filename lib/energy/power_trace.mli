@@ -33,6 +33,42 @@ val samples : t -> float array
 val sample_dt : t -> float
 (** Grid spacing of {!samples} in seconds (100 µs). *)
 
+val tag : t -> string option
+(** Transform provenance: [None] for a trace straight out of {!make} or
+    {!load_csv}; set by a caller (see {!with_tag}) after applying
+    transforms, and folded into the canonical power key by the
+    experiment layer so two differently-jittered copies of the same
+    base trace can never alias. *)
+
+val with_tag : t -> string -> t
+(** Label a (typically transformed) trace.  The tag becomes part of job
+    keys downstream, so it must not contain ['|'], ['/'] or spaces. *)
+
+(** {2 Validated transforms}
+
+    Per-device jitter for fleet simulation.  Each returns a fresh trace
+    on the same 100 µs grid (inputs are never mutated) and raises
+    [Failure] rather than producing a trace whose implied timestamps
+    would be negative or non-monotonic. *)
+
+val time_shift : t -> float -> t
+(** [time_shift t s] rotates the trace right by [s] seconds (the result
+    at time x reads [t] at x - s, wrapping at the 60 s boundary).
+    Raises [Failure] when [s] is negative or not finite — a left shift
+    would need negative timestamps before the wrap. *)
+
+val scale : t -> float -> t
+(** [scale t f] multiplies every amplitude by [f].  Raises [Failure]
+    when [f] is negative or not finite (negative harvested power has no
+    physical meaning). *)
+
+val drop_samples : t -> seed:int -> frac:float -> t
+(** [drop_samples t ~seed ~frac] zeroes each 100 µs sample
+    independently with probability [frac] (deterministic per [seed]) —
+    momentary harvester blackouts.  Samples are zeroed, never removed,
+    so the time grid is untouched.  Raises [Failure] when [frac] is
+    outside [0, 1] or not finite. *)
+
 val mean_power : t -> float
 
 val duty_cycle : t -> float

@@ -273,10 +273,11 @@ let execute ?workers:w ?config:cfg ?budget jobs =
           ?flight:cfg.flight ?export:cfg.export ?attrib_dir:cfg.attrib_dir
           ?rcache:cfg.rcache ~budget pending
       | None ->
-        (* Materialise every trace in the parent domain so workers
-           share read-only instances instead of racing to build them. *)
+        (* Materialise every shared base trace in the parent domain so
+           workers share read-only instances instead of racing to build
+           them (per-device jittered copies stay worker-local). *)
         if w > 1 && List.length pending > 1 then
-          List.iter (fun j -> ignore (Jobs.to_power j.Jobs.power)) pending;
+          List.iter (fun j -> Jobs.prewarm j.Jobs.power) pending;
         let arr = Array.of_list pending in
         pool_iter ~w (Array.length arr) (fun i -> run_job st arr.(i))
     in

@@ -1,4 +1,4 @@
-(* Ablations beyond the paper's headline results (DESIGN.md §12):
+(* Ablations beyond the paper's headline results (DESIGN.md §13):
    - dual buffering vs a single persist buffer (§3.3's claim);
    - empty-bit vs always-search (already in Figs. 5–7; summarised here);
    - SweepCache with Vmin lowered to 1.8 V (paper footnote 1);

@@ -63,9 +63,15 @@ let subset_names =
 let power_key = function
   | Driver.Unlimited -> "unlimited"
   | Driver.Harvested { trace; capacitor_farads; v_max; v_min } ->
-    Printf.sprintf "%s/%g/%g/%g"
-      (Trace.kind_name (Trace.kind trace))
-      capacitor_farads v_max v_min
+    (* A transformed trace carries a tag (see Power_trace.with_tag);
+       folding it into the kind segment keeps differently-jittered
+       copies of one base trace from aliasing in the results store. *)
+    let kind =
+      match Trace.tag trace with
+      | None -> Trace.kind_name (Trace.kind trace)
+      | Some tag -> Trace.kind_name (Trace.kind trace) ^ "~" ^ tag
+    in
+    Printf.sprintf "%s/%g/%g/%g" kind capacitor_farads v_max v_min
 
 let key_of ~label ~design ~power ~bench ~scale =
   Printf.sprintf "%s|%s|%s|%s|%g" label design power bench scale

@@ -170,33 +170,59 @@ let find t ~key ~digest =
     if Sweep_obs.Metrics.enabled () then Sweep_obs.Metrics.inc m_misses;
     None
 
-(* Trim the directory to [max_bytes], oldest mtime first (name-ordered
-   tiebreak so concurrent same-second stores evict deterministically).
-   Called with the lock held, after a store. *)
+(* One stat pass over the directory: (mtime, name, size) per entry
+   file, sorted oldest-first with a name-ordered tiebreak so concurrent
+   same-second stores evict deterministically. *)
+let scan_locked t =
+  Sys.readdir t.dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f entry_suffix)
+  |> List.filter_map (fun f ->
+         let p = Filename.concat t.dir f in
+         match Unix.stat p with
+         | exception Unix.Unix_error _ -> None
+         | st when st.Unix.st_kind = Unix.S_REG ->
+           Some (st.Unix.st_mtime, f, st.Unix.st_size)
+         | _ -> None)
+  |> List.sort compare
+
+(* Trim the directory to [max_bytes]: select the whole LRU victim set
+   from the single scan, then unlink it as a batch — no per-iteration
+   re-stat, and the eviction counter moves once.  Called with the lock
+   held, after a store. *)
 let evict_locked t =
-  let entries =
-    Sys.readdir t.dir |> Array.to_list
-    |> List.filter (fun f -> Filename.check_suffix f entry_suffix)
-    |> List.filter_map (fun f ->
-           let p = Filename.concat t.dir f in
-           match Unix.stat p with
-           | exception Unix.Unix_error _ -> None
-           | st when st.Unix.st_kind = Unix.S_REG ->
-             Some (st.Unix.st_mtime, f, st.Unix.st_size)
-           | _ -> None)
-    |> List.sort compare
-  in
+  let entries = scan_locked t in
   let total = List.fold_left (fun acc (_, _, sz) -> acc + sz) 0 entries in
-  let excess = ref (total - t.max_bytes) in
+  let rec victims acc excess = function
+    | _ when excess <= 0 -> List.rev acc
+    | [] -> List.rev acc
+    | (_, f, sz) :: rest -> victims (f :: acc) (excess - sz) rest
+  in
+  match victims [] (total - t.max_bytes) entries with
+  | [] -> ()
+  | batch ->
+    List.iter
+      (fun f ->
+        try Sys.remove (Filename.concat t.dir f) with Sys_error _ -> ())
+      batch;
+    t.evictions <- t.evictions + List.length batch;
+    if Sweep_obs.Metrics.enabled () then
+      Sweep_obs.Metrics.add m_evictions (List.length batch)
+
+let disk_stats t =
+  with_lock t @@ fun () ->
+  let entries = scan_locked t in
+  ( List.length entries,
+    List.fold_left (fun acc (_, _, sz) -> acc + sz) 0 entries )
+
+let purge t =
+  with_lock t @@ fun () ->
+  let entries = scan_locked t in
   List.iter
-    (fun (_, f, sz) ->
-      if !excess > 0 then begin
-        (try Sys.remove (Filename.concat t.dir f) with Sys_error _ -> ());
-        excess := !excess - sz;
-        t.evictions <- t.evictions + 1;
-        if Sweep_obs.Metrics.enabled () then Sweep_obs.Metrics.inc m_evictions
-      end)
-    entries
+    (fun (_, f, _) ->
+      try Sys.remove (Filename.concat t.dir f) with Sys_error _ -> ())
+    entries;
+  ( List.length entries,
+    List.fold_left (fun acc (_, _, sz) -> acc + sz) 0 entries )
 
 let store t ~key ~digest ~elapsed_s summary =
   with_lock t @@ fun () ->

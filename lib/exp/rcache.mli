@@ -47,3 +47,12 @@ val store :
 val stats : t -> stats
 (** Counters since {!create} (also published to the metrics registry as
     [exp.rcache_hits] / [_misses] / [_evictions] / [_corrupt]). *)
+
+val disk_stats : t -> int * int
+(** [(entries, bytes)] currently on disk — one stat pass, no
+    mutation.  What [sweepexp cache stats] prints. *)
+
+val purge : t -> int * int
+(** Delete every entry, returning [(entries, bytes)] removed.  Entries
+    mid-write by a concurrent process survive (their temp files are
+    invisible to the scan); the cache directory itself remains. *)

@@ -10,6 +10,14 @@ module Hb = Sweep_obs.Heartbeat
 module Ev = Sweep_obs.Event
 
 let schema_version = 2
+let rollup_schema_version = 3
+
+type cohort = {
+  mutable c_total : int;  (* declared population; 0 until declared *)
+  mutable c_started : int;  (* running + done + failed *)
+  mutable c_done : int;
+  mutable c_failed : int;
+}
 
 type job = {
   key : string;
@@ -28,6 +36,14 @@ type t = {
   created_s : float;
   lock : Mutex.t;
   running : (string, job) Hashtbl.t;
+  (* Cohort rollup mode (fleet runs): [rollup] maps a job key to its
+     cohort, per-cohort counters replace unbounded per-job detail, and
+     the running array is capped at [max_running] — status.json stays
+     O(cohorts + cap) instead of O(devices). *)
+  rollup : (string -> string) option;
+  max_running : int;
+  cohorts : (string, cohort) Hashtbl.t;
+  mutable cohort_order : string list; (* reversed declaration order *)
   mutable total : int;
   mutable started : int;
   mutable done_ : int;
@@ -39,7 +55,7 @@ type t = {
   mutable last_write_s : float;
 }
 
-let create ~path ?(interval_s = 0.5) ~workers () =
+let create ~path ?(interval_s = 0.5) ?rollup ?(max_running = 16) ~workers () =
   {
     path;
     interval_s;
@@ -47,6 +63,10 @@ let create ~path ?(interval_s = 0.5) ~workers () =
     created_s = Unix.gettimeofday ();
     lock = Mutex.create ();
     running = Hashtbl.create 16;
+    rollup;
+    max_running = max 0 max_running;
+    cohorts = Hashtbl.create 8;
+    cohort_order = [];
     total = 0;
     started = 0;
     done_ = 0;
@@ -59,6 +79,22 @@ let create ~path ?(interval_s = 0.5) ~workers () =
   }
 
 let js = Ev.json_string
+
+(* Cohort table access (lock held).  Undeclared cohorts appear on first
+   use with total 0 — their queued count renders as 0 until declared. *)
+let cohort_locked t name =
+  match Hashtbl.find_opt t.cohorts name with
+  | Some c -> c
+  | None ->
+    let c = { c_total = 0; c_started = 0; c_done = 0; c_failed = 0 } in
+    Hashtbl.replace t.cohorts name c;
+    t.cohort_order <- name :: t.cohort_order;
+    c
+
+let on_cohort_locked t key f =
+  match t.rollup with
+  | None -> ()
+  | Some cohort_of -> f (cohort_locked t (cohort_of key))
 
 let render_locked t ~now =
   let b = Buffer.create 512 in
@@ -90,10 +126,13 @@ let render_locked t ~now =
     if t.total = 0 then 100.0
     else float_of_int (t.done_ + t.failed) *. 100.0 /. float_of_int t.total
   in
+  let version =
+    if t.rollup = None then schema_version else rollup_schema_version
+  in
   Buffer.add_string b
     (Printf.sprintf
        "{\"schema_version\":%d,\"ts_s\":%.3f,\"elapsed_s\":%.3f,\"workers\":%d,"
-       schema_version now (now -. t.created_s) t.workers);
+       version now (now -. t.created_s) t.workers);
   Buffer.add_string b
     (Printf.sprintf
        "\"jobs\":{\"total\":%d,\"queued\":%d,\"running\":%d,\"done\":%d,\"failed\":%d,\"retried\":%d,\"pct_done\":%.2f},"
@@ -111,6 +150,32 @@ let render_locked t ~now =
   in
   Buffer.add_string b
     (Printf.sprintf "\"throughput\":{\"instr_per_s\":%.0f}," total_ips);
+  (* Rollup mode: one bounded record per cohort (declared order, then
+     first-seen), and the per-job array below is capped. *)
+  let running =
+    if t.rollup = None then running
+    else begin
+      let order = List.rev t.cohort_order in
+      Buffer.add_string b "\"cohorts\":[";
+      List.iteri
+        (fun i name ->
+          let c = Hashtbl.find t.cohorts name in
+          if i > 0 then Buffer.add_char b ',';
+          let c_running = max 0 (c.c_started - c.c_done - c.c_failed) in
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"cohort\":%s,\"total\":%d,\"queued\":%d,\"running\":%d,\
+                \"done\":%d,\"failed\":%d}"
+               (js name) c.c_total
+               (max 0 (c.c_total - c.c_started))
+               c_running c.c_done c.c_failed))
+        order;
+      Buffer.add_string b "],";
+      let shown = min (List.length running) t.max_running in
+      Buffer.add_string b (Printf.sprintf "\"running_shown\":%d," shown);
+      List.filteri (fun i _ -> i < shown) running
+    end
+  in
   Buffer.add_string b "\"running\":[";
   List.iteri
     (fun i j ->
@@ -159,10 +224,16 @@ let maybe_write_locked t =
 
 let add_total t n = with_lock t (fun () -> t.total <- t.total + n)
 
+let declare_cohort t ~name ~total =
+  with_lock t (fun () ->
+      let c = cohort_locked t name in
+      c.c_total <- c.c_total + total)
+
 let job_started t ~key =
   with_lock t (fun () ->
       let now = Unix.gettimeofday () in
       t.started <- t.started + 1;
+      on_cohort_locked t key (fun c -> c.c_started <- c.c_started + 1);
       Hashtbl.replace t.running key
         {
           key;
@@ -199,7 +270,8 @@ let job_retried t ~key =
       if Hashtbl.mem t.running key then begin
         Hashtbl.remove t.running key;
         t.started <- t.started - 1;
-        t.retried <- t.retried + 1
+        t.retried <- t.retried + 1;
+        on_cohort_locked t key (fun c -> c.c_started <- c.c_started - 1)
       end;
       maybe_write_locked t)
 
@@ -209,8 +281,12 @@ let job_finished t ~key ~ok ~elapsed_s ~sim_ns =
       if ok then begin
         t.done_ <- t.done_ + 1;
         t.ok <- t.ok + 1;
-        t.sim_done_ns <- t.sim_done_ns +. sim_ns
+        t.sim_done_ns <- t.sim_done_ns +. sim_ns;
+        on_cohort_locked t key (fun c -> c.c_done <- c.c_done + 1)
       end
-      else t.failed <- t.failed + 1;
+      else begin
+        t.failed <- t.failed + 1;
+        on_cohort_locked t key (fun c -> c.c_failed <- c.c_failed + 1)
+      end;
       t.elapsed_done_s <- t.elapsed_done_s +. elapsed_s;
       maybe_write_locked t)

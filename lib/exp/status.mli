@@ -17,18 +17,45 @@
     the latter an estimate against the mean simulated time of finished
     jobs, null while nothing has finished).  Everything here is
     wall-clock telemetry: the deterministic outputs of a run are the
-    results store and the journal, never this file. *)
+    results store and the journal, never this file.
+
+    Fleet runs pass [rollup] to switch the file to the cohort schema
+    ({!rollup_schema_version}): a [cohorts] array with one bounded
+    record per cohort ([cohort], [total], [queued], [running], [done],
+    [failed]), a [running_shown] count, and a [running] array capped at
+    [max_running] entries — the snapshot stays O(cohorts + cap) instead
+    of O(devices) for 100k-device populations. *)
 
 type t
 
 val schema_version : int
+(** Plain (no-rollup) snapshot schema. *)
 
-val create : path:string -> ?interval_s:float -> workers:int -> unit -> t
-(** [interval_s] defaults to 0.5 s. *)
+val rollup_schema_version : int
+(** Schema written when {!create} received [rollup]: adds [cohorts] and
+    [running_shown], and caps the [running] array. *)
+
+val create :
+  path:string ->
+  ?interval_s:float ->
+  ?rollup:(string -> string) ->
+  ?max_running:int ->
+  workers:int ->
+  unit ->
+  t
+(** [interval_s] defaults to 0.5 s.  [rollup] maps a job key to its
+    cohort name and switches the file to {!rollup_schema_version};
+    [max_running] (default 16) caps the per-job [running] array in that
+    mode. *)
 
 val add_total : t -> int -> unit
 (** Announce [n] more jobs (the executor calls this per [execute]
     batch, so sweeptune's chunked scheduling accumulates). *)
+
+val declare_cohort : t -> name:string -> total:int -> unit
+(** Announce [total] more jobs belonging to cohort [name] (rollup mode;
+    fixes declaration order in the [cohorts] array).  Cohorts first
+    seen via a job transition render with total 0 until declared. *)
 
 val job_started : t -> key:string -> unit
 val beat : t -> key:string -> Sweep_obs.Heartbeat.t -> unit

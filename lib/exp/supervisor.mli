@@ -44,6 +44,13 @@ val policy :
   unit ->
   policy
 
+val route_hash : string -> int
+(** Stable job-routing hash (FNV-1a over the canonical key, masked to
+    30 bits): [route_hash key mod workers] picks the worker slot.
+    Independent of process randomisation and OCaml version, so a job
+    routes identically in every run — exposed for sharding-balance
+    tests. *)
+
 val backoff_delay_s : policy -> slot:int -> nth:int -> float
 (** Delay before respawn [nth] (0-based) of [slot]: exponential in
     [nth], capped at [backoff_max_s], with up to +50% jitter drawn

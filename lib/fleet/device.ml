@@ -1,0 +1,125 @@
+(* Pure per-device instantiation.
+
+   A device is entirely determined by (spec, id): a SplitMix64 stream
+   seeded from a fixed mix of the fleet seed and the device id drives
+   exactly five draws, in a fixed order that is part of the fleet
+   format —
+
+     1. cohort (weighted choice over the spec's arms)
+     2. trace time-shift steps
+     3. amplitude permille
+     4. dropout basis points
+     5. dropout mask seed
+
+   — so any device can be re-derived in isolation (tail-device replay,
+   `sweepfleet plan --device`) without instantiating its neighbours.
+   No global RNG, no state: calling [instantiate] twice is the
+   identity. *)
+
+module Rng = Sweep_util.Rng
+module Config = Sweep_machine.Config
+module Pipeline = Sweep_compiler.Pipeline
+module Jobs = Sweep_exp.Jobs
+module Exp_common = Sweep_exp.Exp_common
+
+type t = {
+  id : int;
+  arm : Spec.arm;
+  shift_steps : int;
+  amp_permille : int;
+  drop_bp : int;
+  drop_seed : int;
+}
+
+(* Seed mix: device id stirred into the fleet seed with two odd
+   multipliers (splitmix-style), so neighbouring ids land far apart in
+   seed space and fleets with nearby seeds don't share device streams. *)
+let device_seed ~seed ~id =
+  let h = (seed * 0x9e3779b1) + (id * 0x85ebca77) + 0x165667b1 in
+  h land max_int
+
+let instantiate (spec : Spec.t) ~id =
+  if id < 0 || id >= spec.Spec.devices then
+    invalid_arg
+      (Printf.sprintf "Device.instantiate: id %d outside [0, %d)" id
+         spec.Spec.devices);
+  let rng = Rng.create (device_seed ~seed:spec.Spec.seed ~id) in
+  (* Draw 1: cohort. *)
+  let total_weight =
+    List.fold_left (fun acc a -> acc + a.Spec.weight) 0 spec.Spec.arms
+  in
+  let pick = Rng.int rng total_weight in
+  let arm =
+    let rec walk acc = function
+      | [ a ] -> a
+      | a :: rest ->
+        let acc = acc + a.Spec.weight in
+        if pick < acc then a else walk acc rest
+      | [] -> assert false (* validate: arms non-empty *)
+    in
+    walk 0 spec.Spec.arms
+  in
+  (* Draws 2-5: always performed (bounds of 1 when the envelope is
+     degenerate) so the stream shape never depends on the jitter
+     values — widening one bound never re-deals another. *)
+  let j = spec.Spec.jitter in
+  let shift_steps = Rng.int rng (j.Spec.max_shift_steps + 1) in
+  let spread = j.Spec.amp_spread_permille in
+  let amp_permille = 1000 - spread + Rng.int rng ((2 * spread) + 1) in
+  let drop_bp = Rng.int rng (j.Spec.max_drop_bp + 1) in
+  let drop_seed = Rng.int rng 0x40000000 in
+  { id; arm; shift_steps; amp_permille; drop_bp; drop_seed }
+
+let label (spec : Spec.t) (d : t) =
+  Printf.sprintf "fleet:%s/%s" spec.Spec.name d.arm.Spec.arm_name
+
+(* The arm component of a fleet job label — inverse of [label], for
+   the status file's cohort rollup. *)
+let cohort_of_key key =
+  match String.index_opt key '|' with
+  | None -> "?"
+  | Some bar -> (
+    let label = String.sub key 0 bar in
+    match String.index_opt label '/' with
+    | None -> label
+    | Some slash ->
+      String.sub label (slash + 1) (String.length label - slash - 1))
+
+let setting (spec : Spec.t) (d : t) =
+  let a = d.arm in
+  let config =
+    Config.with_buffer_entries
+      (Config.with_geometry Config.default ~size:a.Spec.cache_bytes
+         ~assoc:a.Spec.assoc)
+      a.Spec.buffer_entries
+  in
+  Exp_common.setting ~label:(label spec d) ~config
+    ~options:Pipeline.default_options spec.Spec.design
+
+let power (spec : Spec.t) (d : t) =
+  Jobs.jittered ~farads:d.arm.Spec.farads ~v_max:spec.Spec.v_max
+    ~v_min:spec.Spec.v_min ~shift_steps:d.shift_steps
+    ~amp_permille:d.amp_permille ~drop_bp:d.drop_bp ~drop_seed:d.drop_seed
+    spec.Spec.trace
+
+let job (spec : Spec.t) (d : t) =
+  Jobs.job ~exp:"fleet" ~scale:spec.Spec.scale (setting spec d)
+    ~power:(power spec d) spec.Spec.bench
+
+let key spec d = Jobs.key (job spec d)
+
+(* A complete sweepsim argument line reproducing this device's exact
+   simulation — the drill-down path from a fleet report's tail table to
+   a single-device rerun. *)
+let replay_args (spec : Spec.t) (d : t) =
+  Printf.sprintf
+    "%s -d %s -t %s --cap %g --v-max %g --v-min %g --scale %g \
+     --cache-size %d --assoc %d --buffer-entries %d --jitter-shift-steps %d \
+     --jitter-amp-permille %d --jitter-drop-bp %d --jitter-drop-seed %d"
+    spec.Spec.bench
+    (Spec.design_name spec.Spec.design)
+    (String.lowercase_ascii
+       (Sweep_energy.Power_trace.kind_name spec.Spec.trace))
+    d.arm.Spec.farads spec.Spec.v_max spec.Spec.v_min spec.Spec.scale
+    d.arm.Spec.cache_bytes d.arm.Spec.assoc d.arm.Spec.buffer_entries
+    d.shift_steps d.amp_permille d.drop_bp d.drop_seed

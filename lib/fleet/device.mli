@@ -1,0 +1,48 @@
+(** Pure per-device instantiation: (spec, id) → one concrete device.
+
+    Each device owns a private SplitMix64 stream seeded from a fixed
+    mix of the fleet seed and its id, and performs exactly five draws
+    in a fixed order (cohort, time-shift, amplitude, dropout odds,
+    dropout seed).  The draw order and count are part of the fleet
+    format: they never depend on the drawn values, so any device can be
+    re-derived in isolation — a tail device from a 100k-population
+    report replays without instantiating its neighbours. *)
+
+type t = {
+  id : int;
+  arm : Spec.arm;
+  shift_steps : int;
+  amp_permille : int;
+  drop_bp : int;
+  drop_seed : int;
+}
+
+val device_seed : seed:int -> id:int -> int
+(** The (pure) seed of device [id]'s draw stream. *)
+
+val instantiate : Spec.t -> id:int -> t
+(** Raises [Invalid_argument] when [id] is outside [0, devices). *)
+
+val label : Spec.t -> t -> string
+(** Job label ["fleet:<spec>/<arm>"]. *)
+
+val cohort_of_key : string -> string
+(** Arm name back out of a canonical fleet job key — the status file's
+    cohort rollup function. *)
+
+val setting : Spec.t -> t -> Sweep_exp.Exp_common.setting
+(** Arm hardware over {!Sweep_machine.Config.default} with the default
+    compiler options (what sweepsim uses), labelled with {!label}. *)
+
+val power : Spec.t -> t -> Sweep_exp.Jobs.power_spec
+(** The device's {!Sweep_exp.Jobs.Jittered} power spec. *)
+
+val job : Spec.t -> t -> Sweep_exp.Jobs.t
+val key : Spec.t -> t -> string
+(** Canonical job key.  Distinct devices that drew identical parameters
+    share a key — and therefore, correctly, one simulation. *)
+
+val replay_args : Spec.t -> t -> string
+(** A complete sweepsim argument line reproducing this device's exact
+    simulation (benchmark, design, trace, thresholds, geometry and all
+    four jitter parameters). *)

@@ -282,3 +282,79 @@ let suite =
       Alcotest.test_case "trace csv non-monotonic time" `Quick
         test_trace_csv_rejects_nonmonotonic_time;
     ]
+
+(* ---------------- validated trace transforms (fleet jitter) ---------------- *)
+
+let raises_failure f =
+  match f () with _ -> false | exception Failure _ -> true
+
+let test_transform_time_shift () =
+  let t = Trace.make ~seed:3 Trace.Rf_office in
+  let s = Trace.samples t in
+  let n = Array.length s in
+  let dt = Trace.sample_dt t in
+  let shifted = Trace.time_shift t (7.0 *. dt) in
+  let s' = Trace.samples shifted in
+  Alcotest.(check bool) "rotated right by 7 steps" true
+    (Array.for_all Fun.id (Array.init n (fun i -> s'.(i) = s.((i - 7 + n) mod n))));
+  let zero = Trace.time_shift t 0.0 in
+  Alcotest.(check bool) "zero shift is identity" true
+    (Trace.samples zero = s);
+  Alcotest.(check bool) "input not mutated" true (Trace.samples t == s);
+  Alcotest.(check bool) "negative shift rejected" true
+    (raises_failure (fun () -> Trace.time_shift t (-.dt)));
+  Alcotest.(check bool) "nan shift rejected" true
+    (raises_failure (fun () -> Trace.time_shift t Float.nan));
+  Alcotest.(check bool) "infinite shift rejected" true
+    (raises_failure (fun () -> Trace.time_shift t Float.infinity))
+
+let test_transform_scale () =
+  let t = Trace.make ~seed:3 Trace.Solar in
+  let m = Trace.mean_power t in
+  check (Alcotest.float 1e-12) "mean scales linearly" (m *. 1.25)
+    (Trace.mean_power (Trace.scale t 1.25));
+  check (Alcotest.float 0.0) "zero factor flattens" 0.0
+    (Trace.mean_power (Trace.scale t 0.0));
+  Alcotest.(check bool) "negative factor rejected" true
+    (raises_failure (fun () -> Trace.scale t (-0.1)));
+  Alcotest.(check bool) "nan factor rejected" true
+    (raises_failure (fun () -> Trace.scale t Float.nan))
+
+let test_transform_drop_samples () =
+  let t = Trace.make ~seed:3 Trace.Rf_home in
+  let s = Trace.samples t in
+  let a = Trace.samples (Trace.drop_samples t ~seed:11 ~frac:0.3) in
+  let b = Trace.samples (Trace.drop_samples t ~seed:11 ~frac:0.3) in
+  let c = Trace.samples (Trace.drop_samples t ~seed:12 ~frac:0.3) in
+  Alcotest.(check bool) "same seed same drops" true (a = b);
+  Alcotest.(check bool) "different seed different drops" true (a <> c);
+  Alcotest.(check bool) "drops only zero, never alter" true
+    (Array.for_all Fun.id
+       (Array.init (Array.length s) (fun i -> a.(i) = 0.0 || a.(i) = s.(i))));
+  Alcotest.(check bool) "frac 0 is identity" true
+    (Trace.samples (Trace.drop_samples t ~seed:11 ~frac:0.0) = s);
+  Alcotest.(check bool) "frac 1 zeroes everything" true
+    (Array.for_all (fun p -> p = 0.0)
+       (Trace.samples (Trace.drop_samples t ~seed:11 ~frac:1.0)));
+  Alcotest.(check bool) "frac below 0 rejected" true
+    (raises_failure (fun () -> Trace.drop_samples t ~seed:1 ~frac:(-0.01)));
+  Alcotest.(check bool) "frac above 1 rejected" true
+    (raises_failure (fun () -> Trace.drop_samples t ~seed:1 ~frac:1.01));
+  Alcotest.(check bool) "nan frac rejected" true
+    (raises_failure (fun () -> Trace.drop_samples t ~seed:1 ~frac:Float.nan))
+
+let test_transform_tags () =
+  let t = Trace.make ~seed:3 Trace.Thermal in
+  Alcotest.(check bool) "fresh trace untagged" true (Trace.tag t = None);
+  let tagged = Trace.with_tag (Trace.scale t 0.9) "am900" in
+  Alcotest.(check bool) "tag recorded" true (Trace.tag tagged = Some "am900")
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "transform time_shift" `Quick test_transform_time_shift;
+      Alcotest.test_case "transform scale" `Quick test_transform_scale;
+      Alcotest.test_case "transform drop_samples" `Quick
+        test_transform_drop_samples;
+      Alcotest.test_case "transform tags" `Quick test_transform_tags;
+    ]

@@ -396,3 +396,32 @@ let suite =
     Alcotest.test_case "warm cache byte-identity" `Quick
       test_executor_warm_cache_identity;
   ]
+
+(* `sweepexp cache stats` / `cache purge` maintenance surface. *)
+let test_rcache_disk_stats_and_purge () =
+  with_tmp_dir (fun dir ->
+      let summary = Lazy.force the_summary in
+      let rc = Rcache.create dir in
+      check Alcotest.bool "empty cache stats" true
+        (Rcache.disk_stats rc = (0, 0));
+      List.iter
+        (fun key -> Rcache.store rc ~key ~digest:"d" ~elapsed_s:0.1 summary)
+        [ "a"; "b"; "c" ];
+      let entries, bytes = Rcache.disk_stats rc in
+      check Alcotest.int "three entries on disk" 3 entries;
+      check Alcotest.bool "bytes counted" true (bytes > 0);
+      let purged_entries, purged_bytes = Rcache.purge rc in
+      check Alcotest.int "purge removes all" 3 purged_entries;
+      check Alcotest.int "purge reports the bytes" bytes purged_bytes;
+      check Alcotest.bool "cache now empty" true
+        (Rcache.disk_stats rc = (0, 0));
+      check Alcotest.bool "directory survives" true (Sys.is_directory dir);
+      check Alcotest.int "no entry files left" 0
+        (List.length (entry_files dir)))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "rcache disk stats + purge" `Quick
+        test_rcache_disk_stats_and_purge;
+    ]

@@ -24,4 +24,5 @@ let () =
       ("telemetry", T_telemetry.suite);
       ("super", T_super.suite);
       ("profile", T_profile.suite);
+      ("fleet", T_fleet.suite);
     ]
